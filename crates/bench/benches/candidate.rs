@@ -1,0 +1,49 @@
+//! Ablation benchmark: inverted-index candidate selection vs a naive scan of
+//! the part's knowledge nodes (DESIGN.md §5 — the access-path design point
+//! the paper's Fig. 5 "selection via the indexes of the knowledge structure"
+//! encodes).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use qatk_core::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn build_kb(nodes_per_part: usize, features_per_node: usize) -> (KnowledgeBase, FeatureSet) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut kb = KnowledgeBase::new();
+    for part in 0..5 {
+        for n in 0..nodes_per_part {
+            let feats: FeatureSet = (0..features_per_node)
+                .map(|_| rng.random_range(0..2_000u32))
+                .collect();
+            kb.insert(
+                format!("P-{part:02}"),
+                format!("E{part:02}{:03}", n % 40),
+                feats,
+            );
+        }
+    }
+    let query: FeatureSet = (0..features_per_node)
+        .map(|_| rng.random_range(0..2_000u32))
+        .collect();
+    (kb, query)
+}
+
+fn bench_candidates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("candidate-selection");
+    for &nodes in &[200usize, 1000, 5000] {
+        let (kb, query) = build_kb(nodes, 40);
+        group.bench_with_input(BenchmarkId::new("inverted-index", nodes), &kb, |b, kb| {
+            b.iter(|| black_box(kb.candidates("P-02", &query).len()))
+        });
+        group.bench_with_input(BenchmarkId::new("naive-scan", nodes), &kb, |b, kb| {
+            b.iter(|| black_box(kb.candidates_scan("P-02", &query).len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_candidates);
+criterion_main!(benches);

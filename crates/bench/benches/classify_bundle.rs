@@ -1,0 +1,58 @@
+//! End-to-end per-bundle classification latency — the measurement behind the
+//! paper's §5.2.2 industrial-feasibility argument (bag-of-words ≈ 0.5
+//! s/bundle vs bag-of-concepts ≈ 0.14 s/bundle on their testbed; the *ratio*
+//! is the reproduction target).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use qatk_core::prelude::*;
+use qatk_corpus::bundle::SourceSelection;
+use qatk_corpus::generator::{Corpus, CorpusConfig};
+
+fn bench_classify(c: &mut Criterion) {
+    let corpus = Corpus::generate(CorpusConfig {
+        n_bundles: 2000,
+        pool_scale: 0.3,
+        ..CorpusConfig::default()
+    });
+
+    let mut group = c.benchmark_group("classify-bundle");
+    group.sample_size(20);
+    for model in [
+        FeatureModel::BagOfWords,
+        FeatureModel::BagOfWordsNoStop,
+        FeatureModel::BagOfConcepts,
+    ] {
+        // train once per model
+        let pipeline = build_pipeline(&corpus, model);
+        let mut space = FeatureSpace::new();
+        let mut kb = KnowledgeBase::new();
+        for b in &corpus.bundles {
+            let mut cas = b.to_cas(SourceSelection::Training);
+            pipeline.process(&mut cas).unwrap();
+            let f = space.extract(&cas, model);
+            kb.insert(b.part_id.clone(), b.error_code.clone().unwrap(), f);
+        }
+        let knn = RankedKnn::new(SimilarityMeasure::Jaccard);
+        let test: Vec<_> = corpus.bundles.iter().take(25).collect();
+        group.bench_with_input(
+            BenchmarkId::new(model.label(), "25-bundles"),
+            &test,
+            |bench, test| {
+                bench.iter(|| {
+                    for b in test.iter() {
+                        let mut cas = b.to_cas(SourceSelection::Test);
+                        pipeline.process(&mut cas).unwrap();
+                        let f = space.extract(&cas, model);
+                        black_box(knn.rank(&kb, &b.part_id, &f).len());
+                    }
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_classify);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Knowledge-base construction benchmarks, including the ablation for the
+//! configuration-instance dedup (§4.3 / kNN Model [7]): how much the dedup
+//! shrinks the knowledge base and what building costs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use qatk_core::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Instances with heavy duplication (identical configurations recur, as
+/// bag-of-concepts abstraction makes likely).
+fn instances(n: usize, distinct: usize) -> Vec<(String, String, FeatureSet)> {
+    let mut rng = StdRng::seed_from_u64(3);
+    let pool: Vec<FeatureSet> = (0..distinct)
+        .map(|_| (0..6).map(|_| rng.random_range(0..300u32)).collect())
+        .collect();
+    (0..n)
+        .map(|_| {
+            let k = rng.random_range(0..distinct);
+            (
+                format!("P-{:02}", k % 7),
+                format!("E{:03}", k % 60),
+                pool[k].clone(),
+            )
+        })
+        .collect()
+}
+
+fn bench_kb(c: &mut Criterion) {
+    let mut group = c.benchmark_group("knowledge-base");
+    for &n in &[2_000usize, 10_000] {
+        let data = instances(n, n / 10);
+        group.bench_with_input(BenchmarkId::new("build-dedup", n), &data, |b, data| {
+            b.iter(|| {
+                let mut kb = KnowledgeBase::new();
+                for (p, code, f) in data {
+                    kb.insert(p.clone(), code.clone(), f.clone());
+                }
+                black_box(kb.len())
+            })
+        });
+    }
+
+    // persistence cost
+    let data = instances(5_000, 500);
+    let mut kb = KnowledgeBase::new();
+    for (p, code, f) in &data {
+        kb.insert(p.clone(), code.clone(), f.clone());
+    }
+    group.bench_function("persist-to-db/5000-instances", |b| {
+        b.iter(|| {
+            let mut db = qatk_store::Database::new();
+            kb.save_to_db(&mut db).unwrap();
+            black_box(db.total_rows())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kb);
+criterion_main!(benches);

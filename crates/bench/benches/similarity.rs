@@ -1,0 +1,33 @@
+//! Microbenchmark: pairwise similarity scoring — the inner loop of the
+//! classifier whose cost drives the paper's §5.2.2 feasibility argument.
+//! Compares the paper's measures (Jaccard, overlap) and the extensions
+//! (Dice, cosine) at bag-of-words (~70 features) and bag-of-concepts (~26
+//! mentions / ~5 unique) set sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use qatk_core::prelude::*;
+
+fn feature_set(n: usize, offset: u32) -> FeatureSet {
+    (0..n as u32).map(|i| i * 3 + offset).collect()
+}
+
+fn bench_similarity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("similarity");
+    for &(label, size) in &[("bag-of-concepts", 5usize), ("bag-of-words", 70usize)] {
+        let a = feature_set(size, 0);
+        let b = feature_set(size, 1); // partial overlap via stride collisions
+        for measure in SimilarityMeasure::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(measure.label(), label),
+                &(&a, &b),
+                |bench, (a, b)| bench.iter(|| black_box(measure.score(a, b))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_similarity);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Storage-engine microbenchmarks: insert throughput, indexed point lookup
+//! vs full scan, and snapshot round-trip — the access paths QATK leans on
+//! when it keeps kNN instances "on disk ... with on-the-fly access" (§2.2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use qatk_store::prelude::*;
+
+fn sample_table(rows: usize, with_index: bool) -> Table {
+    let schema = SchemaBuilder::new()
+        .pk("id", DataType::Int)
+        .col("part_id", DataType::Text)
+        .col("report", DataType::Text)
+        .build()
+        .unwrap();
+    let mut t = Table::new("bundles", schema);
+    for i in 0..rows as i64 {
+        t.insert(row![
+            i,
+            format!("P-{:02}", i % 31),
+            format!("supplier report body number {i} with some text")
+        ])
+        .unwrap();
+    }
+    if with_index {
+        t.create_index("by_part", "part_id", IndexKind::Hash).unwrap();
+    }
+    t
+}
+
+fn bench_store(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store");
+
+    group.bench_function("insert/1000-rows", |b| {
+        b.iter(|| black_box(sample_table(1000, false).len()))
+    });
+
+    for &rows in &[1_000usize, 10_000] {
+        let indexed = sample_table(rows, true);
+        let plain = sample_table(rows, false);
+        let key = Value::from("P-07");
+        group.bench_with_input(
+            BenchmarkId::new("lookup-indexed", rows),
+            &indexed,
+            |b, t| b.iter(|| black_box(t.lookup("part_id", &key).unwrap().len())),
+        );
+        group.bench_with_input(BenchmarkId::new("lookup-scan", rows), &plain, |b, t| {
+            b.iter(|| black_box(t.lookup("part_id", &key).unwrap().len()))
+        });
+    }
+
+    let mut db = Database::new();
+    let schema = SchemaBuilder::new()
+        .pk("id", DataType::Int)
+        .col("text", DataType::Text)
+        .build()
+        .unwrap();
+    db.create_table("t", schema).unwrap();
+    for i in 0..5_000i64 {
+        db.insert("t", row![i, format!("row {i}")]).unwrap();
+    }
+    group.bench_function("snapshot-roundtrip/5000-rows", |b| {
+        b.iter(|| {
+            let bytes = db.to_bytes();
+            black_box(Database::from_bytes(&bytes).unwrap().total_rows())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_store);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Experiment E5 — regenerates the **§4.5.3 annotator-coverage comparison**:
+//! "the original taxonomy annotator does not recognize any taxonomy concepts
+//! in 2530 out of the 7500 data bundles, but the new annotator finds
+//! concepts in all of these."
+//!
+//! Run: `cargo run --release -p qatk-bench --bin annotator_coverage [-- --small]`
+
+use qatk_bench::{print_vs, HarnessArgs};
+use qatk_corpus::bundle::SourceSelection;
+use qatk_taxonomy::concept::Lang;
+use qatk_text::prelude::*;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let corpus = args.corpus();
+    let tax = &corpus.taxonomy.taxonomy;
+
+    let tokenizer = WhitespaceTokenizer::new();
+    let optimized = ConceptAnnotator::new(tax);
+    // the legacy annotator was single-language, case-sensitive, single-word
+    let legacy = LegacyAnnotator::new(tax, Lang::De);
+
+    let mut legacy_zero = 0usize;
+    let mut optimized_zero = 0usize;
+    let mut legacy_mentions = 0usize;
+    let mut optimized_mentions = 0usize;
+    for b in &corpus.bundles {
+        let mut cas = b.to_cas(SourceSelection::Training);
+        tokenizer.process(&mut cas).unwrap();
+
+        let mut legacy_cas = cas.clone();
+        legacy.process(&mut legacy_cas).unwrap();
+        let n_legacy = legacy_cas.concept_mentions().count();
+        legacy_mentions += n_legacy;
+        if n_legacy == 0 {
+            legacy_zero += 1;
+        }
+
+        optimized.process(&mut cas).unwrap();
+        let n_opt = cas.concept_mentions().count();
+        optimized_mentions += n_opt;
+        if n_opt == 0 {
+            optimized_zero += 1;
+        }
+    }
+
+    let n = corpus.bundles.len();
+    println!("\n== §4.5.3 annotator coverage over {n} bundles ==");
+    print_vs(
+        "legacy annotator: bundles w/o any concept",
+        "2530/7500",
+        &format!("{legacy_zero}/{n}"),
+    );
+    print_vs(
+        "optimized annotator: bundles w/o any concept",
+        "0",
+        &format!("{optimized_zero}"),
+    );
+    print_vs(
+        "optimized mentions per bundle (mean)",
+        "~26",
+        &format!("{:.1}", optimized_mentions as f64 / n as f64),
+    );
+    println!(
+        "legacy mentions per bundle (mean):          {:.1}",
+        legacy_mentions as f64 / n as f64
+    );
+    println!("\n-- shape checks --");
+    println!(
+        "optimized strictly higher recall: {}",
+        optimized_mentions > legacy_mentions * 2
+    );
+    println!("optimized covers every bundle:    {}", optimized_zero == 0);
+    println!(
+        "legacy misses a large fraction:   {} ({:.0}%)",
+        legacy_zero * 5 > n,
+        legacy_zero as f64 / n as f64 * 100.0
+    );
+}

@@ -1,0 +1,58 @@
+//! Experiment E6 — regenerates the **§3.2 data-statistics table**:
+//! paper-vs-measured for every population statistic of the data set.
+//!
+//! Run: `cargo run --release -p qatk-bench --bin data_stats [-- --small]`
+
+use qatk_bench::{print_vs, HarnessArgs};
+use qatk_corpus::stats::CorpusStats;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let corpus = args.corpus();
+    let got = CorpusStats::compute(&corpus);
+    let paper = CorpusStats::paper_reference();
+
+    println!("\n== §3.2 data statistics: paper vs generated corpus ==");
+    print_vs("data bundles", &paper.n_bundles.to_string(), &got.n_bundles.to_string());
+    print_vs("distinct part IDs", &paper.n_part_ids.to_string(), &got.n_part_ids.to_string());
+    print_vs(
+        "distinct article codes",
+        &paper.n_article_codes.to_string(),
+        &got.n_article_codes.to_string(),
+    );
+    print_vs(
+        "distinct error codes",
+        &paper.n_error_codes.to_string(),
+        &got.n_error_codes.to_string(),
+    );
+    print_vs(
+        "singleton error codes",
+        &paper.singleton_codes.to_string(),
+        &got.singleton_codes.to_string(),
+    );
+    print_vs(
+        "usable classes (non-singleton)",
+        &paper.usable_classes.to_string(),
+        &got.usable_classes.to_string(),
+    );
+    print_vs(
+        "usable bundles",
+        &paper.usable_bundles.to_string(),
+        &got.usable_bundles.to_string(),
+    );
+    print_vs(
+        "max distinct codes for one part ID",
+        &paper.max_codes_per_part.to_string(),
+        &got.max_codes_per_part.to_string(),
+    );
+    print_vs(
+        "part IDs with > 10 codes",
+        &format!("{} of 31", paper.parts_with_over_10_codes),
+        &format!("{} of {}", got.parts_with_over_10_codes, got.n_part_ids),
+    );
+    print_vs(
+        "mean words per bundle",
+        &format!("~{:.0}", paper.avg_words_per_bundle),
+        &format!("{:.1}", got.avg_words_per_bundle),
+    );
+}

@@ -1,0 +1,80 @@
+//! Experiment E2 — regenerates **Figure 12** (paper §5.3): classification on
+//! test bundles that include only the *mechanic report* (knowledge base
+//! still trained on all reports). Expected shape: all four variants fall
+//! below the code-frequency baseline at k=1 (paper: 16–29 % vs 35 %).
+//!
+//! Run: `cargo run --release -p qatk-bench --bin fig12 [-- --small]`
+
+use qatk_bench::{pct, print_curves, print_vs, HarnessArgs};
+use qatk_core::prelude::*;
+use qatk_corpus::bundle::SourceSelection;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let corpus = args.corpus();
+
+    let variants = [
+        (FeatureModel::BagOfWords, SimilarityMeasure::Jaccard),
+        (FeatureModel::BagOfWords, SimilarityMeasure::Overlap),
+        (FeatureModel::BagOfConcepts, SimilarityMeasure::Jaccard),
+        (FeatureModel::BagOfConcepts, SimilarityMeasure::Overlap),
+    ];
+    let mut results = Vec::new();
+    for (model, measure) in variants {
+        let config = ClassifierConfig {
+            model,
+            measure,
+            test_selection: SourceSelection::MechanicOnly,
+            ..ClassifierConfig::default()
+        };
+        eprintln!("running MR {} ...", config.label());
+        results.push(run_experiment(&corpus, &config));
+    }
+
+    let mut curves: Vec<&AccuracyCurve> = results.iter().map(|r| &r.classifier).collect();
+    curves.push(&results[0].code_frequency);
+    curves.push(&results[0].candidate_set);
+    curves.push(&results[2].candidate_set);
+    print_curves("Figure 12 — Experiment 2: mechanic reports only", &curves);
+
+    println!("\n-- paper reference points (§5.3.1) --");
+    print_vs(
+        "all variants @1 (range)",
+        "16-29%",
+        &format!(
+            "{}..{}",
+            pct(results
+                .iter()
+                .map(|r| r.classifier.at(1).unwrap())
+                .fold(f64::INFINITY, f64::min)),
+            pct(results
+                .iter()
+                .map(|r| r.classifier.at(1).unwrap())
+                .fold(0.0, f64::max))
+        ),
+    );
+    print_vs(
+        "code-frequency baseline @1",
+        "35%",
+        &pct(results[0].code_frequency.at(1).unwrap()),
+    );
+
+    println!("\n-- shape checks --");
+    let freq1 = results[0].code_frequency.at(1).unwrap();
+    for r in &results {
+        let a1 = r.classifier.at(1).unwrap();
+        println!(
+            "{:30} @1 {} below frequency baseline ({}): {}",
+            r.config_label,
+            pct(a1),
+            pct(freq1),
+            a1 < freq1
+        );
+    }
+    // BoW still slightly better than BoC (paper: "the bag-of-word models
+    // perform slightly better than the bag-of-concept models")
+    println!(
+        "bow@1 >= boc@1 (jaccard):  {}",
+        results[0].classifier.at(1).unwrap() >= results[2].classifier.at(1).unwrap()
+    );
+}

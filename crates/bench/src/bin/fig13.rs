@@ -1,0 +1,79 @@
+//! Experiment E3 — regenerates **Figure 13** (paper §5.3): classification on
+//! test bundles that include only the *supplier report*. Expected shape:
+//! accuracies nearly as good as with all reports (paper: BoW+Jaccard 78 % @1,
+//! > 90 % from k=5 for BoW / k=10 for BoC; BoC+overlap ≈ frequency baseline).
+//!
+//! Run: `cargo run --release -p qatk-bench --bin fig13 [-- --small]`
+
+use qatk_bench::{pct, print_curves, print_vs, HarnessArgs};
+use qatk_core::prelude::*;
+use qatk_corpus::bundle::SourceSelection;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let corpus = args.corpus();
+
+    let variants = [
+        (FeatureModel::BagOfWords, SimilarityMeasure::Jaccard),
+        (FeatureModel::BagOfWords, SimilarityMeasure::Overlap),
+        (FeatureModel::BagOfConcepts, SimilarityMeasure::Jaccard),
+        (FeatureModel::BagOfConcepts, SimilarityMeasure::Overlap),
+    ];
+    let mut results = Vec::new();
+    for (model, measure) in variants {
+        let config = ClassifierConfig {
+            model,
+            measure,
+            test_selection: SourceSelection::SupplierOnly,
+            ..ClassifierConfig::default()
+        };
+        eprintln!("running SR {} ...", config.label());
+        results.push(run_experiment(&corpus, &config));
+    }
+    // the all-reports run for the "nearly as good" comparison
+    eprintln!("running all-reports reference (bow+jaccard) ...");
+    let full = run_experiment(
+        &corpus,
+        &ClassifierConfig {
+            model: FeatureModel::BagOfWords,
+            ..ClassifierConfig::default()
+        },
+    );
+
+    let mut curves: Vec<&AccuracyCurve> = results.iter().map(|r| &r.classifier).collect();
+    curves.push(&results[0].code_frequency);
+    curves.push(&results[0].candidate_set);
+    print_curves("Figure 13 — Experiment 2: supplier reports only", &curves);
+
+    println!("\n-- paper reference points (§5.3.1) --");
+    print_vs(
+        "SR bag-of-words+jaccard @1",
+        "78%",
+        &pct(results[0].classifier.at(1).unwrap()),
+    );
+    print_vs(
+        "SR bag-of-words @5 (>90%)",
+        ">90%",
+        &pct(results[0].classifier.at(5).unwrap()),
+    );
+    print_vs(
+        "SR bag-of-concepts @10 (>90%)",
+        ">90%",
+        &pct(results[2].classifier.at(10).unwrap()),
+    );
+
+    println!("\n-- shape checks --");
+    let sr1 = results[0].classifier.at(1).unwrap();
+    let full1 = full.classifier.at(1).unwrap();
+    println!(
+        "supplier-only ≈ all-reports @1: {} vs {} (gap {})",
+        pct(sr1),
+        pct(full1),
+        pct((full1 - sr1).abs())
+    );
+    println!(
+        "boc+overlap resembles frequency baseline @1: {} vs {}",
+        pct(results[3].classifier.at(1).unwrap()),
+        pct(results[0].code_frequency.at(1).unwrap())
+    );
+}

@@ -1,0 +1,74 @@
+//! Supplementary analysis: per-part-ID accuracy breakdown of the Fig. 11
+//! configuration — which part types classify well, and how accuracy relates
+//! to the size of a part's error-code pool. Not a paper figure; supports the
+//! §3.2 observation that the classification difficulty is driven by the
+//! per-part class counts.
+//!
+//! Run: `cargo run --release -p qatk-bench --bin part_report [-- --small]`
+
+use qatk_bench::{pct, HarnessArgs};
+use qatk_core::prelude::*;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let corpus = args.corpus();
+    let config = ClassifierConfig {
+        model: FeatureModel::BagOfConcepts,
+        ..ClassifierConfig::default()
+    };
+    eprintln!("running {} ...", config.label());
+    let r = run_experiment(&corpus, &config);
+
+    println!("\n== per-part accuracy (bag-of-concepts + jaccard) ==");
+    println!(
+        "{:8} {:>8} {:>8} {:>8} {:>8}",
+        "part", "tested", "@1", "@10", "codes"
+    );
+    let mut rows: Vec<_> = r.per_part.iter().collect();
+    rows.sort_by(|a, b| {
+        b.1.at(1)
+            .unwrap_or(0.0)
+            .total_cmp(&a.1.at(1).unwrap_or(0.0))
+    });
+    for (part, curve, tested) in &rows {
+        let pool = corpus
+            .world
+            .codes_by_part
+            .get(part.as_str())
+            .map(Vec::len)
+            .unwrap_or(0);
+        println!(
+            "{:8} {:>8} {:>8} {:>8} {:>8}",
+            part,
+            tested,
+            pct(curve.at(1).unwrap_or(0.0)),
+            pct(curve.at(10).unwrap_or(0.0)),
+            pool
+        );
+    }
+    println!(
+        "\noverall @1 {} / @10 {} over {} bundles",
+        pct(r.classifier.at(1).unwrap()),
+        pct(r.classifier.at(10).unwrap()),
+        r.total_tested
+    );
+    // the shape worth checking: bigger pools are harder at k=1
+    let (big, small): (Vec<_>, Vec<_>) = rows.iter().partition(|(p, _, _)| {
+        corpus
+            .world
+            .codes_by_part
+            .get(p.as_str())
+            .is_some_and(|c| c.len() > 40)
+    });
+    let avg = |set: &[&&(String, AccuracyCurve, usize)]| {
+        if set.is_empty() {
+            return 0.0;
+        }
+        set.iter().filter_map(|(_, c, _)| c.at(1)).sum::<f64>() / set.len() as f64
+    };
+    println!(
+        "mean @1 for parts with >40 codes: {} — with <=40 codes: {}",
+        pct(avg(&big.iter().collect::<Vec<_>>())),
+        pct(avg(&small.iter().collect::<Vec<_>>()))
+    );
+}

@@ -1,0 +1,54 @@
+//! Run the complete reproduction suite — every table and figure of the
+//! paper's evaluation plus the extra ablations — in one go, in the order
+//! the paper presents them. Equivalent to invoking each harness binary by
+//! hand; see DESIGN.md §3 for the experiment index and EXPERIMENTS.md for a
+//! recorded run.
+//!
+//! Run: `cargo run --release -p qatk-bench --bin repro_all [-- --small]`
+
+use std::process::{Command, ExitCode};
+
+const HARNESSES: &[(&str, &str)] = &[
+    ("data_stats", "§3.2 data statistics"),
+    ("annotator_coverage", "§4.5.3 annotator coverage"),
+    ("fig11", "Figure 11 — Experiment 1 (all reports)"),
+    ("fig12", "Figure 12 — Experiment 2 (mechanic only)"),
+    ("fig13", "Figure 13 — Experiment 2 (supplier only)"),
+    ("runtime_table", "§5.2.2 runtime table"),
+    ("fig14", "Figure 14 — §5.4 cross-source comparison"),
+    ("part_report", "per-part breakdown (supplementary)"),
+    ("ablations", "design-choice ablations (supplementary)"),
+];
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let exe_dir = std::env::current_exe()
+        .ok()
+        .and_then(|p| p.parent().map(std::path::Path::to_path_buf))
+        .expect("current executable has a directory");
+
+    for (bin, title) in HARNESSES {
+        println!("\n################################################################");
+        println!("## {title}");
+        println!("################################################################");
+        let path = exe_dir.join(bin);
+        let status = Command::new(&path).args(&args).status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("harness {bin} failed with {s}");
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!(
+                    "could not launch {} ({e}); build the bench crate first: \
+                     cargo build --release -p qatk-bench",
+                    path.display()
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    println!("\nreproduction suite complete.");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,72 @@
+//! Experiment E4 — regenerates the **§5.2.2 runtime discussion** as a table:
+//! per-fold wall time and per-bundle latency for bag-of-words,
+//! bag-of-concepts and bag-of-words-without-stopwords, plus the
+//! accuracy-neutrality of stopword removal.
+//!
+//! Paper reference (absolute numbers are testbed-specific; the *ratios* are
+//! the reproduction target): BoW ≈ 11 min/fold ≈ 0.5 s/bundle; BoC ≈ 3
+//! min/fold ≈ 0.14 s/bundle (≈ 3.6× faster); BoW−stopwords ≈ 7 min/fold ≈
+//! 0.3 s/bundle (≈ 1.7× faster than BoW) at unchanged accuracy.
+//!
+//! Run: `cargo run --release -p qatk-bench --bin runtime_table [-- --small]`
+
+use qatk_bench::{pct, HarnessArgs};
+use qatk_core::prelude::*;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let corpus = args.corpus();
+
+    let models = [
+        FeatureModel::BagOfWords,
+        FeatureModel::BagOfWordsNoStop,
+        FeatureModel::BagOfConcepts,
+    ];
+    let mut results = Vec::new();
+    for model in models {
+        let config = ClassifierConfig {
+            model,
+            ..ClassifierConfig::default()
+        };
+        eprintln!("running {} ...", config.label());
+        results.push(run_experiment(&corpus, &config));
+    }
+
+    println!("\n== §5.2.2 runtime table (jaccard, all reports) ==");
+    println!(
+        "{:24} {:>14} {:>16} {:>10} {:>10} {:>12}",
+        "variant", "s/fold (mean)", "s/bundle", "acc@1", "acc@10", "features/b"
+    );
+    for r in &results {
+        let mean_fold = r.fold_seconds.iter().sum::<f64>() / r.fold_seconds.len() as f64;
+        println!(
+            "{:24} {:>14.2} {:>16.5} {:>10} {:>10} {:>12.1}",
+            r.config_label,
+            mean_fold,
+            r.seconds_per_bundle,
+            pct(r.classifier.at(1).unwrap()),
+            pct(r.classifier.at(10).unwrap()),
+            r.mean_features_per_bundle
+        );
+    }
+
+    let bow = &results[0];
+    let nostop = &results[1];
+    let boc = &results[2];
+    println!("\n-- ratios (paper in parentheses) --");
+    println!(
+        "bow / boc latency:        {:.1}x  (paper ≈ 3.6x)",
+        bow.seconds_per_bundle / boc.seconds_per_bundle
+    );
+    println!(
+        "bow / bow-nostop latency: {:.1}x  (paper ≈ 1.7x)",
+        bow.seconds_per_bundle / nostop.seconds_per_bundle
+    );
+    let d1 = (bow.classifier.at(1).unwrap() - nostop.classifier.at(1).unwrap()).abs();
+    let d10 = (bow.classifier.at(10).unwrap() - nostop.classifier.at(10).unwrap()).abs();
+    println!(
+        "stopword removal accuracy delta: @1 {} / @10 {} (paper: no impact)",
+        pct(d1),
+        pct(d10)
+    );
+}

@@ -1,0 +1,95 @@
+//! Shared harness utilities for the experiment binaries that regenerate the
+//! paper's tables and figures (see DESIGN.md §3 for the experiment index).
+
+use qatk_core::pipeline::AccuracyCurve;
+use qatk_corpus::generator::{Corpus, CorpusConfig};
+
+/// Parse harness CLI flags shared by all figure binaries.
+///
+/// * `--small` — run on a fast reduced corpus (shape only, for smoke runs);
+/// * `--seed N` — override the corpus seed.
+#[derive(Debug, Clone, Copy)]
+pub struct HarnessArgs {
+    pub small: bool,
+    pub seed: u64,
+}
+
+impl HarnessArgs {
+    pub fn parse() -> Self {
+        let mut small = false;
+        let mut seed = CorpusConfig::default().seed;
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--small" => small = true,
+                "--seed" => {
+                    seed = args
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .expect("--seed needs a number");
+                }
+                other => panic!("unknown flag {other} (supported: --small, --seed N)"),
+            }
+        }
+        HarnessArgs { small, seed }
+    }
+
+    /// The corpus for this harness run.
+    pub fn corpus(&self) -> Corpus {
+        let config = if self.small {
+            CorpusConfig {
+                n_bundles: 1500,
+                pool_scale: 0.2,
+                seed: self.seed,
+                ..CorpusConfig::default()
+            }
+        } else {
+            CorpusConfig {
+                seed: self.seed,
+                ..CorpusConfig::default()
+            }
+        };
+        eprintln!(
+            "generating corpus (n_bundles={}, pool_scale={}, seed={:#x}) ...",
+            config.n_bundles, config.pool_scale, config.seed
+        );
+        Corpus::generate(config)
+    }
+}
+
+/// Format a fraction as a percent string.
+pub fn pct(x: f64) -> String {
+    format!("{:5.1}%", x * 100.0)
+}
+
+/// Print a figure-style table: one row per curve, one column per k.
+pub fn print_curves(title: &str, curves: &[&AccuracyCurve]) {
+    println!("\n== {title} ==");
+    if curves.is_empty() {
+        return;
+    }
+    let ks = &curves[0].ks;
+    let label_w = curves
+        .iter()
+        .map(|c| c.label.len())
+        .max()
+        .unwrap_or(10)
+        .max(8);
+    print!("{:label_w$}", "");
+    for k in ks {
+        print!("  @{k:<5}");
+    }
+    println!();
+    for c in curves {
+        print!("{:label_w$}", c.label);
+        for a in &c.accuracy {
+            print!("  {}", pct(*a));
+        }
+        println!();
+    }
+}
+
+/// Print a paper-vs-measured pair of values.
+pub fn print_vs(metric: &str, paper: &str, measured: &str) {
+    println!("{metric:42} paper: {paper:>10}   measured: {measured:>10}");
+}

@@ -1,0 +1,157 @@
+//! Paired bootstrap significance testing.
+//!
+//! The paper compares variant accuracies without error bars; on a synthetic
+//! corpus we can do better. Two variants evaluated on the *same* test
+//! bundles yield paired per-item outcomes; the bootstrap resamples items to
+//! estimate a confidence interval for the accuracy difference and a
+//! two-sided p-value for "variant A differs from variant B".
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Result of a paired bootstrap comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BootstrapResult {
+    /// Observed accuracy difference (a − b).
+    pub observed_diff: f64,
+    /// Bootstrap 95 % confidence interval for the difference.
+    pub ci_low: f64,
+    pub ci_high: f64,
+    /// Two-sided p-value for the null hypothesis "no difference".
+    pub p_value: f64,
+    /// Resamples drawn.
+    pub iterations: usize,
+}
+
+impl BootstrapResult {
+    /// Significant at the 5 % level?
+    pub fn significant(&self) -> bool {
+        self.p_value < 0.05
+    }
+}
+
+/// Paired bootstrap over per-item hit indicators (`true` = correct within
+/// the k under study). Panics if the slices differ in length or are empty —
+/// pairing is the whole point.
+pub fn paired_bootstrap(
+    hits_a: &[bool],
+    hits_b: &[bool],
+    iterations: usize,
+    seed: u64,
+) -> BootstrapResult {
+    assert_eq!(
+        hits_a.len(),
+        hits_b.len(),
+        "paired bootstrap needs aligned outcome vectors"
+    );
+    assert!(!hits_a.is_empty(), "no outcomes to resample");
+    let n = hits_a.len();
+    let observed = mean(hits_a) - mean(hits_b);
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut diffs = Vec::with_capacity(iterations);
+    for _ in 0..iterations {
+        let mut a = 0usize;
+        let mut b = 0usize;
+        for _ in 0..n {
+            let i = rng.random_range(0..n);
+            a += usize::from(hits_a[i]);
+            b += usize::from(hits_b[i]);
+        }
+        diffs.push((a as f64 - b as f64) / n as f64);
+    }
+    diffs.sort_by(f64::total_cmp);
+    let lo_idx = ((iterations as f64) * 0.025) as usize;
+    let hi_idx = (((iterations as f64) * 0.975) as usize).min(iterations - 1);
+
+    // two-sided p-value: how often does the resampled difference, centered
+    // on the null, reach the observed magnitude?
+    let centered_extreme = diffs
+        .iter()
+        .filter(|&&d| (d - observed).abs() >= observed.abs())
+        .count();
+    let p_value = (centered_extreme as f64 + 1.0) / (iterations as f64 + 1.0);
+
+    BootstrapResult {
+        observed_diff: observed,
+        ci_low: diffs[lo_idx],
+        ci_high: diffs[hi_idx],
+        p_value: p_value.min(1.0),
+        iterations,
+    }
+}
+
+/// Turn per-item ranks (as produced by
+/// [`crate::pipeline::ExperimentResult::ranks`]) into hit indicators at `k`.
+pub fn hits_at_k(ranks: &[(usize, Option<usize>)], k: usize) -> Vec<bool> {
+    ranks
+        .iter()
+        .map(|(_, r)| r.is_some_and(|x| x < k))
+        .collect()
+}
+
+fn mean(hits: &[bool]) -> f64 {
+    hits.iter().filter(|&&h| h).count() as f64 / hits.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_variants_are_not_significant() {
+        let hits = vec![true, false, true, true, false, true, false, true];
+        let r = paired_bootstrap(&hits, &hits, 500, 1);
+        assert_eq!(r.observed_diff, 0.0);
+        assert!(!r.significant(), "p = {}", r.p_value);
+        assert!(r.ci_low <= 0.0 && 0.0 <= r.ci_high);
+    }
+
+    #[test]
+    fn clear_difference_is_significant() {
+        // A correct on 90 % of 200 items, B on 40 % — overwhelming
+        let hits_a: Vec<bool> = (0..200).map(|i| i % 10 != 0).collect();
+        let hits_b: Vec<bool> = (0..200).map(|i| i % 5 < 2).collect();
+        let r = paired_bootstrap(&hits_a, &hits_b, 1000, 2);
+        assert!(r.observed_diff > 0.4);
+        assert!(r.significant(), "p = {}", r.p_value);
+        assert!(r.ci_low > 0.0);
+    }
+
+    #[test]
+    fn tiny_difference_on_small_sample_is_not() {
+        let hits_a = vec![true, true, false, true, false];
+        let hits_b = vec![true, false, true, true, false];
+        let r = paired_bootstrap(&hits_a, &hits_b, 1000, 3);
+        assert!(!r.significant(), "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = vec![true, false, true, true];
+        let b = vec![false, false, true, true];
+        let r1 = paired_bootstrap(&a, &b, 300, 9);
+        let r2 = paired_bootstrap(&a, &b, 300, 9);
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn hits_at_k_thresholds() {
+        let ranks = vec![(0, Some(0)), (1, Some(4)), (2, Some(10)), (3, None)];
+        assert_eq!(hits_at_k(&ranks, 1), vec![true, false, false, false]);
+        assert_eq!(hits_at_k(&ranks, 5), vec![true, true, false, false]);
+        assert_eq!(hits_at_k(&ranks, 25), vec![true, true, true, false]);
+    }
+
+    #[test]
+    #[should_panic(expected = "aligned outcome")]
+    fn mismatched_lengths_panic() {
+        paired_bootstrap(&[true], &[true, false], 10, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no outcomes")]
+    fn empty_panics() {
+        paired_bootstrap(&[], &[], 10, 0);
+    }
+}

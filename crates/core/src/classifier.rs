@@ -1,0 +1,308 @@
+//! The ranked-list kNN classifier.
+//!
+//! Paper §4.3: instead of majority vote, "we output a list of all potential
+//! error keys ranked by the distance of the knowledge base instances to the
+//! data bundle, then cut off the list at k for initial presentation ... We
+//! retrieve the error codes of the 25 best-scored candidate nodes. For each
+//! of these error codes, we assign an error code with associated score."
+//! This sidesteps standard kNN's sensitivity to local data structures
+//! (Fig. 6) because no single k decides the answer.
+
+use crate::features::FeatureSet;
+use crate::knowledge::KnowledgeBase;
+use crate::similarity::SimilarityMeasure;
+
+/// One recommendation: an error code with its best similarity score.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoredCode {
+    pub code: String,
+    pub score: f64,
+}
+
+/// Ranked-list kNN over a knowledge base.
+#[derive(Debug, Clone, Copy)]
+pub struct RankedKnn {
+    /// How many best-scored *nodes* contribute codes (paper: 25).
+    pub top_nodes: usize,
+    pub measure: SimilarityMeasure,
+}
+
+impl Default for RankedKnn {
+    fn default() -> Self {
+        RankedKnn {
+            top_nodes: 25,
+            measure: SimilarityMeasure::Jaccard,
+        }
+    }
+}
+
+impl RankedKnn {
+    pub fn new(measure: SimilarityMeasure) -> Self {
+        RankedKnn {
+            top_nodes: 25,
+            measure,
+        }
+    }
+
+    /// Produce the ranked error-code list for one data bundle.
+    ///
+    /// Steps (paper Fig. 5 + §4.3): candidate selection → pairwise scoring →
+    /// take the 25 best nodes → emit their codes, deduplicated (best score
+    /// wins), in descending score order. Ties break on code text so results
+    /// are deterministic.
+    pub fn rank(
+        &self,
+        kb: &KnowledgeBase,
+        part_id: &str,
+        features: &FeatureSet,
+    ) -> Vec<ScoredCode> {
+        let candidates = kb.candidates(part_id, features);
+        let mut scored: Vec<(f64, usize)> = candidates
+            .into_iter()
+            .map(|i| (self.measure.score(features, &kb.nodes()[i].features), i))
+            .collect();
+        // descending score; ties by node order for determinism
+        scored.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+        scored.truncate(self.top_nodes);
+
+        let mut out: Vec<ScoredCode> = Vec::with_capacity(scored.len());
+        for (score, idx) in scored {
+            let code = &kb.nodes()[idx].error_code;
+            match out.iter_mut().find(|s| &s.code == code) {
+                Some(existing) => {
+                    if score > existing.score {
+                        existing.score = score;
+                    }
+                }
+                None => out.push(ScoredCode {
+                    code: code.clone(),
+                    score,
+                }),
+            }
+        }
+        // dedup can disturb order only if a later duplicate improved a score;
+        // re-sort for the final ranking
+        out.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.code.cmp(&b.code)));
+        out
+    }
+
+    /// Rank position (0-based) of the true code in the recommendation list,
+    /// if present.
+    pub fn rank_of(&self, ranked: &[ScoredCode], truth: &str) -> Option<usize> {
+        ranked.iter().position(|s| s.code == truth)
+    }
+}
+
+/// The *standard* unweighted instance-based kNN of paper Fig. 6 — majority
+/// vote among the k nearest knowledge nodes. The paper implements the
+/// ranked-list variant instead because majority vote "becomes evident in
+/// Fig. 6 — the sensitivity to local data structures. For k = 6, the class
+/// assigned by majority vote is different from that for k = 15." This
+/// implementation exists to make that comparison executable (see the
+/// `ablations` harness).
+#[derive(Debug, Clone, Copy)]
+pub struct MajorityVoteKnn {
+    /// Number of nearest neighbours that vote.
+    pub k: usize,
+    pub measure: SimilarityMeasure,
+    /// Weight votes by similarity ("this majority vote can also be weighted
+    /// by the individual nearness of neighbors").
+    pub weighted: bool,
+}
+
+impl MajorityVoteKnn {
+    pub fn new(k: usize, measure: SimilarityMeasure) -> Self {
+        MajorityVoteKnn {
+            k,
+            measure,
+            weighted: false,
+        }
+    }
+
+    /// Classify one bundle: the single winning error code, or `None` when
+    /// there are no candidates at all.
+    pub fn classify(
+        &self,
+        kb: &KnowledgeBase,
+        part_id: &str,
+        features: &FeatureSet,
+    ) -> Option<String> {
+        let candidates = kb.candidates(part_id, features);
+        if candidates.is_empty() {
+            return None;
+        }
+        let mut scored: Vec<(f64, usize)> = candidates
+            .into_iter()
+            .map(|i| (self.measure.score(features, &kb.nodes()[i].features), i))
+            .collect();
+        scored.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+        scored.truncate(self.k);
+
+        let mut votes: Vec<(String, f64)> = Vec::new();
+        for (score, idx) in scored {
+            let code = &kb.nodes()[idx].error_code;
+            let weight = if self.weighted { score } else { 1.0 };
+            match votes.iter_mut().find(|(c, _)| c == code) {
+                Some((_, w)) => *w += weight,
+                None => votes.push((code.clone(), weight)),
+            }
+        }
+        votes
+            .into_iter()
+            .max_by(|a, b| a.1.total_cmp(&b.1).then(b.0.cmp(&a.0)))
+            .map(|(code, _)| code)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fs(ids: &[u32]) -> FeatureSet {
+        FeatureSet::from_unsorted(ids.to_vec())
+    }
+
+    fn kb() -> KnowledgeBase {
+        let mut kb = KnowledgeBase::new();
+        kb.insert("P-01", "E100", fs(&[1, 2, 3]));
+        kb.insert("P-01", "E200", fs(&[1, 2, 3, 4, 5, 6]));
+        kb.insert("P-01", "E300", fs(&[7, 8]));
+        kb.insert("P-01", "E100", fs(&[2, 3]));
+        kb.insert("P-02", "E900", fs(&[1, 2, 3]));
+        kb
+    }
+
+    #[test]
+    fn ranks_by_similarity() {
+        let knn = RankedKnn::new(SimilarityMeasure::Jaccard);
+        let ranked = knn.rank(&kb(), "P-01", &fs(&[1, 2, 3]));
+        // E100 node [1,2,3] scores 1.0; E200 scores 3/6; E300 shares nothing
+        assert_eq!(ranked[0].code, "E100");
+        assert!((ranked[0].score - 1.0).abs() < 1e-12);
+        assert_eq!(ranked[1].code, "E200");
+        assert!((ranked[1].score - 0.5).abs() < 1e-12);
+        assert_eq!(ranked.len(), 2); // E300 never becomes a candidate
+    }
+
+    #[test]
+    fn codes_deduplicated_with_best_score() {
+        let knn = RankedKnn::new(SimilarityMeasure::Jaccard);
+        let ranked = knn.rank(&kb(), "P-01", &fs(&[2, 3]));
+        // Two E100 nodes match; the exact [2,3] one scores 1.0
+        let e100 = ranked.iter().find(|s| s.code == "E100").unwrap();
+        assert!((e100.score - 1.0).abs() < 1e-12);
+        assert_eq!(ranked.iter().filter(|s| s.code == "E100").count(), 1);
+    }
+
+    #[test]
+    fn respects_part_filter() {
+        let knn = RankedKnn::new(SimilarityMeasure::Jaccard);
+        let ranked = knn.rank(&kb(), "P-01", &fs(&[1, 2, 3]));
+        assert!(ranked.iter().all(|s| s.code != "E900"));
+    }
+
+    #[test]
+    fn top_nodes_truncation() {
+        let mut kb = KnowledgeBase::new();
+        for i in 0..50 {
+            kb.insert("P-01", format!("E{i:03}"), fs(&[1, 100 + i]));
+        }
+        let knn = RankedKnn {
+            top_nodes: 25,
+            measure: SimilarityMeasure::Jaccard,
+        };
+        let ranked = knn.rank(&kb, "P-01", &fs(&[1]));
+        assert_eq!(ranked.len(), 25);
+    }
+
+    #[test]
+    fn overlap_vs_jaccard_ordering() {
+        let mut kb = KnowledgeBase::new();
+        kb.insert("P-01", "SMALL", fs(&[1, 2]));
+        kb.insert("P-01", "BIG", fs(&[1, 2, 3, 4, 5, 6, 7, 8]));
+        let q = fs(&[1, 2, 9]);
+        // Jaccard penalizes the big set less than overlap rewards small sets
+        let j = RankedKnn::new(SimilarityMeasure::Jaccard).rank(&kb, "P-01", &q);
+        assert_eq!(j[0].code, "SMALL"); // 2/3 vs 2/9
+        let o = RankedKnn::new(SimilarityMeasure::Overlap).rank(&kb, "P-01", &q);
+        assert_eq!(o[0].code, "SMALL"); // 2/2 vs 2/3
+        assert!((o[0].score - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_tiebreaks() {
+        let mut kb = KnowledgeBase::new();
+        kb.insert("P-01", "EB", fs(&[1]));
+        kb.insert("P-01", "EA", fs(&[1]));
+        let knn = RankedKnn::new(SimilarityMeasure::Jaccard);
+        let ranked = knn.rank(&kb, "P-01", &fs(&[1]));
+        // equal scores → code-lexicographic order
+        assert_eq!(ranked[0].code, "EA");
+        assert_eq!(ranked[1].code, "EB");
+    }
+
+    #[test]
+    fn rank_of_helper() {
+        let knn = RankedKnn::new(SimilarityMeasure::Jaccard);
+        let ranked = knn.rank(&kb(), "P-01", &fs(&[1, 2, 3]));
+        assert_eq!(knn.rank_of(&ranked, "E100"), Some(0));
+        assert_eq!(knn.rank_of(&ranked, "E200"), Some(1));
+        assert_eq!(knn.rank_of(&ranked, "E999"), None);
+    }
+
+    #[test]
+    fn majority_vote_is_k_sensitive() {
+        // Reconstructs the paper's Fig. 6 situation: the nearest few
+        // neighbours favour one class, the wider neighbourhood another —
+        // majority vote flips with k while the ranked list stays stable.
+        let mut kb = KnowledgeBase::new();
+        // 2 very close nodes of class A
+        kb.insert("P", "A", fs(&[1, 2, 3, 4]));
+        kb.insert("P", "A", fs(&[1, 2, 3, 5]));
+        // 4 farther nodes of class B
+        for i in 0..4 {
+            kb.insert("P", "B", fs(&[1, 100 + i]));
+        }
+        let q = fs(&[1, 2, 3, 4]);
+        let near = MajorityVoteKnn::new(2, SimilarityMeasure::Jaccard);
+        assert_eq!(near.classify(&kb, "P", &q).as_deref(), Some("A"));
+        let wide = MajorityVoteKnn::new(6, SimilarityMeasure::Jaccard);
+        assert_eq!(wide.classify(&kb, "P", &q).as_deref(), Some("B"));
+        // the ranked list puts A first regardless of any k choice
+        let ranked = RankedKnn::new(SimilarityMeasure::Jaccard).rank(&kb, "P", &q);
+        assert_eq!(ranked[0].code, "A");
+    }
+
+    #[test]
+    fn weighted_vote_resists_the_flip() {
+        let mut kb = KnowledgeBase::new();
+        kb.insert("P", "A", fs(&[1, 2, 3, 4]));
+        kb.insert("P", "A", fs(&[1, 2, 3, 5]));
+        for i in 0..4 {
+            kb.insert("P", "B", fs(&[1, 100 + i]));
+        }
+        let q = fs(&[1, 2, 3, 4]);
+        let weighted = MajorityVoteKnn {
+            k: 6,
+            measure: SimilarityMeasure::Jaccard,
+            weighted: true,
+        };
+        // similarity-weighted votes keep the near class on top
+        assert_eq!(weighted.classify(&kb, "P", &q).as_deref(), Some("A"));
+    }
+
+    #[test]
+    fn majority_vote_empty_cases() {
+        let knn = MajorityVoteKnn::new(5, SimilarityMeasure::Jaccard);
+        assert_eq!(knn.classify(&KnowledgeBase::new(), "P", &fs(&[1])), None);
+        let kb = kb();
+        assert_eq!(knn.classify(&kb, "P-01", &FeatureSet::default()), None);
+    }
+
+    #[test]
+    fn empty_query_or_kb() {
+        let knn = RankedKnn::default();
+        assert!(knn.rank(&KnowledgeBase::new(), "P-01", &fs(&[1])).is_empty());
+        assert!(knn.rank(&kb(), "P-01", &FeatureSet::default()).is_empty());
+    }
+}

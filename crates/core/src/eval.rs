@@ -1,0 +1,249 @@
+//! Evaluation machinery: Accuracy@k and stratified k-fold cross-validation.
+//!
+//! Paper §5.1: "we report accuracy defined as the percentage of test data
+//! which include the correct error code in the error code list at
+//! k <= 1, 5, 10, 15, 20 and 25" with "stratified 5-fold cross-validation on
+//! the 6782 data bundles whose error code appears more than once" — per
+//! class, 4/5 of the bundles train the knowledge base and 1/5 are tested.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// The paper's cut-off points.
+pub const PAPER_KS: [usize; 6] = [1, 5, 10, 15, 20, 25];
+
+/// Accumulates accuracy@k over a test run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccuracyCounter {
+    ks: Vec<usize>,
+    hits: Vec<usize>,
+    total: usize,
+}
+
+impl AccuracyCounter {
+    pub fn new(ks: &[usize]) -> Self {
+        AccuracyCounter {
+            ks: ks.to_vec(),
+            hits: vec![0; ks.len()],
+            total: 0,
+        }
+    }
+
+    /// Record one test bundle given the 0-based rank of the true code in
+    /// the recommendation list (`None` = not present at all).
+    pub fn record(&mut self, rank_of_truth: Option<usize>) {
+        self.total += 1;
+        if let Some(r) = rank_of_truth {
+            for (i, &k) in self.ks.iter().enumerate() {
+                if r < k {
+                    self.hits[i] += 1;
+                }
+            }
+        }
+    }
+
+    /// Merge another counter (e.g. across folds).
+    pub fn merge(&mut self, other: &AccuracyCounter) {
+        assert_eq!(self.ks, other.ks, "counters must share cut-offs");
+        for (h, o) in self.hits.iter_mut().zip(&other.hits) {
+            *h += o;
+        }
+        self.total += other.total;
+    }
+
+    /// Accuracy@k values aligned with the configured cut-offs.
+    pub fn accuracies(&self) -> Vec<f64> {
+        self.hits
+            .iter()
+            .map(|&h| {
+                if self.total == 0 {
+                    0.0
+                } else {
+                    h as f64 / self.total as f64
+                }
+            })
+            .collect()
+    }
+
+    pub fn ks(&self) -> &[usize] {
+        &self.ks
+    }
+
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Accuracy at one specific k.
+    pub fn at(&self, k: usize) -> Option<f64> {
+        self.ks
+            .iter()
+            .position(|&x| x == k)
+            .map(|i| self.accuracies()[i])
+    }
+}
+
+/// Stratified fold assignment: items of each class are shuffled and dealt
+/// round-robin over the folds, so every fold sees ~1/n of every class.
+///
+/// Returns `fold_of[item] ∈ 0..folds`. Classes with fewer items than folds
+/// simply appear in fewer folds (their training share stays maximal).
+pub fn stratified_folds<C: std::hash::Hash + Eq>(
+    classes: &[C],
+    folds: usize,
+    seed: u64,
+) -> Vec<usize> {
+    assert!(folds >= 2, "cross-validation needs at least 2 folds");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut by_class: HashMap<&C, Vec<usize>> = HashMap::new();
+    for (i, c) in classes.iter().enumerate() {
+        by_class.entry(c).or_default().push(i);
+    }
+    // deterministic iteration: sort class groups by their first item index
+    let mut groups: Vec<Vec<usize>> = by_class.into_values().collect();
+    groups.sort_by_key(|g| g[0]);
+
+    let mut fold_of = vec![0usize; classes.len()];
+    for mut group in groups {
+        group.shuffle(&mut rng);
+        // random phase so that fold 0 is not systematically favoured for
+        // classes smaller than the fold count
+        let phase = rng.random_range(0..folds);
+        for (j, item) in group.into_iter().enumerate() {
+            fold_of[item] = (phase + j) % folds;
+        }
+    }
+    fold_of
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn accuracy_at_k_counts_prefix_hits() {
+        let mut c = AccuracyCounter::new(&PAPER_KS);
+        c.record(Some(0)); // hit at every k
+        c.record(Some(4)); // hit at k>=5
+        c.record(Some(24)); // hit only at k=25
+        c.record(None); // miss
+        let acc = c.accuracies();
+        assert_eq!(c.total(), 4);
+        assert!((acc[0] - 0.25).abs() < 1e-12); // @1
+        assert!((acc[1] - 0.50).abs() < 1e-12); // @5
+        assert!((acc[5] - 0.75).abs() < 1e-12); // @25
+        assert_eq!(c.at(1), Some(0.25));
+        assert_eq!(c.at(25), Some(0.75));
+        assert_eq!(c.at(7), None);
+    }
+
+    #[test]
+    fn empty_counter_is_zero() {
+        let c = AccuracyCounter::new(&PAPER_KS);
+        assert!(c.accuracies().iter().all(|&a| a == 0.0));
+        assert_eq!(c.total(), 0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = AccuracyCounter::new(&[1, 5]);
+        a.record(Some(0));
+        let mut b = AccuracyCounter::new(&[1, 5]);
+        b.record(None);
+        b.record(Some(2));
+        a.merge(&b);
+        assert_eq!(a.total(), 3);
+        let acc = a.accuracies();
+        assert!((acc[0] - 1.0 / 3.0).abs() < 1e-12);
+        assert!((acc[1] - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "share cut-offs")]
+    fn merge_requires_same_ks() {
+        let mut a = AccuracyCounter::new(&[1]);
+        a.merge(&AccuracyCounter::new(&[2]));
+    }
+
+    #[test]
+    fn stratification_balances_classes() {
+        // 10 classes × 10 items
+        let classes: Vec<usize> = (0..100).map(|i| i % 10).collect();
+        let folds = stratified_folds(&classes, 5, 42);
+        assert_eq!(folds.len(), 100);
+        // each class contributes exactly 2 items to every fold
+        for class in 0..10 {
+            let mut per_fold = [0usize; 5];
+            for (i, &f) in folds.iter().enumerate() {
+                if classes[i] == class {
+                    per_fold[f] += 1;
+                }
+            }
+            assert_eq!(per_fold, [2, 2, 2, 2, 2], "class {class}: {per_fold:?}");
+        }
+    }
+
+    #[test]
+    fn pairs_split_across_folds() {
+        // classes with exactly 2 members land in 2 different folds, so each
+        // member is tested once with the other in training
+        let classes: Vec<usize> = (0..40).map(|i| i / 2).collect();
+        let folds = stratified_folds(&classes, 5, 7);
+        for class in 0..20 {
+            let fs: Vec<usize> = (0..40)
+                .filter(|&i| classes[i] == class)
+                .map(|i| folds[i])
+                .collect();
+            assert_ne!(fs[0], fs[1], "class {class} collapsed into one fold");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let classes: Vec<usize> = (0..50).map(|i| i % 7).collect();
+        assert_eq!(
+            stratified_folds(&classes, 5, 1),
+            stratified_folds(&classes, 5, 1)
+        );
+        assert_ne!(
+            stratified_folds(&classes, 5, 1),
+            stratified_folds(&classes, 5, 2)
+        );
+    }
+
+    #[test]
+    fn phases_spread_small_classes() {
+        // many 2-member classes: with random phases, all folds receive items
+        let classes: Vec<usize> = (0..200).map(|i| i / 2).collect();
+        let folds = stratified_folds(&classes, 5, 3);
+        let mut per_fold = [0usize; 5];
+        for &f in &folds {
+            per_fold[f] += 1;
+        }
+        for (f, &n) in per_fold.iter().enumerate() {
+            assert!(n > 20, "fold {f} starved: {per_fold:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 folds")]
+    fn one_fold_rejected() {
+        stratified_folds(&[1, 2, 3], 1, 0);
+    }
+
+    // Property-style check without proptest dependency weight here: random
+    // class vectors keep the invariant "fold ids in range".
+    #[test]
+    fn fold_ids_in_range() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..20 {
+            let n = rng.random_range(1..200);
+            let classes: Vec<u32> = (0..n).map(|_| rng.random_range(0..30)).collect();
+            let folds = stratified_folds(&classes, 5, rng.random());
+            assert!(folds.iter().all(|&f| f < 5));
+        }
+    }
+}

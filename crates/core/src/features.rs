@@ -1,0 +1,292 @@
+//! Feature sets and their extraction from processed CASes.
+//!
+//! The paper compares two data abstraction models (§4.3): the
+//! domain-ignorant **bag-of-words** ("we use all words in the text") and the
+//! domain-specific **bag-of-concepts** ("mentions of parts and errors as
+//! features ... concept mentions as attributes without distinguishing
+//! between types"). §5.2.2 adds the stopword-filtered bag-of-words variant.
+//! Features are *sets* — both similarity measures operate on shared/total
+//! attribute counts.
+
+use qatk_text::cas::Cas;
+use qatk_text::stopwords::StopwordList;
+
+use crate::interner::Interner;
+
+/// A sorted, deduplicated set of numeric features.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct FeatureSet(Vec<u32>);
+
+impl FeatureSet {
+    /// Build from arbitrary ids (sorts + dedups).
+    pub fn from_unsorted(mut ids: Vec<u32>) -> Self {
+        ids.sort_unstable();
+        ids.dedup();
+        FeatureSet(ids)
+    }
+
+    /// Number of distinct features.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.0.iter().copied()
+    }
+
+    pub fn contains(&self, id: u32) -> bool {
+        self.0.binary_search(&id).is_ok()
+    }
+
+    /// |A ∩ B| by merge scan over the sorted id arrays.
+    pub fn intersection_size(&self, other: &FeatureSet) -> usize {
+        let (mut i, mut j, mut n) = (0usize, 0usize, 0usize);
+        let (a, b) = (&self.0, &other.0);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    n += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        n
+    }
+
+    /// |A ∪ B| = |A| + |B| − |A ∩ B|.
+    pub fn union_size(&self, other: &FeatureSet) -> usize {
+        self.len() + other.len() - self.intersection_size(other)
+    }
+
+    /// True if the sets share at least one feature (early-exit merge scan).
+    pub fn intersects(&self, other: &FeatureSet) -> bool {
+        let (mut i, mut j) = (0usize, 0usize);
+        let (a, b) = (&self.0, &other.0);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => return true,
+            }
+        }
+        false
+    }
+
+    /// The raw sorted ids.
+    pub fn ids(&self) -> &[u32] {
+        &self.0
+    }
+}
+
+impl FromIterator<u32> for FeatureSet {
+    fn from_iter<T: IntoIterator<Item = u32>>(iter: T) -> Self {
+        FeatureSet::from_unsorted(iter.into_iter().collect())
+    }
+}
+
+/// The data abstraction model used for classification features.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FeatureModel {
+    /// All words (domain-ignorant).
+    BagOfWords,
+    /// All words minus German/English stopwords (§5.2.2 runtime variant).
+    BagOfWordsNoStop,
+    /// Taxonomy concept mentions (domain-specific).
+    BagOfConcepts,
+    /// Stemmed words minus stopwords — the "more linguistic preprocessing"
+    /// extension the paper's §6 future work calls for. Requires the
+    /// [`qatk_text::stemmer::StemAnnotator`] in the pipeline.
+    BagOfStems,
+}
+
+impl FeatureModel {
+    /// Display label matching the paper's figure legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            FeatureModel::BagOfWords => "bag-of-words",
+            FeatureModel::BagOfWordsNoStop => "bag-of-words-nostop",
+            FeatureModel::BagOfConcepts => "bag-of-concepts",
+            FeatureModel::BagOfStems => "bag-of-stems",
+        }
+    }
+}
+
+/// Word-feature space shared by all extractions of one experiment run.
+///
+/// Concepts don't need interning (their taxonomy ids are already dense);
+/// words do. One `FeatureSpace` per fold keeps ids consistent between
+/// training and test extraction.
+#[derive(Debug, Default, Clone)]
+pub struct FeatureSpace {
+    interner: Interner,
+    stopwords: Option<StopwordList>,
+}
+
+impl FeatureSpace {
+    pub fn new() -> Self {
+        FeatureSpace {
+            interner: Interner::new(),
+            stopwords: Some(StopwordList::german_and_english()),
+        }
+    }
+
+    /// Distinct word features seen so far.
+    pub fn vocabulary_size(&self) -> usize {
+        self.interner.len()
+    }
+
+    fn stopword(&mut self, tok: &str) -> bool {
+        self.stopwords
+            .get_or_insert_with(StopwordList::german_and_english)
+            .contains(tok)
+    }
+
+    /// Extract the feature set of a processed CAS under a model.
+    ///
+    /// * `BagOfWords*`: normalized tokens, interned.
+    /// * `BagOfConcepts`: concept ids of the mentions the annotator found,
+    ///   "without distinguishing between types of concepts".
+    pub fn extract(&mut self, cas: &Cas, model: FeatureModel) -> FeatureSet {
+        match model {
+            FeatureModel::BagOfWords => cas
+                .token_norms()
+                .iter()
+                .map(|t| self.interner.intern(t))
+                .collect(),
+            // stems arrive pre-stemmed in the token annotations (the
+            // StemAnnotator rewrote them); extraction itself is identical to
+            // the stopword-filtered word model
+            FeatureModel::BagOfStems | FeatureModel::BagOfWordsNoStop => {
+                let toks: Vec<String> = cas
+                    .token_norms()
+                    .iter()
+                    .map(|s| (*s).to_owned())
+                    .collect();
+                let mut ids = Vec::with_capacity(toks.len());
+                for t in &toks {
+                    if !self.stopword(t) {
+                        ids.push(self.interner.intern(t));
+                    }
+                }
+                FeatureSet::from_unsorted(ids)
+            }
+            FeatureModel::BagOfConcepts => cas
+                .concept_mentions()
+                .map(|(_, concept, _)| concept.0)
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qatk_taxonomy::builder::TaxonomyBuilder;
+    use qatk_taxonomy::concept::{ConceptKind, Lang};
+    use qatk_text::concept_annotator::ConceptAnnotator;
+    use qatk_text::engine::AnalysisEngine;
+    use qatk_text::tokenizer::WhitespaceTokenizer;
+
+    fn fs(ids: &[u32]) -> FeatureSet {
+        FeatureSet::from_unsorted(ids.to_vec())
+    }
+
+    #[test]
+    fn set_semantics() {
+        let a = fs(&[5, 1, 3, 5, 1]);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.ids(), &[1, 3, 5]);
+        assert!(a.contains(3));
+        assert!(!a.contains(2));
+        assert!(!a.is_empty());
+        assert!(FeatureSet::default().is_empty());
+    }
+
+    #[test]
+    fn intersection_and_union() {
+        let a = fs(&[1, 2, 3, 4]);
+        let b = fs(&[3, 4, 5]);
+        assert_eq!(a.intersection_size(&b), 2);
+        assert_eq!(a.union_size(&b), 5);
+        assert!(a.intersects(&b));
+        let c = fs(&[9, 10]);
+        assert_eq!(a.intersection_size(&c), 0);
+        assert!(!a.intersects(&c));
+        let empty = FeatureSet::default();
+        assert_eq!(a.intersection_size(&empty), 0);
+        assert_eq!(a.union_size(&empty), 4);
+    }
+
+    fn processed_cas(text: &str) -> Cas {
+        let mut b = TaxonomyBuilder::new("t");
+        let fan = b.root(ConceptKind::Component, "Fan");
+        b.term(fan, Lang::De, "Lüfter");
+        b.term(fan, Lang::En, "fan");
+        let melt = b.root(ConceptKind::Symptom, "Melt");
+        b.term(melt, Lang::De, "durchgeschmort");
+        let tax = b.build().unwrap();
+
+        let mut cas = Cas::new();
+        cas.add_segment("r", text);
+        WhitespaceTokenizer::new().process(&mut cas).unwrap();
+        ConceptAnnotator::new(&tax).process(&mut cas).unwrap();
+        cas
+    }
+
+    #[test]
+    fn bag_of_words_extraction() {
+        let cas = processed_cas("Der Lüfter ist defekt der Lüfter");
+        let mut space = FeatureSpace::new();
+        let f = space.extract(&cas, FeatureModel::BagOfWords);
+        // der, luefter, ist, defekt — set semantics collapse repeats
+        assert_eq!(f.len(), 4);
+        assert_eq!(space.vocabulary_size(), 4);
+    }
+
+    #[test]
+    fn stopword_filtering() {
+        let cas = processed_cas("Der Lüfter ist defekt");
+        let mut space = FeatureSpace::new();
+        let f = space.extract(&cas, FeatureModel::BagOfWordsNoStop);
+        // der, ist are stopwords
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    fn bag_of_concepts_extraction() {
+        let cas = processed_cas("Lüfter durchgeschmort, fan kaputt");
+        let mut space = FeatureSpace::new();
+        let f = space.extract(&cas, FeatureModel::BagOfConcepts);
+        // fan + melt concepts; "Lüfter" and "fan" collapse to one id
+        assert_eq!(f.len(), 2);
+        // concept extraction does not grow the word vocabulary
+        assert_eq!(space.vocabulary_size(), 0);
+    }
+
+    #[test]
+    fn shared_space_aligns_train_and_test() {
+        let cas_a = processed_cas("Kontakt defekt");
+        let cas_b = processed_cas("Kontakt verschmort");
+        let mut space = FeatureSpace::new();
+        let fa = space.extract(&cas_a, FeatureModel::BagOfWords);
+        let fb = space.extract(&cas_b, FeatureModel::BagOfWords);
+        assert_eq!(fa.intersection_size(&fb), 1); // "kontakt"
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(FeatureModel::BagOfWords.label(), "bag-of-words");
+        assert_eq!(FeatureModel::BagOfConcepts.label(), "bag-of-concepts");
+        assert_eq!(
+            FeatureModel::BagOfWordsNoStop.label(),
+            "bag-of-words-nostop"
+        );
+    }
+}

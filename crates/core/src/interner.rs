@@ -1,0 +1,99 @@
+//! String interning for word features.
+//!
+//! The bag-of-words model needs a compact numeric feature space; interning
+//! normalized tokens once keeps feature sets as sorted `u32` arrays and makes
+//! pairwise similarity a merge-scan rather than string hashing (the paper's
+//! §5.2.2 feasibility concern is exactly the cost of these comparisons).
+
+use std::collections::HashMap;
+
+/// Append-only string interner.
+#[derive(Debug, Default, Clone)]
+pub struct Interner {
+    map: HashMap<String, u32>,
+    names: Vec<String>,
+}
+
+impl Interner {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern a string, returning its stable id.
+    pub fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&id) = self.map.get(s) {
+            return id;
+        }
+        let id = self.names.len() as u32;
+        self.names.push(s.to_owned());
+        self.map.insert(s.to_owned(), id);
+        id
+    }
+
+    /// Look up without inserting.
+    pub fn get(&self, s: &str) -> Option<u32> {
+        self.map.get(s).copied()
+    }
+
+    /// Resolve an id back to its string.
+    pub fn resolve(&self, id: u32) -> Option<&str> {
+        self.names.get(id as usize).map(String::as_str)
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.intern("luefter");
+        let b = i.intern("luefter");
+        assert_eq!(a, b);
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn distinct_strings_distinct_ids() {
+        let mut i = Interner::new();
+        let a = i.intern("kontakt");
+        let b = i.intern("defekt");
+        assert_ne!(a, b);
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn resolve_roundtrip() {
+        let mut i = Interner::new();
+        let id = i.intern("durchgeschmort");
+        assert_eq!(i.resolve(id), Some("durchgeschmort"));
+        assert_eq!(i.resolve(999), None);
+    }
+
+    #[test]
+    fn get_does_not_insert() {
+        let mut i = Interner::new();
+        assert_eq!(i.get("radio"), None);
+        assert!(i.is_empty());
+        i.intern("radio");
+        assert_eq!(i.get("radio"), Some(0));
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        let mut i = Interner::new();
+        for (k, w) in ["a", "b", "c"].iter().enumerate() {
+            assert_eq!(i.intern(w), k as u32);
+        }
+    }
+}

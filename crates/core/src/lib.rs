@@ -1,0 +1,61 @@
+//! # qatk-core — the Quality Analytics Toolkit's classification core
+//!
+//! This crate implements the paper's primary contribution: the ranked-list
+//! kNN-derived error-code recommendation over domain-specific
+//! (bag-of-concepts) and domain-ignorant (bag-of-words) feature abstractions
+//! (paper §4), plus the evaluation machinery of §5:
+//!
+//! * [`interner`] / [`features`] — feature spaces and the three data
+//!   abstraction models;
+//! * [`knowledge`] — the deduplicated knowledge base with part-ID and
+//!   inverted-feature indexes, persisted relationally;
+//! * [`similarity`] — Jaccard and overlap (paper) plus Dice/cosine
+//!   (extensions);
+//! * [`classifier`] — the ranked-list kNN of §4.3;
+//! * [`baselines`] — the code-frequency and candidate-set baselines of §5.1;
+//! * [`eval`] — Accuracy@k and stratified k-fold CV;
+//! * [`pipeline`] — end-to-end experiment orchestration with parallel folds
+//!   and per-bundle timing.
+//!
+//! ## Example
+//!
+//! ```
+//! use qatk_core::prelude::*;
+//! use qatk_corpus::prelude::*;
+//!
+//! let corpus = Corpus::generate(CorpusConfig::small(1));
+//! let config = ClassifierConfig {
+//!     model: FeatureModel::BagOfConcepts,
+//!     folds: 2,
+//!     ..ClassifierConfig::default()
+//! };
+//! let result = run_experiment(&corpus, &config);
+//! assert!(result.classifier.at(25).unwrap() >= result.classifier.at(1).unwrap());
+//! ```
+
+pub mod baselines;
+pub mod bootstrap;
+pub mod classifier;
+pub mod eval;
+pub mod features;
+pub mod interner;
+pub mod knowledge;
+pub mod pipeline;
+pub mod similarity;
+
+/// Convenient glob-import surface.
+pub mod prelude {
+    pub use crate::baselines::{CandidateSetBaseline, CodeFrequencyBaseline};
+    pub use crate::bootstrap::{hits_at_k, paired_bootstrap, BootstrapResult};
+    pub use crate::classifier::{MajorityVoteKnn, RankedKnn, ScoredCode};
+    pub use crate::eval::{stratified_folds, AccuracyCounter, PAPER_KS};
+    pub use crate::features::{FeatureModel, FeatureSet, FeatureSpace};
+    pub use crate::interner::Interner;
+    pub use crate::knowledge::{KnowledgeBase, KnowledgeNode};
+    pub use crate::pipeline::{
+        build_pipeline, run_experiment, AccuracyCurve, ClassifierConfig, ExperimentResult,
+    };
+    pub use crate::similarity::SimilarityMeasure;
+}
+
+pub use prelude::*;

@@ -1,0 +1,148 @@
+//! Set similarity measures.
+//!
+//! The paper evaluates two (§4.3): the **Jaccard coefficient** |A∩B| / |A∪B|
+//! and the **overlap coefficient** |A∩B| / min(|A|,|B|). Dice and cosine are
+//! provided as ablation extensions ("can easily be used with different
+//! similarity or distance measures", §4.2).
+
+use crate::features::FeatureSet;
+
+/// A similarity measure over feature sets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SimilarityMeasure {
+    /// |A∩B| / |A∪B| (paper).
+    Jaccard,
+    /// |A∩B| / min(|A|,|B|) (paper).
+    Overlap,
+    /// 2|A∩B| / (|A|+|B|) (extension).
+    Dice,
+    /// |A∩B| / sqrt(|A|·|B|) — set cosine (extension).
+    Cosine,
+}
+
+impl SimilarityMeasure {
+    /// The paper's two measures, in figure order.
+    pub const PAPER: [SimilarityMeasure; 2] =
+        [SimilarityMeasure::Jaccard, SimilarityMeasure::Overlap];
+
+    /// All measures including extensions.
+    pub const ALL: [SimilarityMeasure; 4] = [
+        SimilarityMeasure::Jaccard,
+        SimilarityMeasure::Overlap,
+        SimilarityMeasure::Dice,
+        SimilarityMeasure::Cosine,
+    ];
+
+    /// Label used in experiment output.
+    pub fn label(self) -> &'static str {
+        match self {
+            SimilarityMeasure::Jaccard => "jaccard",
+            SimilarityMeasure::Overlap => "overlap",
+            SimilarityMeasure::Dice => "dice",
+            SimilarityMeasure::Cosine => "cosine",
+        }
+    }
+
+    /// Score two sets in [0, 1]. Empty sets score 0 against everything
+    /// (a report without features supports no recommendation).
+    pub fn score(self, a: &FeatureSet, b: &FeatureSet) -> f64 {
+        if a.is_empty() || b.is_empty() {
+            return 0.0;
+        }
+        let inter = a.intersection_size(b) as f64;
+        match self {
+            SimilarityMeasure::Jaccard => inter / a.union_size(b) as f64,
+            SimilarityMeasure::Overlap => inter / a.len().min(b.len()) as f64,
+            SimilarityMeasure::Dice => 2.0 * inter / (a.len() + b.len()) as f64,
+            SimilarityMeasure::Cosine => inter / ((a.len() * b.len()) as f64).sqrt(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fs(ids: &[u32]) -> FeatureSet {
+        FeatureSet::from_unsorted(ids.to_vec())
+    }
+
+    #[test]
+    fn jaccard_reference_values() {
+        let a = fs(&[1, 2, 3, 4]);
+        let b = fs(&[3, 4, 5, 6]);
+        assert!((SimilarityMeasure::Jaccard.score(&a, &b) - 2.0 / 6.0).abs() < 1e-12);
+        assert!((SimilarityMeasure::Jaccard.score(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_reference_values() {
+        let a = fs(&[1, 2]);
+        let b = fs(&[1, 2, 3, 4, 5]);
+        // subset: overlap = 1 regardless of the larger set
+        assert!((SimilarityMeasure::Overlap.score(&a, &b) - 1.0).abs() < 1e-12);
+        let c = fs(&[2, 9]);
+        assert!((SimilarityMeasure::Overlap.score(&a, &c) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dice_and_cosine() {
+        let a = fs(&[1, 2, 3]);
+        let b = fs(&[2, 3, 4]);
+        assert!((SimilarityMeasure::Dice.score(&a, &b) - 4.0 / 6.0).abs() < 1e-12);
+        assert!((SimilarityMeasure::Cosine.score(&a, &b) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_sets_score_zero() {
+        let a = fs(&[1]);
+        let e = FeatureSet::default();
+        for m in SimilarityMeasure::ALL {
+            assert_eq!(m.score(&a, &e), 0.0);
+            assert_eq!(m.score(&e, &a), 0.0);
+            assert_eq!(m.score(&e, &e), 0.0);
+        }
+    }
+
+    #[test]
+    fn all_measures_bounded_and_symmetric() {
+        let cases = [
+            (fs(&[1, 2, 3]), fs(&[3, 4])),
+            (fs(&[1]), fs(&[1])),
+            (fs(&[1, 2]), fs(&[3, 4])),
+            (fs(&[1, 2, 3, 4, 5]), fs(&[5])),
+        ];
+        for m in SimilarityMeasure::ALL {
+            for (a, b) in &cases {
+                let s = m.score(a, b);
+                assert!((0.0..=1.0).contains(&s), "{m:?} out of range: {s}");
+                assert!((s - m.score(b, a)).abs() < 1e-12, "{m:?} asymmetric");
+            }
+        }
+    }
+
+    #[test]
+    fn overlap_upper_bounds_jaccard() {
+        // overlap >= jaccard always (min(|A|,|B|) <= |A∪B|)
+        let cases = [
+            (fs(&[1, 2, 3]), fs(&[2, 3, 4, 5])),
+            (fs(&[1]), fs(&[1, 2, 3])),
+            (fs(&[7, 8]), fs(&[8, 9])),
+        ];
+        for (a, b) in &cases {
+            assert!(
+                SimilarityMeasure::Overlap.score(a, b)
+                    >= SimilarityMeasure::Jaccard.score(a, b)
+            );
+        }
+    }
+
+    #[test]
+    fn labels_and_groups() {
+        assert_eq!(SimilarityMeasure::PAPER.len(), 2);
+        assert_eq!(SimilarityMeasure::ALL.len(), 4);
+        for m in SimilarityMeasure::ALL {
+            assert!(!m.label().is_empty());
+        }
+    }
+}

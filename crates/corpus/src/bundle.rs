@@ -1,0 +1,241 @@
+//! Data bundles: "all data pertaining to an individual component" (paper
+//! §3.2, Fig. 3) — structured identifiers plus the accumulated textual
+//! reports of the evaluation process (Fig. 2).
+
+use qatk_text::cas::Cas;
+
+/// The textual sources a bundle can carry. Order mirrors the process of data
+/// accumulation: mechanic → (initial OEM) → supplier → final OEM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReportSource {
+    Mechanic,
+    InitialOem,
+    Supplier,
+    FinalOem,
+    PartDescription,
+    ErrorDescription,
+}
+
+impl ReportSource {
+    /// Segment name used in the CAS.
+    pub fn segment_name(self) -> &'static str {
+        match self {
+            ReportSource::Mechanic => "mechanic_report",
+            ReportSource::InitialOem => "initial_oem_report",
+            ReportSource::Supplier => "supplier_report",
+            ReportSource::FinalOem => "final_oem_report",
+            ReportSource::PartDescription => "part_description",
+            ReportSource::ErrorDescription => "error_description",
+        }
+    }
+}
+
+/// Which text sources feed feature extraction. The paper trains on all
+/// sources but tests only on what exists *before* a code is assigned: "In
+/// the testing phase, we use only the mechanic report, the optional initial
+/// report, the supplier report and the part id description" (§3.2).
+/// Experiment 2 narrows further to a single report type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SourceSelection {
+    /// Everything, including final report and error description (training).
+    Training,
+    /// Mechanic + initial + supplier reports + part description (testing).
+    #[default]
+    Test,
+    /// Mechanic report + part description only (Experiment 2, Fig. 12).
+    MechanicOnly,
+    /// Supplier report + part description only (Experiment 2, Fig. 13).
+    SupplierOnly,
+}
+
+impl SourceSelection {
+    /// The sources included under this selection.
+    pub fn sources(self) -> &'static [ReportSource] {
+        match self {
+            SourceSelection::Training => &[
+                ReportSource::Mechanic,
+                ReportSource::InitialOem,
+                ReportSource::Supplier,
+                ReportSource::FinalOem,
+                ReportSource::PartDescription,
+                ReportSource::ErrorDescription,
+            ],
+            SourceSelection::Test => &[
+                ReportSource::Mechanic,
+                ReportSource::InitialOem,
+                ReportSource::Supplier,
+                ReportSource::PartDescription,
+            ],
+            SourceSelection::MechanicOnly => &[
+                ReportSource::Mechanic,
+                ReportSource::PartDescription,
+            ],
+            SourceSelection::SupplierOnly => &[
+                ReportSource::Supplier,
+                ReportSource::PartDescription,
+            ],
+        }
+    }
+}
+
+/// One data bundle (paper Fig. 3). Optional fields are the ones the paper
+/// marks optional or that only exist after evaluation steps have run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataBundle {
+    /// Unique reference number ("a component is identified by a unique
+    /// reference number").
+    pub reference_number: String,
+    /// Article code — fine-grained (831 distinct in the paper's data).
+    pub article_code: String,
+    /// Part ID — coarse-grained (31 distinct).
+    pub part_id: String,
+    /// Final error code; `None` until the quality expert assigns one.
+    pub error_code: Option<String>,
+    /// Damage responsibility code assigned by the supplier.
+    pub responsibility_code: Option<String>,
+    pub mechanic_report: String,
+    pub initial_report: Option<String>,
+    pub supplier_report: String,
+    pub final_report: Option<String>,
+    /// Standardized description of the part ID.
+    pub part_description: String,
+    /// Standardized description of the error code (exists only once a code
+    /// is assigned; never available at test time).
+    pub error_description: Option<String>,
+}
+
+impl DataBundle {
+    /// Text of one source, if present.
+    pub fn text_of(&self, source: ReportSource) -> Option<&str> {
+        match source {
+            ReportSource::Mechanic => Some(&self.mechanic_report),
+            ReportSource::InitialOem => self.initial_report.as_deref(),
+            ReportSource::Supplier => Some(&self.supplier_report),
+            ReportSource::FinalOem => self.final_report.as_deref(),
+            ReportSource::PartDescription => Some(&self.part_description),
+            ReportSource::ErrorDescription => self.error_description.as_deref(),
+        }
+    }
+
+    /// Build the CAS for this bundle under a source selection: "one CAS
+    /// contains one data bundle, including all available reports and text
+    /// descriptions plus the part ID and error code" (§4.5.2).
+    pub fn to_cas(&self, selection: SourceSelection) -> Cas {
+        let mut cas = Cas::new();
+        for &source in selection.sources() {
+            if let Some(text) = self.text_of(source) {
+                if !text.is_empty() {
+                    cas.add_segment(source.segment_name(), text);
+                }
+            }
+        }
+        cas.part_id = Some(self.part_id.clone());
+        cas.error_code = self.error_code.clone();
+        cas
+    }
+
+    /// Total whitespace-separated word count over the given selection; the
+    /// statistic behind the paper's "on average, a text has about 70 words".
+    pub fn word_count(&self, selection: SourceSelection) -> usize {
+        selection
+            .sources()
+            .iter()
+            .filter_map(|&s| self.text_of(s))
+            .map(|t| t.split_whitespace().count())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn sample() -> DataBundle {
+        DataBundle {
+            reference_number: "R-000001".into(),
+            article_code: "A-12345".into(),
+            part_id: "P-07".into(),
+            error_code: Some("E4431".into()),
+            responsibility_code: Some("RC-2".into()),
+            mechanic_report: "Kleint says taht radio turns on and off by itself.".into(),
+            initial_report: Some("id test 470, no clear results, sending to supplier.".into()),
+            supplier_report: "Unit non-functional. Lüfter funktioniert nicht. Kontakt defekt, durchgeschmort.".into(),
+            final_report: Some("Removed some dirt. Contact melted, code assigned.".into()),
+            part_description: "Radio control unit type 4".into(),
+            error_description: Some("Contact burnt through at connector".into()),
+        }
+    }
+
+    #[test]
+    fn source_selection_contents() {
+        assert_eq!(SourceSelection::Training.sources().len(), 6);
+        assert_eq!(SourceSelection::Test.sources().len(), 4);
+        assert!(!SourceSelection::Test
+            .sources()
+            .contains(&ReportSource::FinalOem));
+        assert!(!SourceSelection::Test
+            .sources()
+            .contains(&ReportSource::ErrorDescription));
+        assert_eq!(SourceSelection::MechanicOnly.sources().len(), 2);
+        assert_eq!(SourceSelection::SupplierOnly.sources().len(), 2);
+        assert_eq!(SourceSelection::default(), SourceSelection::Test);
+    }
+
+    #[test]
+    fn cas_segments_match_selection() {
+        let b = sample();
+        let cas = b.to_cas(SourceSelection::Training);
+        let names: Vec<&str> = cas.segments().iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "mechanic_report",
+                "initial_oem_report",
+                "supplier_report",
+                "final_oem_report",
+                "part_description",
+                "error_description"
+            ]
+        );
+        assert_eq!(cas.part_id.as_deref(), Some("P-07"));
+        assert_eq!(cas.error_code.as_deref(), Some("E4431"));
+
+        let test_cas = b.to_cas(SourceSelection::Test);
+        assert_eq!(test_cas.segments().len(), 4);
+        assert!(!test_cas.text().contains("Contact burnt through"));
+
+        let mech = b.to_cas(SourceSelection::MechanicOnly);
+        assert!(mech.text().contains("radio turns on"));
+        assert!(!mech.text().contains("durchgeschmort"));
+    }
+
+    #[test]
+    fn missing_optional_reports_skipped() {
+        let mut b = sample();
+        b.initial_report = None;
+        b.final_report = None;
+        b.error_description = None;
+        let cas = b.to_cas(SourceSelection::Training);
+        assert_eq!(cas.segments().len(), 3);
+        assert!(b.text_of(ReportSource::InitialOem).is_none());
+    }
+
+    #[test]
+    fn empty_texts_do_not_create_segments() {
+        let mut b = sample();
+        b.mechanic_report = String::new();
+        let cas = b.to_cas(SourceSelection::Test);
+        assert!(cas.segment("mechanic_report").is_none());
+    }
+
+    #[test]
+    fn word_count_sums_selection() {
+        let b = sample();
+        let full = b.word_count(SourceSelection::Training);
+        let test = b.word_count(SourceSelection::Test);
+        let mech = b.word_count(SourceSelection::MechanicOnly);
+        assert!(full > test);
+        assert!(test > mech);
+        assert_eq!(mech, 10 + 5); // mechanic report + part description
+    }
+}

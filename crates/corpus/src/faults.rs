@@ -1,0 +1,425 @@
+//! The latent fault world behind the synthetic corpus.
+//!
+//! Every error code of the paper's data encodes a recurring fault of one
+//! part type. We model that explicitly: a part ID groups component concepts
+//! of one vehicle system; an error code fixes a component, one or more
+//! symptoms, and a small set of code-specific technical vocabulary (the
+//! OEM-internal jargon, spec references and measurement shorthand that only
+//! ever appears in reports about *this* fault). The vocabulary is what gives
+//! bag-of-words its discriminative edge over bag-of-concepts in Experiment 1
+//! — concepts collapse codes that share component and symptom, words do not.
+//!
+//! Pool sizes are hand-shaped to the paper's §3.2 statistics: 31 part IDs,
+//! 1 271 error codes in total, a maximum of 146 codes for one part ID, and
+//! exactly 25 of the 31 part IDs holding more than 10 codes.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use qatk_taxonomy::concept::{ConceptId, Lang};
+use qatk_taxonomy::synthetic::SyntheticTaxonomy;
+use qatk_taxonomy::taxonomy::Taxonomy;
+
+/// Error-code pool sizes per part ID. 31 entries summing to 1 271; the first
+/// 25 exceed 10 (paper: "25 of the 31 part IDs have instances of over 10
+/// error codes"), the maximum is 146 ("the largest number of distinct error
+/// codes for one part id in our data set is 146").
+pub const POOL_SIZES: [usize; 31] = [
+    146, 118, 100, 90, 84, 76, 70, 64, 58, 53, 48, 44, 40, 37, 34, 31, 27, 24, 21, 19, 17, 15,
+    14, 12, 11, // 25 part IDs with > 10 codes
+    6, 4, 3, 2, 2, 1, // 6 part IDs with <= 10 codes
+];
+
+/// One part type (the paper's part ID granularity; 31 distinct).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartIdDef {
+    pub part_id: String,
+    /// The vehicle system ("component class") this part type belongs to.
+    pub system: String,
+    /// Component leaf concepts associated with this part type.
+    pub components: Vec<ConceptId>,
+    pub description_en: String,
+    pub description_de: String,
+    /// Article codes (finer granularity; 831 distinct across all parts).
+    pub article_codes: Vec<String>,
+    /// The symptom pocket: the small set of symptoms that plausibly occur
+    /// on this part type. Codes draw their symptoms from here, which makes
+    /// codes of one part *collide* on concept features — the reason the
+    /// paper's bag-of-concepts model trails bag-of-words at small k.
+    pub symptom_pocket: Vec<ConceptId>,
+    /// The part's supplier writes predominantly in this language (each part
+    /// type has one supplier — Fig. 2). Language consistency within a code's
+    /// reports is what lets bag-of-words exploit recurring wording.
+    pub supplier_lang: Lang,
+}
+
+/// One error code (the classification target).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ErrorCodeDef {
+    pub code: String,
+    pub part_id: String,
+    /// The component the fault manifests on.
+    pub component: ConceptId,
+    /// Symptoms, primary first (1–3).
+    pub symptoms: Vec<ConceptId>,
+    /// Code-specific technical vocabulary (2–4 jargon tokens).
+    pub vocab: Vec<String>,
+    /// True for codes whose characteristic symptom wording is *not* covered
+    /// by the taxonomy (the paper's §5.2.2 diagnosis: "the concepts which
+    /// are currently being recognized ... do not represent ultimately
+    /// accurate features" because the legacy resource "has not yet been
+    /// adapted to the current data source"). Reports about these codes
+    /// describe the fault in wording the concept annotator cannot map.
+    pub off_taxonomy: bool,
+    /// Standardized error-code description (training-only text source).
+    pub description: String,
+}
+
+/// The complete fault world.
+#[derive(Debug, Clone)]
+pub struct FaultWorld {
+    pub parts: Vec<PartIdDef>,
+    pub codes: Vec<ErrorCodeDef>,
+    /// part_id -> indexes into `codes`, in popularity-rank order (index 0 is
+    /// the most frequent code of that part — the Zipf head).
+    pub codes_by_part: HashMap<String, Vec<usize>>,
+}
+
+/// The three "larger component classes" the paper's extract covers (§3.2).
+const COMPONENT_CLASSES: [&str; 3] = ["infotainment", "electrical", "climate"];
+
+/// Consonant-vowel syllables for jargon-token generation.
+const SYLLABLES: [&str; 24] = [
+    "ka", "ro", "li", "ve", "ta", "mu", "so", "ne", "di", "pa", "ze", "go", "fi", "ha", "ju",
+    "be", "wa", "ol", "er", "an", "st", "sch", "tr", "kl",
+];
+
+impl FaultWorld {
+    /// Build the fault world over a synthetic taxonomy.
+    ///
+    /// `n_article_codes` article codes are distributed over part IDs roughly
+    /// proportionally to their code-pool sizes (paper: 831).
+    pub fn generate(syn: &SyntheticTaxonomy, n_article_codes: usize, rng: &mut StdRng) -> Self {
+        Self::generate_scaled(syn, n_article_codes, 1.0, rng)
+    }
+
+    /// Like [`FaultWorld::generate`] but with every code pool scaled by
+    /// `pool_scale` (minimum 1 code per part). Scaled-down worlds keep the
+    /// paper's *shape* — 31 part IDs, skewed pools — at test-friendly sizes.
+    pub fn generate_scaled(
+        syn: &SyntheticTaxonomy,
+        n_article_codes: usize,
+        pool_scale: f64,
+        rng: &mut StdRng,
+    ) -> Self {
+        let pool_sizes: Vec<usize> = POOL_SIZES
+            .iter()
+            .map(|&s| ((s as f64 * pool_scale).round() as usize).max(1))
+            .collect();
+        let tax = &syn.taxonomy;
+        // Components of the three chosen classes, split across part IDs.
+        let class_components: Vec<(&str, &[ConceptId])> = COMPONENT_CLASSES
+            .iter()
+            .map(|name| {
+                let comps = syn
+                    .systems
+                    .iter()
+                    .find(|(n, _)| n == name)
+                    .map(|(_, c)| c.as_slice())
+                    .unwrap_or_else(|| panic!("system `{name}` missing from taxonomy"));
+                (*name, comps)
+            })
+            .collect();
+
+        let total_pool: usize = pool_sizes.iter().sum();
+        let mut parts = Vec::with_capacity(pool_sizes.len());
+        let mut codes: Vec<ErrorCodeDef> = Vec::with_capacity(total_pool);
+        let mut codes_by_part: HashMap<String, Vec<usize>> = HashMap::new();
+        let mut used_vocab: HashMap<String, usize> = HashMap::new();
+        let mut article_counter = 0usize;
+
+        for (i, &pool_size) in pool_sizes.iter().enumerate() {
+            let (system, comps) = class_components[i % class_components.len()];
+            // each part type covers a contiguous slice of its class components
+            let per_part = comps.len() / (pool_sizes.len() / class_components.len() + 1);
+            let start = (i / class_components.len()) * per_part % comps.len().max(1);
+            let width = per_part.clamp(2, 4).min(comps.len());
+            let mut components: Vec<ConceptId> = (0..width)
+                .map(|k| comps[(start + k) % comps.len()])
+                .collect();
+            components.dedup();
+
+            let part_id = format!("P-{:02}", i + 1);
+            let lead = surface(tax, components[0], Lang::En, rng);
+            let description_en = format!("{} assembly type {}", title_case(&lead), i + 1);
+            let lead_de = surface(tax, components[0], Lang::De, rng);
+            let description_de = format!("{} Baugruppe Typ {}", title_case(&lead_de), i + 1);
+
+            // article codes proportional to pool size (at least one each)
+            let n_articles =
+                ((n_article_codes.saturating_sub(pool_sizes.len())) * pool_size / total_pool) + 1;
+            let article_codes: Vec<String> = (0..n_articles)
+                .map(|_| {
+                    article_counter += 1;
+                    format!("A-{article_counter:05}")
+                })
+                .collect();
+
+            // the part type's symptom pocket (small, so codes collide on it)
+            let pocket_size = rng.random_range(3..=5usize).min(syn.symptoms.len());
+            let mut symptom_pocket: Vec<ConceptId> = Vec::with_capacity(pocket_size);
+            while symptom_pocket.len() < pocket_size {
+                let s = syn.symptoms[rng.random_range(0..syn.symptoms.len())];
+                if !symptom_pocket.contains(&s) {
+                    symptom_pocket.push(s);
+                }
+            }
+
+            // error codes of this part. Code *names* are shuffled against
+            // popularity rank: real error-code numbering predates usage
+            // statistics, so lexicographic order must not encode frequency
+            // (the unsorted candidate-set baseline of §5.1 depends on this).
+            let mut name_nums: Vec<usize> = (1..=pool_size).collect();
+            for k in (1..name_nums.len()).rev() {
+                let j = rng.random_range(0..=k);
+                name_nums.swap(k, j);
+            }
+            let mut idxs = Vec::with_capacity(pool_size);
+            for &name_num in name_nums.iter().take(pool_size) {
+                let code = format!("E{:02}{:03}", i + 1, name_num);
+                let component = components[rng.random_range(0..components.len())];
+                // symptom count skewed toward 1: ties inside a
+                // (component, symptom) cell are the norm, not the exception
+                let r = rng.random_range(0..100u32);
+                let n_sym = (if r < 50 { 1 } else if r < 85 { 2 } else { 3 })
+                    .min(pocket_size.max(1));
+                let mut symptoms = Vec::with_capacity(n_sym);
+                while symptoms.len() < n_sym {
+                    let s = symptom_pocket[rng.random_range(0..pocket_size)];
+                    if !symptoms.contains(&s) {
+                        symptoms.push(s);
+                    }
+                }
+                let n_vocab = rng.random_range(2..=4usize);
+                let vocab: Vec<String> = (0..n_vocab)
+                    .map(|_| jargon_token(rng, &mut used_vocab))
+                    .collect();
+                let sym_surface = surface(tax, symptoms[0], Lang::En, rng);
+                let comp_surface = surface(tax, component, Lang::En, rng);
+                let description = format!(
+                    "{} at {} per spec {}",
+                    title_case(&sym_surface),
+                    comp_surface,
+                    vocab[0]
+                );
+                idxs.push(codes.len());
+                let off_taxonomy = rng.random_bool(0.18);
+                codes.push(ErrorCodeDef {
+                    code,
+                    part_id: part_id.clone(),
+                    component,
+                    symptoms,
+                    vocab,
+                    off_taxonomy,
+                    description,
+                });
+            }
+            codes_by_part.insert(part_id.clone(), idxs);
+            parts.push(PartIdDef {
+                part_id,
+                system: system.to_owned(),
+                components,
+                description_en,
+                description_de,
+                article_codes,
+                symptom_pocket,
+                supplier_lang: if rng.random_bool(0.55) { Lang::De } else { Lang::En },
+            });
+        }
+
+        FaultWorld {
+            parts,
+            codes,
+            codes_by_part,
+        }
+    }
+
+    /// Look up a part definition.
+    pub fn part(&self, part_id: &str) -> Option<&PartIdDef> {
+        self.parts.iter().find(|p| p.part_id == part_id)
+    }
+
+    /// Look up an error code definition.
+    pub fn code(&self, code: &str) -> Option<&ErrorCodeDef> {
+        self.codes.iter().find(|c| c.code == code)
+    }
+
+    /// Total number of article codes.
+    pub fn article_code_count(&self) -> usize {
+        self.parts.iter().map(|p| p.article_codes.len()).sum()
+    }
+}
+
+/// Pick a random surface term of a concept in the given language, falling
+/// back to any language (code switching is the norm in these reports).
+pub fn surface(tax: &Taxonomy, id: ConceptId, lang: Lang, rng: &mut StdRng) -> String {
+    let c = tax.get(id).expect("concept exists");
+    let in_lang: Vec<&str> = c.terms_in(lang).map(|t| t.text.as_str()).collect();
+    let pool: Vec<&str> = if in_lang.is_empty() {
+        c.terms.iter().map(|t| t.text.as_str()).collect()
+    } else {
+        in_lang
+    };
+    if pool.is_empty() {
+        return c.name.to_lowercase();
+    }
+    pool[rng.random_range(0..pool.len())].to_owned()
+}
+
+/// Generate a unique jargon token: syllable compound, sometimes with a
+/// numeric spec suffix ("schmorka-47", "trolibe", "k4712"-style).
+fn jargon_token(rng: &mut StdRng, used: &mut HashMap<String, usize>) -> String {
+    let n_syl = rng.random_range(2..=3usize);
+    let mut w = String::new();
+    for _ in 0..n_syl {
+        w.push_str(SYLLABLES[rng.random_range(0..SYLLABLES.len())]);
+    }
+    if rng.random_bool(0.4) {
+        w = format!("{w}-{}", rng.random_range(10..99));
+    }
+    // enforce global uniqueness: collisions get a distinct numeric suffix
+    let count = used.entry(w.clone()).or_insert(0);
+    *count += 1;
+    if *count > 1 {
+        w = format!("{w}{}", *count);
+        used.insert(w.clone(), 1);
+    }
+    w
+}
+
+pub(crate) fn title_case(s: &str) -> String {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) => c.to_uppercase().collect::<String>() + chars.as_str(),
+        None => String::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn world() -> FaultWorld {
+        let syn = SyntheticTaxonomy::generate(1);
+        let mut rng = StdRng::seed_from_u64(2);
+        FaultWorld::generate(&syn, 831, &mut rng)
+    }
+
+    #[test]
+    fn pool_sizes_match_paper_statistics() {
+        assert_eq!(POOL_SIZES.len(), 31);
+        assert_eq!(POOL_SIZES.iter().sum::<usize>(), 1271);
+        assert_eq!(*POOL_SIZES.iter().max().unwrap(), 146);
+        assert_eq!(POOL_SIZES.iter().filter(|&&s| s > 10).count(), 25);
+    }
+
+    #[test]
+    fn world_shape() {
+        let w = world();
+        assert_eq!(w.parts.len(), 31);
+        assert_eq!(w.codes.len(), 1271);
+        assert_eq!(w.codes_by_part.len(), 31);
+        for p in &w.parts {
+            let pool = &w.codes_by_part[&p.part_id];
+            assert!(!pool.is_empty());
+            for &idx in pool {
+                assert_eq!(w.codes[idx].part_id, p.part_id);
+            }
+        }
+    }
+
+    #[test]
+    fn article_codes_sum_and_unique() {
+        let w = world();
+        let total = w.article_code_count();
+        assert!(
+            (790..=870).contains(&total),
+            "article codes = {total}, want ≈ 831"
+        );
+        let mut all: Vec<&String> = w.parts.iter().flat_map(|p| &p.article_codes).collect();
+        let n = all.len();
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len(), n);
+    }
+
+    #[test]
+    fn error_codes_unique_and_well_formed() {
+        let w = world();
+        let mut codes: Vec<&String> = w.codes.iter().map(|c| &c.code).collect();
+        codes.sort();
+        codes.dedup();
+        assert_eq!(codes.len(), 1271);
+        for c in &w.codes {
+            assert!((1..=3).contains(&c.symptoms.len()));
+            assert!((2..=4).contains(&c.vocab.len()));
+            assert!(!c.description.is_empty());
+        }
+    }
+
+    #[test]
+    fn vocab_tokens_globally_unique() {
+        let w = world();
+        let mut vocab: Vec<&String> = w.codes.iter().flat_map(|c| &c.vocab).collect();
+        let n = vocab.len();
+        vocab.sort();
+        vocab.dedup();
+        assert_eq!(vocab.len(), n, "jargon tokens must not collide across codes");
+    }
+
+    #[test]
+    fn components_belong_to_part_system() {
+        let w = world();
+        let syn = SyntheticTaxonomy::generate(1);
+        for p in &w.parts {
+            let sys_comps = &syn
+                .systems
+                .iter()
+                .find(|(n, _)| *n == p.system)
+                .unwrap()
+                .1;
+            for c in &p.components {
+                assert!(sys_comps.contains(c));
+            }
+        }
+    }
+
+    #[test]
+    fn lookups() {
+        let w = world();
+        assert!(w.part("P-01").is_some());
+        assert!(w.part("P-99").is_none());
+        let code = &w.codes[0].code;
+        assert_eq!(&w.code(code).unwrap().code, code);
+        assert!(w.code("E-bogus").is_none());
+    }
+
+    #[test]
+    fn deterministic() {
+        let syn = SyntheticTaxonomy::generate(1);
+        let a = FaultWorld::generate(&syn, 831, &mut StdRng::seed_from_u64(5));
+        let b = FaultWorld::generate(&syn, 831, &mut StdRng::seed_from_u64(5));
+        assert_eq!(a.codes, b.codes);
+        assert_eq!(a.parts, b.parts);
+    }
+
+    #[test]
+    fn title_case_works() {
+        assert_eq!(title_case("radio unit"), "Radio unit");
+        assert_eq!(title_case(""), "");
+        assert_eq!(title_case("ölpumpe"), "Ölpumpe");
+    }
+}

@@ -1,0 +1,50 @@
+//! # qatk-corpus — the calibrated synthetic "messy data" corpus
+//!
+//! The paper's data — 7 500 anonymized data bundles of damaged-car-part
+//! reports from a large automotive OEM — is proprietary. This crate is the
+//! substitution (documented in DESIGN.md): a seeded generator whose output
+//! matches every population statistic §3.2 reports and, crucially, the
+//! *information asymmetry between report sources* that drives Experiment 2:
+//! mechanic reports are vague, error-riddled customer hearsay; supplier
+//! reports are detailed, jargon-rich fault analyses.
+//!
+//! * [`bundle`] — the [`bundle::DataBundle`] model, CAS construction and the
+//!   train/test/per-source text selections;
+//! * [`faults`] — the latent fault world: part IDs, error-code pools shaped
+//!   to the paper's statistics, code-specific vocabulary;
+//! * [`templates`] + [`messy`] — report realization and the messiness
+//!   channel (typos, OEM abbreviations, case noise);
+//! * [`zipf`] — from-scratch Zipf sampling for the code skew;
+//! * [`generator`] — the [`generator::Corpus`] generator;
+//! * [`stats`] — recomputation of the §3.2 statistics;
+//! * [`loader`] — persistence into the relational store;
+//! * [`nhtsa`] — synthetic ODI consumer complaints for the §5.4 comparison.
+
+pub mod bundle;
+pub mod faults;
+pub mod generator;
+pub mod loader;
+pub mod messy;
+pub mod nhtsa;
+pub mod stats;
+pub mod templates;
+pub mod zipf;
+
+/// Convenient glob-import surface.
+pub mod prelude {
+    pub use crate::bundle::{DataBundle, ReportSource, SourceSelection};
+    pub use crate::faults::{ErrorCodeDef, FaultWorld, PartIdDef, POOL_SIZES};
+    pub use crate::generator::{Corpus, CorpusConfig};
+    pub use crate::loader::{
+        create_schema, load_bundles, load_bundles_for_part, save_corpus, tables,
+    };
+    pub use crate::messy::{messify, MessyConfig};
+    pub use crate::nhtsa::{
+        category_for, complaint_schema, complaints_from_csv, complaints_to_csv,
+        generate_complaints, Complaint, NhtsaConfig,
+    };
+    pub use crate::stats::CorpusStats;
+    pub use crate::zipf::Zipf;
+}
+
+pub use prelude::*;

@@ -1,0 +1,217 @@
+//! Relational persistence of corpora: "These data, including the text
+//! reports, are stored across several tables in a relational database"
+//! (paper §3.2). The loader materializes the paper's table layout in
+//! `qatk-store` and reads bundles back for pipeline runs.
+
+use qatk_store::prelude::*;
+
+use crate::bundle::DataBundle;
+use crate::generator::Corpus;
+
+/// Table names used by the QATK schema.
+pub mod tables {
+    pub const BUNDLES: &str = "bundles";
+    pub const PART_IDS: &str = "part_ids";
+    pub const ERROR_CODES: &str = "error_codes";
+}
+
+/// Create the raw-data tables (idempotent: errors if they already exist).
+pub fn create_schema(db: &mut Database) -> StoreResult<()> {
+    let bundles = SchemaBuilder::new()
+        .pk("reference_number", DataType::Text)
+        .col("article_code", DataType::Text)
+        .col("part_id", DataType::Text)
+        .col_null("error_code", DataType::Text)
+        .col_null("responsibility_code", DataType::Text)
+        .col("mechanic_report", DataType::Text)
+        .col_null("initial_report", DataType::Text)
+        .col("supplier_report", DataType::Text)
+        .col_null("final_report", DataType::Text)
+        .col("part_description", DataType::Text)
+        .col_null("error_description", DataType::Text)
+        .build()?;
+    db.create_table(tables::BUNDLES, bundles)?;
+    db.table_mut(tables::BUNDLES)?
+        .create_index("bundles_by_part", "part_id", IndexKind::Hash)?;
+    db.table_mut(tables::BUNDLES)?
+        .create_index("bundles_by_code", "error_code", IndexKind::Hash)?;
+
+    let parts = SchemaBuilder::new()
+        .pk("part_id", DataType::Text)
+        .col("system", DataType::Text)
+        .col("description_en", DataType::Text)
+        .col("description_de", DataType::Text)
+        .build()?;
+    db.create_table(tables::PART_IDS, parts)?;
+
+    let codes = SchemaBuilder::new()
+        .pk("code", DataType::Text)
+        .col("part_id", DataType::Text)
+        .col("description", DataType::Text)
+        .build()?;
+    db.create_table(tables::ERROR_CODES, codes)?;
+    db.table_mut(tables::ERROR_CODES)?
+        .create_index("codes_by_part", "part_id", IndexKind::Hash)?;
+    Ok(())
+}
+
+fn bundle_row(b: &DataBundle) -> Row {
+    row![
+        b.reference_number.clone(),
+        b.article_code.clone(),
+        b.part_id.clone(),
+        b.error_code.clone(),
+        b.responsibility_code.clone(),
+        b.mechanic_report.clone(),
+        b.initial_report.clone(),
+        b.supplier_report.clone(),
+        b.final_report.clone(),
+        b.part_description.clone(),
+        b.error_description.clone(),
+    ]
+}
+
+fn opt_text(v: &Value) -> Option<String> {
+    v.as_text().map(str::to_owned)
+}
+
+fn row_bundle(r: &Row) -> DataBundle {
+    let text = |i: usize| {
+        r.get(i)
+            .and_then(Value::as_text)
+            .unwrap_or_default()
+            .to_owned()
+    };
+    DataBundle {
+        reference_number: text(0),
+        article_code: text(1),
+        part_id: text(2),
+        error_code: r.get(3).and_then(opt_text),
+        responsibility_code: r.get(4).and_then(opt_text),
+        mechanic_report: text(5),
+        initial_report: r.get(6).and_then(opt_text),
+        supplier_report: text(7),
+        final_report: r.get(8).and_then(opt_text),
+        part_description: text(9),
+        error_description: r.get(10).and_then(opt_text),
+    }
+}
+
+/// Persist an entire corpus (schema + rows) into a database.
+pub fn save_corpus(corpus: &Corpus, db: &mut Database) -> StoreResult<()> {
+    create_schema(db)?;
+    for p in &corpus.world.parts {
+        db.insert(
+            tables::PART_IDS,
+            row![
+                p.part_id.clone(),
+                p.system.clone(),
+                p.description_en.clone(),
+                p.description_de.clone(),
+            ],
+        )?;
+    }
+    for c in &corpus.world.codes {
+        db.insert(
+            tables::ERROR_CODES,
+            row![c.code.clone(), c.part_id.clone(), c.description.clone()],
+        )?;
+    }
+    for b in &corpus.bundles {
+        db.insert(tables::BUNDLES, bundle_row(b))?;
+    }
+    Ok(())
+}
+
+/// Read all bundles back, in reference-number order.
+pub fn load_bundles(db: &Database) -> StoreResult<Vec<DataBundle>> {
+    let table = db.table(tables::BUNDLES)?;
+    let rows = Query::new()
+        .order_by("reference_number", SortOrder::Asc)
+        .run(table)?;
+    Ok(rows.iter().map(row_bundle).collect())
+}
+
+/// Read the bundles of one part ID (via the secondary index).
+pub fn load_bundles_for_part(db: &Database, part_id: &str) -> StoreResult<Vec<DataBundle>> {
+    let table = db.table(tables::BUNDLES)?;
+    let rows = table.lookup("part_id", &Value::from(part_id))?;
+    Ok(rows.into_iter().map(row_bundle).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{Corpus, CorpusConfig};
+
+    fn corpus() -> Corpus {
+        Corpus::generate(CorpusConfig::small(7))
+    }
+
+    #[test]
+    fn save_and_load_roundtrip() {
+        let c = corpus();
+        let mut db = Database::new();
+        save_corpus(&c, &mut db).unwrap();
+        assert_eq!(db.table(tables::BUNDLES).unwrap().len(), c.bundles.len());
+        assert_eq!(db.table(tables::PART_IDS).unwrap().len(), 31);
+        assert_eq!(
+            db.table(tables::ERROR_CODES).unwrap().len(),
+            c.world.codes.len()
+        );
+
+        let mut loaded = load_bundles(&db).unwrap();
+        let mut orig = c.bundles.clone();
+        loaded.sort_by(|a, b| a.reference_number.cmp(&b.reference_number));
+        orig.sort_by(|a, b| a.reference_number.cmp(&b.reference_number));
+        assert_eq!(loaded, orig);
+    }
+
+    #[test]
+    fn part_lookup_uses_index() {
+        let c = corpus();
+        let mut db = Database::new();
+        save_corpus(&c, &mut db).unwrap();
+        let part = &c.bundles[0].part_id;
+        let subset = load_bundles_for_part(&db, part).unwrap();
+        assert!(!subset.is_empty());
+        assert!(subset.iter().all(|b| &b.part_id == part));
+        let expected = c.bundles.iter().filter(|b| &b.part_id == part).count();
+        assert_eq!(subset.len(), expected);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_through_disk_format() {
+        let c = corpus();
+        let mut db = Database::new();
+        save_corpus(&c, &mut db).unwrap();
+        let bytes = db.to_bytes();
+        let db2 = Database::from_bytes(&bytes).unwrap();
+        let a = load_bundles(&db).unwrap();
+        let b = load_bundles(&db2).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn double_schema_creation_errors() {
+        let mut db = Database::new();
+        create_schema(&mut db).unwrap();
+        assert!(create_schema(&mut db).is_err());
+    }
+
+    #[test]
+    fn optional_fields_survive_nulls() {
+        let c = corpus();
+        // find a bundle without initial report
+        let b = c
+            .bundles
+            .iter()
+            .find(|b| b.initial_report.is_none())
+            .expect("some bundle lacks an initial report");
+        let mut db = Database::new();
+        create_schema(&mut db).unwrap();
+        db.insert(tables::BUNDLES, bundle_row(b)).unwrap();
+        let loaded = load_bundles(&db).unwrap();
+        assert_eq!(&loaded[0], b);
+    }
+}

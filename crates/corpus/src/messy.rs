@@ -1,0 +1,269 @@
+//! The messiness channel: what turns clean template text into the "messy
+//! data" of the paper's title.
+//!
+//! §1.2 characterizes the reports: "non-standard, domain-specific language,
+//! riddled with spelling errors, idiosyncratic and non-idiomatic expressions
+//! and OEM-internal abbreviations". The fictional example in Fig. 3 shows the
+//! flavour: "Kleint says taht radio turns on and off by itself. Electiral
+//! smell, crackling sound." This module injects exactly those defect classes,
+//! parameterized per report source (mechanic reports are far messier than
+//! supplier reports, which drives Experiment 2).
+
+use rand::Rng;
+
+/// Knobs of the messiness channel.
+#[derive(Debug, Clone, Copy)]
+pub struct MessyConfig {
+    /// Per-word probability of a typo (swap/drop/double/replace).
+    pub typo_prob: f64,
+    /// Per-word probability of replacing a known word with its OEM-internal
+    /// abbreviation.
+    pub abbrev_prob: f64,
+    /// Per-word probability of random case damage (all-caps or lowercase).
+    pub case_noise_prob: f64,
+    /// Probability of dropping sentence-final punctuation.
+    pub drop_punct_prob: f64,
+}
+
+impl MessyConfig {
+    /// Mechanic reports: "poor in detail ... and often error-riddled" (§5.3.2).
+    pub fn mechanic() -> Self {
+        MessyConfig {
+            typo_prob: 0.09,
+            abbrev_prob: 0.10,
+            case_noise_prob: 0.05,
+            drop_punct_prob: 0.5,
+        }
+    }
+
+    /// Supplier reports: professional but still informal shop language.
+    pub fn supplier() -> Self {
+        MessyConfig {
+            typo_prob: 0.02,
+            abbrev_prob: 0.06,
+            case_noise_prob: 0.02,
+            drop_punct_prob: 0.2,
+        }
+    }
+
+    /// OEM-internal reports: terse but fairly clean.
+    pub fn oem() -> Self {
+        MessyConfig {
+            typo_prob: 0.015,
+            abbrev_prob: 0.08,
+            case_noise_prob: 0.01,
+            drop_punct_prob: 0.3,
+        }
+    }
+
+    /// No corruption at all (descriptions, tests).
+    pub fn clean() -> Self {
+        MessyConfig {
+            typo_prob: 0.0,
+            abbrev_prob: 0.0,
+            case_noise_prob: 0.0,
+            drop_punct_prob: 0.0,
+        }
+    }
+}
+
+/// OEM-internal abbreviations: (full form, abbreviation). Mixed DE/EN, as in
+/// real workshop language.
+pub const ABBREVIATIONS: &[(&str, &str)] = &[
+    ("nicht", "n."),
+    ("defekt", "def."),
+    ("funktioniert", "funkt."),
+    ("ausgetauscht", "ausgetau."),
+    ("geprüft", "gepr."),
+    ("customer", "cust."),
+    ("replaced", "repl."),
+    ("checked", "chk."),
+    ("according", "acc."),
+    ("ersetzt", "ers."),
+    ("kontakt", "kont."),
+    ("bauteil", "bt."),
+    ("fahrzeug", "fzg."),
+    ("vehicle", "veh."),
+    ("intermittent", "intermit."),
+    ("sporadisch", "spor."),
+];
+
+/// Apply the messiness channel to a whole text.
+pub fn messify<R: Rng + ?Sized>(text: &str, config: &MessyConfig, rng: &mut R) -> String {
+    let mut out = String::with_capacity(text.len() + 8);
+    let mut first = true;
+    for word in text.split(' ') {
+        if !first {
+            out.push(' ');
+        }
+        first = false;
+        out.push_str(&messify_word(word, config, rng));
+    }
+    if config.drop_punct_prob > 0.0
+        && rng.random_bool(config.drop_punct_prob)
+        && out.ends_with(['.', '!'])
+    {
+        out.pop();
+    }
+    out
+}
+
+fn messify_word<R: Rng + ?Sized>(word: &str, config: &MessyConfig, rng: &mut R) -> String {
+    // abbreviation replacement first (word-level, case-insensitive match)
+    if config.abbrev_prob > 0.0 && rng.random_bool(config.abbrev_prob) {
+        let lower = word.to_lowercase();
+        let bare = lower.trim_end_matches(['.', ',', '!']);
+        if let Some((_, abbr)) = ABBREVIATIONS.iter().find(|(full, _)| *full == bare) {
+            return (*abbr).to_owned();
+        }
+    }
+    let mut w = word.to_owned();
+    if config.typo_prob > 0.0 && rng.random_bool(config.typo_prob) {
+        w = typo(&w, rng);
+    }
+    if config.case_noise_prob > 0.0 && rng.random_bool(config.case_noise_prob) {
+        w = if rng.random_bool(0.5) {
+            w.to_uppercase()
+        } else {
+            w.to_lowercase()
+        };
+    }
+    w
+}
+
+/// Inject one character-level typo: adjacent swap, drop, double, or replace.
+/// ASCII-safe: operates on char boundaries.
+pub fn typo<R: Rng + ?Sized>(word: &str, rng: &mut R) -> String {
+    let chars: Vec<char> = word.chars().collect();
+    // only touch alphabetic cores of sensible length
+    let alpha = chars.iter().filter(|c| c.is_alphabetic()).count();
+    if alpha < 3 {
+        return word.to_owned();
+    }
+    let mut out = chars.clone();
+    match rng.random_range(0..4u8) {
+        // swap two adjacent letters ("that" -> "taht")
+        0 => {
+            let i = rng.random_range(0..out.len() - 1);
+            out.swap(i, i + 1);
+        }
+        // drop a letter ("electrical" -> "electical")
+        1 => {
+            let i = rng.random_range(0..out.len());
+            out.remove(i);
+        }
+        // double a letter ("motor" -> "mottor")
+        2 => {
+            let i = rng.random_range(0..out.len());
+            let c = out[i];
+            out.insert(i, c);
+        }
+        // replace with a keyboard-ish neighbour (previous letter in the
+        // alphabet, wrapping) — deterministic and language-agnostic
+        _ => {
+            let i = rng.random_range(0..out.len());
+            let c = out[i];
+            if c.is_ascii_alphabetic() {
+                let base = if c.is_ascii_uppercase() { b'A' } else { b'a' };
+                let shifted = (c as u8 - base + 25) % 26 + base;
+                out[i] = shifted as char;
+            }
+        }
+    }
+    out.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn clean_config_is_identity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let text = "Der Lüfter funktioniert nicht.";
+        assert_eq!(messify(text, &MessyConfig::clean(), &mut rng), text);
+    }
+
+    #[test]
+    fn typo_preserves_short_words() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(typo("an", &mut rng), "an");
+        assert_eq!(typo("a1", &mut rng), "a1");
+    }
+
+    #[test]
+    fn typo_changes_length_or_content() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut changed = 0;
+        for _ in 0..100 {
+            let t = typo("electrical", &mut rng);
+            if t != "electrical" {
+                changed += 1;
+            }
+        }
+        // replace-variant can no-op on rare non-ascii, but nearly all runs change
+        assert!(changed > 90, "only {changed} typos changed the word");
+    }
+
+    #[test]
+    fn mechanic_config_corrupts_noticeably() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let text = "customer says that the radio turns on and off by itself electrical smell and crackling sound from the speaker area reported twice";
+        let mut diffs = 0;
+        for _ in 0..50 {
+            if messify(text, &MessyConfig::mechanic(), &mut rng) != text {
+                diffs += 1;
+            }
+        }
+        assert!(diffs > 45, "mechanic channel too clean: {diffs}/50 changed");
+    }
+
+    #[test]
+    fn abbreviations_apply() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let cfg = MessyConfig {
+            typo_prob: 0.0,
+            abbrev_prob: 1.0,
+            case_noise_prob: 0.0,
+            drop_punct_prob: 0.0,
+        };
+        let out = messify("funktioniert nicht defekt", &cfg, &mut rng);
+        assert_eq!(out, "funkt. n. def.");
+        // unknown words pass through
+        let out = messify("radio", &cfg, &mut rng);
+        assert_eq!(out, "radio");
+    }
+
+    #[test]
+    fn punctuation_drop() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let cfg = MessyConfig {
+            typo_prob: 0.0,
+            abbrev_prob: 0.0,
+            case_noise_prob: 0.0,
+            drop_punct_prob: 1.0,
+        };
+        assert_eq!(messify("Unit non-functional.", &cfg, &mut rng), "Unit non-functional");
+        assert_eq!(messify("no punct", &cfg, &mut rng), "no punct");
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let text = "the radio turns on and off by itself electrical smell";
+        let a = messify(text, &MessyConfig::mechanic(), &mut StdRng::seed_from_u64(11));
+        let b = messify(text, &MessyConfig::mechanic(), &mut StdRng::seed_from_u64(11));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn umlauts_survive_typo_channel() {
+        // must not panic on non-ascii; content may change
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..50 {
+            let _ = typo("Lüfter", &mut rng);
+            let _ = typo("durchgeschmort", &mut rng);
+        }
+    }
+}

@@ -1,0 +1,355 @@
+//! Synthetic NHTSA ODI consumer complaints.
+//!
+//! §5.4 extends the use case by classifying "problem reports from the
+//! US-American complaints database maintained by the Office of Defects
+//! (ODI/NHTSA)" with the internal knowledge base, to compare error-code
+//! distributions across markets. The real database is public but enormous
+//! and ever-changing; this module generates complaints with its essential
+//! properties: English-only consumer language (a *different text type* from
+//! workshop reports), vehicle make/model/year fields, a component category,
+//! and a latent fault drawn from a *different* error distribution than the
+//! internal corpus — the difference the Fig. 14 comparison is built to show.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use qatk_taxonomy::concept::Lang;
+
+use crate::faults::{surface, FaultWorld};
+use crate::generator::Corpus;
+use crate::zipf::Zipf;
+
+/// One consumer complaint (the ODI flat-file fields QATK uses).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Complaint {
+    /// ODI record id.
+    pub odi_id: u64,
+    pub make: String,
+    pub model: String,
+    pub year: u16,
+    /// Coarse NHTSA component category ("ELECTRICAL SYSTEM", …).
+    pub component_category: String,
+    /// Free-text consumer description.
+    pub text: String,
+    /// The latent fault's part ID (ground truth for evaluation only; the
+    /// real database has no such field).
+    pub latent_part_id: String,
+    /// The latent error code (ground truth for evaluation only).
+    pub latent_error_code: String,
+}
+
+/// Configuration of the complaint generator.
+#[derive(Debug, Clone, Copy)]
+pub struct NhtsaConfig {
+    pub seed: u64,
+    pub n_complaints: usize,
+    /// Zipf exponent for the *complaint-side* code skew. Differs from the
+    /// internal corpus so the two distributions visibly diverge (Fig. 14).
+    pub zipf_s: f64,
+    /// Rotation applied to each part's code ranking, so a different code
+    /// leads the complaint distribution than leads the internal one.
+    pub rank_rotation: usize,
+}
+
+impl Default for NhtsaConfig {
+    fn default() -> Self {
+        NhtsaConfig {
+            seed: 0x0D1_2014,
+            n_complaints: 2_000,
+            zipf_s: 1.2,
+            rank_rotation: 2,
+        }
+    }
+}
+
+const MAKES: &[(&str, &[&str])] = &[
+    ("STARWAGEN", &["S300", "S500", "CROSSER"]),
+    ("AUTOBAHN MOTORS", &["A4X", "A6X"]),
+    ("LIBERTY AUTO", &["FREEDOM", "PATRIOT LX"]),
+    ("KOMET", &["K2", "K5 TOURING"]),
+];
+
+const OPENERS: &[&str] = &[
+    "while driving at highway speed",
+    "when starting the vehicle in the morning",
+    "after parking the car overnight",
+    "during a long road trip",
+    "while idling at a traffic light",
+    "shortly after the warranty expired",
+];
+
+const CONSUMER_COMPLAINTS: &[&str] = &[
+    "the contact stated that the failure occurred without warning",
+    "the dealer was unable to duplicate the problem",
+    "the manufacturer was notified and offered no assistance",
+    "the vehicle was taken to the dealer who could not find the cause",
+    "the failure recurred multiple times",
+    "the consumer is concerned about safety",
+];
+
+/// Map a vehicle system name to the NHTSA component-category vocabulary.
+pub fn category_for(system: &str) -> &'static str {
+    match system {
+        "electrical" => "ELECTRICAL SYSTEM",
+        "infotainment" => "EQUIPMENT:ELECTRICAL",
+        "climate" => "VISIBILITY:DEFROSTER/DEFOGGER",
+        "engine" => "ENGINE AND ENGINE COOLING",
+        "brakes" => "SERVICE BRAKES",
+        _ => "UNKNOWN OR OTHER",
+    }
+}
+
+/// Generate complaints whose latent faults come from the same fault world as
+/// the internal corpus (shared suppliers!) but with a different skew.
+pub fn generate_complaints(corpus: &Corpus, config: &NhtsaConfig) -> Vec<Complaint> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let world: &FaultWorld = &corpus.world;
+    let tax = &corpus.taxonomy.taxonomy;
+
+    // per-part samplers with rotated rank order
+    let parts: Vec<&String> = world.parts.iter().map(|p| &p.part_id).collect();
+    let samplers: Vec<Zipf> = parts
+        .iter()
+        .map(|p| Zipf::new(world.codes_by_part[*p].len(), config.zipf_s))
+        .collect();
+    let part_weights: Vec<usize> = parts
+        .iter()
+        .map(|p| world.codes_by_part[*p].len())
+        .collect();
+    let total_weight: usize = part_weights.iter().sum();
+
+    let mut out = Vec::with_capacity(config.n_complaints);
+    for i in 0..config.n_complaints {
+        // pick part, then a rank rotated against the internal ranking
+        let mut w = rng.random_range(0..total_weight);
+        let mut part_idx = 0usize;
+        for (k, &pw) in part_weights.iter().enumerate() {
+            if w < pw {
+                part_idx = k;
+                break;
+            }
+            w -= pw;
+        }
+        let pool = &world.codes_by_part[parts[part_idx]];
+        let rank = (samplers[part_idx].sample(&mut rng) + config.rank_rotation) % pool.len();
+        let code = &world.codes[pool[rank]];
+        let part = world.part(&code.part_id).expect("part exists");
+
+        let (make, models) = MAKES[rng.random_range(0..MAKES.len())];
+        let model = models[rng.random_range(0..models.len())];
+        let year = rng.random_range(2005..=2015);
+
+        // consumer voice: English, verbose, mentions component and primary
+        // symptom in consumer terms, never OEM jargon
+        let component = surface(tax, code.component, Lang::En, &mut rng);
+        let symptom = surface(tax, code.symptoms[0], Lang::En, &mut rng);
+        let opener = OPENERS[rng.random_range(0..OPENERS.len())];
+        let filler_a = CONSUMER_COMPLAINTS[rng.random_range(0..CONSUMER_COMPLAINTS.len())];
+        let filler_b = CONSUMER_COMPLAINTS[rng.random_range(0..CONSUMER_COMPLAINTS.len())];
+        let text = format!(
+            "{opener}, the {component} exhibited {symptom}. {filler_a}. {filler_b}.",
+        )
+        .to_uppercase(); // the real ODI flat files are all-caps
+
+        out.push(Complaint {
+            odi_id: 10_000_000 + i as u64,
+            make: make.to_owned(),
+            model: model.to_owned(),
+            year,
+            component_category: category_for(&part.system).to_owned(),
+            text,
+            latent_part_id: code.part_id.clone(),
+            latent_error_code: code.code.clone(),
+        });
+    }
+    out
+}
+
+/// Table schema for complaints in the relational store / CSV interchange
+/// (the real ODI database ships as flat files).
+pub fn complaint_schema() -> qatk_store::Schema {
+    use qatk_store::prelude::*;
+    SchemaBuilder::new()
+        .pk("odi_id", DataType::Int)
+        .col("make", DataType::Text)
+        .col("model", DataType::Text)
+        .col("year", DataType::Int)
+        .col("component_category", DataType::Text)
+        .col("text", DataType::Text)
+        .col("latent_part_id", DataType::Text)
+        .col("latent_error_code", DataType::Text)
+        .build()
+        .expect("static schema is valid")
+}
+
+/// Export complaints as a CSV flat file (header + one record each).
+pub fn complaints_to_csv(complaints: &[Complaint]) -> String {
+    use qatk_store::prelude::*;
+    let mut table = Table::new("complaints", complaint_schema());
+    for c in complaints {
+        table
+            .insert(row![
+                c.odi_id as i64,
+                c.make.clone(),
+                c.model.clone(),
+                c.year as i64,
+                c.component_category.clone(),
+                c.text.clone(),
+                c.latent_part_id.clone(),
+                c.latent_error_code.clone()
+            ])
+            .expect("complaint ids are unique");
+    }
+    qatk_store::csv::export_table(&table)
+}
+
+/// Import complaints from the CSV flat-file format.
+pub fn complaints_from_csv(csv: &str) -> Result<Vec<Complaint>, qatk_store::StoreError> {
+    use qatk_store::prelude::Value;
+    let table = qatk_store::csv::import_table("complaints", complaint_schema(), csv)?;
+    let mut out: Vec<Complaint> = table
+        .scan()
+        .map(|r| {
+            let text = |i: usize| {
+                r.get(i)
+                    .and_then(Value::as_text)
+                    .unwrap_or_default()
+                    .to_owned()
+            };
+            Complaint {
+                odi_id: r.get(0).and_then(Value::as_int).unwrap_or(0) as u64,
+                make: text(1),
+                model: text(2),
+                year: r.get(3).and_then(Value::as_int).unwrap_or(0) as u16,
+                component_category: text(4),
+                text: text(5),
+                latent_part_id: text(6),
+                latent_error_code: text(7),
+            }
+        })
+        .collect();
+    out.sort_by_key(|c| c.odi_id);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{Corpus, CorpusConfig};
+    use std::collections::HashMap;
+
+    fn corpus() -> Corpus {
+        Corpus::generate(CorpusConfig::small(11))
+    }
+
+    #[test]
+    fn generates_requested_count() {
+        let c = corpus();
+        let complaints = generate_complaints(
+            &c,
+            &NhtsaConfig {
+                n_complaints: 300,
+                ..NhtsaConfig::default()
+            },
+        );
+        assert_eq!(complaints.len(), 300);
+        for cp in &complaints {
+            assert!(c.world.code(&cp.latent_error_code).is_some());
+            assert!(!cp.text.is_empty());
+            assert!((2005..=2015).contains(&cp.year));
+        }
+    }
+
+    #[test]
+    fn text_is_uppercase_english_consumer_style() {
+        let c = corpus();
+        let complaints = generate_complaints(&c, &NhtsaConfig::default());
+        let t = &complaints[0].text;
+        assert_eq!(t, &t.to_uppercase());
+        assert!(t.contains("THE"));
+        // no OEM jargon tokens appear as words (consumers don't use
+        // internal spec references); word-level check avoids accidental
+        // substring collisions with English words
+        let words: std::collections::HashSet<&str> =
+            t.split(|c: char| !c.is_alphanumeric() && c != '-').collect();
+        for code in &c.world.codes {
+            for v in &code.vocab {
+                assert!(
+                    !words.contains(v.to_uppercase().as_str()),
+                    "jargon {v} leaked"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn distribution_differs_from_internal() {
+        let c = corpus();
+        let complaints = generate_complaints(
+            &c,
+            &NhtsaConfig {
+                n_complaints: 2_000,
+                ..NhtsaConfig::default()
+            },
+        );
+        // top internal code vs top complaint code should differ for the
+        // largest part pool (rank rotation guarantees a shifted head)
+        let big_part = &c.world.parts[0].part_id;
+        let internal_top = {
+            let mut counts: HashMap<&str, usize> = HashMap::new();
+            for b in &c.bundles {
+                if &b.part_id == big_part {
+                    *counts.entry(b.error_code.as_deref().unwrap()).or_insert(0) += 1;
+                }
+            }
+            counts.into_iter().max_by_key(|&(_, n)| n).unwrap().0.to_owned()
+        };
+        let complaint_top = {
+            let mut counts: HashMap<&str, usize> = HashMap::new();
+            for cp in &complaints {
+                if &cp.latent_part_id == big_part {
+                    *counts.entry(&cp.latent_error_code).or_insert(0) += 1;
+                }
+            }
+            counts.into_iter().max_by_key(|&(_, n)| n).unwrap().0.to_owned()
+        };
+        assert_ne!(internal_top, complaint_top);
+    }
+
+    #[test]
+    fn deterministic() {
+        let c = corpus();
+        let a = generate_complaints(&c, &NhtsaConfig::default());
+        let b = generate_complaints(&c, &NhtsaConfig::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn csv_flat_file_roundtrip() {
+        let c = corpus();
+        let complaints = generate_complaints(
+            &c,
+            &NhtsaConfig {
+                n_complaints: 60,
+                ..NhtsaConfig::default()
+            },
+        );
+        let csv = complaints_to_csv(&complaints);
+        assert!(csv.starts_with("odi_id,make,model,year,"));
+        let back = complaints_from_csv(&csv).unwrap();
+        assert_eq!(back, complaints);
+    }
+
+    #[test]
+    fn csv_import_rejects_garbage() {
+        assert!(complaints_from_csv("not,a,complaint,file
+").is_err());
+        assert!(complaints_from_csv("").is_err());
+    }
+
+    #[test]
+    fn categories_map_known_systems() {
+        assert_eq!(category_for("electrical"), "ELECTRICAL SYSTEM");
+        assert_eq!(category_for("bogus"), "UNKNOWN OR OTHER");
+    }
+}

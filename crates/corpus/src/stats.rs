@@ -1,0 +1,138 @@
+//! Corpus statistics — the §3.2 numbers, recomputed from a generated corpus
+//! so the data_stats experiment can print paper-vs-measured.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::bundle::SourceSelection;
+use crate::generator::Corpus;
+
+/// All statistics the paper reports about its data set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorpusStats {
+    /// Total data bundles (paper: 7 500).
+    pub n_bundles: usize,
+    /// Distinct part IDs (paper: 31).
+    pub n_part_ids: usize,
+    /// Distinct article codes (paper: 831).
+    pub n_article_codes: usize,
+    /// Distinct error codes (paper: 1 271).
+    pub n_error_codes: usize,
+    /// Error codes appearing exactly once (paper: 718).
+    pub singleton_codes: usize,
+    /// Classes left after removing singletons (paper: 553).
+    pub usable_classes: usize,
+    /// Bundles whose code appears more than once (paper: 6 782).
+    pub usable_bundles: usize,
+    /// Largest number of distinct codes observed for one part ID (paper: 146).
+    pub max_codes_per_part: usize,
+    /// Part IDs with more than 10 distinct observed codes (paper: 25 of 31).
+    pub parts_with_over_10_codes: usize,
+    /// Mean whitespace words per bundle over all sources (paper: ≈70).
+    pub avg_words_per_bundle: f64,
+}
+
+impl CorpusStats {
+    /// Compute over a corpus.
+    pub fn compute(corpus: &Corpus) -> Self {
+        let bundles = &corpus.bundles;
+        let mut code_counts: HashMap<&str, usize> = HashMap::new();
+        let mut part_ids: HashSet<&str> = HashSet::new();
+        let mut article_codes: HashSet<&str> = HashSet::new();
+        let mut codes_per_part: HashMap<&str, HashSet<&str>> = HashMap::new();
+        let mut words = 0usize;
+
+        for b in bundles {
+            part_ids.insert(&b.part_id);
+            article_codes.insert(&b.article_code);
+            if let Some(code) = b.error_code.as_deref() {
+                *code_counts.entry(code).or_insert(0) += 1;
+                codes_per_part.entry(&b.part_id).or_default().insert(code);
+            }
+            words += b.word_count(SourceSelection::Training);
+        }
+
+        let singleton_codes = code_counts.values().filter(|&&c| c == 1).count();
+        let usable_classes = code_counts.len() - singleton_codes;
+        let usable_bundles = code_counts
+            .values()
+            .filter(|&&c| c > 1)
+            .sum::<usize>();
+        let max_codes_per_part = codes_per_part
+            .values()
+            .map(HashSet::len)
+            .max()
+            .unwrap_or(0);
+        let parts_with_over_10_codes = codes_per_part
+            .values()
+            .filter(|s| s.len() > 10)
+            .count();
+
+        CorpusStats {
+            n_bundles: bundles.len(),
+            n_part_ids: part_ids.len(),
+            n_article_codes: article_codes.len(),
+            n_error_codes: code_counts.len(),
+            singleton_codes,
+            usable_classes,
+            usable_bundles,
+            max_codes_per_part,
+            parts_with_over_10_codes,
+            avg_words_per_bundle: if bundles.is_empty() {
+                0.0
+            } else {
+                words as f64 / bundles.len() as f64
+            },
+        }
+    }
+
+    /// The paper's reference values, for side-by-side reporting.
+    pub fn paper_reference() -> Self {
+        CorpusStats {
+            n_bundles: 7_500,
+            n_part_ids: 31,
+            n_article_codes: 831,
+            n_error_codes: 1_271,
+            singleton_codes: 718,
+            usable_classes: 553,
+            usable_bundles: 6_782,
+            max_codes_per_part: 146,
+            parts_with_over_10_codes: 25,
+            avg_words_per_bundle: 70.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{Corpus, CorpusConfig};
+
+    #[test]
+    fn small_corpus_stats_consistent() {
+        let c = Corpus::generate(CorpusConfig::small(5));
+        let s = CorpusStats::compute(&c);
+        assert_eq!(s.n_bundles, 600);
+        assert_eq!(s.n_part_ids, 31);
+        assert_eq!(s.n_error_codes, c.world.codes.len());
+        assert_eq!(s.usable_classes + s.singleton_codes, s.n_error_codes);
+        assert_eq!(s.usable_bundles, c.evaluable_bundles().len());
+        assert!(s.avg_words_per_bundle > 30.0);
+        assert!(s.max_codes_per_part >= 10);
+    }
+
+    #[test]
+    fn paper_reference_is_the_published_table() {
+        let p = CorpusStats::paper_reference();
+        assert_eq!(p.n_bundles, 7_500);
+        assert_eq!(p.singleton_codes, 718);
+        assert_eq!(p.usable_classes, 553);
+        assert_eq!(p.usable_bundles, 6_782);
+    }
+
+    #[test]
+    fn usable_bundles_counts_multi_occurrence_mass() {
+        let c = Corpus::generate(CorpusConfig::small(6));
+        let s = CorpusStats::compute(&c);
+        assert_eq!(s.usable_bundles + s.singleton_codes, s.n_bundles);
+    }
+}

@@ -1,0 +1,350 @@
+//! Report text realization: per-source, per-language sentence templates.
+//!
+//! The templates encode the information asymmetry the paper measures in
+//! Experiment 2 (§5.3.2): "Mechanic reports tend to be poor in detail,
+//! focused on superficial problem description and often error-riddled ...
+//! whereas supplier reports tend to contain more detail and include
+//! descriptions of potential causes." Mechanic templates therefore carry
+//! customer hearsay and generic complaints; supplier templates name the
+//! precise component, symptoms, code-specific jargon and a cause hypothesis.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use qatk_taxonomy::concept::Lang;
+
+/// Pick one element of a slice.
+fn pick<'a, R: Rng + ?Sized>(rng: &mut R, options: &[&'a str]) -> &'a str {
+    options[rng.random_range(0..options.len())]
+}
+
+/// Inputs for one report realization.
+#[derive(Debug, Clone)]
+pub struct ReportContext {
+    /// Surface form of the component (in the report's language when possible).
+    pub component: String,
+    /// Surface forms of the symptoms, primary first.
+    pub symptoms: Vec<String>,
+    /// Code-specific jargon tokens.
+    pub vocab: Vec<String>,
+    /// A location surface form.
+    pub location: String,
+    /// A solution surface form.
+    pub solution: String,
+    /// A *generic/wrong* symptom surface form (what the customer reported).
+    pub generic_symptom: String,
+}
+
+/// Mechanic report: short, vague, customer-voice; little specific signal.
+/// `mention_true_symptom` controls whether the real primary symptom appears
+/// at all (the knob that puts mechanic-only classification below the
+/// frequency baseline).
+pub fn mechanic_report(
+    ctx: &ReportContext,
+    lang: Lang,
+    mention_true_symptom: bool,
+    mention_component: bool,
+    rng: &mut StdRng,
+) -> String {
+    let symptom = if mention_true_symptom {
+        ctx.symptoms[0].as_str()
+    } else {
+        ctx.generic_symptom.as_str()
+    };
+    let mut sentences: Vec<String> = Vec::new();
+    match lang {
+        Lang::En => {
+            let opener = pick(
+                rng,
+                &[
+                    "customer says",
+                    "client reports",
+                    "owner complains",
+                    "customer states",
+                    "driver reports",
+                ],
+            );
+            let complaint = pick(
+                rng,
+                &[
+                    "does not work properly",
+                    "acts up from time to time",
+                    "failed on the road",
+                    "stopped working",
+                    "makes trouble since last week",
+                    "is faulty",
+                ],
+            );
+            if mention_component {
+                sentences.push(format!("{opener} that the {} {complaint}.", ctx.component));
+            } else {
+                sentences.push(format!("{opener} the part {complaint}."));
+            }
+            if rng.random_bool(0.55) {
+                sentences.push(format!("{} noticed.", ctx.generic_symptom));
+            }
+            if rng.random_bool(0.5) {
+                sentences.push(format!("{symptom} near {}.", ctx.location));
+            }
+            if rng.random_bool(0.25) {
+                sentences.push(
+                    pick(
+                        rng,
+                        &[
+                            "could not check further in the shop.",
+                            "removed and sent in for evaluation.",
+                            "please check under warranty.",
+                            "happens only sometimes.",
+                        ],
+                    )
+                    .to_owned(),
+                );
+            }
+        }
+        Lang::De => {
+            let opener = pick(
+                rng,
+                &[
+                    "kunde sagt",
+                    "kunde beanstandet",
+                    "fahrer meldet",
+                    "kunde reklamiert",
+                ],
+            );
+            let complaint = pick(
+                rng,
+                &[
+                    "geht nicht richtig",
+                    "fällt ab und zu aus",
+                    "hat versagt",
+                    "macht probleme",
+                    "ist auffällig",
+                ],
+            );
+            if mention_component {
+                sentences.push(format!("{opener} {} {complaint}.", ctx.component));
+            } else {
+                sentences.push(format!("{opener} teil {complaint}."));
+            }
+            if rng.random_bool(0.55) {
+                sentences.push(format!("{} festgestellt.", ctx.generic_symptom));
+            }
+            if rng.random_bool(0.5) {
+                sentences.push(format!("{symptom} im bereich {}.", ctx.location));
+            }
+            if rng.random_bool(0.25) {
+                sentences.push(
+                    pick(
+                        rng,
+                        &[
+                            "in der werkstatt nicht weiter prüfbar.",
+                            "ausgebaut und eingeschickt.",
+                            "bitte auf garantie prüfen.",
+                            "tritt nur sporadisch auf.",
+                        ],
+                    )
+                    .to_owned(),
+                );
+            }
+        }
+    }
+    sentences.join(" ")
+}
+
+/// Initial OEM report: terse triage note.
+pub fn initial_report(ctx: &ReportContext, lang: Lang, rng: &mut StdRng) -> String {
+    let test_no = rng.random_range(100..999);
+    match lang {
+        Lang::En => format!(
+            "id test {test_no}, {}, sending on to supplier. {} to verify.",
+            pick(rng, &["no clear results", "inconclusive", "symptom confirmed"]),
+            ctx.component
+        ),
+        Lang::De => format!(
+            "id test {test_no}, {}, weiter an lieferant. {} zu prüfen.",
+            pick(rng, &["kein klares ergebnis", "nicht eindeutig", "symptom bestätigt"]),
+            ctx.component
+        ),
+    }
+}
+
+/// Supplier report: detailed, precise, cause hypothesis, jargon-rich.
+pub fn supplier_report(ctx: &ReportContext, lang: Lang, rng: &mut StdRng) -> String {
+    let mut sentences: Vec<String> = Vec::new();
+    let v0 = ctx.vocab.first().map(String::as_str).unwrap_or("spec");
+    let v1 = ctx.vocab.get(1).map(String::as_str).unwrap_or(v0);
+    match lang {
+        Lang::En => {
+            sentences.push(format!(
+                "Unit received, {} inspected according to {v0}.",
+                ctx.component
+            ));
+            for s in &ctx.symptoms {
+                sentences.push(format!(
+                    "{} {} at {}.",
+                    pick(rng, &["Found", "Confirmed", "Measured", "Detected"]),
+                    s,
+                    ctx.component
+                ));
+            }
+            sentences.push(format!(
+                "Root cause {} per analysis {v1}, reference value {} exceeded.",
+                pick(rng, &["confirmed", "suspected", "established"]),
+                rng.random_range(10..500)
+            ));
+            sentences.push(format!(
+                "Disassembly of the {} shows {} traces near {}.",
+                ctx.component, ctx.symptoms[0], ctx.location
+            ));
+            if ctx.vocab.len() > 2 {
+                sentences.push(format!(
+                    "Measured parameters {} recorded.",
+                    ctx.vocab[2..].join(" ")
+                ));
+            }
+            if rng.random_bool(0.6) {
+                sentences.push(format!(
+                    "Affected area {}, {} of the {} recommended.",
+                    ctx.location, ctx.solution, ctx.component
+                ));
+            }
+        }
+        Lang::De => {
+            sentences.push(format!(
+                "Einheit eingegangen, {} geprüft nach {v0}.",
+                ctx.component
+            ));
+            for s in &ctx.symptoms {
+                sentences.push(format!(
+                    "{} {} am {}.",
+                    pick(rng, &["Befund", "Bestätigt", "Gemessen", "Festgestellt"]),
+                    s,
+                    ctx.component
+                ));
+            }
+            sentences.push(format!(
+                "Ursache {} laut analyse {v1}, grenzwert {} überschritten.",
+                pick(rng, &["bestätigt", "vermutet", "nachgewiesen"]),
+                rng.random_range(10..500)
+            ));
+            sentences.push(format!(
+                "Zerlegung {} zeigt {} spuren im bereich {}.",
+                ctx.component, ctx.symptoms[0], ctx.location
+            ));
+            if ctx.vocab.len() > 2 {
+                sentences.push(format!(
+                    "Messwerte {} protokolliert.",
+                    ctx.vocab[2..].join(" ")
+                ));
+            }
+            if rng.random_bool(0.6) {
+                sentences.push(format!(
+                    "Betroffener bereich {}, {} am {} empfohlen.",
+                    ctx.location, ctx.solution, ctx.component
+                ));
+            }
+        }
+    }
+    sentences.join(" ")
+}
+
+/// Final OEM report: closing summary, written when the code is assigned.
+pub fn final_report(ctx: &ReportContext, lang: Lang, rng: &mut StdRng) -> String {
+    let v = ctx.vocab.last().map(String::as_str).unwrap_or("spec");
+    match lang {
+        Lang::En => format!(
+            "Evaluation closed: {} at {}, {v} applies. Part {}.",
+            ctx.symptoms[0],
+            ctx.component,
+            pick(rng, &["scrapped", "returned", "archived"])
+        ),
+        Lang::De => format!(
+            "Bewertung abgeschlossen: {} am {}, {v} zutreffend. Teil {}.",
+            ctx.symptoms[0],
+            ctx.component,
+            pick(rng, &["verschrottet", "zurückgesandt", "archiviert"])
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn ctx() -> ReportContext {
+        ReportContext {
+            component: "cooling fan".into(),
+            symptoms: vec!["burnt through".into(), "no power".into()],
+            vocab: vec!["schmorka-47".into(), "trolibe".into()],
+            location: "engine bay".into(),
+            solution: "replaced".into(),
+            generic_symptom: "noise".into(),
+        }
+    }
+
+    #[test]
+    fn mechanic_vague_by_default() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let r = mechanic_report(&ctx(), Lang::En, false, false, &mut rng);
+        assert!(!r.contains("cooling fan"));
+        assert!(!r.contains("burnt through"));
+        assert!(r.contains("noise"));
+        assert!(r.split_whitespace().count() >= 6);
+    }
+
+    #[test]
+    fn mechanic_can_mention_truth() {
+        // with symptom+component enabled, eventually both appear
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut saw_comp = false;
+        let mut saw_sym = false;
+        for _ in 0..30 {
+            let r = mechanic_report(&ctx(), Lang::En, true, true, &mut rng);
+            saw_comp |= r.contains("cooling fan");
+            saw_sym |= r.contains("burnt through");
+        }
+        assert!(saw_comp && saw_sym);
+    }
+
+    #[test]
+    fn supplier_contains_specifics() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let r = supplier_report(&ctx(), Lang::En, &mut rng);
+        assert!(r.contains("cooling fan"));
+        assert!(r.contains("burnt through"));
+        assert!(r.contains("no power"));
+        assert!(r.contains("schmorka-47"));
+        assert!(r.split_whitespace().count() >= 20);
+    }
+
+    #[test]
+    fn german_variants() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let m = mechanic_report(&ctx(), Lang::De, false, true, &mut rng);
+        assert!(m.contains("cooling fan")); // surface form is caller-provided
+        let s = supplier_report(&ctx(), Lang::De, &mut rng);
+        assert!(s.contains("geprüft") || s.contains("Einheit"));
+        let i = initial_report(&ctx(), Lang::De, &mut rng);
+        assert!(i.contains("id test"));
+        let f = final_report(&ctx(), Lang::De, &mut rng);
+        assert!(f.contains("abgeschlossen"));
+    }
+
+    #[test]
+    fn initial_and_final_are_short() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let i = initial_report(&ctx(), Lang::En, &mut rng);
+        assert!(i.split_whitespace().count() <= 16);
+        let f = final_report(&ctx(), Lang::En, &mut rng);
+        assert!(f.split_whitespace().count() <= 16);
+        assert!(f.contains("trolibe")); // vocab reference
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = supplier_report(&ctx(), Lang::En, &mut StdRng::seed_from_u64(9));
+        let b = supplier_report(&ctx(), Lang::En, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,110 @@
+//! Property tests over the corpus generator: every seed must produce a
+//! structurally sound corpus — the invariants below are what the evaluation
+//! pipeline relies on without re-checking.
+
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+use qatk_corpus::prelude::*;
+
+fn small_corpus(seed: u64) -> Corpus {
+    Corpus::generate(CorpusConfig {
+        seed,
+        n_bundles: 400,
+        n_article_codes: 90,
+        pool_scale: 0.06,
+        ..CorpusConfig::default()
+    })
+}
+
+proptest! {
+    // corpus generation is the expensive part; keep the case count modest
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn corpus_invariants_hold_for_any_seed(seed in any::<u64>()) {
+        let c = small_corpus(seed);
+
+        // every bundle references a known part, article code and error code
+        for b in &c.bundles {
+            let part = c.world.part(&b.part_id);
+            prop_assert!(part.is_some(), "unknown part {}", b.part_id);
+            prop_assert!(part.unwrap().article_codes.contains(&b.article_code));
+            let code = b.error_code.as_deref().expect("generated bundles are coded");
+            let def = c.world.code(code);
+            prop_assert!(def.is_some(), "unknown code {code}");
+            prop_assert_eq!(&def.unwrap().part_id, &b.part_id);
+            // mandatory texts are present
+            prop_assert!(!b.mechanic_report.trim().is_empty());
+            prop_assert!(!b.supplier_report.trim().is_empty());
+            prop_assert!(!b.part_description.trim().is_empty());
+        }
+
+        // reference numbers unique
+        let refs: HashSet<&str> = c.bundles.iter().map(|b| b.reference_number.as_str()).collect();
+        prop_assert_eq!(refs.len(), c.bundles.len());
+
+        // every error code of the world appears at least once
+        let used: HashSet<&str> = c
+            .bundles
+            .iter()
+            .filter_map(|b| b.error_code.as_deref())
+            .collect();
+        prop_assert_eq!(used.len(), c.world.codes.len());
+
+        // 31 part IDs, as in the paper, regardless of scale
+        let parts: HashSet<&str> = c.bundles.iter().map(|b| b.part_id.as_str()).collect();
+        prop_assert_eq!(parts.len(), 31);
+    }
+
+    #[test]
+    fn stats_are_internally_consistent(seed in any::<u64>()) {
+        let c = small_corpus(seed);
+        let s = CorpusStats::compute(&c);
+        prop_assert_eq!(s.n_bundles, c.bundles.len());
+        prop_assert_eq!(s.usable_classes + s.singleton_codes, s.n_error_codes);
+        prop_assert_eq!(s.usable_bundles + s.singleton_codes, s.n_bundles);
+        prop_assert_eq!(s.usable_bundles, c.evaluable_bundles().len());
+        prop_assert!(s.max_codes_per_part <= s.n_error_codes);
+        prop_assert!(s.parts_with_over_10_codes <= s.n_part_ids);
+        prop_assert!(s.avg_words_per_bundle > 0.0);
+    }
+
+    #[test]
+    fn complaints_reference_world_codes(seed in any::<u64>()) {
+        let c = small_corpus(seed);
+        let complaints = generate_complaints(
+            &c,
+            &NhtsaConfig {
+                seed,
+                n_complaints: 50,
+                ..NhtsaConfig::default()
+            },
+        );
+        prop_assert_eq!(complaints.len(), 50);
+        for cp in &complaints {
+            let def = c.world.code(&cp.latent_error_code);
+            prop_assert!(def.is_some());
+            prop_assert_eq!(&def.unwrap().part_id, &cp.latent_part_id);
+            prop_assert!(!cp.text.is_empty());
+            prop_assert_eq!(&cp.text, &cp.text.to_uppercase());
+        }
+    }
+
+    #[test]
+    fn messify_preserves_word_count_bounds(
+        text in "[a-zA-Z ]{10,120}",
+        seed in any::<u64>(),
+    ) {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let messy = messify(&text, &MessyConfig::mechanic(), &mut rng);
+        // the channel corrupts characters and abbreviates words but never
+        // adds or removes whole words
+        prop_assert_eq!(
+            messy.split(' ').count(),
+            text.split(' ').count()
+        );
+    }
+}

@@ -1,0 +1,213 @@
+//! The QUEST command-line front end — the CLI stand-in for the paper's web
+//! application (§4.5.4).
+//!
+//! ```text
+//! quest generate [--small] [--seed N] --db FILE   generate a corpus and persist it
+//! quest stats --db FILE                           print the §3.2 data statistics
+//! quest suggest --db FILE --ref R-000042          top-10 error-code suggestions
+//! quest compare [--small] [--seed N]              Fig. 14 cross-source comparison
+//! quest demo                                      end-to-end workflow walkthrough
+//! ```
+
+use std::process::ExitCode;
+
+use qatk_core::prelude::*;
+use qatk_corpus::prelude::*;
+use qatk_store::prelude::*;
+use quest::prelude::*;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let rest = &args[1..];
+    let result = match cmd.as_str() {
+        "generate" => cmd_generate(rest),
+        "stats" => cmd_stats(rest),
+        "suggest" => cmd_suggest(rest),
+        "compare" => cmd_compare(rest),
+        "demo" => cmd_demo(),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage: quest <generate|stats|suggest|compare|demo> [options]
+  generate [--small] [--seed N] --db FILE   generate a corpus, persist to FILE
+  stats --db FILE                           data statistics (paper §3.2)
+  suggest --db FILE --ref REFNO             top-10 suggestions for one bundle
+  compare [--small] [--seed N]              error distribution vs NHTSA (§5.4)
+  demo                                      guided end-to-end walkthrough";
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn has_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn corpus_config(args: &[String]) -> CorpusConfig {
+    let seed = flag_value(args, "--seed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(CorpusConfig::default().seed);
+    if has_flag(args, "--small") {
+        CorpusConfig {
+            n_bundles: 1500,
+            pool_scale: 0.2,
+            seed,
+            ..CorpusConfig::default()
+        }
+    } else {
+        CorpusConfig {
+            seed,
+            ..CorpusConfig::default()
+        }
+    }
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let db_path = flag_value(args, "--db").ok_or("generate needs --db FILE")?;
+    let config = corpus_config(args);
+    eprintln!("generating corpus ({} bundles) ...", config.n_bundles);
+    let corpus = Corpus::generate(config);
+    let mut db = Database::new();
+    save_corpus(&corpus, &mut db).map_err(|e| e.to_string())?;
+    db.save(db_path).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} bundles, {} parts, {} codes to {db_path}",
+        corpus.bundles.len(),
+        corpus.world.parts.len(),
+        corpus.world.codes.len()
+    );
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let db_path = flag_value(args, "--db").ok_or("stats needs --db FILE")?;
+    let db = Database::load(db_path).map_err(|e| e.to_string())?;
+    let bundles = load_bundles(&db).map_err(|e| e.to_string())?;
+    println!("bundles:          {}", bundles.len());
+    let parts: std::collections::HashSet<&str> =
+        bundles.iter().map(|b| b.part_id.as_str()).collect();
+    println!("part ids:         {}", parts.len());
+    let arts: std::collections::HashSet<&str> =
+        bundles.iter().map(|b| b.article_code.as_str()).collect();
+    println!("article codes:    {}", arts.len());
+    let mut counts: std::collections::HashMap<&str, usize> = std::collections::HashMap::new();
+    for b in &bundles {
+        if let Some(c) = b.error_code.as_deref() {
+            *counts.entry(c).or_insert(0) += 1;
+        }
+    }
+    let singles = counts.values().filter(|&&n| n == 1).count();
+    println!("error codes:      {}", counts.len());
+    println!("singleton codes:  {singles}");
+    println!("usable classes:   {}", counts.len() - singles);
+    Ok(())
+}
+
+fn cmd_suggest(args: &[String]) -> Result<(), String> {
+    let db_path = flag_value(args, "--db").ok_or("suggest needs --db FILE")?;
+    let reference = flag_value(args, "--ref").ok_or("suggest needs --ref REFNO")?;
+    let db = Database::load(db_path).map_err(|e| e.to_string())?;
+    let bundles = load_bundles(&db).map_err(|e| e.to_string())?;
+    let bundle = bundles
+        .iter()
+        .find(|b| b.reference_number == reference)
+        .ok_or_else(|| format!("no bundle {reference}"))?;
+
+    // Rebuild the corpus world from the same seed to obtain the taxonomy.
+    // (The snapshot stores raw data; the taxonomy is a deterministic
+    // resource, like the XML file in the paper's setup.)
+    eprintln!("training recommendation service (bag-of-concepts + jaccard) ...");
+    let config = corpus_config(args);
+    let corpus = Corpus::generate(config);
+    let mut svc = RecommendationService::train(
+        &corpus,
+        FeatureModel::BagOfConcepts,
+        SimilarityMeasure::Jaccard,
+    );
+    let s = svc.suggest(bundle);
+    print!("{}", render_bundle(bundle));
+    print!("{}", render_suggestions(&s));
+    if let Some(truth) = bundle.error_code.as_deref() {
+        println!("ground truth: {truth}");
+    }
+    Ok(())
+}
+
+fn cmd_compare(args: &[String]) -> Result<(), String> {
+    let config = corpus_config(args);
+    eprintln!("generating corpus + complaints ...");
+    let corpus = Corpus::generate(config);
+    let complaints = generate_complaints(
+        &corpus,
+        &NhtsaConfig {
+            n_complaints: if has_flag(args, "--small") { 300 } else { 2000 },
+            ..NhtsaConfig::default()
+        },
+    );
+    eprintln!("training bag-of-concepts service ...");
+    let mut svc = RecommendationService::train(
+        &corpus,
+        FeatureModel::BagOfConcepts,
+        SimilarityMeasure::Jaccard,
+    );
+    let internal = corpus.bundles.iter().filter_map(|b| b.error_code.clone());
+    let report = compare_with_complaints(&mut svc, internal, &complaints, 3);
+    println!("{}", report.render());
+    Ok(())
+}
+
+fn cmd_demo() -> Result<(), String> {
+    println!("QUEST end-to-end demo (small corpus)\n");
+    let corpus = Corpus::generate(CorpusConfig::small(7));
+    let mut users = UserRegistry::new();
+    users.add("anna", Role::QualityExpert).unwrap();
+    users.add("root", Role::Admin).unwrap();
+
+    // the Fig. 2 process for a fresh part
+    let mut case = EvaluationCase::register("R-DEMO", corpus.bundles[0].part_id.clone(), "system");
+    case.add_mechanic_report("shop-42", &corpus.bundles[0].mechanic_report)
+        .map_err(|e| e.to_string())?;
+    case.add_supplier_report(
+        "supplier-x",
+        &corpus.bundles[0].supplier_report,
+        "RC-2",
+    )
+    .map_err(|e| e.to_string())?;
+    println!("case {} is now {}", case.reference_number, case.stage());
+
+    let mut svc = RecommendationService::train(
+        &corpus,
+        FeatureModel::BagOfConcepts,
+        SimilarityMeasure::Jaccard,
+    );
+    let s = svc.suggest(&corpus.bundles[0]);
+    println!("top suggestions for the case:");
+    for (i, sc) in s.top.iter().take(5).enumerate() {
+        println!("  {:>2}. {:<8} score {:.3}", i + 1, sc.code, sc.score);
+    }
+    let chosen = s.top[0].code.clone();
+    case.finalize("anna", &chosen, "per supplier findings")
+        .map_err(|e| e.to_string())?;
+    println!("anna finalized the case with {chosen}");
+    println!("audit trail: {} entries", case.audit_trail().len());
+    Ok(())
+}

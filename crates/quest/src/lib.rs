@@ -1,0 +1,37 @@
+//! # quest — the Quality Engineering Support Tool application layer
+//!
+//! QUEST "partly reconstructs the user interface and functionality of the
+//! original quality engineering software" (paper §4.5.4). This crate is the
+//! application logic behind that UI, CLI-fronted instead of browser-fronted:
+//!
+//! * [`service`] — the recommendation service: top-10 suggestions with the
+//!   full per-part code list as fallback, persisted suggestions and audited
+//!   code assignment;
+//! * [`workflow`] — the Fig. 2 evaluation process as a state machine
+//!   (mechanic → optional initial OEM → supplier → final code);
+//! * [`users`] — users and roles (extended rights gate code creation);
+//! * [`compare`] — the §5.4 cross-source error-distribution comparison
+//!   against (synthetic) NHTSA complaints;
+//! * [`screens`] — terminal renderings of the QUEST screens.
+
+pub mod compare;
+pub mod screens;
+pub mod service;
+pub mod users;
+pub mod workflow;
+
+/// Convenient glob-import surface.
+pub mod prelude {
+    pub use crate::compare::{
+        compare_part_with_complaints, compare_with_complaints, ComparisonReport, Distribution,
+        DistributionRow,
+    };
+    pub use crate::service::{
+        RecommendationService, ServiceError, Suggestions, TOP_SUGGESTIONS,
+    };
+    pub use crate::screens::{render_bundle, render_case, render_suggestions};
+    pub use crate::users::{Role, User, UserError, UserRegistry};
+    pub use crate::workflow::{AuditEntry, EvaluationCase, Stage, WorkflowError};
+}
+
+pub use prelude::*;

@@ -1,0 +1,216 @@
+//! Text renderings of the QUEST screens (paper §4.5.4, Fig. 3/4).
+//!
+//! The original QUEST is a PrimeFaces web app; this module renders the same
+//! screens as aligned terminal text so the CLI and the examples show what a
+//! quality worker would see: the data bundle with its reports, the top-10
+//! suggestion list, and the fallback code inventory.
+
+use std::fmt::Write as _;
+
+use qatk_corpus::bundle::DataBundle;
+
+use crate::service::Suggestions;
+use crate::workflow::EvaluationCase;
+
+const WIDTH: usize = 72;
+
+fn rule(out: &mut String, c: char) {
+    out.push_str(&c.to_string().repeat(WIDTH));
+    out.push('\n');
+}
+
+fn field(out: &mut String, label: &str, value: &str) {
+    let _ = writeln!(out, "{label:<22} {value}");
+}
+
+fn wrapped(out: &mut String, label: &str, text: &str) {
+    let mut line = String::new();
+    let mut first = true;
+    for word in text.split_whitespace() {
+        if line.len() + word.len() + 1 > WIDTH - 24 {
+            field(out, if first { label } else { "" }, &line);
+            first = false;
+            line.clear();
+        }
+        if !line.is_empty() {
+            line.push(' ');
+        }
+        line.push_str(word);
+    }
+    if !line.is_empty() || first {
+        field(out, if first { label } else { "" }, &line);
+    }
+}
+
+/// The bundle-view screen: identifiers and all available reports (Fig. 3).
+pub fn render_bundle(bundle: &DataBundle) -> String {
+    let mut out = String::new();
+    rule(&mut out, '=');
+    let _ = writeln!(
+        out,
+        "QUEST — data bundle {}  (part {})",
+        bundle.reference_number, bundle.part_id
+    );
+    rule(&mut out, '=');
+    field(&mut out, "article code", &bundle.article_code);
+    field(&mut out, "part description", &bundle.part_description);
+    if let Some(rc) = &bundle.responsibility_code {
+        field(&mut out, "responsibility", rc);
+    }
+    rule(&mut out, '-');
+    wrapped(&mut out, "mechanic report", &bundle.mechanic_report);
+    if let Some(r) = &bundle.initial_report {
+        wrapped(&mut out, "initial OEM report", r);
+    }
+    wrapped(&mut out, "supplier report", &bundle.supplier_report);
+    if let Some(r) = &bundle.final_report {
+        wrapped(&mut out, "final OEM report", r);
+    }
+    match &bundle.error_code {
+        Some(code) => field(&mut out, "final error code", code),
+        None => field(&mut out, "final error code", "— not assigned —"),
+    }
+    out
+}
+
+/// The assignment screen: ranked suggestions plus fallback inventory
+/// ("the user is first presented with a selection of the 10 most likely
+/// error codes in descending order of likelihood").
+pub fn render_suggestions(s: &Suggestions) -> String {
+    let mut out = String::new();
+    rule(&mut out, '=');
+    let _ = writeln!(out, "QUEST — error code suggestions for {}", s.reference_number);
+    rule(&mut out, '=');
+    if s.top.is_empty() {
+        out.push_str("no text-based suggestions — use the full code list below\n");
+    }
+    for (i, sc) in s.top.iter().enumerate() {
+        let bar_len = (sc.score * 24.0).round() as usize;
+        let _ = writeln!(
+            out,
+            "{:>3}. {:<10} {:>6.3}  {}",
+            i + 1,
+            sc.code,
+            sc.score,
+            "#".repeat(bar_len.min(24))
+        );
+    }
+    rule(&mut out, '-');
+    let _ = writeln!(
+        out,
+        "not listed? {} codes available for this part id (view all)",
+        s.all_codes_for_part.len()
+    );
+    out
+}
+
+/// The case-history panel: workflow stage plus audit trail.
+pub fn render_case(case: &EvaluationCase) -> String {
+    let mut out = String::new();
+    rule(&mut out, '=');
+    let _ = writeln!(
+        out,
+        "QUEST — case {} (part {}) — {}",
+        case.reference_number,
+        case.part_id,
+        case.stage()
+    );
+    rule(&mut out, '=');
+    for e in case.audit_trail() {
+        let _ = writeln!(out, "{:<20} {:<14} {}", e.stage.to_string(), e.actor, e.note);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qatk_core::prelude::ScoredCode;
+
+    fn bundle() -> DataBundle {
+        DataBundle {
+            reference_number: "R-000001".into(),
+            article_code: "A-00042".into(),
+            part_id: "P-07".into(),
+            error_code: None,
+            responsibility_code: Some("RC-2".into()),
+            mechanic_report:
+                "Kleint says taht radio turns on and off by itself. Electiral smell, crackling sound."
+                    .into(),
+            initial_report: None,
+            supplier_report: "Unit non-functional. Lüfter funktioniert nicht.".into(),
+            final_report: None,
+            part_description: "Radio control unit type 4".into(),
+            error_description: None,
+        }
+    }
+
+    #[test]
+    fn bundle_screen_contains_everything() {
+        let text = render_bundle(&bundle());
+        assert!(text.contains("R-000001"));
+        assert!(text.contains("P-07"));
+        assert!(text.contains("mechanic report"));
+        assert!(text.contains("supplier report"));
+        assert!(text.contains("not assigned"));
+        assert!(!text.contains("final OEM report")); // absent field skipped
+        // long reports are wrapped: no line wider than the screen
+        for line in text.lines() {
+            assert!(line.chars().count() <= WIDTH + 2, "too wide: {line}");
+        }
+    }
+
+    #[test]
+    fn assigned_code_shown() {
+        let mut b = bundle();
+        b.error_code = Some("E0707".into());
+        assert!(render_bundle(&b).contains("E0707"));
+    }
+
+    #[test]
+    fn suggestion_screen_ranks_and_bars() {
+        let s = Suggestions {
+            reference_number: "R-000001".into(),
+            top: vec![
+                ScoredCode {
+                    code: "E0701".into(),
+                    score: 0.92,
+                },
+                ScoredCode {
+                    code: "E0702".into(),
+                    score: 0.4,
+                },
+            ],
+            all_codes_for_part: vec!["E0701".into(), "E0702".into(), "E0703".into()],
+        };
+        let text = render_suggestions(&s);
+        assert!(text.contains("  1. E0701"));
+        assert!(text.contains("  2. E0702"));
+        assert!(text.contains("3 codes available"));
+        // score bars scale with score
+        let bar1 = text.lines().find(|l| l.contains("E0701")).unwrap().matches('#').count();
+        let bar2 = text.lines().find(|l| l.contains("E0702")).unwrap().matches('#').count();
+        assert!(bar1 > bar2);
+    }
+
+    #[test]
+    fn empty_suggestions_fall_back() {
+        let s = Suggestions {
+            reference_number: "R-1".into(),
+            top: vec![],
+            all_codes_for_part: vec!["E1".into()],
+        };
+        let text = render_suggestions(&s);
+        assert!(text.contains("no text-based suggestions"));
+    }
+
+    #[test]
+    fn case_screen_shows_audit() {
+        let mut case = EvaluationCase::register("R-9", "P-01", "system");
+        case.add_mechanic_report("shop", "broken").unwrap();
+        let text = render_case(&case);
+        assert!(text.contains("mechanic-reported"));
+        assert!(text.contains("shop"));
+        assert!(text.contains("case opened"));
+    }
+}

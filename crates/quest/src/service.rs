@@ -1,0 +1,495 @@
+//! The recommendation service behind the QUEST error-code assignment screen.
+//!
+//! Paper §4.5.4: "the user is first presented with a selection of the 10 most
+//! likely error codes in descending order of likelihood. If the user decides
+//! that the correct error code is not among these 10 codes, they can access
+//! the list of all error codes available for the part ID of the current data
+//! bundle". Scored suggestions and final assignments are persisted
+//! relationally (§4.3: "These scored error codes are stored in a relational
+//! database and presented to the quality worker via the web app interface").
+
+use qatk_core::prelude::*;
+use qatk_corpus::bundle::{DataBundle, SourceSelection};
+use qatk_corpus::generator::Corpus;
+use qatk_store::prelude::*;
+use qatk_text::engine::Pipeline;
+
+use crate::users::{Role, UserError, UserRegistry};
+
+/// Number of suggestions shown on the first screen.
+pub const TOP_SUGGESTIONS: usize = 10;
+
+/// What the assignment screen shows for one bundle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Suggestions {
+    pub reference_number: String,
+    /// The ranked top-10 (at most).
+    pub top: Vec<ScoredCode>,
+    /// Fallback: every code known for this part ID, sorted.
+    pub all_codes_for_part: Vec<String>,
+}
+
+/// Service errors.
+#[derive(Debug)]
+pub enum ServiceError {
+    Store(StoreError),
+    User(UserError),
+    UnknownCode { code: String, part_id: String },
+    AlreadyAssigned { reference: String, code: String },
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Store(e) => write!(f, "storage error: {e}"),
+            ServiceError::User(e) => write!(f, "user error: {e}"),
+            ServiceError::UnknownCode { code, part_id } => {
+                write!(f, "code {code} is not defined for part {part_id}")
+            }
+            ServiceError::AlreadyAssigned { reference, code } => {
+                write!(f, "bundle {reference} already carries code {code}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<StoreError> for ServiceError {
+    fn from(e: StoreError) -> Self {
+        ServiceError::Store(e)
+    }
+}
+
+impl From<UserError> for ServiceError {
+    fn from(e: UserError) -> Self {
+        ServiceError::User(e)
+    }
+}
+
+/// Result table names used by the service.
+pub mod tables {
+    /// Scored suggestions per (bundle, code).
+    pub const RECOMMENDATIONS: &str = "recommendations";
+    /// Final assignments with the assigning user.
+    pub const ASSIGNMENTS: &str = "assignments";
+}
+
+/// The recommendation service: a trained knowledge base plus the analytics
+/// pipeline and the persistence of its outputs.
+pub struct RecommendationService {
+    kb: KnowledgeBase,
+    knn: RankedKnn,
+    pipeline: Pipeline,
+    space: FeatureSpace,
+    model: FeatureModel,
+    /// Codes created interactively via [`RecommendationService::create_code`]
+    /// (paper: admins "can define new error codes right in the QUEST
+    /// interface").
+    extra_codes: Vec<(String, String)>,
+}
+
+impl RecommendationService {
+    /// Train from the coded bundles of a corpus.
+    pub fn train(corpus: &Corpus, model: FeatureModel, measure: SimilarityMeasure) -> Self {
+        let pipeline = build_pipeline(corpus, model);
+        let mut space = FeatureSpace::new();
+        let mut kb = KnowledgeBase::new();
+        for b in &corpus.bundles {
+            let Some(code) = b.error_code.as_deref() else {
+                continue;
+            };
+            let mut cas = b.to_cas(SourceSelection::Training);
+            pipeline
+                .process(&mut cas)
+                .expect("corpus text never fails the pipeline");
+            let features = space.extract(&cas, model);
+            kb.insert(b.part_id.clone(), code, features);
+        }
+        RecommendationService {
+            kb,
+            knn: RankedKnn::new(measure),
+            pipeline,
+            space,
+            model,
+            extra_codes: Vec::new(),
+        }
+    }
+
+    /// Knowledge-base size (configuration instances).
+    pub fn kb_len(&self) -> usize {
+        self.kb.len()
+    }
+
+    /// Suggestions for a (possibly not yet coded) bundle.
+    pub fn suggest(&mut self, bundle: &DataBundle) -> Suggestions {
+        let mut cas = bundle.to_cas(SourceSelection::Test);
+        self.pipeline
+            .process(&mut cas)
+            .expect("corpus text never fails the pipeline");
+        let features = self.space.extract(&cas, self.model);
+        let mut top = self.knn.rank(&self.kb, &bundle.part_id, &features);
+        top.truncate(TOP_SUGGESTIONS);
+        let mut all: Vec<String> = self
+            .kb
+            .codes_for_part(&bundle.part_id)
+            .into_iter()
+            .map(str::to_owned)
+            .collect();
+        for (part, code) in &self.extra_codes {
+            if part == &bundle.part_id && !all.contains(code) {
+                all.push(code.clone());
+            }
+        }
+        all.sort();
+        Suggestions {
+            reference_number: bundle.reference_number.clone(),
+            top,
+            all_codes_for_part: all,
+        }
+    }
+
+    /// Persist scored suggestions (idempotent per bundle: re-suggestion
+    /// replaces earlier rows).
+    pub fn persist_suggestions(
+        &self,
+        db: &mut Database,
+        s: &Suggestions,
+    ) -> Result<(), ServiceError> {
+        if !db.has_table(tables::RECOMMENDATIONS) {
+            let schema = SchemaBuilder::new()
+                .pk("id", DataType::Text)
+                .col("reference_number", DataType::Text)
+                .col("error_code", DataType::Text)
+                .col("score", DataType::Float)
+                .col("rank", DataType::Int)
+                .build()?;
+            db.create_table(tables::RECOMMENDATIONS, schema)?;
+            db.table_mut(tables::RECOMMENDATIONS)?.create_index(
+                "rec_by_ref",
+                "reference_number",
+                IndexKind::Hash,
+            )?;
+        }
+        // drop earlier suggestions for this bundle
+        let stale: Vec<Value> = db
+            .table(tables::RECOMMENDATIONS)?
+            .lookup("reference_number", &Value::from(s.reference_number.as_str()))?
+            .iter()
+            .map(|r| r.values()[0].clone())
+            .collect();
+        for pk in stale {
+            db.delete(tables::RECOMMENDATIONS, &pk)?;
+        }
+        for (rank, sc) in s.top.iter().enumerate() {
+            db.insert(
+                tables::RECOMMENDATIONS,
+                row![
+                    format!("{}#{}", s.reference_number, sc.code),
+                    s.reference_number.clone(),
+                    sc.code.clone(),
+                    sc.score,
+                    rank as i64
+                ],
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Record a final code assignment by an authorized user.
+    pub fn assign(
+        &self,
+        db: &mut Database,
+        users: &UserRegistry,
+        user: &str,
+        bundle: &DataBundle,
+        code: &str,
+    ) -> Result<(), ServiceError> {
+        users.authorize(user, "assign error codes", Role::can_assign_codes)?;
+        let known = self.kb.codes_for_part(&bundle.part_id).contains(&code)
+            || self
+                .extra_codes
+                .iter()
+                .any(|(p, c)| p == &bundle.part_id && c == code);
+        if !known {
+            return Err(ServiceError::UnknownCode {
+                code: code.to_owned(),
+                part_id: bundle.part_id.clone(),
+            });
+        }
+        if !db.has_table(tables::ASSIGNMENTS) {
+            let schema = SchemaBuilder::new()
+                .pk("reference_number", DataType::Text)
+                .col("error_code", DataType::Text)
+                .col("assigned_by", DataType::Text)
+                .build()?;
+            db.create_table(tables::ASSIGNMENTS, schema)?;
+        }
+        if let Some(prev) = db.get(tables::ASSIGNMENTS, &Value::from(bundle.reference_number.as_str()))? {
+            let prev_code = prev.get(1).and_then(Value::as_text).unwrap_or_default();
+            return Err(ServiceError::AlreadyAssigned {
+                reference: bundle.reference_number.clone(),
+                code: prev_code.to_owned(),
+            });
+        }
+        db.insert(
+            tables::ASSIGNMENTS,
+            row![
+                bundle.reference_number.clone(),
+                code.to_owned(),
+                user.to_owned()
+            ],
+        )?;
+        Ok(())
+    }
+
+    /// Define a new error code (extended rights required).
+    pub fn create_code(
+        &mut self,
+        users: &UserRegistry,
+        user: &str,
+        part_id: &str,
+        code: &str,
+    ) -> Result<(), ServiceError> {
+        users.authorize(user, "create error codes", Role::can_create_codes)?;
+        if !self
+            .extra_codes
+            .iter()
+            .any(|(p, c)| p == part_id && c == code)
+        {
+            self.extra_codes.push((part_id.to_owned(), code.to_owned()));
+        }
+        Ok(())
+    }
+
+    /// Borrow the trained knowledge base (e.g. for cross-source comparison).
+    pub fn knowledge_base(&self) -> &KnowledgeBase {
+        &self.kb
+    }
+
+    /// Online learning: once a quality expert has assigned a final code, the
+    /// bundle becomes a training instance. kNN is a lazy learner (paper
+    /// §4.2), so "learning" is just inserting the new configuration into the
+    /// knowledge base — no retraining pass. Returns `true` if the instance
+    /// added a new configuration (dedup may absorb it).
+    pub fn learn(&mut self, bundle: &DataBundle, code: &str) -> bool {
+        let mut cas = bundle.to_cas(SourceSelection::Training);
+        // the freshly assigned code's description is not part of the bundle
+        // yet; the reports and part description carry the signal
+        self.pipeline
+            .process(&mut cas)
+            .expect("corpus text never fails the pipeline");
+        let features = self.space.extract(&cas, self.model);
+        self.kb.insert(bundle.part_id.clone(), code, features)
+    }
+
+    /// Convenience: record the assignment *and* learn from it in one step.
+    pub fn assign_and_learn(
+        &mut self,
+        db: &mut Database,
+        users: &UserRegistry,
+        user: &str,
+        bundle: &DataBundle,
+        code: &str,
+    ) -> Result<bool, ServiceError> {
+        self.assign(db, users, user, bundle, code)?;
+        Ok(self.learn(bundle, code))
+    }
+
+    /// Classify a free text with an unknown part ID (the §5.4 external-source
+    /// path: the NHTSA complaint has no OEM part ID, so candidate selection
+    /// falls back across the whole knowledge base).
+    pub fn classify_external(&mut self, text: &str) -> Vec<ScoredCode> {
+        self.classify_external_for_part(text, "<external>")
+    }
+
+    /// Classify an external text against one part type's knowledge — the
+    /// per-part comparison screen, where the external source was pre-filtered
+    /// by component category.
+    pub fn classify_external_for_part(&mut self, text: &str, part_id: &str) -> Vec<ScoredCode> {
+        let mut cas = qatk_text::cas::Cas::new();
+        cas.add_segment("external_text", text);
+        self.pipeline
+            .process(&mut cas)
+            .expect("plain text never fails the pipeline");
+        let features = self.space.extract(&cas, self.model);
+        self.knn.rank(&self.kb, part_id, &features)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qatk_corpus::generator::CorpusConfig;
+
+    fn corpus() -> Corpus {
+        Corpus::generate(CorpusConfig::small(31))
+    }
+
+    fn users() -> UserRegistry {
+        let mut u = UserRegistry::new();
+        u.add("anna", Role::QualityExpert).unwrap();
+        u.add("root", Role::Admin).unwrap();
+        u.add("guest", Role::Viewer).unwrap();
+        u
+    }
+
+    #[test]
+    fn suggestions_capped_at_ten_with_fallback_list() {
+        let c = corpus();
+        let mut svc =
+            RecommendationService::train(&c, FeatureModel::BagOfConcepts, SimilarityMeasure::Jaccard);
+        assert!(svc.kb_len() > 0);
+        let b = &c.bundles[0];
+        let s = svc.suggest(b);
+        assert!(s.top.len() <= TOP_SUGGESTIONS);
+        assert!(!s.all_codes_for_part.is_empty());
+        // fallback list covers the part's full code inventory observed in data
+        for sc in &s.top {
+            assert!(s.all_codes_for_part.contains(&sc.code));
+        }
+        // scores descend
+        for w in s.top.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+
+    #[test]
+    fn true_code_usually_in_top_ten() {
+        let c = corpus();
+        let mut svc =
+            RecommendationService::train(&c, FeatureModel::BagOfWords, SimilarityMeasure::Jaccard);
+        let mut hits = 0;
+        let total = 100.min(c.bundles.len());
+        for b in c.bundles.iter().take(total) {
+            let s = svc.suggest(b);
+            let truth = b.error_code.as_deref().unwrap();
+            if s.top.iter().any(|sc| sc.code == truth) {
+                hits += 1;
+            }
+        }
+        // training data is in the KB, so this is optimistic by construction
+        assert!(hits * 10 >= total * 8, "only {hits}/{total} in top-10");
+    }
+
+    #[test]
+    fn persist_suggestions_roundtrip_and_replace() {
+        let c = corpus();
+        let mut svc =
+            RecommendationService::train(&c, FeatureModel::BagOfConcepts, SimilarityMeasure::Jaccard);
+        let mut db = Database::new();
+        let s = svc.suggest(&c.bundles[0]);
+        svc.persist_suggestions(&mut db, &s).unwrap();
+        let n = db.table(tables::RECOMMENDATIONS).unwrap().len();
+        assert_eq!(n, s.top.len());
+        // re-persisting replaces, not duplicates
+        svc.persist_suggestions(&mut db, &s).unwrap();
+        assert_eq!(db.table(tables::RECOMMENDATIONS).unwrap().len(), n);
+    }
+
+    #[test]
+    fn assignment_requires_rights_and_known_code() {
+        let c = corpus();
+        let svc =
+            RecommendationService::train(&c, FeatureModel::BagOfConcepts, SimilarityMeasure::Jaccard);
+        let users = users();
+        let mut db = Database::new();
+        let b = &c.bundles[0];
+        let code = b.error_code.clone().unwrap();
+
+        assert!(matches!(
+            svc.assign(&mut db, &users, "guest", b, &code),
+            Err(ServiceError::User(UserError::Forbidden { .. }))
+        ));
+        assert!(matches!(
+            svc.assign(&mut db, &users, "anna", b, "E-unknown"),
+            Err(ServiceError::UnknownCode { .. })
+        ));
+        svc.assign(&mut db, &users, "anna", b, &code).unwrap();
+        assert!(matches!(
+            svc.assign(&mut db, &users, "anna", b, &code),
+            Err(ServiceError::AlreadyAssigned { .. })
+        ));
+        let stored = db
+            .get(tables::ASSIGNMENTS, &Value::from(b.reference_number.as_str()))
+            .unwrap()
+            .unwrap();
+        assert_eq!(stored.get(2).and_then(Value::as_text), Some("anna"));
+    }
+
+    #[test]
+    fn code_creation_gated_and_visible() {
+        let c = corpus();
+        let mut svc =
+            RecommendationService::train(&c, FeatureModel::BagOfConcepts, SimilarityMeasure::Jaccard);
+        let users = users();
+        let b = c.bundles[0].clone();
+
+        assert!(matches!(
+            svc.create_code(&users, "anna", &b.part_id, "E-NEW"),
+            Err(ServiceError::User(UserError::Forbidden { .. }))
+        ));
+        svc.create_code(&users, "root", &b.part_id, "E-NEW").unwrap();
+        // idempotent
+        svc.create_code(&users, "root", &b.part_id, "E-NEW").unwrap();
+        let s = svc.suggest(&b);
+        assert!(s.all_codes_for_part.contains(&"E-NEW".to_owned()));
+        // and assignable now
+        let mut db = Database::new();
+        svc.assign(&mut db, &users, "anna", &b, "E-NEW").unwrap();
+    }
+
+    #[test]
+    fn online_learning_adds_configurations() {
+        let c = corpus();
+        let svc2 =
+            RecommendationService::train(&c, FeatureModel::BagOfConcepts, SimilarityMeasure::Jaccard);
+        let before = svc2.kb_len();
+        // a brand-new bundle for a known part with a fresh admin-created code
+        let mut fresh = c.bundles[0].clone();
+        fresh.reference_number = "R-FRESH".into();
+        fresh.supplier_report = "Unit received, speaker inspected. Found grinding noise at speaker.              Root cause confirmed per analysis zzqq-99."
+            .into();
+        fresh.error_code = None;
+        fresh.error_description = None;
+
+        let users = users();
+        let mut svc2 = svc2;
+        svc2.create_code(&users, "root", &fresh.part_id, "E-LEARN").unwrap();
+        let mut db = Database::new();
+        let added = svc2
+            .assign_and_learn(&mut db, &users, "anna", &fresh, "E-LEARN")
+            .unwrap();
+        assert!(added);
+        assert_eq!(svc2.kb_len(), before + 1);
+        // the new code is now recommendable for similar future bundles
+        let mut similar = fresh.clone();
+        similar.reference_number = "R-SIMILAR".into();
+        let s = svc2.suggest(&similar);
+        assert!(s.top.iter().any(|sc| sc.code == "E-LEARN"));
+    }
+
+    #[test]
+    fn learning_identical_configuration_is_deduped() {
+        let c = corpus();
+        let mut svc =
+            RecommendationService::train(&c, FeatureModel::BagOfConcepts, SimilarityMeasure::Jaccard);
+        let before = svc.kb_len();
+        let b = c.bundles[0].clone();
+        let code = b.error_code.clone().unwrap();
+        // the exact training bundle re-learned adds nothing
+        let added = svc.learn(&b, &code);
+        assert!(!added);
+        assert_eq!(svc.kb_len(), before);
+    }
+
+    #[test]
+    fn external_classification_works_without_part_id() {
+        let c = corpus();
+        let mut svc =
+            RecommendationService::train(&c, FeatureModel::BagOfConcepts, SimilarityMeasure::Jaccard);
+        let ranked = svc.classify_external("THE COOLING FAN EXHIBITED GRINDING NOISE");
+        // unknown part falls back across the whole KB; some suggestion appears
+        assert!(!ranked.is_empty());
+    }
+}

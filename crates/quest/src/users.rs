@@ -1,0 +1,229 @@
+//! Users and roles of the QUEST web application.
+//!
+//! Paper §4.5.4: QUEST reconstructs the OEM's quality-engineering software —
+//! "users can view the data and assign error codes", "users with extended
+//! rights can define new error codes right in the QUEST interface", and the
+//! admin side can "maintain users".
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Access role.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Role {
+    /// View data and suggestions only.
+    Viewer,
+    /// Assign final error codes.
+    QualityExpert,
+    /// QualityExpert + define new error codes ("extended rights").
+    Admin,
+}
+
+impl Role {
+    pub fn can_assign_codes(self) -> bool {
+        matches!(self, Role::QualityExpert | Role::Admin)
+    }
+
+    pub fn can_create_codes(self) -> bool {
+        matches!(self, Role::Admin)
+    }
+
+    pub fn can_manage_users(self) -> bool {
+        matches!(self, Role::Admin)
+    }
+}
+
+impl fmt::Display for Role {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Role::Viewer => "viewer",
+            Role::QualityExpert => "quality-expert",
+            Role::Admin => "admin",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A registered user.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct User {
+    pub name: String,
+    pub role: Role,
+    pub active: bool,
+}
+
+/// User registry errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UserError {
+    Exists(String),
+    NotFound(String),
+    Forbidden { user: String, action: &'static str },
+    Inactive(String),
+}
+
+impl fmt::Display for UserError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UserError::Exists(u) => write!(f, "user `{u}` already exists"),
+            UserError::NotFound(u) => write!(f, "no user `{u}`"),
+            UserError::Forbidden { user, action } => {
+                write!(f, "user `{user}` may not {action}")
+            }
+            UserError::Inactive(u) => write!(f, "user `{u}` is deactivated"),
+        }
+    }
+}
+
+impl std::error::Error for UserError {}
+
+/// In-memory user registry.
+#[derive(Debug, Default, Clone)]
+pub struct UserRegistry {
+    users: HashMap<String, User>,
+}
+
+impl UserRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a new user.
+    pub fn add(&mut self, name: impl Into<String>, role: Role) -> Result<(), UserError> {
+        let name = name.into();
+        if self.users.contains_key(&name) {
+            return Err(UserError::Exists(name));
+        }
+        self.users.insert(
+            name.clone(),
+            User {
+                name,
+                role,
+                active: true,
+            },
+        );
+        Ok(())
+    }
+
+    /// Look up a user.
+    pub fn get(&self, name: &str) -> Result<&User, UserError> {
+        self.users
+            .get(name)
+            .ok_or_else(|| UserError::NotFound(name.to_owned()))
+    }
+
+    /// Change a user's role (admin action, checked by the caller/service).
+    pub fn set_role(&mut self, name: &str, role: Role) -> Result<(), UserError> {
+        self.users
+            .get_mut(name)
+            .map(|u| u.role = role)
+            .ok_or_else(|| UserError::NotFound(name.to_owned()))
+    }
+
+    /// Deactivate a user (no deletion — audit trails reference users).
+    pub fn deactivate(&mut self, name: &str) -> Result<(), UserError> {
+        self.users
+            .get_mut(name)
+            .map(|u| u.active = false)
+            .ok_or_else(|| UserError::NotFound(name.to_owned()))
+    }
+
+    /// Check that `name` exists, is active, and passes `check` on its role.
+    pub fn authorize(
+        &self,
+        name: &str,
+        action: &'static str,
+        check: impl Fn(Role) -> bool,
+    ) -> Result<&User, UserError> {
+        let user = self.get(name)?;
+        if !user.active {
+            return Err(UserError::Inactive(name.to_owned()));
+        }
+        if !check(user.role) {
+            return Err(UserError::Forbidden {
+                user: name.to_owned(),
+                action,
+            });
+        }
+        Ok(user)
+    }
+
+    /// Number of registered users.
+    pub fn len(&self) -> usize {
+        self.users.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.users.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn role_permissions() {
+        assert!(!Role::Viewer.can_assign_codes());
+        assert!(Role::QualityExpert.can_assign_codes());
+        assert!(!Role::QualityExpert.can_create_codes());
+        assert!(Role::Admin.can_create_codes());
+        assert!(Role::Admin.can_manage_users());
+        assert!(!Role::Viewer.can_manage_users());
+    }
+
+    #[test]
+    fn registry_lifecycle() {
+        let mut r = UserRegistry::new();
+        r.add("anna", Role::QualityExpert).unwrap();
+        r.add("ben", Role::Viewer).unwrap();
+        assert_eq!(r.len(), 2);
+        assert!(matches!(
+            r.add("anna", Role::Admin),
+            Err(UserError::Exists(_))
+        ));
+        assert_eq!(r.get("anna").unwrap().role, Role::QualityExpert);
+        r.set_role("ben", Role::Admin).unwrap();
+        assert_eq!(r.get("ben").unwrap().role, Role::Admin);
+        assert!(r.set_role("ghost", Role::Viewer).is_err());
+        assert!(r.get("ghost").is_err());
+    }
+
+    #[test]
+    fn authorization() {
+        let mut r = UserRegistry::new();
+        r.add("anna", Role::QualityExpert).unwrap();
+        r.add("ben", Role::Viewer).unwrap();
+        assert!(r
+            .authorize("anna", "assign codes", Role::can_assign_codes)
+            .is_ok());
+        assert!(matches!(
+            r.authorize("ben", "assign codes", Role::can_assign_codes),
+            Err(UserError::Forbidden { .. })
+        ));
+        assert!(matches!(
+            r.authorize("ghost", "assign codes", Role::can_assign_codes),
+            Err(UserError::NotFound(_))
+        ));
+        r.deactivate("anna").unwrap();
+        assert!(matches!(
+            r.authorize("anna", "assign codes", Role::can_assign_codes),
+            Err(UserError::Inactive(_))
+        ));
+    }
+
+    #[test]
+    fn error_display() {
+        for e in [
+            UserError::Exists("x".into()),
+            UserError::NotFound("x".into()),
+            UserError::Forbidden {
+                user: "x".into(),
+                action: "y",
+            },
+            UserError::Inactive("x".into()),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+        assert_eq!(Role::Admin.to_string(), "admin");
+    }
+}

@@ -1,0 +1,306 @@
+//! The part-evaluation workflow of paper Fig. 2.
+//!
+//! "The removed and potentially damaged car part is first evaluated in a
+//! short textual report by the mechanic ... It is then shipped to the OEM,
+//! where an optional initial report can be written. Next, the car part is
+//! sent on to the supplier ... writes a textual report and assigns a damage
+//! responsibility code. Eventually, a quality expert at the OEM assigns the
+//! car part a final error code and writes a short final report." This module
+//! is that process as a state machine with an audit trail.
+
+use std::fmt;
+
+/// Workflow stages, in process order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Stage {
+    /// Part registered, nothing reported yet.
+    Registered,
+    /// Mechanic report received.
+    MechanicReported,
+    /// Optional initial OEM assessment done.
+    InitiallyAssessed,
+    /// Supplier report + responsibility code received.
+    SupplierAssessed,
+    /// Final error code assigned; case closed.
+    Finalized,
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Stage::Registered => "registered",
+            Stage::MechanicReported => "mechanic-reported",
+            Stage::InitiallyAssessed => "initially-assessed",
+            Stage::SupplierAssessed => "supplier-assessed",
+            Stage::Finalized => "finalized",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One audit entry: who moved the case to which stage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuditEntry {
+    pub stage: Stage,
+    pub actor: String,
+    pub note: String,
+}
+
+/// Workflow violations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkflowError {
+    /// Transition not allowed from the current stage.
+    InvalidTransition { from: Stage, to: Stage },
+    /// The case is closed.
+    Finalized,
+}
+
+impl fmt::Display for WorkflowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkflowError::InvalidTransition { from, to } => {
+                write!(f, "cannot move from {from} to {to}")
+            }
+            WorkflowError::Finalized => write!(f, "case is finalized"),
+        }
+    }
+}
+
+impl std::error::Error for WorkflowError {}
+
+/// One evaluation case for a damaged part.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvaluationCase {
+    pub reference_number: String,
+    pub part_id: String,
+    stage: Stage,
+    pub mechanic_report: Option<String>,
+    pub initial_report: Option<String>,
+    pub supplier_report: Option<String>,
+    pub responsibility_code: Option<String>,
+    pub final_report: Option<String>,
+    pub error_code: Option<String>,
+    audit: Vec<AuditEntry>,
+}
+
+impl EvaluationCase {
+    /// Register a new case.
+    pub fn register(
+        reference_number: impl Into<String>,
+        part_id: impl Into<String>,
+        actor: &str,
+    ) -> Self {
+        let mut case = EvaluationCase {
+            reference_number: reference_number.into(),
+            part_id: part_id.into(),
+            stage: Stage::Registered,
+            mechanic_report: None,
+            initial_report: None,
+            supplier_report: None,
+            responsibility_code: None,
+            final_report: None,
+            error_code: None,
+            audit: Vec::new(),
+        };
+        case.log(Stage::Registered, actor, "case opened");
+        case
+    }
+
+    fn log(&mut self, stage: Stage, actor: &str, note: &str) {
+        self.audit.push(AuditEntry {
+            stage,
+            actor: actor.to_owned(),
+            note: note.to_owned(),
+        });
+    }
+
+    pub fn stage(&self) -> Stage {
+        self.stage
+    }
+
+    pub fn audit_trail(&self) -> &[AuditEntry] {
+        &self.audit
+    }
+
+    fn guard(&self, expected: &[Stage], to: Stage) -> Result<(), WorkflowError> {
+        if self.stage == Stage::Finalized {
+            return Err(WorkflowError::Finalized);
+        }
+        if expected.contains(&self.stage) {
+            Ok(())
+        } else {
+            Err(WorkflowError::InvalidTransition {
+                from: self.stage,
+                to,
+            })
+        }
+    }
+
+    /// Attach the mechanic report (first step).
+    pub fn add_mechanic_report(&mut self, actor: &str, text: &str) -> Result<(), WorkflowError> {
+        self.guard(&[Stage::Registered], Stage::MechanicReported)?;
+        self.mechanic_report = Some(text.to_owned());
+        self.stage = Stage::MechanicReported;
+        self.log(self.stage, actor, "mechanic report received");
+        Ok(())
+    }
+
+    /// Attach the optional initial OEM report.
+    pub fn add_initial_report(&mut self, actor: &str, text: &str) -> Result<(), WorkflowError> {
+        self.guard(&[Stage::MechanicReported], Stage::InitiallyAssessed)?;
+        self.initial_report = Some(text.to_owned());
+        self.stage = Stage::InitiallyAssessed;
+        self.log(self.stage, actor, "initial OEM assessment");
+        Ok(())
+    }
+
+    /// Attach the supplier report and responsibility code. Allowed directly
+    /// after the mechanic report (the initial assessment is optional).
+    pub fn add_supplier_report(
+        &mut self,
+        actor: &str,
+        text: &str,
+        responsibility_code: &str,
+    ) -> Result<(), WorkflowError> {
+        self.guard(
+            &[Stage::MechanicReported, Stage::InitiallyAssessed],
+            Stage::SupplierAssessed,
+        )?;
+        self.supplier_report = Some(text.to_owned());
+        self.responsibility_code = Some(responsibility_code.to_owned());
+        self.stage = Stage::SupplierAssessed;
+        self.log(self.stage, actor, "supplier assessment");
+        Ok(())
+    }
+
+    /// Close the case with a final error code and report.
+    pub fn finalize(
+        &mut self,
+        actor: &str,
+        error_code: &str,
+        final_report: &str,
+    ) -> Result<(), WorkflowError> {
+        self.guard(&[Stage::SupplierAssessed], Stage::Finalized)?;
+        self.error_code = Some(error_code.to_owned());
+        self.final_report = Some(final_report.to_owned());
+        self.stage = Stage::Finalized;
+        self.log(self.stage, actor, "final code assigned");
+        Ok(())
+    }
+
+    /// The texts available *right now* for classification — what QUEST can
+    /// feed the recommender at each point of the process (Experiment 2's
+    /// "point of entry" question).
+    pub fn available_texts(&self) -> Vec<(&'static str, &str)> {
+        let mut out = Vec::new();
+        if let Some(t) = &self.mechanic_report {
+            out.push(("mechanic_report", t.as_str()));
+        }
+        if let Some(t) = &self.initial_report {
+            out.push(("initial_oem_report", t.as_str()));
+        }
+        if let Some(t) = &self.supplier_report {
+            out.push(("supplier_report", t.as_str()));
+        }
+        if let Some(t) = &self.final_report {
+            out.push(("final_oem_report", t.as_str()));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn case() -> EvaluationCase {
+        EvaluationCase::register("R-1", "P-07", "system")
+    }
+
+    #[test]
+    fn happy_path_with_initial() {
+        let mut c = case();
+        assert_eq!(c.stage(), Stage::Registered);
+        c.add_mechanic_report("shop-42", "radio dead").unwrap();
+        c.add_initial_report("oem-1", "id test 470").unwrap();
+        c.add_supplier_report("supplier-x", "Kontakt defekt", "RC-2")
+            .unwrap();
+        c.finalize("anna", "E0701", "contact melted").unwrap();
+        assert_eq!(c.stage(), Stage::Finalized);
+        assert_eq!(c.error_code.as_deref(), Some("E0701"));
+        assert_eq!(c.audit_trail().len(), 5);
+        assert_eq!(c.audit_trail()[4].actor, "anna");
+    }
+
+    #[test]
+    fn initial_report_is_optional() {
+        let mut c = case();
+        c.add_mechanic_report("shop", "dead").unwrap();
+        c.add_supplier_report("sup", "broken", "RC-1").unwrap();
+        assert_eq!(c.stage(), Stage::SupplierAssessed);
+        assert!(c.initial_report.is_none());
+    }
+
+    #[test]
+    fn out_of_order_rejected() {
+        let mut c = case();
+        assert!(matches!(
+            c.add_supplier_report("sup", "x", "RC-1"),
+            Err(WorkflowError::InvalidTransition { .. })
+        ));
+        assert!(matches!(
+            c.finalize("anna", "E1", "x"),
+            Err(WorkflowError::InvalidTransition { .. })
+        ));
+        c.add_mechanic_report("shop", "x").unwrap();
+        assert!(matches!(
+            c.add_mechanic_report("shop", "again"),
+            Err(WorkflowError::InvalidTransition { .. })
+        ));
+        // initial after supplier is too late
+        c.add_supplier_report("sup", "x", "RC-1").unwrap();
+        assert!(c.add_initial_report("oem", "late").is_err());
+    }
+
+    #[test]
+    fn finalized_cases_are_closed() {
+        let mut c = case();
+        c.add_mechanic_report("shop", "x").unwrap();
+        c.add_supplier_report("sup", "y", "RC-3").unwrap();
+        c.finalize("anna", "E1", "done").unwrap();
+        assert!(matches!(
+            c.finalize("anna", "E2", "again"),
+            Err(WorkflowError::Finalized)
+        ));
+        assert!(matches!(
+            c.add_mechanic_report("shop", "late"),
+            Err(WorkflowError::Finalized)
+        ));
+    }
+
+    #[test]
+    fn available_texts_accumulate() {
+        let mut c = case();
+        assert!(c.available_texts().is_empty());
+        c.add_mechanic_report("shop", "m").unwrap();
+        assert_eq!(c.available_texts().len(), 1);
+        c.add_supplier_report("sup", "s", "RC-1").unwrap();
+        let texts = c.available_texts();
+        assert_eq!(texts.len(), 2);
+        assert_eq!(texts[0].0, "mechanic_report");
+        assert_eq!(texts[1].0, "supplier_report");
+        c.finalize("anna", "E1", "f").unwrap();
+        assert_eq!(c.available_texts().len(), 3);
+    }
+
+    #[test]
+    fn stage_ordering_and_display() {
+        assert!(Stage::Registered < Stage::Finalized);
+        assert_eq!(Stage::SupplierAssessed.to_string(), "supplier-assessed");
+        let e = WorkflowError::InvalidTransition {
+            from: Stage::Registered,
+            to: Stage::Finalized,
+        };
+        assert!(e.to_string().contains("registered"));
+    }
+}

@@ -1,0 +1,263 @@
+//! Grouped aggregation over tables: the `GROUP BY`-style queries QATK's
+//! reporting side needs (code frequencies per part, error distributions,
+//! corpus statistics) without round-tripping rows through application code.
+
+use std::collections::HashMap;
+
+use crate::error::{Result, StoreError};
+use crate::predicate::Predicate;
+use crate::table::Table;
+use crate::value::Value;
+
+/// An aggregate function over one column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Aggregate {
+    /// Number of rows in the group (column is ignored for counting but kept
+    /// for uniform plumbing).
+    Count,
+    /// Sum of numeric values (Int + Float mix allowed; NULLs skipped).
+    Sum,
+    /// Arithmetic mean of numeric values (NULLs skipped).
+    Avg,
+    /// Minimum under the engine's total order (NULLs skipped).
+    Min,
+    /// Maximum under the engine's total order (NULLs skipped).
+    Max,
+}
+
+/// One group's aggregate output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupRow {
+    pub key: Value,
+    pub value: Value,
+}
+
+/// A grouped-aggregation query.
+#[derive(Debug, Clone)]
+pub struct GroupBy {
+    key_column: String,
+    agg: Aggregate,
+    agg_column: String,
+    filter: Predicate,
+}
+
+impl GroupBy {
+    /// Aggregate `agg(agg_column)` grouped by `key_column`.
+    pub fn new(
+        key_column: impl Into<String>,
+        agg: Aggregate,
+        agg_column: impl Into<String>,
+    ) -> Self {
+        GroupBy {
+            key_column: key_column.into(),
+            agg,
+            agg_column: agg_column.into(),
+            filter: Predicate::True,
+        }
+    }
+
+    /// Shorthand: row counts per key.
+    pub fn count(key_column: impl Into<String>) -> Self {
+        let key = key_column.into();
+        GroupBy::new(key.clone(), Aggregate::Count, key)
+    }
+
+    /// Restrict to rows matching a predicate (built against column
+    /// positions, e.g. via [`crate::query::Cond`]).
+    pub fn filter(mut self, predicate: Predicate) -> Self {
+        self.filter = predicate;
+        self
+    }
+
+    /// Run against a table; groups are returned sorted by key.
+    pub fn run(&self, table: &Table) -> Result<Vec<GroupRow>> {
+        let schema = table.schema();
+        let key_idx = schema
+            .column_index(&self.key_column)
+            .ok_or_else(|| StoreError::NoSuchColumn {
+                table: table.name().to_owned(),
+                column: self.key_column.clone(),
+            })?;
+        let agg_idx = schema
+            .column_index(&self.agg_column)
+            .ok_or_else(|| StoreError::NoSuchColumn {
+                table: table.name().to_owned(),
+                column: self.agg_column.clone(),
+            })?;
+
+        #[derive(Default)]
+        struct Acc {
+            count: usize,
+            sum: f64,
+            numeric: usize,
+            min: Option<Value>,
+            max: Option<Value>,
+        }
+        let mut groups: HashMap<Value, Acc> = HashMap::new();
+        for row in table.scan() {
+            if !self.filter.eval(row) {
+                continue;
+            }
+            let key = row.values()[key_idx].clone();
+            let acc = groups.entry(key).or_default();
+            acc.count += 1;
+            let v = &row.values()[agg_idx];
+            if !v.is_null() {
+                if let Some(x) = v.as_int().map(|i| i as f64).or_else(|| v.as_float()) {
+                    acc.sum += x;
+                    acc.numeric += 1;
+                }
+                if acc.min.as_ref().is_none_or(|m| v < m) {
+                    acc.min = Some(v.clone());
+                }
+                if acc.max.as_ref().is_none_or(|m| v > m) {
+                    acc.max = Some(v.clone());
+                }
+            }
+        }
+
+        let mut out: Vec<GroupRow> = groups
+            .into_iter()
+            .map(|(key, acc)| {
+                let value = match self.agg {
+                    Aggregate::Count => Value::Int(acc.count as i64),
+                    Aggregate::Sum => Value::Float(acc.sum),
+                    Aggregate::Avg => {
+                        if acc.numeric == 0 {
+                            Value::Null
+                        } else {
+                            Value::Float(acc.sum / acc.numeric as f64)
+                        }
+                    }
+                    Aggregate::Min => acc.min.unwrap_or(Value::Null),
+                    Aggregate::Max => acc.max.unwrap_or(Value::Null),
+                };
+                GroupRow { key, value }
+            })
+            .collect();
+        out.sort_by(|a, b| a.key.cmp(&b.key));
+        Ok(out)
+    }
+
+    /// Run and return the groups sorted by *descending aggregate value*
+    /// (frequency-ranking order — what the code-frequency baseline needs).
+    pub fn run_ranked(&self, table: &Table) -> Result<Vec<GroupRow>> {
+        let mut rows = self.run(table)?;
+        rows.sort_by(|a, b| b.value.cmp(&a.value).then(a.key.cmp(&b.key)));
+        Ok(rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::Cond;
+    use crate::row;
+    use crate::schema::SchemaBuilder;
+    use crate::value::DataType;
+
+    fn table() -> Table {
+        let schema = SchemaBuilder::new()
+            .pk("id", DataType::Int)
+            .col("part_id", DataType::Text)
+            .col("error_code", DataType::Text)
+            .col_null("score", DataType::Float)
+            .build()
+            .unwrap();
+        let mut t = Table::new("assignments", schema);
+        let rows = [
+            (1, "P-01", "E1", Some(0.9)),
+            (2, "P-01", "E1", Some(0.7)),
+            (3, "P-01", "E2", Some(0.5)),
+            (4, "P-02", "E3", None),
+            (5, "P-02", "E3", Some(0.2)),
+            (6, "P-02", "E1", Some(0.4)),
+        ];
+        for (id, p, c, s) in rows {
+            t.insert(row![id as i64, p, c, s.map(Value::Float).unwrap_or(Value::Null)])
+                .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn count_per_key() {
+        let t = table();
+        let groups = GroupBy::count("part_id").run(&t).unwrap();
+        assert_eq!(
+            groups,
+            vec![
+                GroupRow {
+                    key: Value::from("P-01"),
+                    value: Value::Int(3)
+                },
+                GroupRow {
+                    key: Value::from("P-02"),
+                    value: Value::Int(3)
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn count_with_filter_is_frequency_ranking() {
+        let t = table();
+        let groups = GroupBy::count("error_code")
+            .filter(Cond::eq(&t, "part_id", "P-01").unwrap())
+            .run_ranked(&t)
+            .unwrap();
+        let codes: Vec<&str> = groups.iter().map(|g| g.key.as_text().unwrap()).collect();
+        assert_eq!(codes, vec!["E1", "E2"]);
+        assert_eq!(groups[0].value, Value::Int(2));
+    }
+
+    #[test]
+    fn sum_avg_skip_nulls() {
+        let t = table();
+        let sums = GroupBy::new("part_id", Aggregate::Sum, "score").run(&t).unwrap();
+        assert_eq!(sums[0].key, Value::from("P-01"));
+        assert!((sums[0].value.as_float().unwrap() - 2.1).abs() < 1e-9);
+        let avgs = GroupBy::new("part_id", Aggregate::Avg, "score").run(&t).unwrap();
+        // P-02: (0.2 + 0.4) / 2, the NULL row is skipped
+        assert!((avgs[1].value.as_float().unwrap() - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_max_use_total_order() {
+        let t = table();
+        let mins = GroupBy::new("part_id", Aggregate::Min, "score").run(&t).unwrap();
+        assert_eq!(mins[1].value, Value::Float(0.2));
+        let maxs = GroupBy::new("part_id", Aggregate::Max, "error_code").run(&t).unwrap();
+        assert_eq!(maxs[0].value, Value::from("E2"));
+    }
+
+    #[test]
+    fn all_null_group_aggregates_to_null() {
+        let schema = SchemaBuilder::new()
+            .pk("id", DataType::Int)
+            .col("k", DataType::Text)
+            .col_null("v", DataType::Float)
+            .build()
+            .unwrap();
+        let mut t = Table::new("x", schema);
+        t.insert(row![1i64, "a", Value::Null]).unwrap();
+        let avg = GroupBy::new("k", Aggregate::Avg, "v").run(&t).unwrap();
+        assert_eq!(avg[0].value, Value::Null);
+        let min = GroupBy::new("k", Aggregate::Min, "v").run(&t).unwrap();
+        assert_eq!(min[0].value, Value::Null);
+    }
+
+    #[test]
+    fn unknown_columns_error() {
+        let t = table();
+        assert!(GroupBy::count("ghost").run(&t).is_err());
+        assert!(GroupBy::new("part_id", Aggregate::Sum, "ghost").run(&t).is_err());
+    }
+
+    #[test]
+    fn empty_table_yields_no_groups() {
+        let schema = SchemaBuilder::new().pk("id", DataType::Int).build().unwrap();
+        let t = Table::new("empty", schema);
+        assert!(GroupBy::count("id").run(&t).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,359 @@
+//! Length-prefixed binary encoding of values, schemas, tables and databases.
+//!
+//! The format is deliberately simple and versioned:
+//!
+//! ```text
+//! snapshot  := magic("QATKSTOR") version:u32 table_count:u32 table* checksum:u64
+//! table     := name schema index_count:u32 index_spec* row_count:u64 row*
+//! schema    := arity:u16 pk:u16 column*
+//! column    := name ty:u8 flags:u8          (flags: bit0 nullable, bit1 unique)
+//! index_spec:= name column_name kind:u8     (0 hash, 1 ordered)
+//! row       := value*                       (arity known from schema)
+//! value     := tag:u8 payload
+//! name/text := len:u32 utf8-bytes
+//! ```
+//!
+//! The trailing checksum is FNV-1a 64 over everything before it.
+
+use bytes::{Buf, BufMut};
+
+use crate::error::{Result, StoreError};
+use crate::index::IndexKind;
+use crate::row::Row;
+use crate::schema::{ColumnDef, Schema};
+use crate::table::Table;
+use crate::value::{DataType, Value};
+
+pub(crate) const MAGIC: &[u8; 8] = b"QATKSTOR";
+pub(crate) const VERSION: u32 = 1;
+
+const TAG_NULL: u8 = 0;
+const TAG_BOOL: u8 = 1;
+const TAG_INT: u8 = 2;
+const TAG_FLOAT: u8 = 3;
+const TAG_TEXT: u8 = 4;
+const TAG_BLOB: u8 = 5;
+
+/// FNV-1a 64-bit hash, used as the snapshot checksum.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.put_u32_le(s.len() as u32);
+    out.put_slice(s.as_bytes());
+}
+
+fn get_str(buf: &mut &[u8]) -> Result<String> {
+    if buf.remaining() < 4 {
+        return Err(StoreError::Corrupt("truncated string length".into()));
+    }
+    let len = buf.get_u32_le() as usize;
+    if buf.remaining() < len {
+        return Err(StoreError::Corrupt("truncated string body".into()));
+    }
+    let bytes = buf[..len].to_vec();
+    buf.advance(len);
+    String::from_utf8(bytes).map_err(|_| StoreError::Corrupt("invalid utf8".into()))
+}
+
+pub(crate) fn put_value(out: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Null => out.put_u8(TAG_NULL),
+        Value::Bool(b) => {
+            out.put_u8(TAG_BOOL);
+            out.put_u8(u8::from(*b));
+        }
+        Value::Int(i) => {
+            out.put_u8(TAG_INT);
+            out.put_i64_le(*i);
+        }
+        Value::Float(x) => {
+            out.put_u8(TAG_FLOAT);
+            out.put_f64_le(*x);
+        }
+        Value::Text(s) => {
+            out.put_u8(TAG_TEXT);
+            put_str(out, s);
+        }
+        Value::Blob(b) => {
+            out.put_u8(TAG_BLOB);
+            out.put_u32_le(b.len() as u32);
+            out.put_slice(b);
+        }
+    }
+}
+
+pub(crate) fn get_value(buf: &mut &[u8]) -> Result<Value> {
+    if !buf.has_remaining() {
+        return Err(StoreError::Corrupt("truncated value tag".into()));
+    }
+    let tag = buf.get_u8();
+    Ok(match tag {
+        TAG_NULL => Value::Null,
+        TAG_BOOL => {
+            if !buf.has_remaining() {
+                return Err(StoreError::Corrupt("truncated bool".into()));
+            }
+            Value::Bool(buf.get_u8() != 0)
+        }
+        TAG_INT => {
+            if buf.remaining() < 8 {
+                return Err(StoreError::Corrupt("truncated int".into()));
+            }
+            Value::Int(buf.get_i64_le())
+        }
+        TAG_FLOAT => {
+            if buf.remaining() < 8 {
+                return Err(StoreError::Corrupt("truncated float".into()));
+            }
+            Value::Float(buf.get_f64_le())
+        }
+        TAG_TEXT => Value::Text(get_str(buf)?),
+        TAG_BLOB => {
+            if buf.remaining() < 4 {
+                return Err(StoreError::Corrupt("truncated blob length".into()));
+            }
+            let len = buf.get_u32_le() as usize;
+            if buf.remaining() < len {
+                return Err(StoreError::Corrupt("truncated blob body".into()));
+            }
+            let bytes = buf[..len].to_vec();
+            buf.advance(len);
+            Value::Blob(bytes)
+        }
+        other => return Err(StoreError::Corrupt(format!("unknown value tag {other}"))),
+    })
+}
+
+fn ty_tag(ty: DataType) -> u8 {
+    match ty {
+        DataType::Bool => TAG_BOOL,
+        DataType::Int => TAG_INT,
+        DataType::Float => TAG_FLOAT,
+        DataType::Text => TAG_TEXT,
+        DataType::Blob => TAG_BLOB,
+    }
+}
+
+fn tag_ty(tag: u8) -> Result<DataType> {
+    Ok(match tag {
+        TAG_BOOL => DataType::Bool,
+        TAG_INT => DataType::Int,
+        TAG_FLOAT => DataType::Float,
+        TAG_TEXT => DataType::Text,
+        TAG_BLOB => DataType::Blob,
+        other => return Err(StoreError::Corrupt(format!("unknown type tag {other}"))),
+    })
+}
+
+pub(crate) fn put_schema(out: &mut Vec<u8>, schema: &Schema) {
+    out.put_u16_le(schema.arity() as u16);
+    out.put_u16_le(schema.pk_index() as u16);
+    for col in schema.columns() {
+        put_str(out, &col.name);
+        out.put_u8(ty_tag(col.ty));
+        let flags = u8::from(col.nullable) | (u8::from(col.unique) << 1);
+        out.put_u8(flags);
+    }
+}
+
+pub(crate) fn get_schema(buf: &mut &[u8]) -> Result<Schema> {
+    if buf.remaining() < 4 {
+        return Err(StoreError::Corrupt("truncated schema header".into()));
+    }
+    let arity = buf.get_u16_le() as usize;
+    let pk = buf.get_u16_le() as usize;
+    let mut cols = Vec::with_capacity(arity);
+    for _ in 0..arity {
+        let name = get_str(buf)?;
+        if buf.remaining() < 2 {
+            return Err(StoreError::Corrupt("truncated column".into()));
+        }
+        let ty = tag_ty(buf.get_u8())?;
+        let flags = buf.get_u8();
+        let mut col = ColumnDef::new(name, ty);
+        if flags & 1 != 0 {
+            col = col.nullable();
+        }
+        if flags & 2 != 0 {
+            col = col.unique();
+        }
+        cols.push(col);
+    }
+    Schema::new(cols, pk).map_err(|e| StoreError::Corrupt(format!("invalid schema: {e}")))
+}
+
+pub(crate) fn put_table(out: &mut Vec<u8>, table: &Table) {
+    put_str(out, table.name());
+    put_schema(out, table.schema());
+    let specs = table.index_specs();
+    out.put_u32_le(specs.len() as u32);
+    for (name, column, kind) in &specs {
+        put_str(out, name);
+        put_str(out, column);
+        out.put_u8(match kind {
+            IndexKind::Hash => 0,
+            IndexKind::Ordered => 1,
+        });
+    }
+    out.put_u64_le(table.len() as u64);
+    for row in table.scan() {
+        for v in row.values() {
+            put_value(out, v);
+        }
+    }
+}
+
+pub(crate) fn get_table(buf: &mut &[u8]) -> Result<Table> {
+    let name = get_str(buf)?;
+    let schema = get_schema(buf)?;
+    if buf.remaining() < 4 {
+        return Err(StoreError::Corrupt("truncated index count".into()));
+    }
+    let n_idx = buf.get_u32_le() as usize;
+    let mut specs = Vec::with_capacity(n_idx);
+    for _ in 0..n_idx {
+        let iname = get_str(buf)?;
+        let col = get_str(buf)?;
+        if !buf.has_remaining() {
+            return Err(StoreError::Corrupt("truncated index kind".into()));
+        }
+        let kind = match buf.get_u8() {
+            0 => IndexKind::Hash,
+            1 => IndexKind::Ordered,
+            other => {
+                return Err(StoreError::Corrupt(format!("unknown index kind {other}")))
+            }
+        };
+        specs.push((iname, col, kind));
+    }
+    if buf.remaining() < 8 {
+        return Err(StoreError::Corrupt("truncated row count".into()));
+    }
+    let n_rows = buf.get_u64_le() as usize;
+    let arity = schema.arity();
+    let mut table = Table::new(name, schema);
+    for _ in 0..n_rows {
+        let mut values = Vec::with_capacity(arity);
+        for _ in 0..arity {
+            values.push(get_value(buf)?);
+        }
+        table
+            .insert(Row::new(values))
+            .map_err(|e| StoreError::Corrupt(format!("row rejected on load: {e}")))?;
+    }
+    for (iname, col, kind) in specs {
+        table
+            .create_index(iname, &col, kind)
+            .map_err(|e| StoreError::Corrupt(format!("index rejected on load: {e}")))?;
+    }
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row;
+    use crate::schema::SchemaBuilder;
+
+    #[test]
+    fn value_roundtrip_all_types() {
+        let values = vec![
+            Value::Null,
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::Int(i64::MIN),
+            Value::Int(i64::MAX),
+            Value::Float(-0.0),
+            Value::Float(f64::NAN),
+            Value::Text("Lüfter funktioniert nicht".into()),
+            Value::Text(String::new()),
+            Value::Blob(vec![0, 1, 2, 255]),
+            Value::Blob(vec![]),
+        ];
+        let mut out = Vec::new();
+        for v in &values {
+            put_value(&mut out, v);
+        }
+        let mut buf = out.as_slice();
+        for v in &values {
+            let got = get_value(&mut buf).unwrap();
+            // Value's Eq uses total_cmp so NaN == NaN holds.
+            assert_eq!(&got, v);
+        }
+        assert!(!buf.has_remaining());
+    }
+
+    #[test]
+    fn truncated_value_errors() {
+        let mut out = Vec::new();
+        put_value(&mut out, &Value::Text("hello".into()));
+        for cut in 0..out.len() {
+            let mut buf = &out[..cut];
+            assert!(get_value(&mut buf).is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn unknown_tag_errors() {
+        let data = [99u8];
+        let mut buf = &data[..];
+        assert!(matches!(get_value(&mut buf), Err(StoreError::Corrupt(_))));
+    }
+
+    #[test]
+    fn schema_roundtrip() {
+        let schema = SchemaBuilder::new()
+            .pk("id", DataType::Int)
+            .col("name", DataType::Text)
+            .col_null("note", DataType::Text)
+            .col_unique("code", DataType::Int)
+            .build()
+            .unwrap();
+        let mut out = Vec::new();
+        put_schema(&mut out, &schema);
+        let mut buf = out.as_slice();
+        let got = get_schema(&mut buf).unwrap();
+        assert_eq!(got, schema);
+    }
+
+    #[test]
+    fn table_roundtrip_with_index() {
+        let schema = SchemaBuilder::new()
+            .pk("id", DataType::Int)
+            .col("part", DataType::Text)
+            .build()
+            .unwrap();
+        let mut t = Table::new("bundles", schema);
+        for i in 0..50i64 {
+            t.insert(row![i, format!("P{:02}", i % 5)]).unwrap();
+        }
+        t.create_index("by_part", "part", IndexKind::Hash).unwrap();
+
+        let mut out = Vec::new();
+        put_table(&mut out, &t);
+        let mut buf = out.as_slice();
+        let got = get_table(&mut buf).unwrap();
+        assert_eq!(got.len(), 50);
+        assert_eq!(got.name(), "bundles");
+        assert_eq!(got.index_names(), vec!["by_part"]);
+        assert_eq!(
+            got.lookup("part", &Value::from("P03")).unwrap().len(),
+            10
+        );
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        // Reference vectors for FNV-1a 64.
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+}

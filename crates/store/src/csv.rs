@@ -1,0 +1,319 @@
+//! CSV import/export for tables — the interchange path for external flat
+//! files (the real NHTSA ODI complaint database ships as flat files, paper
+//! §5.4). Hand-rolled RFC-4180-style reader/writer: quoted fields, embedded
+//! quotes (`""`), commas and newlines inside quotes.
+
+use crate::error::{Result, StoreError};
+use crate::row::Row;
+use crate::schema::Schema;
+use crate::table::Table;
+use crate::value::{DataType, Value};
+
+/// Split one CSV document into records of fields.
+pub fn parse_csv(input: &str) -> Result<Vec<Vec<String>>> {
+    let mut records = Vec::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut chars = input.chars().peekable();
+    let mut in_quotes = false;
+    let mut any = false;
+
+    while let Some(c) = chars.next() {
+        any = true;
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                other => field.push(other),
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                if !field.is_empty() {
+                    return Err(StoreError::Corrupt(
+                        "csv: quote inside unquoted field".into(),
+                    ));
+                }
+                in_quotes = true;
+            }
+            ',' => {
+                record.push(std::mem::take(&mut field));
+            }
+            '\r' => { /* tolerate CRLF */ }
+            '\n' => {
+                record.push(std::mem::take(&mut field));
+                records.push(std::mem::take(&mut record));
+            }
+            other => field.push(other),
+        }
+    }
+    if in_quotes {
+        return Err(StoreError::Corrupt("csv: unterminated quote".into()));
+    }
+    if any && (!field.is_empty() || !record.is_empty()) {
+        record.push(field);
+        records.push(record);
+    }
+    Ok(records)
+}
+
+/// Quote a field if it needs quoting.
+fn write_field(out: &mut String, field: &str) {
+    if field.contains(['"', ',', '\n', '\r']) {
+        out.push('"');
+        for c in field.chars() {
+            if c == '"' {
+                out.push('"');
+            }
+            out.push(c);
+        }
+        out.push('"');
+    } else {
+        out.push_str(field);
+    }
+}
+
+/// Render a value for CSV. NULL becomes the empty field.
+fn value_to_field(v: &Value) -> String {
+    match v {
+        Value::Null => String::new(),
+        Value::Bool(b) => b.to_string(),
+        Value::Int(i) => i.to_string(),
+        Value::Float(x) => x.to_string(),
+        Value::Text(s) => s.clone(),
+        Value::Blob(b) => b.iter().map(|x| format!("{x:02x}")).collect(),
+    }
+}
+
+/// Parse a field into a value of the column's type. Empty fields are NULL
+/// for nullable columns and empty text for TEXT NOT NULL. (CSV cannot
+/// distinguish NULL from the empty string, so an empty string stored in a
+/// *nullable* TEXT column reads back as NULL — the standard flat-file
+/// convention.)
+fn field_to_value(field: &str, ty: DataType, nullable: bool) -> Result<Value> {
+    if field.is_empty() {
+        return Ok(if nullable {
+            Value::Null
+        } else if ty == DataType::Text {
+            Value::Text(String::new())
+        } else {
+            return Err(StoreError::Corrupt(format!(
+                "csv: empty field for non-nullable {ty}"
+            )));
+        });
+    }
+    Ok(match ty {
+        DataType::Bool => Value::Bool(match field {
+            "true" | "1" => true,
+            "false" | "0" => false,
+            other => {
+                return Err(StoreError::Corrupt(format!("csv: bad bool `{other}`")))
+            }
+        }),
+        DataType::Int => Value::Int(
+            field
+                .parse()
+                .map_err(|_| StoreError::Corrupt(format!("csv: bad int `{field}`")))?,
+        ),
+        DataType::Float => Value::Float(
+            field
+                .parse()
+                .map_err(|_| StoreError::Corrupt(format!("csv: bad float `{field}`")))?,
+        ),
+        DataType::Text => Value::Text(field.to_owned()),
+        DataType::Blob => {
+            if !field.len().is_multiple_of(2) {
+                return Err(StoreError::Corrupt("csv: odd hex blob".into()));
+            }
+            let mut bytes = Vec::with_capacity(field.len() / 2);
+            for i in (0..field.len()).step_by(2) {
+                let byte = u8::from_str_radix(&field[i..i + 2], 16)
+                    .map_err(|_| StoreError::Corrupt("csv: bad hex blob".into()))?;
+                bytes.push(byte);
+            }
+            Value::Blob(bytes)
+        }
+    })
+}
+
+/// Export a table as CSV, header row first.
+pub fn export_table(table: &Table) -> String {
+    let mut out = String::new();
+    let mut first = true;
+    for col in table.schema().columns() {
+        if !first {
+            out.push(',');
+        }
+        write_field(&mut out, &col.name);
+        first = false;
+    }
+    out.push('\n');
+    for row in table.scan() {
+        let mut first = true;
+        for v in row.values() {
+            if !first {
+                out.push(',');
+            }
+            write_field(&mut out, &value_to_field(v));
+            first = false;
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Import CSV into a fresh table with the given schema. The header must
+/// name every schema column (in schema order). Returns the loaded table.
+pub fn import_table(name: &str, schema: Schema, csv: &str) -> Result<Table> {
+    let records = parse_csv(csv)?;
+    let mut iter = records.into_iter();
+    let header = iter
+        .next()
+        .ok_or_else(|| StoreError::Corrupt("csv: missing header".into()))?;
+    let expected: Vec<&str> = schema.columns().iter().map(|c| c.name.as_str()).collect();
+    if header != expected {
+        return Err(StoreError::Corrupt(format!(
+            "csv: header {header:?} does not match schema {expected:?}"
+        )));
+    }
+    let mut table = Table::new(name, schema);
+    for (line, record) in iter.enumerate() {
+        if record.len() != table.schema().arity() {
+            return Err(StoreError::Corrupt(format!(
+                "csv: record {} has {} fields, schema has {}",
+                line + 2,
+                record.len(),
+                table.schema().arity()
+            )));
+        }
+        let mut values = Vec::with_capacity(record.len());
+        for (field, col) in record.iter().zip(table.schema().columns()) {
+            values.push(field_to_value(field, col.ty, col.nullable)?);
+        }
+        table.insert(Row::new(values))?;
+    }
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row;
+    use crate::schema::SchemaBuilder;
+
+    fn schema() -> Schema {
+        SchemaBuilder::new()
+            .pk("id", DataType::Int)
+            .col("text", DataType::Text)
+            .col_null("score", DataType::Float)
+            .col("ok", DataType::Bool)
+            .col_null("blob", DataType::Blob)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn parse_basic_and_quoted() {
+        let rows = parse_csv("a,b,c\n1,\"two, three\",\"with \"\"quotes\"\"\"\n").unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1], vec!["1", "two, three", "with \"quotes\""]);
+    }
+
+    #[test]
+    fn parse_newline_in_quotes_and_crlf() {
+        let rows = parse_csv("a,b\r\n\"multi\nline\",x\r\n").unwrap();
+        assert_eq!(rows[1][0], "multi\nline");
+        assert_eq!(rows[1][1], "x");
+    }
+
+    #[test]
+    fn parse_missing_trailing_newline() {
+        let rows = parse_csv("a,b\n1,2").unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1], vec!["1", "2"]);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_csv("a,\"unterminated\n").is_err());
+        assert!(parse_csv("a,b\"c\n").is_err());
+        assert!(parse_csv("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn export_import_roundtrip() {
+        let mut t = Table::new("x", schema());
+        t.insert(row![
+            1i64,
+            "plain",
+            0.5f64,
+            true,
+            Value::Blob(vec![0xab, 0x01])
+        ])
+        .unwrap();
+        t.insert(row![
+            2i64,
+            "with, comma and \"quote\"\nand newline",
+            Value::Null,
+            false,
+            Value::Null
+        ])
+        .unwrap();
+
+        let csv = export_table(&t);
+        let back = import_table("x", schema(), &csv).unwrap();
+        assert_eq!(back.len(), 2);
+        let r2 = back.get(&Value::Int(2)).unwrap();
+        assert_eq!(
+            r2.get(1).and_then(Value::as_text),
+            Some("with, comma and \"quote\"\nand newline")
+        );
+        assert!(r2.get(2).unwrap().is_null());
+        let r1 = back.get(&Value::Int(1)).unwrap();
+        assert_eq!(r1.get(4).and_then(Value::as_blob), Some(&[0xab, 0x01][..]));
+        assert_eq!(r1.get(3).and_then(Value::as_bool), Some(true));
+    }
+
+    #[test]
+    fn import_validates_header_and_arity() {
+        assert!(matches!(
+            import_table("x", schema(), "wrong,header\n"),
+            Err(StoreError::Corrupt(_))
+        ));
+        let bad_arity = "id,text,score,ok,blob\n1,only-two\n";
+        assert!(import_table("x", schema(), bad_arity).is_err());
+        assert!(import_table("x", schema(), "").is_err());
+    }
+
+    #[test]
+    fn import_validates_types() {
+        let bad_int = "id,text,score,ok,blob\nnot-a-number,t,,true,\n";
+        assert!(import_table("x", schema(), bad_int).is_err());
+        let bad_bool = "id,text,score,ok,blob\n1,t,,maybe,\n";
+        assert!(import_table("x", schema(), bad_bool).is_err());
+        let bad_hex = "id,text,score,ok,blob\n1,t,,true,zz\n";
+        assert!(import_table("x", schema(), bad_hex).is_err());
+    }
+
+    #[test]
+    fn non_nullable_empty_text_is_empty_string() {
+        let csv = "id,text,score,ok,blob\n1,,,true,\n";
+        let t = import_table("x", schema(), csv).unwrap();
+        let r = t.get(&Value::Int(1)).unwrap();
+        assert_eq!(r.get(1).and_then(Value::as_text), Some(""));
+        // but an empty non-nullable INT is an error
+        let int_schema = SchemaBuilder::new()
+            .pk("id", DataType::Int)
+            .col("n", DataType::Int)
+            .build()
+            .unwrap();
+        assert!(import_table("y", int_schema, "id,n\n1,\n").is_err());
+    }
+}

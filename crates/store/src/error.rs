@@ -1,0 +1,165 @@
+//! Error type shared by every storage operation.
+
+use std::fmt;
+
+use crate::value::DataType;
+
+/// Errors produced by the storage engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// A table with this name already exists.
+    TableExists(String),
+    /// No table with this name exists.
+    NoSuchTable(String),
+    /// No column with this name exists in the table.
+    NoSuchColumn { table: String, column: String },
+    /// No index with this name exists on the table.
+    NoSuchIndex { table: String, index: String },
+    /// An index with this name already exists on the table.
+    IndexExists { table: String, index: String },
+    /// Row arity does not match the schema.
+    ArityMismatch { expected: usize, got: usize },
+    /// A value has the wrong type for its column.
+    TypeMismatch {
+        column: String,
+        expected: DataType,
+        got: DataType,
+    },
+    /// NULL stored into a NOT NULL column.
+    NullViolation { column: String },
+    /// Duplicate primary key.
+    DuplicateKey { table: String, key: String },
+    /// Duplicate value in a UNIQUE column.
+    UniqueViolation { column: String, value: String },
+    /// Primary key referenced for update/delete does not exist.
+    NoSuchKey { table: String, key: String },
+    /// A transaction operation was used outside a transaction.
+    NoActiveTransaction,
+    /// A transaction is already active.
+    TransactionActive,
+    /// Snapshot (de)serialization failure.
+    Corrupt(String),
+    /// Underlying I/O failure (message only; `std::io::Error` is not `Clone`).
+    Io(String),
+    /// Schema-level misuse, e.g. empty schema or bad primary-key position.
+    InvalidSchema(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::TableExists(t) => write!(f, "table `{t}` already exists"),
+            StoreError::NoSuchTable(t) => write!(f, "no such table `{t}`"),
+            StoreError::NoSuchColumn { table, column } => {
+                write!(f, "no column `{column}` in table `{table}`")
+            }
+            StoreError::NoSuchIndex { table, index } => {
+                write!(f, "no index `{index}` on table `{table}`")
+            }
+            StoreError::IndexExists { table, index } => {
+                write!(f, "index `{index}` already exists on table `{table}`")
+            }
+            StoreError::ArityMismatch { expected, got } => {
+                write!(f, "row has {got} values but schema has {expected} columns")
+            }
+            StoreError::TypeMismatch {
+                column,
+                expected,
+                got,
+            } => write!(
+                f,
+                "column `{column}` expects {expected:?} but value is {got:?}"
+            ),
+            StoreError::NullViolation { column } => {
+                write!(f, "column `{column}` is NOT NULL but value is NULL")
+            }
+            StoreError::DuplicateKey { table, key } => {
+                write!(f, "duplicate primary key {key} in table `{table}`")
+            }
+            StoreError::UniqueViolation { column, value } => {
+                write!(f, "duplicate value {value} in UNIQUE column `{column}`")
+            }
+            StoreError::NoSuchKey { table, key } => {
+                write!(f, "no row with primary key {key} in table `{table}`")
+            }
+            StoreError::NoActiveTransaction => write!(f, "no active transaction"),
+            StoreError::TransactionActive => write!(f, "a transaction is already active"),
+            StoreError::Corrupt(msg) => write!(f, "corrupt snapshot: {msg}"),
+            StoreError::Io(msg) => write!(f, "i/o error: {msg}"),
+            StoreError::InvalidSchema(msg) => write!(f, "invalid schema: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e.to_string())
+    }
+}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, StoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        let cases: Vec<StoreError> = vec![
+            StoreError::TableExists("t".into()),
+            StoreError::NoSuchTable("t".into()),
+            StoreError::NoSuchColumn {
+                table: "t".into(),
+                column: "c".into(),
+            },
+            StoreError::NoSuchIndex {
+                table: "t".into(),
+                index: "i".into(),
+            },
+            StoreError::IndexExists {
+                table: "t".into(),
+                index: "i".into(),
+            },
+            StoreError::ArityMismatch {
+                expected: 3,
+                got: 2,
+            },
+            StoreError::TypeMismatch {
+                column: "c".into(),
+                expected: DataType::Int,
+                got: DataType::Text,
+            },
+            StoreError::NullViolation { column: "c".into() },
+            StoreError::DuplicateKey {
+                table: "t".into(),
+                key: "1".into(),
+            },
+            StoreError::UniqueViolation {
+                column: "c".into(),
+                value: "v".into(),
+            },
+            StoreError::NoSuchKey {
+                table: "t".into(),
+                key: "9".into(),
+            },
+            StoreError::NoActiveTransaction,
+            StoreError::TransactionActive,
+            StoreError::Corrupt("bad magic".into()),
+            StoreError::Io("disk".into()),
+            StoreError::InvalidSchema("empty".into()),
+        ];
+        for c in cases {
+            assert!(!c.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing");
+        let e: StoreError = io.into();
+        assert!(matches!(e, StoreError::Io(_)));
+    }
+}

@@ -1,0 +1,194 @@
+//! Secondary indexes over a single column: hash (point lookups) and ordered
+//! (range scans).
+//!
+//! Indexes map a column [`Value`] to the set of row slots holding it. A *slot*
+//! is the table-internal position of a row; slots are stable across updates to
+//! other rows, which keeps index maintenance local.
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::value::Value;
+
+/// Kind of index to create.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum IndexKind {
+    /// Hash map: O(1) point lookups, no range queries.
+    Hash,
+    /// Ordered map: point and range lookups.
+    Ordered,
+}
+
+/// A secondary index over one column.
+#[derive(Debug, Clone)]
+pub enum Index {
+    Hash(HashMap<Value, Vec<usize>>),
+    Ordered(BTreeMap<Value, Vec<usize>>),
+}
+
+impl Index {
+    pub fn new(kind: IndexKind) -> Self {
+        match kind {
+            IndexKind::Hash => Index::Hash(HashMap::new()),
+            IndexKind::Ordered => Index::Ordered(BTreeMap::new()),
+        }
+    }
+
+    pub fn kind(&self) -> IndexKind {
+        match self {
+            Index::Hash(_) => IndexKind::Hash,
+            Index::Ordered(_) => IndexKind::Ordered,
+        }
+    }
+
+    /// Register `slot` under `key`.
+    pub fn insert(&mut self, key: Value, slot: usize) {
+        match self {
+            Index::Hash(m) => m.entry(key).or_default().push(slot),
+            Index::Ordered(m) => m.entry(key).or_default().push(slot),
+        }
+    }
+
+    /// Remove the association of `slot` with `key`. No-op if absent.
+    pub fn remove(&mut self, key: &Value, slot: usize) {
+        fn drop_slot(slots: &mut Vec<usize>, slot: usize) -> bool {
+            if let Some(pos) = slots.iter().position(|&s| s == slot) {
+                slots.swap_remove(pos);
+            }
+            slots.is_empty()
+        }
+        match self {
+            Index::Hash(m) => {
+                if let Some(slots) = m.get_mut(key) {
+                    if drop_slot(slots, slot) {
+                        m.remove(key);
+                    }
+                }
+            }
+            Index::Ordered(m) => {
+                if let Some(slots) = m.get_mut(key) {
+                    if drop_slot(slots, slot) {
+                        m.remove(key);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Slots whose column equals `key`.
+    pub fn lookup(&self, key: &Value) -> &[usize] {
+        match self {
+            Index::Hash(m) => m.get(key).map(Vec::as_slice).unwrap_or(&[]),
+            Index::Ordered(m) => m.get(key).map(Vec::as_slice).unwrap_or(&[]),
+        }
+    }
+
+    /// Slots whose column lies in `[lo, hi]` (inclusive). Only supported by
+    /// ordered indexes; returns `None` for hash indexes so the planner can
+    /// fall back to a scan.
+    pub fn range(&self, lo: &Value, hi: &Value) -> Option<Vec<usize>> {
+        match self {
+            Index::Hash(_) => None,
+            Index::Ordered(m) => {
+                let mut out = Vec::new();
+                for (_, slots) in m.range(lo.clone()..=hi.clone()) {
+                    out.extend_from_slice(slots);
+                }
+                Some(out)
+            }
+        }
+    }
+
+    /// Number of distinct keys.
+    pub fn distinct_keys(&self) -> usize {
+        match self {
+            Index::Hash(m) => m.len(),
+            Index::Ordered(m) => m.len(),
+        }
+    }
+
+    /// Total number of (key, slot) entries.
+    pub fn len(&self) -> usize {
+        match self {
+            Index::Hash(m) => m.values().map(Vec::len).sum(),
+            Index::Ordered(m) => m.values().map(Vec::len).sum(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop all entries (used when a table is truncated).
+    pub fn clear(&mut self) {
+        match self {
+            Index::Hash(m) => m.clear(),
+            Index::Ordered(m) => m.clear(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn populated(kind: IndexKind) -> Index {
+        let mut ix = Index::new(kind);
+        ix.insert(Value::Int(10), 0);
+        ix.insert(Value::Int(20), 1);
+        ix.insert(Value::Int(10), 2);
+        ix.insert(Value::Int(30), 3);
+        ix
+    }
+
+    #[test]
+    fn lookup_both_kinds() {
+        for kind in [IndexKind::Hash, IndexKind::Ordered] {
+            let ix = populated(kind);
+            let mut hits = ix.lookup(&Value::Int(10)).to_vec();
+            hits.sort_unstable();
+            assert_eq!(hits, vec![0, 2]);
+            assert!(ix.lookup(&Value::Int(99)).is_empty());
+            assert_eq!(ix.len(), 4);
+            assert_eq!(ix.distinct_keys(), 3);
+            assert_eq!(ix.kind(), kind);
+        }
+    }
+
+    #[test]
+    fn remove_cleans_up() {
+        for kind in [IndexKind::Hash, IndexKind::Ordered] {
+            let mut ix = populated(kind);
+            ix.remove(&Value::Int(10), 0);
+            assert_eq!(ix.lookup(&Value::Int(10)), &[2]);
+            ix.remove(&Value::Int(10), 2);
+            assert!(ix.lookup(&Value::Int(10)).is_empty());
+            assert_eq!(ix.distinct_keys(), 2);
+            // removing a non-existent association is a no-op
+            ix.remove(&Value::Int(10), 7);
+            ix.remove(&Value::Int(999), 7);
+        }
+    }
+
+    #[test]
+    fn range_only_on_ordered() {
+        let hash = populated(IndexKind::Hash);
+        assert_eq!(hash.range(&Value::Int(0), &Value::Int(100)), None);
+
+        let ord = populated(IndexKind::Ordered);
+        let mut r = ord.range(&Value::Int(10), &Value::Int(20)).unwrap();
+        r.sort_unstable();
+        assert_eq!(r, vec![0, 1, 2]);
+        let r = ord.range(&Value::Int(25), &Value::Int(100)).unwrap();
+        assert_eq!(r, vec![3]);
+        let r = ord.range(&Value::Int(95), &Value::Int(100)).unwrap();
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut ix = populated(IndexKind::Ordered);
+        ix.clear();
+        assert!(ix.is_empty());
+        assert_eq!(ix.distinct_keys(), 0);
+    }
+}

@@ -1,0 +1,237 @@
+//! Equality joins between tables.
+//!
+//! QATK's schema is relational in the classic sense — bundles reference part
+//! IDs and error codes held in their own tables (paper Fig. 3 / §4.5.1) —
+//! and the QUEST screens need the joined view. This module provides a hash
+//! join (build on the smaller side, probe with the larger) plus a left-outer
+//! variant for optional references.
+
+use std::collections::HashMap;
+
+use crate::error::{Result, StoreError};
+use crate::predicate::Predicate;
+use crate::row::Row;
+use crate::table::Table;
+use crate::value::Value;
+
+/// Join type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinKind {
+    /// Only matching pairs.
+    Inner,
+    /// Every left row; unmatched right side becomes NULLs.
+    LeftOuter,
+}
+
+/// A join specification between two tables on one equality column each.
+#[derive(Debug, Clone)]
+pub struct Join {
+    left_column: String,
+    right_column: String,
+    kind: JoinKind,
+    filter: Predicate,
+}
+
+impl Join {
+    /// Inner join `left.left_column = right.right_column`.
+    pub fn inner(left_column: impl Into<String>, right_column: impl Into<String>) -> Self {
+        Join {
+            left_column: left_column.into(),
+            right_column: right_column.into(),
+            kind: JoinKind::Inner,
+            filter: Predicate::True,
+        }
+    }
+
+    /// Left-outer join `left.left_column = right.right_column`.
+    pub fn left_outer(left_column: impl Into<String>, right_column: impl Into<String>) -> Self {
+        Join {
+            kind: JoinKind::LeftOuter,
+            ..Join::inner(left_column, right_column)
+        }
+    }
+
+    /// Filter applied to *left* rows before joining (column positions refer
+    /// to the left table's schema).
+    pub fn filter_left(mut self, predicate: Predicate) -> Self {
+        self.filter = predicate;
+        self
+    }
+
+    /// Execute. Output rows are the concatenation of left and right values
+    /// (right values all NULL for unmatched left rows in a left-outer join).
+    /// NULL join keys never match, as in SQL.
+    pub fn run(&self, left: &Table, right: &Table) -> Result<Vec<Row>> {
+        let lcol = left
+            .schema()
+            .column_index(&self.left_column)
+            .ok_or_else(|| StoreError::NoSuchColumn {
+                table: left.name().to_owned(),
+                column: self.left_column.clone(),
+            })?;
+        let rcol = right
+            .schema()
+            .column_index(&self.right_column)
+            .ok_or_else(|| StoreError::NoSuchColumn {
+                table: right.name().to_owned(),
+                column: self.right_column.clone(),
+            })?;
+
+        // build side: hash the right table
+        let mut build: HashMap<&Value, Vec<&Row>> = HashMap::new();
+        for row in right.scan() {
+            let key = &row.values()[rcol];
+            if key.is_null() {
+                continue;
+            }
+            build.entry(key).or_default().push(row);
+        }
+
+        let right_arity = right.schema().arity();
+        let mut out = Vec::new();
+        for lrow in left.scan() {
+            if !self.filter.eval(lrow) {
+                continue;
+            }
+            let key = &lrow.values()[lcol];
+            let matches = if key.is_null() {
+                None
+            } else {
+                build.get(key)
+            };
+            match (matches, self.kind) {
+                (Some(rrows), _) => {
+                    for rrow in rrows {
+                        let mut values =
+                            Vec::with_capacity(lrow.arity() + right_arity);
+                        values.extend_from_slice(lrow.values());
+                        values.extend_from_slice(rrow.values());
+                        out.push(Row::new(values));
+                    }
+                }
+                (None, JoinKind::LeftOuter) => {
+                    let mut values = Vec::with_capacity(lrow.arity() + right_arity);
+                    values.extend_from_slice(lrow.values());
+                    values.extend(std::iter::repeat_n(Value::Null, right_arity));
+                    out.push(Row::new(values));
+                }
+                (None, JoinKind::Inner) => {}
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::Cond;
+    use crate::row;
+    use crate::schema::SchemaBuilder;
+    use crate::value::DataType;
+
+    fn tables() -> (Table, Table) {
+        let bundles = SchemaBuilder::new()
+            .pk("ref_no", DataType::Text)
+            .col("part_id", DataType::Text)
+            .col_null("error_code", DataType::Text)
+            .build()
+            .unwrap();
+        let mut b = Table::new("bundles", bundles);
+        b.insert(row!["R-1", "P-01", "E1"]).unwrap();
+        b.insert(row!["R-2", "P-01", "E2"]).unwrap();
+        b.insert(row!["R-3", "P-02", Value::Null]).unwrap();
+        b.insert(row!["R-4", "P-03", "E9"]).unwrap(); // no code row
+
+        let codes = SchemaBuilder::new()
+            .pk("code", DataType::Text)
+            .col("description", DataType::Text)
+            .build()
+            .unwrap();
+        let mut c = Table::new("codes", codes);
+        c.insert(row!["E1", "contact melted"]).unwrap();
+        c.insert(row!["E2", "no power"]).unwrap();
+        (b, c)
+    }
+
+    #[test]
+    fn inner_join_matches_pairs() {
+        let (b, c) = tables();
+        let rows = Join::inner("error_code", "code").run(&b, &c).unwrap();
+        assert_eq!(rows.len(), 2);
+        let r1 = rows.iter().find(|r| r.get(0) == Some(&Value::from("R-1"))).unwrap();
+        assert_eq!(r1.get(4).and_then(Value::as_text), Some("contact melted"));
+        // unmatched (R-4) and NULL-key (R-3) rows are dropped
+        assert!(!rows.iter().any(|r| r.get(0) == Some(&Value::from("R-3"))));
+        assert!(!rows.iter().any(|r| r.get(0) == Some(&Value::from("R-4"))));
+    }
+
+    #[test]
+    fn left_outer_keeps_unmatched_with_nulls() {
+        let (b, c) = tables();
+        let rows = Join::left_outer("error_code", "code").run(&b, &c).unwrap();
+        assert_eq!(rows.len(), 4);
+        let r3 = rows.iter().find(|r| r.get(0) == Some(&Value::from("R-3"))).unwrap();
+        assert!(r3.get(3).unwrap().is_null());
+        assert!(r3.get(4).unwrap().is_null());
+        let r4 = rows.iter().find(|r| r.get(0) == Some(&Value::from("R-4"))).unwrap();
+        assert!(r4.get(3).unwrap().is_null()); // E9 has no code row
+    }
+
+    #[test]
+    fn one_to_many_duplicates_left_row() {
+        let (_, c) = tables();
+        let parts = SchemaBuilder::new()
+            .pk("id", DataType::Int)
+            .col("code", DataType::Text)
+            .build()
+            .unwrap();
+        let mut p = Table::new("multi", parts);
+        p.insert(row![1i64, "E1"]).unwrap();
+        let mut codes2 = c.clone();
+        // a second description for E1 (different pk)
+        codes2
+            .update(&Value::from("E2"), row!["E2", "no power"])
+            .unwrap();
+        let dup = SchemaBuilder::new()
+            .pk("id", DataType::Int)
+            .col("code", DataType::Text)
+            .col("description", DataType::Text)
+            .build()
+            .unwrap();
+        let mut d = Table::new("descs", dup);
+        d.insert(row![1i64, "E1", "first"]).unwrap();
+        d.insert(row![2i64, "E1", "second"]).unwrap();
+        let rows = Join::inner("code", "code").run(&p, &d).unwrap();
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn filter_left_applies_before_join() {
+        let (b, c) = tables();
+        let rows = Join::inner("error_code", "code")
+            .filter_left(Cond::eq(&b, "part_id", "P-01").unwrap())
+            .run(&b, &c)
+            .unwrap();
+        assert_eq!(rows.len(), 2);
+        let rows = Join::inner("error_code", "code")
+            .filter_left(Cond::eq(&b, "part_id", "P-02").unwrap())
+            .run(&b, &c)
+            .unwrap();
+        assert!(rows.is_empty());
+    }
+
+    #[test]
+    fn unknown_columns_error() {
+        let (b, c) = tables();
+        assert!(Join::inner("ghost", "code").run(&b, &c).is_err());
+        assert!(Join::inner("error_code", "ghost").run(&b, &c).is_err());
+    }
+
+    #[test]
+    fn joined_arity_is_sum_of_schemas() {
+        let (b, c) = tables();
+        let rows = Join::inner("error_code", "code").run(&b, &c).unwrap();
+        assert_eq!(rows[0].arity(), b.schema().arity() + c.schema().arity());
+    }
+}

@@ -1,0 +1,77 @@
+//! # qatk-store — embedded relational storage for QATK
+//!
+//! The QATK analytics pipeline of the paper stores its raw report data, its
+//! knowledge bases and its classification results in a relational database
+//! and accesses kNN instances "on disk … with on-the-fly access" to keep
+//! memory bounded (paper §2.2, §4.5.1). This crate is that substrate: a small
+//! embedded relational engine with
+//!
+//! * typed schemas ([`schema::Schema`]) over dynamic [`value::Value`]s,
+//! * slotted-heap tables with primary-key and UNIQUE enforcement
+//!   ([`table::Table`]),
+//! * hash and ordered secondary indexes ([`index::Index`]),
+//! * a predicate/query layer with a tiny access-path planner
+//!   ([`query::Query`]), grouped aggregation ([`agg::GroupBy`]) and hash
+//!   joins ([`join::Join`]),
+//! * undo-log transactions ([`crate::db::Database::transaction`]),
+//! * checksummed binary snapshots ([`crate::db::Database::save`] /
+//!   [`crate::db::Database::load`]) plus a write-ahead log for incremental
+//!   durability between snapshots ([`wal`]),
+//! * and a lock-guarded shared handle ([`db::SharedDatabase`]).
+//!
+//! ## Example
+//!
+//! ```
+//! use qatk_store::prelude::*;
+//!
+//! let mut db = Database::new();
+//! let schema = SchemaBuilder::new()
+//!     .pk("id", DataType::Int)
+//!     .col("part_id", DataType::Text)
+//!     .col("report", DataType::Text)
+//!     .build()
+//!     .unwrap();
+//! db.create_table("bundles", schema).unwrap();
+//! db.insert("bundles", row![1i64, "P07", "radio turns on and off by itself"]).unwrap();
+//!
+//! let t = db.table("bundles").unwrap();
+//! let q = Query::new().filter(Cond::eq(t, "part_id", "P07").unwrap());
+//! assert_eq!(q.run(t).unwrap().len(), 1);
+//! ```
+
+pub mod agg;
+pub mod codec;
+pub mod csv;
+pub mod db;
+pub mod error;
+pub mod index;
+pub mod join;
+pub mod persist;
+pub mod predicate;
+pub mod query;
+pub mod row;
+pub mod schema;
+pub mod table;
+pub mod txn;
+pub mod value;
+pub mod wal;
+
+/// Convenient glob-import surface.
+pub mod prelude {
+    pub use crate::agg::{Aggregate, GroupBy, GroupRow};
+    pub use crate::csv::{export_table, import_table, parse_csv};
+    pub use crate::db::{Database, SharedDatabase};
+    pub use crate::error::{Result as StoreResult, StoreError};
+    pub use crate::index::IndexKind;
+    pub use crate::join::{Join, JoinKind};
+    pub use crate::predicate::Predicate;
+    pub use crate::query::{AccessPath, Cond, Query, SortOrder};
+    pub use crate::row;
+    pub use crate::row::Row;
+    pub use crate::schema::{ColumnDef, Schema, SchemaBuilder};
+    pub use crate::table::Table;
+    pub use crate::wal::{read_log, replay, LoggedDatabase, WalRecord, WalWriter};
+    pub use crate::value::{DataType, Value};
+}
+
+pub use prelude::*;

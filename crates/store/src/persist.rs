@@ -1,0 +1,223 @@
+//! Snapshot persistence: serialize a whole [`Database`] to a single file and
+//! load it back, with version and checksum verification.
+//!
+//! The paper's prototype keeps raw report data, knowledge bases and
+//! classification results in a relational database; snapshots give our
+//! embedded engine the equivalent durability for batch analytics workloads.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use bytes::{Buf, BufMut};
+
+use crate::codec::{self, fnv1a, MAGIC, VERSION};
+use crate::db::Database;
+use crate::error::{Result, StoreError};
+
+impl Database {
+    /// Serialize the database into a byte buffer.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(4096);
+        out.put_slice(MAGIC);
+        out.put_u32_le(VERSION);
+        let tables = self.tables_sorted();
+        out.put_u32_le(tables.len() as u32);
+        for table in tables {
+            codec::put_table(&mut out, table);
+        }
+        let checksum = fnv1a(&out);
+        out.put_u64_le(checksum);
+        out
+    }
+
+    /// Deserialize a database from bytes produced by [`Database::to_bytes`].
+    pub fn from_bytes(data: &[u8]) -> Result<Self> {
+        if data.len() < MAGIC.len() + 4 + 4 + 8 {
+            return Err(StoreError::Corrupt("snapshot too small".into()));
+        }
+        let (payload, checksum_bytes) = data.split_at(data.len() - 8);
+        let mut cbuf = checksum_bytes;
+        let stored = cbuf.get_u64_le();
+        let actual = fnv1a(payload);
+        if stored != actual {
+            return Err(StoreError::Corrupt(format!(
+                "checksum mismatch: stored {stored:#018x}, computed {actual:#018x}"
+            )));
+        }
+
+        let mut buf = payload;
+        if buf.len() < MAGIC.len() || &buf[..MAGIC.len()] != MAGIC {
+            return Err(StoreError::Corrupt("bad magic".into()));
+        }
+        buf.advance(MAGIC.len());
+        let version = buf.get_u32_le();
+        if version != VERSION {
+            return Err(StoreError::Corrupt(format!(
+                "unsupported snapshot version {version} (expected {VERSION})"
+            )));
+        }
+        let n_tables = buf.get_u32_le() as usize;
+        let mut db = Database::new();
+        for _ in 0..n_tables {
+            let table = codec::get_table(&mut buf)?;
+            db.insert_table_raw(table);
+        }
+        if buf.has_remaining() {
+            return Err(StoreError::Corrupt(format!(
+                "{} trailing bytes after last table",
+                buf.remaining()
+            )));
+        }
+        Ok(db)
+    }
+
+    /// Write a snapshot to a file (buffered, then flushed).
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
+        let bytes = self.to_bytes();
+        let mut w = BufWriter::new(File::create(path)?);
+        w.write_all(&bytes)?;
+        w.flush()?;
+        Ok(())
+    }
+
+    /// Load a snapshot from a file.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self> {
+        let mut r = BufReader::new(File::open(path)?);
+        let mut data = Vec::new();
+        r.read_to_end(&mut data)?;
+        Database::from_bytes(&data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::IndexKind;
+    use crate::row;
+    use crate::schema::SchemaBuilder;
+    use crate::value::{DataType, Value};
+
+    fn sample_db() -> Database {
+        let mut db = Database::new();
+        let bundles = SchemaBuilder::new()
+            .pk("id", DataType::Int)
+            .col("part_id", DataType::Text)
+            .col_null("report", DataType::Text)
+            .col("score", DataType::Float)
+            .build()
+            .unwrap();
+        db.create_table("bundles", bundles).unwrap();
+        for i in 0..100i64 {
+            let report: Value = if i % 7 == 0 {
+                Value::Null
+            } else {
+                Value::from(format!("Lüfter defekt, Fall {i}"))
+            };
+            db.insert(
+                "bundles",
+                row![i, format!("P{:02}", i % 10), report, (i as f64) * 0.01],
+            )
+            .unwrap();
+        }
+        db.table_mut("bundles")
+            .unwrap()
+            .create_index("by_part", "part_id", IndexKind::Hash)
+            .unwrap();
+
+        let codes = SchemaBuilder::new()
+            .pk("code", DataType::Text)
+            .col("count", DataType::Int)
+            .build()
+            .unwrap();
+        db.create_table("codes", codes).unwrap();
+        db.insert("codes", row!["E100", 40i64]).unwrap();
+        db.insert("codes", row!["E200", 2i64]).unwrap();
+        db
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let db = sample_db();
+        let bytes = db.to_bytes();
+        let got = Database::from_bytes(&bytes).unwrap();
+        assert_eq!(got.table_names(), vec!["bundles", "codes"]);
+        assert_eq!(got.table("bundles").unwrap().len(), 100);
+        assert_eq!(got.table("codes").unwrap().len(), 2);
+        // secondary index survives
+        assert_eq!(
+            got.table("bundles")
+                .unwrap()
+                .lookup("part_id", &Value::from("P03"))
+                .unwrap()
+                .len(),
+            10
+        );
+        // NULLs survive
+        let r = got.get("bundles", &Value::Int(0)).unwrap().unwrap();
+        assert!(r.get(2).unwrap().is_null());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("qatk_store_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.qdb");
+        let db = sample_db();
+        db.save(&path).unwrap();
+        let got = Database::load(&path).unwrap();
+        assert_eq!(got.total_rows(), db.total_rows());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn checksum_detects_bitflip() {
+        let db = sample_db();
+        let mut bytes = db.to_bytes();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        assert!(matches!(
+            Database::from_bytes(&bytes),
+            Err(StoreError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn bad_magic_and_version_rejected() {
+        let db = sample_db();
+        let mut bytes = db.to_bytes();
+        bytes[0] = b'X';
+        // fix checksum so the magic check itself is exercised
+        let n = bytes.len();
+        let sum = fnv1a(&bytes[..n - 8]);
+        bytes[n - 8..].copy_from_slice(&sum.to_le_bytes());
+        let err = Database::from_bytes(&bytes).unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt(ref m) if m.contains("magic")));
+
+        let mut bytes = db.to_bytes();
+        bytes[8] = 42; // version
+        let n = bytes.len();
+        let sum = fnv1a(&bytes[..n - 8]);
+        bytes[n - 8..].copy_from_slice(&sum.to_le_bytes());
+        let err = Database::from_bytes(&bytes).unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt(ref m) if m.contains("version")));
+    }
+
+    #[test]
+    fn tiny_input_rejected() {
+        assert!(Database::from_bytes(&[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let r = Database::load("/definitely/not/here.qdb");
+        assert!(matches!(r, Err(StoreError::Io(_))));
+    }
+
+    #[test]
+    fn empty_database_roundtrips() {
+        let db = Database::new();
+        let got = Database::from_bytes(&db.to_bytes()).unwrap();
+        assert!(got.table_names().is_empty());
+    }
+}

@@ -1,0 +1,174 @@
+//! Predicate AST evaluated against rows during queries.
+//!
+//! Predicates reference columns by *position*; the [`crate::query`] builder
+//! resolves names to positions against a table schema so that evaluation in
+//! the scan loop is allocation-free and branch-cheap.
+
+use crate::row::Row;
+use crate::value::Value;
+
+/// A boolean condition over a row.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// Always true (scan everything).
+    True,
+    /// Column equals value. NULL equals NULL under the engine's total order.
+    Eq(usize, Value),
+    /// Column differs from value.
+    Ne(usize, Value),
+    Lt(usize, Value),
+    Le(usize, Value),
+    Gt(usize, Value),
+    Ge(usize, Value),
+    /// Column in `[lo, hi]`, inclusive.
+    Between(usize, Value, Value),
+    /// Column equals one of the listed values.
+    InSet(usize, Vec<Value>),
+    /// Text column contains the given substring (case-sensitive), like SQL
+    /// `LIKE '%needle%'`. False for non-text values and NULL.
+    Contains(usize, String),
+    /// Column is NULL.
+    IsNull(usize),
+    /// Column is not NULL.
+    NotNull(usize),
+    And(Vec<Predicate>),
+    Or(Vec<Predicate>),
+    Not(Box<Predicate>),
+}
+
+impl Predicate {
+    /// Evaluate against a row. Out-of-range columns evaluate to false, which
+    /// cannot happen for predicates built through the query builder.
+    pub fn eval(&self, row: &Row) -> bool {
+        match self {
+            Predicate::True => true,
+            Predicate::Eq(c, v) => row.get(*c).is_some_and(|x| x == v),
+            Predicate::Ne(c, v) => row.get(*c).is_some_and(|x| x != v),
+            Predicate::Lt(c, v) => row.get(*c).is_some_and(|x| x < v),
+            Predicate::Le(c, v) => row.get(*c).is_some_and(|x| x <= v),
+            Predicate::Gt(c, v) => row.get(*c).is_some_and(|x| x > v),
+            Predicate::Ge(c, v) => row.get(*c).is_some_and(|x| x >= v),
+            Predicate::Between(c, lo, hi) => row.get(*c).is_some_and(|x| x >= lo && x <= hi),
+            Predicate::InSet(c, vs) => row.get(*c).is_some_and(|x| vs.contains(x)),
+            Predicate::Contains(c, needle) => row
+                .get(*c)
+                .and_then(Value::as_text)
+                .is_some_and(|s| s.contains(needle.as_str())),
+            Predicate::IsNull(c) => row.get(*c).is_some_and(Value::is_null),
+            Predicate::NotNull(c) => row.get(*c).is_some_and(|x| !x.is_null()),
+            Predicate::And(ps) => ps.iter().all(|p| p.eval(row)),
+            Predicate::Or(ps) => ps.iter().any(|p| p.eval(row)),
+            Predicate::Not(p) => !p.eval(row),
+        }
+    }
+
+    /// If this predicate (or a conjunct of it) pins `col` to a single value,
+    /// return that value — used by the planner to route through an index.
+    pub fn pinned_value(&self, col: usize) -> Option<&Value> {
+        match self {
+            Predicate::Eq(c, v) if *c == col => Some(v),
+            Predicate::And(ps) => ps.iter().find_map(|p| p.pinned_value(col)),
+            _ => None,
+        }
+    }
+
+    /// If this predicate (or a conjunct) restricts `col` to an inclusive
+    /// range, return `(lo, hi)`; used to exploit ordered indexes.
+    pub fn pinned_range(&self, col: usize) -> Option<(Value, Value)> {
+        match self {
+            Predicate::Between(c, lo, hi) if *c == col => Some((lo.clone(), hi.clone())),
+            Predicate::Eq(c, v) if *c == col => Some((v.clone(), v.clone())),
+            Predicate::And(ps) => ps.iter().find_map(|p| p.pinned_range(col)),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row;
+
+    fn r() -> Row {
+        row![5i64, "supplier report: relay melted", Value::Null]
+    }
+
+    #[test]
+    fn comparisons() {
+        let row = r();
+        assert!(Predicate::Eq(0, Value::Int(5)).eval(&row));
+        assert!(Predicate::Ne(0, Value::Int(6)).eval(&row));
+        assert!(Predicate::Lt(0, Value::Int(6)).eval(&row));
+        assert!(Predicate::Le(0, Value::Int(5)).eval(&row));
+        assert!(Predicate::Gt(0, Value::Int(4)).eval(&row));
+        assert!(Predicate::Ge(0, Value::Int(5)).eval(&row));
+        assert!(Predicate::Between(0, Value::Int(1), Value::Int(9)).eval(&row));
+        assert!(!Predicate::Between(0, Value::Int(6), Value::Int(9)).eval(&row));
+    }
+
+    #[test]
+    fn set_and_text() {
+        let row = r();
+        assert!(Predicate::InSet(0, vec![Value::Int(1), Value::Int(5)]).eval(&row));
+        assert!(!Predicate::InSet(0, vec![Value::Int(1)]).eval(&row));
+        assert!(Predicate::Contains(1, "relay".into()).eval(&row));
+        assert!(!Predicate::Contains(1, "Relay".into()).eval(&row));
+        // Contains over a non-text column is false, not an error.
+        assert!(!Predicate::Contains(0, "5".into()).eval(&row));
+    }
+
+    #[test]
+    fn null_checks() {
+        let row = r();
+        assert!(Predicate::IsNull(2).eval(&row));
+        assert!(!Predicate::IsNull(0).eval(&row));
+        assert!(Predicate::NotNull(1).eval(&row));
+    }
+
+    #[test]
+    fn boolean_composition() {
+        let row = r();
+        let p = Predicate::And(vec![
+            Predicate::Eq(0, Value::Int(5)),
+            Predicate::Contains(1, "melted".into()),
+        ]);
+        assert!(p.eval(&row));
+        let q = Predicate::Or(vec![
+            Predicate::Eq(0, Value::Int(99)),
+            Predicate::IsNull(2),
+        ]);
+        assert!(q.eval(&row));
+        assert!(!Predicate::Not(Box::new(q)).eval(&row));
+        assert!(Predicate::True.eval(&row));
+        assert!(Predicate::And(vec![]).eval(&row)); // vacuous truth
+        assert!(!Predicate::Or(vec![]).eval(&row));
+    }
+
+    #[test]
+    fn out_of_range_column_is_false() {
+        let row = r();
+        assert!(!Predicate::Eq(42, Value::Int(1)).eval(&row));
+    }
+
+    #[test]
+    fn pinned_value_extraction() {
+        let p = Predicate::And(vec![
+            Predicate::Contains(1, "x".into()),
+            Predicate::Eq(0, Value::Int(5)),
+        ]);
+        assert_eq!(p.pinned_value(0), Some(&Value::Int(5)));
+        assert_eq!(p.pinned_value(1), None);
+        assert_eq!(Predicate::True.pinned_value(0), None);
+    }
+
+    #[test]
+    fn pinned_range_extraction() {
+        let p = Predicate::Between(0, Value::Int(2), Value::Int(8));
+        assert_eq!(p.pinned_range(0), Some((Value::Int(2), Value::Int(8))));
+        let eq = Predicate::Eq(0, Value::Int(3));
+        assert_eq!(eq.pinned_range(0), Some((Value::Int(3), Value::Int(3))));
+        let nested = Predicate::And(vec![p]);
+        assert!(nested.pinned_range(0).is_some());
+        assert!(nested.pinned_range(1).is_none());
+    }
+}

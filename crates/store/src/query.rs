@@ -1,0 +1,364 @@
+//! Query builder with a small planner: point lookups through the primary key,
+//! unique maps or secondary indexes; range scans through ordered indexes; and
+//! a full-scan fallback. All filtering re-checks the complete predicate, so
+//! index routing is purely an access-path optimization.
+
+use crate::error::{Result, StoreError};
+use crate::predicate::Predicate;
+use crate::row::Row;
+use crate::table::Table;
+use crate::value::Value;
+
+/// Sort direction for `ORDER BY`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SortOrder {
+    Asc,
+    Desc,
+}
+
+/// How the planner decided to access the table; exposed for tests and the
+/// ablation bench comparing indexed vs. scan candidate retrieval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessPath {
+    PointLookup,
+    RangeScan,
+    FullScan,
+}
+
+/// A declarative query against one table.
+#[derive(Debug, Clone)]
+pub struct Query {
+    predicate: Predicate,
+    projection: Option<Vec<String>>,
+    order_by: Option<(String, SortOrder)>,
+    limit: Option<usize>,
+}
+
+impl Default for Query {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Query {
+    pub fn new() -> Self {
+        Query {
+            predicate: Predicate::True,
+            projection: None,
+            order_by: None,
+            limit: None,
+        }
+    }
+
+    /// Filter rows by a predicate built against column *names*; positions are
+    /// resolved when the query runs.
+    pub fn filter(mut self, predicate: Predicate) -> Self {
+        self.predicate = match self.predicate {
+            Predicate::True => predicate,
+            p => Predicate::And(vec![p, predicate]),
+        };
+        self
+    }
+
+    /// Keep only the named columns, in the given order.
+    pub fn select(mut self, columns: &[&str]) -> Self {
+        self.projection = Some(columns.iter().map(|s| (*s).to_owned()).collect());
+        self
+    }
+
+    /// Sort by a column.
+    pub fn order_by(mut self, column: &str, order: SortOrder) -> Self {
+        self.order_by = Some((column.to_owned(), order));
+        self
+    }
+
+    /// Return at most `n` rows (applied after sorting).
+    pub fn limit(mut self, n: usize) -> Self {
+        self.limit = Some(n);
+        self
+    }
+
+    /// Run against a table, returning owned rows.
+    pub fn run(&self, table: &Table) -> Result<Vec<Row>> {
+        Ok(self.run_explained(table)?.0)
+    }
+
+    /// Run and also report which access path the planner chose.
+    pub fn run_explained(&self, table: &Table) -> Result<(Vec<Row>, AccessPath)> {
+        let schema = table.schema();
+
+        // Plan: find an equality conjunct answerable by PK / unique / index,
+        // else a range conjunct answerable by an ordered index.
+        let mut planned: Option<(Vec<usize>, AccessPath)> = None;
+        for col in 0..schema.arity() {
+            if let Some(v) = self.predicate.pinned_value(col) {
+                if let Some(slots) = table.planned_slots(col, v) {
+                    planned = Some((slots, AccessPath::PointLookup));
+                    break;
+                }
+            }
+        }
+        if planned.is_none() {
+            for col in 0..schema.arity() {
+                if let Some((lo, hi)) = self.predicate.pinned_range(col) {
+                    if let Some(slots) = table.planned_range_slots(col, &lo, &hi) {
+                        planned = Some((slots, AccessPath::RangeScan));
+                        break;
+                    }
+                }
+            }
+        }
+
+        let mut rows: Vec<Row> = match &planned {
+            Some((slots, _)) => {
+                let mut sorted = slots.clone();
+                sorted.sort_unstable();
+                sorted
+                    .into_iter()
+                    .filter_map(|s| table.row_at(s))
+                    .filter(|r| self.predicate.eval(r))
+                    .cloned()
+                    .collect()
+            }
+            None => table
+                .scan()
+                .filter(|r| self.predicate.eval(r))
+                .cloned()
+                .collect(),
+        };
+        let path = planned.map_or(AccessPath::FullScan, |(_, p)| p);
+
+        if let Some((col_name, order)) = &self.order_by {
+            let col =
+                schema
+                    .column_index(col_name)
+                    .ok_or_else(|| StoreError::NoSuchColumn {
+                        table: table.name().to_owned(),
+                        column: col_name.clone(),
+                    })?;
+            rows.sort_by(|a, b| {
+                let ord = a.values()[col].cmp(&b.values()[col]);
+                match order {
+                    SortOrder::Asc => ord,
+                    SortOrder::Desc => ord.reverse(),
+                }
+            });
+        }
+
+        if let Some(n) = self.limit {
+            rows.truncate(n);
+        }
+
+        if let Some(cols) = &self.projection {
+            let mut idxs = Vec::with_capacity(cols.len());
+            for name in cols {
+                let idx =
+                    schema
+                        .column_index(name)
+                        .ok_or_else(|| StoreError::NoSuchColumn {
+                            table: table.name().to_owned(),
+                            column: name.clone(),
+                        })?;
+                idxs.push(idx);
+            }
+            rows = rows.into_iter().map(|r| r.project(&idxs)).collect();
+        }
+
+        Ok((rows, path))
+    }
+
+    /// Count matching rows without materializing projections.
+    pub fn count(&self, table: &Table) -> Result<usize> {
+        // Reuse run_explained but without clone-heavy projection: predicate
+        // evaluation dominates; queries used for counting are small in QATK.
+        Ok(self.run_explained(table)?.0.len())
+    }
+}
+
+/// Helpers to build predicates against column names, resolved on a schema.
+pub struct Cond;
+
+impl Cond {
+    pub fn eq(table: &Table, column: &str, v: impl Into<Value>) -> Result<Predicate> {
+        Ok(Predicate::Eq(Self::col(table, column)?, v.into()))
+    }
+    pub fn ne(table: &Table, column: &str, v: impl Into<Value>) -> Result<Predicate> {
+        Ok(Predicate::Ne(Self::col(table, column)?, v.into()))
+    }
+    pub fn between(
+        table: &Table,
+        column: &str,
+        lo: impl Into<Value>,
+        hi: impl Into<Value>,
+    ) -> Result<Predicate> {
+        Ok(Predicate::Between(
+            Self::col(table, column)?,
+            lo.into(),
+            hi.into(),
+        ))
+    }
+    pub fn contains(table: &Table, column: &str, needle: &str) -> Result<Predicate> {
+        Ok(Predicate::Contains(
+            Self::col(table, column)?,
+            needle.to_owned(),
+        ))
+    }
+    pub fn in_set(table: &Table, column: &str, vs: Vec<Value>) -> Result<Predicate> {
+        Ok(Predicate::InSet(Self::col(table, column)?, vs))
+    }
+    pub fn is_null(table: &Table, column: &str) -> Result<Predicate> {
+        Ok(Predicate::IsNull(Self::col(table, column)?))
+    }
+
+    fn col(table: &Table, column: &str) -> Result<usize> {
+        table
+            .schema()
+            .column_index(column)
+            .ok_or_else(|| StoreError::NoSuchColumn {
+                table: table.name().to_owned(),
+                column: column.to_owned(),
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::IndexKind;
+    use crate::row;
+    use crate::schema::SchemaBuilder;
+    use crate::value::DataType;
+
+    fn table() -> Table {
+        let schema = SchemaBuilder::new()
+            .pk("id", DataType::Int)
+            .col("part_id", DataType::Text)
+            .col("score", DataType::Float)
+            .col("report", DataType::Text)
+            .build()
+            .unwrap();
+        let mut t = Table::new("suggestions", schema);
+        for i in 0..20i64 {
+            let part = format!("P{:02}", i % 4);
+            let score = (i as f64) / 10.0;
+            t.insert(row![i, part, score, format!("report body {i}")])
+                .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn full_scan_filter() {
+        let t = table();
+        let p = Cond::eq(&t, "part_id", "P01").unwrap();
+        let (rows, path) = Query::new().filter(p).run_explained(&t).unwrap();
+        assert_eq!(rows.len(), 5);
+        assert_eq!(path, AccessPath::FullScan);
+    }
+
+    #[test]
+    fn pk_point_lookup_is_planned() {
+        let t = table();
+        let p = Cond::eq(&t, "id", 7i64).unwrap();
+        let (rows, path) = Query::new().filter(p).run_explained(&t).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(path, AccessPath::PointLookup);
+    }
+
+    #[test]
+    fn secondary_index_point_lookup() {
+        let mut t = table();
+        t.create_index("by_part", "part_id", IndexKind::Hash).unwrap();
+        let p = Cond::eq(&t, "part_id", "P02").unwrap();
+        let (rows, path) = Query::new().filter(p).run_explained(&t).unwrap();
+        assert_eq!(rows.len(), 5);
+        assert_eq!(path, AccessPath::PointLookup);
+    }
+
+    #[test]
+    fn ordered_index_range_scan() {
+        let mut t = table();
+        t.create_index("by_score", "score", IndexKind::Ordered)
+            .unwrap();
+        let p = Cond::between(&t, "score", 0.45f64, 0.85f64).unwrap();
+        let (rows, path) = Query::new().filter(p).run_explained(&t).unwrap();
+        assert_eq!(path, AccessPath::RangeScan);
+        assert_eq!(rows.len(), 4); // 0.5, 0.6, 0.7, 0.8
+    }
+
+    #[test]
+    fn conjunction_still_filters_fully() {
+        let mut t = table();
+        t.create_index("by_part", "part_id", IndexKind::Hash).unwrap();
+        let p = Predicate::And(vec![
+            Cond::eq(&t, "part_id", "P01").unwrap(),
+            Cond::contains(&t, "report", "body 13").unwrap(),
+        ]);
+        let (rows, path) = Query::new().filter(p).run_explained(&t).unwrap();
+        assert_eq!(path, AccessPath::PointLookup);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].get(0), Some(&Value::Int(13)));
+    }
+
+    #[test]
+    fn order_by_and_limit() {
+        let t = table();
+        let rows = Query::new()
+            .order_by("score", SortOrder::Desc)
+            .limit(3)
+            .run(&t)
+            .unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].get(0), Some(&Value::Int(19)));
+        assert_eq!(rows[2].get(0), Some(&Value::Int(17)));
+    }
+
+    #[test]
+    fn projection() {
+        let t = table();
+        let p = Cond::eq(&t, "id", 3i64).unwrap();
+        let rows = Query::new()
+            .filter(p)
+            .select(&["part_id", "id"])
+            .run(&t)
+            .unwrap();
+        assert_eq!(rows[0].values(), &[Value::from("P03"), Value::Int(3)]);
+    }
+
+    #[test]
+    fn bad_column_errors() {
+        let t = table();
+        assert!(Cond::eq(&t, "ghost", 1i64).is_err());
+        assert!(Query::new().select(&["ghost"]).run(&t).is_err());
+        assert!(Query::new()
+            .order_by("ghost", SortOrder::Asc)
+            .run(&t)
+            .is_err());
+    }
+
+    #[test]
+    fn count_and_in_set_and_null() {
+        let t = table();
+        let p = Cond::in_set(
+            &t,
+            "part_id",
+            vec![Value::from("P00"), Value::from("P01")],
+        )
+        .unwrap();
+        assert_eq!(Query::new().filter(p).count(&t).unwrap(), 10);
+        let p = Cond::is_null(&t, "report").unwrap();
+        assert_eq!(Query::new().filter(p).count(&t).unwrap(), 0);
+        let p = Cond::ne(&t, "part_id", "P00").unwrap();
+        assert_eq!(Query::new().filter(p).count(&t).unwrap(), 15);
+    }
+
+    #[test]
+    fn chained_filters_conjoin() {
+        let t = table();
+        let q = Query::new()
+            .filter(Cond::eq(&t, "part_id", "P01").unwrap())
+            .filter(Cond::between(&t, "score", 0.0f64, 0.55f64).unwrap());
+        let rows = q.run(&t).unwrap();
+        assert_eq!(rows.len(), 2); // ids 1 (0.1) and 5 (0.5)
+    }
+}

@@ -1,0 +1,121 @@
+//! Rows: fixed-arity vectors of [`Value`]s plus schema-aware accessors.
+
+use crate::schema::Schema;
+use crate::value::Value;
+
+/// One stored row. The engine keeps rows schema-validated, so accessors may
+/// assume positional layout matches the table schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Row {
+    values: Vec<Value>,
+}
+
+impl Row {
+    /// Wrap a vector of values. Validation against a schema happens at the
+    /// table boundary ([`Schema::check_row`]).
+    pub fn new(values: Vec<Value>) -> Self {
+        Row { values }
+    }
+
+    /// All values in column order.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Consume into the raw value vector.
+    pub fn into_values(self) -> Vec<Value> {
+        self.values
+    }
+
+    /// Value at a column position.
+    pub fn get(&self, idx: usize) -> Option<&Value> {
+        self.values.get(idx)
+    }
+
+    /// Value by column name, resolved through the schema.
+    pub fn get_named<'a>(&'a self, schema: &Schema, name: &str) -> Option<&'a Value> {
+        schema.column_index(name).and_then(|i| self.values.get(i))
+    }
+
+    /// Replace the value at a position, returning the previous value.
+    /// Panics if out of range — callers are schema-checked.
+    pub fn set(&mut self, idx: usize, value: Value) -> Value {
+        std::mem::replace(&mut self.values[idx], value)
+    }
+
+    /// Number of values.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Project onto a subset of column positions (for SELECT projections).
+    pub fn project(&self, cols: &[usize]) -> Row {
+        Row::new(cols.iter().map(|&i| self.values[i].clone()).collect())
+    }
+}
+
+impl From<Vec<Value>> for Row {
+    fn from(values: Vec<Value>) -> Self {
+        Row::new(values)
+    }
+}
+
+/// Build a row from heterogeneous `Into<Value>` items.
+///
+/// ```
+/// use qatk_store::row;
+/// let r = row![1i64, "mechanic report", 0.75f64];
+/// assert_eq!(r.arity(), 3);
+/// ```
+#[macro_export]
+macro_rules! row {
+    ($($v:expr),* $(,)?) => {
+        $crate::row::Row::new(vec![$($crate::value::Value::from($v)),*])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::SchemaBuilder;
+    use crate::value::DataType;
+
+    #[test]
+    fn macro_and_accessors() {
+        let r = row![7i64, "hello", 1.5f64];
+        assert_eq!(r.arity(), 3);
+        assert_eq!(r.get(0), Some(&Value::Int(7)));
+        assert_eq!(r.get(1).and_then(Value::as_text), Some("hello"));
+        assert_eq!(r.get(3), None);
+    }
+
+    #[test]
+    fn named_access() {
+        let s = SchemaBuilder::new()
+            .pk("id", DataType::Int)
+            .col("txt", DataType::Text)
+            .build()
+            .unwrap();
+        let r = row![1i64, "report"];
+        assert_eq!(
+            r.get_named(&s, "txt").and_then(Value::as_text),
+            Some("report")
+        );
+        assert_eq!(r.get_named(&s, "nope"), None);
+    }
+
+    #[test]
+    fn set_replaces() {
+        let mut r = row![1i64, "a"];
+        let old = r.set(1, Value::from("b"));
+        assert_eq!(old, Value::from("a"));
+        assert_eq!(r.get(1), Some(&Value::from("b")));
+    }
+
+    #[test]
+    fn project_selects_columns() {
+        let r = row![1i64, "a", 2.0f64];
+        let p = r.project(&[2, 0]);
+        assert_eq!(p.values(), &[Value::Float(2.0), Value::Int(1)]);
+    }
+}

@@ -1,0 +1,299 @@
+//! Table schemas: named, typed columns with constraints.
+
+use crate::error::{Result, StoreError};
+use crate::value::{DataType, Value};
+
+/// Definition of one column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnDef {
+    pub name: String,
+    pub ty: DataType,
+    pub nullable: bool,
+    pub unique: bool,
+}
+
+impl ColumnDef {
+    /// A NOT NULL, non-unique column.
+    pub fn new(name: impl Into<String>, ty: DataType) -> Self {
+        ColumnDef {
+            name: name.into(),
+            ty,
+            nullable: false,
+            unique: false,
+        }
+    }
+
+    /// Make the column nullable.
+    pub fn nullable(mut self) -> Self {
+        self.nullable = true;
+        self
+    }
+
+    /// Add a UNIQUE constraint (enforced per-table).
+    pub fn unique(mut self) -> Self {
+        self.unique = true;
+        self
+    }
+}
+
+/// An ordered set of columns with the index of the primary-key column.
+///
+/// The engine uses single-column primary keys; composite business keys are
+/// modelled by an explicit surrogate key column, which is what QATK does for
+/// knowledge nodes and bundles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    columns: Vec<ColumnDef>,
+    pk: usize,
+}
+
+impl Schema {
+    /// Build a schema. `pk` is the index of the primary-key column, which is
+    /// implicitly NOT NULL and UNIQUE.
+    pub fn new(columns: Vec<ColumnDef>, pk: usize) -> Result<Self> {
+        if columns.is_empty() {
+            return Err(StoreError::InvalidSchema("schema has no columns".into()));
+        }
+        if pk >= columns.len() {
+            return Err(StoreError::InvalidSchema(format!(
+                "primary-key index {pk} out of range ({} columns)",
+                columns.len()
+            )));
+        }
+        let mut seen = std::collections::HashSet::new();
+        for c in &columns {
+            if c.name.is_empty() {
+                return Err(StoreError::InvalidSchema("empty column name".into()));
+            }
+            if !seen.insert(c.name.clone()) {
+                return Err(StoreError::InvalidSchema(format!(
+                    "duplicate column name `{}`",
+                    c.name
+                )));
+            }
+        }
+        if columns[pk].nullable {
+            return Err(StoreError::InvalidSchema(format!(
+                "primary-key column `{}` must not be nullable",
+                columns[pk].name
+            )));
+        }
+        Ok(Schema { columns, pk })
+    }
+
+    /// All columns in declaration order.
+    pub fn columns(&self) -> &[ColumnDef] {
+        &self.columns
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Index of the primary-key column.
+    pub fn pk_index(&self) -> usize {
+        self.pk
+    }
+
+    /// The primary-key column definition.
+    pub fn pk_column(&self) -> &ColumnDef {
+        &self.columns[self.pk]
+    }
+
+    /// Resolve a column name to its index.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// Validate a full row of values against the schema (arity, types,
+    /// nullability). Uniqueness is enforced by the table, which owns the data.
+    pub fn check_row(&self, values: &[Value]) -> Result<()> {
+        if values.len() != self.columns.len() {
+            return Err(StoreError::ArityMismatch {
+                expected: self.columns.len(),
+                got: values.len(),
+            });
+        }
+        for (col, val) in self.columns.iter().zip(values) {
+            if val.is_null() {
+                if !col.nullable {
+                    return Err(StoreError::NullViolation {
+                        column: col.name.clone(),
+                    });
+                }
+                continue;
+            }
+            if !val.matches(col.ty) {
+                return Err(StoreError::TypeMismatch {
+                    column: col.name.clone(),
+                    expected: col.ty,
+                    got: val.data_type().expect("non-null value has a type"),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Indices of columns carrying a UNIQUE constraint (excluding the PK).
+    pub fn unique_columns(&self) -> impl Iterator<Item = usize> + '_ {
+        self.columns
+            .iter()
+            .enumerate()
+            .filter(move |(i, c)| *i != self.pk && c.unique)
+            .map(|(i, _)| i)
+    }
+}
+
+/// Fluent builder for [`Schema`].
+#[derive(Debug, Default)]
+pub struct SchemaBuilder {
+    columns: Vec<ColumnDef>,
+    pk: Option<usize>,
+}
+
+impl SchemaBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a column and mark it as the primary key.
+    pub fn pk(mut self, name: impl Into<String>, ty: DataType) -> Self {
+        self.pk = Some(self.columns.len());
+        self.columns.push(ColumnDef::new(name, ty));
+        self
+    }
+
+    /// Add a NOT NULL column.
+    pub fn col(mut self, name: impl Into<String>, ty: DataType) -> Self {
+        self.columns.push(ColumnDef::new(name, ty));
+        self
+    }
+
+    /// Add a nullable column.
+    pub fn col_null(mut self, name: impl Into<String>, ty: DataType) -> Self {
+        self.columns.push(ColumnDef::new(name, ty).nullable());
+        self
+    }
+
+    /// Add a NOT NULL UNIQUE column.
+    pub fn col_unique(mut self, name: impl Into<String>, ty: DataType) -> Self {
+        self.columns.push(ColumnDef::new(name, ty).unique());
+        self
+    }
+
+    /// Finish; errors if no primary key was declared or names collide.
+    pub fn build(self) -> Result<Schema> {
+        let pk = self
+            .pk
+            .ok_or_else(|| StoreError::InvalidSchema("no primary key declared".into()))?;
+        Schema::new(self.columns, pk)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> Schema {
+        SchemaBuilder::new()
+            .pk("id", DataType::Int)
+            .col("name", DataType::Text)
+            .col_null("note", DataType::Text)
+            .col_unique("code", DataType::Int)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_builds() {
+        let s = demo();
+        assert_eq!(s.arity(), 4);
+        assert_eq!(s.pk_index(), 0);
+        assert_eq!(s.pk_column().name, "id");
+        assert_eq!(s.column_index("note"), Some(2));
+        assert_eq!(s.column_index("missing"), None);
+        assert_eq!(s.unique_columns().collect::<Vec<_>>(), vec![3]);
+    }
+
+    #[test]
+    fn rejects_empty_and_duplicate() {
+        assert!(Schema::new(vec![], 0).is_err());
+        let cols = vec![
+            ColumnDef::new("a", DataType::Int),
+            ColumnDef::new("a", DataType::Int),
+        ];
+        assert!(matches!(
+            Schema::new(cols, 0),
+            Err(StoreError::InvalidSchema(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_nullable_pk_and_bad_index() {
+        let cols = vec![ColumnDef::new("a", DataType::Int).nullable()];
+        assert!(Schema::new(cols, 0).is_err());
+        let cols = vec![ColumnDef::new("a", DataType::Int)];
+        assert!(Schema::new(cols, 5).is_err());
+    }
+
+    #[test]
+    fn builder_requires_pk() {
+        let r = SchemaBuilder::new().col("x", DataType::Int).build();
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn check_row_valid() {
+        let s = demo();
+        let row = vec![
+            Value::Int(1),
+            Value::from("part"),
+            Value::Null,
+            Value::Int(99),
+        ];
+        assert!(s.check_row(&row).is_ok());
+    }
+
+    #[test]
+    fn check_row_arity() {
+        let s = demo();
+        assert!(matches!(
+            s.check_row(&[Value::Int(1)]),
+            Err(StoreError::ArityMismatch {
+                expected: 4,
+                got: 1
+            })
+        ));
+    }
+
+    #[test]
+    fn check_row_type_mismatch() {
+        let s = demo();
+        let row = vec![
+            Value::Int(1),
+            Value::Int(2), // should be Text
+            Value::Null,
+            Value::Int(3),
+        ];
+        assert!(matches!(
+            s.check_row(&row),
+            Err(StoreError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn check_row_null_violation() {
+        let s = demo();
+        let row = vec![
+            Value::Int(1),
+            Value::Null, // name is NOT NULL
+            Value::Null,
+            Value::Int(3),
+        ];
+        assert!(matches!(
+            s.check_row(&row),
+            Err(StoreError::NullViolation { .. })
+        ));
+    }
+}

@@ -1,0 +1,529 @@
+//! A single table: slotted row heap, primary-key map, unique-constraint maps
+//! and named secondary indexes.
+
+use std::collections::HashMap;
+
+use crate::error::{Result, StoreError};
+use crate::index::{Index, IndexKind};
+use crate::row::Row;
+use crate::schema::Schema;
+use crate::value::Value;
+
+/// A named secondary index bound to one column.
+#[derive(Debug, Clone)]
+struct NamedIndex {
+    column: usize,
+    index: Index,
+}
+
+/// One table.
+///
+/// Rows live in a slotted heap (`Vec<Option<Row>>` with a free list) so that
+/// slot numbers — which the indexes reference — stay stable under deletes.
+#[derive(Debug, Clone)]
+pub struct Table {
+    name: String,
+    schema: Schema,
+    rows: Vec<Option<Row>>,
+    free: Vec<usize>,
+    live: usize,
+    pk_map: HashMap<Value, usize>,
+    /// column index -> value -> slot, for UNIQUE columns.
+    unique_maps: HashMap<usize, HashMap<Value, usize>>,
+    indexes: HashMap<String, NamedIndex>,
+}
+
+impl Table {
+    pub fn new(name: impl Into<String>, schema: Schema) -> Self {
+        let unique_maps = schema
+            .unique_columns()
+            .map(|c| (c, HashMap::new()))
+            .collect();
+        Table {
+            name: name.into(),
+            schema,
+            rows: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+            pk_map: HashMap::new(),
+            unique_maps,
+            indexes: HashMap::new(),
+        }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of live rows.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Insert a row; returns the primary key value on success.
+    pub fn insert(&mut self, row: Row) -> Result<Value> {
+        self.schema.check_row(row.values())?;
+        let pk = row.values()[self.schema.pk_index()].clone();
+        if self.pk_map.contains_key(&pk) {
+            return Err(StoreError::DuplicateKey {
+                table: self.name.clone(),
+                key: pk.to_string(),
+            });
+        }
+        for (&col, map) in &self.unique_maps {
+            let v = &row.values()[col];
+            if !v.is_null() && map.contains_key(v) {
+                return Err(StoreError::UniqueViolation {
+                    column: self.schema.columns()[col].name.clone(),
+                    value: v.to_string(),
+                });
+            }
+        }
+
+        let slot = match self.free.pop() {
+            Some(s) => {
+                self.rows[s] = Some(row);
+                s
+            }
+            None => {
+                self.rows.push(Some(row));
+                self.rows.len() - 1
+            }
+        };
+        let row_ref = self.rows[slot].as_ref().expect("just inserted");
+        self.pk_map.insert(pk.clone(), slot);
+        for (&col, map) in &mut self.unique_maps {
+            let v = &row_ref.values()[col];
+            if !v.is_null() {
+                map.insert(v.clone(), slot);
+            }
+        }
+        for ni in self.indexes.values_mut() {
+            ni.index.insert(row_ref.values()[ni.column].clone(), slot);
+        }
+        self.live += 1;
+        Ok(pk)
+    }
+
+    /// Fetch a row by primary key.
+    pub fn get(&self, pk: &Value) -> Option<&Row> {
+        self.pk_map
+            .get(pk)
+            .and_then(|&slot| self.rows[slot].as_ref())
+    }
+
+    /// Delete by primary key, returning the removed row.
+    pub fn delete(&mut self, pk: &Value) -> Result<Row> {
+        let slot = *self.pk_map.get(pk).ok_or_else(|| StoreError::NoSuchKey {
+            table: self.name.clone(),
+            key: pk.to_string(),
+        })?;
+        let row = self.rows[slot].take().expect("pk map points at live row");
+        self.pk_map.remove(pk);
+        for (&col, map) in &mut self.unique_maps {
+            let v = &row.values()[col];
+            if !v.is_null() {
+                map.remove(v);
+            }
+        }
+        for ni in self.indexes.values_mut() {
+            ni.index.remove(&row.values()[ni.column], slot);
+        }
+        self.free.push(slot);
+        self.live -= 1;
+        Ok(row)
+    }
+
+    /// Replace the row with primary key `pk` by `new`, which must carry the
+    /// same primary key. Returns the previous row.
+    pub fn update(&mut self, pk: &Value, new: Row) -> Result<Row> {
+        self.schema.check_row(new.values())?;
+        let new_pk = &new.values()[self.schema.pk_index()];
+        if new_pk != pk {
+            // A PK change is a delete+insert from the caller's perspective;
+            // keep the operation primitive and predictable.
+            return Err(StoreError::InvalidSchema(format!(
+                "update may not change the primary key ({pk} -> {new_pk})"
+            )));
+        }
+        let slot = *self.pk_map.get(pk).ok_or_else(|| StoreError::NoSuchKey {
+            table: self.name.clone(),
+            key: pk.to_string(),
+        })?;
+        // Check unique constraints against *other* rows.
+        for (&col, map) in &self.unique_maps {
+            let v = &new.values()[col];
+            if !v.is_null() {
+                if let Some(&other) = map.get(v) {
+                    if other != slot {
+                        return Err(StoreError::UniqueViolation {
+                            column: self.schema.columns()[col].name.clone(),
+                            value: v.to_string(),
+                        });
+                    }
+                }
+            }
+        }
+        let old = self.rows[slot].replace(new).expect("live slot");
+        let new_ref = self.rows[slot].as_ref().expect("just stored");
+        for (&col, map) in &mut self.unique_maps {
+            let ov = &old.values()[col];
+            let nv = &new_ref.values()[col];
+            if ov != nv {
+                if !ov.is_null() {
+                    map.remove(ov);
+                }
+                if !nv.is_null() {
+                    map.insert(nv.clone(), slot);
+                }
+            }
+        }
+        for ni in self.indexes.values_mut() {
+            let ov = &old.values()[ni.column];
+            let nv = &new_ref.values()[ni.column];
+            if ov != nv {
+                ni.index.remove(ov, slot);
+                ni.index.insert(nv.clone(), slot);
+            }
+        }
+        Ok(old)
+    }
+
+    /// Iterate over live rows in slot order.
+    pub fn scan(&self) -> impl Iterator<Item = &Row> {
+        self.rows.iter().filter_map(Option::as_ref)
+    }
+
+    /// Create a named secondary index on `column`, backfilled from existing
+    /// rows.
+    pub fn create_index(
+        &mut self,
+        index_name: impl Into<String>,
+        column: &str,
+        kind: IndexKind,
+    ) -> Result<()> {
+        let index_name = index_name.into();
+        if self.indexes.contains_key(&index_name) {
+            return Err(StoreError::IndexExists {
+                table: self.name.clone(),
+                index: index_name,
+            });
+        }
+        let col = self
+            .schema
+            .column_index(column)
+            .ok_or_else(|| StoreError::NoSuchColumn {
+                table: self.name.clone(),
+                column: column.to_owned(),
+            })?;
+        let mut index = Index::new(kind);
+        for (slot, row) in self.rows.iter().enumerate() {
+            if let Some(row) = row {
+                index.insert(row.values()[col].clone(), slot);
+            }
+        }
+        self.indexes
+            .insert(index_name, NamedIndex { column: col, index });
+        Ok(())
+    }
+
+    /// Drop a secondary index.
+    pub fn drop_index(&mut self, index_name: &str) -> Result<()> {
+        self.indexes
+            .remove(index_name)
+            .map(|_| ())
+            .ok_or_else(|| StoreError::NoSuchIndex {
+                table: self.name.clone(),
+                index: index_name.to_owned(),
+            })
+    }
+
+    /// Names of the secondary indexes, sorted for determinism.
+    pub fn index_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.indexes.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        names
+    }
+
+    /// Find an index over the given column position, if any. Preference is
+    /// deterministic (sorted by index name).
+    fn index_on_column(&self, col: usize) -> Option<&Index> {
+        let mut candidates: Vec<(&String, &NamedIndex)> = self
+            .indexes
+            .iter()
+            .filter(|(_, ni)| ni.column == col)
+            .collect();
+        candidates.sort_by_key(|(name, _)| name.as_str());
+        candidates.first().map(|(_, ni)| &ni.index)
+    }
+
+    /// Rows whose `column` equals `key`, via index when available, else scan.
+    pub fn lookup(&self, column: &str, key: &Value) -> Result<Vec<&Row>> {
+        let col = self
+            .schema
+            .column_index(column)
+            .ok_or_else(|| StoreError::NoSuchColumn {
+                table: self.name.clone(),
+                column: column.to_owned(),
+            })?;
+        if col == self.schema.pk_index() {
+            return Ok(self.get(key).into_iter().collect());
+        }
+        if let Some(ix) = self.index_on_column(col) {
+            let mut slots = ix.lookup(key).to_vec();
+            slots.sort_unstable();
+            return Ok(slots
+                .into_iter()
+                .filter_map(|s| self.rows[s].as_ref())
+                .collect());
+        }
+        Ok(self.scan().filter(|r| &r.values()[col] == key).collect())
+    }
+
+    /// Access point used by the query planner: slots matching an equality on
+    /// a column, if an index can answer it.
+    pub(crate) fn planned_slots(&self, col: usize, key: &Value) -> Option<Vec<usize>> {
+        if col == self.schema.pk_index() {
+            return Some(self.pk_map.get(key).copied().into_iter().collect());
+        }
+        if let Some(map) = self.unique_maps.get(&col) {
+            return Some(map.get(key).copied().into_iter().collect());
+        }
+        self.index_on_column(col).map(|ix| ix.lookup(key).to_vec())
+    }
+
+    /// Slots matching a range on a column via an ordered index, if available.
+    pub(crate) fn planned_range_slots(
+        &self,
+        col: usize,
+        lo: &Value,
+        hi: &Value,
+    ) -> Option<Vec<usize>> {
+        self.index_on_column(col).and_then(|ix| ix.range(lo, hi))
+    }
+
+    pub(crate) fn row_at(&self, slot: usize) -> Option<&Row> {
+        self.rows.get(slot).and_then(Option::as_ref)
+    }
+
+    /// Remove all rows but keep schema and (empty) indexes.
+    pub fn truncate(&mut self) {
+        self.rows.clear();
+        self.free.clear();
+        self.pk_map.clear();
+        for map in self.unique_maps.values_mut() {
+            map.clear();
+        }
+        for ni in self.indexes.values_mut() {
+            ni.index.clear();
+        }
+        self.live = 0;
+    }
+
+    /// (index name, column name, kind) triples describing secondary indexes,
+    /// used by snapshot persistence.
+    pub fn index_specs(&self) -> Vec<(String, String, IndexKind)> {
+        let mut specs: Vec<(String, String, IndexKind)> = self
+            .indexes
+            .iter()
+            .map(|(name, ni)| {
+                (
+                    name.clone(),
+                    self.schema.columns()[ni.column].name.clone(),
+                    ni.index.kind(),
+                )
+            })
+            .collect();
+        specs.sort();
+        specs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row;
+    use crate::schema::SchemaBuilder;
+    use crate::value::DataType;
+
+    fn parts_table() -> Table {
+        let schema = SchemaBuilder::new()
+            .pk("id", DataType::Int)
+            .col("part_id", DataType::Text)
+            .col("error_code", DataType::Text)
+            .col_null("note", DataType::Text)
+            .build()
+            .unwrap();
+        Table::new("bundles", schema)
+    }
+
+    #[test]
+    fn insert_get_len() {
+        let mut t = parts_table();
+        t.insert(row![1i64, "P01", "E100", Value::Null]).unwrap();
+        t.insert(row![2i64, "P01", "E200", "ok"]).unwrap();
+        assert_eq!(t.len(), 2);
+        let r = t.get(&Value::Int(1)).unwrap();
+        assert_eq!(r.get(2).and_then(Value::as_text), Some("E100"));
+        assert!(t.get(&Value::Int(42)).is_none());
+    }
+
+    #[test]
+    fn duplicate_pk_rejected() {
+        let mut t = parts_table();
+        t.insert(row![1i64, "P01", "E100", Value::Null]).unwrap();
+        let err = t.insert(row![1i64, "P02", "E101", Value::Null]);
+        assert!(matches!(err, Err(StoreError::DuplicateKey { .. })));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn delete_and_slot_reuse() {
+        let mut t = parts_table();
+        t.insert(row![1i64, "P01", "E100", Value::Null]).unwrap();
+        t.insert(row![2i64, "P02", "E200", Value::Null]).unwrap();
+        let removed = t.delete(&Value::Int(1)).unwrap();
+        assert_eq!(removed.get(1).and_then(Value::as_text), Some("P01"));
+        assert_eq!(t.len(), 1);
+        assert!(t.get(&Value::Int(1)).is_none());
+        // slot is reused
+        t.insert(row![3i64, "P03", "E300", Value::Null]).unwrap();
+        assert_eq!(t.rows.len(), 2);
+        assert!(matches!(
+            t.delete(&Value::Int(99)),
+            Err(StoreError::NoSuchKey { .. })
+        ));
+    }
+
+    #[test]
+    fn update_replaces_and_guards_pk() {
+        let mut t = parts_table();
+        t.insert(row![1i64, "P01", "E100", Value::Null]).unwrap();
+        let old = t
+            .update(&Value::Int(1), row![1i64, "P01", "E999", "re-coded"])
+            .unwrap();
+        assert_eq!(old.get(2).and_then(Value::as_text), Some("E100"));
+        assert_eq!(
+            t.get(&Value::Int(1)).unwrap().get(2).and_then(Value::as_text),
+            Some("E999")
+        );
+        let err = t.update(&Value::Int(1), row![2i64, "P01", "E999", Value::Null]);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn unique_constraint() {
+        let schema = SchemaBuilder::new()
+            .pk("id", DataType::Int)
+            .col_unique("ref_no", DataType::Text)
+            .build()
+            .unwrap();
+        let mut t = Table::new("refs", schema);
+        t.insert(row![1i64, "R-001"]).unwrap();
+        assert!(matches!(
+            t.insert(row![2i64, "R-001"]),
+            Err(StoreError::UniqueViolation { .. })
+        ));
+        t.insert(row![2i64, "R-002"]).unwrap();
+        // updating a row to keep its own unique value is fine
+        t.update(&Value::Int(2), row![2i64, "R-002"]).unwrap();
+        // but stealing another row's value is not
+        assert!(t.update(&Value::Int(2), row![2i64, "R-001"]).is_err());
+        // after deleting row 1 its value is free again
+        t.delete(&Value::Int(1)).unwrap();
+        t.update(&Value::Int(2), row![2i64, "R-001"]).unwrap();
+    }
+
+    #[test]
+    fn secondary_index_lookup_and_maintenance() {
+        let mut t = parts_table();
+        for i in 0..10i64 {
+            let part = if i % 2 == 0 { "P-even" } else { "P-odd" };
+            t.insert(row![i, part, format!("E{i}"), Value::Null])
+                .unwrap();
+        }
+        t.create_index("by_part", "part_id", IndexKind::Hash).unwrap();
+        assert_eq!(t.lookup("part_id", &Value::from("P-even")).unwrap().len(), 5);
+
+        // insert & delete keep the index fresh
+        t.insert(row![100i64, "P-even", "E100x", Value::Null]).unwrap();
+        assert_eq!(t.lookup("part_id", &Value::from("P-even")).unwrap().len(), 6);
+        t.delete(&Value::Int(0)).unwrap();
+        assert_eq!(t.lookup("part_id", &Value::from("P-even")).unwrap().len(), 5);
+
+        // update moves rows between keys
+        t.update(&Value::Int(1), row![1i64, "P-even", "E1", Value::Null])
+            .unwrap();
+        assert_eq!(t.lookup("part_id", &Value::from("P-even")).unwrap().len(), 6);
+        assert_eq!(t.lookup("part_id", &Value::from("P-odd")).unwrap().len(), 4);
+
+        assert!(matches!(
+            t.create_index("by_part", "part_id", IndexKind::Hash),
+            Err(StoreError::IndexExists { .. })
+        ));
+        assert!(matches!(
+            t.create_index("x", "ghost", IndexKind::Hash),
+            Err(StoreError::NoSuchColumn { .. })
+        ));
+        assert_eq!(t.index_names(), vec!["by_part"]);
+        t.drop_index("by_part").unwrap();
+        assert!(t.drop_index("by_part").is_err());
+    }
+
+    #[test]
+    fn lookup_without_index_scans() {
+        let mut t = parts_table();
+        t.insert(row![1i64, "P01", "E1", Value::Null]).unwrap();
+        t.insert(row![2i64, "P02", "E2", Value::Null]).unwrap();
+        let hits = t.lookup("error_code", &Value::from("E2")).unwrap();
+        assert_eq!(hits.len(), 1);
+        assert!(t.lookup("ghost", &Value::Int(0)).is_err());
+    }
+
+    #[test]
+    fn lookup_on_pk_column() {
+        let mut t = parts_table();
+        t.insert(row![1i64, "P01", "E1", Value::Null]).unwrap();
+        let hits = t.lookup("id", &Value::Int(1)).unwrap();
+        assert_eq!(hits.len(), 1);
+        assert!(t.lookup("id", &Value::Int(9)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn truncate_clears_everything() {
+        let mut t = parts_table();
+        t.create_index("by_part", "part_id", IndexKind::Hash).unwrap();
+        t.insert(row![1i64, "P01", "E1", Value::Null]).unwrap();
+        t.truncate();
+        assert!(t.is_empty());
+        assert!(t.get(&Value::Int(1)).is_none());
+        assert!(t.lookup("part_id", &Value::from("P01")).unwrap().is_empty());
+        // reinsert works after truncate
+        t.insert(row![1i64, "P01", "E1", Value::Null]).unwrap();
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn index_specs_reported() {
+        let mut t = parts_table();
+        t.create_index("by_part", "part_id", IndexKind::Hash).unwrap();
+        t.create_index("by_code", "error_code", IndexKind::Ordered)
+            .unwrap();
+        let specs = t.index_specs();
+        assert_eq!(
+            specs,
+            vec![
+                ("by_code".into(), "error_code".into(), IndexKind::Ordered),
+                ("by_part".into(), "part_id".into(), IndexKind::Hash),
+            ]
+        );
+    }
+}

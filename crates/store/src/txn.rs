@@ -1,0 +1,211 @@
+//! Undo-log transactions over a [`Database`].
+//!
+//! The engine supports one active transaction per database (QATK's writers
+//! serialize through [`crate::db::SharedDatabase`]'s write lock, so a single
+//! in-flight transaction matches the actual concurrency model). DML performed
+//! through `Database::{insert, update, delete}` records inverse operations;
+//! `rollback` replays them in reverse. DDL is non-transactional by design.
+
+use crate::db::Database;
+use crate::error::{Result, StoreError};
+use crate::row::Row;
+use crate::value::Value;
+
+/// Inverse of one DML operation.
+#[derive(Debug, Clone)]
+pub(crate) enum UndoOp {
+    /// Undo an insert: remove the row again.
+    UnInsert { table: String, pk: Value },
+    /// Undo a delete: put the row back.
+    ReInsert { table: String, row: Row },
+    /// Undo an update: restore the previous row image.
+    Restore { table: String, pk: Value, row: Row },
+}
+
+impl Database {
+    /// Begin a transaction. Errors if one is already active.
+    pub fn begin(&mut self) -> Result<()> {
+        if self.txn.is_some() {
+            return Err(StoreError::TransactionActive);
+        }
+        self.txn = Some(Vec::new());
+        Ok(())
+    }
+
+    /// True while a transaction is active.
+    pub fn in_transaction(&self) -> bool {
+        self.txn.is_some()
+    }
+
+    /// Commit: discard the undo log, making all changes final.
+    pub fn commit(&mut self) -> Result<()> {
+        self.txn.take().map(|_| ()).ok_or(StoreError::NoActiveTransaction)
+    }
+
+    /// Roll back: undo every change of the active transaction, newest first.
+    pub fn rollback(&mut self) -> Result<()> {
+        let log = self.txn.take().ok_or(StoreError::NoActiveTransaction)?;
+        for op in log.into_iter().rev() {
+            match op {
+                UndoOp::UnInsert { table, pk } => {
+                    self.table_mut(&table)
+                        .expect("logged table exists")
+                        .delete(&pk)
+                        .expect("logged insert is undoable");
+                }
+                UndoOp::ReInsert { table, row } => {
+                    self.table_mut(&table)
+                        .expect("logged table exists")
+                        .insert(row)
+                        .expect("logged delete is undoable");
+                }
+                UndoOp::Restore { table, pk, row } => {
+                    self.table_mut(&table)
+                        .expect("logged table exists")
+                        .update(&pk, row)
+                        .expect("logged update is undoable");
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Run `f` inside a transaction: commit on `Ok`, roll back on `Err`.
+    pub fn transaction<R>(
+        &mut self,
+        f: impl FnOnce(&mut Database) -> Result<R>,
+    ) -> Result<R> {
+        self.begin()?;
+        match f(self) {
+            Ok(r) => {
+                self.commit()?;
+                Ok(r)
+            }
+            Err(e) => {
+                self.rollback()?;
+                Err(e)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row;
+    use crate::schema::SchemaBuilder;
+    use crate::value::DataType;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        let schema = SchemaBuilder::new()
+            .pk("id", DataType::Int)
+            .col("name", DataType::Text)
+            .build()
+            .unwrap();
+        db.create_table("t", schema).unwrap();
+        db.insert("t", row![1i64, "one"]).unwrap();
+        db.insert("t", row![2i64, "two"]).unwrap();
+        db
+    }
+
+    #[test]
+    fn commit_keeps_changes() {
+        let mut db = db();
+        db.begin().unwrap();
+        db.insert("t", row![3i64, "three"]).unwrap();
+        db.delete("t", &Value::Int(1)).unwrap();
+        db.commit().unwrap();
+        assert_eq!(db.total_rows(), 2);
+        assert!(db.get("t", &Value::Int(3)).unwrap().is_some());
+        assert!(db.get("t", &Value::Int(1)).unwrap().is_none());
+    }
+
+    #[test]
+    fn rollback_restores_inserts_deletes_updates() {
+        let mut db = db();
+        db.begin().unwrap();
+        db.insert("t", row![3i64, "three"]).unwrap();
+        db.update("t", &Value::Int(2), row![2i64, "TWO"]).unwrap();
+        db.delete("t", &Value::Int(1)).unwrap();
+        db.rollback().unwrap();
+
+        assert_eq!(db.total_rows(), 2);
+        assert!(db.get("t", &Value::Int(3)).unwrap().is_none());
+        assert_eq!(
+            db.get("t", &Value::Int(2))
+                .unwrap()
+                .unwrap()
+                .get(1)
+                .and_then(Value::as_text),
+            Some("two")
+        );
+        assert!(db.get("t", &Value::Int(1)).unwrap().is_some());
+    }
+
+    #[test]
+    fn rollback_handles_interleaved_ops_on_same_key() {
+        let mut db = db();
+        db.begin().unwrap();
+        // delete then re-insert the same pk, then update it
+        db.delete("t", &Value::Int(1)).unwrap();
+        db.insert("t", row![1i64, "one-new"]).unwrap();
+        db.update("t", &Value::Int(1), row![1i64, "one-newer"]).unwrap();
+        db.rollback().unwrap();
+        assert_eq!(
+            db.get("t", &Value::Int(1))
+                .unwrap()
+                .unwrap()
+                .get(1)
+                .and_then(Value::as_text),
+            Some("one")
+        );
+    }
+
+    #[test]
+    fn transaction_states_guarded() {
+        let mut db = db();
+        assert!(matches!(db.commit(), Err(StoreError::NoActiveTransaction)));
+        assert!(matches!(db.rollback(), Err(StoreError::NoActiveTransaction)));
+        db.begin().unwrap();
+        assert!(db.in_transaction());
+        assert!(matches!(db.begin(), Err(StoreError::TransactionActive)));
+        db.commit().unwrap();
+        assert!(!db.in_transaction());
+    }
+
+    #[test]
+    fn closure_transaction_commits_on_ok() {
+        let mut db = db();
+        let pk = db
+            .transaction(|db| db.insert("t", row![9i64, "nine"]))
+            .unwrap();
+        assert_eq!(pk, Value::Int(9));
+        assert!(db.get("t", &Value::Int(9)).unwrap().is_some());
+        assert!(!db.in_transaction());
+    }
+
+    #[test]
+    fn closure_transaction_rolls_back_on_err() {
+        let mut db = db();
+        let r = db.transaction(|db| {
+            db.insert("t", row![9i64, "nine"])?;
+            // duplicate key fails the transaction
+            db.insert("t", row![1i64, "dup"])?;
+            Ok(())
+        });
+        assert!(r.is_err());
+        assert!(db.get("t", &Value::Int(9)).unwrap().is_none());
+        assert!(!db.in_transaction());
+    }
+
+    #[test]
+    fn operations_without_txn_do_not_log() {
+        let mut db = db();
+        db.insert("t", row![10i64, "ten"]).unwrap();
+        // no panic / no log: begin after the fact sees a clean state
+        db.begin().unwrap();
+        db.rollback().unwrap();
+        assert!(db.get("t", &Value::Int(10)).unwrap().is_some());
+    }
+}

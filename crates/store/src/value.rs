@@ -1,0 +1,349 @@
+//! Dynamically typed cell values and their data types.
+//!
+//! The engine is schema-first: every column declares a [`DataType`] and every
+//! stored [`Value`] must match it (or be [`Value::Null`] when the column is
+//! nullable). Values provide a *total* order — including floats, via
+//! [`f64::total_cmp`] — so they can key ordered indexes, and a consistent
+//! `Hash` so they can key hash indexes.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// The declared type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    Bool,
+    Int,
+    Float,
+    Text,
+    Blob,
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Bool => "BOOL",
+            DataType::Int => "INT",
+            DataType::Float => "FLOAT",
+            DataType::Text => "TEXT",
+            DataType::Blob => "BLOB",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A single cell value.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// SQL-style NULL. Compares less than every non-null value and equal to
+    /// itself (the engine needs a total order for indexing, so unlike SQL,
+    /// `Null == Null` here).
+    Null,
+    Bool(bool),
+    Int(i64),
+    Float(f64),
+    Text(String),
+    Blob(Vec<u8>),
+}
+
+impl Value {
+    /// The runtime type of this value, or `None` for NULL (NULL is typeless
+    /// and admissible in any nullable column).
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Value::Null => None,
+            Value::Bool(_) => Some(DataType::Bool),
+            Value::Int(_) => Some(DataType::Int),
+            Value::Float(_) => Some(DataType::Float),
+            Value::Text(_) => Some(DataType::Text),
+            Value::Blob(_) => Some(DataType::Blob),
+        }
+    }
+
+    /// True if this value is NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// True if the value may be stored in a column of type `ty`.
+    pub fn matches(&self, ty: DataType) -> bool {
+        match self.data_type() {
+            None => true, // NULL checked separately against nullability
+            Some(t) => t == ty,
+        }
+    }
+
+    /// Borrow as `i64` if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Borrow as `f64` if this is a `Float`.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// Borrow as `&str` if this is `Text`.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Borrow as `bool` if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Borrow as `&[u8]` if this is a `Blob`.
+    pub fn as_blob(&self) -> Option<&[u8]> {
+        match self {
+            Value::Blob(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Rank used to order values of *different* types: Null < Bool < Int <
+    /// Float < Text < Blob. Within a type the natural order applies.
+    fn type_rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::Int(_) => 2,
+            Value::Float(_) => 3,
+            Value::Text(_) => 4,
+            Value::Blob(_) => 5,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.total_cmp(b),
+            (Text(a), Text(b)) => a.cmp(b),
+            (Blob(a), Blob(b)) => a.cmp(b),
+            _ => self.type_rank().cmp(&other.type_rank()),
+        }
+    }
+}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.type_rank().hash(state);
+        match self {
+            Value::Null => {}
+            Value::Bool(b) => b.hash(state),
+            Value::Int(i) => i.hash(state),
+            // total_cmp-compatible: equal floats (same bits after
+            // normalization below) hash equally. -0.0 and 0.0 differ under
+            // total_cmp, so hashing raw bits is consistent with Ord.
+            Value::Float(x) => x.to_bits().hash(state),
+            Value::Text(s) => s.hash(state),
+            Value::Blob(b) => b.hash(state),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("NULL"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Text(s) => write!(f, "'{s}'"),
+            Value::Blob(b) => write!(f, "x'{}'", hex(b)),
+        }
+    }
+}
+
+fn hex(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push_str(&format!("{b:02x}"));
+    }
+    out
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+impl From<i32> for Value {
+    fn from(i: i32) -> Self {
+        Value::Int(i64::from(i))
+    }
+}
+impl From<u32> for Value {
+    fn from(i: u32) -> Self {
+        Value::Int(i64::from(i))
+    }
+}
+impl From<f64> for Value {
+    fn from(x: f64) -> Self {
+        Value::Float(x)
+    }
+}
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Text(s.to_owned())
+    }
+}
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Text(s)
+    }
+}
+impl From<Vec<u8>> for Value {
+    fn from(b: Vec<u8>) -> Self {
+        Value::Blob(b)
+    }
+}
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(o: Option<T>) -> Self {
+        match o {
+            Some(v) => v.into(),
+            None => Value::Null,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn h(v: &Value) -> u64 {
+        let mut s = DefaultHasher::new();
+        v.hash(&mut s);
+        s.finish()
+    }
+
+    #[test]
+    fn data_types_of_values() {
+        assert_eq!(Value::Null.data_type(), None);
+        assert_eq!(Value::Bool(true).data_type(), Some(DataType::Bool));
+        assert_eq!(Value::Int(1).data_type(), Some(DataType::Int));
+        assert_eq!(Value::Float(1.0).data_type(), Some(DataType::Float));
+        assert_eq!(Value::from("x").data_type(), Some(DataType::Text));
+        assert_eq!(Value::Blob(vec![1]).data_type(), Some(DataType::Blob));
+    }
+
+    #[test]
+    fn null_matches_every_type() {
+        for ty in [
+            DataType::Bool,
+            DataType::Int,
+            DataType::Float,
+            DataType::Text,
+            DataType::Blob,
+        ] {
+            assert!(Value::Null.matches(ty));
+        }
+        assert!(!Value::Int(1).matches(DataType::Text));
+        assert!(Value::Int(1).matches(DataType::Int));
+    }
+
+    #[test]
+    fn total_order_across_types() {
+        let vals = [
+            Value::Null,
+            Value::Bool(false),
+            Value::Bool(true),
+            Value::Int(-5),
+            Value::Int(7),
+            Value::Float(f64::NEG_INFINITY),
+            Value::Float(2.5),
+            Value::Text("a".into()),
+            Value::Text("b".into()),
+            Value::Blob(vec![0]),
+        ];
+        for w in vals.windows(2) {
+            assert!(w[0] < w[1], "{} should sort before {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn nan_has_total_order() {
+        let nan = Value::Float(f64::NAN);
+        assert_eq!(nan.cmp(&nan), Ordering::Equal);
+        assert!(Value::Float(f64::INFINITY) < nan);
+    }
+
+    #[test]
+    fn equal_values_hash_equal() {
+        let pairs = [
+            (Value::Int(42), Value::Int(42)),
+            (Value::Text("x".into()), Value::from("x")),
+            (Value::Float(1.5), Value::Float(1.5)),
+            (Value::Null, Value::Null),
+        ];
+        for (a, b) in pairs {
+            assert_eq!(a, b);
+            assert_eq!(h(&a), h(&b));
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(3).as_int(), Some(3));
+        assert_eq!(Value::Float(0.5).as_float(), Some(0.5));
+        assert_eq!(Value::from("t").as_text(), Some("t"));
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::Blob(vec![9]).as_blob(), Some(&[9u8][..]));
+        assert_eq!(Value::Int(3).as_text(), None);
+        assert!(Value::Null.is_null());
+    }
+
+    #[test]
+    fn option_conversion() {
+        let some: Value = Some(5i64).into();
+        let none: Value = Option::<i64>::None.into();
+        assert_eq!(some, Value::Int(5));
+        assert!(none.is_null());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::Int(7).to_string(), "7");
+        assert_eq!(Value::from("hi").to_string(), "'hi'");
+        assert_eq!(Value::Blob(vec![0xab, 0x01]).to_string(), "x'ab01'");
+    }
+}

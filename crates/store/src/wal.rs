@@ -1,0 +1,470 @@
+//! Write-ahead logging: incremental durability between snapshots.
+//!
+//! Snapshots ([`crate::persist`]) capture a whole database; for QATK's
+//! online phase — recommendations and assignments trickling in while the
+//! quality workers use QUEST — rewriting the snapshot per write would be
+//! wasteful. A [`WalWriter`] appends one record per DML operation;
+//! [`replay`] applies a log on top of the snapshot it started from. Records
+//! are length-prefixed and individually checksummed, so a torn tail (crash
+//! mid-append) is detected and cleanly ignored.
+//!
+//! Format per record:
+//!
+//! ```text
+//! record := len:u32 payload checksum:u64      (fnv1a over payload)
+//! payload := op:u8 table_name row|pk          (1 insert, 2 update, 3 delete)
+//! ```
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Write};
+use std::path::Path;
+
+use bytes::{Buf, BufMut};
+
+use crate::codec::{fnv1a, get_value, put_value};
+use crate::db::Database;
+use crate::error::{Result, StoreError};
+use crate::row::Row;
+use crate::value::Value;
+
+const OP_INSERT: u8 = 1;
+const OP_UPDATE: u8 = 2;
+const OP_DELETE: u8 = 3;
+
+/// One logged operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    Insert { table: String, row: Row },
+    Update { table: String, pk: Value, row: Row },
+    Delete { table: String, pk: Value },
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.put_u32_le(s.len() as u32);
+    out.put_slice(s.as_bytes());
+}
+
+fn get_str(buf: &mut &[u8]) -> Result<String> {
+    if buf.remaining() < 4 {
+        return Err(StoreError::Corrupt("wal: truncated string".into()));
+    }
+    let len = buf.get_u32_le() as usize;
+    if buf.remaining() < len {
+        return Err(StoreError::Corrupt("wal: truncated string body".into()));
+    }
+    let s = String::from_utf8(buf[..len].to_vec())
+        .map_err(|_| StoreError::Corrupt("wal: invalid utf8".into()))?;
+    buf.advance(len);
+    Ok(s)
+}
+
+fn put_row(out: &mut Vec<u8>, row: &Row) {
+    out.put_u16_le(row.arity() as u16);
+    for v in row.values() {
+        put_value(out, v);
+    }
+}
+
+fn get_row(buf: &mut &[u8]) -> Result<Row> {
+    if buf.remaining() < 2 {
+        return Err(StoreError::Corrupt("wal: truncated row".into()));
+    }
+    let arity = buf.get_u16_le() as usize;
+    let mut values = Vec::with_capacity(arity);
+    for _ in 0..arity {
+        values.push(get_value(buf)?);
+    }
+    Ok(Row::new(values))
+}
+
+impl WalRecord {
+    fn encode(&self) -> Vec<u8> {
+        let mut payload = Vec::with_capacity(64);
+        match self {
+            WalRecord::Insert { table, row } => {
+                payload.put_u8(OP_INSERT);
+                put_str(&mut payload, table);
+                put_row(&mut payload, row);
+            }
+            WalRecord::Update { table, pk, row } => {
+                payload.put_u8(OP_UPDATE);
+                put_str(&mut payload, table);
+                put_value(&mut payload, pk);
+                put_row(&mut payload, row);
+            }
+            WalRecord::Delete { table, pk } => {
+                payload.put_u8(OP_DELETE);
+                put_str(&mut payload, table);
+                put_value(&mut payload, pk);
+            }
+        }
+        let mut out = Vec::with_capacity(payload.len() + 12);
+        out.put_u32_le(payload.len() as u32);
+        out.put_slice(&payload);
+        out.put_u64_le(fnv1a(&payload));
+        out
+    }
+
+    fn decode(payload: &[u8]) -> Result<WalRecord> {
+        let mut buf = payload;
+        if !buf.has_remaining() {
+            return Err(StoreError::Corrupt("wal: empty payload".into()));
+        }
+        let op = buf.get_u8();
+        let table = get_str(&mut buf)?;
+        let record = match op {
+            OP_INSERT => WalRecord::Insert {
+                table,
+                row: get_row(&mut buf)?,
+            },
+            OP_UPDATE => {
+                let pk = get_value(&mut buf)?;
+                let row = get_row(&mut buf)?;
+                WalRecord::Update { table, pk, row }
+            }
+            OP_DELETE => WalRecord::Delete {
+                table,
+                pk: get_value(&mut buf)?,
+            },
+            other => return Err(StoreError::Corrupt(format!("wal: unknown op {other}"))),
+        };
+        if buf.has_remaining() {
+            return Err(StoreError::Corrupt("wal: trailing payload bytes".into()));
+        }
+        Ok(record)
+    }
+}
+
+/// Appends records to a log file, flushing each append.
+#[derive(Debug)]
+pub struct WalWriter {
+    out: BufWriter<File>,
+    records: usize,
+}
+
+impl WalWriter {
+    /// Open (or create) a log for appending.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(WalWriter {
+            out: BufWriter::new(file),
+            records: 0,
+        })
+    }
+
+    /// Append one record and flush it.
+    pub fn append(&mut self, record: &WalRecord) -> Result<()> {
+        self.out.write_all(&record.encode())?;
+        self.out.flush()?;
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Records appended through this writer.
+    pub fn appended(&self) -> usize {
+        self.records
+    }
+}
+
+/// Read every intact record of a log. A torn or corrupt tail ends the read
+/// (records before it are returned); corruption *before* the tail is an
+/// error, because silently skipping mid-log damage would reorder history.
+pub fn read_log(path: impl AsRef<Path>) -> Result<Vec<WalRecord>> {
+    let mut data = Vec::new();
+    File::open(path)?.read_to_end(&mut data)?;
+    let mut buf = data.as_slice();
+    let mut out = Vec::new();
+    while buf.has_remaining() {
+        if buf.remaining() < 4 {
+            break; // torn length prefix at the tail
+        }
+        let mut peek = buf;
+        let len = peek.get_u32_le() as usize;
+        if peek.remaining() < len + 8 {
+            break; // torn record at the tail
+        }
+        let payload = &peek[..len];
+        let mut check = &peek[len..len + 8];
+        let stored = check.get_u64_le();
+        if stored != fnv1a(payload) {
+            // checksum mismatch: torn tail if this is the last record,
+            // otherwise real corruption
+            let consumed = 4 + len + 8;
+            if buf.remaining() == consumed {
+                break;
+            }
+            return Err(StoreError::Corrupt("wal: mid-log checksum mismatch".into()));
+        }
+        out.push(WalRecord::decode(payload)?);
+        buf.advance(4 + len + 8);
+    }
+    Ok(out)
+}
+
+/// Apply a log to a database (typically the snapshot the log was started
+/// against). Returns the number of applied records.
+pub fn replay(db: &mut Database, records: &[WalRecord]) -> Result<usize> {
+    for r in records {
+        match r {
+            WalRecord::Insert { table, row } => {
+                db.insert(table, row.clone())?;
+            }
+            WalRecord::Update { table, pk, row } => {
+                db.update(table, pk, row.clone())?;
+            }
+            WalRecord::Delete { table, pk } => {
+                db.delete(table, pk)?;
+            }
+        }
+    }
+    Ok(records.len())
+}
+
+/// A database handle that mirrors every DML operation into a WAL.
+#[derive(Debug)]
+pub struct LoggedDatabase {
+    db: Database,
+    wal: WalWriter,
+}
+
+impl LoggedDatabase {
+    /// Wrap a database (usually freshly loaded from a snapshot) with a log.
+    pub fn new(db: Database, wal_path: impl AsRef<Path>) -> Result<Self> {
+        Ok(LoggedDatabase {
+            db,
+            wal: WalWriter::open(wal_path)?,
+        })
+    }
+
+    /// Recover: load the snapshot, then apply the log on top.
+    pub fn recover(
+        snapshot_path: impl AsRef<Path>,
+        wal_path: impl AsRef<Path>,
+    ) -> Result<Database> {
+        let mut db = Database::load(snapshot_path)?;
+        let records = read_log(wal_path)?;
+        replay(&mut db, &records)?;
+        Ok(db)
+    }
+
+    /// Read access to the wrapped database.
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    pub fn insert(&mut self, table: &str, row: Row) -> Result<Value> {
+        let pk = self.db.insert(table, row.clone())?;
+        self.wal.append(&WalRecord::Insert {
+            table: table.to_owned(),
+            row,
+        })?;
+        Ok(pk)
+    }
+
+    pub fn update(&mut self, table: &str, pk: &Value, row: Row) -> Result<()> {
+        self.db.update(table, pk, row.clone())?;
+        self.wal.append(&WalRecord::Update {
+            table: table.to_owned(),
+            pk: pk.clone(),
+            row,
+        })?;
+        Ok(())
+    }
+
+    pub fn delete(&mut self, table: &str, pk: &Value) -> Result<Row> {
+        let row = self.db.delete(table, pk)?;
+        self.wal.append(&WalRecord::Delete {
+            table: table.to_owned(),
+            pk: pk.clone(),
+        })?;
+        Ok(row)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row;
+    use crate::schema::SchemaBuilder;
+    use crate::value::DataType;
+
+    fn schema_db() -> Database {
+        let mut db = Database::new();
+        let schema = SchemaBuilder::new()
+            .pk("id", DataType::Int)
+            .col("name", DataType::Text)
+            .build()
+            .unwrap();
+        db.create_table("t", schema).unwrap();
+        db
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("qatk_wal_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join(format!("{name}_{}", std::process::id()));
+        std::fs::remove_file(&p).ok();
+        p
+    }
+
+    #[test]
+    fn record_roundtrip() {
+        let records = [
+            WalRecord::Insert {
+                table: "t".into(),
+                row: row![1i64, "Lüfter"],
+            },
+            WalRecord::Update {
+                table: "t".into(),
+                pk: Value::Int(1),
+                row: row![1i64, "fan"],
+            },
+            WalRecord::Delete {
+                table: "t".into(),
+                pk: Value::Int(1),
+            },
+        ];
+        for r in &records {
+            let bytes = r.encode();
+            let mut buf = bytes.as_slice();
+            let len = buf.get_u32_le() as usize;
+            let decoded = WalRecord::decode(&buf[..len]).unwrap();
+            assert_eq!(&decoded, r);
+        }
+    }
+
+    #[test]
+    fn append_read_replay() {
+        let path = tmp("basic");
+        let mut w = WalWriter::open(&path).unwrap();
+        w.append(&WalRecord::Insert {
+            table: "t".into(),
+            row: row![1i64, "one"],
+        })
+        .unwrap();
+        w.append(&WalRecord::Insert {
+            table: "t".into(),
+            row: row![2i64, "two"],
+        })
+        .unwrap();
+        w.append(&WalRecord::Update {
+            table: "t".into(),
+            pk: Value::Int(2),
+            row: row![2i64, "TWO"],
+        })
+        .unwrap();
+        w.append(&WalRecord::Delete {
+            table: "t".into(),
+            pk: Value::Int(1),
+        })
+        .unwrap();
+        assert_eq!(w.appended(), 4);
+
+        let records = read_log(&path).unwrap();
+        assert_eq!(records.len(), 4);
+        let mut db = schema_db();
+        assert_eq!(replay(&mut db, &records).unwrap(), 4);
+        assert_eq!(db.total_rows(), 1);
+        assert_eq!(
+            db.get("t", &Value::Int(2))
+                .unwrap()
+                .unwrap()
+                .get(1)
+                .and_then(Value::as_text),
+            Some("TWO")
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_ignored_mid_log_corruption_is_not() {
+        let path = tmp("torn");
+        let mut w = WalWriter::open(&path).unwrap();
+        for i in 0..5i64 {
+            w.append(&WalRecord::Insert {
+                table: "t".into(),
+                row: row![i, format!("r{i}")],
+            })
+            .unwrap();
+        }
+        drop(w);
+        // torn tail: truncate the file mid-record
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+        let records = read_log(&path).unwrap();
+        assert_eq!(records.len(), 4);
+
+        // mid-log corruption: flip a byte inside the second record's payload
+        let mut corrupted = bytes.clone();
+        let rec_len = {
+            let mut b = bytes.as_slice();
+            b.get_u32_le() as usize + 12
+        };
+        corrupted[rec_len + 8] ^= 0xff;
+        std::fs::write(&path, &corrupted).unwrap();
+        assert!(matches!(
+            read_log(&path),
+            Err(StoreError::Corrupt(_))
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn logged_database_end_to_end_recovery() {
+        let snap = tmp("snap");
+        let wal = tmp("log");
+        // snapshot with one row
+        let mut base = schema_db();
+        base.insert("t", row![1i64, "base"]).unwrap();
+        base.save(&snap).unwrap();
+
+        // log more operations on top
+        let mut logged = LoggedDatabase::new(Database::load(&snap).unwrap(), &wal).unwrap();
+        logged.insert("t", row![2i64, "two"]).unwrap();
+        logged.insert("t", row![3i64, "three"]).unwrap();
+        logged
+            .update("t", &Value::Int(1), row![1i64, "BASE"])
+            .unwrap();
+        logged.delete("t", &Value::Int(3)).unwrap();
+        assert_eq!(logged.db().total_rows(), 2);
+        drop(logged);
+
+        // crash-recover from snapshot + wal
+        let recovered = LoggedDatabase::recover(&snap, &wal).unwrap();
+        assert_eq!(recovered.total_rows(), 2);
+        assert_eq!(
+            recovered
+                .get("t", &Value::Int(1))
+                .unwrap()
+                .unwrap()
+                .get(1)
+                .and_then(Value::as_text),
+            Some("BASE")
+        );
+        assert!(recovered.get("t", &Value::Int(3)).unwrap().is_none());
+        std::fs::remove_file(&snap).ok();
+        std::fs::remove_file(&wal).ok();
+    }
+
+    #[test]
+    fn replay_surfaces_conflicts() {
+        let mut db = schema_db();
+        db.insert("t", row![1i64, "exists"]).unwrap();
+        let records = [WalRecord::Insert {
+            table: "t".into(),
+            row: row![1i64, "duplicate"],
+        }];
+        assert!(matches!(
+            replay(&mut db, &records),
+            Err(StoreError::DuplicateKey { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_log_reads_empty() {
+        let path = tmp("empty");
+        let _ = WalWriter::open(&path).unwrap();
+        assert!(read_log(&path).unwrap().is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+}

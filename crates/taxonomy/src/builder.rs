@@ -1,0 +1,168 @@
+//! Fluent construction of taxonomies.
+
+use crate::concept::{Concept, ConceptId, ConceptKind, Lang, Term};
+use crate::error::Result;
+use crate::taxonomy::Taxonomy;
+
+/// Incrementally assembles a [`Taxonomy`], allocating ids automatically.
+///
+/// ```
+/// use qatk_taxonomy::prelude::*;
+///
+/// let mut b = TaxonomyBuilder::new("demo");
+/// let noise = b.root(ConceptKind::Symptom, "Noise");
+/// let squeak = b.child(noise, "Squeak");
+/// b.term(squeak, Lang::En, "squeak");
+/// b.term(squeak, Lang::De, "quietschen");
+/// let tax = b.build().unwrap();
+/// assert_eq!(tax.len(), 2);
+/// ```
+#[derive(Debug)]
+pub struct TaxonomyBuilder {
+    name: String,
+    concepts: Vec<Concept>,
+    next_id: u32,
+}
+
+impl TaxonomyBuilder {
+    pub fn new(name: impl Into<String>) -> Self {
+        TaxonomyBuilder {
+            name: name.into(),
+            concepts: Vec::new(),
+            next_id: 1,
+        }
+    }
+
+    fn alloc(&mut self) -> ConceptId {
+        let id = ConceptId(self.next_id);
+        self.next_id += 1;
+        id
+    }
+
+    /// Add a root concept of a given kind.
+    pub fn root(&mut self, kind: ConceptKind, name: impl Into<String>) -> ConceptId {
+        let id = self.alloc();
+        self.concepts.push(Concept {
+            id,
+            kind,
+            name: name.into(),
+            parent: None,
+            terms: Vec::new(),
+        });
+        id
+    }
+
+    /// Add a child concept (inherits the parent's kind).
+    ///
+    /// Panics if `parent` was not allocated by this builder — that is a
+    /// programming error, not a data error.
+    pub fn child(&mut self, parent: ConceptId, name: impl Into<String>) -> ConceptId {
+        let kind = self
+            .concepts
+            .iter()
+            .find(|c| c.id == parent)
+            .unwrap_or_else(|| panic!("unknown parent {parent}"))
+            .kind;
+        let id = self.alloc();
+        self.concepts.push(Concept {
+            id,
+            kind,
+            name: name.into(),
+            parent: Some(parent),
+            terms: Vec::new(),
+        });
+        id
+    }
+
+    /// Attach a surface term (synonym) to a concept.
+    pub fn term(&mut self, id: ConceptId, lang: Lang, text: impl Into<String>) -> &mut Self {
+        let c = self
+            .concepts
+            .iter_mut()
+            .find(|c| c.id == id)
+            .unwrap_or_else(|| panic!("unknown concept {id}"));
+        c.terms.push(Term::new(lang, text));
+        self
+    }
+
+    /// Attach several terms at once.
+    pub fn terms<'a>(
+        &mut self,
+        id: ConceptId,
+        lang: Lang,
+        texts: impl IntoIterator<Item = &'a str>,
+    ) -> &mut Self {
+        for t in texts {
+            self.term(id, lang, t);
+        }
+        self
+    }
+
+    /// Number of concepts added so far.
+    pub fn len(&self) -> usize {
+        self.concepts.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.concepts.is_empty()
+    }
+
+    /// Validate and freeze.
+    pub fn build(self) -> Result<Taxonomy> {
+        Taxonomy::new(self.name, self.concepts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_tree_with_terms() {
+        let mut b = TaxonomyBuilder::new("t");
+        let comp = b.root(ConceptKind::Component, "Electrical");
+        let radio = b.child(comp, "Radio");
+        b.terms(radio, Lang::En, ["radio", "head unit"]);
+        b.term(radio, Lang::De, "radio");
+        let fan = b.child(comp, "Fan");
+        b.term(fan, Lang::De, "lüfter");
+        assert_eq!(b.len(), 3);
+        let tax = b.build().unwrap();
+        assert_eq!(tax.children(comp).len(), 2);
+        assert_eq!(tax.get(radio).unwrap().terms.len(), 3);
+        assert_eq!(tax.concept_count(Lang::De), 2);
+        assert_eq!(tax.concept_count(Lang::En), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown parent")]
+    fn unknown_parent_panics() {
+        let mut b = TaxonomyBuilder::new("t");
+        b.child(ConceptId(99), "orphan");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown concept")]
+    fn unknown_term_target_panics() {
+        let mut b = TaxonomyBuilder::new("t");
+        b.term(ConceptId(99), Lang::En, "ghost");
+    }
+
+    #[test]
+    fn ids_are_sequential_and_unique() {
+        let mut b = TaxonomyBuilder::new("t");
+        let a = b.root(ConceptKind::Symptom, "A");
+        let c = b.child(a, "B");
+        assert_ne!(a, c);
+        assert_eq!(a, ConceptId(1));
+        assert_eq!(c, ConceptId(2));
+    }
+
+    #[test]
+    fn empty_builder_builds_empty_taxonomy() {
+        let b = TaxonomyBuilder::new("empty");
+        assert!(b.is_empty());
+        let t = b.build().unwrap();
+        assert!(t.is_empty());
+    }
+}

@@ -1,0 +1,194 @@
+//! Concepts: the nodes of the automotive part-and-error taxonomy.
+//!
+//! Following the paper (§4.5.3, Fig. 10) the taxonomy has a shallow tree
+//! structure whose *upper levels are language-independent* (with multilingual
+//! display labels) and whose *leaf categories are language-specific*,
+//! containing synonyms — surface terms — for the same concept.
+
+use std::fmt;
+
+/// Identifier of a concept, unique within one taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ConceptId(pub u32);
+
+impl fmt::Display for ConceptId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "C{}", self.0)
+    }
+}
+
+/// The four top-level categories the taxonomy distinguishes (paper §4.5.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ConceptKind {
+    /// Car parts: "radio", "Lüfter", "fuel pump".
+    Component,
+    /// Error symptoms: "crackling sound", "durchgeschmort".
+    Symptom,
+    /// Positions on the vehicle: "front left", "hinten rechts".
+    Location,
+    /// Remedies: "replaced", "nachgelötet".
+    Solution,
+}
+
+impl ConceptKind {
+    pub const ALL: [ConceptKind; 4] = [
+        ConceptKind::Component,
+        ConceptKind::Symptom,
+        ConceptKind::Location,
+        ConceptKind::Solution,
+    ];
+
+    /// Stable lowercase name used by the XML format.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ConceptKind::Component => "component",
+            ConceptKind::Symptom => "symptom",
+            ConceptKind::Location => "location",
+            ConceptKind::Solution => "solution",
+        }
+    }
+
+    /// Inverse of [`ConceptKind::as_str`].
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "component" => Some(ConceptKind::Component),
+            "symptom" => Some(ConceptKind::Symptom),
+            "location" => Some(ConceptKind::Location),
+            "solution" => Some(ConceptKind::Solution),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ConceptKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Languages the taxonomy covers. The paper's resource is German/English;
+/// the scheme extends to more languages, which `Lang` models explicitly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Lang {
+    De,
+    En,
+}
+
+impl Lang {
+    pub const ALL: [Lang; 2] = [Lang::De, Lang::En];
+
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Lang::De => "de",
+            Lang::En => "en",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "de" => Some(Lang::De),
+            "en" => Some(Lang::En),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Lang {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A surface term: one synonym in one language.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Term {
+    pub lang: Lang,
+    /// Raw surface text as found in reports ("crackling sound",
+    /// "durchgeschmort"). Multi-word terms are supported and matter for the
+    /// annotator's longest-match behaviour.
+    pub text: String,
+}
+
+impl Term {
+    /// Create a term. Surrounding whitespace is insignificant for a token
+    /// sequence and is trimmed, so construction and XML parsing agree on
+    /// one canonical form.
+    pub fn new(lang: Lang, text: impl Into<String>) -> Self {
+        Term {
+            lang,
+            text: text.into().trim().to_owned(),
+        }
+    }
+}
+
+/// A taxonomy node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Concept {
+    pub id: ConceptId,
+    pub kind: ConceptKind,
+    /// Language-independent canonical name ("HighNoise", "Radio").
+    pub name: String,
+    /// Parent node; `None` for the four kind roots.
+    pub parent: Option<ConceptId>,
+    /// Synonym surface terms (only leaves typically carry terms, but the
+    /// model allows terms on inner nodes too).
+    pub terms: Vec<Term>,
+}
+
+impl Concept {
+    /// Terms restricted to one language.
+    pub fn terms_in(&self, lang: Lang) -> impl Iterator<Item = &Term> {
+        self.terms.iter().filter(move |t| t.lang == lang)
+    }
+
+    /// True if this concept carries at least one term in `lang`.
+    pub fn has_lang(&self, lang: Lang) -> bool {
+        self.terms.iter().any(|t| t.lang == lang)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_str_roundtrip() {
+        for k in ConceptKind::ALL {
+            assert_eq!(ConceptKind::parse(k.as_str()), Some(k));
+        }
+        assert_eq!(ConceptKind::parse("noise"), None);
+    }
+
+    #[test]
+    fn lang_str_roundtrip() {
+        for l in Lang::ALL {
+            assert_eq!(Lang::parse(l.as_str()), Some(l));
+        }
+        assert_eq!(Lang::parse("fr"), None);
+    }
+
+    #[test]
+    fn term_filtering() {
+        let c = Concept {
+            id: ConceptId(1),
+            kind: ConceptKind::Symptom,
+            name: "Squeak".into(),
+            parent: None,
+            terms: vec![
+                Term::new(Lang::En, "squeak"),
+                Term::new(Lang::En, "squeaking noise"),
+                Term::new(Lang::De, "quietschen"),
+            ],
+        };
+        assert_eq!(c.terms_in(Lang::En).count(), 2);
+        assert_eq!(c.terms_in(Lang::De).count(), 1);
+        assert!(c.has_lang(Lang::De));
+    }
+
+    #[test]
+    fn ids_display() {
+        assert_eq!(ConceptId(42).to_string(), "C42");
+        assert_eq!(ConceptKind::Symptom.to_string(), "symptom");
+        assert_eq!(Lang::De.to_string(), "de");
+    }
+}

@@ -1,0 +1,289 @@
+//! Taxonomy version diffing.
+//!
+//! "Work on improving the coverage and maintainability of the domain-specific
+//! taxonomy is already in progress" (paper §6), and [12] discusses taxonomy
+//! transfer across tasks. Maintaining a shared resource needs tooling to see
+//! what changed between versions: concepts added/removed, terms
+//! added/removed, structure moved. That's what this module computes.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::concept::{ConceptId, Lang, Term};
+use crate::taxonomy::Taxonomy;
+
+/// One concept-level change.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConceptChange {
+    /// Present only in the new version.
+    Added(ConceptId),
+    /// Present only in the old version.
+    Removed(ConceptId),
+    /// Renamed (same id, different canonical name).
+    Renamed {
+        id: ConceptId,
+        from: String,
+        to: String,
+    },
+    /// Moved to a different parent.
+    Moved {
+        id: ConceptId,
+        from: Option<ConceptId>,
+        to: Option<ConceptId>,
+    },
+}
+
+/// The full difference report between two taxonomy versions.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TaxonomyDiff {
+    pub concept_changes: Vec<ConceptChange>,
+    /// Terms present only in the new version: (concept, term).
+    pub terms_added: Vec<(ConceptId, Term)>,
+    /// Terms present only in the old version.
+    pub terms_removed: Vec<(ConceptId, Term)>,
+}
+
+impl TaxonomyDiff {
+    /// Compute the difference from `old` to `new`.
+    pub fn between(old: &Taxonomy, new: &Taxonomy) -> TaxonomyDiff {
+        let old_ids: HashMap<ConceptId, usize> = old
+            .concepts()
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (c.id, i))
+            .collect();
+        let new_ids: HashMap<ConceptId, usize> = new
+            .concepts()
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (c.id, i))
+            .collect();
+
+        let mut diff = TaxonomyDiff::default();
+        for c in new.concepts() {
+            if !old_ids.contains_key(&c.id) {
+                diff.concept_changes.push(ConceptChange::Added(c.id));
+                for t in &c.terms {
+                    diff.terms_added.push((c.id, t.clone()));
+                }
+            }
+        }
+        for c in old.concepts() {
+            match new_ids.get(&c.id) {
+                None => {
+                    diff.concept_changes.push(ConceptChange::Removed(c.id));
+                    for t in &c.terms {
+                        diff.terms_removed.push((c.id, t.clone()));
+                    }
+                }
+                Some(&ni) => {
+                    let n = &new.concepts()[ni];
+                    if n.name != c.name {
+                        diff.concept_changes.push(ConceptChange::Renamed {
+                            id: c.id,
+                            from: c.name.clone(),
+                            to: n.name.clone(),
+                        });
+                    }
+                    if n.parent != c.parent {
+                        diff.concept_changes.push(ConceptChange::Moved {
+                            id: c.id,
+                            from: c.parent,
+                            to: n.parent,
+                        });
+                    }
+                    let old_terms: HashSet<&Term> = c.terms.iter().collect();
+                    let new_terms: HashSet<&Term> = n.terms.iter().collect();
+                    for t in new_terms.difference(&old_terms) {
+                        diff.terms_added.push((c.id, (*t).clone()));
+                    }
+                    for t in old_terms.difference(&new_terms) {
+                        diff.terms_removed.push((c.id, (*t).clone()));
+                    }
+                }
+            }
+        }
+        diff.sort();
+        diff
+    }
+
+    fn sort(&mut self) {
+        let key = |c: &ConceptChange| match c {
+            ConceptChange::Added(id) => (0u8, id.0),
+            ConceptChange::Removed(id) => (1, id.0),
+            ConceptChange::Renamed { id, .. } => (2, id.0),
+            ConceptChange::Moved { id, .. } => (3, id.0),
+        };
+        self.concept_changes.sort_by_key(key);
+        let term_key = |(id, t): &(ConceptId, Term)| (id.0, t.lang, t.text.clone());
+        self.terms_added.sort_by_key(term_key);
+        self.terms_removed.sort_by_key(term_key);
+    }
+
+    /// No difference at all?
+    pub fn is_empty(&self) -> bool {
+        self.concept_changes.is_empty()
+            && self.terms_added.is_empty()
+            && self.terms_removed.is_empty()
+    }
+
+    /// Count of synonym terms gained in a language (coverage growth — the
+    /// metric taxonomy maintenance tracks).
+    pub fn coverage_gain(&self, lang: Lang) -> usize {
+        self.terms_added.iter().filter(|(_, t)| t.lang == lang).count()
+    }
+
+    /// Human-readable summary, one line per change.
+    pub fn render(&self, old: &Taxonomy, new: &Taxonomy) -> String {
+        use std::fmt::Write as _;
+        let name_of = |id: ConceptId| {
+            new.get(id)
+                .or_else(|| old.get(id))
+                .map(|c| c.name.as_str())
+                .unwrap_or("?")
+        };
+        let mut out = String::new();
+        for ch in &self.concept_changes {
+            match ch {
+                ConceptChange::Added(id) => {
+                    let _ = writeln!(out, "+ concept {id} {}", name_of(*id));
+                }
+                ConceptChange::Removed(id) => {
+                    let _ = writeln!(out, "- concept {id} {}", name_of(*id));
+                }
+                ConceptChange::Renamed { id, from, to } => {
+                    let _ = writeln!(out, "~ concept {id} renamed {from} -> {to}");
+                }
+                ConceptChange::Moved { id, from, to } => {
+                    let _ = writeln!(
+                        out,
+                        "~ concept {id} moved {} -> {}",
+                        from.map(|p| p.to_string()).unwrap_or_else(|| "root".into()),
+                        to.map(|p| p.to_string()).unwrap_or_else(|| "root".into())
+                    );
+                }
+            }
+        }
+        for (id, t) in &self.terms_added {
+            let _ = writeln!(out, "+ term [{}] \"{}\" @ {id} {}", t.lang, t.text, name_of(*id));
+        }
+        for (id, t) in &self.terms_removed {
+            let _ = writeln!(out, "- term [{}] \"{}\" @ {id} {}", t.lang, t.text, name_of(*id));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TaxonomyBuilder;
+    use crate::concept::ConceptKind;
+
+    fn v1() -> Taxonomy {
+        let mut b = TaxonomyBuilder::new("v1");
+        let comp = b.root(ConceptKind::Component, "Component");
+        let radio = b.child(comp, "Radio");
+        b.term(radio, Lang::En, "radio");
+        let fan = b.child(comp, "Fan");
+        b.term(fan, Lang::De, "Lüfter");
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn identical_versions_are_empty_diff() {
+        let d = TaxonomyDiff::between(&v1(), &v1());
+        assert!(d.is_empty());
+        assert_eq!(d.coverage_gain(Lang::En), 0);
+    }
+
+    #[test]
+    fn term_additions_detected() {
+        let old = v1();
+        let mut b = TaxonomyBuilder::new("v2");
+        let comp = b.root(ConceptKind::Component, "Component");
+        let radio = b.child(comp, "Radio");
+        b.term(radio, Lang::En, "radio");
+        b.term(radio, Lang::En, "head unit");
+        b.term(radio, Lang::De, "autoradio");
+        let fan = b.child(comp, "Fan");
+        b.term(fan, Lang::De, "Lüfter");
+        let new = b.build().unwrap();
+
+        let d = TaxonomyDiff::between(&old, &new);
+        assert!(d.concept_changes.is_empty());
+        assert_eq!(d.terms_added.len(), 2);
+        assert_eq!(d.coverage_gain(Lang::En), 1);
+        assert_eq!(d.coverage_gain(Lang::De), 1);
+        assert!(d.terms_removed.is_empty());
+        let text = d.render(&old, &new);
+        assert!(text.contains("head unit"));
+        assert!(text.contains("autoradio"));
+    }
+
+    #[test]
+    fn concept_add_remove_rename_move() {
+        let old = v1();
+        // v2: drop Fan (id 3), rename Radio, add Antenna under Component,
+        // and move nothing
+        let mut b = TaxonomyBuilder::new("v2");
+        let comp = b.root(ConceptKind::Component, "Component");
+        let radio = b.child(comp, "Head Unit"); // same id 2, renamed
+        b.term(radio, Lang::En, "radio");
+        let antenna = b.child(comp, "Antenna"); // id 3 reused!
+        b.term(antenna, Lang::En, "antenna");
+        let new = b.build().unwrap();
+
+        let d = TaxonomyDiff::between(&old, &new);
+        // id 3 exists in both (Fan -> Antenna) so it's a rename, not add+remove
+        assert!(d
+            .concept_changes
+            .iter()
+            .any(|c| matches!(c, ConceptChange::Renamed { id, .. } if id.0 == 2)));
+        assert!(d
+            .concept_changes
+            .iter()
+            .any(|c| matches!(c, ConceptChange::Renamed { id, .. } if id.0 == 3)));
+        // Fan's German term is gone, Antenna's English term is new
+        assert!(d.terms_removed.iter().any(|(_, t)| t.text == "Lüfter"));
+        assert!(d.terms_added.iter().any(|(_, t)| t.text == "antenna"));
+    }
+
+    #[test]
+    fn moves_detected() {
+        let mut b = TaxonomyBuilder::new("v1");
+        let a = b.root(ConceptKind::Symptom, "A");
+        let _b2 = b.root(ConceptKind::Symptom, "B");
+        let child = b.child(a, "C");
+        let _ = child;
+        let old = b.build().unwrap();
+
+        let mut b = TaxonomyBuilder::new("v2");
+        let _a = b.root(ConceptKind::Symptom, "A");
+        let b2 = b.root(ConceptKind::Symptom, "B");
+        let _child = b.child(b2, "C");
+        let new = b.build().unwrap();
+
+        let d = TaxonomyDiff::between(&old, &new);
+        assert!(d
+            .concept_changes
+            .iter()
+            .any(|c| matches!(c, ConceptChange::Moved { id, .. } if id.0 == 3)));
+        let text = d.render(&old, &new);
+        assert!(text.contains("moved"));
+    }
+
+    #[test]
+    fn expansion_shows_up_as_pure_coverage_gain() {
+        let syn = crate::synthetic::SyntheticTaxonomy::generate(4);
+        let (expanded, stats) =
+            crate::expansion::expand_taxonomy(&syn.taxonomy, &Default::default()).unwrap();
+        let d = TaxonomyDiff::between(&syn.taxonomy, &expanded);
+        assert!(d.concept_changes.is_empty());
+        assert!(d.terms_removed.is_empty());
+        assert_eq!(d.terms_added.len(), stats.added_terms);
+        assert_eq!(
+            d.coverage_gain(Lang::De) + d.coverage_gain(Lang::En),
+            stats.added_terms
+        );
+    }
+}

@@ -1,0 +1,78 @@
+//! Taxonomy error type.
+
+use std::fmt;
+
+use crate::concept::ConceptId;
+
+/// Errors for taxonomy construction and (de)serialization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TaxonomyError {
+    /// A concept id was used twice.
+    DuplicateId(ConceptId),
+    /// A parent reference points to a non-existent concept.
+    MissingParent { child: ConceptId, parent: ConceptId },
+    /// A parent/child edge crosses kinds (a Symptom under a Component, …).
+    KindMismatch { child: ConceptId, parent: ConceptId },
+    /// Concept refers to itself or an ancestor cycle was found.
+    Cycle(ConceptId),
+    /// A concept has an empty canonical name or empty term text.
+    EmptyName(ConceptId),
+    /// XML syntax error with a byte offset.
+    Xml { offset: usize, message: String },
+    /// XML is well-formed but not a valid taxonomy document.
+    Format(String),
+}
+
+impl fmt::Display for TaxonomyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TaxonomyError::DuplicateId(id) => write!(f, "duplicate concept id {id}"),
+            TaxonomyError::MissingParent { child, parent } => {
+                write!(f, "concept {child} references missing parent {parent}")
+            }
+            TaxonomyError::KindMismatch { child, parent } => {
+                write!(f, "concept {child} has a different kind than parent {parent}")
+            }
+            TaxonomyError::Cycle(id) => write!(f, "cycle through concept {id}"),
+            TaxonomyError::EmptyName(id) => write!(f, "concept {id} has an empty name/term"),
+            TaxonomyError::Xml { offset, message } => {
+                write!(f, "xml error at byte {offset}: {message}")
+            }
+            TaxonomyError::Format(m) => write!(f, "invalid taxonomy document: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TaxonomyError {}
+
+pub type Result<T> = std::result::Result<T, TaxonomyError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_all() {
+        let errs = [
+            TaxonomyError::DuplicateId(ConceptId(1)),
+            TaxonomyError::MissingParent {
+                child: ConceptId(1),
+                parent: ConceptId(2),
+            },
+            TaxonomyError::KindMismatch {
+                child: ConceptId(1),
+                parent: ConceptId(2),
+            },
+            TaxonomyError::Cycle(ConceptId(3)),
+            TaxonomyError::EmptyName(ConceptId(4)),
+            TaxonomyError::Xml {
+                offset: 10,
+                message: "unexpected <".into(),
+            },
+            TaxonomyError::Format("no root".into()),
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

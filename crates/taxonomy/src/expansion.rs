@@ -1,0 +1,231 @@
+//! Synonym expansion from concept-label substrings.
+//!
+//! "Like the original approach, we expand the concepts of the taxonomy with
+//! synonyms of concept label substrings as found in the taxonomy itself"
+//! (paper §4.5.3). Concretely: if a multiword term of concept *C* contains a
+//! token span that is itself a term of some concept *D*, then every other
+//! synonym of *D* (same language) generates a variant of *C*'s term.
+//!
+//! Example: "crackling sound" (symptom C) + concept D with terms
+//! {"sound", "noise"} ⇒ the variant "crackling noise" is added to C.
+
+use std::collections::HashMap;
+
+use crate::concept::{Concept, Lang, Term};
+use crate::error::Result;
+use crate::normalize::normalize_phrase;
+use crate::taxonomy::Taxonomy;
+
+/// Limits for the expansion, guarding against combinatorial blow-up on
+/// synonym-rich taxonomies.
+#[derive(Debug, Clone, Copy)]
+pub struct ExpansionConfig {
+    /// Maximum variants generated per original term.
+    pub max_variants_per_term: usize,
+    /// Maximum span length (in tokens) considered for substitution.
+    pub max_span_tokens: usize,
+}
+
+impl Default for ExpansionConfig {
+    fn default() -> Self {
+        ExpansionConfig {
+            max_variants_per_term: 8,
+            max_span_tokens: 3,
+        }
+    }
+}
+
+/// Statistics of one expansion run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExpansionStats {
+    pub original_terms: usize,
+    pub added_terms: usize,
+}
+
+/// Expand a taxonomy, returning the enriched copy plus statistics.
+pub fn expand_taxonomy(
+    tax: &Taxonomy,
+    config: &ExpansionConfig,
+) -> Result<(Taxonomy, ExpansionStats)> {
+    // Map normalized token-sequence -> synonyms (normalized-joined strings)
+    // per language, across the whole taxonomy. Synonym groups are per
+    // concept: all terms of one concept in one language are synonyms.
+    type Key = (Lang, Vec<String>);
+    let mut synonym_groups: HashMap<Key, Vec<Vec<String>>> = HashMap::new();
+    for c in tax.concepts() {
+        for lang in Lang::ALL {
+            let variants: Vec<Vec<String>> = c
+                .terms_in(lang)
+                .map(|t| normalize_phrase(&t.text))
+                .filter(|v| !v.is_empty())
+                .collect();
+            if variants.len() < 2 {
+                continue;
+            }
+            for v in &variants {
+                synonym_groups
+                    .entry((lang, v.clone()))
+                    .or_default()
+                    .extend(variants.iter().filter(|o| *o != v).cloned());
+            }
+        }
+    }
+
+    let mut original_terms = 0usize;
+    let mut added_terms = 0usize;
+    let mut new_concepts: Vec<Concept> = Vec::with_capacity(tax.len());
+
+    for c in tax.concepts() {
+        let mut concept = c.clone();
+        let mut seen: Vec<(Lang, Vec<String>)> = concept
+            .terms
+            .iter()
+            .map(|t| (t.lang, normalize_phrase(&t.text)))
+            .collect();
+        original_terms += concept.terms.len();
+
+        let mut additions: Vec<Term> = Vec::new();
+        for term in &c.terms {
+            let tokens = normalize_phrase(&term.text);
+            if tokens.len() < 2 {
+                continue; // only multiword terms have substrings to vary
+            }
+            let mut budget = config.max_variants_per_term;
+            'spans: for span_len in (1..=config.max_span_tokens.min(tokens.len() - 1)).rev() {
+                for start in 0..=(tokens.len() - span_len) {
+                    let span = tokens[start..start + span_len].to_vec();
+                    let Some(replacements) = synonym_groups.get(&(term.lang, span)) else {
+                        continue;
+                    };
+                    for repl in replacements {
+                        if budget == 0 {
+                            break 'spans;
+                        }
+                        let mut variant = Vec::with_capacity(tokens.len());
+                        variant.extend_from_slice(&tokens[..start]);
+                        variant.extend_from_slice(repl);
+                        variant.extend_from_slice(&tokens[start + span_len..]);
+                        let key = (term.lang, variant.clone());
+                        if seen.contains(&key) {
+                            continue;
+                        }
+                        seen.push(key);
+                        additions.push(Term::new(term.lang, variant.join(" ")));
+                        added_terms += 1;
+                        budget -= 1;
+                    }
+                }
+            }
+        }
+        concept.terms.extend(additions);
+        new_concepts.push(concept);
+    }
+
+    let expanded = Taxonomy::new(tax.name().to_owned(), new_concepts)?;
+    Ok((
+        expanded,
+        ExpansionStats {
+            original_terms,
+            added_terms,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TaxonomyBuilder;
+    use crate::concept::ConceptKind;
+
+    fn base() -> Taxonomy {
+        let mut b = TaxonomyBuilder::new("t");
+        let noise = b.root(ConceptKind::Symptom, "NoiseWord");
+        b.terms(noise, Lang::En, ["sound", "noise"]);
+        let crackle = b.root(ConceptKind::Symptom, "Crackle");
+        b.term(crackle, Lang::En, "crackling sound");
+        let hum = b.root(ConceptKind::Symptom, "Hum");
+        b.term(hum, Lang::De, "brummen");
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn expands_multiword_via_synonym_group() {
+        let (tax, stats) = expand_taxonomy(&base(), &ExpansionConfig::default()).unwrap();
+        let crackle = tax
+            .concepts()
+            .iter()
+            .find(|c| c.name == "Crackle")
+            .unwrap();
+        let texts: Vec<&str> = crackle.terms.iter().map(|t| t.text.as_str()).collect();
+        assert!(texts.contains(&"crackling noise"), "{texts:?}");
+        assert_eq!(stats.added_terms, 1);
+        assert_eq!(stats.original_terms, 4);
+    }
+
+    #[test]
+    fn single_word_terms_unchanged() {
+        let (tax, _) = expand_taxonomy(&base(), &ExpansionConfig::default()).unwrap();
+        let hum = tax.concepts().iter().find(|c| c.name == "Hum").unwrap();
+        assert_eq!(hum.terms.len(), 1);
+    }
+
+    #[test]
+    fn language_boundaries_respected() {
+        let mut b = TaxonomyBuilder::new("t");
+        let g = b.root(ConceptKind::Symptom, "Ger");
+        b.terms(g, Lang::De, ["geräusch", "ton"]);
+        let c = b.root(ConceptKind::Symptom, "EnCrack");
+        // English multiword containing the *German* word "ton" — must not expand.
+        b.term(c, Lang::En, "ton issue");
+        let tax = b.build().unwrap();
+        let (out, stats) = expand_taxonomy(&tax, &ExpansionConfig::default()).unwrap();
+        assert_eq!(stats.added_terms, 0);
+        let enc = out.concepts().iter().find(|k| k.name == "EnCrack").unwrap();
+        assert_eq!(enc.terms.len(), 1);
+    }
+
+    #[test]
+    fn budget_caps_variants() {
+        let mut b = TaxonomyBuilder::new("t");
+        let syn = b.root(ConceptKind::Symptom, "Many");
+        b.terms(
+            syn,
+            Lang::En,
+            ["alpha", "beta", "gamma", "delta", "epsilon", "zeta"],
+        );
+        let c = b.root(ConceptKind::Symptom, "Host");
+        b.term(c, Lang::En, "alpha problem");
+        let tax = b.build().unwrap();
+        let cfg = ExpansionConfig {
+            max_variants_per_term: 2,
+            max_span_tokens: 3,
+        };
+        let (out, stats) = expand_taxonomy(&tax, &cfg).unwrap();
+        assert_eq!(stats.added_terms, 2);
+        let host = out.concepts().iter().find(|k| k.name == "Host").unwrap();
+        assert_eq!(host.terms.len(), 3);
+    }
+
+    #[test]
+    fn no_duplicate_variants() {
+        let mut b = TaxonomyBuilder::new("t");
+        let syn = b.root(ConceptKind::Symptom, "S");
+        b.terms(syn, Lang::En, ["sound", "noise"]);
+        let c = b.root(ConceptKind::Symptom, "C");
+        // already contains the would-be variant
+        b.term(c, Lang::En, "crackling sound");
+        b.term(c, Lang::En, "crackling noise");
+        let tax = b.build().unwrap();
+        let (_, stats) = expand_taxonomy(&tax, &ExpansionConfig::default()).unwrap();
+        assert_eq!(stats.added_terms, 0);
+    }
+
+    #[test]
+    fn expanded_taxonomy_still_valid() {
+        let (tax, _) = expand_taxonomy(&base(), &ExpansionConfig::default()).unwrap();
+        // a second expansion over the result also works (idempotent-ish)
+        let (tax2, stats2) = expand_taxonomy(&tax, &ExpansionConfig::default()).unwrap();
+        assert_eq!(stats2.added_terms, 0);
+        assert_eq!(tax2.len(), tax.len());
+    }
+}

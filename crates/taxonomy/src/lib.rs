@@ -1,0 +1,48 @@
+//! # qatk-taxonomy — the multilingual automotive part-and-error taxonomy
+//!
+//! The paper's domain-specific classification variant rests on a legacy
+//! semantic resource: "a taxonomy of car parts and error symptoms ...
+//! multilingual — its upper category levels are language-independent with
+//! multilingual labels, its leaf categories are language-specific and contain
+//! synonyms of terms for the same concept" (§4.5.3). That resource is
+//! proprietary; this crate implements the full machinery around an equivalent
+//! synthetic instance:
+//!
+//! * the concept model ([`concept`]) with the paper's four kinds —
+//!   components, symptoms, locations, solutions,
+//! * a validated container with navigation and statistics ([`taxonomy`]),
+//! * a fluent builder ([`builder`]),
+//! * the custom XML storage format with a from-scratch parser ([`xml`]),
+//! * synonym expansion from concept-label substrings ([`expansion`]) and
+//!   version diffing for maintenance ([`diff`]),
+//! * the token trie behind the optimized annotator ([`trie`]),
+//! * shared token normalization ([`normalize`]),
+//! * and a seeded generator of a paper-scale synthetic automotive taxonomy
+//!   ([`synthetic`]).
+
+pub mod builder;
+pub mod concept;
+pub mod diff;
+pub mod error;
+pub mod expansion;
+pub mod normalize;
+pub mod synthetic;
+pub mod taxonomy;
+pub mod trie;
+pub mod xml;
+
+/// Convenient glob-import surface.
+pub mod prelude {
+    pub use crate::builder::TaxonomyBuilder;
+    pub use crate::concept::{Concept, ConceptId, ConceptKind, Lang, Term};
+    pub use crate::error::{Result as TaxonomyResult, TaxonomyError};
+    pub use crate::diff::{ConceptChange, TaxonomyDiff};
+    pub use crate::expansion::{expand_taxonomy, ExpansionConfig, ExpansionStats};
+    pub use crate::normalize::{is_separator, normalize_phrase, normalize_token};
+    pub use crate::synthetic::{SyntheticConfig, SyntheticTaxonomy};
+    pub use crate::taxonomy::Taxonomy;
+    pub use crate::trie::TokenTrie;
+    pub use crate::xml::{parse_taxonomy, write_taxonomy};
+}
+
+pub use prelude::*;

@@ -1,0 +1,641 @@
+//! Seeded generator of a realistic synthetic automotive part-and-error
+//! taxonomy.
+//!
+//! The paper uses a proprietary legacy taxonomy with "about 1.800 / 1.900
+//! distinct concepts in German and English" (§4.3), synonym-rich, with
+//! multiword terms and a shallow structure over components, symptoms,
+//! locations and solutions. This module builds an equivalent resource from a
+//! hand-written automotive seed vocabulary, multiplied out with positional
+//! modifiers and synonym patterns — deterministic for a given seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::builder::TaxonomyBuilder;
+use crate::concept::{ConceptId, ConceptKind, Lang};
+use crate::taxonomy::Taxonomy;
+
+/// A generated taxonomy plus the groupings the corpus generator needs.
+#[derive(Debug, Clone)]
+pub struct SyntheticTaxonomy {
+    pub taxonomy: Taxonomy,
+    /// One entry per vehicle system: (system name, component leaf concepts).
+    pub systems: Vec<(String, Vec<ConceptId>)>,
+    /// All symptom leaf concepts.
+    pub symptoms: Vec<ConceptId>,
+    /// All location leaf concepts.
+    pub locations: Vec<ConceptId>,
+    /// All solution leaf concepts.
+    pub solutions: Vec<ConceptId>,
+}
+
+/// Configuration for the generator.
+#[derive(Debug, Clone, Copy)]
+pub struct SyntheticConfig {
+    pub seed: u64,
+    /// Probability that a part × modifier combination becomes its own leaf.
+    pub modifier_leaf_prob: f64,
+    /// Probability that a generated leaf is English-only (drives the paper's
+    /// EN > DE concept-count asymmetry).
+    pub english_only_prob: f64,
+}
+
+impl Default for SyntheticConfig {
+    fn default() -> Self {
+        SyntheticConfig {
+            seed: 0xEDB7_2016,
+            modifier_leaf_prob: 0.82,
+            english_only_prob: 0.06,
+        }
+    }
+}
+
+/// (english, german) word pair.
+type Pair = (&'static str, &'static str);
+
+/// Vehicle systems with their base parts. Each part is (en, de, en-synonyms,
+/// de-synonyms).
+struct SystemSeed {
+    name: &'static str,
+    de: &'static str,
+    parts: &'static [(&'static str, &'static str, &'static [&'static str], &'static [&'static str])],
+}
+
+const SYSTEMS: &[SystemSeed] = &[
+    SystemSeed {
+        name: "engine",
+        de: "motor",
+        parts: &[
+            ("cylinder head", "zylinderkopf", &["head"], &[]),
+            ("piston", "kolben", &[], &[]),
+            ("crankshaft", "kurbelwelle", &[], &[]),
+            ("camshaft", "nockenwelle", &[], &[]),
+            ("timing chain", "steuerkette", &["timing belt"], &["zahnriemen"]),
+            ("oil pump", "ölpumpe", &[], &[]),
+            ("valve cover", "ventildeckel", &["rocker cover"], &[]),
+            ("engine mount", "motorlager", &["motor mount"], &["motorhalterung"]),
+            ("turbocharger", "turbolader", &["turbo"], &["lader"]),
+            ("intake manifold", "ansaugkrümmer", &["intake"], &[]),
+        ],
+    },
+    SystemSeed {
+        name: "cooling",
+        de: "kühlung",
+        parts: &[
+            ("radiator", "kühler", &[], &[]),
+            ("water pump", "wasserpumpe", &["coolant pump"], &["kühlmittelpumpe"]),
+            ("thermostat", "thermostat", &[], &[]),
+            ("cooling fan", "kühlerlüfter", &["fan", "blower"], &["lüfter", "gebläse"]),
+            ("coolant hose", "kühlmittelschlauch", &["radiator hose"], &["kühlerschlauch"]),
+            ("expansion tank", "ausgleichsbehälter", &["overflow tank"], &[]),
+            ("fan clutch", "lüfterkupplung", &[], &[]),
+            ("coolant sensor", "kühlmittelsensor", &["temperature sensor"], &["temperatursensor"]),
+        ],
+    },
+    SystemSeed {
+        name: "brakes",
+        de: "bremse",
+        parts: &[
+            ("brake pad", "bremsbelag", &["pad"], &["belag"]),
+            ("brake disc", "bremsscheibe", &["rotor", "brake rotor"], &["scheibe"]),
+            ("brake caliper", "bremssattel", &["caliper"], &["sattel"]),
+            ("brake hose", "bremsschlauch", &["brake line"], &["bremsleitung"]),
+            ("master cylinder", "hauptbremszylinder", &[], &[]),
+            ("brake booster", "bremskraftverstärker", &["booster"], &[]),
+            ("abs module", "abs-steuergerät", &["abs unit"], &["abs-modul"]),
+            ("handbrake cable", "handbremsseil", &["parking brake cable"], &[]),
+            ("wheel cylinder", "radbremszylinder", &[], &[]),
+        ],
+    },
+    SystemSeed {
+        name: "electrical",
+        de: "elektrik",
+        parts: &[
+            ("alternator", "lichtmaschine", &["generator"], &["generator"]),
+            ("starter motor", "anlasser", &["starter"], &["starter"]),
+            ("battery", "batterie", &[], &["akku"]),
+            ("wiring harness", "kabelbaum", &["harness", "loom"], &["kabelstrang"]),
+            ("fuse box", "sicherungskasten", &["fuse panel"], &[]),
+            ("ignition coil", "zündspule", &["coil"], &["spule"]),
+            ("relay", "relais", &[], &[]),
+            ("ground strap", "massekabel", &["ground cable"], &["masseband"]),
+            ("control unit", "steuergerät", &["ecu", "control module"], &["steuermodul"]),
+            ("sensor cable", "sensorkabel", &["sensor wire"], &["sensorleitung"]),
+        ],
+    },
+    SystemSeed {
+        name: "infotainment",
+        de: "infotainment",
+        parts: &[
+            ("radio", "radio", &["head unit", "tuner"], &["autoradio"]),
+            ("amplifier", "verstärker", &["amp"], &[]),
+            ("speaker", "lautsprecher", &["loudspeaker"], &["box"]),
+            ("display", "display", &["screen", "monitor"], &["bildschirm", "anzeige"]),
+            ("antenna", "antenne", &["aerial"], &[]),
+            ("navigation unit", "navigationsgerät", &["nav unit", "gps unit"], &["navi"]),
+            ("cd changer", "cd-wechsler", &["disc changer"], &[]),
+            ("microphone", "mikrofon", &["mic"], &["mikro"]),
+            ("bluetooth module", "bluetooth-modul", &["bt module"], &[]),
+        ],
+    },
+    SystemSeed {
+        name: "climate",
+        de: "klima",
+        parts: &[
+            ("compressor", "kompressor", &["ac compressor"], &["klimakompressor"]),
+            ("condenser", "kondensator", &[], &[]),
+            ("evaporator", "verdampfer", &[], &[]),
+            ("blower motor", "gebläsemotor", &["fan motor"], &["lüftermotor"]),
+            ("heater core", "wärmetauscher", &["heat exchanger"], &["heizungskühler"]),
+            ("climate control panel", "klimabedienteil", &["ac panel"], &[]),
+            ("cabin filter", "innenraumfilter", &["pollen filter"], &["pollenfilter"]),
+            ("ac hose", "klimaschlauch", &["refrigerant line"], &["klimaleitung"]),
+        ],
+    },
+    SystemSeed {
+        name: "transmission",
+        de: "getriebe",
+        parts: &[
+            ("clutch", "kupplung", &["clutch assembly"], &[]),
+            ("gearbox", "schaltgetriebe", &["transmission"], &["getriebe"]),
+            ("torque converter", "drehmomentwandler", &["converter"], &["wandler"]),
+            ("drive shaft", "antriebswelle", &["propshaft"], &["kardanwelle"]),
+            ("differential", "differential", &["diff"], &["ausgleichsgetriebe"]),
+            ("shift linkage", "schaltgestänge", &["gear linkage"], &[]),
+            ("transmission mount", "getriebelager", &[], &["getriebehalterung"]),
+            ("cv joint", "gleichlaufgelenk", &["constant velocity joint"], &["antriebsgelenk"]),
+        ],
+    },
+    SystemSeed {
+        name: "suspension",
+        de: "fahrwerk",
+        parts: &[
+            ("shock absorber", "stoßdämpfer", &["damper", "shock"], &["dämpfer"]),
+            ("coil spring", "schraubenfeder", &["spring"], &["feder"]),
+            ("control arm", "querlenker", &["wishbone"], &["lenker"]),
+            ("ball joint", "kugelgelenk", &[], &["traggelenk"]),
+            ("stabilizer bar", "stabilisator", &["sway bar", "anti-roll bar"], &["stabi"]),
+            ("wheel bearing", "radlager", &["hub bearing"], &[]),
+            ("strut mount", "domlager", &["top mount"], &["federbeinlager"]),
+            ("bushing", "buchse", &["bush"], &["lagerbuchse"]),
+        ],
+    },
+    SystemSeed {
+        name: "fuel",
+        de: "kraftstoff",
+        parts: &[
+            ("fuel pump", "kraftstoffpumpe", &["petrol pump"], &["benzinpumpe"]),
+            ("fuel injector", "einspritzdüse", &["injector"], &["injektor"]),
+            ("fuel filter", "kraftstofffilter", &[], &["benzinfilter"]),
+            ("fuel tank", "kraftstofftank", &["tank", "petrol tank"], &["tank"]),
+            ("fuel rail", "kraftstoffverteiler", &[], &[]),
+            ("fuel line", "kraftstoffleitung", &["fuel hose"], &["benzinleitung"]),
+            ("fuel gauge sender", "tankgeber", &["fuel level sensor"], &[]),
+        ],
+    },
+    SystemSeed {
+        name: "exhaust",
+        de: "abgasanlage",
+        parts: &[
+            ("catalytic converter", "katalysator", &["cat", "catalyst"], &["kat"]),
+            ("muffler", "schalldämpfer", &["silencer"], &["endtopf"]),
+            ("exhaust manifold", "abgaskrümmer", &["header"], &["krümmer"]),
+            ("oxygen sensor", "lambdasonde", &["o2 sensor", "lambda sensor"], &["sonde"]),
+            ("exhaust pipe", "auspuffrohr", &["tailpipe"], &["rohr"]),
+            ("egr valve", "agr-ventil", &["exhaust gas recirculation valve"], &[]),
+            ("particulate filter", "partikelfilter", &["dpf"], &["rußfilter"]),
+        ],
+    },
+    SystemSeed {
+        name: "steering",
+        de: "lenkung",
+        parts: &[
+            ("steering rack", "lenkgetriebe", &["rack and pinion"], &[]),
+            ("tie rod", "spurstange", &["track rod"], &[]),
+            ("steering column", "lenksäule", &[], &[]),
+            ("power steering pump", "servopumpe", &["ps pump"], &["lenkhilfepumpe"]),
+            ("steering wheel", "lenkrad", &[], &[]),
+            ("steering angle sensor", "lenkwinkelsensor", &[], &[]),
+        ],
+    },
+    SystemSeed {
+        name: "body",
+        de: "karosserie",
+        parts: &[
+            ("door lock", "türschloss", &["lock actuator"], &["schloss"]),
+            ("window regulator", "fensterheber", &["window lifter"], &[]),
+            ("mirror", "spiegel", &["wing mirror", "side mirror"], &["außenspiegel"]),
+            ("fender", "kotflügel", &["mud guard", "splashboard", "wing"], &["schutzblech"]),
+            ("bumper", "stoßstange", &["bumper cover"], &["stoßfänger"]),
+            ("hood latch", "haubenschloss", &["bonnet latch"], &[]),
+            ("seal", "dichtung", &["gasket", "weatherstrip"], &["dichtring"]),
+            ("wiper motor", "wischermotor", &["windscreen wiper motor"], &["scheibenwischermotor"]),
+            ("seat adjuster", "sitzversteller", &["seat motor"], &[]),
+        ],
+    },
+    SystemSeed {
+        name: "lighting",
+        de: "beleuchtung",
+        parts: &[
+            ("headlight", "scheinwerfer", &["headlamp"], &["frontscheinwerfer"]),
+            ("taillight", "rücklicht", &["rear light", "tail lamp"], &["heckleuchte"]),
+            ("turn signal", "blinker", &["indicator"], &["fahrtrichtungsanzeiger"]),
+            ("fog light", "nebelscheinwerfer", &["fog lamp"], &["nebelleuchte"]),
+            ("light switch", "lichtschalter", &[], &[]),
+            ("ballast", "vorschaltgerät", &["xenon ballast"], &[]),
+            ("led module", "led-modul", &[], &[]),
+        ],
+    },
+    SystemSeed {
+        name: "safety",
+        de: "sicherheit",
+        parts: &[
+            ("airbag", "airbag", &["air bag"], &[]),
+            ("seat belt", "sicherheitsgurt", &["safety belt"], &["gurt"]),
+            ("belt tensioner", "gurtstraffer", &["pretensioner"], &[]),
+            ("crash sensor", "crashsensor", &["impact sensor"], &["aufprallsensor"]),
+            ("horn", "hupe", &[], &["signalhorn"]),
+            ("parking sensor", "einparksensor", &["pdc sensor"], &["parksensor"]),
+        ],
+    },
+];
+
+/// Positional / variant modifiers applied to parts: (en, de).
+const MODIFIERS: &[Pair] = &[
+    ("front", "vorne"),
+    ("rear", "hinten"),
+    ("left", "links"),
+    ("right", "rechts"),
+    ("upper", "oben"),
+    ("lower", "unten"),
+    ("inner", "innen"),
+    ("outer", "außen"),
+    ("front left", "vorne links"),
+    ("front right", "vorne rechts"),
+    ("rear left", "hinten links"),
+    ("rear right", "hinten rechts"),
+    ("main", "haupt"),
+    ("auxiliary", "zusatz"),
+    ("secondary", "sekundär"),
+    ("center", "mitte"),
+    ("heated", "beheizt"),
+];
+
+/// Symptom categories with leaf symptoms: (en, de, en-synonyms, de-synonyms).
+struct SymptomSeed {
+    name: &'static str,
+    leaves: &'static [(&'static str, &'static str, &'static [&'static str], &'static [&'static str])],
+}
+
+const SYMPTOMS: &[SymptomSeed] = &[
+    SymptomSeed {
+        name: "Noise",
+        leaves: &[
+            ("squeak", "quietschen", &["squeaking", "squeal"], &["gequietsche"]),
+            ("screech", "kreischen", &["screeching"], &[]),
+            ("hum", "brummen", &["humming", "drone"], &["gebrumm"]),
+            ("roar", "dröhnen", &["roaring"], &[]),
+            ("rattle", "klappern", &["rattling noise"], &["geklapper"]),
+            ("knock", "klopfen", &["knocking"], &["geklopfe"]),
+            ("grinding noise", "schleifgeräusch", &["grinding"], &["schleifen"]),
+            ("whistle", "pfeifen", &["whistling"], &[]),
+            ("click", "klicken", &["clicking", "ticking"], &["ticken"]),
+            ("crackling sound", "knistern", &["crackle", "crackling"], &["geknister"]),
+            ("buzz", "summen", &["buzzing"], &[]),
+            ("creak", "knarzen", &["creaking"], &["knarren"]),
+        ],
+    },
+    SymptomSeed {
+        name: "Leak",
+        leaves: &[
+            ("oil leak", "ölverlust", &["oil leakage", "leaking oil"], &["öl undicht", "ölleckage"]),
+            ("coolant leak", "kühlmittelverlust", &["leaking coolant"], &["kühlmittel undicht"]),
+            ("fuel leak", "kraftstoffleck", &["leaking fuel"], &["benzin undicht"]),
+            ("water ingress", "wassereintritt", &["water entry", "moisture ingress"], &["feuchtigkeit"]),
+            ("air leak", "luftleck", &["vacuum leak"], &["falschluft"]),
+            ("refrigerant leak", "kältemittelverlust", &[], &["kältemittelleck"]),
+            ("dripping", "tropfen", &["drips"], &["tropft"]),
+            ("seepage", "schwitzen", &["sweating"], &[]),
+        ],
+    },
+    SymptomSeed {
+        name: "Electrical",
+        leaves: &[
+            ("short circuit", "kurzschluss", &["short"], &["kurzer"]),
+            ("no power", "keine spannung", &["dead", "no voltage"], &["stromlos", "spannungslos"]),
+            ("intermittent contact", "wackelkontakt", &["loose contact", "flaky contact"], &["kontaktfehler"]),
+            ("burnt through", "durchgeschmort", &["melted wire", "scorched"], &["verschmort", "durchgebrannt"]),
+            ("corroded contact", "kontaktkorrosion", &["oxidized contact"], &["korrodierter kontakt"]),
+            ("blown fuse", "sicherung defekt", &["fuse blown"], &["sicherung durchgebrannt"]),
+            ("electrical smell", "elektrischer geruch", &["burning smell"], &["brandgeruch", "schmorgeruch"]),
+            ("error code stored", "fehlercode abgelegt", &["dtc stored", "fault code"], &["fehlereintrag"]),
+            ("signal loss", "signalverlust", &["no signal"], &["kein signal"]),
+            ("turns off by itself", "schaltet sich ab", &["switches off randomly", "shuts down"], &["geht aus"]),
+        ],
+    },
+    SymptomSeed {
+        name: "Mechanical",
+        leaves: &[
+            ("crack", "riss", &["cracked", "fracture"], &["gerissen", "bruch"]),
+            ("broken", "gebrochen", &["snapped"], &["abgebrochen"]),
+            ("seized", "festgefressen", &["stuck", "jammed"], &["blockiert", "fest"]),
+            ("loose", "locker", &["play", "slack"], &["spiel", "lose"]),
+            ("bent", "verbogen", &["deformed", "warped"], &["verformt", "verzogen"]),
+            ("worn", "verschlissen", &["wear", "worn out"], &["abgenutzt", "verschleiß"]),
+            ("vibration", "vibration", &["shaking", "judder"], &["zittern", "rubbeln"]),
+            ("misaligned", "versetzt", &["out of alignment"], &["fluchtet nicht"]),
+            ("stripped thread", "gewinde defekt", &["damaged thread"], &["gewindeschaden"]),
+        ],
+    },
+    SymptomSeed {
+        name: "Function",
+        leaves: &[
+            ("non-functional", "funktionslos", &["not working", "no function", "inoperative"], &["ohne funktion", "funktioniert nicht"]),
+            ("intermittent failure", "sporadischer ausfall", &["sporadic failure", "works sometimes"], &["zeitweiser ausfall"]),
+            ("slow response", "verzögerte reaktion", &["sluggish", "delayed response"], &["träge"]),
+            ("wrong reading", "falsche anzeige", &["incorrect display", "implausible value"], &["fehlanzeige", "unplausibel"]),
+            ("stuck open", "klemmt offen", &["remains open"], &["bleibt offen"]),
+            ("stuck closed", "klemmt geschlossen", &["remains closed"], &["bleibt zu"]),
+            ("no output", "keine leistung", &["no performance"], &["leistungslos"]),
+            ("resets", "setzt zurück", &["reboots", "restarts"], &["startet neu"]),
+        ],
+    },
+    SymptomSeed {
+        name: "Thermal",
+        leaves: &[
+            ("overheating", "überhitzung", &["overheats", "too hot"], &["zu heiß", "überhitzt"]),
+            ("melted", "geschmolzen", &["molten", "heat damage"], &["hitzeschaden", "angeschmolzen"]),
+            ("discolored", "verfärbt", &["discoloration"], &["verfärbung"]),
+            ("no heat", "keine heizleistung", &["not heating"], &["heizt nicht"]),
+            ("no cooling", "keine kühlleistung", &["not cooling"], &["kühlt nicht"]),
+            ("smoke", "rauch", &["smoking"], &["qualm", "raucht"]),
+        ],
+    },
+    SymptomSeed {
+        name: "Corrosion",
+        leaves: &[
+            ("rust", "rost", &["rusty", "corrosion"], &["korrosion", "verrostet"]),
+            ("pitting", "lochfraß", &["pitted"], &[]),
+            ("oxidation", "oxidation", &["oxidized"], &["oxidiert"]),
+            ("salt damage", "salzschaden", &[], &[]),
+        ],
+    },
+    SymptomSeed {
+        name: "Contamination",
+        leaves: &[
+            ("dirty", "verschmutzt", &["contaminated", "soiled"], &["verdreckt", "schmutz"]),
+            ("clogged", "verstopft", &["blocked", "plugged"], &["zugesetzt", "dicht"]),
+            ("oily residue", "ölrückstände", &["oil film"], &["ölfilm", "verölt"]),
+            ("debris", "fremdkörper", &["foreign object"], &["späne"]),
+        ],
+    },
+];
+
+/// Location leaves: (en, de).
+const LOCATIONS: &[Pair] = &[
+    ("driver side", "fahrerseite"),
+    ("passenger side", "beifahrerseite"),
+    ("engine bay", "motorraum"),
+    ("underbody", "unterboden"),
+    ("dashboard", "armaturenbrett"),
+    ("trunk", "kofferraum"),
+    ("wheel arch", "radkasten"),
+    ("firewall", "stirnwand"),
+    ("center console", "mittelkonsole"),
+    ("roof", "dach"),
+    ("a-pillar", "a-säule"),
+    ("b-pillar", "b-säule"),
+    ("footwell", "fußraum"),
+    ("bulkhead", "spritzwand"),
+];
+
+/// Solution leaves: (en, de, en-synonyms, de-synonyms).
+const SOLUTIONS: &[(&str, &str, &[&str], &[&str])] = &[
+    ("replaced", "ersetzt", &["exchanged", "renewed"], &["ausgetauscht", "erneuert"]),
+    ("repaired", "repariert", &["fixed"], &["instandgesetzt"]),
+    ("resoldered", "nachgelötet", &["soldered"], &["gelötet"]),
+    ("cleaned", "gereinigt", &["flushed"], &["gesäubert", "gespült"]),
+    ("adjusted", "eingestellt", &["calibrated", "aligned"], &["justiert", "kalibriert"]),
+    ("tightened", "nachgezogen", &["retorqued"], &["angezogen"]),
+    ("reprogrammed", "neu programmiert", &["reflashed", "software update"], &["umprogrammiert", "softwareupdate"]),
+    ("sealed", "abgedichtet", &["resealed"], &["neu abgedichtet"]),
+    ("lubricated", "geschmiert", &["greased"], &["gefettet"]),
+    ("no fault found", "kein fehler feststellbar", &["could not reproduce", "tested ok"], &["i.o. getestet", "ohne befund"]),
+];
+
+impl SyntheticTaxonomy {
+    /// Generate with default configuration.
+    pub fn generate(seed: u64) -> Self {
+        Self::generate_with(&SyntheticConfig {
+            seed,
+            ..SyntheticConfig::default()
+        })
+    }
+
+    /// Generate with explicit configuration.
+    pub fn generate_with(config: &SyntheticConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut b = TaxonomyBuilder::new("synthetic-automotive");
+
+        let mut systems_out: Vec<(String, Vec<ConceptId>)> = Vec::new();
+        let comp_root = b.root(ConceptKind::Component, "Component");
+        for sys in SYSTEMS {
+            let sys_node = b.child(comp_root, title(sys.name));
+            // the system node itself carries multilingual labels, like the
+            // language-independent upper levels of the paper's Fig. 10
+            b.term(sys_node, Lang::En, sys.name);
+            b.term(sys_node, Lang::De, sys.de);
+            let mut leaves = Vec::new();
+            for (en, de, en_syn, de_syn) in sys.parts {
+                // plain part leaf
+                let leaf = b.child(sys_node, title(en));
+                let en_only = rng.random_bool(config.english_only_prob);
+                b.term(leaf, Lang::En, *en);
+                for s in *en_syn {
+                    b.term(leaf, Lang::En, *s);
+                }
+                if !en_only {
+                    b.term(leaf, Lang::De, *de);
+                    for s in *de_syn {
+                        b.term(leaf, Lang::De, *s);
+                    }
+                }
+                leaves.push(leaf);
+                // modifier variants
+                for (men, mde) in MODIFIERS {
+                    if !rng.random_bool(config.modifier_leaf_prob) {
+                        continue;
+                    }
+                    let vleaf = b.child(sys_node, format!("{} {}", title(men), title(en)));
+                    let ven = format!("{men} {en}");
+                    b.term(vleaf, Lang::En, ven);
+                    if let Some(s) = en_syn.first() {
+                        b.term(vleaf, Lang::En, format!("{men} {s}"));
+                    }
+                    let v_en_only = rng.random_bool(config.english_only_prob);
+                    if !v_en_only {
+                        b.term(vleaf, Lang::De, format!("{de} {mde}"));
+                    }
+                    leaves.push(vleaf);
+                }
+            }
+            systems_out.push((sys.name.to_owned(), leaves));
+        }
+
+        let mut symptoms_out = Vec::new();
+        let sym_root = b.root(ConceptKind::Symptom, "Symptom");
+        for cat in SYMPTOMS {
+            let cat_node = b.child(sym_root, cat.name);
+            for (en, de, en_syn, de_syn) in cat.leaves {
+                let leaf = b.child(cat_node, title(en));
+                b.term(leaf, Lang::En, *en);
+                for s in *en_syn {
+                    b.term(leaf, Lang::En, *s);
+                }
+                b.term(leaf, Lang::De, *de);
+                for s in *de_syn {
+                    b.term(leaf, Lang::De, *s);
+                }
+                symptoms_out.push(leaf);
+                // intensity variants for a subset of symptoms
+                if rng.random_bool(0.45) {
+                    let vleaf = b.child(cat_node, format!("Severe {}", title(en)));
+                    b.term(vleaf, Lang::En, format!("severe {en}"));
+                    b.term(vleaf, Lang::En, format!("strong {en}"));
+                    b.term(vleaf, Lang::De, format!("starkes {de}"));
+                    symptoms_out.push(vleaf);
+                }
+            }
+        }
+
+        let mut locations_out = Vec::new();
+        let loc_root = b.root(ConceptKind::Location, "Location");
+        for (en, de) in LOCATIONS {
+            let leaf = b.child(loc_root, title(en));
+            b.term(leaf, Lang::En, *en);
+            b.term(leaf, Lang::De, *de);
+            locations_out.push(leaf);
+        }
+
+        let mut solutions_out = Vec::new();
+        let sol_root = b.root(ConceptKind::Solution, "Solution");
+        for (en, de, en_syn, de_syn) in SOLUTIONS {
+            let leaf = b.child(sol_root, title(en));
+            b.term(leaf, Lang::En, *en);
+            for s in *en_syn {
+                b.term(leaf, Lang::En, *s);
+            }
+            b.term(leaf, Lang::De, *de);
+            for s in *de_syn {
+                b.term(leaf, Lang::De, *s);
+            }
+            solutions_out.push(leaf);
+        }
+
+        let taxonomy = b.build().expect("generated taxonomy is structurally valid");
+        SyntheticTaxonomy {
+            taxonomy,
+            systems: systems_out,
+            symptoms: symptoms_out,
+            locations: locations_out,
+            solutions: solutions_out,
+        }
+    }
+
+    /// All component leaf ids across systems.
+    pub fn components(&self) -> Vec<ConceptId> {
+        self.systems.iter().flat_map(|(_, l)| l.clone()).collect()
+    }
+}
+
+fn title(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut cap = true;
+    for c in s.chars() {
+        if cap && c.is_alphabetic() {
+            out.extend(c.to_uppercase());
+            cap = false;
+        } else {
+            out.push(c);
+            if c == ' ' || c == '-' {
+                cap = true;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = SyntheticTaxonomy::generate(7);
+        let b = SyntheticTaxonomy::generate(7);
+        assert_eq!(a.taxonomy, b.taxonomy);
+        let c = SyntheticTaxonomy::generate(8);
+        assert_ne!(a.taxonomy, c.taxonomy);
+    }
+
+    #[test]
+    fn size_matches_paper_scale() {
+        let s = SyntheticTaxonomy::generate(SyntheticConfig::default().seed);
+        let de = s.taxonomy.concept_count(Lang::De);
+        let en = s.taxonomy.concept_count(Lang::En);
+        // Paper: ~1800 German, ~1900 English distinct concepts.
+        assert!((1300..=2400).contains(&de), "de concepts = {de}");
+        assert!((1400..=2500).contains(&en), "en concepts = {en}");
+        assert!(en > de, "en ({en}) should exceed de ({de})");
+    }
+
+    #[test]
+    fn groupings_cover_kinds() {
+        let s = SyntheticTaxonomy::generate(1);
+        assert_eq!(s.systems.len(), SYSTEMS.len());
+        assert!(!s.symptoms.is_empty());
+        assert_eq!(s.locations.len(), LOCATIONS.len());
+        assert_eq!(s.solutions.len(), SOLUTIONS.len());
+        for id in s.components() {
+            assert_eq!(s.taxonomy.get(id).unwrap().kind, ConceptKind::Component);
+        }
+        for id in &s.symptoms {
+            assert_eq!(s.taxonomy.get(*id).unwrap().kind, ConceptKind::Symptom);
+        }
+    }
+
+    #[test]
+    fn synonym_richness() {
+        let s = SyntheticTaxonomy::generate(1);
+        let terms_en = s.taxonomy.term_count(Lang::En);
+        let concepts_en = s.taxonomy.concept_count(Lang::En);
+        // on average > 1 synonym per concept
+        assert!(terms_en as f64 / concepts_en as f64 > 1.2);
+    }
+
+    #[test]
+    fn multiword_terms_present() {
+        let s = SyntheticTaxonomy::generate(1);
+        let multi = s
+            .taxonomy
+            .term_entries()
+            .filter(|(t, _)| t.text.contains(' '))
+            .count();
+        assert!(multi > 500, "found {multi} multiword terms");
+    }
+
+    #[test]
+    fn title_casing() {
+        assert_eq!(title("front left brake hose"), "Front Left Brake Hose");
+        assert_eq!(title("abs module"), "Abs Module");
+        assert_eq!(title("a-pillar"), "A-Pillar");
+    }
+
+    #[test]
+    fn xml_roundtrip_of_generated() {
+        let s = SyntheticTaxonomy::generate(3);
+        let xml = crate::xml::write_taxonomy(&s.taxonomy);
+        let parsed = crate::xml::parse_taxonomy(&xml).unwrap();
+        assert_eq!(parsed, s.taxonomy);
+    }
+}

@@ -1,0 +1,328 @@
+//! The taxonomy container: arena of concepts with navigation and statistics.
+
+use std::collections::HashMap;
+
+use crate::concept::{Concept, ConceptId, ConceptKind, Lang, Term};
+use crate::error::{Result, TaxonomyError};
+
+/// An immutable, validated taxonomy. Build one with
+/// [`crate::builder::TaxonomyBuilder`], load one from XML with
+/// [`crate::xml::parse_taxonomy`], or generate one with
+/// [`crate::synthetic::SyntheticTaxonomy`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Taxonomy {
+    name: String,
+    concepts: Vec<Concept>,
+    by_id: HashMap<ConceptId, usize>,
+    children: HashMap<ConceptId, Vec<ConceptId>>,
+    roots: Vec<ConceptId>,
+}
+
+impl Taxonomy {
+    /// Assemble and validate. Checks id uniqueness, parent existence, kind
+    /// consistency along edges, acyclicity and non-empty names/terms.
+    /// Concepts are stored sorted by id, so two taxonomies with the same
+    /// content compare equal regardless of construction order (builder vs
+    /// XML document order).
+    pub fn new(name: impl Into<String>, mut concepts: Vec<Concept>) -> Result<Self> {
+        concepts.sort_by_key(|c| c.id);
+        let mut by_id = HashMap::with_capacity(concepts.len());
+        for (i, c) in concepts.iter().enumerate() {
+            if by_id.insert(c.id, i).is_some() {
+                return Err(TaxonomyError::DuplicateId(c.id));
+            }
+            if c.name.trim().is_empty() || c.terms.iter().any(|t| t.text.trim().is_empty()) {
+                return Err(TaxonomyError::EmptyName(c.id));
+            }
+        }
+        let mut children: HashMap<ConceptId, Vec<ConceptId>> = HashMap::new();
+        let mut roots = Vec::new();
+        for c in &concepts {
+            match c.parent {
+                Some(p) => {
+                    let pi = *by_id.get(&p).ok_or(TaxonomyError::MissingParent {
+                        child: c.id,
+                        parent: p,
+                    })?;
+                    if concepts[pi].kind != c.kind {
+                        return Err(TaxonomyError::KindMismatch {
+                            child: c.id,
+                            parent: p,
+                        });
+                    }
+                    children.entry(p).or_default().push(c.id);
+                }
+                None => roots.push(c.id),
+            }
+        }
+        for list in children.values_mut() {
+            list.sort_unstable();
+        }
+        roots.sort_unstable();
+
+        // Cycle check: walk up from every node; path length > concept count
+        // implies a cycle (parent edges cannot otherwise repeat).
+        for c in &concepts {
+            let mut cur = c.parent;
+            let mut steps = 0usize;
+            while let Some(p) = cur {
+                if p == c.id {
+                    return Err(TaxonomyError::Cycle(c.id));
+                }
+                steps += 1;
+                if steps > concepts.len() {
+                    return Err(TaxonomyError::Cycle(c.id));
+                }
+                cur = concepts[by_id[&p]].parent;
+            }
+        }
+
+        Ok(Taxonomy {
+            name: name.into(),
+            concepts,
+            by_id,
+            children,
+            roots,
+        })
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of concepts.
+    pub fn len(&self) -> usize {
+        self.concepts.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.concepts.is_empty()
+    }
+
+    /// Look up a concept.
+    pub fn get(&self, id: ConceptId) -> Option<&Concept> {
+        self.by_id.get(&id).map(|&i| &self.concepts[i])
+    }
+
+    /// All concepts in id order of insertion.
+    pub fn concepts(&self) -> &[Concept] {
+        &self.concepts
+    }
+
+    /// Top-level concepts (no parent), sorted by id.
+    pub fn roots(&self) -> &[ConceptId] {
+        &self.roots
+    }
+
+    /// Children of a node, sorted by id.
+    pub fn children(&self, id: ConceptId) -> &[ConceptId] {
+        self.children.get(&id).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Leaves: concepts without children.
+    pub fn leaves(&self) -> impl Iterator<Item = &Concept> {
+        self.concepts
+            .iter()
+            .filter(move |c| !self.children.contains_key(&c.id))
+    }
+
+    /// Walk ancestors from a node up to its root (exclusive of the node).
+    pub fn ancestors(&self, id: ConceptId) -> Vec<ConceptId> {
+        let mut out = Vec::new();
+        let mut cur = self.get(id).and_then(|c| c.parent);
+        while let Some(p) = cur {
+            out.push(p);
+            cur = self.get(p).and_then(|c| c.parent);
+        }
+        out
+    }
+
+    /// The kind root above a node (or the node itself if it is a root).
+    pub fn root_of(&self, id: ConceptId) -> Option<ConceptId> {
+        let mut cur = id;
+        loop {
+            let c = self.get(cur)?;
+            match c.parent {
+                Some(p) => cur = p,
+                None => return Some(cur),
+            }
+        }
+    }
+
+    /// Number of *distinct leaf concepts* that carry at least one term in the
+    /// given language — the statistic the paper reports ("about 1.800 / 1.900
+    /// distinct concepts in German and English").
+    pub fn concept_count(&self, lang: Lang) -> usize {
+        self.leaves().filter(|c| c.has_lang(lang)).count()
+    }
+
+    /// Total number of surface terms in a language (synonym mass).
+    pub fn term_count(&self, lang: Lang) -> usize {
+        self.concepts
+            .iter()
+            .map(|c| c.terms_in(lang).count())
+            .sum()
+    }
+
+    /// All (term, concept) pairs, used to feed the annotation trie.
+    pub fn term_entries(&self) -> impl Iterator<Item = (&Term, &Concept)> {
+        self.concepts
+            .iter()
+            .flat_map(|c| c.terms.iter().map(move |t| (t, c)))
+    }
+
+    /// Concepts of a given kind.
+    pub fn of_kind(&self, kind: ConceptKind) -> impl Iterator<Item = &Concept> {
+        self.concepts.iter().filter(move |c| c.kind == kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::concept::Term;
+
+    fn concept(
+        id: u32,
+        kind: ConceptKind,
+        name: &str,
+        parent: Option<u32>,
+        terms: &[(&str, Lang)],
+    ) -> Concept {
+        Concept {
+            id: ConceptId(id),
+            kind,
+            name: name.into(),
+            parent: parent.map(ConceptId),
+            terms: terms
+                .iter()
+                .map(|(t, l)| Term::new(*l, (*t).to_owned()))
+                .collect(),
+        }
+    }
+
+    fn small() -> Taxonomy {
+        Taxonomy::new(
+            "test",
+            vec![
+                concept(1, ConceptKind::Symptom, "Noise", None, &[]),
+                concept(2, ConceptKind::Symptom, "HighNoise", Some(1), &[]),
+                concept(
+                    3,
+                    ConceptKind::Symptom,
+                    "Squeak",
+                    Some(2),
+                    &[("squeak", Lang::En), ("quietschen", Lang::De)],
+                ),
+                concept(
+                    4,
+                    ConceptKind::Symptom,
+                    "Screech",
+                    Some(2),
+                    &[("screech", Lang::En)],
+                ),
+                concept(
+                    5,
+                    ConceptKind::Component,
+                    "Radio",
+                    None,
+                    &[("radio", Lang::En), ("radio", Lang::De)],
+                ),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn navigation() {
+        let t = small();
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.roots(), &[ConceptId(1), ConceptId(5)]);
+        assert_eq!(t.children(ConceptId(2)), &[ConceptId(3), ConceptId(4)]);
+        assert_eq!(t.children(ConceptId(3)), &[] as &[ConceptId]);
+        assert_eq!(
+            t.ancestors(ConceptId(3)),
+            vec![ConceptId(2), ConceptId(1)]
+        );
+        assert_eq!(t.root_of(ConceptId(4)), Some(ConceptId(1)));
+        assert_eq!(t.root_of(ConceptId(5)), Some(ConceptId(5)));
+        assert_eq!(t.get(ConceptId(3)).unwrap().name, "Squeak");
+        assert!(t.get(ConceptId(99)).is_none());
+    }
+
+    #[test]
+    fn leaves_and_counts() {
+        let t = small();
+        let leaf_names: Vec<&str> = t.leaves().map(|c| c.name.as_str()).collect();
+        assert_eq!(leaf_names, vec!["Squeak", "Screech", "Radio"]);
+        assert_eq!(t.concept_count(Lang::En), 3);
+        assert_eq!(t.concept_count(Lang::De), 2);
+        assert_eq!(t.term_count(Lang::En), 3);
+        assert_eq!(t.of_kind(ConceptKind::Component).count(), 1);
+        assert_eq!(t.term_entries().count(), 5);
+    }
+
+    #[test]
+    fn duplicate_id_rejected() {
+        let r = Taxonomy::new(
+            "x",
+            vec![
+                concept(1, ConceptKind::Symptom, "A", None, &[]),
+                concept(1, ConceptKind::Symptom, "B", None, &[]),
+            ],
+        );
+        assert_eq!(r.unwrap_err(), TaxonomyError::DuplicateId(ConceptId(1)));
+    }
+
+    #[test]
+    fn missing_parent_rejected() {
+        let r = Taxonomy::new(
+            "x",
+            vec![concept(1, ConceptKind::Symptom, "A", Some(9), &[])],
+        );
+        assert!(matches!(r, Err(TaxonomyError::MissingParent { .. })));
+    }
+
+    #[test]
+    fn kind_mismatch_rejected() {
+        let r = Taxonomy::new(
+            "x",
+            vec![
+                concept(1, ConceptKind::Symptom, "A", None, &[]),
+                concept(2, ConceptKind::Component, "B", Some(1), &[]),
+            ],
+        );
+        assert!(matches!(r, Err(TaxonomyError::KindMismatch { .. })));
+    }
+
+    #[test]
+    fn cycle_rejected() {
+        let r = Taxonomy::new(
+            "x",
+            vec![
+                concept(1, ConceptKind::Symptom, "A", Some(2), &[]),
+                concept(2, ConceptKind::Symptom, "B", Some(1), &[]),
+            ],
+        );
+        assert!(matches!(r, Err(TaxonomyError::Cycle(_))));
+        let r = Taxonomy::new(
+            "x",
+            vec![concept(1, ConceptKind::Symptom, "A", Some(1), &[])],
+        );
+        assert!(matches!(r, Err(TaxonomyError::Cycle(_))));
+    }
+
+    #[test]
+    fn empty_name_rejected() {
+        let r = Taxonomy::new(
+            "x",
+            vec![concept(1, ConceptKind::Symptom, "  ", None, &[])],
+        );
+        assert!(matches!(r, Err(TaxonomyError::EmptyName(_))));
+        let r = Taxonomy::new(
+            "x",
+            vec![concept(1, ConceptKind::Symptom, "A", None, &[("", Lang::En)])],
+        );
+        assert!(matches!(r, Err(TaxonomyError::EmptyName(_))));
+    }
+}

@@ -1,0 +1,245 @@
+//! Token-sequence trie for fast longest-match concept lookup.
+//!
+//! The paper's optimized annotator "represent\[s\] the taxonomy as a trie data
+//! structure ... which allows for fast search and retrieval" with "a
+//! left-bounded greedy longest-match approach" (§4.5.3). Keys are sequences
+//! of *normalized* tokens (see [`crate::normalize`]); values are the concepts
+//! whose surface terms normalize to that sequence.
+
+use std::collections::HashMap;
+
+use crate::concept::{ConceptId, Lang};
+use crate::normalize::normalize_phrase;
+use crate::taxonomy::Taxonomy;
+
+#[derive(Debug, Default, Clone)]
+struct TrieNode {
+    children: HashMap<String, usize>,
+    /// Concepts ending exactly at this node (usually 0 or 1; synonyms shared
+    /// across languages or concepts can legitimately collide).
+    concepts: Vec<ConceptId>,
+}
+
+/// A trie over token sequences.
+#[derive(Debug, Clone)]
+pub struct TokenTrie {
+    nodes: Vec<TrieNode>,
+    entries: usize,
+}
+
+impl Default for TokenTrie {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TokenTrie {
+    pub fn new() -> Self {
+        TokenTrie {
+            nodes: vec![TrieNode::default()],
+            entries: 0,
+        }
+    }
+
+    /// Build from every term of a taxonomy, across all languages. The trie is
+    /// what makes the annotator language-independent: a German and an English
+    /// synonym of the same concept lead to the same [`ConceptId`].
+    pub fn from_taxonomy(tax: &Taxonomy) -> Self {
+        let mut trie = TokenTrie::new();
+        for (term, concept) in tax.term_entries() {
+            trie.insert_phrase(&term.text, concept.id);
+        }
+        trie
+    }
+
+    /// Build from terms of a single language only (used to model the legacy
+    /// annotator, which was not multilingual).
+    pub fn from_taxonomy_lang(tax: &Taxonomy, lang: Lang) -> Self {
+        let mut trie = TokenTrie::new();
+        for (term, concept) in tax.term_entries() {
+            if term.lang == lang {
+                trie.insert_phrase(&term.text, concept.id);
+            }
+        }
+        trie
+    }
+
+    /// Insert a raw phrase (normalized and tokenized internally).
+    pub fn insert_phrase(&mut self, phrase: &str, concept: ConceptId) {
+        let tokens = normalize_phrase(phrase);
+        if tokens.is_empty() {
+            return;
+        }
+        self.insert_tokens(&tokens, concept);
+    }
+
+    /// Insert a pre-normalized token sequence.
+    pub fn insert_tokens(&mut self, tokens: &[String], concept: ConceptId) {
+        let mut node = 0usize;
+        for t in tokens {
+            let next = match self.nodes[node].children.get(t) {
+                Some(&n) => n,
+                None => {
+                    self.nodes.push(TrieNode::default());
+                    let n = self.nodes.len() - 1;
+                    self.nodes[node].children.insert(t.clone(), n);
+                    n
+                }
+            };
+            node = next;
+        }
+        if !self.nodes[node].concepts.contains(&concept) {
+            self.nodes[node].concepts.push(concept);
+            self.entries += 1;
+        }
+    }
+
+    /// Greedy longest match starting at `tokens[start]`: returns the number
+    /// of tokens consumed and the concepts of the longest prefix that ends on
+    /// a term, or `None` when no term starts here.
+    pub fn longest_match(&self, tokens: &[&str], start: usize) -> Option<(usize, &[ConceptId])> {
+        let mut node = 0usize;
+        let mut best: Option<(usize, usize)> = None; // (consumed, node)
+        for (offset, t) in tokens[start..].iter().enumerate() {
+            match self.nodes[node].children.get(*t) {
+                Some(&n) => {
+                    node = n;
+                    if !self.nodes[n].concepts.is_empty() {
+                        best = Some((offset + 1, n));
+                    }
+                }
+                None => break,
+            }
+        }
+        best.map(|(len, n)| (len, self.nodes[n].concepts.as_slice()))
+    }
+
+    /// Exact lookup of a full token sequence.
+    pub fn lookup(&self, tokens: &[&str]) -> &[ConceptId] {
+        let mut node = 0usize;
+        for t in tokens {
+            match self.nodes[node].children.get(*t) {
+                Some(&n) => node = n,
+                None => return &[],
+            }
+        }
+        &self.nodes[node].concepts
+    }
+
+    /// Number of distinct (token-sequence, concept) entries.
+    pub fn len(&self) -> usize {
+        self.entries
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    /// Number of trie nodes (memory footprint indicator for benches).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TaxonomyBuilder;
+    use crate::concept::ConceptKind;
+
+    fn trie() -> TokenTrie {
+        let mut t = TokenTrie::new();
+        t.insert_phrase("noise", ConceptId(1));
+        t.insert_phrase("high noise", ConceptId(2));
+        t.insert_phrase("high noise level", ConceptId(3));
+        t.insert_phrase("Lüfter", ConceptId(4));
+        t.insert_phrase("crackling sound", ConceptId(5));
+        t
+    }
+
+    #[test]
+    fn longest_match_prefers_longer() {
+        let t = trie();
+        let toks = ["high", "noise", "level", "rising"];
+        let (len, cs) = t.longest_match(&toks, 0).unwrap();
+        assert_eq!(len, 3);
+        assert_eq!(cs, &[ConceptId(3)]);
+    }
+
+    #[test]
+    fn falls_back_to_shorter_prefix() {
+        let t = trie();
+        // "high noise again": "high noise level" fails, "high noise" matches
+        let toks = ["high", "noise", "again"];
+        let (len, cs) = t.longest_match(&toks, 0).unwrap();
+        assert_eq!(len, 2);
+        assert_eq!(cs, &[ConceptId(2)]);
+        // from offset 1 only "noise" matches
+        let (len, cs) = t.longest_match(&toks, 1).unwrap();
+        assert_eq!(len, 1);
+        assert_eq!(cs, &[ConceptId(1)]);
+    }
+
+    #[test]
+    fn no_match_returns_none() {
+        let t = trie();
+        assert!(t.longest_match(&["quiet"], 0).is_none());
+        // "high" alone is a path but not a term
+        assert!(t.longest_match(&["high"], 0).is_none());
+        assert!(t.longest_match(&["high", "speed"], 0).is_none());
+    }
+
+    #[test]
+    fn normalization_applies_on_insert() {
+        let t = trie();
+        assert_eq!(t.lookup(&["luefter"]), &[ConceptId(4)]);
+        assert!(t.lookup(&["lüfter"]).is_empty()); // queries must be pre-normalized
+    }
+
+    #[test]
+    fn duplicate_insert_is_idempotent() {
+        let mut t = trie();
+        let before = t.len();
+        t.insert_phrase("noise", ConceptId(1));
+        assert_eq!(t.len(), before);
+        // same phrase, second concept → both stored
+        t.insert_phrase("noise", ConceptId(9));
+        assert_eq!(t.lookup(&["noise"]), &[ConceptId(1), ConceptId(9)]);
+    }
+
+    #[test]
+    fn empty_phrase_ignored() {
+        let mut t = TokenTrie::new();
+        t.insert_phrase("  ,, ", ConceptId(1));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn from_taxonomy_collects_all_languages() {
+        let mut b = TaxonomyBuilder::new("t");
+        let c = b.root(ConceptKind::Component, "Fan");
+        b.term(c, Lang::En, "fan");
+        b.term(c, Lang::De, "Lüfter");
+        let s = b.root(ConceptKind::Symptom, "Melt");
+        b.term(s, Lang::De, "durchgeschmort");
+        let tax = b.build().unwrap();
+
+        let trie = TokenTrie::from_taxonomy(&tax);
+        assert_eq!(trie.len(), 3);
+        assert_eq!(trie.lookup(&["fan"]), &[c]);
+        assert_eq!(trie.lookup(&["luefter"]), &[c]);
+        assert_eq!(trie.lookup(&["durchgeschmort"]), &[s]);
+
+        let en_only = TokenTrie::from_taxonomy_lang(&tax, Lang::En);
+        assert_eq!(en_only.len(), 1);
+        assert!(en_only.lookup(&["luefter"]).is_empty());
+    }
+
+    #[test]
+    fn node_count_reflects_sharing() {
+        let t = trie();
+        // root + shared prefixes: high->noise->level, noise, luefter,
+        // crackling->sound = 1 + 3 + 1 + 1 + 2 = 8
+        assert_eq!(t.node_count(), 8);
+    }
+}

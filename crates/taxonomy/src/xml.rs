@@ -1,0 +1,549 @@
+//! The taxonomy's custom XML storage format (paper §4.5.3: "The taxonomy is
+//! stored in a custom XML format"), with a from-scratch parser for the XML
+//! subset the format needs: elements, attributes, character data, comments,
+//! an optional declaration, and the five predefined entities.
+//!
+//! ```xml
+//! <?xml version="1.0" encoding="UTF-8"?>
+//! <taxonomy name="automotive">
+//!   <concept id="1" kind="component" name="Radio">
+//!     <term lang="en">radio</term>
+//!     <term lang="de">radio</term>
+//!     <concept id="2" kind="component" name="Antenna">
+//!       <term lang="en">antenna</term>
+//!     </concept>
+//!   </concept>
+//! </taxonomy>
+//! ```
+//!
+//! Nesting of `<concept>` elements encodes the parent relation.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::concept::{Concept, ConceptId, ConceptKind, Lang, Term};
+use crate::error::{Result, TaxonomyError};
+use crate::taxonomy::Taxonomy;
+
+// ---------------------------------------------------------------------------
+// Minimal XML pull lexer
+// ---------------------------------------------------------------------------
+
+/// One XML event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlEvent {
+    Start {
+        name: String,
+        attrs: Vec<(String, String)>,
+        self_closing: bool,
+    },
+    End {
+        name: String,
+    },
+    Text(String),
+}
+
+/// Pull-lexer over an XML byte string.
+pub struct XmlLexer<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> XmlLexer<'a> {
+    pub fn new(input: &'a str) -> Self {
+        XmlLexer { input, pos: 0 }
+    }
+
+    fn err(&self, message: impl Into<String>) -> TaxonomyError {
+        TaxonomyError::Xml {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    fn bump(&mut self, n: usize) {
+        self.pos += n;
+    }
+
+    /// Next event, or `None` at end of input (trailing whitespace allowed).
+    pub fn next_event(&mut self) -> Result<Option<XmlEvent>> {
+        loop {
+            if self.rest().trim().is_empty() {
+                self.pos = self.input.len();
+                return Ok(None);
+            }
+            if self.rest().starts_with("<?") {
+                let end = self
+                    .rest()
+                    .find("?>")
+                    .ok_or_else(|| self.err("unterminated declaration"))?;
+                self.bump(end + 2);
+                continue;
+            }
+            if self.rest().starts_with("<!--") {
+                let end = self
+                    .rest()
+                    .find("-->")
+                    .ok_or_else(|| self.err("unterminated comment"))?;
+                self.bump(end + 3);
+                continue;
+            }
+            break;
+        }
+
+        if let Some(rest) = self.rest().strip_prefix("</") {
+            let end = rest.find('>').ok_or_else(|| self.err("unterminated end tag"))?;
+            let name = rest[..end].trim().to_owned();
+            if name.is_empty() {
+                return Err(self.err("empty end-tag name"));
+            }
+            self.bump(2 + end + 1);
+            return Ok(Some(XmlEvent::End { name }));
+        }
+
+        if self.rest().starts_with('<') {
+            let end = self
+                .rest()
+                .find('>')
+                .ok_or_else(|| self.err("unterminated start tag"))?;
+            let inner = &self.rest()[1..end];
+            let (inner, self_closing) = match inner.strip_suffix('/') {
+                Some(s) => (s, true),
+                None => (inner, false),
+            };
+            let mut parts = inner.trim().splitn(2, char::is_whitespace);
+            let name = parts.next().unwrap_or("").to_owned();
+            if name.is_empty() {
+                return Err(self.err("empty start-tag name"));
+            }
+            let attrs = match parts.next() {
+                Some(attr_str) => parse_attrs(attr_str).map_err(|m| self.err(m))?,
+                None => Vec::new(),
+            };
+            self.bump(end + 1);
+            return Ok(Some(XmlEvent::Start {
+                name,
+                attrs,
+                self_closing,
+            }));
+        }
+
+        // Character data up to the next tag. Whitespace-only runs between
+        // tags are formatting, not content — recurse past them.
+        let end = self.rest().find('<').unwrap_or(self.rest().len());
+        let raw = &self.rest()[..end];
+        self.bump(end);
+        if raw.trim().is_empty() {
+            return self.next_event();
+        }
+        Ok(Some(XmlEvent::Text(unescape(raw)?)))
+    }
+}
+
+fn parse_attrs(s: &str) -> std::result::Result<Vec<(String, String)>, String> {
+    let mut out = Vec::new();
+    let mut rest = s.trim();
+    while !rest.is_empty() {
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| format!("attribute without '=': `{rest}`"))?;
+        let key = rest[..eq].trim().to_owned();
+        if key.is_empty() {
+            return Err("empty attribute name".into());
+        }
+        let after = rest[eq + 1..].trim_start();
+        let quote = after
+            .chars()
+            .next()
+            .filter(|c| *c == '"' || *c == '\'')
+            .ok_or_else(|| format!("unquoted attribute value for `{key}`"))?;
+        let body = &after[1..];
+        let close = body
+            .find(quote)
+            .ok_or_else(|| format!("unterminated attribute value for `{key}`"))?;
+        let value = unescape(&body[..close]).map_err(|e| e.to_string())?;
+        out.push((key, value));
+        rest = body[close + 1..].trim_start();
+    }
+    Ok(out)
+}
+
+/// Decode the five predefined XML entities.
+fn unescape(s: &str) -> Result<String> {
+    if !s.contains('&') {
+        return Ok(s.to_owned());
+    }
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(amp) = rest.find('&') {
+        out.push_str(&rest[..amp]);
+        rest = &rest[amp..];
+        let semi = rest.find(';').ok_or_else(|| TaxonomyError::Xml {
+            offset: 0,
+            message: format!(
+                "unterminated entity near `{}`",
+                rest.chars().take(8).collect::<String>()
+            ),
+        })?;
+        let entity = &rest[1..semi];
+        out.push(match entity {
+            "amp" => '&',
+            "lt" => '<',
+            "gt" => '>',
+            "quot" => '"',
+            "apos" => '\'',
+            other => {
+                return Err(TaxonomyError::Xml {
+                    offset: 0,
+                    message: format!("unknown entity &{other};"),
+                })
+            }
+        });
+        rest = &rest[semi + 1..];
+    }
+    out.push_str(rest);
+    Ok(out)
+}
+
+/// Encode text for element content or attribute values.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Taxonomy document reader / writer
+// ---------------------------------------------------------------------------
+
+fn attr<'e>(attrs: &'e [(String, String)], key: &str) -> Option<&'e str> {
+    attrs
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v.as_str())
+}
+
+/// Parse a taxonomy document.
+pub fn parse_taxonomy(input: &str) -> Result<Taxonomy> {
+    let mut lexer = XmlLexer::new(input);
+    // expect <taxonomy ...>
+    let first = lexer
+        .next_event()?
+        .ok_or_else(|| TaxonomyError::Format("empty document".into()))?;
+    let (tax_name, root_selfclosing) = match &first {
+        XmlEvent::Start {
+            name,
+            attrs,
+            self_closing,
+        } if name == "taxonomy" => (
+            attr(attrs, "name").unwrap_or("taxonomy").to_owned(),
+            *self_closing,
+        ),
+        other => {
+            return Err(TaxonomyError::Format(format!(
+                "expected <taxonomy>, got {other:?}"
+            )))
+        }
+    };
+    let mut concepts: Vec<Concept> = Vec::new();
+    if !root_selfclosing {
+        // stack of concept indexes for parent tracking
+        let mut stack: Vec<usize> = Vec::new();
+        // current <term> being read: (lang, text-so-far)
+        let mut pending_term: Option<(Lang, String)> = None;
+        loop {
+            let ev = lexer
+                .next_event()?
+                .ok_or_else(|| TaxonomyError::Format("unexpected end of document".into()))?;
+            match ev {
+                XmlEvent::Start {
+                    name,
+                    attrs,
+                    self_closing,
+                } => match name.as_str() {
+                    "concept" => {
+                        let id = attr(&attrs, "id")
+                            .and_then(|s| s.parse::<u32>().ok())
+                            .ok_or_else(|| {
+                                TaxonomyError::Format("concept without numeric id".into())
+                            })?;
+                        let kind = attr(&attrs, "kind")
+                            .and_then(ConceptKind::parse)
+                            .ok_or_else(|| {
+                                TaxonomyError::Format(format!("concept {id}: bad kind"))
+                            })?;
+                        let cname = attr(&attrs, "name")
+                            .ok_or_else(|| {
+                                TaxonomyError::Format(format!("concept {id}: missing name"))
+                            })?
+                            .to_owned();
+                        let parent = stack.last().map(|&i| concepts[i].id);
+                        concepts.push(Concept {
+                            id: ConceptId(id),
+                            kind,
+                            name: cname,
+                            parent,
+                            terms: Vec::new(),
+                        });
+                        if !self_closing {
+                            stack.push(concepts.len() - 1);
+                        }
+                    }
+                    "term" => {
+                        let lang = attr(&attrs, "lang")
+                            .and_then(Lang::parse)
+                            .ok_or_else(|| TaxonomyError::Format("term: bad lang".into()))?;
+                        if self_closing {
+                            return Err(TaxonomyError::Format("empty <term/>".into()));
+                        }
+                        pending_term = Some((lang, String::new()));
+                    }
+                    other => {
+                        return Err(TaxonomyError::Format(format!(
+                            "unexpected element <{other}>"
+                        )))
+                    }
+                },
+                XmlEvent::Text(text) => {
+                    if let Some((_, buf)) = &mut pending_term {
+                        buf.push_str(&text);
+                    } else if !text.trim().is_empty() {
+                        return Err(TaxonomyError::Format(format!(
+                            "stray text `{}`",
+                            text.trim()
+                        )));
+                    }
+                }
+                XmlEvent::End { name } => match name.as_str() {
+                    "term" => {
+                        let (lang, text) = pending_term.take().ok_or_else(|| {
+                            TaxonomyError::Format("</term> without <term>".into())
+                        })?;
+                        let idx = *stack.last().ok_or_else(|| {
+                            TaxonomyError::Format("<term> outside <concept>".into())
+                        })?;
+                        concepts[idx].terms.push(Term::new(lang, text.trim()));
+                    }
+                    "concept" => {
+                        stack.pop().ok_or_else(|| {
+                            TaxonomyError::Format("unbalanced </concept>".into())
+                        })?;
+                    }
+                    "taxonomy" => {
+                        if !stack.is_empty() {
+                            return Err(TaxonomyError::Format(
+                                "</taxonomy> with open concepts".into(),
+                            ));
+                        }
+                        break;
+                    }
+                    other => {
+                        return Err(TaxonomyError::Format(format!("unexpected </{other}>")))
+                    }
+                },
+            }
+        }
+    }
+    if lexer.next_event()?.is_some() {
+        return Err(TaxonomyError::Format("content after </taxonomy>".into()));
+    }
+    Taxonomy::new(tax_name, concepts)
+}
+
+/// Serialize a taxonomy to the custom XML format (stable, pretty-printed).
+pub fn write_taxonomy(tax: &Taxonomy) -> String {
+    let mut out = String::new();
+    out.push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n");
+    let _ = writeln!(out, "<taxonomy name=\"{}\">", escape(tax.name()));
+    // index concepts for child traversal
+    let by_id: HashMap<ConceptId, &Concept> = tax.concepts().iter().map(|c| (c.id, c)).collect();
+    for &root in tax.roots() {
+        write_concept(&mut out, tax, &by_id, root, 1);
+    }
+    out.push_str("</taxonomy>\n");
+    out
+}
+
+fn write_concept(
+    out: &mut String,
+    tax: &Taxonomy,
+    by_id: &HashMap<ConceptId, &Concept>,
+    id: ConceptId,
+    depth: usize,
+) {
+    let c = by_id[&id];
+    let pad = "  ".repeat(depth);
+    let children = tax.children(id);
+    if c.terms.is_empty() && children.is_empty() {
+        let _ = writeln!(
+            out,
+            "{pad}<concept id=\"{}\" kind=\"{}\" name=\"{}\"/>",
+            c.id.0,
+            c.kind,
+            escape(&c.name)
+        );
+        return;
+    }
+    let _ = writeln!(
+        out,
+        "{pad}<concept id=\"{}\" kind=\"{}\" name=\"{}\">",
+        c.id.0,
+        c.kind,
+        escape(&c.name)
+    );
+    for term in &c.terms {
+        let _ = writeln!(
+            out,
+            "{pad}  <term lang=\"{}\">{}</term>",
+            term.lang,
+            escape(&term.text)
+        );
+    }
+    for &child in children {
+        write_concept(out, tax, by_id, child, depth + 1);
+    }
+    let _ = writeln!(out, "{pad}</concept>");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TaxonomyBuilder;
+
+    const DOC: &str = r#"<?xml version="1.0" encoding="UTF-8"?>
+<!-- automotive part & error taxonomy -->
+<taxonomy name="automotive">
+  <concept id="1" kind="symptom" name="Noise">
+    <concept id="2" kind="symptom" name="HighNoise">
+      <concept id="3" kind="symptom" name="Squeak">
+        <term lang="en">squeak</term>
+        <term lang="en">squeaking &amp; rattling</term>
+        <term lang="de">quietschen</term>
+      </concept>
+    </concept>
+  </concept>
+  <concept id="10" kind="component" name="Radio">
+    <term lang="en">radio</term>
+  </concept>
+  <concept id="11" kind="location" name="FrontLeft"/>
+</taxonomy>
+"#;
+
+    #[test]
+    fn parses_document() {
+        let t = parse_taxonomy(DOC).unwrap();
+        assert_eq!(t.name(), "automotive");
+        assert_eq!(t.len(), 5);
+        let squeak = t.get(ConceptId(3)).unwrap();
+        assert_eq!(squeak.parent, Some(ConceptId(2)));
+        assert_eq!(squeak.terms.len(), 3);
+        assert_eq!(squeak.terms[1].text, "squeaking & rattling");
+        assert_eq!(t.roots().len(), 3);
+    }
+
+    #[test]
+    fn roundtrip_write_parse() {
+        let mut b = TaxonomyBuilder::new("auto <&> 'test'");
+        let comp = b.root(ConceptKind::Component, "Electrical");
+        let radio = b.child(comp, "Radio \"Unit\"");
+        b.term(radio, Lang::En, "radio & head unit");
+        b.term(radio, Lang::De, "radio");
+        let sym = b.root(ConceptKind::Symptom, "Smell");
+        b.term(sym, Lang::En, "electrical smell");
+        let orig = b.build().unwrap();
+
+        let xml = write_taxonomy(&orig);
+        let parsed = parse_taxonomy(&xml).unwrap();
+        assert_eq!(parsed, orig);
+    }
+
+    #[test]
+    fn lexer_events() {
+        let mut lx = XmlLexer::new("<a x=\"1\" y='two'>hi</a>");
+        assert_eq!(
+            lx.next_event().unwrap().unwrap(),
+            XmlEvent::Start {
+                name: "a".into(),
+                attrs: vec![("x".into(), "1".into()), ("y".into(), "two".into())],
+                self_closing: false
+            }
+        );
+        assert_eq!(
+            lx.next_event().unwrap().unwrap(),
+            XmlEvent::Text("hi".into())
+        );
+        assert_eq!(
+            lx.next_event().unwrap().unwrap(),
+            XmlEvent::End { name: "a".into() }
+        );
+        assert_eq!(lx.next_event().unwrap(), None);
+    }
+
+    #[test]
+    fn self_closing_and_comments() {
+        let mut lx = XmlLexer::new("<!-- c --><b/>");
+        assert_eq!(
+            lx.next_event().unwrap().unwrap(),
+            XmlEvent::Start {
+                name: "b".into(),
+                attrs: vec![],
+                self_closing: true
+            }
+        );
+    }
+
+    #[test]
+    fn entity_handling() {
+        assert_eq!(unescape("a &amp; b &lt;c&gt;").unwrap(), "a & b <c>");
+        assert_eq!(unescape("&quot;x&apos;").unwrap(), "\"x'");
+        assert!(unescape("&bogus;").is_err());
+        assert!(unescape("&amp").is_err());
+        assert_eq!(escape("a & b <c> \"d\""), "a &amp; b &lt;c&gt; &quot;d&quot;");
+    }
+
+    #[test]
+    fn malformed_documents_rejected() {
+        assert!(parse_taxonomy("").is_err());
+        assert!(parse_taxonomy("<wrong/>").is_err());
+        assert!(parse_taxonomy("<taxonomy name='x'><concept id='a' kind='symptom' name='N'/></taxonomy>").is_err());
+        assert!(parse_taxonomy("<taxonomy name='x'><concept id='1' kind='bogus' name='N'/></taxonomy>").is_err());
+        assert!(parse_taxonomy("<taxonomy name='x'><concept id='1' kind='symptom' name='N'>").is_err());
+        assert!(parse_taxonomy("<taxonomy name='x'>stray</taxonomy>").is_err());
+        assert!(parse_taxonomy("<taxonomy name='x'></taxonomy>tail").is_err());
+        assert!(parse_taxonomy("<taxonomy name='x'><unknown/></taxonomy>").is_err());
+        // duplicate ids are caught by taxonomy validation
+        let doc = "<taxonomy name='x'><concept id='1' kind='symptom' name='A'/><concept id='1' kind='symptom' name='B'/></taxonomy>";
+        assert!(matches!(
+            parse_taxonomy(doc),
+            Err(TaxonomyError::DuplicateId(_))
+        ));
+    }
+
+    #[test]
+    fn unterminated_attr_rejected() {
+        assert!(parse_taxonomy("<taxonomy name=\"x><concept/></taxonomy>").is_err());
+        assert!(parse_taxonomy("<taxonomy name=x></taxonomy>").is_err());
+    }
+
+    #[test]
+    fn empty_taxonomy_roundtrip() {
+        let t = TaxonomyBuilder::new("empty").build().unwrap();
+        let xml = write_taxonomy(&t);
+        let parsed = parse_taxonomy(&xml).unwrap();
+        assert!(parsed.is_empty());
+        assert_eq!(parsed.name(), "empty");
+    }
+}

@@ -1,0 +1,122 @@
+//! Property tests: arbitrary taxonomies survive the custom XML format, the
+//! trie, and the synonym expansion unchanged in meaning.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use qatk_taxonomy::prelude::*;
+
+/// Strategy for term/label text including XML-hostile characters.
+fn arb_text() -> impl Strategy<Value = String> {
+    "[a-zA-ZäöüÄÖÜß0-9&<>'\" .-]{1,24}".prop_filter("non-blank", |s| !s.trim().is_empty())
+}
+
+/// One generated concept description:
+/// (kind index, optional parent back-reference, name, terms).
+type ConceptSpec = (usize, Option<usize>, String, Vec<(bool, String)>);
+
+/// Strategy: a flat-ish random taxonomy description.
+fn arb_spec() -> impl Strategy<Value = Vec<ConceptSpec>> {
+    vec(
+        (
+            0usize..4,
+            proptest::option::of(0usize..10_000),
+            arb_text(),
+            vec((any::<bool>(), arb_text()), 0..4),
+        ),
+        1..25,
+    )
+}
+
+fn build(spec: &[ConceptSpec]) -> Taxonomy {
+    let kinds = ConceptKind::ALL;
+    let mut b = TaxonomyBuilder::new("prop");
+    let mut ids: Vec<(ConceptId, usize)> = Vec::new(); // (id, kind index)
+    for (kind_idx, parent_ref, name, terms) in spec {
+        // resolve the parent among previously created nodes of the same kind
+        let parent = parent_ref.and_then(|r| {
+            let same_kind: Vec<ConceptId> = ids
+                .iter()
+                .filter(|(_, k)| k == kind_idx)
+                .map(|(id, _)| *id)
+                .collect();
+            if same_kind.is_empty() {
+                None
+            } else {
+                Some(same_kind[r % same_kind.len()])
+            }
+        });
+        let id = match parent {
+            Some(p) => b.child(p, name.clone()),
+            None => b.root(kinds[*kind_idx], name.clone()),
+        };
+        for (is_de, text) in terms {
+            b.term(id, if *is_de { Lang::De } else { Lang::En }, text.clone());
+        }
+        ids.push((id, *kind_idx));
+    }
+    b.build().expect("builder output is structurally valid")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn xml_roundtrip_preserves_taxonomy(spec in arb_spec()) {
+        let tax = build(&spec);
+        let xml = write_taxonomy(&tax);
+        let parsed = parse_taxonomy(&xml).expect("generated XML parses");
+        prop_assert_eq!(parsed, tax);
+    }
+
+    #[test]
+    fn trie_finds_every_single_word_term(spec in arb_spec()) {
+        let tax = build(&spec);
+        let trie = TokenTrie::from_taxonomy(&tax);
+        for (term, concept) in tax.term_entries() {
+            let toks = normalize_phrase(&term.text);
+            if toks.is_empty() {
+                continue;
+            }
+            let refs: Vec<&str> = toks.iter().map(String::as_str).collect();
+            prop_assert!(
+                trie.lookup(&refs).contains(&concept.id),
+                "term `{}` of {} not found",
+                term.text,
+                concept.id
+            );
+        }
+    }
+
+    #[test]
+    fn expansion_never_loses_terms(spec in arb_spec()) {
+        let tax = build(&spec);
+        let (expanded, stats) = expand_taxonomy(&tax, &ExpansionConfig::default()).unwrap();
+        prop_assert_eq!(expanded.len(), tax.len());
+        let before: usize = tax.concepts().iter().map(|c| c.terms.len()).sum();
+        let after: usize = expanded.concepts().iter().map(|c| c.terms.len()).sum();
+        prop_assert_eq!(after, before + stats.added_terms);
+        prop_assert!(after >= before);
+        // structure is preserved
+        for c in tax.concepts() {
+            let e = expanded.get(c.id).unwrap();
+            prop_assert_eq!(e.parent, c.parent);
+            prop_assert_eq!(e.kind, c.kind);
+        }
+    }
+
+    #[test]
+    fn ancestors_terminate_and_root_is_stable(spec in arb_spec()) {
+        let tax = build(&spec);
+        for c in tax.concepts() {
+            let anc = tax.ancestors(c.id);
+            prop_assert!(anc.len() < tax.len());
+            let root = tax.root_of(c.id).unwrap();
+            prop_assert!(tax.get(root).unwrap().parent.is_none());
+            match anc.last() {
+                Some(&top) => prop_assert_eq!(top, root),
+                None => prop_assert_eq!(root, c.id),
+            }
+        }
+    }
+}

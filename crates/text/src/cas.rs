@@ -1,0 +1,325 @@
+//! The Common Analysis Structure (CAS).
+//!
+//! UIMA's central data structure: a subject-of-analysis text plus typed
+//! feature structures (annotations) anchored to it by begin/end offsets,
+//! "handed over from one Analysis Engine to the next, such that annotators
+//! can build on findings from previous steps" (paper §4.5.2). In QATK "one
+//! CAS contains one data bundle, including all available reports and text
+//! descriptions plus the part ID and error code".
+
+use qatk_taxonomy::concept::{ConceptId, ConceptKind};
+
+/// Language attached to a span by the language detector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DetectedLang {
+    De,
+    En,
+    Unknown,
+}
+
+/// Identifier of a segment (one report / description) within the CAS text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SegmentId(pub usize);
+
+/// One named piece of the document: a report or a description field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Segment {
+    pub id: SegmentId,
+    /// Logical name, e.g. `"mechanic_report"` or `"part_description"`.
+    pub name: String,
+    /// Byte offsets into [`Cas::text`].
+    pub begin: usize,
+    pub end: usize,
+}
+
+/// The typed payload of an annotation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnnotationKind {
+    /// A word token; carries its normalized form so downstream annotators
+    /// never re-normalize.
+    Token { normalized: String },
+    /// The detected language of a whole segment.
+    LanguageSpan { lang: DetectedLang },
+    /// A token identified as a stopword (article/pronoun/function word).
+    Stopword,
+    /// A taxonomy concept mention (possibly multi-token).
+    ConceptMention {
+        concept: ConceptId,
+        kind: ConceptKind,
+    },
+    /// One sentence (from the sentence splitter).
+    Sentence,
+}
+
+impl AnnotationKind {
+    /// Coarse type name, used for filtering and display.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            AnnotationKind::Token { .. } => "Token",
+            AnnotationKind::LanguageSpan { .. } => "LanguageSpan",
+            AnnotationKind::Stopword => "Stopword",
+            AnnotationKind::ConceptMention { .. } => "ConceptMention",
+            AnnotationKind::Sentence => "Sentence",
+        }
+    }
+}
+
+/// An annotation: a typed span over the CAS text.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Annotation {
+    pub begin: usize,
+    pub end: usize,
+    pub kind: AnnotationKind,
+}
+
+impl Annotation {
+    pub fn new(begin: usize, end: usize, kind: AnnotationKind) -> Self {
+        debug_assert!(begin <= end);
+        Annotation { begin, end, kind }
+    }
+
+    /// True if this annotation fully contains `other`.
+    pub fn encloses(&self, other: &Annotation) -> bool {
+        self.begin <= other.begin && other.end <= self.end
+    }
+}
+
+/// The CAS: document text assembled from named segments, plus annotations.
+#[derive(Debug, Clone, Default)]
+pub struct Cas {
+    text: String,
+    segments: Vec<Segment>,
+    annotations: Vec<Annotation>,
+    /// Structured companions of the text (paper Fig. 3).
+    pub part_id: Option<String>,
+    pub error_code: Option<String>,
+}
+
+impl Cas {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a named segment; returns its id. Segments are separated by a
+    /// newline so tokens never straddle a segment boundary.
+    pub fn add_segment(&mut self, name: impl Into<String>, text: &str) -> SegmentId {
+        if !self.text.is_empty() {
+            self.text.push('\n');
+        }
+        let begin = self.text.len();
+        self.text.push_str(text);
+        let end = self.text.len();
+        let id = SegmentId(self.segments.len());
+        self.segments.push(Segment {
+            id,
+            name: name.into(),
+            begin,
+            end,
+        });
+        id
+    }
+
+    /// The full document text.
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+
+    /// The text covered by an annotation.
+    pub fn covered_text(&self, ann: &Annotation) -> &str {
+        &self.text[ann.begin..ann.end]
+    }
+
+    /// All segments in insertion order.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// Find a segment by name.
+    pub fn segment(&self, name: &str) -> Option<&Segment> {
+        self.segments.iter().find(|s| s.name == name)
+    }
+
+    /// The segment containing a byte offset.
+    pub fn segment_at(&self, offset: usize) -> Option<&Segment> {
+        self.segments
+            .iter()
+            .find(|s| s.begin <= offset && offset < s.end.max(s.begin + 1))
+    }
+
+    /// Record an annotation (kept sorted lazily by callers; iteration order
+    /// is insertion order, which annotators produce left-to-right).
+    pub fn add_annotation(&mut self, ann: Annotation) {
+        debug_assert!(ann.end <= self.text.len());
+        self.annotations.push(ann);
+    }
+
+    /// All annotations.
+    pub fn annotations(&self) -> &[Annotation] {
+        &self.annotations
+    }
+
+    /// Annotations of one coarse type.
+    pub fn annotations_of(&self, type_name: &str) -> impl Iterator<Item = &Annotation> {
+        let owned = type_name.to_owned();
+        self.annotations
+            .iter()
+            .filter(move |a| a.kind.type_name() == owned)
+    }
+
+    /// Token annotations, in order.
+    pub fn tokens(&self) -> impl Iterator<Item = &Annotation> {
+        self.annotations
+            .iter()
+            .filter(|a| matches!(a.kind, AnnotationKind::Token { .. }))
+    }
+
+    /// Normalized forms of all tokens, in order.
+    pub fn token_norms(&self) -> Vec<&str> {
+        self.annotations
+            .iter()
+            .filter_map(|a| match &a.kind {
+                AnnotationKind::Token { normalized } => Some(normalized.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Concept mentions, in order.
+    pub fn concept_mentions(&self) -> impl Iterator<Item = (&Annotation, ConceptId, ConceptKind)> {
+        self.annotations.iter().filter_map(|a| match a.kind {
+            AnnotationKind::ConceptMention { concept, kind } => Some((a, concept, kind)),
+            _ => None,
+        })
+    }
+
+    /// Detected language of a segment, if the detector ran.
+    pub fn language_of(&self, segment: SegmentId) -> Option<DetectedLang> {
+        let seg = self.segments.get(segment.0)?;
+        self.annotations.iter().find_map(|a| match a.kind {
+            AnnotationKind::LanguageSpan { lang }
+                if a.begin == seg.begin && a.end == seg.end =>
+            {
+                Some(lang)
+            }
+            _ => None,
+        })
+    }
+
+    /// Offsets of stopword-annotated spans (for filtering tokens).
+    pub fn stopword_spans(&self) -> Vec<(usize, usize)> {
+        self.annotations
+            .iter()
+            .filter(|a| matches!(a.kind, AnnotationKind::Stopword))
+            .map(|a| (a.begin, a.end))
+            .collect()
+    }
+
+    /// Remove all annotations (e.g. to re-run a pipeline).
+    pub fn clear_annotations(&mut self) {
+        self.annotations.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cas() -> Cas {
+        let mut c = Cas::new();
+        c.add_segment("mechanic_report", "radio turns off");
+        c.add_segment("supplier_report", "Kontakt defekt");
+        c.part_id = Some("P07".into());
+        c.error_code = Some("E1234".into());
+        c
+    }
+
+    #[test]
+    fn segments_and_text() {
+        let c = cas();
+        assert_eq!(c.text(), "radio turns off\nKontakt defekt");
+        assert_eq!(c.segments().len(), 2);
+        let m = c.segment("mechanic_report").unwrap();
+        assert_eq!(&c.text()[m.begin..m.end], "radio turns off");
+        let s = c.segment("supplier_report").unwrap();
+        assert_eq!(&c.text()[s.begin..s.end], "Kontakt defekt");
+        assert!(c.segment("final_report").is_none());
+    }
+
+    #[test]
+    fn segment_at_offset() {
+        let c = cas();
+        assert_eq!(c.segment_at(0).unwrap().name, "mechanic_report");
+        assert_eq!(c.segment_at(20).unwrap().name, "supplier_report");
+        assert!(c.segment_at(500).is_none());
+    }
+
+    #[test]
+    fn annotations_roundtrip() {
+        let mut c = cas();
+        c.add_annotation(Annotation::new(
+            0,
+            5,
+            AnnotationKind::Token {
+                normalized: "radio".into(),
+            },
+        ));
+        c.add_annotation(Annotation::new(6, 11, AnnotationKind::Stopword));
+        assert_eq!(c.annotations().len(), 2);
+        assert_eq!(c.tokens().count(), 1);
+        assert_eq!(c.token_norms(), vec!["radio"]);
+        assert_eq!(c.covered_text(&c.annotations()[0]), "radio");
+        assert_eq!(c.stopword_spans(), vec![(6, 11)]);
+        assert_eq!(c.annotations_of("Token").count(), 1);
+        c.clear_annotations();
+        assert!(c.annotations().is_empty());
+    }
+
+    #[test]
+    fn concept_mentions_filter() {
+        let mut c = cas();
+        c.add_annotation(Annotation::new(
+            0,
+            5,
+            AnnotationKind::ConceptMention {
+                concept: ConceptId(9),
+                kind: ConceptKind::Component,
+            },
+        ));
+        let ms: Vec<_> = c.concept_mentions().collect();
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].1, ConceptId(9));
+        assert_eq!(ms[0].2, ConceptKind::Component);
+    }
+
+    #[test]
+    fn language_lookup() {
+        let mut c = cas();
+        let seg = c.segment("supplier_report").unwrap().clone();
+        c.add_annotation(Annotation::new(
+            seg.begin,
+            seg.end,
+            AnnotationKind::LanguageSpan {
+                lang: DetectedLang::De,
+            },
+        ));
+        assert_eq!(c.language_of(seg.id), Some(DetectedLang::De));
+        assert_eq!(c.language_of(SegmentId(0)), None);
+    }
+
+    #[test]
+    fn enclosure() {
+        let outer = Annotation::new(0, 10, AnnotationKind::Stopword);
+        let inner = Annotation::new(2, 8, AnnotationKind::Stopword);
+        assert!(outer.encloses(&inner));
+        assert!(!inner.encloses(&outer));
+        assert!(outer.encloses(&outer));
+    }
+
+    #[test]
+    fn empty_cas() {
+        let c = Cas::new();
+        assert_eq!(c.text(), "");
+        assert!(c.segments().is_empty());
+        assert!(c.segment_at(0).is_none());
+    }
+}

@@ -1,0 +1,221 @@
+//! Analysis engines and pipelines — the UIMA execution model in miniature.
+//!
+//! "These pipelines are composed of Analysis Engines containing annotators
+//! with single text analytics functionalities" (paper §4.5.2). An engine
+//! reads the CAS, adds annotations, and passes it on. The pipeline is the
+//! ordered composition; QATK's standard order is tokenizer → language
+//! detector → (stopword annotator) → concept annotator.
+
+use std::fmt;
+
+use crate::cas::Cas;
+
+/// Errors produced by analysis engines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TextError {
+    /// An engine needs annotations a previous engine should have produced.
+    MissingPrerequisite {
+        engine: String,
+        requires: &'static str,
+    },
+    /// Engine-specific failure.
+    Engine { engine: String, message: String },
+}
+
+impl fmt::Display for TextError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TextError::MissingPrerequisite { engine, requires } => {
+                write!(f, "engine `{engine}` requires `{requires}` annotations")
+            }
+            TextError::Engine { engine, message } => {
+                write!(f, "engine `{engine}` failed: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TextError {}
+
+pub type Result<T> = std::result::Result<T, TextError>;
+
+/// One annotator.
+pub trait AnalysisEngine: Send + Sync {
+    /// Stable engine name for diagnostics.
+    fn name(&self) -> &str;
+
+    /// Process one CAS, adding annotations in place.
+    fn process(&self, cas: &mut Cas) -> Result<()>;
+}
+
+/// An ordered composition of engines.
+pub struct Pipeline {
+    engines: Vec<Box<dyn AnalysisEngine>>,
+}
+
+impl Pipeline {
+    /// Start building a pipeline.
+    pub fn builder() -> PipelineBuilder {
+        PipelineBuilder {
+            engines: Vec::new(),
+        }
+    }
+
+    /// Run every engine over one CAS, in order.
+    pub fn process(&self, cas: &mut Cas) -> Result<()> {
+        for engine in &self.engines {
+            engine.process(cas)?;
+        }
+        Ok(())
+    }
+
+    /// Run over a batch of CASes.
+    pub fn process_all<'a>(
+        &self,
+        cases: impl IntoIterator<Item = &'a mut Cas>,
+    ) -> Result<usize> {
+        let mut n = 0;
+        for cas in cases {
+            self.process(cas)?;
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Engine names in execution order.
+    pub fn engine_names(&self) -> Vec<&str> {
+        self.engines.iter().map(|e| e.name()).collect()
+    }
+
+    /// Number of engines.
+    pub fn len(&self) -> usize {
+        self.engines.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.engines.is_empty()
+    }
+}
+
+impl fmt::Debug for Pipeline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Pipeline")
+            .field("engines", &self.engine_names())
+            .finish()
+    }
+}
+
+/// Builder for [`Pipeline`].
+pub struct PipelineBuilder {
+    engines: Vec<Box<dyn AnalysisEngine>>,
+}
+
+impl PipelineBuilder {
+    /// Append an engine.
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(mut self, engine: impl AnalysisEngine + 'static) -> Self {
+        self.engines.push(Box::new(engine));
+        self
+    }
+
+    /// Append a boxed engine (for dynamically assembled pipelines).
+    pub fn add_boxed(mut self, engine: Box<dyn AnalysisEngine>) -> Self {
+        self.engines.push(engine);
+        self
+    }
+
+    pub fn build(self) -> Pipeline {
+        Pipeline {
+            engines: self.engines,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cas::{Annotation, AnnotationKind};
+
+    struct Upcount;
+    impl AnalysisEngine for Upcount {
+        fn name(&self) -> &str {
+            "upcount"
+        }
+        fn process(&self, cas: &mut Cas) -> Result<()> {
+            let end = cas.text().len().min(1);
+            cas.add_annotation(Annotation::new(0, end, AnnotationKind::Stopword));
+            Ok(())
+        }
+    }
+
+    struct Failing;
+    impl AnalysisEngine for Failing {
+        fn name(&self) -> &str {
+            "failing"
+        }
+        fn process(&self, _cas: &mut Cas) -> Result<()> {
+            Err(TextError::Engine {
+                engine: "failing".into(),
+                message: "boom".into(),
+            })
+        }
+    }
+
+    fn cas() -> Cas {
+        let mut c = Cas::new();
+        c.add_segment("r", "some text");
+        c
+    }
+
+    #[test]
+    fn pipeline_runs_in_order() {
+        let p = Pipeline::builder().add(Upcount).add(Upcount).build();
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.engine_names(), vec!["upcount", "upcount"]);
+        let mut c = cas();
+        p.process(&mut c).unwrap();
+        assert_eq!(c.annotations().len(), 2);
+    }
+
+    #[test]
+    fn pipeline_stops_on_error() {
+        let p = Pipeline::builder().add(Failing).add(Upcount).build();
+        let mut c = cas();
+        let err = p.process(&mut c).unwrap_err();
+        assert!(matches!(err, TextError::Engine { .. }));
+        assert!(c.annotations().is_empty());
+    }
+
+    #[test]
+    fn process_all_counts() {
+        let p = Pipeline::builder().add(Upcount).build();
+        let mut cases = vec![cas(), cas(), cas()];
+        let n = p.process_all(cases.iter_mut()).unwrap();
+        assert_eq!(n, 3);
+        for c in &cases {
+            assert_eq!(c.annotations().len(), 1);
+        }
+    }
+
+    #[test]
+    fn boxed_engines_and_debug() {
+        let p = Pipeline::builder().add_boxed(Box::new(Upcount)).build();
+        assert!(!p.is_empty());
+        let dbg = format!("{p:?}");
+        assert!(dbg.contains("upcount"));
+    }
+
+    #[test]
+    fn error_display() {
+        let e = TextError::MissingPrerequisite {
+            engine: "concepts".into(),
+            requires: "Token",
+        };
+        assert!(e.to_string().contains("Token"));
+        let e = TextError::Engine {
+            engine: "x".into(),
+            message: "y".into(),
+        };
+        assert!(e.to_string().contains("y"));
+    }
+}

@@ -1,0 +1,201 @@
+//! Per-segment language recognition for German/English code-switched reports.
+//!
+//! The paper's pipeline runs "Tokenization and Language Recognition" before
+//! concept annotation (§4.4); reports are "mostly a mix of German and
+//! English" (§3.2). This detector scores each segment with two lightweight,
+//! language-independent-to-compute signals: stopword hits and characteristic
+//! character patterns — no external models, as befits the thin-NLP
+//! constraint.
+
+use crate::cas::{Annotation, AnnotationKind, Cas, DetectedLang};
+use crate::engine::{AnalysisEngine, Result};
+use crate::stopwords::{ENGLISH, GERMAN};
+
+/// Character n-grams that are strong cues for each language (checked on
+/// normalized text, so umlauts appear as ae/oe/ue).
+const DE_PATTERNS: &[&str] = &[
+    "sch", "cht", "ung", "kei", "ief", "tz", "pf", "zw", "ae", "oe", "ue", "ss",
+];
+const EN_PATTERNS: &[&str] = &["th", "ing", "tion", "gh", "wh", "ck", "sh", "ey", "ou"];
+
+/// Scores for one text: higher wins.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LangScores {
+    pub de: f64,
+    pub en: f64,
+}
+
+impl LangScores {
+    /// Decide with a margin: if the scores are too close (or both ~0) report
+    /// `Unknown` rather than guessing.
+    pub fn decide(&self, margin: f64) -> DetectedLang {
+        if self.de < 1e-9 && self.en < 1e-9 {
+            return DetectedLang::Unknown;
+        }
+        if self.de > self.en * (1.0 + margin) {
+            DetectedLang::De
+        } else if self.en > self.de * (1.0 + margin) {
+            DetectedLang::En
+        } else {
+            DetectedLang::Unknown
+        }
+    }
+}
+
+/// Score a normalized token stream.
+pub fn score_tokens<'a>(tokens: impl Iterator<Item = &'a str>) -> LangScores {
+    let mut de = 0.0;
+    let mut en = 0.0;
+    let mut n = 0usize;
+    for tok in tokens {
+        n += 1;
+        // Stopword evidence is the strongest signal (weight 3).
+        if GERMAN.contains(&tok) {
+            de += 3.0;
+        }
+        if ENGLISH.contains(&tok) {
+            en += 3.0;
+        }
+        for p in DE_PATTERNS {
+            if tok.contains(p) {
+                de += 1.0;
+            }
+        }
+        for p in EN_PATTERNS {
+            if tok.contains(p) {
+                en += 1.0;
+            }
+        }
+    }
+    if n == 0 {
+        return LangScores { de: 0.0, en: 0.0 };
+    }
+    LangScores {
+        de: de / n as f64,
+        en: en / n as f64,
+    }
+}
+
+/// Engine annotating every segment with a [`AnnotationKind::LanguageSpan`].
+/// Requires tokens.
+#[derive(Debug, Clone, Copy)]
+pub struct LanguageDetector {
+    /// Relative margin one language must lead by; below it → `Unknown`.
+    pub margin: f64,
+}
+
+impl Default for LanguageDetector {
+    fn default() -> Self {
+        LanguageDetector { margin: 0.15 }
+    }
+}
+
+impl LanguageDetector {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Detect the language of a free-standing text (utility entry point for
+    /// callers outside a pipeline, e.g. the NHTSA comparison path).
+    pub fn detect_text(&self, text: &str) -> DetectedLang {
+        let toks = qatk_taxonomy::normalize::normalize_phrase(text);
+        score_tokens(toks.iter().map(String::as_str)).decide(self.margin)
+    }
+}
+
+impl AnalysisEngine for LanguageDetector {
+    fn name(&self) -> &str {
+        "language-detector"
+    }
+
+    fn process(&self, cas: &mut Cas) -> Result<()> {
+        let mut spans = Vec::with_capacity(cas.segments().len());
+        for seg in cas.segments() {
+            let scores = score_tokens(cas.annotations().iter().filter_map(|a| match &a.kind {
+                AnnotationKind::Token { normalized }
+                    if a.begin >= seg.begin && a.end <= seg.end =>
+                {
+                    Some(normalized.as_str())
+                }
+                _ => None,
+            }));
+            spans.push(Annotation::new(
+                seg.begin,
+                seg.end,
+                AnnotationKind::LanguageSpan {
+                    lang: scores.decide(self.margin),
+                },
+            ));
+        }
+        for s in spans {
+            cas.add_annotation(s);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenizer::WhitespaceTokenizer;
+
+    #[test]
+    fn detects_german() {
+        let d = LanguageDetector::new();
+        assert_eq!(
+            d.detect_text("Der Lüfter funktioniert nicht, Kontakt ist defekt und durchgeschmort"),
+            DetectedLang::De
+        );
+    }
+
+    #[test]
+    fn detects_english() {
+        let d = LanguageDetector::new();
+        assert_eq!(
+            d.detect_text("the radio turns on and off by itself, crackling sound from the speaker"),
+            DetectedLang::En
+        );
+    }
+
+    #[test]
+    fn empty_is_unknown() {
+        let d = LanguageDetector::new();
+        assert_eq!(d.detect_text(""), DetectedLang::Unknown);
+        assert_eq!(d.detect_text("12345 9921"), DetectedLang::Unknown);
+    }
+
+    #[test]
+    fn per_segment_annotation() {
+        let mut cas = Cas::new();
+        let de = cas.add_segment(
+            "supplier_report",
+            "Der Kontakt ist defekt und durchgeschmort, die Einheit wurde geprüft",
+        );
+        let en = cas.add_segment(
+            "mechanic_report",
+            "the client says that the radio turns on and off by itself",
+        );
+        WhitespaceTokenizer::new().process(&mut cas).unwrap();
+        LanguageDetector::new().process(&mut cas).unwrap();
+        assert_eq!(cas.language_of(de), Some(DetectedLang::De));
+        assert_eq!(cas.language_of(en), Some(DetectedLang::En));
+    }
+
+    #[test]
+    fn mixed_or_ambiguous_is_unknown() {
+        // equal pull in both directions with tiny evidence
+        let scores = LangScores { de: 0.5, en: 0.5 };
+        assert_eq!(scores.decide(0.15), DetectedLang::Unknown);
+        let scores = LangScores { de: 0.0, en: 0.0 };
+        assert_eq!(scores.decide(0.15), DetectedLang::Unknown);
+    }
+
+    #[test]
+    fn score_tokens_scale_invariant() {
+        let short = score_tokens(["der", "luefter"].into_iter());
+        let long = score_tokens(
+            ["der", "luefter", "der", "luefter", "der", "luefter"].into_iter(),
+        );
+        assert!((short.de - long.de).abs() < 1e-9);
+    }
+}

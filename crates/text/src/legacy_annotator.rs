@@ -1,0 +1,186 @@
+//! The legacy taxonomy annotator, reconstructed for the coverage comparison.
+//!
+//! The paper measures its optimized annotator against legacy closed-source
+//! code whose recall was poor: "the original taxonomy annotator does not
+//! recognize any taxonomy concepts in 2530 out of the 7500 data bundles"
+//! (§4.5.3). The legacy behaviour this module reproduces:
+//!
+//! * **case-sensitive exact matching** of raw surface terms (no
+//!   normalization, so "Lüfter" ≠ "lüfter" ≠ "LUEFTER"),
+//! * **single-word terms only** (multiwords were "not correctly captured"),
+//! * **one language** (the annotator was not multilingual),
+//! * **primary labels only** — the legacy code predates the synonym
+//!   expansion, so only each concept's first term per language matches.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use qatk_taxonomy::concept::{ConceptId, ConceptKind, Lang};
+use qatk_taxonomy::taxonomy::Taxonomy;
+
+use crate::cas::{Annotation, AnnotationKind, Cas};
+use crate::engine::{AnalysisEngine, Result};
+
+/// The low-recall legacy annotator.
+#[derive(Debug, Clone)]
+pub struct LegacyAnnotator {
+    /// raw term text -> (concept, kind); single-word terms of one language.
+    terms: Arc<HashMap<String, (ConceptId, ConceptKind)>>,
+    emit: Vec<ConceptKind>,
+}
+
+impl LegacyAnnotator {
+    /// Build for one language (the legacy code was configured per language).
+    pub fn new(taxonomy: &Taxonomy, lang: Lang) -> Self {
+        Self::with_kinds(
+            taxonomy,
+            lang,
+            &[ConceptKind::Component, ConceptKind::Symptom],
+        )
+    }
+
+    pub fn with_kinds(taxonomy: &Taxonomy, lang: Lang, emit: &[ConceptKind]) -> Self {
+        let mut terms = HashMap::new();
+        let mut seen_concepts = std::collections::HashSet::new();
+        for (term, concept) in taxonomy.term_entries() {
+            if term.lang != lang {
+                continue;
+            }
+            // legacy: only the primary label per concept, no synonyms
+            if !seen_concepts.insert(concept.id) {
+                continue;
+            }
+            if term.text.contains(char::is_whitespace) {
+                continue; // legacy: multiwords not handled
+            }
+            terms
+                .entry(term.text.clone())
+                .or_insert((concept.id, concept.kind));
+        }
+        LegacyAnnotator {
+            terms: Arc::new(terms),
+            emit: emit.to_vec(),
+        }
+    }
+
+    /// Number of matchable surface forms.
+    pub fn entry_count(&self) -> usize {
+        self.terms.len()
+    }
+}
+
+impl AnalysisEngine for LegacyAnnotator {
+    fn name(&self) -> &str {
+        "legacy-annotator"
+    }
+
+    fn process(&self, cas: &mut Cas) -> Result<()> {
+        let mut out = Vec::new();
+        for ann in cas.annotations() {
+            if !matches!(ann.kind, AnnotationKind::Token { .. }) {
+                continue;
+            }
+            // raw covered text, case-sensitive
+            let surface = cas.covered_text(ann);
+            if let Some(&(concept, kind)) = self.terms.get(surface) {
+                if self.emit.contains(&kind) {
+                    out.push(Annotation::new(
+                        ann.begin,
+                        ann.end,
+                        AnnotationKind::ConceptMention { concept, kind },
+                    ));
+                }
+            }
+        }
+        for ann in out {
+            cas.add_annotation(ann);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenizer::WhitespaceTokenizer;
+    use qatk_taxonomy::builder::TaxonomyBuilder;
+
+    fn taxonomy() -> (Taxonomy, ConceptId) {
+        let mut b = TaxonomyBuilder::new("t");
+        let comp = b.root(ConceptKind::Component, "Component");
+        let fan = b.child(comp, "Fan");
+        b.term(fan, Lang::De, "Lüfter");
+        b.term(fan, Lang::De, "Gebläse");
+        b.term(fan, Lang::En, "fan");
+        b.term(fan, Lang::En, "cooling fan"); // multiword: legacy skips
+        (b.build().unwrap(), fan)
+    }
+
+    fn run(text: &str, lang: Lang) -> (Cas, ConceptId) {
+        let (tax, fan) = taxonomy();
+        let mut cas = Cas::new();
+        cas.add_segment("r", text);
+        WhitespaceTokenizer::new().process(&mut cas).unwrap();
+        LegacyAnnotator::new(&tax, lang).process(&mut cas).unwrap();
+        (cas, fan)
+    }
+
+    #[test]
+    fn exact_case_sensitive_match() {
+        let (cas, fan) = run("Der Lüfter ist defekt", Lang::De);
+        let ms: Vec<_> = cas.concept_mentions().collect();
+        assert_eq!(ms.len(), 1);
+        assert_eq!(ms[0].1, fan);
+    }
+
+    #[test]
+    fn wrong_case_misses() {
+        let (cas, _) = run("der lüfter ist defekt", Lang::De);
+        assert_eq!(cas.concept_mentions().count(), 0);
+        let (cas, _) = run("LÜFTER defekt", Lang::De);
+        assert_eq!(cas.concept_mentions().count(), 0);
+    }
+
+    #[test]
+    fn umlaut_transcription_misses() {
+        // the optimized annotator finds this; legacy does not
+        let (cas, _) = run("Luefter defekt", Lang::De);
+        assert_eq!(cas.concept_mentions().count(), 0);
+    }
+
+    #[test]
+    fn other_language_misses() {
+        let (cas, _) = run("fan broken", Lang::De);
+        assert_eq!(cas.concept_mentions().count(), 0);
+        let (cas, fan) = run("fan broken", Lang::En);
+        assert_eq!(cas.concept_mentions().count(), 1);
+        assert_eq!(cas.concept_mentions().next().unwrap().1, fan);
+    }
+
+    #[test]
+    fn multiwords_not_captured() {
+        let (tax, _) = taxonomy();
+        let ann = LegacyAnnotator::new(&tax, Lang::En);
+        // "cooling fan" is excluded from the term table…
+        assert_eq!(ann.entry_count(), 1);
+        // …so the phrase only matches via the single word "fan".
+        let mut cas = Cas::new();
+        cas.add_segment("r", "cooling fan rattles");
+        WhitespaceTokenizer::new().process(&mut cas).unwrap();
+        ann.process(&mut cas).unwrap();
+        let ms: Vec<_> = cas.concept_mentions().collect();
+        assert_eq!(ms.len(), 1);
+        assert_eq!(cas.covered_text(ms[0].0), "fan");
+    }
+
+    #[test]
+    fn kind_filter_applies() {
+        let (tax, _) = taxonomy();
+        let ann = LegacyAnnotator::with_kinds(&tax, Lang::En, &[ConceptKind::Symptom]);
+        let mut cas = Cas::new();
+        cas.add_segment("r", "fan broken");
+        WhitespaceTokenizer::new().process(&mut cas).unwrap();
+        ann.process(&mut cas).unwrap();
+        assert_eq!(cas.concept_mentions().count(), 0);
+    }
+}

@@ -1,0 +1,70 @@
+//! # qatk-text — UIMA-like text analytics substrate
+//!
+//! The paper builds QATK "on the Java version of the open-source Apache
+//! standard UIMA", composing "modular linguistic processing pipelines" of
+//! Analysis Engines over a Common Analysis Structure (§4.5.2). This crate is
+//! that architecture in Rust:
+//!
+//! * [`cas`] — the CAS: segment-structured document text + typed span
+//!   annotations, one CAS per data bundle;
+//! * [`engine`] — the [`engine::AnalysisEngine`] trait and [`engine::Pipeline`];
+//! * [`tokenizer`] — the custom whitespace/punctuation tokenizer;
+//! * [`langdetect`] — per-segment German/English recognition;
+//! * [`stopwords`] — DE/EN stopword lists + annotator (paper §5.2.2);
+//! * [`stemmer`] + [`sentences`] — light DE/EN suffix stemmer and a
+//!   workshop-prose-aware sentence splitter (the paper's §6 "more
+//!   linguistic preprocessing" future work);
+//! * [`concept_annotator`] — the optimized trie-based, multilingual,
+//!   longest-match taxonomy annotator (paper §4.5.3);
+//! * [`legacy_annotator`] — the low-recall legacy matcher the paper compares
+//!   coverage against.
+//!
+//! ## Standard QATK pipeline
+//!
+//! ```
+//! use qatk_text::prelude::*;
+//! use qatk_taxonomy::prelude::*;
+//!
+//! let mut b = TaxonomyBuilder::new("demo");
+//! let fan = b.root(ConceptKind::Component, "Fan");
+//! b.term(fan, Lang::De, "Lüfter");
+//!
+//! let taxonomy = b.build().unwrap();
+//! let pipeline = Pipeline::builder()
+//!     .add(WhitespaceTokenizer::new())
+//!     .add(LanguageDetector::new())
+//!     .add(ConceptAnnotator::new(&taxonomy))
+//!     .build();
+//!
+//! let mut cas = Cas::new();
+//! cas.add_segment("supplier_report", "Lüfter funktioniert nicht.");
+//! pipeline.process(&mut cas).unwrap();
+//! assert_eq!(cas.concept_mentions().count(), 1);
+//! ```
+
+pub mod cas;
+pub mod concept_annotator;
+pub mod engine;
+pub mod langdetect;
+pub mod legacy_annotator;
+pub mod sentences;
+pub mod stemmer;
+pub mod stopwords;
+pub mod tokenizer;
+
+/// Convenient glob-import surface.
+pub mod prelude {
+    pub use crate::cas::{
+        Annotation, AnnotationKind, Cas, DetectedLang, Segment, SegmentId,
+    };
+    pub use crate::concept_annotator::ConceptAnnotator;
+    pub use crate::engine::{AnalysisEngine, Pipeline, PipelineBuilder, TextError};
+    pub use crate::langdetect::{score_tokens, LangScores, LanguageDetector};
+    pub use crate::legacy_annotator::LegacyAnnotator;
+    pub use crate::sentences::SentenceSplitter;
+    pub use crate::stemmer::{stem, StemAnnotator};
+    pub use crate::stopwords::{StopwordAnnotator, StopwordList};
+    pub use crate::tokenizer::WhitespaceTokenizer;
+}
+
+pub use prelude::*;

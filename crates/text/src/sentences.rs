@@ -1,0 +1,200 @@
+//! Sentence segmentation — part of the "more linguistic preprocessing" the
+//! paper's §6 future work calls for, and a prerequisite for any downstream
+//! engine that needs sentence scope (negation handling, cause/effect
+//! extraction à la [17]).
+//!
+//! Workshop prose is not newswire: sentences are clipped, punctuation is
+//! often missing, and abbreviations with trailing periods ("def.", "funkt.",
+//! "z.b.") are everywhere. The splitter therefore treats `.`, `!`, `?` and
+//! newlines as boundaries, but *not* after a known abbreviation or a
+//! single-letter/numeric token, and never splits inside a segment-less run
+//! without terminal punctuation (the rest of the segment is one sentence).
+
+use crate::cas::{Annotation, AnnotationKind, Cas};
+use crate::engine::{AnalysisEngine, Result};
+
+/// Abbreviation stems (lowercased, without the trailing period) that must
+/// not terminate a sentence. Mirrors [`crate::stopwords`]-style closed lists.
+const ABBREVIATIONS: &[&str] = &[
+    "def", "funkt", "chk", "repl", "cust", "acc", "ers", "kont", "bt", "fzg", "veh", "intermit",
+    "spor", "z.b", "u.a", "ca", "nr", "no", "vgl", "ggf", "evtl", "i.o", "n",
+];
+
+/// The sentence annotator: adds one `Sentence`-kind annotation per sentence
+/// and segment. Runs on raw text; does not require tokens.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SentenceSplitter;
+
+impl SentenceSplitter {
+    pub fn new() -> Self {
+        SentenceSplitter
+    }
+
+    /// Split a text into sentence byte ranges (relative to the text).
+    pub fn split_ranges(text: &str) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        let mut start: Option<usize> = None;
+        let bytes = text.char_indices().collect::<Vec<_>>();
+        let mut i = 0usize;
+        while i < bytes.len() {
+            let (off, c) = bytes[i];
+            if c.is_whitespace() && start.is_none() {
+                i += 1;
+                continue;
+            }
+            if start.is_none() {
+                start = Some(off);
+            }
+            let is_terminal = matches!(c, '!' | '?' | '\n')
+                || (c == '.' && !ends_with_abbreviation(text, off));
+            if is_terminal {
+                let s = start.take().expect("open sentence");
+                let end = if c == '\n' { off } else { off + c.len_utf8() };
+                // punctuation-only runs ("...") are noise, not sentences
+                if text[s..end].chars().any(char::is_alphanumeric) {
+                    out.push((s, end));
+                }
+            }
+            i += 1;
+        }
+        if let Some(s) = start {
+            if text[s..].chars().any(char::is_alphanumeric) {
+                out.push((s, text.len()));
+            }
+        }
+        out
+    }
+}
+
+/// Is the period at byte `dot` part of an abbreviation ("def.", "z.b.") or a
+/// number ("4.")?
+fn ends_with_abbreviation(text: &str, dot: usize) -> bool {
+    let before = &text[..dot];
+    let word_start = before
+        .rfind(|c: char| c.is_whitespace())
+        .map(|i| i + 1)
+        .unwrap_or(0);
+    let word = before[word_start..].to_lowercase();
+    if word.is_empty() {
+        return false;
+    }
+    // single letters and digits don't end sentences ("type 4. generation")
+    if word.chars().count() == 1 || word.chars().all(|c| c.is_ascii_digit()) {
+        return true;
+    }
+    ABBREVIATIONS.contains(&word.as_str())
+}
+
+impl AnalysisEngine for SentenceSplitter {
+    fn name(&self) -> &str {
+        "sentence-splitter"
+    }
+
+    fn process(&self, cas: &mut Cas) -> Result<()> {
+        let mut pending = Vec::new();
+        for seg in cas.segments() {
+            let seg_text = &cas.text()[seg.begin..seg.end];
+            for (s, e) in Self::split_ranges(seg_text) {
+                pending.push(Annotation::new(
+                    seg.begin + s,
+                    seg.begin + e,
+                    AnnotationKind::Sentence,
+                ));
+            }
+        }
+        for a in pending {
+            cas.add_annotation(a);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn split(text: &str) -> Vec<&str> {
+        SentenceSplitter::split_ranges(text)
+            .into_iter()
+            .map(|(s, e)| &text[s..e])
+            .collect()
+    }
+
+    #[test]
+    fn splits_on_terminal_punctuation() {
+        let s = split("Unit non-functional. Kontakt defekt! Works now?");
+        assert_eq!(
+            s,
+            vec!["Unit non-functional.", "Kontakt defekt!", "Works now?"]
+        );
+    }
+
+    #[test]
+    fn missing_final_punctuation_keeps_tail() {
+        let s = split("first sentence. second without end");
+        assert_eq!(s, vec!["first sentence.", "second without end"]);
+    }
+
+    #[test]
+    fn abbreviations_do_not_split() {
+        let s = split("Teil def. und durchgeschmort. Ersatz bestellt.");
+        assert_eq!(
+            s,
+            vec!["Teil def. und durchgeschmort.", "Ersatz bestellt."]
+        );
+        let s = split("funkt. nicht mehr. ok.");
+        assert_eq!(s, vec!["funkt. nicht mehr.", "ok."]);
+    }
+
+    #[test]
+    fn numbers_and_initials_do_not_split() {
+        let s = split("type 4. generation radio. replaced.");
+        assert_eq!(s, vec!["type 4. generation radio.", "replaced."]);
+        let s = split("part A. checked fully.");
+        assert_eq!(s, vec!["part A. checked fully."]);
+    }
+
+    #[test]
+    fn newline_is_a_boundary() {
+        let s = split("line one\nline two");
+        assert_eq!(s, vec!["line one", "line two"]);
+    }
+
+    #[test]
+    fn empty_and_whitespace() {
+        assert!(split("").is_empty());
+        assert!(split("   \n  ").is_empty());
+        assert_eq!(split("..."), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn annotator_per_segment() {
+        let mut cas = Cas::new();
+        cas.add_segment("mechanic_report", "Radio dead. Smell noticed.");
+        cas.add_segment("supplier_report", "Kontakt defekt.");
+        SentenceSplitter::new().process(&mut cas).unwrap();
+        let sentences: Vec<&str> = cas
+            .annotations()
+            .iter()
+            .filter(|a| matches!(a.kind, AnnotationKind::Sentence))
+            .map(|a| cas.covered_text(a))
+            .collect();
+        assert_eq!(
+            sentences,
+            vec!["Radio dead.", "Smell noticed.", "Kontakt defekt."]
+        );
+        // sentences never straddle segment boundaries
+        for a in cas.annotations() {
+            if matches!(a.kind, AnnotationKind::Sentence) {
+                let seg = cas.segment_at(a.begin).unwrap();
+                assert!(a.end <= seg.end);
+            }
+        }
+    }
+
+    #[test]
+    fn umlauts_in_sentences() {
+        let s = split("Lüfter prüfen. Gehäuse öffnen.");
+        assert_eq!(s, vec!["Lüfter prüfen.", "Gehäuse öffnen."]);
+    }
+}

@@ -1,0 +1,243 @@
+//! Light suffix-stripping stemmer for German and English.
+//!
+//! The paper lists "introducing more linguistic preprocessing" as future
+//! work (§6) — this module is that extension: a conservative, dictionary-free
+//! stemmer in the spirit of Porter/Snowball, tuned for the inflection
+//! patterns that actually occur in workshop reports ("funktioniert /
+//! funktionieren", "melted / melting", "defekte / defekter"). It operates on
+//! *normalized* tokens (lowercase, umlauts folded — see
+//! [`qatk_taxonomy::normalize`]).
+
+use crate::cas::{Annotation, AnnotationKind, Cas, DetectedLang};
+use crate::engine::{AnalysisEngine, Result};
+
+/// Minimum stem length left after stripping; shorter results are rejected
+/// and the token kept whole (protects short high-information tokens).
+const MIN_STEM: usize = 4;
+
+/// English inflection suffixes, longest first.
+const EN_SUFFIXES: &[&str] = &[
+    "ements", "ations", "ingly", "ation", "ement", "ings", "ning", "ally", "edly", "ies", "ing",
+    "ed", "es", "ly", "s",
+];
+
+/// German inflection suffixes, longest first (on normalized text, so "ß" is
+/// already "ss" and umlauts are digraphs).
+const DE_SUFFIXES: &[&str] = &[
+    "igkeit", "heiten", "keiten", "lichen", "ungen", "erung", "ung", "ten", "en", "er", "es",
+    "em", "st", "te", "e", "n", "s", "t",
+];
+
+/// Strip suffixes repeatedly until none applies (fixpoint). Iterating makes
+/// conflation *consistent*: "defekt", "defekte" and "defekter" all reach the
+/// same stem, which single-pass stripping cannot guarantee.
+fn strip(token: &str, suffixes: &[&str]) -> String {
+    let mut cur = token.to_owned();
+    'outer: loop {
+        for suf in suffixes {
+            if let Some(stem) = cur.strip_suffix(suf) {
+                if stem.chars().count() >= MIN_STEM {
+                    cur = stem.to_owned();
+                    continue 'outer;
+                }
+            }
+        }
+        return cur;
+    }
+}
+
+/// Stem one normalized token under a language assumption.
+pub fn stem(token: &str, lang: DetectedLang) -> String {
+    // never touch tokens with digits or hyphens: part numbers, spec
+    // references and OEM jargon must stay intact
+    if token.chars().any(|c| c.is_ascii_digit() || c == '-') {
+        return token.to_owned();
+    }
+    match lang {
+        DetectedLang::En => strip(token, EN_SUFFIXES),
+        DetectedLang::De => strip(token, DE_SUFFIXES),
+        // unknown language: try German first (longer suffixes), then English
+        DetectedLang::Unknown => {
+            let de = strip(token, DE_SUFFIXES);
+            if de.len() < token.len() {
+                de
+            } else {
+                strip(token, EN_SUFFIXES)
+            }
+        }
+    }
+}
+
+/// Engine that re-normalizes every token annotation to its stem, using the
+/// segment language where the language detector provided one. Run it after
+/// the tokenizer (and detector) and before feature extraction.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StemAnnotator;
+
+impl StemAnnotator {
+    pub fn new() -> Self {
+        StemAnnotator
+    }
+}
+
+impl AnalysisEngine for StemAnnotator {
+    fn name(&self) -> &str {
+        "stem-annotator"
+    }
+
+    fn process(&self, cas: &mut Cas) -> Result<()> {
+        // language per segment (Unknown when the detector did not run)
+        let seg_langs: Vec<(usize, usize, DetectedLang)> = cas
+            .segments()
+            .iter()
+            .map(|s| {
+                (
+                    s.begin,
+                    s.end,
+                    cas.language_of(s.id).unwrap_or(DetectedLang::Unknown),
+                )
+            })
+            .collect();
+        let lang_at = |off: usize| {
+            seg_langs
+                .iter()
+                .find(|&&(b, e, _)| b <= off && off < e.max(b + 1))
+                .map(|&(_, _, l)| l)
+                .unwrap_or(DetectedLang::Unknown)
+        };
+
+        let updates: Vec<Annotation> = cas
+            .annotations()
+            .iter()
+            .filter_map(|a| match &a.kind {
+                AnnotationKind::Token { normalized } => {
+                    let stemmed = stem(normalized, lang_at(a.begin));
+                    if &stemmed != normalized {
+                        Some(Annotation::new(
+                            a.begin,
+                            a.end,
+                            AnnotationKind::Token { normalized: stemmed },
+                        ))
+                    } else {
+                        None
+                    }
+                }
+                _ => None,
+            })
+            .collect();
+        if updates.is_empty() {
+            return Ok(());
+        }
+        // rewrite in place: replace matching token annotations
+        let mut rewritten = Vec::with_capacity(cas.annotations().len());
+        for a in cas.annotations() {
+            if let AnnotationKind::Token { .. } = a.kind {
+                if let Some(u) = updates.iter().find(|u| u.begin == a.begin && u.end == a.end) {
+                    rewritten.push(u.clone());
+                    continue;
+                }
+            }
+            rewritten.push(a.clone());
+        }
+        cas.clear_annotations();
+        for a in rewritten {
+            cas.add_annotation(a);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::langdetect::LanguageDetector;
+    use crate::tokenizer::WhitespaceTokenizer;
+
+    #[test]
+    fn english_inflections_collapse() {
+        assert_eq!(stem("melted", DetectedLang::En), "melt");
+        assert_eq!(stem("melting", DetectedLang::En), "melt");
+        assert_eq!(stem("crackles", DetectedLang::En), "crackl");
+        assert_eq!(stem("reports", DetectedLang::En), "report");
+        // same stem for variants
+        assert_eq!(
+            stem("melted", DetectedLang::En),
+            stem("melting", DetectedLang::En)
+        );
+    }
+
+    #[test]
+    fn german_inflections_collapse() {
+        // all inflected variants of one lemma reach the same stem
+        let variants = ["defekt", "defekte", "defekter", "defektes"];
+        let stems: Vec<String> = variants
+            .iter()
+            .map(|v| stem(v, DetectedLang::De))
+            .collect();
+        assert!(stems.windows(2).all(|w| w[0] == w[1]), "{stems:?}");
+        assert_eq!(
+            stem("funktionieren", DetectedLang::De),
+            stem("funktioniert", DetectedLang::De)
+        );
+        assert_eq!(stem("pruefungen", DetectedLang::De), "pruef");
+    }
+
+    #[test]
+    fn short_tokens_protected() {
+        assert_eq!(stem("les", DetectedLang::En), "les");
+        assert_eq!(stem("an", DetectedLang::De), "an");
+        assert_eq!(stem("fans", DetectedLang::En), "fans"); // stem would be 3 chars
+    }
+
+    #[test]
+    fn jargon_and_numbers_untouched() {
+        assert_eq!(stem("schmorka-47", DetectedLang::De), "schmorka-47");
+        assert_eq!(stem("x24i", DetectedLang::En), "x24i");
+        assert_eq!(stem("id470s", DetectedLang::De), "id470s");
+    }
+
+    #[test]
+    fn unknown_language_tries_both() {
+        // german-looking word without detector info conflates with its lemma
+        assert_eq!(
+            stem("kontakten", DetectedLang::Unknown),
+            stem("kontakt", DetectedLang::De)
+        );
+        // english-only suffix
+        assert_eq!(stem("mounting", DetectedLang::Unknown), "mount");
+    }
+
+    #[test]
+    fn annotator_rewrites_token_norms() {
+        let mut cas = Cas::new();
+        cas.add_segment("r", "the contacts melted during testing");
+        WhitespaceTokenizer::new().process(&mut cas).unwrap();
+        LanguageDetector::new().process(&mut cas).unwrap();
+        StemAnnotator::new().process(&mut cas).unwrap();
+        let norms = cas.token_norms();
+        assert!(norms.contains(&"contact"));
+        assert!(norms.contains(&"melt"));
+        assert!(norms.contains(&"test"));
+        // surface text untouched
+        assert!(cas.text().contains("contacts melted"));
+    }
+
+    #[test]
+    fn annotator_without_tokens_is_noop() {
+        let mut cas = Cas::new();
+        cas.add_segment("r", "text");
+        StemAnnotator::new().process(&mut cas).unwrap();
+        assert!(cas.annotations().is_empty());
+    }
+
+    #[test]
+    fn idempotent() {
+        let mut cas = Cas::new();
+        cas.add_segment("r", "melted contacts");
+        WhitespaceTokenizer::new().process(&mut cas).unwrap();
+        StemAnnotator::new().process(&mut cas).unwrap();
+        let first = cas.token_norms().join(" ");
+        StemAnnotator::new().process(&mut cas).unwrap();
+        assert_eq!(cas.token_norms().join(" "), first);
+    }
+}

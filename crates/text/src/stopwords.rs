@@ -1,0 +1,200 @@
+//! German and English stopword lists and the stopword annotator.
+//!
+//! The paper removes "German and English stopwords (articles and personal
+//! pronouns)" as an optional step in the bag-of-words pipeline (§5.2.2); the
+//! lists here cover those plus the most frequent closed-class function words
+//! of both languages, which is what industrial stopword lists do in practice.
+
+use std::collections::HashSet;
+
+use crate::cas::{Annotation, AnnotationKind, Cas};
+use crate::engine::{AnalysisEngine, Result};
+
+/// German stopwords (normalized: lowercase, umlauts folded).
+pub const GERMAN: &[&str] = &[
+    // articles
+    "der", "die", "das", "den", "dem", "des", "ein", "eine", "einen", "einem", "einer", "eines",
+    // personal pronouns
+    "ich", "du", "er", "sie", "es", "wir", "ihr", "mich", "dich", "ihn", "uns", "euch", "ihnen",
+    "mir", "dir", "ihm",
+    // frequent function words
+    "und", "oder", "aber", "nicht", "kein", "keine", "ist", "sind", "war", "waren", "wird",
+    "wurde", "hat", "haben", "bei", "mit", "von", "zu", "im", "am", "auf", "an", "in", "aus",
+    "nach", "vor", "fuer", "durch", "wegen", "auch", "noch", "nur", "sehr", "dann", "dass",
+    "wenn", "als", "wie", "so", "da", "hier", "dort",
+];
+
+/// English stopwords.
+pub const ENGLISH: &[&str] = &[
+    // articles
+    "the", "a", "an",
+    // personal pronouns
+    "i", "you", "he", "she", "it", "we", "they", "me", "him", "her", "us", "them",
+    // frequent function words
+    "and", "or", "but", "not", "no", "is", "are", "was", "were", "be", "been", "has", "have",
+    "had", "will", "would", "at", "by", "with", "from", "to", "in", "on", "of", "off", "for",
+    "into", "after", "before", "also", "only", "very", "then", "that", "if", "when", "as",
+    "like", "so", "there", "here", "this", "these", "its", "itself",
+];
+
+/// A compiled stopword set over normalized token forms.
+#[derive(Debug, Clone)]
+pub struct StopwordList {
+    words: HashSet<&'static str>,
+}
+
+impl StopwordList {
+    /// German + English union — the paper removes both at once since reports
+    /// are code-switched.
+    pub fn german_and_english() -> Self {
+        let words = GERMAN.iter().chain(ENGLISH.iter()).copied().collect();
+        StopwordList { words }
+    }
+
+    pub fn german() -> Self {
+        StopwordList {
+            words: GERMAN.iter().copied().collect(),
+        }
+    }
+
+    pub fn english() -> Self {
+        StopwordList {
+            words: ENGLISH.iter().copied().collect(),
+        }
+    }
+
+    /// Is the (already normalized) token a stopword?
+    pub fn contains(&self, normalized: &str) -> bool {
+        self.words.contains(normalized)
+    }
+
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+}
+
+/// Engine that marks stopword tokens with [`AnnotationKind::Stopword`] spans.
+/// Requires tokens (run the tokenizer first).
+#[derive(Debug, Clone)]
+pub struct StopwordAnnotator {
+    list: StopwordList,
+}
+
+impl Default for StopwordAnnotator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StopwordAnnotator {
+    /// Annotator over the combined German+English list.
+    pub fn new() -> Self {
+        StopwordAnnotator {
+            list: StopwordList::german_and_english(),
+        }
+    }
+
+    pub fn with_list(list: StopwordList) -> Self {
+        StopwordAnnotator { list }
+    }
+}
+
+impl AnalysisEngine for StopwordAnnotator {
+    fn name(&self) -> &str {
+        "stopword-annotator"
+    }
+
+    fn process(&self, cas: &mut Cas) -> Result<()> {
+        let hits: Vec<(usize, usize)> = cas
+            .annotations()
+            .iter()
+            .filter_map(|a| match &a.kind {
+                AnnotationKind::Token { normalized } if self.list.contains(normalized) => {
+                    Some((a.begin, a.end))
+                }
+                _ => None,
+            })
+            .collect();
+        for (begin, end) in hits {
+            cas.add_annotation(Annotation::new(begin, end, AnnotationKind::Stopword));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenizer::WhitespaceTokenizer;
+
+    #[test]
+    fn lists_have_articles_and_pronouns() {
+        let de = StopwordList::german();
+        assert!(de.contains("der"));
+        assert!(de.contains("ich"));
+        assert!(!de.contains("luefter"));
+        let en = StopwordList::english();
+        assert!(en.contains("the"));
+        assert!(en.contains("it"));
+        assert!(!en.contains("radio"));
+        let both = StopwordList::german_and_english();
+        assert!(both.contains("der") && both.contains("the"));
+        assert_eq!(both.len(), de.len() + en.len() - overlap());
+        assert!(!both.is_empty());
+    }
+
+    fn overlap() -> usize {
+        GERMAN.iter().filter(|w| ENGLISH.contains(w)).count()
+    }
+
+    #[test]
+    fn annotator_marks_stopwords() {
+        let mut cas = Cas::new();
+        cas.add_segment("r", "the radio and der Lüfter");
+        WhitespaceTokenizer::new().process(&mut cas).unwrap();
+        StopwordAnnotator::new().process(&mut cas).unwrap();
+        let spans = cas.stopword_spans();
+        let words: Vec<&str> = spans
+            .iter()
+            .map(|&(b, e)| &cas.text()[b..e])
+            .collect();
+        assert_eq!(words, vec!["the", "and", "der"]);
+    }
+
+    #[test]
+    fn no_tokens_no_stopwords() {
+        let mut cas = Cas::new();
+        cas.add_segment("r", "the and der");
+        // annotator without tokenizer finds nothing (tokens are prerequisites)
+        StopwordAnnotator::new().process(&mut cas).unwrap();
+        assert!(cas.stopword_spans().is_empty());
+    }
+
+    #[test]
+    fn umlaut_stopwords_match_normalized() {
+        let mut cas = Cas::new();
+        cas.add_segment("r", "für den Motor");
+        WhitespaceTokenizer::new().process(&mut cas).unwrap();
+        StopwordAnnotator::new().process(&mut cas).unwrap();
+        let words: Vec<&str> = cas
+            .stopword_spans()
+            .iter()
+            .map(|&(b, e)| &cas.text()[b..e])
+            .collect();
+        assert_eq!(words, vec!["für", "den"]);
+    }
+
+    #[test]
+    fn custom_list() {
+        let ann = StopwordAnnotator::with_list(StopwordList::english());
+        let mut cas = Cas::new();
+        cas.add_segment("r", "the der");
+        WhitespaceTokenizer::new().process(&mut cas).unwrap();
+        ann.process(&mut cas).unwrap();
+        assert_eq!(cas.stopword_spans().len(), 1);
+    }
+}

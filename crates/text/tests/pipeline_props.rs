@@ -1,0 +1,114 @@
+//! Property tests over the text-analytics substrate: tokenizer, stemmer,
+//! sentence splitter and annotator invariants on arbitrary messy input.
+
+use proptest::prelude::*;
+
+use qatk_taxonomy::builder::TaxonomyBuilder;
+use qatk_taxonomy::concept::{ConceptKind, Lang};
+use qatk_taxonomy::normalize::normalize_token;
+use qatk_text::prelude::*;
+
+/// Messy-report-flavoured text: words, numbers, punctuation, umlauts.
+fn arb_report() -> impl Strategy<Value = String> {
+    "[a-zA-ZäöüÄÖÜß0-9 .,;:!?()/-]{0,160}"
+}
+
+fn tokenized(text: &str) -> Cas {
+    let mut cas = Cas::new();
+    cas.add_segment("r", text);
+    WhitespaceTokenizer::new().process(&mut cas).unwrap();
+    cas
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn tokens_tile_the_text_without_overlap(text in arb_report()) {
+        let cas = tokenized(&text);
+        let mut last_end = 0usize;
+        for t in cas.tokens() {
+            // in order, non-overlapping, within bounds
+            prop_assert!(t.begin >= last_end);
+            prop_assert!(t.end <= cas.text().len());
+            prop_assert!(t.begin < t.end, "empty token span");
+            last_end = t.end;
+            // covered text normalizes to the stored normalized form
+            let surface = cas.covered_text(t);
+            if let AnnotationKind::Token { normalized } = &t.kind {
+                prop_assert_eq!(&normalize_token(surface), normalized);
+            }
+        }
+    }
+
+    #[test]
+    fn token_count_matches_manual_split(text in arb_report()) {
+        let cas = tokenized(&text);
+        let manual = text
+            .split(|c: char| !(c.is_alphanumeric() || c == '-'))
+            .filter(|t| !t.is_empty())
+            .count();
+        prop_assert_eq!(cas.tokens().count(), manual);
+    }
+
+    #[test]
+    fn stemming_is_idempotent_and_shrinking(word in "[a-zäöüß]{1,20}") {
+        for lang in [DetectedLang::De, DetectedLang::En, DetectedLang::Unknown] {
+            let once = stem(&word, lang);
+            let twice = stem(&once, lang);
+            prop_assert_eq!(&twice, &once, "stem not idempotent for {:?}", lang);
+            prop_assert!(once.len() <= normalize_token(&word).len().max(word.len()));
+        }
+    }
+
+    #[test]
+    fn sentences_cover_only_alphanumeric_material(text in arb_report()) {
+        let ranges = SentenceSplitter::split_ranges(&text);
+        let mut last_end = 0usize;
+        for (s, e) in &ranges {
+            prop_assert!(*s >= last_end, "sentences overlap");
+            prop_assert!(*e <= text.len());
+            prop_assert!(
+                text[*s..*e].chars().any(char::is_alphanumeric),
+                "sentence without content: {:?}",
+                &text[*s..*e]
+            );
+            last_end = *e;
+        }
+        // every alphanumeric char lands inside some sentence
+        for (i, c) in text.char_indices() {
+            if c.is_alphanumeric() {
+                prop_assert!(
+                    ranges.iter().any(|&(s, e)| s <= i && i < e),
+                    "char {c:?} at {i} outside every sentence"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn language_detector_total_on_any_input(text in arb_report()) {
+        // never panics, always yields a decision
+        let _ = LanguageDetector::new().detect_text(&text);
+    }
+
+    #[test]
+    fn annotator_mentions_lie_on_token_boundaries(text in arb_report()) {
+        let mut b = TaxonomyBuilder::new("p");
+        let c = b.root(ConceptKind::Component, "Fan");
+        b.term(c, Lang::En, "fan");
+        b.term(c, Lang::De, "lüfter");
+        let s = b.root(ConceptKind::Symptom, "Noise");
+        b.term(s, Lang::En, "crackling sound");
+        let tax = b.build().unwrap();
+
+        let mut cas = tokenized(&text);
+        ConceptAnnotator::new(&tax).process(&mut cas).unwrap();
+        let token_bounds: Vec<(usize, usize)> =
+            cas.tokens().map(|t| (t.begin, t.end)).collect();
+        for (ann, _, _) in cas.concept_mentions() {
+            prop_assert!(token_bounds.iter().any(|&(b, _)| b == ann.begin));
+            prop_assert!(token_bounds.iter().any(|&(_, e)| e == ann.end));
+        }
+    }
+}

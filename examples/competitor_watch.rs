@@ -1,0 +1,46 @@
+//! Competitive business intelligence (paper §5.4): classify public
+//! consumer complaints with the internal knowledge base and compare error
+//! distributions across data sources.
+//!
+//! Run: `cargo run --example competitor_watch`
+
+use quest_qatk::prelude::*;
+
+fn main() {
+    println!("generating internal corpus ...");
+    let corpus = Corpus::generate(CorpusConfig::small(11));
+
+    println!("generating synthetic NHTSA ODI complaints ...");
+    let complaints = generate_complaints(
+        &corpus,
+        &NhtsaConfig {
+            n_complaints: 400,
+            ..NhtsaConfig::default()
+        },
+    );
+    println!("  sample complaint: {}", complaints[0].text);
+    println!(
+        "  ({} {} {}, category {})",
+        complaints[0].year, complaints[0].make, complaints[0].model, complaints[0].component_category
+    );
+
+    // Bag-of-concepts is the cross-source model: multilingual, text-type
+    // independent (§5.4).
+    println!("\ntraining bag-of-concepts service ...");
+    let mut service = RecommendationService::train(
+        &corpus,
+        FeatureModel::BagOfConcepts,
+        SimilarityMeasure::Jaccard,
+    );
+
+    let internal = corpus.bundles.iter().filter_map(|b| b.error_code.clone());
+    let report = compare_with_complaints(&mut service, internal, &complaints, 3);
+
+    println!("\nerror-code distribution, top 3 + Other (Fig. 14 screen):\n");
+    print!("{}", report.render());
+
+    if report.left.top_code() != report.right.top_code() {
+        println!("\n→ the public market shows a different leading failure than our warranty data —");
+        println!("  exactly the kind of brand-specific weakness §5.4 wants surfaced.");
+    }
+}

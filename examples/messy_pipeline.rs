@@ -1,0 +1,84 @@
+//! A tour of the text-analytics substrate on one messy report: CAS,
+//! tokenizer, language detection, stopwords, and the optimized-vs-legacy
+//! concept annotators (paper §4.5).
+//!
+//! Run: `cargo run --example messy_pipeline`
+
+use quest_qatk::prelude::*;
+
+fn main() {
+    // The taxonomy: synthetic stand-in for the paper's legacy resource.
+    let syn = SyntheticTaxonomy::generate(1);
+    let tax = &syn.taxonomy;
+    println!(
+        "taxonomy: {} concepts ({} German / {} English leaf concepts)",
+        tax.len(),
+        tax.concept_count(Lang::De),
+        tax.concept_count(Lang::En)
+    );
+
+    // …and it round-trips through its custom XML format.
+    let xml = write_taxonomy(tax);
+    let parsed = parse_taxonomy(&xml).unwrap();
+    assert_eq!(&parsed, tax);
+    println!("custom XML format round-trip: ok ({} bytes)", xml.len());
+
+    // One messy data bundle, like the paper's Fig. 3 example.
+    let mut cas = Cas::new();
+    cas.add_segment(
+        "mechanic_report",
+        "Kleint says taht radio turns on and off by itself. Electiral smell, crackling sound.",
+    );
+    cas.add_segment(
+        "supplier_report",
+        "Unit non-functional. LÜFTER funktioniert nicht. Kontakt defekt, durchgeschmort.",
+    );
+    cas.part_id = Some("P-07".into());
+
+    let pipeline = Pipeline::builder()
+        .add(WhitespaceTokenizer::new())
+        .add(LanguageDetector::new())
+        .add(StopwordAnnotator::new())
+        .add(ConceptAnnotator::new(tax))
+        .build();
+    pipeline.process(&mut cas).unwrap();
+
+    println!("\ntokens: {}", cas.tokens().count());
+    for seg in cas.segments() {
+        println!(
+            "segment {:<18} language: {:?}",
+            seg.name,
+            cas.language_of(seg.id).unwrap()
+        );
+    }
+    println!("stopwords marked: {}", cas.stopword_spans().len());
+
+    println!("\nconcept mentions (optimized trie annotator):");
+    for (ann, concept, kind) in cas.concept_mentions() {
+        println!(
+            "  {:<24} -> {} ({kind}) [{}]",
+            format!("{:?}", cas.covered_text(ann)),
+            tax.get(concept).unwrap().name,
+            concept
+        );
+    }
+
+    // The legacy annotator on the same text: case-sensitive, single-word,
+    // German-only — watch it miss almost everything.
+    let mut legacy_cas = Cas::new();
+    legacy_cas.add_segment(
+        "supplier_report",
+        "Unit non-functional. LÜFTER funktioniert nicht. Kontakt defekt, durchgeschmort.",
+    );
+    WhitespaceTokenizer::new().process(&mut legacy_cas).unwrap();
+    LegacyAnnotator::new(tax, Lang::De)
+        .process(&mut legacy_cas)
+        .unwrap();
+    println!(
+        "\nlegacy annotator on the supplier report: {} mentions (optimized found {})",
+        legacy_cas.concept_mentions().count(),
+        cas.concept_mentions()
+            .filter(|(a, _, _)| cas.segment_at(a.begin).is_some_and(|s| s.name == "supplier_report"))
+            .count()
+    );
+}

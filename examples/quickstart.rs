@@ -1,0 +1,51 @@
+//! Quickstart: generate a corpus, train the recommender, get suggestions.
+//!
+//! Run: `cargo run --example quickstart`
+
+use quest_qatk::prelude::*;
+
+fn main() {
+    // A small corpus with the paper's structure: 31 part IDs, Zipf-skewed
+    // error codes, messy multilingual reports.
+    println!("generating corpus ...");
+    let corpus = Corpus::generate(CorpusConfig::small(42));
+    println!(
+        "  {} bundles, {} part IDs, {} error codes",
+        corpus.bundles.len(),
+        corpus.world.parts.len(),
+        corpus.world.codes.len()
+    );
+
+    // Train the domain-specific (bag-of-concepts) recommendation service.
+    println!("training recommendation service ...");
+    let mut service = RecommendationService::train(
+        &corpus,
+        FeatureModel::BagOfConcepts,
+        SimilarityMeasure::Jaccard,
+    );
+    println!("  knowledge base: {} configuration instances", service.kb_len());
+
+    // Ask for suggestions for one data bundle, as the QUEST screen would.
+    let bundle = &corpus.bundles[17];
+    println!("\nbundle {} (part {})", bundle.reference_number, bundle.part_id);
+    println!("  mechanic: {}", bundle.mechanic_report);
+    println!("  supplier: {}", bundle.supplier_report);
+
+    let suggestions = service.suggest(bundle);
+    println!("\ntop error-code suggestions:");
+    for (i, s) in suggestions.top.iter().enumerate() {
+        println!("  {:>2}. {:<8} score {:.3}", i + 1, s.code, s.score);
+    }
+    println!(
+        "fallback list: {} codes available for part {}",
+        suggestions.all_codes_for_part.len(),
+        bundle.part_id
+    );
+    if let Some(truth) = bundle.error_code.as_deref() {
+        let rank = suggestions.top.iter().position(|s| s.code == truth);
+        match rank {
+            Some(r) => println!("ground truth {truth} is suggestion #{}", r + 1),
+            None => println!("ground truth {truth} not in the top-10 (worker uses the fallback list)"),
+        }
+    }
+}

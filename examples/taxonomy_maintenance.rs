@@ -1,0 +1,86 @@
+//! Taxonomy maintenance: the workflow the paper's legacy "editor GUI for
+//! adding, changing and removing taxonomy concepts" supported (§4.5.3), plus
+//! the §6 future-work item "enhancing the domain-specific taxonomy" — here
+//! as code: load from XML, inspect coverage, add missing synonyms, run the
+//! substring synonym expansion, and save back.
+//!
+//! Run: `cargo run --example taxonomy_maintenance`
+
+use quest_qatk::prelude::*;
+
+fn main() {
+    // start from the synthetic paper-scale resource and persist it as XML,
+    // like the file the OEM's taxonomy team maintains
+    let syn = SyntheticTaxonomy::generate(1);
+    let dir = std::env::temp_dir().join("quest_qatk_taxonomy");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("automotive.xml");
+    std::fs::write(&path, write_taxonomy(&syn.taxonomy)).unwrap();
+    println!(
+        "wrote {} ({} concepts, {} DE / {} EN leaves)",
+        path.display(),
+        syn.taxonomy.len(),
+        syn.taxonomy.concept_count(Lang::De),
+        syn.taxonomy.concept_count(Lang::En)
+    );
+
+    // reload and check coverage on a report the annotator cannot fully read
+    let tax = parse_taxonomy(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    let report = "customer says the head-end unit makes a swooshing sound";
+    let mentions = annotate_count(&tax, report);
+    println!("\nreport: {report}\nmentions found: {mentions}");
+
+    // a taxonomy worker adds the missing synonyms on top of the loaded tree
+    let mut builder = TaxonomyBuilder::new(tax.name());
+    let mut id_map = std::collections::HashMap::new();
+    for c in tax.concepts() {
+        let new_id = match c.parent {
+            Some(p) => builder.child(id_map[&p], c.name.clone()),
+            None => builder.root(c.kind, c.name.clone()),
+        };
+        for t in &c.terms {
+            builder.term(new_id, t.lang, t.text.clone());
+        }
+        id_map.insert(c.id, new_id);
+    }
+    // find the Radio concept and enrich it
+    let radio = tax
+        .concepts()
+        .iter()
+        .find(|c| c.name == "Radio")
+        .expect("synthetic taxonomy has a Radio concept");
+    builder.term(id_map[&radio.id], Lang::En, "head-end unit");
+    let swoosh = builder.root(ConceptKind::Symptom, "Swoosh");
+    builder.term(swoosh, Lang::En, "swooshing sound");
+    builder.term(swoosh, Lang::De, "rauschen");
+    let enriched = builder.build().unwrap();
+
+    let mentions = annotate_count(&enriched, report);
+    println!("after adding synonyms: {mentions}");
+
+    // run the §4.5.3 substring synonym expansion and save the result
+    let (expanded, stats) = expand_taxonomy(&enriched, &ExpansionConfig::default()).unwrap();
+    println!(
+        "\nsynonym expansion: {} original terms, {} generated",
+        stats.original_terms, stats.added_terms
+    );
+    let out = dir.join("automotive_v2.xml");
+    std::fs::write(&out, write_taxonomy(&expanded)).unwrap();
+    println!("saved {}", out.display());
+
+    // the new file round-trips
+    let reloaded = parse_taxonomy(&std::fs::read_to_string(&out).unwrap()).unwrap();
+    assert_eq!(reloaded, expanded);
+    println!("round-trip verified ({} concepts)", reloaded.len());
+}
+
+fn annotate_count(tax: &Taxonomy, text: &str) -> usize {
+    let mut cas = Cas::new();
+    cas.add_segment("report", text);
+    let pipeline = Pipeline::builder()
+        .add(WhitespaceTokenizer::new())
+        .add(ConceptAnnotator::new(tax))
+        .build();
+    pipeline.process(&mut cas).unwrap();
+    cas.concept_mentions().count()
+}

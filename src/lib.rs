@@ -1,0 +1,56 @@
+//! # quest-qatk — reproduction of "Exploring Text Classification for Messy
+//! Data" (EDBT 2016)
+//!
+//! This is the façade crate of the workspace: it re-exports every subsystem
+//! so downstream users can depend on one crate. See the README for the
+//! architecture overview and DESIGN.md for the paper-to-module map.
+//!
+//! * [`store`] — embedded relational storage engine;
+//! * [`taxonomy`] — the multilingual automotive part-and-error taxonomy;
+//! * [`text`] — the UIMA-like text-analytics pipeline (CAS, annotators);
+//! * [`corpus`] — the calibrated synthetic messy-data corpus + NHTSA
+//!   complaints;
+//! * [`core`] — QATK: features, knowledge base, ranked-list kNN, baselines,
+//!   evaluation;
+//! * [`quest`] — the QUEST application layer (recommendation service,
+//!   workflow, users, cross-source comparison).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use quest_qatk::prelude::*;
+//!
+//! // 1. generate a (small) corpus with the paper's structure
+//! let corpus = Corpus::generate(CorpusConfig::small(42));
+//!
+//! // 2. train the recommendation service on it
+//! let mut service = RecommendationService::train(
+//!     &corpus,
+//!     FeatureModel::BagOfConcepts,
+//!     SimilarityMeasure::Jaccard,
+//! );
+//!
+//! // 3. ask for error-code suggestions for a data bundle
+//! let suggestions = service.suggest(&corpus.bundles[0]);
+//! assert!(suggestions.top.len() <= TOP_SUGGESTIONS);
+//! ```
+
+pub use qatk_core as core;
+pub use qatk_corpus as corpus;
+pub use qatk_store as store;
+pub use qatk_taxonomy as taxonomy;
+pub use qatk_text as text;
+pub use quest;
+
+/// One-stop import surface across all crates.
+pub mod prelude {
+    pub use qatk_core::prelude::*;
+    pub use qatk_corpus::prelude::*;
+    pub use qatk_store::prelude::{
+        Aggregate, Cond, Database, DataType, GroupBy, IndexKind, Join, JoinKind, Query, Schema,
+        SchemaBuilder, SharedDatabase, SortOrder, StoreError, Table, Value,
+    };
+    pub use qatk_taxonomy::prelude::*;
+    pub use qatk_text::prelude::*;
+    pub use quest::prelude::*;
+}

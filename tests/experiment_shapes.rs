@@ -1,0 +1,116 @@
+//! Cross-crate invariants of the experiment machinery at test scale: curve
+//! monotonicity, determinism, baseline relationships, and source-selection
+//! effects. (Paper-*value* reproduction runs at full scale via the
+//! qatk-bench harness binaries; see EXPERIMENTS.md.)
+
+use quest_qatk::prelude::*;
+
+fn corpus() -> Corpus {
+    Corpus::generate(CorpusConfig {
+        n_bundles: 1500,
+        pool_scale: 0.2,
+        ..CorpusConfig::default()
+    })
+}
+
+fn config(model: FeatureModel, measure: SimilarityMeasure) -> ClassifierConfig {
+    ClassifierConfig {
+        model,
+        measure,
+        folds: 5,
+        ..ClassifierConfig::default()
+    }
+}
+
+#[test]
+fn accuracy_curves_are_monotone_and_bounded() {
+    let c = corpus();
+    for model in [FeatureModel::BagOfWords, FeatureModel::BagOfConcepts] {
+        let r = run_experiment(&c, &config(model, SimilarityMeasure::Jaccard));
+        for curve in [&r.classifier, &r.code_frequency, &r.candidate_set] {
+            for w in curve.accuracy.windows(2) {
+                assert!(w[1] + 1e-12 >= w[0], "{}: not monotone", curve.label);
+            }
+            for &a in &curve.accuracy {
+                assert!((0.0..=1.0).contains(&a));
+            }
+        }
+    }
+}
+
+#[test]
+fn classifier_beats_unsorted_candidates_and_frequency_at_k1() {
+    let c = corpus();
+    let r = run_experiment(&c, &config(FeatureModel::BagOfWords, SimilarityMeasure::Jaccard));
+    let a1 = r.classifier.at(1).unwrap();
+    assert!(a1 > r.candidate_set.at(1).unwrap());
+    assert!(a1 > r.code_frequency.at(1).unwrap());
+}
+
+#[test]
+fn mechanic_only_below_frequency_baseline() {
+    // the central finding of Experiment 2 (Fig. 12)
+    let c = corpus();
+    let r = run_experiment(
+        &c,
+        &ClassifierConfig {
+            test_selection: SourceSelection::MechanicOnly,
+            ..config(FeatureModel::BagOfWords, SimilarityMeasure::Jaccard)
+        },
+    );
+    assert!(
+        r.classifier.at(1).unwrap() < r.code_frequency.at(1).unwrap(),
+        "mechanic-only {:.3} should fall below the frequency baseline {:.3}",
+        r.classifier.at(1).unwrap(),
+        r.code_frequency.at(1).unwrap()
+    );
+}
+
+#[test]
+fn supplier_only_close_to_full_test() {
+    // the other half of Experiment 2 (Fig. 13)
+    let c = corpus();
+    let full = run_experiment(&c, &config(FeatureModel::BagOfWords, SimilarityMeasure::Jaccard));
+    let sr = run_experiment(
+        &c,
+        &ClassifierConfig {
+            test_selection: SourceSelection::SupplierOnly,
+            ..config(FeatureModel::BagOfWords, SimilarityMeasure::Jaccard)
+        },
+    );
+    let gap = (full.classifier.at(5).unwrap() - sr.classifier.at(5).unwrap()).abs();
+    assert!(gap < 0.15, "supplier-only should be near full test (gap {gap:.3})");
+    assert!(sr.classifier.at(1).unwrap() > sr.code_frequency.at(1).unwrap());
+}
+
+#[test]
+fn runs_are_deterministic_across_repetition() {
+    let c = corpus();
+    let cfg = config(FeatureModel::BagOfConcepts, SimilarityMeasure::Overlap);
+    let a = run_experiment(&c, &cfg);
+    let b = run_experiment(&c, &cfg);
+    assert_eq!(a.classifier.accuracy, b.classifier.accuracy);
+    assert_eq!(a.candidate_set.accuracy, b.candidate_set.accuracy);
+    assert_eq!(a.total_tested, b.total_tested);
+}
+
+#[test]
+fn extended_measures_also_work() {
+    // Dice and cosine are the DESIGN.md ablation extensions
+    let c = Corpus::generate(CorpusConfig::small(3));
+    for measure in [SimilarityMeasure::Dice, SimilarityMeasure::Cosine] {
+        let r = run_experiment(&c, &config(FeatureModel::BagOfConcepts, measure));
+        assert!(r.classifier.at(25).unwrap() > 0.5, "{measure:?} broken");
+    }
+}
+
+#[test]
+fn timing_and_kb_stats_reported() {
+    let c = Corpus::generate(CorpusConfig::small(5));
+    let r = run_experiment(&c, &config(FeatureModel::BagOfConcepts, SimilarityMeasure::Jaccard));
+    assert_eq!(r.fold_seconds.len(), 5);
+    assert!(r.fold_seconds.iter().all(|&s| s >= 0.0));
+    assert!(r.mean_kb_nodes > 0.0);
+    assert!(r.mean_features_per_bundle > 0.0);
+    assert!(r.total_tested > 0);
+}

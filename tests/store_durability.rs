@@ -1,0 +1,172 @@
+//! Integration: the QUEST result-persistence path survives crashes — the
+//! recommendation/assignment tables flow through the write-ahead log and
+//! recover from snapshot + log, with the corpus tables intact.
+
+use quest_qatk::prelude::*;
+use quest_qatk::store::row;
+use quest_qatk::store::wal::LoggedDatabase;
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("quest_qatk_durability");
+    std::fs::create_dir_all(&dir).unwrap();
+    let p = dir.join(format!("{name}_{}", std::process::id()));
+    std::fs::remove_file(&p).ok();
+    p
+}
+
+#[test]
+fn assignments_survive_snapshot_plus_wal_recovery() {
+    let snap = tmp("snapshot.qdb");
+    let wal = tmp("ops.wal");
+
+    // day 0: the corpus is snapshotted once
+    let corpus = Corpus::generate(CorpusConfig::small(77));
+    let mut db = Database::new();
+    save_corpus(&corpus, &mut db).unwrap();
+    let schema = SchemaBuilder::new()
+        .pk("reference_number", DataType::Text)
+        .col("error_code", DataType::Text)
+        .col("assigned_by", DataType::Text)
+        .build()
+        .unwrap();
+    db.create_table("assignments", schema).unwrap();
+    db.save(&snap).unwrap();
+
+    // working day: assignments land in the log, not in a new snapshot
+    let mut logged = LoggedDatabase::new(Database::load(&snap).unwrap(), &wal).unwrap();
+    for b in corpus.bundles.iter().take(20) {
+        logged
+            .insert(
+                "assignments",
+                row![
+                    b.reference_number.clone(),
+                    b.error_code.clone().unwrap(),
+                    "anna"
+                ],
+            )
+            .unwrap();
+    }
+    // one correction: re-coded after review
+    let first_ref = corpus.bundles[0].reference_number.clone();
+    let corrected = corpus.bundles[1].error_code.clone().unwrap();
+    logged
+        .update(
+            "assignments",
+            &Value::from(first_ref.as_str()),
+            row![first_ref.clone(), corrected.clone(), "root"],
+        )
+        .unwrap();
+    // one withdrawal
+    let second_ref = corpus.bundles[1].reference_number.clone();
+    logged
+        .delete("assignments", &Value::from(second_ref.as_str()))
+        .unwrap();
+    drop(logged); // "crash"
+
+    // recovery: snapshot + log replay
+    let recovered = LoggedDatabase::recover(&snap, &wal).unwrap();
+    assert_eq!(recovered.table("assignments").unwrap().len(), 19);
+    let r = recovered
+        .get("assignments", &Value::from(first_ref.as_str()))
+        .unwrap()
+        .unwrap();
+    assert_eq!(r.get(1).and_then(Value::as_text), Some(corrected.as_str()));
+    assert_eq!(r.get(2).and_then(Value::as_text), Some("root"));
+    assert!(recovered
+        .get("assignments", &Value::from(second_ref.as_str()))
+        .unwrap()
+        .is_none());
+    // the raw corpus data is untouched by the log
+    assert_eq!(
+        recovered.table(tables::BUNDLES).unwrap().len(),
+        corpus.bundles.len()
+    );
+
+    std::fs::remove_file(&snap).ok();
+    std::fs::remove_file(&wal).ok();
+}
+
+#[test]
+fn complaint_flat_files_roundtrip_through_store_csv() {
+    // the §5.4 interchange path: complaints → CSV flat file → store table →
+    // back to complaints, then classified
+    let corpus = Corpus::generate(CorpusConfig::small(78));
+    let complaints = generate_complaints(
+        &corpus,
+        &NhtsaConfig {
+            n_complaints: 40,
+            ..NhtsaConfig::default()
+        },
+    );
+    let csv = complaints_to_csv(&complaints);
+    let path = tmp("complaints.csv");
+    std::fs::write(&path, &csv).unwrap();
+
+    let reloaded = complaints_from_csv(&std::fs::read_to_string(&path).unwrap()).unwrap();
+    assert_eq!(reloaded, complaints);
+
+    let mut svc = RecommendationService::train(
+        &corpus,
+        FeatureModel::BagOfConcepts,
+        SimilarityMeasure::Jaccard,
+    );
+    let classified = reloaded
+        .iter()
+        .filter(|c| !svc.classify_external(&c.text).is_empty())
+        .count();
+    assert!(classified > 0, "no complaint classified after roundtrip");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn aggregation_matches_frequency_baseline_over_store() {
+    // GroupBy::count ranking over the bundles table must agree with the
+    // CodeFrequencyBaseline trained from the same data
+    let corpus = Corpus::generate(CorpusConfig::small(79));
+    let mut db = Database::new();
+    save_corpus(&corpus, &mut db).unwrap();
+    let table = db.table(tables::BUNDLES).unwrap();
+
+    let part = corpus.bundles[0].part_id.clone();
+    let grouped = GroupBy::count("error_code")
+        .filter(Cond::eq(table, "part_id", part.as_str()).unwrap())
+        .run_ranked(table)
+        .unwrap();
+
+    let baseline = CodeFrequencyBaseline::train(
+        corpus
+            .bundles
+            .iter()
+            .filter_map(|b| Some((b.part_id.as_str(), b.error_code.as_deref()?))),
+    );
+    let expected = baseline.rank(&part);
+    let got: Vec<&str> = grouped
+        .iter()
+        .filter_map(|g| g.key.as_text())
+        .collect();
+    assert_eq!(got, expected.iter().map(String::as_str).collect::<Vec<_>>());
+}
+
+#[test]
+fn join_reconstructs_the_quest_bundle_view() {
+    // bundles ⋈ error_codes gives the screen's "code + description" view
+    let corpus = Corpus::generate(CorpusConfig::small(80));
+    let mut db = Database::new();
+    save_corpus(&corpus, &mut db).unwrap();
+    let bundles = db.table(tables::BUNDLES).unwrap();
+    let codes = db.table(tables::ERROR_CODES).unwrap();
+
+    let joined = Join::inner("error_code", "code").run(bundles, codes).unwrap();
+    // every coded bundle joins to exactly one code row
+    assert_eq!(joined.len(), corpus.bundles.len());
+    let arity = bundles.schema().arity() + codes.schema().arity();
+    for row in joined.iter().take(10) {
+        assert_eq!(row.arity(), arity);
+        // description column is the last one and non-empty
+        assert!(!row
+            .get(arity - 1)
+            .and_then(Value::as_text)
+            .unwrap()
+            .is_empty());
+    }
+}
