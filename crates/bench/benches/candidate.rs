@@ -41,6 +41,20 @@ fn bench_candidates(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("naive-scan", nodes), &kb, |b, kb| {
             b.iter(|| black_box(kb.candidates_scan("P-02", &query).len()))
         });
+        // the accumulation kernel does candidate selection *and* intersection
+        // counting in the same index walk — the candidate set is its
+        // touched-list by-product
+        group.bench_with_input(
+            BenchmarkId::new("accumulate-counts", nodes),
+            &kb,
+            |b, kb| {
+                let mut scratch = ScoreScratch::new();
+                b.iter(|| {
+                    kb.accumulate_counts("P-02", &query, &mut scratch);
+                    black_box(scratch.touched().len())
+                })
+            },
+        );
     }
     group.finish();
 }

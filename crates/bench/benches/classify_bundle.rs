@@ -54,5 +54,69 @@ fn bench_classify(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_classify);
+/// The posting-list accumulation kernel against the per-candidate
+/// re-intersection path it replaced, and the parallel batch API against a
+/// sequential loop — text processing factored out so only ranking is timed.
+fn bench_rank_paths(c: &mut Criterion) {
+    let corpus = Corpus::generate(CorpusConfig {
+        n_bundles: 2000,
+        pool_scale: 0.3,
+        ..CorpusConfig::default()
+    });
+    let model = FeatureModel::BagOfWords;
+    let pipeline = build_pipeline(&corpus, model);
+    let mut space = FeatureSpace::new();
+    let mut kb = KnowledgeBase::new();
+    for b in &corpus.bundles {
+        let mut cas = b.to_cas(SourceSelection::Training);
+        pipeline.process(&mut cas).unwrap();
+        let f = space.extract(&cas, model);
+        kb.insert(b.part_id.clone(), b.error_code.clone().unwrap(), f);
+    }
+    let knn = RankedKnn::new(SimilarityMeasure::Jaccard);
+    let test: Vec<(String, FeatureSet)> = corpus
+        .bundles
+        .iter()
+        .take(100)
+        .map(|b| {
+            let mut cas = b.to_cas(SourceSelection::Test);
+            pipeline.process(&mut cas).unwrap();
+            (b.part_id.clone(), space.extract(&cas, model))
+        })
+        .collect();
+    let queries: Vec<BatchQuery<'_>> = test
+        .iter()
+        .map(|(p, f)| BatchQuery {
+            part_id: p,
+            features: f,
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("rank-paths");
+    group.sample_size(20);
+    group.bench_function("kernel", |b| {
+        b.iter(|| {
+            let mut scratch = ScoreScratch::new();
+            for q in &queries {
+                black_box(
+                    knn.rank_with(&kb, q.part_id, q.features, &mut scratch)
+                        .len(),
+                );
+            }
+        })
+    });
+    group.bench_function("naive", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(knn.rank_naive(&kb, q.part_id, q.features).len());
+            }
+        })
+    });
+    group.bench_function("batch-parallel", |b| {
+        b.iter(|| black_box(knn.classify_batch(&kb, &queries).len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_classify, bench_rank_paths);
 criterion_main!(benches);

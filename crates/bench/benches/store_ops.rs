@@ -24,7 +24,8 @@ fn sample_table(rows: usize, with_index: bool) -> Table {
         .unwrap();
     }
     if with_index {
-        t.create_index("by_part", "part_id", IndexKind::Hash).unwrap();
+        t.create_index("by_part", "part_id", IndexKind::Hash)
+            .unwrap();
     }
     t
 }

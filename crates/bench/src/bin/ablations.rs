@@ -70,8 +70,10 @@ fn majority_vote_vs_ranked(corpus: &Corpus) {
         })
         .collect();
 
-    println!("
-== Ablation 5 — majority-vote kNN vs ranked list (Fig. 6/7, fold 0) ==");
+    println!(
+        "
+== Ablation 5 — majority-vote kNN vs ranked list (Fig. 6/7, fold 0) =="
+    );
     let ranked = RankedKnn::new(SimilarityMeasure::Jaccard);
     let mut hits = 0usize;
     for (i, f) in &test {
@@ -101,7 +103,11 @@ fn majority_vote_vs_ranked(corpus: &Corpus) {
             }
             println!(
                 "majority vote k={k:<2} {}  @1 {}",
-                if weighted { "(weighted)  " } else { "(unweighted)" },
+                if weighted {
+                    "(weighted)  "
+                } else {
+                    "(unweighted)"
+                },
                 pct(hits as f64 / test.len() as f64)
             );
         }
@@ -120,7 +126,10 @@ fn similarity_measures(corpus: &Corpus) {
         results.push(run_experiment(corpus, &config));
     }
     let curves: Vec<&AccuracyCurve> = results.iter().map(|r| &r.classifier).collect();
-    print_curves("Ablation 1 — similarity measures (bag-of-concepts)", &curves);
+    print_curves(
+        "Ablation 1 — similarity measures (bag-of-concepts)",
+        &curves,
+    );
 }
 
 fn taxonomy_expansion(corpus: &Corpus) {
@@ -238,8 +247,6 @@ fn stemming(corpus: &Corpus) {
     );
     println!(
         "seconds/bundle: words {:.5}, nostop {:.5}, stems {:.5}",
-        results[0].seconds_per_bundle,
-        results[1].seconds_per_bundle,
-        results[2].seconds_per_bundle
+        results[0].seconds_per_bundle, results[1].seconds_per_bundle, results[2].seconds_per_bundle
     );
 }

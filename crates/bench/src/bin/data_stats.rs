@@ -13,8 +13,16 @@ fn main() {
     let paper = CorpusStats::paper_reference();
 
     println!("\n== §3.2 data statistics: paper vs generated corpus ==");
-    print_vs("data bundles", &paper.n_bundles.to_string(), &got.n_bundles.to_string());
-    print_vs("distinct part IDs", &paper.n_part_ids.to_string(), &got.n_part_ids.to_string());
+    print_vs(
+        "data bundles",
+        &paper.n_bundles.to_string(),
+        &got.n_bundles.to_string(),
+    );
+    print_vs(
+        "distinct part IDs",
+        &paper.n_part_ids.to_string(),
+        &got.n_part_ids.to_string(),
+    );
     print_vs(
         "distinct article codes",
         &paper.n_article_codes.to_string(),

@@ -5,7 +5,7 @@
 //!
 //! Run: `cargo run --release -p qatk-bench --bin fig11 [-- --small]`
 
-use qatk_bench::{print_curves, print_vs, pct, HarnessArgs};
+use qatk_bench::{pct, print_curves, print_vs, HarnessArgs};
 use qatk_core::prelude::*;
 
 fn main() {
@@ -38,19 +38,71 @@ fn main() {
     print_curves("Figure 11 — Experiment 1: all reports", &curves);
 
     println!("\n-- paper reference points (Fig. 11 / §5.2.1) --");
-    print_vs("bag-of-words+jaccard @1", "81%", &pct(results[0].classifier.at(1).unwrap()));
-    print_vs("bag-of-words+jaccard @5", "94%", &pct(results[0].classifier.at(5).unwrap()));
-    print_vs("bag-of-words+overlap @1", "76%", &pct(results[1].classifier.at(1).unwrap()));
-    print_vs("bag-of-words+overlap @5", "93%", &pct(results[1].classifier.at(5).unwrap()));
-    print_vs("bag-of-concepts+jaccard @1", "56%", &pct(results[2].classifier.at(1).unwrap()));
-    print_vs("bag-of-concepts+jaccard @5", "85%", &pct(results[2].classifier.at(5).unwrap()));
-    print_vs("bag-of-concepts+jaccard @10", "92%", &pct(results[2].classifier.at(10).unwrap()));
-    print_vs("code-frequency baseline @1", "35%", &pct(results[0].code_frequency.at(1).unwrap()));
-    print_vs("code-frequency baseline @5", "76%", &pct(results[0].code_frequency.at(5).unwrap()));
-    print_vs("code-frequency baseline @10", "88%", &pct(results[0].code_frequency.at(10).unwrap()));
-    print_vs("code-frequency baseline @25", "100%", &pct(results[0].code_frequency.at(25).unwrap()));
-    print_vs("candidate-set baseline (boc) @1", "<1%", &pct(results[2].candidate_set.at(1).unwrap()));
-    print_vs("candidate-set baseline (boc) @25", "~83%", &pct(results[2].candidate_set.at(25).unwrap()));
+    print_vs(
+        "bag-of-words+jaccard @1",
+        "81%",
+        &pct(results[0].classifier.at(1).unwrap()),
+    );
+    print_vs(
+        "bag-of-words+jaccard @5",
+        "94%",
+        &pct(results[0].classifier.at(5).unwrap()),
+    );
+    print_vs(
+        "bag-of-words+overlap @1",
+        "76%",
+        &pct(results[1].classifier.at(1).unwrap()),
+    );
+    print_vs(
+        "bag-of-words+overlap @5",
+        "93%",
+        &pct(results[1].classifier.at(5).unwrap()),
+    );
+    print_vs(
+        "bag-of-concepts+jaccard @1",
+        "56%",
+        &pct(results[2].classifier.at(1).unwrap()),
+    );
+    print_vs(
+        "bag-of-concepts+jaccard @5",
+        "85%",
+        &pct(results[2].classifier.at(5).unwrap()),
+    );
+    print_vs(
+        "bag-of-concepts+jaccard @10",
+        "92%",
+        &pct(results[2].classifier.at(10).unwrap()),
+    );
+    print_vs(
+        "code-frequency baseline @1",
+        "35%",
+        &pct(results[0].code_frequency.at(1).unwrap()),
+    );
+    print_vs(
+        "code-frequency baseline @5",
+        "76%",
+        &pct(results[0].code_frequency.at(5).unwrap()),
+    );
+    print_vs(
+        "code-frequency baseline @10",
+        "88%",
+        &pct(results[0].code_frequency.at(10).unwrap()),
+    );
+    print_vs(
+        "code-frequency baseline @25",
+        "100%",
+        &pct(results[0].code_frequency.at(25).unwrap()),
+    );
+    print_vs(
+        "candidate-set baseline (boc) @1",
+        "<1%",
+        &pct(results[2].candidate_set.at(1).unwrap()),
+    );
+    print_vs(
+        "candidate-set baseline (boc) @25",
+        "~83%",
+        &pct(results[2].candidate_set.at(25).unwrap()),
+    );
 
     println!("\n-- shape checks --");
     let bow_j = results[0].classifier.at(1).unwrap();
@@ -61,10 +113,18 @@ fn main() {
     println!("bow+jaccard > bow+overlap @1:        {}", bow_j > bow_o);
     println!("bow+jaccard > boc+jaccard @1:        {}", bow_j > boc_j);
     println!("boc+jaccard > freq baseline @1:      {}", boc_j > freq);
-    println!("boc+overlap ~ freq baseline @1:      {:.3} vs {:.3}", boc_o, freq);
-    println!("\nmean features/bundle: bow={:.1} boc={:.1} (paper: ~70 words / ~26 mentions)",
-        results[0].mean_features_per_bundle, results[2].mean_features_per_bundle);
-    println!("seconds/bundle: bow={:.4} boc={:.4}", results[0].seconds_per_bundle, results[2].seconds_per_bundle);
+    println!(
+        "boc+overlap ~ freq baseline @1:      {:.3} vs {:.3}",
+        boc_o, freq
+    );
+    println!(
+        "\nmean features/bundle: bow={:.1} boc={:.1} (paper: ~70 words / ~26 mentions)",
+        results[0].mean_features_per_bundle, results[2].mean_features_per_bundle
+    );
+    println!(
+        "seconds/bundle: bow={:.4} boc={:.4}",
+        results[0].seconds_per_bundle, results[2].seconds_per_bundle
+    );
 
     // paired bootstrap: is BoW's @1 advantage over BoC significant? Both
     // runs share corpus + CV seed, so per-item outcomes align by index.
@@ -77,6 +137,10 @@ fn main() {
         sig.ci_low,
         sig.ci_high,
         sig.p_value,
-        if sig.significant() { "significant" } else { "not significant" }
+        if sig.significant() {
+            "significant"
+        } else {
+            "not significant"
+        }
     );
 }

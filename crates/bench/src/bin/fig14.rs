@@ -53,8 +53,7 @@ fn main() {
         .iter()
         .filter(|b| b.part_id == part.part_id)
         .filter_map(|b| b.error_code.clone());
-    let report =
-        compare_part_with_complaints(&mut svc, &part.part_id, internal, &scoped, 3);
+    let report = compare_part_with_complaints(&mut svc, &part.part_id, internal, &scoped, 3);
 
     println!("\n== Figure 14 — error distribution comparison (top 3 + Other) ==\n");
     println!("{}", report.render());

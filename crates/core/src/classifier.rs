@@ -8,8 +8,11 @@
 //! This sidesteps standard kNN's sensitivity to local data structures
 //! (Fig. 6) because no single k decides the answer.
 
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
 use crate::features::FeatureSet;
-use crate::knowledge::KnowledgeBase;
+use crate::knowledge::{KnowledgeBase, ScoreScratch};
 use crate::similarity::SimilarityMeasure;
 
 /// One recommendation: an error code with its best similarity score.
@@ -17,6 +20,44 @@ use crate::similarity::SimilarityMeasure;
 pub struct ScoredCode {
     pub code: String,
     pub score: f64,
+}
+
+/// One query of a [`RankedKnn::classify_batch`] call.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchQuery<'a> {
+    pub part_id: &'a str,
+    pub features: &'a FeatureSet,
+}
+
+/// Entry of the bounded top-k heap: a scored node. Total order = "goodness"
+/// under the naive ranking's sort key (score descending, node index
+/// ascending on ties), so `a > b` ⇔ the naive sort would place `a` first.
+#[derive(Debug, Clone, Copy)]
+struct HeapEntry {
+    score: f64,
+    idx: u32,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for HeapEntry {}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.score
+            .total_cmp(&other.score)
+            .then_with(|| other.idx.cmp(&self.idx))
+    }
 }
 
 /// Ranked-list kNN over a knowledge base.
@@ -50,7 +91,122 @@ impl RankedKnn {
     /// take the 25 best nodes → emit their codes, deduplicated (best score
     /// wins), in descending score order. Ties break on code text so results
     /// are deterministic.
+    ///
+    /// Implementation: the posting-list score-accumulation kernel — one walk
+    /// of the inverted index accumulates |A ∩ B| per candidate node, scores
+    /// come from the counts ([`SimilarityMeasure::score_from_counts`]), and
+    /// a bounded binary heap selects the `top_nodes` best without sorting
+    /// all candidates. Produces rankings identical to [`RankedKnn::rank_naive`]
+    /// (asserted exhaustively by the `ranking_equivalence` differential
+    /// suite). Allocates fresh scratch; hot loops should reuse one via
+    /// [`RankedKnn::rank_with`] or go through [`RankedKnn::classify_batch`].
     pub fn rank(
+        &self,
+        kb: &KnowledgeBase,
+        part_id: &str,
+        features: &FeatureSet,
+    ) -> Vec<ScoredCode> {
+        let mut scratch = ScoreScratch::new();
+        self.rank_with(kb, part_id, features, &mut scratch)
+    }
+
+    /// [`RankedKnn::rank`] with caller-provided scratch state, for hot loops
+    /// that classify many bundles against the same knowledge base.
+    pub fn rank_with(
+        &self,
+        kb: &KnowledgeBase,
+        part_id: &str,
+        features: &FeatureSet,
+        scratch: &mut ScoreScratch,
+    ) -> Vec<ScoredCode> {
+        kb.accumulate_counts(part_id, features, scratch);
+        let top = if scratch.touched().is_empty() {
+            if kb.has_part(part_id) {
+                // known part, no shared feature → no candidates at all
+                Vec::new()
+            } else {
+                // unknown part with zero overlap anywhere: the paper's
+                // fallback selects the entire knowledge base; every score is
+                // 0, so the naive (score desc, index asc) order is simply
+                // the first `top_nodes` nodes
+                (0..kb.len().min(self.top_nodes))
+                    .map(|i| (0.0f64, i))
+                    .collect()
+            }
+        } else {
+            self.select_top_nodes(kb, features, scratch)
+        };
+        Self::emit_codes(kb, top)
+    }
+
+    /// Bounded-heap top-k over the accumulated counts: keeps the `top_nodes`
+    /// best (score desc, node index asc) without sorting all candidates.
+    fn select_top_nodes(
+        &self,
+        kb: &KnowledgeBase,
+        features: &FeatureSet,
+        scratch: &ScoreScratch,
+    ) -> Vec<(f64, usize)> {
+        let k = self.top_nodes;
+        if k == 0 {
+            return Vec::new();
+        }
+        let a_len = features.len();
+        // min-heap of the k best so far: the root is the worst kept entry
+        let mut heap: BinaryHeap<std::cmp::Reverse<HeapEntry>> = BinaryHeap::with_capacity(k + 1);
+        for &n in scratch.touched() {
+            let node = &kb.nodes()[n as usize];
+            let score = self.measure.score_from_counts(
+                scratch.count(n) as usize,
+                a_len,
+                node.features.len(),
+            );
+            let entry = HeapEntry { score, idx: n };
+            if heap.len() < k {
+                heap.push(std::cmp::Reverse(entry));
+            } else if entry > heap.peek().expect("heap non-empty").0 {
+                heap.pop();
+                heap.push(std::cmp::Reverse(entry));
+            }
+        }
+        let mut top: Vec<(f64, usize)> = heap
+            .into_iter()
+            .map(|std::cmp::Reverse(e)| (e.score, e.idx as usize))
+            .collect();
+        top.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+        top
+    }
+
+    /// Shared ranking tail: map scored nodes (already in score-desc,
+    /// index-asc order) to codes, deduplicate keeping the best score per
+    /// code, and order the final list (score desc, code-text tie-break).
+    fn emit_codes(kb: &KnowledgeBase, scored: Vec<(f64, usize)>) -> Vec<ScoredCode> {
+        let mut out: Vec<ScoredCode> = Vec::with_capacity(scored.len());
+        for (score, idx) in scored {
+            let code = &kb.nodes()[idx].error_code;
+            match out.iter_mut().find(|s| &s.code == code) {
+                Some(existing) => {
+                    if score > existing.score {
+                        existing.score = score;
+                    }
+                }
+                None => out.push(ScoredCode {
+                    code: code.clone(),
+                    score,
+                }),
+            }
+        }
+        out.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.code.cmp(&b.code)));
+        out
+    }
+
+    /// The original per-candidate set-intersection path: candidate selection
+    /// via [`KnowledgeBase::candidates`], then a full re-intersection of
+    /// every candidate's feature set, a full sort, and truncation. Kept as
+    /// the differential oracle for [`RankedKnn::rank`] and as the baseline
+    /// side of the `classify_bundle` / `candidate` benches — not used on any
+    /// production path.
+    pub fn rank_naive(
         &self,
         kb: &KnowledgeBase,
         part_id: &str,
@@ -83,6 +239,53 @@ impl RankedKnn {
         // dedup can disturb order only if a later duplicate improved a score;
         // re-sort for the final ranking
         out.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.code.cmp(&b.code)));
+        out
+    }
+
+    /// Classify a batch of bundles in parallel: queries fan out across
+    /// scoped worker threads, each with its own [`ScoreScratch`], against
+    /// the shared (read-only) knowledge base. Output order matches query
+    /// order and every ranking is identical to a sequential
+    /// [`RankedKnn::rank`] call, whatever the thread count.
+    pub fn classify_batch(
+        &self,
+        kb: &KnowledgeBase,
+        queries: &[BatchQuery<'_>],
+    ) -> Vec<Vec<ScoredCode>> {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        self.classify_batch_with_threads(kb, queries, threads)
+    }
+
+    /// [`RankedKnn::classify_batch`] with an explicit worker-thread cap.
+    pub fn classify_batch_with_threads(
+        &self,
+        kb: &KnowledgeBase,
+        queries: &[BatchQuery<'_>],
+        threads: usize,
+    ) -> Vec<Vec<ScoredCode>> {
+        let threads = threads.clamp(1, queries.len().max(1));
+        if threads == 1 {
+            let mut scratch = ScoreScratch::new();
+            return queries
+                .iter()
+                .map(|q| self.rank_with(kb, q.part_id, q.features, &mut scratch))
+                .collect();
+        }
+        let mut out: Vec<Vec<ScoredCode>> = Vec::new();
+        out.resize_with(queries.len(), Vec::new);
+        let chunk = queries.len().div_ceil(threads);
+        std::thread::scope(|s| {
+            for (qchunk, ochunk) in queries.chunks(chunk).zip(out.chunks_mut(chunk)) {
+                s.spawn(move || {
+                    let mut scratch = ScoreScratch::new();
+                    for (q, slot) in qchunk.iter().zip(ochunk.iter_mut()) {
+                        *slot = self.rank_with(kb, q.part_id, q.features, &mut scratch);
+                    }
+                });
+            }
+        });
         out
     }
 
@@ -135,7 +338,16 @@ impl MajorityVoteKnn {
             .into_iter()
             .map(|i| (self.measure.score(features, &kb.nodes()[i].features), i))
             .collect();
-        scored.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+        // Descending score with *code-text* tie-break (then index for full
+        // determinism). Breaking boundary ties on the node index alone made
+        // the k-truncation — and therefore the vote, and the winner — depend
+        // on knowledge-base insertion order; with the code in the key, two
+        // KBs holding the same configurations always elect the same code.
+        scored.sort_by(|a, b| {
+            b.0.total_cmp(&a.0)
+                .then_with(|| kb.nodes()[a.1].error_code.cmp(&kb.nodes()[b.1].error_code))
+                .then(a.1.cmp(&b.1))
+        });
         scored.truncate(self.k);
 
         let mut votes: Vec<(String, f64)> = Vec::new();
@@ -147,6 +359,7 @@ impl MajorityVoteKnn {
                 None => votes.push((code.clone(), weight)),
             }
         }
+        // highest vote weight wins; equal weights break on code text
         votes
             .into_iter()
             .max_by(|a, b| a.1.total_cmp(&b.1).then(b.0.cmp(&a.0)))
@@ -213,6 +426,84 @@ mod tests {
         };
         let ranked = knn.rank(&kb, "P-01", &fs(&[1]));
         assert_eq!(ranked.len(), 25);
+    }
+
+    #[test]
+    fn truncation_happens_before_dedup() {
+        // Paper order of operations: cut the *node* list at top_nodes first,
+        // then collapse codes. With top_nodes = 2 the two best nodes both
+        // carry EAAA, so EBBB (third-best node) must NOT appear — it would
+        // if dedup ran before the cut.
+        let mut kb = KnowledgeBase::new();
+        kb.insert("P", "EAAA", fs(&[1, 2, 3]));
+        kb.insert("P", "EAAA", fs(&[1, 2, 4]));
+        kb.insert("P", "EBBB", fs(&[1, 9]));
+        let knn = RankedKnn {
+            top_nodes: 2,
+            measure: SimilarityMeasure::Jaccard,
+        };
+        let ranked = knn.rank(&kb, "P", &fs(&[1, 2, 3]));
+        assert_eq!(ranked.len(), 1);
+        assert_eq!(ranked[0].code, "EAAA");
+        // the surviving code carries the best of its nodes' scores
+        assert!((ranked[0].score - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ranking_sorted_descending_with_code_tiebreak() {
+        let mut kb = KnowledgeBase::new();
+        kb.insert("P", "ED", fs(&[1, 2, 3, 4])); // 0.25 on q
+        kb.insert("P", "EC", fs(&[1, 5])); // 0.5
+        kb.insert("P", "EA", fs(&[1, 6])); // 0.5 — ties with EC
+        kb.insert("P", "EB", fs(&[1])); // 1.0
+        let knn = RankedKnn::new(SimilarityMeasure::Jaccard);
+        let ranked = knn.rank(&kb, "P", &fs(&[1]));
+        let codes: Vec<&str> = ranked.iter().map(|s| s.code.as_str()).collect();
+        assert_eq!(codes, ["EB", "EA", "EC", "ED"]);
+        for w in ranked.windows(2) {
+            assert!(w[0].score > w[1].score || (w[0].score == w[1].score && w[0].code < w[1].code));
+        }
+    }
+
+    #[test]
+    fn empty_feature_query_yields_empty_ranking_for_known_part() {
+        let knn = RankedKnn::default();
+        let ranked = knn.rank(&kb(), "P-01", &FeatureSet::default());
+        assert!(ranked.is_empty());
+        // … but an unknown part still gets the whole-KB fallback, scored 0
+        let fallback = knn.rank(&kb(), "P-??", &FeatureSet::default());
+        assert!(!fallback.is_empty());
+        assert!(fallback.iter().all(|s| s.score == 0.0));
+    }
+
+    #[test]
+    fn batch_results_independent_of_thread_count() {
+        let kb = kb();
+        let knn = RankedKnn::new(SimilarityMeasure::Jaccard);
+        let queries_owned = [
+            ("P-01", fs(&[1, 2, 3])),
+            ("P-01", fs(&[2, 3])),
+            ("P-02", fs(&[1, 2, 3])),
+            ("P-??", fs(&[777])),
+            ("P-01", fs(&[])),
+        ];
+        let queries: Vec<BatchQuery<'_>> = queries_owned
+            .iter()
+            .map(|(p, f)| BatchQuery {
+                part_id: p,
+                features: f,
+            })
+            .collect();
+        let expected: Vec<Vec<ScoredCode>> = queries
+            .iter()
+            .map(|q| knn.rank(&kb, q.part_id, q.features))
+            .collect();
+        for threads in [1, 2, 3, 8] {
+            let got = knn.classify_batch_with_threads(&kb, &queries, threads);
+            assert_eq!(got, expected, "divergence at {threads} threads");
+        }
+        assert_eq!(knn.classify_batch(&kb, &queries), expected);
+        assert!(knn.classify_batch(&kb, &[]).is_empty());
     }
 
     #[test]
@@ -292,6 +583,41 @@ mod tests {
     }
 
     #[test]
+    fn majority_vote_ties_independent_of_insertion_order() {
+        // Regression: with k = 1 and two equal-score nodes of different
+        // codes, the vote used to go to whichever node entered the knowledge
+        // base first (ties at the k-truncation boundary broke on node
+        // index). The code-text tie-break makes both insertion orders elect
+        // the lexicographically smaller code.
+        let q = fs(&[1, 2]);
+        for order in [["EB", "EA"], ["EA", "EB"]] {
+            let mut kb = KnowledgeBase::new();
+            for code in order {
+                kb.insert("P", code, fs(&[1, 2]));
+            }
+            let knn = MajorityVoteKnn::new(1, SimilarityMeasure::Jaccard);
+            assert_eq!(
+                knn.classify(&kb, "P", &q).as_deref(),
+                Some("EA"),
+                "insertion order {order:?} changed the winner"
+            );
+        }
+        // same at a truncation boundary inside a larger neighbourhood:
+        // k = 3 keeps both perfect-score nodes plus exactly one of the two
+        // tied 0.5-score nodes — which one must not depend on insertion order
+        for order in [["EY", "EX"], ["EX", "EY"]] {
+            let mut kb = KnowledgeBase::new();
+            kb.insert("P", "EM", fs(&[1, 2]));
+            kb.insert("P", "EM", fs(&[1, 2, 3]));
+            for code in order {
+                kb.insert("P", code, fs(&[1, 9]));
+            }
+            let knn = MajorityVoteKnn::new(3, SimilarityMeasure::Overlap);
+            assert_eq!(knn.classify(&kb, "P", &q).as_deref(), Some("EM"));
+        }
+    }
+
+    #[test]
     fn majority_vote_empty_cases() {
         let knn = MajorityVoteKnn::new(5, SimilarityMeasure::Jaccard);
         assert_eq!(knn.classify(&KnowledgeBase::new(), "P", &fs(&[1])), None);
@@ -302,7 +628,9 @@ mod tests {
     #[test]
     fn empty_query_or_kb() {
         let knn = RankedKnn::default();
-        assert!(knn.rank(&KnowledgeBase::new(), "P-01", &fs(&[1])).is_empty());
+        assert!(knn
+            .rank(&KnowledgeBase::new(), "P-01", &fs(&[1]))
+            .is_empty());
         assert!(knn.rank(&kb(), "P-01", &FeatureSet::default()).is_empty());
     }
 }

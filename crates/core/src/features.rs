@@ -164,11 +164,7 @@ impl FeatureSpace {
             // StemAnnotator rewrote them); extraction itself is identical to
             // the stopword-filtered word model
             FeatureModel::BagOfStems | FeatureModel::BagOfWordsNoStop => {
-                let toks: Vec<String> = cas
-                    .token_norms()
-                    .iter()
-                    .map(|s| (*s).to_owned())
-                    .collect();
+                let toks: Vec<String> = cas.token_norms().iter().map(|s| (*s).to_owned()).collect();
                 let mut ids = Vec::with_capacity(toks.len());
                 for t in &toks {
                     if !self.stopword(t) {

@@ -32,8 +32,50 @@ pub struct KnowledgeBase {
     by_part: HashMap<String, Vec<usize>>,
     inverted: HashMap<u32, Vec<usize>>,
     dedup: HashSet<(String, String, Vec<u32>)>,
+    /// Dense part index: part ID → small integer, assigned on first insert.
+    part_ids: HashMap<String, u32>,
+    /// Per-node dense part index, aligned with `nodes` — lets the score
+    /// accumulator filter postings with an integer compare instead of a
+    /// string compare.
+    node_parts: Vec<u32>,
     /// Raw instances offered, including duplicates (for the dedup ratio).
     offered: usize,
+}
+
+/// Reusable per-thread scratch state for the posting-list score-accumulation
+/// kernel ([`KnowledgeBase::accumulate_counts`]). Holds a per-node
+/// intersection-count array plus the list of touched nodes, so a query
+/// resets in O(candidates) rather than O(knowledge base).
+#[derive(Debug, Default, Clone)]
+pub struct ScoreScratch {
+    counts: Vec<u32>,
+    touched: Vec<u32>,
+}
+
+impl ScoreScratch {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Node indexes with at least one shared feature, in posting order.
+    pub fn touched(&self) -> &[u32] {
+        &self.touched
+    }
+
+    /// Intersection count of a touched node.
+    pub fn count(&self, node: u32) -> u32 {
+        self.counts[node as usize]
+    }
+
+    fn reset(&mut self, n_nodes: usize) {
+        if self.counts.len() < n_nodes {
+            self.counts.resize(n_nodes, 0);
+        }
+        for &t in &self.touched {
+            self.counts[t as usize] = 0;
+        }
+        self.touched.clear();
+    }
 }
 
 impl KnowledgeBase {
@@ -53,16 +95,15 @@ impl KnowledgeBase {
         let part_id = part_id.into();
         let error_code = error_code.into();
         self.offered += 1;
-        let key = (
-            part_id.clone(),
-            error_code.clone(),
-            features.ids().to_vec(),
-        );
+        let key = (part_id.clone(), error_code.clone(), features.ids().to_vec());
         if !self.dedup.insert(key) {
             return false;
         }
         let idx = self.nodes.len();
         self.by_part.entry(part_id.clone()).or_default().push(idx);
+        let next_part = self.part_ids.len() as u32;
+        let part_idx = *self.part_ids.entry(part_id.clone()).or_insert(next_part);
+        self.node_parts.push(part_idx);
         for f in features.iter() {
             self.inverted.entry(f).or_default().push(idx);
         }
@@ -143,6 +184,41 @@ impl KnowledgeBase {
         out
     }
 
+    /// Posting-list score accumulation — the kernel behind
+    /// [`crate::classifier::RankedKnn::rank`]. Walks the inverted index once
+    /// per query and accumulates `|A ∩ B|` per candidate node into
+    /// `scratch`, applying the part filter of [`KnowledgeBase::candidates`]
+    /// inline (known part: only that part's nodes; unknown part: every node
+    /// sharing ≥ 1 feature). Unlike `candidates`, this produces the
+    /// intersection counts as a by-product, so the classifier never has to
+    /// re-intersect feature sets — one pass replaces the
+    /// build-candidate-set → re-intersect double pass.
+    ///
+    /// The unknown-part zero-overlap fallback ("select all nodes") is *not*
+    /// applied here; callers detect `scratch.touched().is_empty()` and
+    /// handle it (the classifier scores that fallback as all-zero anyway).
+    pub fn accumulate_counts(
+        &self,
+        part_id: &str,
+        features: &FeatureSet,
+        scratch: &mut ScoreScratch,
+    ) {
+        scratch.reset(self.nodes.len());
+        let part = self.part_ids.get(part_id).copied();
+        for f in features.iter() {
+            if let Some(postings) = self.inverted.get(&f) {
+                for &n in postings {
+                    if part.is_none_or(|p| self.node_parts[n] == p) {
+                        if scratch.counts[n] == 0 {
+                            scratch.touched.push(n as u32);
+                        }
+                        scratch.counts[n] += 1;
+                    }
+                }
+            }
+        }
+    }
+
     /// Naive candidate generation without the inverted index (full scan of
     /// the part's nodes) — the ablation comparator for the `candidate` bench.
     pub fn candidates_scan(&self, part_id: &str, features: &FeatureSet) -> Vec<usize> {
@@ -179,11 +255,8 @@ impl KnowledgeBase {
                 .col("features", DataType::Blob)
                 .build()?;
             db.create_table(Self::TABLE, schema)?;
-            db.table_mut(Self::TABLE)?.create_index(
-                "kn_by_part",
-                "part_id",
-                IndexKind::Hash,
-            )?;
+            db.table_mut(Self::TABLE)?
+                .create_index("kn_by_part", "part_id", IndexKind::Hash)?;
         } else {
             db.table_mut(Self::TABLE)?.truncate();
         }
@@ -208,9 +281,7 @@ impl KnowledgeBase {
     /// Load back from a relational database.
     pub fn load_from_db(db: &Database) -> StoreResult<Self> {
         let table = db.table(Self::TABLE)?;
-        let rows = Query::new()
-            .order_by("id", SortOrder::Asc)
-            .run(table)?;
+        let rows = Query::new().order_by("id", SortOrder::Asc).run(table)?;
         let mut kb = KnowledgeBase::new();
         for r in rows {
             let part = r.get(1).and_then(Value::as_text).unwrap_or_default();

@@ -47,11 +47,11 @@ pub mod similarity;
 pub mod prelude {
     pub use crate::baselines::{CandidateSetBaseline, CodeFrequencyBaseline};
     pub use crate::bootstrap::{hits_at_k, paired_bootstrap, BootstrapResult};
-    pub use crate::classifier::{MajorityVoteKnn, RankedKnn, ScoredCode};
+    pub use crate::classifier::{BatchQuery, MajorityVoteKnn, RankedKnn, ScoredCode};
     pub use crate::eval::{stratified_folds, AccuracyCounter, PAPER_KS};
     pub use crate::features::{FeatureModel, FeatureSet, FeatureSpace};
     pub use crate::interner::Interner;
-    pub use crate::knowledge::{KnowledgeBase, KnowledgeNode};
+    pub use crate::knowledge::{KnowledgeBase, KnowledgeNode, ScoreScratch};
     pub use crate::pipeline::{
         build_pipeline, run_experiment, AccuracyCurve, ClassifierConfig, ExperimentResult,
     };

@@ -19,9 +19,9 @@ use qatk_text::stemmer::StemAnnotator;
 use qatk_text::tokenizer::WhitespaceTokenizer;
 
 use crate::baselines::{CandidateSetBaseline, CodeFrequencyBaseline};
-use crate::classifier::RankedKnn;
+use crate::classifier::{BatchQuery, RankedKnn};
 use crate::eval::{stratified_folds, AccuracyCounter, PAPER_KS};
-use crate::features::{FeatureModel, FeatureSpace};
+use crate::features::{FeatureModel, FeatureSet, FeatureSpace};
 use crate::knowledge::KnowledgeBase;
 use crate::similarity::SimilarityMeasure;
 
@@ -163,7 +163,9 @@ fn run_fold(
             continue;
         }
         let mut cas = b.to_cas(SourceSelection::Training);
-        pipeline.process(&mut cas).expect("pipeline never fails on corpus text");
+        pipeline
+            .process(&mut cas)
+            .expect("pipeline never fails on corpus text");
         let features = space.extract(&cas, config.model);
         let code = b.error_code.as_deref().expect("training bundles are coded");
         kb.insert(b.part_id.clone(), code, features);
@@ -182,23 +184,39 @@ fn run_fold(
     let mut per_part: std::collections::HashMap<String, AccuracyCounter> =
         std::collections::HashMap::new();
     let mut ranks: Vec<(usize, Option<usize>)> = Vec::new();
-    let mut tested = 0usize;
     let mut feature_sum = 0usize;
     let start = Instant::now();
+
+    // extract the test bundles' features, then classify the whole fold as
+    // one parallel batch (per-thread scratch state inside classify_batch)
+    let mut test_set: Vec<(usize, &DataBundle, FeatureSet)> = Vec::new();
     for (i, b) in bundles.iter().enumerate() {
         if fold_of[i] != fold {
             continue;
         }
-        let truth = b.error_code.as_deref().expect("test bundles are coded");
         let mut cas = b.to_cas(config.test_selection);
-        pipeline.process(&mut cas).expect("pipeline never fails on corpus text");
+        pipeline
+            .process(&mut cas)
+            .expect("pipeline never fails on corpus text");
         let features = space.extract(&cas, config.model);
         feature_sum += features.len();
+        test_set.push((i, b, features));
+    }
+    let queries: Vec<BatchQuery<'_>> = test_set
+        .iter()
+        .map(|(_, b, features)| BatchQuery {
+            part_id: &b.part_id,
+            features,
+        })
+        .collect();
+    let rankings = knn.classify_batch(&kb, &queries);
 
-        let ranked = knn.rank(&kb, &b.part_id, &features);
-        let rank_of_truth = knn.rank_of(&ranked, truth);
+    let tested = test_set.len();
+    for ((i, b, features), ranked) in test_set.iter().zip(&rankings) {
+        let truth = b.error_code.as_deref().expect("test bundles are coded");
+        let rank_of_truth = knn.rank_of(ranked, truth);
         knn_acc.record(rank_of_truth);
-        ranks.push((i, rank_of_truth));
+        ranks.push((*i, rank_of_truth));
         per_part
             .entry(b.part_id.clone())
             .or_insert_with(|| AccuracyCounter::new(&config.ks))
@@ -207,10 +225,8 @@ fn run_fold(
         let freq_rank = freq_baseline.rank(&b.part_id);
         freq_acc.record(freq_rank.iter().position(|c| c == truth));
 
-        let cand_rank = CandidateSetBaseline.rank(&kb, &b.part_id, &features);
+        let cand_rank = CandidateSetBaseline.rank(&kb, &b.part_id, features);
         cand_acc.record(cand_rank.iter().position(|c| c == truth));
-
-        tested += 1;
     }
     FoldOutcome {
         knn: knn_acc,
@@ -243,7 +259,7 @@ pub fn run_experiment(corpus: &Corpus, config: &ClassifierConfig) -> ExperimentR
     let pipeline = build_pipeline(corpus, config.model);
 
     let mut outcomes: Vec<Option<FoldOutcome>> = (0..config.folds).map(|_| None).collect();
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         let mut handles = Vec::new();
         for fold in 0..config.folds {
             let bundles = &bundles;
@@ -251,14 +267,13 @@ pub fn run_experiment(corpus: &Corpus, config: &ClassifierConfig) -> ExperimentR
             let pipeline = &pipeline;
             handles.push((
                 fold,
-                s.spawn(move |_| run_fold(bundles, fold_of, fold, pipeline, config)),
+                s.spawn(move || run_fold(bundles, fold_of, fold, pipeline, config)),
             ));
         }
         for (fold, h) in handles {
             outcomes[fold] = Some(h.join().expect("fold thread panicked"));
         }
-    })
-    .expect("crossbeam scope");
+    });
 
     let outcomes: Vec<FoldOutcome> = outcomes.into_iter().map(Option::unwrap).collect();
     let mut knn = AccuracyCounter::new(&config.ks);

@@ -46,15 +46,26 @@ impl SimilarityMeasure {
     /// Score two sets in [0, 1]. Empty sets score 0 against everything
     /// (a report without features supports no recommendation).
     pub fn score(self, a: &FeatureSet, b: &FeatureSet) -> f64 {
-        if a.is_empty() || b.is_empty() {
+        self.score_from_counts(a.intersection_size(b), a.len(), b.len())
+    }
+
+    /// Score from pre-computed set cardinalities: `inter` = |A ∩ B| against
+    /// |A| and |B|. This is the form the posting-list accumulation kernel
+    /// uses — the counts come out of one inverted-index walk, so no feature
+    /// set is ever re-intersected. Every measure is a function of these
+    /// three integers (|A ∪ B| = |A| + |B| − |A ∩ B|), and the arithmetic
+    /// matches [`SimilarityMeasure::score`] operation-for-operation, so the
+    /// two paths agree bit-for-bit.
+    pub fn score_from_counts(self, inter: usize, a_len: usize, b_len: usize) -> f64 {
+        if a_len == 0 || b_len == 0 {
             return 0.0;
         }
-        let inter = a.intersection_size(b) as f64;
+        let i = inter as f64;
         match self {
-            SimilarityMeasure::Jaccard => inter / a.union_size(b) as f64,
-            SimilarityMeasure::Overlap => inter / a.len().min(b.len()) as f64,
-            SimilarityMeasure::Dice => 2.0 * inter / (a.len() + b.len()) as f64,
-            SimilarityMeasure::Cosine => inter / ((a.len() * b.len()) as f64).sqrt(),
+            SimilarityMeasure::Jaccard => i / (a_len + b_len - inter) as f64,
+            SimilarityMeasure::Overlap => i / a_len.min(b_len) as f64,
+            SimilarityMeasure::Dice => 2.0 * i / (a_len + b_len) as f64,
+            SimilarityMeasure::Cosine => i / ((a_len * b_len) as f64).sqrt(),
         }
     }
 }
@@ -131,8 +142,7 @@ mod tests {
         ];
         for (a, b) in &cases {
             assert!(
-                SimilarityMeasure::Overlap.score(a, b)
-                    >= SimilarityMeasure::Jaccard.score(a, b)
+                SimilarityMeasure::Overlap.score(a, b) >= SimilarityMeasure::Jaccard.score(a, b)
             );
         }
     }

@@ -1,0 +1,67 @@
+//! Golden end-to-end regression: `run_experiment` on a fixed seeded corpus
+//! must keep producing the exact accuracy curve it produced when the
+//! posting-list kernel landed. The whole chain is deterministic (seeded
+//! corpus generator, stratified folds, total-order tie-breaks), so any drift
+//! here means classification behaviour changed — rankings, fold assignment
+//! or feature extraction — not noise.
+
+use qatk_core::prelude::*;
+use qatk_corpus::prelude::*;
+
+const SEED: u64 = 20160315; // EDBT 2016
+
+fn accuracy_at(curve: &AccuracyCurve, k: usize) -> f64 {
+    let i = curve.ks.iter().position(|&x| x == k).expect("k tracked");
+    curve.accuracy[i]
+}
+
+fn run(model: FeatureModel) -> ExperimentResult {
+    let corpus = Corpus::generate(CorpusConfig::small(SEED));
+    let config = ClassifierConfig {
+        model,
+        folds: 3,
+        ..ClassifierConfig::default()
+    };
+    run_experiment(&corpus, &config)
+}
+
+fn assert_curve(result: &ExperimentResult, golden: &[(usize, f64)]) {
+    for &(k, expected) in golden {
+        let got = accuracy_at(&result.classifier, k);
+        assert!(
+            (got - expected).abs() < 5e-5,
+            "{}: accuracy@{k} drifted: got {got:.6}, golden {expected:.4}",
+            result.config_label,
+        );
+    }
+    // the curve is monotone in k by construction
+    for w in result.classifier.accuracy.windows(2) {
+        assert!(w[0] <= w[1]);
+    }
+}
+
+// Golden values: 548 coded bundles of the seed-20160315 small corpus under
+// 3-fold stratified CV. Accuracy@1 is 507/548 (concepts) and 511/548
+// (words); the curve saturates by k = 5 on this synthetic corpus — training
+// neighbours are close by construction, so the interesting signal for
+// regressions is @1 plus the exact test count.
+
+#[test]
+fn bag_of_concepts_accuracy_snapshot() {
+    let result = run(FeatureModel::BagOfConcepts);
+    assert_eq!(result.total_tested, 548);
+    assert_curve(
+        &result,
+        &[(1, 507.0 / 548.0), (5, 1.0), (10, 1.0), (25, 1.0)],
+    );
+}
+
+#[test]
+fn bag_of_words_accuracy_snapshot() {
+    let result = run(FeatureModel::BagOfWords);
+    assert_eq!(result.total_tested, 548);
+    assert_curve(
+        &result,
+        &[(1, 511.0 / 548.0), (5, 1.0), (10, 1.0), (25, 1.0)],
+    );
+}

@@ -66,14 +66,12 @@ impl SourceSelection {
                 ReportSource::Supplier,
                 ReportSource::PartDescription,
             ],
-            SourceSelection::MechanicOnly => &[
-                ReportSource::Mechanic,
-                ReportSource::PartDescription,
-            ],
-            SourceSelection::SupplierOnly => &[
-                ReportSource::Supplier,
-                ReportSource::PartDescription,
-            ],
+            SourceSelection::MechanicOnly => {
+                &[ReportSource::Mechanic, ReportSource::PartDescription]
+            }
+            SourceSelection::SupplierOnly => {
+                &[ReportSource::Supplier, ReportSource::PartDescription]
+            }
         }
     }
 }
@@ -159,7 +157,9 @@ mod tests {
             responsibility_code: Some("RC-2".into()),
             mechanic_report: "Kleint says taht radio turns on and off by itself.".into(),
             initial_report: Some("id test 470, no clear results, sending to supplier.".into()),
-            supplier_report: "Unit non-functional. Lüfter funktioniert nicht. Kontakt defekt, durchgeschmort.".into(),
+            supplier_report:
+                "Unit non-functional. Lüfter funktioniert nicht. Kontakt defekt, durchgeschmort."
+                    .into(),
             final_report: Some("Removed some dirt. Contact melted, code assigned.".into()),
             part_description: "Radio control unit type 4".into(),
             error_description: Some("Contact burnt through at connector".into()),

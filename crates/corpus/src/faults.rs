@@ -27,8 +27,8 @@ use qatk_taxonomy::taxonomy::Taxonomy;
 /// error codes"), the maximum is 146 ("the largest number of distinct error
 /// codes for one part id in our data set is 146").
 pub const POOL_SIZES: [usize; 31] = [
-    146, 118, 100, 90, 84, 76, 70, 64, 58, 53, 48, 44, 40, 37, 34, 31, 27, 24, 21, 19, 17, 15,
-    14, 12, 11, // 25 part IDs with > 10 codes
+    146, 118, 100, 90, 84, 76, 70, 64, 58, 53, 48, 44, 40, 37, 34, 31, 27, 24, 21, 19, 17, 15, 14,
+    12, 11, // 25 part IDs with > 10 codes
     6, 4, 3, 2, 2, 1, // 6 part IDs with <= 10 codes
 ];
 
@@ -92,8 +92,8 @@ const COMPONENT_CLASSES: [&str; 3] = ["infotainment", "electrical", "climate"];
 
 /// Consonant-vowel syllables for jargon-token generation.
 const SYLLABLES: [&str; 24] = [
-    "ka", "ro", "li", "ve", "ta", "mu", "so", "ne", "di", "pa", "ze", "go", "fi", "ha", "ju",
-    "be", "wa", "ol", "er", "an", "st", "sch", "tr", "kl",
+    "ka", "ro", "li", "ve", "ta", "mu", "so", "ne", "di", "pa", "ze", "go", "fi", "ha", "ju", "be",
+    "wa", "ol", "er", "an", "st", "sch", "tr", "kl",
 ];
 
 impl FaultWorld {
@@ -193,8 +193,14 @@ impl FaultWorld {
                 // symptom count skewed toward 1: ties inside a
                 // (component, symptom) cell are the norm, not the exception
                 let r = rng.random_range(0..100u32);
-                let n_sym = (if r < 50 { 1 } else if r < 85 { 2 } else { 3 })
-                    .min(pocket_size.max(1));
+                let n_sym = (if r < 50 {
+                    1
+                } else if r < 85 {
+                    2
+                } else {
+                    3
+                })
+                .min(pocket_size.max(1));
                 let mut symptoms = Vec::with_capacity(n_sym);
                 while symptoms.len() < n_sym {
                     let s = symptom_pocket[rng.random_range(0..pocket_size)];
@@ -235,7 +241,11 @@ impl FaultWorld {
                 description_de,
                 article_codes,
                 symptom_pocket,
-                supplier_lang: if rng.random_bool(0.55) { Lang::De } else { Lang::En },
+                supplier_lang: if rng.random_bool(0.55) {
+                    Lang::De
+                } else {
+                    Lang::En
+                },
             });
         }
 
@@ -377,7 +387,11 @@ mod tests {
         let n = vocab.len();
         vocab.sort();
         vocab.dedup();
-        assert_eq!(vocab.len(), n, "jargon tokens must not collide across codes");
+        assert_eq!(
+            vocab.len(),
+            n,
+            "jargon tokens must not collide across codes"
+        );
     }
 
     #[test]
@@ -385,12 +399,7 @@ mod tests {
         let w = world();
         let syn = SyntheticTaxonomy::generate(1);
         for p in &w.parts {
-            let sys_comps = &syn
-                .systems
-                .iter()
-                .find(|(n, _)| *n == p.system)
-                .unwrap()
-                .1;
+            let sys_comps = &syn.systems.iter().find(|(n, _)| *n == p.system).unwrap().1;
             for c in &p.components {
                 assert!(sys_comps.contains(c));
             }

@@ -225,7 +225,11 @@ fn generate_bundles(
         } else {
             Lang::En
         };
-        let oem_lang = if rng.random_bool(0.5) { Lang::De } else { Lang::En };
+        let oem_lang = if rng.random_bool(0.5) {
+            Lang::De
+        } else {
+            Lang::En
+        };
 
         let location = syn.locations[rng.random_range(0..syn.locations.len())];
         let solution = syn.solutions[rng.random_range(0..syn.solutions.len())];
@@ -313,9 +317,7 @@ fn generate_bundles(
 
         bundles.push(DataBundle {
             reference_number: format!("R-{:06}", i + 1),
-            article_code: part.article_codes
-                [rng.random_range(0..part.article_codes.len())]
-            .clone(),
+            article_code: part.article_codes[rng.random_range(0..part.article_codes.len())].clone(),
             part_id: part.part_id.clone(),
             error_code: Some(code.code.clone()),
             responsibility_code: Some(format!("RC-{}", rng.random_range(1..=5))),
@@ -412,7 +414,11 @@ mod tests {
     #[test]
     fn initial_report_roughly_forty_percent() {
         let c = small();
-        let with_initial = c.bundles.iter().filter(|b| b.initial_report.is_some()).count();
+        let with_initial = c
+            .bundles
+            .iter()
+            .filter(|b| b.initial_report.is_some())
+            .count();
         let share = with_initial as f64 / c.bundles.len() as f64;
         assert!((0.3..=0.5).contains(&share), "initial share = {share:.2}");
     }

@@ -33,8 +33,11 @@ pub fn create_schema(db: &mut Database) -> StoreResult<()> {
     db.create_table(tables::BUNDLES, bundles)?;
     db.table_mut(tables::BUNDLES)?
         .create_index("bundles_by_part", "part_id", IndexKind::Hash)?;
-    db.table_mut(tables::BUNDLES)?
-        .create_index("bundles_by_code", "error_code", IndexKind::Hash)?;
+    db.table_mut(tables::BUNDLES)?.create_index(
+        "bundles_by_code",
+        "error_code",
+        IndexKind::Hash,
+    )?;
 
     let parts = SchemaBuilder::new()
         .pk("part_id", DataType::Text)

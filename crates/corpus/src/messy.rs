@@ -212,12 +212,17 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(99);
         let text = "customer says that the radio turns on and off by itself electrical smell and crackling sound from the speaker area reported twice";
         let mut diffs = 0;
-        for _ in 0..50 {
+        // the per-run change rate is ~91%; sample widely enough that the
+        // 85% bound is far outside normal variation
+        for _ in 0..500 {
             if messify(text, &MessyConfig::mechanic(), &mut rng) != text {
                 diffs += 1;
             }
         }
-        assert!(diffs > 45, "mechanic channel too clean: {diffs}/50 changed");
+        assert!(
+            diffs > 425,
+            "mechanic channel too clean: {diffs}/500 changed"
+        );
     }
 
     #[test]
@@ -245,15 +250,26 @@ mod tests {
             case_noise_prob: 0.0,
             drop_punct_prob: 1.0,
         };
-        assert_eq!(messify("Unit non-functional.", &cfg, &mut rng), "Unit non-functional");
+        assert_eq!(
+            messify("Unit non-functional.", &cfg, &mut rng),
+            "Unit non-functional"
+        );
         assert_eq!(messify("no punct", &cfg, &mut rng), "no punct");
     }
 
     #[test]
     fn deterministic_for_seed() {
         let text = "the radio turns on and off by itself electrical smell";
-        let a = messify(text, &MessyConfig::mechanic(), &mut StdRng::seed_from_u64(11));
-        let b = messify(text, &MessyConfig::mechanic(), &mut StdRng::seed_from_u64(11));
+        let a = messify(
+            text,
+            &MessyConfig::mechanic(),
+            &mut StdRng::seed_from_u64(11),
+        );
+        let b = messify(
+            text,
+            &MessyConfig::mechanic(),
+            &mut StdRng::seed_from_u64(11),
+        );
         assert_eq!(a, b);
     }
 

@@ -146,10 +146,9 @@ pub fn generate_complaints(corpus: &Corpus, config: &NhtsaConfig) -> Vec<Complai
         let opener = OPENERS[rng.random_range(0..OPENERS.len())];
         let filler_a = CONSUMER_COMPLAINTS[rng.random_range(0..CONSUMER_COMPLAINTS.len())];
         let filler_b = CONSUMER_COMPLAINTS[rng.random_range(0..CONSUMER_COMPLAINTS.len())];
-        let text = format!(
-            "{opener}, the {component} exhibited {symptom}. {filler_a}. {filler_b}.",
-        )
-        .to_uppercase(); // the real ODI flat files are all-caps
+        let text =
+            format!("{opener}, the {component} exhibited {symptom}. {filler_a}. {filler_b}.",)
+                .to_uppercase(); // the real ODI flat files are all-caps
 
         out.push(Complaint {
             odi_id: 10_000_000 + i as u64,
@@ -270,8 +269,9 @@ mod tests {
         // no OEM jargon tokens appear as words (consumers don't use
         // internal spec references); word-level check avoids accidental
         // substring collisions with English words
-        let words: std::collections::HashSet<&str> =
-            t.split(|c: char| !c.is_alphanumeric() && c != '-').collect();
+        let words: std::collections::HashSet<&str> = t
+            .split(|c: char| !c.is_alphanumeric() && c != '-')
+            .collect();
         for code in &c.world.codes {
             for v in &code.vocab {
                 assert!(
@@ -302,7 +302,12 @@ mod tests {
                     *counts.entry(b.error_code.as_deref().unwrap()).or_insert(0) += 1;
                 }
             }
-            counts.into_iter().max_by_key(|&(_, n)| n).unwrap().0.to_owned()
+            counts
+                .into_iter()
+                .max_by_key(|&(_, n)| n)
+                .unwrap()
+                .0
+                .to_owned()
         };
         let complaint_top = {
             let mut counts: HashMap<&str, usize> = HashMap::new();
@@ -311,7 +316,12 @@ mod tests {
                     *counts.entry(&cp.latent_error_code).or_insert(0) += 1;
                 }
             }
-            counts.into_iter().max_by_key(|&(_, n)| n).unwrap().0.to_owned()
+            counts
+                .into_iter()
+                .max_by_key(|&(_, n)| n)
+                .unwrap()
+                .0
+                .to_owned()
         };
         assert_ne!(internal_top, complaint_top);
     }
@@ -342,8 +352,11 @@ mod tests {
 
     #[test]
     fn csv_import_rejects_garbage() {
-        assert!(complaints_from_csv("not,a,complaint,file
-").is_err());
+        assert!(complaints_from_csv(
+            "not,a,complaint,file
+"
+        )
+        .is_err());
         assert!(complaints_from_csv("").is_err());
     }
 

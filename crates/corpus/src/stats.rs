@@ -53,19 +53,9 @@ impl CorpusStats {
 
         let singleton_codes = code_counts.values().filter(|&&c| c == 1).count();
         let usable_classes = code_counts.len() - singleton_codes;
-        let usable_bundles = code_counts
-            .values()
-            .filter(|&&c| c > 1)
-            .sum::<usize>();
-        let max_codes_per_part = codes_per_part
-            .values()
-            .map(HashSet::len)
-            .max()
-            .unwrap_or(0);
-        let parts_with_over_10_codes = codes_per_part
-            .values()
-            .filter(|s| s.len() > 10)
-            .count();
+        let usable_bundles = code_counts.values().filter(|&&c| c > 1).sum::<usize>();
+        let max_codes_per_part = codes_per_part.values().map(HashSet::len).max().unwrap_or(0);
+        let parts_with_over_10_codes = codes_per_part.values().filter(|s| s.len() > 10).count();
 
         CorpusStats {
             n_bundles: bundles.len(),

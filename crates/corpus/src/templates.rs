@@ -157,12 +157,22 @@ pub fn initial_report(ctx: &ReportContext, lang: Lang, rng: &mut StdRng) -> Stri
     match lang {
         Lang::En => format!(
             "id test {test_no}, {}, sending on to supplier. {} to verify.",
-            pick(rng, &["no clear results", "inconclusive", "symptom confirmed"]),
+            pick(
+                rng,
+                &["no clear results", "inconclusive", "symptom confirmed"]
+            ),
             ctx.component
         ),
         Lang::De => format!(
             "id test {test_no}, {}, weiter an lieferant. {} zu prüfen.",
-            pick(rng, &["kein klares ergebnis", "nicht eindeutig", "symptom bestätigt"]),
+            pick(
+                rng,
+                &[
+                    "kein klares ergebnis",
+                    "nicht eindeutig",
+                    "symptom bestätigt"
+                ]
+            ),
             ctx.component
         ),
     }

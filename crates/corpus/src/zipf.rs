@@ -21,7 +21,10 @@ impl Zipf {
     /// programming errors.
     pub fn new(n: usize, s: f64) -> Self {
         assert!(n > 0, "zipf needs at least one rank");
-        assert!(s.is_finite() && s >= 0.0, "zipf exponent must be finite and >= 0");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "zipf exponent must be finite and >= 0"
+        );
         let mut cumulative = Vec::with_capacity(n);
         let mut total = 0.0;
         for k in 1..=n {

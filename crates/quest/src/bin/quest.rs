@@ -186,12 +186,8 @@ fn cmd_demo() -> Result<(), String> {
     let mut case = EvaluationCase::register("R-DEMO", corpus.bundles[0].part_id.clone(), "system");
     case.add_mechanic_report("shop-42", &corpus.bundles[0].mechanic_report)
         .map_err(|e| e.to_string())?;
-    case.add_supplier_report(
-        "supplier-x",
-        &corpus.bundles[0].supplier_report,
-        "RC-2",
-    )
-    .map_err(|e| e.to_string())?;
+    case.add_supplier_report("supplier-x", &corpus.bundles[0].supplier_report, "RC-2")
+        .map_err(|e| e.to_string())?;
     println!("case {} is now {}", case.reference_number, case.stage());
 
     let mut svc = RecommendationService::train(

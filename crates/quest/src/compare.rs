@@ -92,11 +92,7 @@ impl ComparisonReport {
     /// pie charts).
     pub fn render(&self) -> String {
         let mut out = String::new();
-        let _ = writeln!(
-            out,
-            "{:<28} | {:<28}",
-            self.left.label, self.right.label
-        );
+        let _ = writeln!(out, "{:<28} | {:<28}", self.left.label, self.right.label);
         let _ = writeln!(out, "{:-<28}-+-{:-<28}", "", "");
         let rows = self.left.rows.len().max(self.right.rows.len());
         let fmt_row = |d: &Distribution, i: usize| -> String {
@@ -106,7 +102,12 @@ impl ComparisonReport {
             }
         };
         for i in 0..rows {
-            let _ = writeln!(out, "{:<28} | {:<28}", fmt_row(&self.left, i), fmt_row(&self.right, i));
+            let _ = writeln!(
+                out,
+                "{:<28} | {:<28}",
+                fmt_row(&self.left, i),
+                fmt_row(&self.right, i)
+            );
         }
         let other = |d: &Distribution| {
             format!(
@@ -116,7 +117,12 @@ impl ComparisonReport {
                 d.other_count
             )
         };
-        let _ = writeln!(out, "{:<28} | {:<28}", other(&self.left), other(&self.right));
+        let _ = writeln!(
+            out,
+            "{:<28} | {:<28}",
+            other(&self.left),
+            other(&self.right)
+        );
         out
     }
 }
@@ -141,12 +147,12 @@ pub fn compare_with_complaints(
         internal.iter().map(String::as_str),
         top_n,
     );
-    let mut external_codes = Vec::with_capacity(complaints.len());
-    for c in complaints {
-        if let Some(top) = service.classify_external(&c.text).first() {
-            external_codes.push(top.code.clone());
-        }
-    }
+    let texts: Vec<&str> = complaints.iter().map(|c| c.text.as_str()).collect();
+    let external_codes: Vec<String> = service
+        .classify_external_batch(&texts, "<external>")
+        .iter()
+        .filter_map(|ranked| ranked.first().map(|top| top.code.clone()))
+        .collect();
     let right = Distribution::from_codes(
         "NHTSA Data",
         external_codes.iter().map(String::as_str),
@@ -172,15 +178,12 @@ pub fn compare_part_with_complaints(
         internal.iter().map(String::as_str),
         top_n,
     );
-    let mut external_codes = Vec::with_capacity(complaints.len());
-    for c in complaints {
-        if let Some(top) = service
-            .classify_external_for_part(&c.text, part_id)
-            .first()
-        {
-            external_codes.push(top.code.clone());
-        }
-    }
+    let texts: Vec<&str> = complaints.iter().map(|c| c.text.as_str()).collect();
+    let external_codes: Vec<String> = service
+        .classify_external_batch(&texts, part_id)
+        .iter()
+        .filter_map(|ranked| ranked.first().map(|top| top.code.clone()))
+        .collect();
     let right = Distribution::from_codes(
         format!("NHTSA Data ({part_id})"),
         external_codes.iter().map(String::as_str),
@@ -250,10 +253,7 @@ mod tests {
                 ..NhtsaConfig::default()
             },
         );
-        let internal = corpus
-            .bundles
-            .iter()
-            .filter_map(|b| b.error_code.clone());
+        let internal = corpus.bundles.iter().filter_map(|b| b.error_code.clone());
         let report = compare_with_complaints(&mut svc, internal, &complaints, 3);
         assert_eq!(report.left.rows.len(), 3);
         assert!(report.right.total > 0, "no complaint classified");

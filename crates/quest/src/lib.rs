@@ -26,10 +26,8 @@ pub mod prelude {
         compare_part_with_complaints, compare_with_complaints, ComparisonReport, Distribution,
         DistributionRow,
     };
-    pub use crate::service::{
-        RecommendationService, ServiceError, Suggestions, TOP_SUGGESTIONS,
-    };
     pub use crate::screens::{render_bundle, render_case, render_suggestions};
+    pub use crate::service::{RecommendationService, ServiceError, Suggestions, TOP_SUGGESTIONS};
     pub use crate::users::{Role, User, UserError, UserRegistry};
     pub use crate::workflow::{AuditEntry, EvaluationCase, Stage, WorkflowError};
 }

@@ -79,7 +79,11 @@ pub fn render_bundle(bundle: &DataBundle) -> String {
 pub fn render_suggestions(s: &Suggestions) -> String {
     let mut out = String::new();
     rule(&mut out, '=');
-    let _ = writeln!(out, "QUEST — error code suggestions for {}", s.reference_number);
+    let _ = writeln!(
+        out,
+        "QUEST — error code suggestions for {}",
+        s.reference_number
+    );
     rule(&mut out, '=');
     if s.top.is_empty() {
         out.push_str("no text-based suggestions — use the full code list below\n");
@@ -117,7 +121,13 @@ pub fn render_case(case: &EvaluationCase) -> String {
     );
     rule(&mut out, '=');
     for e in case.audit_trail() {
-        let _ = writeln!(out, "{:<20} {:<14} {}", e.stage.to_string(), e.actor, e.note);
+        let _ = writeln!(
+            out,
+            "{:<20} {:<14} {}",
+            e.stage.to_string(),
+            e.actor,
+            e.note
+        );
     }
     out
 }
@@ -154,7 +164,7 @@ mod tests {
         assert!(text.contains("supplier report"));
         assert!(text.contains("not assigned"));
         assert!(!text.contains("final OEM report")); // absent field skipped
-        // long reports are wrapped: no line wider than the screen
+                                                     // long reports are wrapped: no line wider than the screen
         for line in text.lines() {
             assert!(line.chars().count() <= WIDTH + 2, "too wide: {line}");
         }
@@ -188,8 +198,18 @@ mod tests {
         assert!(text.contains("  2. E0702"));
         assert!(text.contains("3 codes available"));
         // score bars scale with score
-        let bar1 = text.lines().find(|l| l.contains("E0701")).unwrap().matches('#').count();
-        let bar2 = text.lines().find(|l| l.contains("E0702")).unwrap().matches('#').count();
+        let bar1 = text
+            .lines()
+            .find(|l| l.contains("E0701"))
+            .unwrap()
+            .matches('#')
+            .count();
+        let bar2 = text
+            .lines()
+            .find(|l| l.contains("E0702"))
+            .unwrap()
+            .matches('#')
+            .count();
         assert!(bar1 > bar2);
     }
 

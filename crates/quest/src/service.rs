@@ -123,12 +123,42 @@ impl RecommendationService {
 
     /// Suggestions for a (possibly not yet coded) bundle.
     pub fn suggest(&mut self, bundle: &DataBundle) -> Suggestions {
+        let features = self.extract(bundle);
+        let ranked = self.knn.rank(&self.kb, &bundle.part_id, &features);
+        self.assemble(bundle, ranked)
+    }
+
+    /// Suggestions for a whole worklist at once. The rankings come out of
+    /// [`RankedKnn::classify_batch`], which fans the bundles across scoped
+    /// worker threads with per-thread scratch state — per-bundle results are
+    /// identical to calling [`RecommendationService::suggest`] in a loop.
+    pub fn suggest_batch(&mut self, bundles: &[&DataBundle]) -> Vec<Suggestions> {
+        let features: Vec<FeatureSet> = bundles.iter().map(|b| self.extract(b)).collect();
+        let queries: Vec<BatchQuery<'_>> = bundles
+            .iter()
+            .zip(&features)
+            .map(|(b, f)| BatchQuery {
+                part_id: &b.part_id,
+                features: f,
+            })
+            .collect();
+        let rankings = self.knn.classify_batch(&self.kb, &queries);
+        bundles
+            .iter()
+            .zip(rankings)
+            .map(|(b, ranked)| self.assemble(b, ranked))
+            .collect()
+    }
+
+    fn extract(&mut self, bundle: &DataBundle) -> FeatureSet {
         let mut cas = bundle.to_cas(SourceSelection::Test);
         self.pipeline
             .process(&mut cas)
             .expect("corpus text never fails the pipeline");
-        let features = self.space.extract(&cas, self.model);
-        let mut top = self.knn.rank(&self.kb, &bundle.part_id, &features);
+        self.space.extract(&cas, self.model)
+    }
+
+    fn assemble(&self, bundle: &DataBundle, mut top: Vec<ScoredCode>) -> Suggestions {
         top.truncate(TOP_SUGGESTIONS);
         let mut all: Vec<String> = self
             .kb
@@ -174,7 +204,10 @@ impl RecommendationService {
         // drop earlier suggestions for this bundle
         let stale: Vec<Value> = db
             .table(tables::RECOMMENDATIONS)?
-            .lookup("reference_number", &Value::from(s.reference_number.as_str()))?
+            .lookup(
+                "reference_number",
+                &Value::from(s.reference_number.as_str()),
+            )?
             .iter()
             .map(|r| r.values()[0].clone())
             .collect();
@@ -225,7 +258,10 @@ impl RecommendationService {
                 .build()?;
             db.create_table(tables::ASSIGNMENTS, schema)?;
         }
-        if let Some(prev) = db.get(tables::ASSIGNMENTS, &Value::from(bundle.reference_number.as_str()))? {
+        if let Some(prev) = db.get(
+            tables::ASSIGNMENTS,
+            &Value::from(bundle.reference_number.as_str()),
+        )? {
             let prev_code = prev.get(1).and_then(Value::as_text).unwrap_or_default();
             return Err(ServiceError::AlreadyAssigned {
                 reference: bundle.reference_number.clone(),
@@ -307,13 +343,36 @@ impl RecommendationService {
     /// per-part comparison screen, where the external source was pre-filtered
     /// by component category.
     pub fn classify_external_for_part(&mut self, text: &str, part_id: &str) -> Vec<ScoredCode> {
+        let features = self.extract_external(text);
+        self.knn.rank(&self.kb, part_id, &features)
+    }
+
+    /// Batch variant of [`RecommendationService::classify_external_for_part`]:
+    /// all texts share one part ID (or `"<external>"` for the unscoped path)
+    /// and are ranked in parallel via [`RankedKnn::classify_batch`].
+    pub fn classify_external_batch(
+        &mut self,
+        texts: &[&str],
+        part_id: &str,
+    ) -> Vec<Vec<ScoredCode>> {
+        let features: Vec<FeatureSet> = texts.iter().map(|t| self.extract_external(t)).collect();
+        let queries: Vec<BatchQuery<'_>> = features
+            .iter()
+            .map(|f| BatchQuery {
+                part_id,
+                features: f,
+            })
+            .collect();
+        self.knn.classify_batch(&self.kb, &queries)
+    }
+
+    fn extract_external(&mut self, text: &str) -> FeatureSet {
         let mut cas = qatk_text::cas::Cas::new();
         cas.add_segment("external_text", text);
         self.pipeline
             .process(&mut cas)
             .expect("plain text never fails the pipeline");
-        let features = self.space.extract(&cas, self.model);
-        self.knn.rank(&self.kb, part_id, &features)
+        self.space.extract(&cas, self.model)
     }
 }
 
@@ -337,8 +396,11 @@ mod tests {
     #[test]
     fn suggestions_capped_at_ten_with_fallback_list() {
         let c = corpus();
-        let mut svc =
-            RecommendationService::train(&c, FeatureModel::BagOfConcepts, SimilarityMeasure::Jaccard);
+        let mut svc = RecommendationService::train(
+            &c,
+            FeatureModel::BagOfConcepts,
+            SimilarityMeasure::Jaccard,
+        );
         assert!(svc.kb_len() > 0);
         let b = &c.bundles[0];
         let s = svc.suggest(b);
@@ -373,10 +435,49 @@ mod tests {
     }
 
     #[test]
-    fn persist_suggestions_roundtrip_and_replace() {
+    fn suggest_batch_matches_sequential_suggest() {
+        let c = corpus();
+        let mut svc = RecommendationService::train(
+            &c,
+            FeatureModel::BagOfConcepts,
+            SimilarityMeasure::Jaccard,
+        );
+        let worklist: Vec<&DataBundle> = c.bundles.iter().take(40).collect();
+        let batch = svc.suggest_batch(&worklist);
+        assert_eq!(batch.len(), worklist.len());
+        for (b, got) in worklist.iter().zip(&batch) {
+            let expected = svc.suggest(b);
+            assert_eq!(*got, expected, "batch diverges for {}", b.reference_number);
+        }
+    }
+
+    #[test]
+    fn external_batch_matches_sequential_classification() {
         let c = corpus();
         let mut svc =
-            RecommendationService::train(&c, FeatureModel::BagOfConcepts, SimilarityMeasure::Jaccard);
+            RecommendationService::train(&c, FeatureModel::BagOfWords, SimilarityMeasure::Overlap);
+        let texts = [
+            "THE COOLING FAN EXHIBITED GRINDING NOISE",
+            "SPEAKER RATTLE AT HIGH VOLUME",
+            "",
+        ];
+        let part = c.bundles[0].part_id.clone();
+        let batch = svc.classify_external_batch(&texts, &part);
+        assert_eq!(batch.len(), texts.len());
+        for (t, got) in texts.iter().zip(&batch) {
+            let expected = svc.classify_external_for_part(t, &part);
+            assert_eq!(*got, expected);
+        }
+    }
+
+    #[test]
+    fn persist_suggestions_roundtrip_and_replace() {
+        let c = corpus();
+        let mut svc = RecommendationService::train(
+            &c,
+            FeatureModel::BagOfConcepts,
+            SimilarityMeasure::Jaccard,
+        );
         let mut db = Database::new();
         let s = svc.suggest(&c.bundles[0]);
         svc.persist_suggestions(&mut db, &s).unwrap();
@@ -390,8 +491,11 @@ mod tests {
     #[test]
     fn assignment_requires_rights_and_known_code() {
         let c = corpus();
-        let svc =
-            RecommendationService::train(&c, FeatureModel::BagOfConcepts, SimilarityMeasure::Jaccard);
+        let svc = RecommendationService::train(
+            &c,
+            FeatureModel::BagOfConcepts,
+            SimilarityMeasure::Jaccard,
+        );
         let users = users();
         let mut db = Database::new();
         let b = &c.bundles[0];
@@ -411,7 +515,10 @@ mod tests {
             Err(ServiceError::AlreadyAssigned { .. })
         ));
         let stored = db
-            .get(tables::ASSIGNMENTS, &Value::from(b.reference_number.as_str()))
+            .get(
+                tables::ASSIGNMENTS,
+                &Value::from(b.reference_number.as_str()),
+            )
             .unwrap()
             .unwrap();
         assert_eq!(stored.get(2).and_then(Value::as_text), Some("anna"));
@@ -420,8 +527,11 @@ mod tests {
     #[test]
     fn code_creation_gated_and_visible() {
         let c = corpus();
-        let mut svc =
-            RecommendationService::train(&c, FeatureModel::BagOfConcepts, SimilarityMeasure::Jaccard);
+        let mut svc = RecommendationService::train(
+            &c,
+            FeatureModel::BagOfConcepts,
+            SimilarityMeasure::Jaccard,
+        );
         let users = users();
         let b = c.bundles[0].clone();
 
@@ -429,9 +539,11 @@ mod tests {
             svc.create_code(&users, "anna", &b.part_id, "E-NEW"),
             Err(ServiceError::User(UserError::Forbidden { .. }))
         ));
-        svc.create_code(&users, "root", &b.part_id, "E-NEW").unwrap();
+        svc.create_code(&users, "root", &b.part_id, "E-NEW")
+            .unwrap();
         // idempotent
-        svc.create_code(&users, "root", &b.part_id, "E-NEW").unwrap();
+        svc.create_code(&users, "root", &b.part_id, "E-NEW")
+            .unwrap();
         let s = svc.suggest(&b);
         assert!(s.all_codes_for_part.contains(&"E-NEW".to_owned()));
         // and assignable now
@@ -442,8 +554,11 @@ mod tests {
     #[test]
     fn online_learning_adds_configurations() {
         let c = corpus();
-        let svc2 =
-            RecommendationService::train(&c, FeatureModel::BagOfConcepts, SimilarityMeasure::Jaccard);
+        let svc2 = RecommendationService::train(
+            &c,
+            FeatureModel::BagOfConcepts,
+            SimilarityMeasure::Jaccard,
+        );
         let before = svc2.kb_len();
         // a brand-new bundle for a known part with a fresh admin-created code
         let mut fresh = c.bundles[0].clone();
@@ -455,7 +570,8 @@ mod tests {
 
         let users = users();
         let mut svc2 = svc2;
-        svc2.create_code(&users, "root", &fresh.part_id, "E-LEARN").unwrap();
+        svc2.create_code(&users, "root", &fresh.part_id, "E-LEARN")
+            .unwrap();
         let mut db = Database::new();
         let added = svc2
             .assign_and_learn(&mut db, &users, "anna", &fresh, "E-LEARN")
@@ -472,8 +588,11 @@ mod tests {
     #[test]
     fn learning_identical_configuration_is_deduped() {
         let c = corpus();
-        let mut svc =
-            RecommendationService::train(&c, FeatureModel::BagOfConcepts, SimilarityMeasure::Jaccard);
+        let mut svc = RecommendationService::train(
+            &c,
+            FeatureModel::BagOfConcepts,
+            SimilarityMeasure::Jaccard,
+        );
         let before = svc.kb_len();
         let b = c.bundles[0].clone();
         let code = b.error_code.clone().unwrap();
@@ -486,8 +605,11 @@ mod tests {
     #[test]
     fn external_classification_works_without_part_id() {
         let c = corpus();
-        let mut svc =
-            RecommendationService::train(&c, FeatureModel::BagOfConcepts, SimilarityMeasure::Jaccard);
+        let mut svc = RecommendationService::train(
+            &c,
+            FeatureModel::BagOfConcepts,
+            SimilarityMeasure::Jaccard,
+        );
         let ranked = svc.classify_external("THE COOLING FAN EXHIBITED GRINDING NOISE");
         // unknown part falls back across the whole KB; some suggestion appears
         assert!(!ranked.is_empty());

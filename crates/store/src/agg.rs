@@ -72,18 +72,20 @@ impl GroupBy {
     /// Run against a table; groups are returned sorted by key.
     pub fn run(&self, table: &Table) -> Result<Vec<GroupRow>> {
         let schema = table.schema();
-        let key_idx = schema
-            .column_index(&self.key_column)
-            .ok_or_else(|| StoreError::NoSuchColumn {
-                table: table.name().to_owned(),
-                column: self.key_column.clone(),
-            })?;
-        let agg_idx = schema
-            .column_index(&self.agg_column)
-            .ok_or_else(|| StoreError::NoSuchColumn {
-                table: table.name().to_owned(),
-                column: self.agg_column.clone(),
-            })?;
+        let key_idx =
+            schema
+                .column_index(&self.key_column)
+                .ok_or_else(|| StoreError::NoSuchColumn {
+                    table: table.name().to_owned(),
+                    column: self.key_column.clone(),
+                })?;
+        let agg_idx =
+            schema
+                .column_index(&self.agg_column)
+                .ok_or_else(|| StoreError::NoSuchColumn {
+                    table: table.name().to_owned(),
+                    column: self.agg_column.clone(),
+                })?;
 
         #[derive(Default)]
         struct Acc {
@@ -174,8 +176,13 @@ mod tests {
             (6, "P-02", "E1", Some(0.4)),
         ];
         for (id, p, c, s) in rows {
-            t.insert(row![id as i64, p, c, s.map(Value::Float).unwrap_or(Value::Null)])
-                .unwrap();
+            t.insert(row![
+                id as i64,
+                p,
+                c,
+                s.map(Value::Float).unwrap_or(Value::Null)
+            ])
+            .unwrap();
         }
         t
     }
@@ -214,10 +221,14 @@ mod tests {
     #[test]
     fn sum_avg_skip_nulls() {
         let t = table();
-        let sums = GroupBy::new("part_id", Aggregate::Sum, "score").run(&t).unwrap();
+        let sums = GroupBy::new("part_id", Aggregate::Sum, "score")
+            .run(&t)
+            .unwrap();
         assert_eq!(sums[0].key, Value::from("P-01"));
         assert!((sums[0].value.as_float().unwrap() - 2.1).abs() < 1e-9);
-        let avgs = GroupBy::new("part_id", Aggregate::Avg, "score").run(&t).unwrap();
+        let avgs = GroupBy::new("part_id", Aggregate::Avg, "score")
+            .run(&t)
+            .unwrap();
         // P-02: (0.2 + 0.4) / 2, the NULL row is skipped
         assert!((avgs[1].value.as_float().unwrap() - 0.3).abs() < 1e-9);
     }
@@ -225,9 +236,13 @@ mod tests {
     #[test]
     fn min_max_use_total_order() {
         let t = table();
-        let mins = GroupBy::new("part_id", Aggregate::Min, "score").run(&t).unwrap();
+        let mins = GroupBy::new("part_id", Aggregate::Min, "score")
+            .run(&t)
+            .unwrap();
         assert_eq!(mins[1].value, Value::Float(0.2));
-        let maxs = GroupBy::new("part_id", Aggregate::Max, "error_code").run(&t).unwrap();
+        let maxs = GroupBy::new("part_id", Aggregate::Max, "error_code")
+            .run(&t)
+            .unwrap();
         assert_eq!(maxs[0].value, Value::from("E2"));
     }
 
@@ -251,12 +266,17 @@ mod tests {
     fn unknown_columns_error() {
         let t = table();
         assert!(GroupBy::count("ghost").run(&t).is_err());
-        assert!(GroupBy::new("part_id", Aggregate::Sum, "ghost").run(&t).is_err());
+        assert!(GroupBy::new("part_id", Aggregate::Sum, "ghost")
+            .run(&t)
+            .is_err());
     }
 
     #[test]
     fn empty_table_yields_no_groups() {
-        let schema = SchemaBuilder::new().pk("id", DataType::Int).build().unwrap();
+        let schema = SchemaBuilder::new()
+            .pk("id", DataType::Int)
+            .build()
+            .unwrap();
         let t = Table::new("empty", schema);
         assert!(GroupBy::count("id").run(&t).unwrap().is_empty());
     }

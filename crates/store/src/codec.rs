@@ -227,9 +227,7 @@ pub(crate) fn get_table(buf: &mut &[u8]) -> Result<Table> {
         let kind = match buf.get_u8() {
             0 => IndexKind::Hash,
             1 => IndexKind::Ordered,
-            other => {
-                return Err(StoreError::Corrupt(format!("unknown index kind {other}")))
-            }
+            other => return Err(StoreError::Corrupt(format!("unknown index kind {other}"))),
         };
         specs.push((iname, col, kind));
     }
@@ -343,10 +341,7 @@ mod tests {
         assert_eq!(got.len(), 50);
         assert_eq!(got.name(), "bundles");
         assert_eq!(got.index_names(), vec!["by_part"]);
-        assert_eq!(
-            got.lookup("part", &Value::from("P03")).unwrap().len(),
-            10
-        );
+        assert_eq!(got.lookup("part", &Value::from("P03")).unwrap().len(), 10);
     }
 
     #[test]

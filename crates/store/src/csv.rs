@@ -113,9 +113,7 @@ fn field_to_value(field: &str, ty: DataType, nullable: bool) -> Result<Value> {
         DataType::Bool => Value::Bool(match field {
             "true" | "1" => true,
             "false" | "0" => false,
-            other => {
-                return Err(StoreError::Corrupt(format!("csv: bad bool `{other}`")))
-            }
+            other => return Err(StoreError::Corrupt(format!("csv: bad bool `{other}`"))),
         }),
         DataType::Int => Value::Int(
             field

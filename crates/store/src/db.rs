@@ -226,7 +226,8 @@ mod tests {
 
         db.update("parts", &Value::Int(2), row![2i64, "blower"])
             .unwrap();
-        let q = Query::new().filter(Cond::eq(db.table("parts").unwrap(), "name", "blower").unwrap());
+        let q =
+            Query::new().filter(Cond::eq(db.table("parts").unwrap(), "name", "blower").unwrap());
         assert_eq!(db.query("parts", &q).unwrap().len(), 1);
 
         db.delete("parts", &Value::Int(1)).unwrap();

@@ -94,16 +94,11 @@ impl Join {
                 continue;
             }
             let key = &lrow.values()[lcol];
-            let matches = if key.is_null() {
-                None
-            } else {
-                build.get(key)
-            };
+            let matches = if key.is_null() { None } else { build.get(key) };
             match (matches, self.kind) {
                 (Some(rrows), _) => {
                     for rrow in rrows {
-                        let mut values =
-                            Vec::with_capacity(lrow.arity() + right_arity);
+                        let mut values = Vec::with_capacity(lrow.arity() + right_arity);
                         values.extend_from_slice(lrow.values());
                         values.extend_from_slice(rrow.values());
                         out.push(Row::new(values));
@@ -159,7 +154,10 @@ mod tests {
         let (b, c) = tables();
         let rows = Join::inner("error_code", "code").run(&b, &c).unwrap();
         assert_eq!(rows.len(), 2);
-        let r1 = rows.iter().find(|r| r.get(0) == Some(&Value::from("R-1"))).unwrap();
+        let r1 = rows
+            .iter()
+            .find(|r| r.get(0) == Some(&Value::from("R-1")))
+            .unwrap();
         assert_eq!(r1.get(4).and_then(Value::as_text), Some("contact melted"));
         // unmatched (R-4) and NULL-key (R-3) rows are dropped
         assert!(!rows.iter().any(|r| r.get(0) == Some(&Value::from("R-3"))));
@@ -171,10 +169,16 @@ mod tests {
         let (b, c) = tables();
         let rows = Join::left_outer("error_code", "code").run(&b, &c).unwrap();
         assert_eq!(rows.len(), 4);
-        let r3 = rows.iter().find(|r| r.get(0) == Some(&Value::from("R-3"))).unwrap();
+        let r3 = rows
+            .iter()
+            .find(|r| r.get(0) == Some(&Value::from("R-3")))
+            .unwrap();
         assert!(r3.get(3).unwrap().is_null());
         assert!(r3.get(4).unwrap().is_null());
-        let r4 = rows.iter().find(|r| r.get(0) == Some(&Value::from("R-4"))).unwrap();
+        let r4 = rows
+            .iter()
+            .find(|r| r.get(0) == Some(&Value::from("R-4")))
+            .unwrap();
         assert!(r4.get(3).unwrap().is_null()); // E9 has no code row
     }
 

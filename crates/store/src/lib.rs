@@ -70,8 +70,8 @@ pub mod prelude {
     pub use crate::row::Row;
     pub use crate::schema::{ColumnDef, Schema, SchemaBuilder};
     pub use crate::table::Table;
-    pub use crate::wal::{read_log, replay, LoggedDatabase, WalRecord, WalWriter};
     pub use crate::value::{DataType, Value};
+    pub use crate::wal::{read_log, replay, LoggedDatabase, WalRecord, WalWriter};
 }
 
 pub use prelude::*;

@@ -133,10 +133,7 @@ mod tests {
             Predicate::Contains(1, "melted".into()),
         ]);
         assert!(p.eval(&row));
-        let q = Predicate::Or(vec![
-            Predicate::Eq(0, Value::Int(99)),
-            Predicate::IsNull(2),
-        ]);
+        let q = Predicate::Or(vec![Predicate::Eq(0, Value::Int(99)), Predicate::IsNull(2)]);
         assert!(q.eval(&row));
         assert!(!Predicate::Not(Box::new(q)).eval(&row));
         assert!(Predicate::True.eval(&row));

@@ -129,13 +129,12 @@ impl Query {
         let path = planned.map_or(AccessPath::FullScan, |(_, p)| p);
 
         if let Some((col_name, order)) = &self.order_by {
-            let col =
-                schema
-                    .column_index(col_name)
-                    .ok_or_else(|| StoreError::NoSuchColumn {
-                        table: table.name().to_owned(),
-                        column: col_name.clone(),
-                    })?;
+            let col = schema
+                .column_index(col_name)
+                .ok_or_else(|| StoreError::NoSuchColumn {
+                    table: table.name().to_owned(),
+                    column: col_name.clone(),
+                })?;
             rows.sort_by(|a, b| {
                 let ord = a.values()[col].cmp(&b.values()[col]);
                 match order {
@@ -152,13 +151,12 @@ impl Query {
         if let Some(cols) = &self.projection {
             let mut idxs = Vec::with_capacity(cols.len());
             for name in cols {
-                let idx =
-                    schema
-                        .column_index(name)
-                        .ok_or_else(|| StoreError::NoSuchColumn {
-                            table: table.name().to_owned(),
-                            column: name.clone(),
-                        })?;
+                let idx = schema
+                    .column_index(name)
+                    .ok_or_else(|| StoreError::NoSuchColumn {
+                        table: table.name().to_owned(),
+                        column: name.clone(),
+                    })?;
                 idxs.push(idx);
             }
             rows = rows.into_iter().map(|r| r.project(&idxs)).collect();
@@ -268,7 +266,8 @@ mod tests {
     #[test]
     fn secondary_index_point_lookup() {
         let mut t = table();
-        t.create_index("by_part", "part_id", IndexKind::Hash).unwrap();
+        t.create_index("by_part", "part_id", IndexKind::Hash)
+            .unwrap();
         let p = Cond::eq(&t, "part_id", "P02").unwrap();
         let (rows, path) = Query::new().filter(p).run_explained(&t).unwrap();
         assert_eq!(rows.len(), 5);
@@ -289,7 +288,8 @@ mod tests {
     #[test]
     fn conjunction_still_filters_fully() {
         let mut t = table();
-        t.create_index("by_part", "part_id", IndexKind::Hash).unwrap();
+        t.create_index("by_part", "part_id", IndexKind::Hash)
+            .unwrap();
         let p = Predicate::And(vec![
             Cond::eq(&t, "part_id", "P01").unwrap(),
             Cond::contains(&t, "report", "body 13").unwrap(),
@@ -339,12 +339,7 @@ mod tests {
     #[test]
     fn count_and_in_set_and_null() {
         let t = table();
-        let p = Cond::in_set(
-            &t,
-            "part_id",
-            vec![Value::from("P00"), Value::from("P01")],
-        )
-        .unwrap();
+        let p = Cond::in_set(&t, "part_id", vec![Value::from("P00"), Value::from("P01")]).unwrap();
         assert_eq!(Query::new().filter(p).count(&t).unwrap(), 10);
         let p = Cond::is_null(&t, "report").unwrap();
         assert_eq!(Query::new().filter(p).count(&t).unwrap(), 0);

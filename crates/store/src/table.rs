@@ -412,7 +412,10 @@ mod tests {
             .unwrap();
         assert_eq!(old.get(2).and_then(Value::as_text), Some("E100"));
         assert_eq!(
-            t.get(&Value::Int(1)).unwrap().get(2).and_then(Value::as_text),
+            t.get(&Value::Int(1))
+                .unwrap()
+                .get(2)
+                .and_then(Value::as_text),
             Some("E999")
         );
         let err = t.update(&Value::Int(1), row![2i64, "P01", "E999", Value::Null]);
@@ -450,19 +453,33 @@ mod tests {
             t.insert(row![i, part, format!("E{i}"), Value::Null])
                 .unwrap();
         }
-        t.create_index("by_part", "part_id", IndexKind::Hash).unwrap();
-        assert_eq!(t.lookup("part_id", &Value::from("P-even")).unwrap().len(), 5);
+        t.create_index("by_part", "part_id", IndexKind::Hash)
+            .unwrap();
+        assert_eq!(
+            t.lookup("part_id", &Value::from("P-even")).unwrap().len(),
+            5
+        );
 
         // insert & delete keep the index fresh
-        t.insert(row![100i64, "P-even", "E100x", Value::Null]).unwrap();
-        assert_eq!(t.lookup("part_id", &Value::from("P-even")).unwrap().len(), 6);
+        t.insert(row![100i64, "P-even", "E100x", Value::Null])
+            .unwrap();
+        assert_eq!(
+            t.lookup("part_id", &Value::from("P-even")).unwrap().len(),
+            6
+        );
         t.delete(&Value::Int(0)).unwrap();
-        assert_eq!(t.lookup("part_id", &Value::from("P-even")).unwrap().len(), 5);
+        assert_eq!(
+            t.lookup("part_id", &Value::from("P-even")).unwrap().len(),
+            5
+        );
 
         // update moves rows between keys
         t.update(&Value::Int(1), row![1i64, "P-even", "E1", Value::Null])
             .unwrap();
-        assert_eq!(t.lookup("part_id", &Value::from("P-even")).unwrap().len(), 6);
+        assert_eq!(
+            t.lookup("part_id", &Value::from("P-even")).unwrap().len(),
+            6
+        );
         assert_eq!(t.lookup("part_id", &Value::from("P-odd")).unwrap().len(), 4);
 
         assert!(matches!(
@@ -500,7 +517,8 @@ mod tests {
     #[test]
     fn truncate_clears_everything() {
         let mut t = parts_table();
-        t.create_index("by_part", "part_id", IndexKind::Hash).unwrap();
+        t.create_index("by_part", "part_id", IndexKind::Hash)
+            .unwrap();
         t.insert(row![1i64, "P01", "E1", Value::Null]).unwrap();
         t.truncate();
         assert!(t.is_empty());
@@ -514,7 +532,8 @@ mod tests {
     #[test]
     fn index_specs_reported() {
         let mut t = parts_table();
-        t.create_index("by_part", "part_id", IndexKind::Hash).unwrap();
+        t.create_index("by_part", "part_id", IndexKind::Hash)
+            .unwrap();
         t.create_index("by_code", "error_code", IndexKind::Ordered)
             .unwrap();
         let specs = t.index_specs();

@@ -39,7 +39,10 @@ impl Database {
 
     /// Commit: discard the undo log, making all changes final.
     pub fn commit(&mut self) -> Result<()> {
-        self.txn.take().map(|_| ()).ok_or(StoreError::NoActiveTransaction)
+        self.txn
+            .take()
+            .map(|_| ())
+            .ok_or(StoreError::NoActiveTransaction)
     }
 
     /// Roll back: undo every change of the active transaction, newest first.
@@ -71,10 +74,7 @@ impl Database {
     }
 
     /// Run `f` inside a transaction: commit on `Ok`, roll back on `Err`.
-    pub fn transaction<R>(
-        &mut self,
-        f: impl FnOnce(&mut Database) -> Result<R>,
-    ) -> Result<R> {
+    pub fn transaction<R>(&mut self, f: impl FnOnce(&mut Database) -> Result<R>) -> Result<R> {
         self.begin()?;
         match f(self) {
             Ok(r) => {
@@ -150,7 +150,8 @@ mod tests {
         // delete then re-insert the same pk, then update it
         db.delete("t", &Value::Int(1)).unwrap();
         db.insert("t", row![1i64, "one-new"]).unwrap();
-        db.update("t", &Value::Int(1), row![1i64, "one-newer"]).unwrap();
+        db.update("t", &Value::Int(1), row![1i64, "one-newer"])
+            .unwrap();
         db.rollback().unwrap();
         assert_eq!(
             db.get("t", &Value::Int(1))
@@ -166,7 +167,10 @@ mod tests {
     fn transaction_states_guarded() {
         let mut db = db();
         assert!(matches!(db.commit(), Err(StoreError::NoActiveTransaction)));
-        assert!(matches!(db.rollback(), Err(StoreError::NoActiveTransaction)));
+        assert!(matches!(
+            db.rollback(),
+            Err(StoreError::NoActiveTransaction)
+        ));
         db.begin().unwrap();
         assert!(db.in_transaction());
         assert!(matches!(db.begin(), Err(StoreError::TransactionActive)));

@@ -402,10 +402,7 @@ mod tests {
         };
         corrupted[rec_len + 8] ^= 0xff;
         std::fs::write(&path, &corrupted).unwrap();
-        assert!(matches!(
-            read_log(&path),
-            Err(StoreError::Corrupt(_))
-        ));
+        assert!(matches!(read_log(&path), Err(StoreError::Corrupt(_))));
         std::fs::remove_file(&path).ok();
     }
 

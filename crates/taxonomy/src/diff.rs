@@ -129,7 +129,10 @@ impl TaxonomyDiff {
     /// Count of synonym terms gained in a language (coverage growth — the
     /// metric taxonomy maintenance tracks).
     pub fn coverage_gain(&self, lang: Lang) -> usize {
-        self.terms_added.iter().filter(|(_, t)| t.lang == lang).count()
+        self.terms_added
+            .iter()
+            .filter(|(_, t)| t.lang == lang)
+            .count()
     }
 
     /// Human-readable summary, one line per change.
@@ -164,10 +167,22 @@ impl TaxonomyDiff {
             }
         }
         for (id, t) in &self.terms_added {
-            let _ = writeln!(out, "+ term [{}] \"{}\" @ {id} {}", t.lang, t.text, name_of(*id));
+            let _ = writeln!(
+                out,
+                "+ term [{}] \"{}\" @ {id} {}",
+                t.lang,
+                t.text,
+                name_of(*id)
+            );
         }
         for (id, t) in &self.terms_removed {
-            let _ = writeln!(out, "- term [{}] \"{}\" @ {id} {}", t.lang, t.text, name_of(*id));
+            let _ = writeln!(
+                out,
+                "- term [{}] \"{}\" @ {id} {}",
+                t.lang,
+                t.text,
+                name_of(*id)
+            );
         }
         out
     }

@@ -31,7 +31,10 @@ impl fmt::Display for TaxonomyError {
                 write!(f, "concept {child} references missing parent {parent}")
             }
             TaxonomyError::KindMismatch { child, parent } => {
-                write!(f, "concept {child} has a different kind than parent {parent}")
+                write!(
+                    f,
+                    "concept {child} has a different kind than parent {parent}"
+                )
             }
             TaxonomyError::Cycle(id) => write!(f, "cycle through concept {id}"),
             TaxonomyError::EmptyName(id) => write!(f, "concept {id} has an empty name/term"),

@@ -151,11 +151,7 @@ mod tests {
     #[test]
     fn expands_multiword_via_synonym_group() {
         let (tax, stats) = expand_taxonomy(&base(), &ExpansionConfig::default()).unwrap();
-        let crackle = tax
-            .concepts()
-            .iter()
-            .find(|c| c.name == "Crackle")
-            .unwrap();
+        let crackle = tax.concepts().iter().find(|c| c.name == "Crackle").unwrap();
         let texts: Vec<&str> = crackle.terms.iter().map(|t| t.text.as_str()).collect();
         assert!(texts.contains(&"crackling noise"), "{texts:?}");
         assert_eq!(stats.added_terms, 1);

@@ -35,8 +35,8 @@ pub mod xml;
 pub mod prelude {
     pub use crate::builder::TaxonomyBuilder;
     pub use crate::concept::{Concept, ConceptId, ConceptKind, Lang, Term};
-    pub use crate::error::{Result as TaxonomyResult, TaxonomyError};
     pub use crate::diff::{ConceptChange, TaxonomyDiff};
+    pub use crate::error::{Result as TaxonomyResult, TaxonomyError};
     pub use crate::expansion::{expand_taxonomy, ExpansionConfig, ExpansionStats};
     pub use crate::normalize::{is_separator, normalize_phrase, normalize_token};
     pub use crate::synthetic::{SyntheticConfig, SyntheticTaxonomy};

@@ -58,7 +58,12 @@ type Pair = (&'static str, &'static str);
 struct SystemSeed {
     name: &'static str,
     de: &'static str,
-    parts: &'static [(&'static str, &'static str, &'static [&'static str], &'static [&'static str])],
+    parts: &'static [(
+        &'static str,
+        &'static str,
+        &'static [&'static str],
+        &'static [&'static str],
+    )],
 }
 
 const SYSTEMS: &[SystemSeed] = &[
@@ -70,10 +75,20 @@ const SYSTEMS: &[SystemSeed] = &[
             ("piston", "kolben", &[], &[]),
             ("crankshaft", "kurbelwelle", &[], &[]),
             ("camshaft", "nockenwelle", &[], &[]),
-            ("timing chain", "steuerkette", &["timing belt"], &["zahnriemen"]),
+            (
+                "timing chain",
+                "steuerkette",
+                &["timing belt"],
+                &["zahnriemen"],
+            ),
             ("oil pump", "ölpumpe", &[], &[]),
             ("valve cover", "ventildeckel", &["rocker cover"], &[]),
-            ("engine mount", "motorlager", &["motor mount"], &["motorhalterung"]),
+            (
+                "engine mount",
+                "motorlager",
+                &["motor mount"],
+                &["motorhalterung"],
+            ),
             ("turbocharger", "turbolader", &["turbo"], &["lader"]),
             ("intake manifold", "ansaugkrümmer", &["intake"], &[]),
         ],
@@ -83,13 +98,38 @@ const SYSTEMS: &[SystemSeed] = &[
         de: "kühlung",
         parts: &[
             ("radiator", "kühler", &[], &[]),
-            ("water pump", "wasserpumpe", &["coolant pump"], &["kühlmittelpumpe"]),
+            (
+                "water pump",
+                "wasserpumpe",
+                &["coolant pump"],
+                &["kühlmittelpumpe"],
+            ),
             ("thermostat", "thermostat", &[], &[]),
-            ("cooling fan", "kühlerlüfter", &["fan", "blower"], &["lüfter", "gebläse"]),
-            ("coolant hose", "kühlmittelschlauch", &["radiator hose"], &["kühlerschlauch"]),
-            ("expansion tank", "ausgleichsbehälter", &["overflow tank"], &[]),
+            (
+                "cooling fan",
+                "kühlerlüfter",
+                &["fan", "blower"],
+                &["lüfter", "gebläse"],
+            ),
+            (
+                "coolant hose",
+                "kühlmittelschlauch",
+                &["radiator hose"],
+                &["kühlerschlauch"],
+            ),
+            (
+                "expansion tank",
+                "ausgleichsbehälter",
+                &["overflow tank"],
+                &[],
+            ),
             ("fan clutch", "lüfterkupplung", &[], &[]),
-            ("coolant sensor", "kühlmittelsensor", &["temperature sensor"], &["temperatursensor"]),
+            (
+                "coolant sensor",
+                "kühlmittelsensor",
+                &["temperature sensor"],
+                &["temperatursensor"],
+            ),
         ],
     },
     SystemSeed {
@@ -97,13 +137,33 @@ const SYSTEMS: &[SystemSeed] = &[
         de: "bremse",
         parts: &[
             ("brake pad", "bremsbelag", &["pad"], &["belag"]),
-            ("brake disc", "bremsscheibe", &["rotor", "brake rotor"], &["scheibe"]),
+            (
+                "brake disc",
+                "bremsscheibe",
+                &["rotor", "brake rotor"],
+                &["scheibe"],
+            ),
             ("brake caliper", "bremssattel", &["caliper"], &["sattel"]),
-            ("brake hose", "bremsschlauch", &["brake line"], &["bremsleitung"]),
+            (
+                "brake hose",
+                "bremsschlauch",
+                &["brake line"],
+                &["bremsleitung"],
+            ),
             ("master cylinder", "hauptbremszylinder", &[], &[]),
             ("brake booster", "bremskraftverstärker", &["booster"], &[]),
-            ("abs module", "abs-steuergerät", &["abs unit"], &["abs-modul"]),
-            ("handbrake cable", "handbremsseil", &["parking brake cable"], &[]),
+            (
+                "abs module",
+                "abs-steuergerät",
+                &["abs unit"],
+                &["abs-modul"],
+            ),
+            (
+                "handbrake cable",
+                "handbremsseil",
+                &["parking brake cable"],
+                &[],
+            ),
             ("wheel cylinder", "radbremszylinder", &[], &[]),
         ],
     },
@@ -111,16 +171,41 @@ const SYSTEMS: &[SystemSeed] = &[
         name: "electrical",
         de: "elektrik",
         parts: &[
-            ("alternator", "lichtmaschine", &["generator"], &["generator"]),
+            (
+                "alternator",
+                "lichtmaschine",
+                &["generator"],
+                &["generator"],
+            ),
             ("starter motor", "anlasser", &["starter"], &["starter"]),
             ("battery", "batterie", &[], &["akku"]),
-            ("wiring harness", "kabelbaum", &["harness", "loom"], &["kabelstrang"]),
+            (
+                "wiring harness",
+                "kabelbaum",
+                &["harness", "loom"],
+                &["kabelstrang"],
+            ),
             ("fuse box", "sicherungskasten", &["fuse panel"], &[]),
             ("ignition coil", "zündspule", &["coil"], &["spule"]),
             ("relay", "relais", &[], &[]),
-            ("ground strap", "massekabel", &["ground cable"], &["masseband"]),
-            ("control unit", "steuergerät", &["ecu", "control module"], &["steuermodul"]),
-            ("sensor cable", "sensorkabel", &["sensor wire"], &["sensorleitung"]),
+            (
+                "ground strap",
+                "massekabel",
+                &["ground cable"],
+                &["masseband"],
+            ),
+            (
+                "control unit",
+                "steuergerät",
+                &["ecu", "control module"],
+                &["steuermodul"],
+            ),
+            (
+                "sensor cable",
+                "sensorkabel",
+                &["sensor wire"],
+                &["sensorleitung"],
+            ),
         ],
     },
     SystemSeed {
@@ -130,9 +215,19 @@ const SYSTEMS: &[SystemSeed] = &[
             ("radio", "radio", &["head unit", "tuner"], &["autoradio"]),
             ("amplifier", "verstärker", &["amp"], &[]),
             ("speaker", "lautsprecher", &["loudspeaker"], &["box"]),
-            ("display", "display", &["screen", "monitor"], &["bildschirm", "anzeige"]),
+            (
+                "display",
+                "display",
+                &["screen", "monitor"],
+                &["bildschirm", "anzeige"],
+            ),
             ("antenna", "antenne", &["aerial"], &[]),
-            ("navigation unit", "navigationsgerät", &["nav unit", "gps unit"], &["navi"]),
+            (
+                "navigation unit",
+                "navigationsgerät",
+                &["nav unit", "gps unit"],
+                &["navi"],
+            ),
             ("cd changer", "cd-wechsler", &["disc changer"], &[]),
             ("microphone", "mikrofon", &["mic"], &["mikro"]),
             ("bluetooth module", "bluetooth-modul", &["bt module"], &[]),
@@ -142,14 +237,44 @@ const SYSTEMS: &[SystemSeed] = &[
         name: "climate",
         de: "klima",
         parts: &[
-            ("compressor", "kompressor", &["ac compressor"], &["klimakompressor"]),
+            (
+                "compressor",
+                "kompressor",
+                &["ac compressor"],
+                &["klimakompressor"],
+            ),
             ("condenser", "kondensator", &[], &[]),
             ("evaporator", "verdampfer", &[], &[]),
-            ("blower motor", "gebläsemotor", &["fan motor"], &["lüftermotor"]),
-            ("heater core", "wärmetauscher", &["heat exchanger"], &["heizungskühler"]),
-            ("climate control panel", "klimabedienteil", &["ac panel"], &[]),
-            ("cabin filter", "innenraumfilter", &["pollen filter"], &["pollenfilter"]),
-            ("ac hose", "klimaschlauch", &["refrigerant line"], &["klimaleitung"]),
+            (
+                "blower motor",
+                "gebläsemotor",
+                &["fan motor"],
+                &["lüftermotor"],
+            ),
+            (
+                "heater core",
+                "wärmetauscher",
+                &["heat exchanger"],
+                &["heizungskühler"],
+            ),
+            (
+                "climate control panel",
+                "klimabedienteil",
+                &["ac panel"],
+                &[],
+            ),
+            (
+                "cabin filter",
+                "innenraumfilter",
+                &["pollen filter"],
+                &["pollenfilter"],
+            ),
+            (
+                "ac hose",
+                "klimaschlauch",
+                &["refrigerant line"],
+                &["klimaleitung"],
+            ),
         ],
     },
     SystemSeed {
@@ -157,26 +282,71 @@ const SYSTEMS: &[SystemSeed] = &[
         de: "getriebe",
         parts: &[
             ("clutch", "kupplung", &["clutch assembly"], &[]),
-            ("gearbox", "schaltgetriebe", &["transmission"], &["getriebe"]),
-            ("torque converter", "drehmomentwandler", &["converter"], &["wandler"]),
-            ("drive shaft", "antriebswelle", &["propshaft"], &["kardanwelle"]),
-            ("differential", "differential", &["diff"], &["ausgleichsgetriebe"]),
+            (
+                "gearbox",
+                "schaltgetriebe",
+                &["transmission"],
+                &["getriebe"],
+            ),
+            (
+                "torque converter",
+                "drehmomentwandler",
+                &["converter"],
+                &["wandler"],
+            ),
+            (
+                "drive shaft",
+                "antriebswelle",
+                &["propshaft"],
+                &["kardanwelle"],
+            ),
+            (
+                "differential",
+                "differential",
+                &["diff"],
+                &["ausgleichsgetriebe"],
+            ),
             ("shift linkage", "schaltgestänge", &["gear linkage"], &[]),
-            ("transmission mount", "getriebelager", &[], &["getriebehalterung"]),
-            ("cv joint", "gleichlaufgelenk", &["constant velocity joint"], &["antriebsgelenk"]),
+            (
+                "transmission mount",
+                "getriebelager",
+                &[],
+                &["getriebehalterung"],
+            ),
+            (
+                "cv joint",
+                "gleichlaufgelenk",
+                &["constant velocity joint"],
+                &["antriebsgelenk"],
+            ),
         ],
     },
     SystemSeed {
         name: "suspension",
         de: "fahrwerk",
         parts: &[
-            ("shock absorber", "stoßdämpfer", &["damper", "shock"], &["dämpfer"]),
+            (
+                "shock absorber",
+                "stoßdämpfer",
+                &["damper", "shock"],
+                &["dämpfer"],
+            ),
             ("coil spring", "schraubenfeder", &["spring"], &["feder"]),
             ("control arm", "querlenker", &["wishbone"], &["lenker"]),
             ("ball joint", "kugelgelenk", &[], &["traggelenk"]),
-            ("stabilizer bar", "stabilisator", &["sway bar", "anti-roll bar"], &["stabi"]),
+            (
+                "stabilizer bar",
+                "stabilisator",
+                &["sway bar", "anti-roll bar"],
+                &["stabi"],
+            ),
             ("wheel bearing", "radlager", &["hub bearing"], &[]),
-            ("strut mount", "domlager", &["top mount"], &["federbeinlager"]),
+            (
+                "strut mount",
+                "domlager",
+                &["top mount"],
+                &["federbeinlager"],
+            ),
             ("bushing", "buchse", &["bush"], &["lagerbuchse"]),
         ],
     },
@@ -184,26 +354,76 @@ const SYSTEMS: &[SystemSeed] = &[
         name: "fuel",
         de: "kraftstoff",
         parts: &[
-            ("fuel pump", "kraftstoffpumpe", &["petrol pump"], &["benzinpumpe"]),
-            ("fuel injector", "einspritzdüse", &["injector"], &["injektor"]),
+            (
+                "fuel pump",
+                "kraftstoffpumpe",
+                &["petrol pump"],
+                &["benzinpumpe"],
+            ),
+            (
+                "fuel injector",
+                "einspritzdüse",
+                &["injector"],
+                &["injektor"],
+            ),
             ("fuel filter", "kraftstofffilter", &[], &["benzinfilter"]),
-            ("fuel tank", "kraftstofftank", &["tank", "petrol tank"], &["tank"]),
+            (
+                "fuel tank",
+                "kraftstofftank",
+                &["tank", "petrol tank"],
+                &["tank"],
+            ),
             ("fuel rail", "kraftstoffverteiler", &[], &[]),
-            ("fuel line", "kraftstoffleitung", &["fuel hose"], &["benzinleitung"]),
-            ("fuel gauge sender", "tankgeber", &["fuel level sensor"], &[]),
+            (
+                "fuel line",
+                "kraftstoffleitung",
+                &["fuel hose"],
+                &["benzinleitung"],
+            ),
+            (
+                "fuel gauge sender",
+                "tankgeber",
+                &["fuel level sensor"],
+                &[],
+            ),
         ],
     },
     SystemSeed {
         name: "exhaust",
         de: "abgasanlage",
         parts: &[
-            ("catalytic converter", "katalysator", &["cat", "catalyst"], &["kat"]),
+            (
+                "catalytic converter",
+                "katalysator",
+                &["cat", "catalyst"],
+                &["kat"],
+            ),
             ("muffler", "schalldämpfer", &["silencer"], &["endtopf"]),
-            ("exhaust manifold", "abgaskrümmer", &["header"], &["krümmer"]),
-            ("oxygen sensor", "lambdasonde", &["o2 sensor", "lambda sensor"], &["sonde"]),
+            (
+                "exhaust manifold",
+                "abgaskrümmer",
+                &["header"],
+                &["krümmer"],
+            ),
+            (
+                "oxygen sensor",
+                "lambdasonde",
+                &["o2 sensor", "lambda sensor"],
+                &["sonde"],
+            ),
             ("exhaust pipe", "auspuffrohr", &["tailpipe"], &["rohr"]),
-            ("egr valve", "agr-ventil", &["exhaust gas recirculation valve"], &[]),
-            ("particulate filter", "partikelfilter", &["dpf"], &["rußfilter"]),
+            (
+                "egr valve",
+                "agr-ventil",
+                &["exhaust gas recirculation valve"],
+                &[],
+            ),
+            (
+                "particulate filter",
+                "partikelfilter",
+                &["dpf"],
+                &["rußfilter"],
+            ),
         ],
     },
     SystemSeed {
@@ -213,7 +433,12 @@ const SYSTEMS: &[SystemSeed] = &[
             ("steering rack", "lenkgetriebe", &["rack and pinion"], &[]),
             ("tie rod", "spurstange", &["track rod"], &[]),
             ("steering column", "lenksäule", &[], &[]),
-            ("power steering pump", "servopumpe", &["ps pump"], &["lenkhilfepumpe"]),
+            (
+                "power steering pump",
+                "servopumpe",
+                &["ps pump"],
+                &["lenkhilfepumpe"],
+            ),
             ("steering wheel", "lenkrad", &[], &[]),
             ("steering angle sensor", "lenkwinkelsensor", &[], &[]),
         ],
@@ -224,12 +449,32 @@ const SYSTEMS: &[SystemSeed] = &[
         parts: &[
             ("door lock", "türschloss", &["lock actuator"], &["schloss"]),
             ("window regulator", "fensterheber", &["window lifter"], &[]),
-            ("mirror", "spiegel", &["wing mirror", "side mirror"], &["außenspiegel"]),
-            ("fender", "kotflügel", &["mud guard", "splashboard", "wing"], &["schutzblech"]),
+            (
+                "mirror",
+                "spiegel",
+                &["wing mirror", "side mirror"],
+                &["außenspiegel"],
+            ),
+            (
+                "fender",
+                "kotflügel",
+                &["mud guard", "splashboard", "wing"],
+                &["schutzblech"],
+            ),
             ("bumper", "stoßstange", &["bumper cover"], &["stoßfänger"]),
             ("hood latch", "haubenschloss", &["bonnet latch"], &[]),
-            ("seal", "dichtung", &["gasket", "weatherstrip"], &["dichtring"]),
-            ("wiper motor", "wischermotor", &["windscreen wiper motor"], &["scheibenwischermotor"]),
+            (
+                "seal",
+                "dichtung",
+                &["gasket", "weatherstrip"],
+                &["dichtring"],
+            ),
+            (
+                "wiper motor",
+                "wischermotor",
+                &["windscreen wiper motor"],
+                &["scheibenwischermotor"],
+            ),
             ("seat adjuster", "sitzversteller", &["seat motor"], &[]),
         ],
     },
@@ -237,10 +482,30 @@ const SYSTEMS: &[SystemSeed] = &[
         name: "lighting",
         de: "beleuchtung",
         parts: &[
-            ("headlight", "scheinwerfer", &["headlamp"], &["frontscheinwerfer"]),
-            ("taillight", "rücklicht", &["rear light", "tail lamp"], &["heckleuchte"]),
-            ("turn signal", "blinker", &["indicator"], &["fahrtrichtungsanzeiger"]),
-            ("fog light", "nebelscheinwerfer", &["fog lamp"], &["nebelleuchte"]),
+            (
+                "headlight",
+                "scheinwerfer",
+                &["headlamp"],
+                &["frontscheinwerfer"],
+            ),
+            (
+                "taillight",
+                "rücklicht",
+                &["rear light", "tail lamp"],
+                &["heckleuchte"],
+            ),
+            (
+                "turn signal",
+                "blinker",
+                &["indicator"],
+                &["fahrtrichtungsanzeiger"],
+            ),
+            (
+                "fog light",
+                "nebelscheinwerfer",
+                &["fog lamp"],
+                &["nebelleuchte"],
+            ),
             ("light switch", "lichtschalter", &[], &[]),
             ("ballast", "vorschaltgerät", &["xenon ballast"], &[]),
             ("led module", "led-modul", &[], &[]),
@@ -253,9 +518,19 @@ const SYSTEMS: &[SystemSeed] = &[
             ("airbag", "airbag", &["air bag"], &[]),
             ("seat belt", "sicherheitsgurt", &["safety belt"], &["gurt"]),
             ("belt tensioner", "gurtstraffer", &["pretensioner"], &[]),
-            ("crash sensor", "crashsensor", &["impact sensor"], &["aufprallsensor"]),
+            (
+                "crash sensor",
+                "crashsensor",
+                &["impact sensor"],
+                &["aufprallsensor"],
+            ),
             ("horn", "hupe", &[], &["signalhorn"]),
-            ("parking sensor", "einparksensor", &["pdc sensor"], &["parksensor"]),
+            (
+                "parking sensor",
+                "einparksensor",
+                &["pdc sensor"],
+                &["parksensor"],
+            ),
         ],
     },
 ];
@@ -284,23 +559,43 @@ const MODIFIERS: &[Pair] = &[
 /// Symptom categories with leaf symptoms: (en, de, en-synonyms, de-synonyms).
 struct SymptomSeed {
     name: &'static str,
-    leaves: &'static [(&'static str, &'static str, &'static [&'static str], &'static [&'static str])],
+    leaves: &'static [(
+        &'static str,
+        &'static str,
+        &'static [&'static str],
+        &'static [&'static str],
+    )],
 }
 
 const SYMPTOMS: &[SymptomSeed] = &[
     SymptomSeed {
         name: "Noise",
         leaves: &[
-            ("squeak", "quietschen", &["squeaking", "squeal"], &["gequietsche"]),
+            (
+                "squeak",
+                "quietschen",
+                &["squeaking", "squeal"],
+                &["gequietsche"],
+            ),
             ("screech", "kreischen", &["screeching"], &[]),
             ("hum", "brummen", &["humming", "drone"], &["gebrumm"]),
             ("roar", "dröhnen", &["roaring"], &[]),
             ("rattle", "klappern", &["rattling noise"], &["geklapper"]),
             ("knock", "klopfen", &["knocking"], &["geklopfe"]),
-            ("grinding noise", "schleifgeräusch", &["grinding"], &["schleifen"]),
+            (
+                "grinding noise",
+                "schleifgeräusch",
+                &["grinding"],
+                &["schleifen"],
+            ),
             ("whistle", "pfeifen", &["whistling"], &[]),
             ("click", "klicken", &["clicking", "ticking"], &["ticken"]),
-            ("crackling sound", "knistern", &["crackle", "crackling"], &["geknister"]),
+            (
+                "crackling sound",
+                "knistern",
+                &["crackle", "crackling"],
+                &["geknister"],
+            ),
             ("buzz", "summen", &["buzzing"], &[]),
             ("creak", "knarzen", &["creaking"], &["knarren"]),
         ],
@@ -308,12 +603,37 @@ const SYMPTOMS: &[SymptomSeed] = &[
     SymptomSeed {
         name: "Leak",
         leaves: &[
-            ("oil leak", "ölverlust", &["oil leakage", "leaking oil"], &["öl undicht", "ölleckage"]),
-            ("coolant leak", "kühlmittelverlust", &["leaking coolant"], &["kühlmittel undicht"]),
-            ("fuel leak", "kraftstoffleck", &["leaking fuel"], &["benzin undicht"]),
-            ("water ingress", "wassereintritt", &["water entry", "moisture ingress"], &["feuchtigkeit"]),
+            (
+                "oil leak",
+                "ölverlust",
+                &["oil leakage", "leaking oil"],
+                &["öl undicht", "ölleckage"],
+            ),
+            (
+                "coolant leak",
+                "kühlmittelverlust",
+                &["leaking coolant"],
+                &["kühlmittel undicht"],
+            ),
+            (
+                "fuel leak",
+                "kraftstoffleck",
+                &["leaking fuel"],
+                &["benzin undicht"],
+            ),
+            (
+                "water ingress",
+                "wassereintritt",
+                &["water entry", "moisture ingress"],
+                &["feuchtigkeit"],
+            ),
             ("air leak", "luftleck", &["vacuum leak"], &["falschluft"]),
-            ("refrigerant leak", "kältemittelverlust", &[], &["kältemittelleck"]),
+            (
+                "refrigerant leak",
+                "kältemittelverlust",
+                &[],
+                &["kältemittelleck"],
+            ),
             ("dripping", "tropfen", &["drips"], &["tropft"]),
             ("seepage", "schwitzen", &["sweating"], &[]),
         ],
@@ -322,59 +642,209 @@ const SYMPTOMS: &[SymptomSeed] = &[
         name: "Electrical",
         leaves: &[
             ("short circuit", "kurzschluss", &["short"], &["kurzer"]),
-            ("no power", "keine spannung", &["dead", "no voltage"], &["stromlos", "spannungslos"]),
-            ("intermittent contact", "wackelkontakt", &["loose contact", "flaky contact"], &["kontaktfehler"]),
-            ("burnt through", "durchgeschmort", &["melted wire", "scorched"], &["verschmort", "durchgebrannt"]),
-            ("corroded contact", "kontaktkorrosion", &["oxidized contact"], &["korrodierter kontakt"]),
-            ("blown fuse", "sicherung defekt", &["fuse blown"], &["sicherung durchgebrannt"]),
-            ("electrical smell", "elektrischer geruch", &["burning smell"], &["brandgeruch", "schmorgeruch"]),
-            ("error code stored", "fehlercode abgelegt", &["dtc stored", "fault code"], &["fehlereintrag"]),
-            ("signal loss", "signalverlust", &["no signal"], &["kein signal"]),
-            ("turns off by itself", "schaltet sich ab", &["switches off randomly", "shuts down"], &["geht aus"]),
+            (
+                "no power",
+                "keine spannung",
+                &["dead", "no voltage"],
+                &["stromlos", "spannungslos"],
+            ),
+            (
+                "intermittent contact",
+                "wackelkontakt",
+                &["loose contact", "flaky contact"],
+                &["kontaktfehler"],
+            ),
+            (
+                "burnt through",
+                "durchgeschmort",
+                &["melted wire", "scorched"],
+                &["verschmort", "durchgebrannt"],
+            ),
+            (
+                "corroded contact",
+                "kontaktkorrosion",
+                &["oxidized contact"],
+                &["korrodierter kontakt"],
+            ),
+            (
+                "blown fuse",
+                "sicherung defekt",
+                &["fuse blown"],
+                &["sicherung durchgebrannt"],
+            ),
+            (
+                "electrical smell",
+                "elektrischer geruch",
+                &["burning smell"],
+                &["brandgeruch", "schmorgeruch"],
+            ),
+            (
+                "error code stored",
+                "fehlercode abgelegt",
+                &["dtc stored", "fault code"],
+                &["fehlereintrag"],
+            ),
+            (
+                "signal loss",
+                "signalverlust",
+                &["no signal"],
+                &["kein signal"],
+            ),
+            (
+                "turns off by itself",
+                "schaltet sich ab",
+                &["switches off randomly", "shuts down"],
+                &["geht aus"],
+            ),
         ],
     },
     SymptomSeed {
         name: "Mechanical",
         leaves: &[
-            ("crack", "riss", &["cracked", "fracture"], &["gerissen", "bruch"]),
+            (
+                "crack",
+                "riss",
+                &["cracked", "fracture"],
+                &["gerissen", "bruch"],
+            ),
             ("broken", "gebrochen", &["snapped"], &["abgebrochen"]),
-            ("seized", "festgefressen", &["stuck", "jammed"], &["blockiert", "fest"]),
+            (
+                "seized",
+                "festgefressen",
+                &["stuck", "jammed"],
+                &["blockiert", "fest"],
+            ),
             ("loose", "locker", &["play", "slack"], &["spiel", "lose"]),
-            ("bent", "verbogen", &["deformed", "warped"], &["verformt", "verzogen"]),
-            ("worn", "verschlissen", &["wear", "worn out"], &["abgenutzt", "verschleiß"]),
-            ("vibration", "vibration", &["shaking", "judder"], &["zittern", "rubbeln"]),
-            ("misaligned", "versetzt", &["out of alignment"], &["fluchtet nicht"]),
-            ("stripped thread", "gewinde defekt", &["damaged thread"], &["gewindeschaden"]),
+            (
+                "bent",
+                "verbogen",
+                &["deformed", "warped"],
+                &["verformt", "verzogen"],
+            ),
+            (
+                "worn",
+                "verschlissen",
+                &["wear", "worn out"],
+                &["abgenutzt", "verschleiß"],
+            ),
+            (
+                "vibration",
+                "vibration",
+                &["shaking", "judder"],
+                &["zittern", "rubbeln"],
+            ),
+            (
+                "misaligned",
+                "versetzt",
+                &["out of alignment"],
+                &["fluchtet nicht"],
+            ),
+            (
+                "stripped thread",
+                "gewinde defekt",
+                &["damaged thread"],
+                &["gewindeschaden"],
+            ),
         ],
     },
     SymptomSeed {
         name: "Function",
         leaves: &[
-            ("non-functional", "funktionslos", &["not working", "no function", "inoperative"], &["ohne funktion", "funktioniert nicht"]),
-            ("intermittent failure", "sporadischer ausfall", &["sporadic failure", "works sometimes"], &["zeitweiser ausfall"]),
-            ("slow response", "verzögerte reaktion", &["sluggish", "delayed response"], &["träge"]),
-            ("wrong reading", "falsche anzeige", &["incorrect display", "implausible value"], &["fehlanzeige", "unplausibel"]),
-            ("stuck open", "klemmt offen", &["remains open"], &["bleibt offen"]),
-            ("stuck closed", "klemmt geschlossen", &["remains closed"], &["bleibt zu"]),
-            ("no output", "keine leistung", &["no performance"], &["leistungslos"]),
-            ("resets", "setzt zurück", &["reboots", "restarts"], &["startet neu"]),
+            (
+                "non-functional",
+                "funktionslos",
+                &["not working", "no function", "inoperative"],
+                &["ohne funktion", "funktioniert nicht"],
+            ),
+            (
+                "intermittent failure",
+                "sporadischer ausfall",
+                &["sporadic failure", "works sometimes"],
+                &["zeitweiser ausfall"],
+            ),
+            (
+                "slow response",
+                "verzögerte reaktion",
+                &["sluggish", "delayed response"],
+                &["träge"],
+            ),
+            (
+                "wrong reading",
+                "falsche anzeige",
+                &["incorrect display", "implausible value"],
+                &["fehlanzeige", "unplausibel"],
+            ),
+            (
+                "stuck open",
+                "klemmt offen",
+                &["remains open"],
+                &["bleibt offen"],
+            ),
+            (
+                "stuck closed",
+                "klemmt geschlossen",
+                &["remains closed"],
+                &["bleibt zu"],
+            ),
+            (
+                "no output",
+                "keine leistung",
+                &["no performance"],
+                &["leistungslos"],
+            ),
+            (
+                "resets",
+                "setzt zurück",
+                &["reboots", "restarts"],
+                &["startet neu"],
+            ),
         ],
     },
     SymptomSeed {
         name: "Thermal",
         leaves: &[
-            ("overheating", "überhitzung", &["overheats", "too hot"], &["zu heiß", "überhitzt"]),
-            ("melted", "geschmolzen", &["molten", "heat damage"], &["hitzeschaden", "angeschmolzen"]),
-            ("discolored", "verfärbt", &["discoloration"], &["verfärbung"]),
-            ("no heat", "keine heizleistung", &["not heating"], &["heizt nicht"]),
-            ("no cooling", "keine kühlleistung", &["not cooling"], &["kühlt nicht"]),
+            (
+                "overheating",
+                "überhitzung",
+                &["overheats", "too hot"],
+                &["zu heiß", "überhitzt"],
+            ),
+            (
+                "melted",
+                "geschmolzen",
+                &["molten", "heat damage"],
+                &["hitzeschaden", "angeschmolzen"],
+            ),
+            (
+                "discolored",
+                "verfärbt",
+                &["discoloration"],
+                &["verfärbung"],
+            ),
+            (
+                "no heat",
+                "keine heizleistung",
+                &["not heating"],
+                &["heizt nicht"],
+            ),
+            (
+                "no cooling",
+                "keine kühlleistung",
+                &["not cooling"],
+                &["kühlt nicht"],
+            ),
             ("smoke", "rauch", &["smoking"], &["qualm", "raucht"]),
         ],
     },
     SymptomSeed {
         name: "Corrosion",
         leaves: &[
-            ("rust", "rost", &["rusty", "corrosion"], &["korrosion", "verrostet"]),
+            (
+                "rust",
+                "rost",
+                &["rusty", "corrosion"],
+                &["korrosion", "verrostet"],
+            ),
             ("pitting", "lochfraß", &["pitted"], &[]),
             ("oxidation", "oxidation", &["oxidized"], &["oxidiert"]),
             ("salt damage", "salzschaden", &[], &[]),
@@ -383,9 +853,24 @@ const SYMPTOMS: &[SymptomSeed] = &[
     SymptomSeed {
         name: "Contamination",
         leaves: &[
-            ("dirty", "verschmutzt", &["contaminated", "soiled"], &["verdreckt", "schmutz"]),
-            ("clogged", "verstopft", &["blocked", "plugged"], &["zugesetzt", "dicht"]),
-            ("oily residue", "ölrückstände", &["oil film"], &["ölfilm", "verölt"]),
+            (
+                "dirty",
+                "verschmutzt",
+                &["contaminated", "soiled"],
+                &["verdreckt", "schmutz"],
+            ),
+            (
+                "clogged",
+                "verstopft",
+                &["blocked", "plugged"],
+                &["zugesetzt", "dicht"],
+            ),
+            (
+                "oily residue",
+                "ölrückstände",
+                &["oil film"],
+                &["ölfilm", "verölt"],
+            ),
             ("debris", "fremdkörper", &["foreign object"], &["späne"]),
         ],
     },
@@ -411,16 +896,41 @@ const LOCATIONS: &[Pair] = &[
 
 /// Solution leaves: (en, de, en-synonyms, de-synonyms).
 const SOLUTIONS: &[(&str, &str, &[&str], &[&str])] = &[
-    ("replaced", "ersetzt", &["exchanged", "renewed"], &["ausgetauscht", "erneuert"]),
+    (
+        "replaced",
+        "ersetzt",
+        &["exchanged", "renewed"],
+        &["ausgetauscht", "erneuert"],
+    ),
     ("repaired", "repariert", &["fixed"], &["instandgesetzt"]),
     ("resoldered", "nachgelötet", &["soldered"], &["gelötet"]),
-    ("cleaned", "gereinigt", &["flushed"], &["gesäubert", "gespült"]),
-    ("adjusted", "eingestellt", &["calibrated", "aligned"], &["justiert", "kalibriert"]),
+    (
+        "cleaned",
+        "gereinigt",
+        &["flushed"],
+        &["gesäubert", "gespült"],
+    ),
+    (
+        "adjusted",
+        "eingestellt",
+        &["calibrated", "aligned"],
+        &["justiert", "kalibriert"],
+    ),
     ("tightened", "nachgezogen", &["retorqued"], &["angezogen"]),
-    ("reprogrammed", "neu programmiert", &["reflashed", "software update"], &["umprogrammiert", "softwareupdate"]),
+    (
+        "reprogrammed",
+        "neu programmiert",
+        &["reflashed", "software update"],
+        &["umprogrammiert", "softwareupdate"],
+    ),
     ("sealed", "abgedichtet", &["resealed"], &["neu abgedichtet"]),
     ("lubricated", "geschmiert", &["greased"], &["gefettet"]),
-    ("no fault found", "kein fehler feststellbar", &["could not reproduce", "tested ok"], &["i.o. getestet", "ohne befund"]),
+    (
+        "no fault found",
+        "kein fehler feststellbar",
+        &["could not reproduce", "tested ok"],
+        &["i.o. getestet", "ohne befund"],
+    ),
 ];
 
 impl SyntheticTaxonomy {

@@ -158,10 +158,7 @@ impl Taxonomy {
 
     /// Total number of surface terms in a language (synonym mass).
     pub fn term_count(&self, lang: Lang) -> usize {
-        self.concepts
-            .iter()
-            .map(|c| c.terms_in(lang).count())
-            .sum()
+        self.concepts.iter().map(|c| c.terms_in(lang).count()).sum()
     }
 
     /// All (term, concept) pairs, used to feed the annotation trie.
@@ -240,10 +237,7 @@ mod tests {
         assert_eq!(t.roots(), &[ConceptId(1), ConceptId(5)]);
         assert_eq!(t.children(ConceptId(2)), &[ConceptId(3), ConceptId(4)]);
         assert_eq!(t.children(ConceptId(3)), &[] as &[ConceptId]);
-        assert_eq!(
-            t.ancestors(ConceptId(3)),
-            vec![ConceptId(2), ConceptId(1)]
-        );
+        assert_eq!(t.ancestors(ConceptId(3)), vec![ConceptId(2), ConceptId(1)]);
         assert_eq!(t.root_of(ConceptId(4)), Some(ConceptId(1)));
         assert_eq!(t.root_of(ConceptId(5)), Some(ConceptId(5)));
         assert_eq!(t.get(ConceptId(3)).unwrap().name, "Squeak");
@@ -314,14 +308,17 @@ mod tests {
 
     #[test]
     fn empty_name_rejected() {
-        let r = Taxonomy::new(
-            "x",
-            vec![concept(1, ConceptKind::Symptom, "  ", None, &[])],
-        );
+        let r = Taxonomy::new("x", vec![concept(1, ConceptKind::Symptom, "  ", None, &[])]);
         assert!(matches!(r, Err(TaxonomyError::EmptyName(_))));
         let r = Taxonomy::new(
             "x",
-            vec![concept(1, ConceptKind::Symptom, "A", None, &[("", Lang::En)])],
+            vec![concept(
+                1,
+                ConceptKind::Symptom,
+                "A",
+                None,
+                &[("", Lang::En)],
+            )],
         );
         assert!(matches!(r, Err(TaxonomyError::EmptyName(_))));
     }

@@ -96,7 +96,9 @@ impl<'a> XmlLexer<'a> {
         }
 
         if let Some(rest) = self.rest().strip_prefix("</") {
-            let end = rest.find('>').ok_or_else(|| self.err("unterminated end tag"))?;
+            let end = rest
+                .find('>')
+                .ok_or_else(|| self.err("unterminated end tag"))?;
             let name = rest[..end].trim().to_owned();
             if name.is_empty() {
                 return Err(self.err("empty end-tag name"));
@@ -338,9 +340,9 @@ pub fn parse_taxonomy(input: &str) -> Result<Taxonomy> {
                         concepts[idx].terms.push(Term::new(lang, text.trim()));
                     }
                     "concept" => {
-                        stack.pop().ok_or_else(|| {
-                            TaxonomyError::Format("unbalanced </concept>".into())
-                        })?;
+                        stack
+                            .pop()
+                            .ok_or_else(|| TaxonomyError::Format("unbalanced </concept>".into()))?;
                     }
                     "taxonomy" => {
                         if !stack.is_empty() {
@@ -350,9 +352,7 @@ pub fn parse_taxonomy(input: &str) -> Result<Taxonomy> {
                         }
                         break;
                     }
-                    other => {
-                        return Err(TaxonomyError::Format(format!("unexpected </{other}>")))
-                    }
+                    other => return Err(TaxonomyError::Format(format!("unexpected </{other}>"))),
                 },
             }
         }
@@ -511,16 +511,27 @@ mod tests {
         assert_eq!(unescape("&quot;x&apos;").unwrap(), "\"x'");
         assert!(unescape("&bogus;").is_err());
         assert!(unescape("&amp").is_err());
-        assert_eq!(escape("a & b <c> \"d\""), "a &amp; b &lt;c&gt; &quot;d&quot;");
+        assert_eq!(
+            escape("a & b <c> \"d\""),
+            "a &amp; b &lt;c&gt; &quot;d&quot;"
+        );
     }
 
     #[test]
     fn malformed_documents_rejected() {
         assert!(parse_taxonomy("").is_err());
         assert!(parse_taxonomy("<wrong/>").is_err());
-        assert!(parse_taxonomy("<taxonomy name='x'><concept id='a' kind='symptom' name='N'/></taxonomy>").is_err());
-        assert!(parse_taxonomy("<taxonomy name='x'><concept id='1' kind='bogus' name='N'/></taxonomy>").is_err());
-        assert!(parse_taxonomy("<taxonomy name='x'><concept id='1' kind='symptom' name='N'>").is_err());
+        assert!(parse_taxonomy(
+            "<taxonomy name='x'><concept id='a' kind='symptom' name='N'/></taxonomy>"
+        )
+        .is_err());
+        assert!(parse_taxonomy(
+            "<taxonomy name='x'><concept id='1' kind='bogus' name='N'/></taxonomy>"
+        )
+        .is_err());
+        assert!(
+            parse_taxonomy("<taxonomy name='x'><concept id='1' kind='symptom' name='N'>").is_err()
+        );
         assert!(parse_taxonomy("<taxonomy name='x'>stray</taxonomy>").is_err());
         assert!(parse_taxonomy("<taxonomy name='x'></taxonomy>tail").is_err());
         assert!(parse_taxonomy("<taxonomy name='x'><unknown/></taxonomy>").is_err());

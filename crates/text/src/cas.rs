@@ -196,9 +196,7 @@ impl Cas {
     pub fn language_of(&self, segment: SegmentId) -> Option<DetectedLang> {
         let seg = self.segments.get(segment.0)?;
         self.annotations.iter().find_map(|a| match a.kind {
-            AnnotationKind::LanguageSpan { lang }
-                if a.begin == seg.begin && a.end == seg.end =>
-            {
+            AnnotationKind::LanguageSpan { lang } if a.begin == seg.begin && a.end == seg.end => {
                 Some(lang)
             }
             _ => None,

@@ -41,11 +41,7 @@ impl ConceptAnnotator {
     /// Build emitting only the given kinds.
     pub fn with_kinds(taxonomy: &Taxonomy, emit: &[ConceptKind]) -> Self {
         let trie = TokenTrie::from_taxonomy(taxonomy);
-        let kinds = taxonomy
-            .concepts()
-            .iter()
-            .map(|c| (c.id, c.kind))
-            .collect();
+        let kinds = taxonomy.concepts().iter().map(|c| (c.id, c.kind)).collect();
         ConceptAnnotator {
             trie: Arc::new(trie),
             kinds: Arc::new(kinds),
@@ -70,9 +66,7 @@ impl AnalysisEngine for ConceptAnnotator {
             .annotations()
             .iter()
             .filter_map(|a| match &a.kind {
-                AnnotationKind::Token { normalized } => {
-                    Some((a.begin, a.end, normalized.as_str()))
-                }
+                AnnotationKind::Token { normalized } => Some((a.begin, a.end, normalized.as_str())),
                 _ => None,
             })
             .collect();
@@ -92,12 +86,16 @@ impl AnalysisEngine for ConceptAnnotator {
                     let begin = tokens[i].0;
                     let end = tokens[i + len - 1].1;
                     for &concept in concepts {
-                        let kind = self.kinds.get(&concept).copied().ok_or_else(|| {
-                            TextError::Engine {
-                                engine: self.name().to_owned(),
-                                message: format!("trie concept {concept} missing from taxonomy"),
-                            }
-                        })?;
+                        let kind =
+                            self.kinds
+                                .get(&concept)
+                                .copied()
+                                .ok_or_else(|| TextError::Engine {
+                                    engine: self.name().to_owned(),
+                                    message: format!(
+                                        "trie concept {concept} missing from taxonomy"
+                                    ),
+                                })?;
                         if self.emit.contains(&kind) {
                             out.push(Annotation::new(
                                 begin,

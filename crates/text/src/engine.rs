@@ -70,10 +70,7 @@ impl Pipeline {
     }
 
     /// Run over a batch of CASes.
-    pub fn process_all<'a>(
-        &self,
-        cases: impl IntoIterator<Item = &'a mut Cas>,
-    ) -> Result<usize> {
+    pub fn process_all<'a>(&self, cases: impl IntoIterator<Item = &'a mut Cas>) -> Result<usize> {
         let mut n = 0;
         for cas in cases {
             self.process(cas)?;

@@ -193,9 +193,7 @@ mod tests {
     #[test]
     fn score_tokens_scale_invariant() {
         let short = score_tokens(["der", "luefter"].into_iter());
-        let long = score_tokens(
-            ["der", "luefter", "der", "luefter", "der", "luefter"].into_iter(),
-        );
+        let long = score_tokens(["der", "luefter", "der", "luefter", "der", "luefter"].into_iter());
         assert!((short.de - long.de).abs() < 1e-9);
     }
 }

@@ -54,9 +54,7 @@ pub mod tokenizer;
 
 /// Convenient glob-import surface.
 pub mod prelude {
-    pub use crate::cas::{
-        Annotation, AnnotationKind, Cas, DetectedLang, Segment, SegmentId,
-    };
+    pub use crate::cas::{Annotation, AnnotationKind, Cas, DetectedLang, Segment, SegmentId};
     pub use crate::concept_annotator::ConceptAnnotator;
     pub use crate::engine::{AnalysisEngine, Pipeline, PipelineBuilder, TextError};
     pub use crate::langdetect::{score_tokens, LangScores, LanguageDetector};

@@ -45,8 +45,8 @@ impl SentenceSplitter {
             if start.is_none() {
                 start = Some(off);
             }
-            let is_terminal = matches!(c, '!' | '?' | '\n')
-                || (c == '.' && !ends_with_abbreviation(text, off));
+            let is_terminal =
+                matches!(c, '!' | '?' | '\n') || (c == '.' && !ends_with_abbreviation(text, off));
             if is_terminal {
                 let s = start.take().expect("open sentence");
                 let end = if c == '\n' { off } else { off + c.len_utf8() };
@@ -138,10 +138,7 @@ mod tests {
     #[test]
     fn abbreviations_do_not_split() {
         let s = split("Teil def. und durchgeschmort. Ersatz bestellt.");
-        assert_eq!(
-            s,
-            vec!["Teil def. und durchgeschmort.", "Ersatz bestellt."]
-        );
+        assert_eq!(s, vec!["Teil def. und durchgeschmort.", "Ersatz bestellt."]);
         let s = split("funkt. nicht mehr. ok.");
         assert_eq!(s, vec!["funkt. nicht mehr.", "ok."]);
     }

@@ -24,8 +24,8 @@ const EN_SUFFIXES: &[&str] = &[
 /// German inflection suffixes, longest first (on normalized text, so "ß" is
 /// already "ss" and umlauts are digraphs).
 const DE_SUFFIXES: &[&str] = &[
-    "igkeit", "heiten", "keiten", "lichen", "ungen", "erung", "ung", "ten", "en", "er", "es",
-    "em", "st", "te", "e", "n", "s", "t",
+    "igkeit", "heiten", "keiten", "lichen", "ungen", "erung", "ung", "ten", "en", "er", "es", "em",
+    "st", "te", "e", "n", "s", "t",
 ];
 
 /// Strip suffixes repeatedly until none applies (fixpoint). Iterating makes
@@ -116,7 +116,9 @@ impl AnalysisEngine for StemAnnotator {
                         Some(Annotation::new(
                             a.begin,
                             a.end,
-                            AnnotationKind::Token { normalized: stemmed },
+                            AnnotationKind::Token {
+                                normalized: stemmed,
+                            },
                         ))
                     } else {
                         None
@@ -132,7 +134,10 @@ impl AnalysisEngine for StemAnnotator {
         let mut rewritten = Vec::with_capacity(cas.annotations().len());
         for a in cas.annotations() {
             if let AnnotationKind::Token { .. } = a.kind {
-                if let Some(u) = updates.iter().find(|u| u.begin == a.begin && u.end == a.end) {
+                if let Some(u) = updates
+                    .iter()
+                    .find(|u| u.begin == a.begin && u.end == a.end)
+                {
                     rewritten.push(u.clone());
                     continue;
                 }
@@ -170,10 +175,7 @@ mod tests {
     fn german_inflections_collapse() {
         // all inflected variants of one lemma reach the same stem
         let variants = ["defekt", "defekte", "defekter", "defektes"];
-        let stems: Vec<String> = variants
-            .iter()
-            .map(|v| stem(v, DetectedLang::De))
-            .collect();
+        let stems: Vec<String> = variants.iter().map(|v| stem(v, DetectedLang::De)).collect();
         assert!(stems.windows(2).all(|w| w[0] == w[1]), "{stems:?}");
         assert_eq!(
             stem("funktionieren", DetectedLang::De),

@@ -16,25 +16,23 @@ pub const GERMAN: &[&str] = &[
     "der", "die", "das", "den", "dem", "des", "ein", "eine", "einen", "einem", "einer", "eines",
     // personal pronouns
     "ich", "du", "er", "sie", "es", "wir", "ihr", "mich", "dich", "ihn", "uns", "euch", "ihnen",
-    "mir", "dir", "ihm",
-    // frequent function words
+    "mir", "dir", "ihm", // frequent function words
     "und", "oder", "aber", "nicht", "kein", "keine", "ist", "sind", "war", "waren", "wird",
     "wurde", "hat", "haben", "bei", "mit", "von", "zu", "im", "am", "auf", "an", "in", "aus",
-    "nach", "vor", "fuer", "durch", "wegen", "auch", "noch", "nur", "sehr", "dann", "dass",
-    "wenn", "als", "wie", "so", "da", "hier", "dort",
+    "nach", "vor", "fuer", "durch", "wegen", "auch", "noch", "nur", "sehr", "dann", "dass", "wenn",
+    "als", "wie", "so", "da", "hier", "dort",
 ];
 
 /// English stopwords.
 pub const ENGLISH: &[&str] = &[
     // articles
-    "the", "a", "an",
-    // personal pronouns
+    "the", "a", "an", // personal pronouns
     "i", "you", "he", "she", "it", "we", "they", "me", "him", "her", "us", "them",
     // frequent function words
-    "and", "or", "but", "not", "no", "is", "are", "was", "were", "be", "been", "has", "have",
-    "had", "will", "would", "at", "by", "with", "from", "to", "in", "on", "of", "off", "for",
-    "into", "after", "before", "also", "only", "very", "then", "that", "if", "when", "as",
-    "like", "so", "there", "here", "this", "these", "its", "itself",
+    "and", "or", "but", "not", "no", "is", "are", "was", "were", "be", "been", "has", "have", "had",
+    "will", "would", "at", "by", "with", "from", "to", "in", "on", "of", "off", "for", "into",
+    "after", "before", "also", "only", "very", "then", "that", "if", "when", "as", "like", "so",
+    "there", "here", "this", "these", "its", "itself",
 ];
 
 /// A compiled stopword set over normalized token forms.
@@ -158,10 +156,7 @@ mod tests {
         WhitespaceTokenizer::new().process(&mut cas).unwrap();
         StopwordAnnotator::new().process(&mut cas).unwrap();
         let spans = cas.stopword_spans();
-        let words: Vec<&str> = spans
-            .iter()
-            .map(|&(b, e)| &cas.text()[b..e])
-            .collect();
+        let words: Vec<&str> = spans.iter().map(|&(b, e)| &cas.text()[b..e]).collect();
         assert_eq!(words, vec!["the", "and", "der"]);
     }
 

@@ -21,7 +21,10 @@ fn main() {
     println!("  sample complaint: {}", complaints[0].text);
     println!(
         "  ({} {} {}, category {})",
-        complaints[0].year, complaints[0].make, complaints[0].model, complaints[0].component_category
+        complaints[0].year,
+        complaints[0].make,
+        complaints[0].model,
+        complaints[0].component_category
     );
 
     // Bag-of-concepts is the cross-source model: multilingual, text-type
@@ -40,7 +43,9 @@ fn main() {
     print!("{}", report.render());
 
     if report.left.top_code() != report.right.top_code() {
-        println!("\n→ the public market shows a different leading failure than our warranty data —");
+        println!(
+            "\n→ the public market shows a different leading failure than our warranty data —"
+        );
         println!("  exactly the kind of brand-specific weakness §5.4 wants surfaced.");
     }
 }

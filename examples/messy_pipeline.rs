@@ -78,7 +78,9 @@ fn main() {
         "\nlegacy annotator on the supplier report: {} mentions (optimized found {})",
         legacy_cas.concept_mentions().count(),
         cas.concept_mentions()
-            .filter(|(a, _, _)| cas.segment_at(a.begin).is_some_and(|s| s.name == "supplier_report"))
+            .filter(|(a, _, _)| cas
+                .segment_at(a.begin)
+                .is_some_and(|s| s.name == "supplier_report"))
             .count()
     );
 }

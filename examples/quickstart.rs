@@ -23,11 +23,17 @@ fn main() {
         FeatureModel::BagOfConcepts,
         SimilarityMeasure::Jaccard,
     );
-    println!("  knowledge base: {} configuration instances", service.kb_len());
+    println!(
+        "  knowledge base: {} configuration instances",
+        service.kb_len()
+    );
 
     // Ask for suggestions for one data bundle, as the QUEST screen would.
     let bundle = &corpus.bundles[17];
-    println!("\nbundle {} (part {})", bundle.reference_number, bundle.part_id);
+    println!(
+        "\nbundle {} (part {})",
+        bundle.reference_number, bundle.part_id
+    );
     println!("  mechanic: {}", bundle.mechanic_report);
     println!("  supplier: {}", bundle.supplier_report);
 
@@ -45,7 +51,9 @@ fn main() {
         let rank = suggestions.top.iter().position(|s| s.code == truth);
         match rank {
             Some(r) => println!("ground truth {truth} is suggestion #{}", r + 1),
-            None => println!("ground truth {truth} not in the top-10 (worker uses the fallback list)"),
+            None => {
+                println!("ground truth {truth} not in the top-10 (worker uses the fallback list)")
+            }
         }
     }
 }

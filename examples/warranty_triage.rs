@@ -39,7 +39,10 @@ fn main() {
     }
     case.add_supplier_report("supplier-a", &incoming.supplier_report, "RC-2")
         .unwrap();
-    println!("[{}] supplier assessment, responsibility RC-2", case.stage());
+    println!(
+        "[{}] supplier assessment, responsibility RC-2",
+        case.stage()
+    );
 
     // QUEST suggests codes; the viewer may look but not assign
     let suggestions = service.suggest(&incoming);
@@ -58,12 +61,18 @@ fn main() {
     service
         .assign(&mut db, &users, "anna", &incoming, &chosen)
         .expect("anna may assign");
-    case.finalize("anna", &chosen, "per supplier findings").unwrap();
+    case.finalize("anna", &chosen, "per supplier findings")
+        .unwrap();
     println!("anna assigned {chosen}; case is {}", case.stage());
 
     println!("\naudit trail:");
     for e in case.audit_trail() {
-        println!("  {:<20} by {:<12} — {}", e.stage.to_string(), e.actor, e.note);
+        println!(
+            "  {:<20} by {:<12} — {}",
+            e.stage.to_string(),
+            e.actor,
+            e.note
+        );
     }
     println!(
         "\nstore now holds {} tables, {} rows",

@@ -47,7 +47,7 @@ pub mod prelude {
     pub use qatk_core::prelude::*;
     pub use qatk_corpus::prelude::*;
     pub use qatk_store::prelude::{
-        Aggregate, Cond, Database, DataType, GroupBy, IndexKind, Join, JoinKind, Query, Schema,
+        Aggregate, Cond, DataType, Database, GroupBy, IndexKind, Join, JoinKind, Query, Schema,
         SchemaBuilder, SharedDatabase, SortOrder, StoreError, Table, Value,
     };
     pub use qatk_taxonomy::prelude::*;

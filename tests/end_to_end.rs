@@ -60,25 +60,32 @@ fn service_workflow_assignment_roundtrip() {
     // drive the Fig. 2 workflow for one incoming part
     let incoming = c.bundles[5].clone();
     let mut case = EvaluationCase::register("R-IT-1", incoming.part_id.clone(), "system");
-    case.add_mechanic_report("shop", &incoming.mechanic_report).unwrap();
-    case.add_supplier_report("sup", &incoming.supplier_report, "RC-1").unwrap();
+    case.add_mechanic_report("shop", &incoming.mechanic_report)
+        .unwrap();
+    case.add_supplier_report("sup", &incoming.supplier_report, "RC-1")
+        .unwrap();
 
     let suggestions = svc.suggest(&incoming);
     assert!(!suggestions.top.is_empty());
     svc.persist_suggestions(&mut db, &suggestions).unwrap();
     let chosen = suggestions.top[0].code.clone();
-    svc.assign(&mut db, &users, "anna", &incoming, &chosen).unwrap();
+    svc.assign(&mut db, &users, "anna", &incoming, &chosen)
+        .unwrap();
     case.finalize("anna", &chosen, "done").unwrap();
     assert_eq!(case.stage(), Stage::Finalized);
 
     // the whole state snapshot (recommendations + assignment) round-trips
     let db2 = Database::from_bytes(&db.to_bytes()).unwrap();
     assert_eq!(
-        db2.table(quest::service::tables::ASSIGNMENTS).unwrap().len(),
+        db2.table(quest::service::tables::ASSIGNMENTS)
+            .unwrap()
+            .len(),
         1
     );
     assert_eq!(
-        db2.table(quest::service::tables::RECOMMENDATIONS).unwrap().len(),
+        db2.table(quest::service::tables::RECOMMENDATIONS)
+            .unwrap()
+            .len(),
         suggestions.top.len()
     );
 }

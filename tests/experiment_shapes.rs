@@ -41,7 +41,10 @@ fn accuracy_curves_are_monotone_and_bounded() {
 #[test]
 fn classifier_beats_unsorted_candidates_and_frequency_at_k1() {
     let c = corpus();
-    let r = run_experiment(&c, &config(FeatureModel::BagOfWords, SimilarityMeasure::Jaccard));
+    let r = run_experiment(
+        &c,
+        &config(FeatureModel::BagOfWords, SimilarityMeasure::Jaccard),
+    );
     let a1 = r.classifier.at(1).unwrap();
     assert!(a1 > r.candidate_set.at(1).unwrap());
     assert!(a1 > r.code_frequency.at(1).unwrap());
@@ -70,7 +73,10 @@ fn mechanic_only_below_frequency_baseline() {
 fn supplier_only_close_to_full_test() {
     // the other half of Experiment 2 (Fig. 13)
     let c = corpus();
-    let full = run_experiment(&c, &config(FeatureModel::BagOfWords, SimilarityMeasure::Jaccard));
+    let full = run_experiment(
+        &c,
+        &config(FeatureModel::BagOfWords, SimilarityMeasure::Jaccard),
+    );
     let sr = run_experiment(
         &c,
         &ClassifierConfig {
@@ -79,7 +85,10 @@ fn supplier_only_close_to_full_test() {
         },
     );
     let gap = (full.classifier.at(5).unwrap() - sr.classifier.at(5).unwrap()).abs();
-    assert!(gap < 0.15, "supplier-only should be near full test (gap {gap:.3})");
+    assert!(
+        gap < 0.15,
+        "supplier-only should be near full test (gap {gap:.3})"
+    );
     assert!(sr.classifier.at(1).unwrap() > sr.code_frequency.at(1).unwrap());
 }
 
@@ -107,7 +116,10 @@ fn extended_measures_also_work() {
 #[test]
 fn timing_and_kb_stats_reported() {
     let c = Corpus::generate(CorpusConfig::small(5));
-    let r = run_experiment(&c, &config(FeatureModel::BagOfConcepts, SimilarityMeasure::Jaccard));
+    let r = run_experiment(
+        &c,
+        &config(FeatureModel::BagOfConcepts, SimilarityMeasure::Jaccard),
+    );
     assert_eq!(r.fold_seconds.len(), 5);
     assert!(r.fold_seconds.iter().all(|&s| s >= 0.0));
     assert!(r.mean_kb_nodes > 0.0);

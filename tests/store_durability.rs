@@ -140,10 +140,7 @@ fn aggregation_matches_frequency_baseline_over_store() {
             .filter_map(|b| Some((b.part_id.as_str(), b.error_code.as_deref()?))),
     );
     let expected = baseline.rank(&part);
-    let got: Vec<&str> = grouped
-        .iter()
-        .filter_map(|g| g.key.as_text())
-        .collect();
+    let got: Vec<&str> = grouped.iter().filter_map(|g| g.key.as_text()).collect();
     assert_eq!(got, expected.iter().map(String::as_str).collect::<Vec<_>>());
 }
 
@@ -156,7 +153,9 @@ fn join_reconstructs_the_quest_bundle_view() {
     let bundles = db.table(tables::BUNDLES).unwrap();
     let codes = db.table(tables::ERROR_CODES).unwrap();
 
-    let joined = Join::inner("error_code", "code").run(bundles, codes).unwrap();
+    let joined = Join::inner("error_code", "code")
+        .run(bundles, codes)
+        .unwrap();
     // every coded bundle joins to exactly one code row
     assert_eq!(joined.len(), corpus.bundles.len());
     let arity = bundles.schema().arity() + codes.schema().arity();

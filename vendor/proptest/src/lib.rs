@@ -1,0 +1,116 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build container has no network access, so the workspace vendors the
+//! subset of the proptest 1.x API its property tests use: the `proptest!`
+//! macro, `Strategy` with `prop_map` / `prop_filter`, `any::<T>()`, numeric
+//! range strategies, regex-subset string strategies, `collection::{vec,
+//! hash_set}`, `option::of`, `Just`, `prop_oneof!`, and `ProptestConfig`.
+//!
+//! Differences from real proptest, by design:
+//! * cases are generated from a deterministic per-test RNG (FNV-1a of the
+//!   test name mixed with the case index) — runs are reproducible without a
+//!   persistence file, and `*.proptest-regressions` files are ignored;
+//! * no shrinking — on failure the case number and seed are reported so the
+//!   case can be replayed, but the inputs are not minimized;
+//! * `prop_assert!` maps to `assert!` (panics instead of returning `Err`);
+//!   test bodies still run inside a `Result`-returning closure, so the real
+//!   proptest idiom `return Ok(());` for early case rejection works.
+
+#![allow(clippy::type_complexity)]
+
+// Re-exported so `proptest!` can reach the RNG via `$crate::rand` from
+// crates that do not themselves depend on `rand`.
+pub use rand;
+
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// The test-definition macro. Supports the common form:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn prop(x in 0u32..10, v in vec(any::<u8>(), 0..5)) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr)
+        $( $(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let base = $crate::test_runner::fnv1a(stringify!($name));
+                for case in 0..config.cases {
+                    let seed = $crate::test_runner::mix(base, case);
+                    let mut __rng =
+                        <$crate::rand::rngs::StdRng as $crate::rand::SeedableRng>::seed_from_u64(
+                            seed,
+                        );
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(&$strat, &mut __rng);
+                    )+
+                    let mut __guard =
+                        $crate::test_runner::CaseGuard::new(stringify!($name), case, seed);
+                    // real proptest bodies may `return Ok(());` to reject a
+                    // case early — give them a Result-typed scope to do it in
+                    let __outcome = (|| -> ::std::result::Result<(), ::std::string::String> {
+                        { $body }
+                        #[allow(unreachable_code)]
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(e) = __outcome {
+                        panic!("proptest case rejected with error: {e}");
+                    }
+                    __guard.disarm();
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Assertion macros; panic directly in this shim.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Uniform choice among heterogeneous strategies with a common value type.
+/// Weights (`w => strategy`) are accepted and ignored (choice stays uniform).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::arm($strat)),+])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::arm($strat)),+])
+    };
+}

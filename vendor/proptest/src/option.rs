@@ -1,0 +1,28 @@
+//! `Option` strategies.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::strategy::Strategy;
+
+/// `Some(value)` with probability 0.75, `None` otherwise (matching real
+/// proptest's default weighting of 3:1 in favour of `Some`).
+pub fn of<S: Strategy>(element: S) -> OptionStrategy<S> {
+    OptionStrategy { element }
+}
+
+pub struct OptionStrategy<S> {
+    element: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        if rng.random_bool(0.75) {
+            Some(self.element.generate(rng))
+        } else {
+            None
+        }
+    }
+}

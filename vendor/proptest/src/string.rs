@@ -1,0 +1,273 @@
+//! Generation of strings matching a small regex subset.
+//!
+//! Supported syntax (everything the workspace's patterns use):
+//! character classes `[a-zA-Z0-9 .,;-]` (ranges + literals, `-` literal when
+//! first/last), groups `( ... )`, quantifiers `{n}`, `{n,m}`, `*`, `+`, `?`,
+//! escaped characters, and literal characters. No alternation, anchors, or
+//! negated classes.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+#[derive(Debug, Clone)]
+enum Node {
+    Literal(char),
+    Class(Vec<(char, char)>),
+    Group(Vec<(Node, Quant)>),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Quant {
+    min: u32,
+    max: u32,
+}
+
+const UNBOUNDED_CAP: u32 = 8;
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn parse_seq(&mut self, in_group: bool) -> Vec<(Node, Quant)> {
+        let mut items = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == ')' && in_group {
+                break;
+            }
+            let node = self.parse_atom();
+            let quant = self.parse_quant();
+            items.push((node, quant));
+        }
+        items
+    }
+
+    fn parse_atom(&mut self) -> Node {
+        match self.bump().expect("atom expected") {
+            '[' => self.parse_class(),
+            '(' => {
+                let inner = self.parse_seq(true);
+                assert_eq!(self.bump(), Some(')'), "unterminated group");
+                Node::Group(inner)
+            }
+            '\\' => Node::Literal(self.bump().expect("dangling escape")),
+            c => Node::Literal(c),
+        }
+    }
+
+    fn parse_class(&mut self) -> Node {
+        let mut ranges: Vec<(char, char)> = Vec::new();
+        let mut prev: Option<char> = None;
+        loop {
+            let c = self.bump().expect("unterminated character class");
+            match c {
+                ']' => break,
+                '\\' => {
+                    let lit = self.bump().expect("dangling escape in class");
+                    if let Some(p) = prev.take() {
+                        ranges.push((p, p));
+                    }
+                    prev = Some(lit);
+                }
+                '-' if prev.is_some() && self.peek().is_some_and(|n| n != ']') => {
+                    let lo = prev.take().unwrap();
+                    let hi = self.bump().unwrap();
+                    assert!(lo <= hi, "invalid class range {lo}-{hi}");
+                    ranges.push((lo, hi));
+                }
+                _ => {
+                    if let Some(p) = prev.take() {
+                        ranges.push((p, p));
+                    }
+                    prev = Some(c);
+                }
+            }
+        }
+        if let Some(p) = prev {
+            ranges.push((p, p));
+        }
+        assert!(!ranges.is_empty(), "empty character class");
+        Node::Class(ranges)
+    }
+
+    fn parse_quant(&mut self) -> Quant {
+        match self.peek() {
+            Some('{') => {
+                self.bump();
+                let mut min = String::new();
+                let mut max = String::new();
+                let mut in_max = false;
+                loop {
+                    match self.bump().expect("unterminated quantifier") {
+                        '}' => break,
+                        ',' => in_max = true,
+                        d => {
+                            if in_max {
+                                max.push(d);
+                            } else {
+                                min.push(d);
+                            }
+                        }
+                    }
+                }
+                let lo: u32 = min.parse().expect("quantifier lower bound");
+                let hi: u32 = if !in_max {
+                    lo
+                } else {
+                    max.parse().expect("quantifier upper bound")
+                };
+                Quant { min: lo, max: hi }
+            }
+            Some('*') => {
+                self.bump();
+                Quant {
+                    min: 0,
+                    max: UNBOUNDED_CAP,
+                }
+            }
+            Some('+') => {
+                self.bump();
+                Quant {
+                    min: 1,
+                    max: UNBOUNDED_CAP,
+                }
+            }
+            Some('?') => {
+                self.bump();
+                Quant { min: 0, max: 1 }
+            }
+            _ => Quant { min: 1, max: 1 },
+        }
+    }
+}
+
+fn emit(node: &Node, rng: &mut StdRng, out: &mut String) {
+    match node {
+        Node::Literal(c) => out.push(*c),
+        Node::Class(ranges) => {
+            let total: u32 = ranges
+                .iter()
+                .map(|(lo, hi)| *hi as u32 - *lo as u32 + 1)
+                .sum();
+            let mut pick = rng.random_range(0..total);
+            for (lo, hi) in ranges {
+                let span = *hi as u32 - *lo as u32 + 1;
+                if pick < span {
+                    out.push(char::from_u32(*lo as u32 + pick).expect("valid class char"));
+                    return;
+                }
+                pick -= span;
+            }
+            unreachable!("class pick out of bounds");
+        }
+        Node::Group(items) => emit_seq(items, rng, out),
+    }
+}
+
+fn emit_seq(items: &[(Node, Quant)], rng: &mut StdRng, out: &mut String) {
+    for (node, quant) in items {
+        let n = rng.random_range(quant.min..=quant.max);
+        for _ in 0..n {
+            emit(node, rng, out);
+        }
+    }
+}
+
+/// Generate a random string matching `pattern`.
+pub fn generate_matching(pattern: &str, rng: &mut StdRng) -> String {
+    let mut parser = Parser {
+        chars: pattern.chars().collect(),
+        pos: 0,
+    };
+    let items = parser.parse_seq(false);
+    assert_eq!(parser.pos, parser.chars.len(), "trailing pattern input");
+    let mut out = String::new();
+    emit_seq(&items, rng, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn gen100(pattern: &str) -> Vec<String> {
+        let mut rng = StdRng::seed_from_u64(42);
+        (0..100)
+            .map(|_| generate_matching(pattern, &mut rng))
+            .collect()
+    }
+
+    #[test]
+    fn class_with_quantifier() {
+        for s in gen100("[a-z]{1,8}") {
+            assert!((1..=8).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn class_with_literals_and_trailing_dash() {
+        for s in gen100("[a-zA-Z0-9 .,;-]{0,40}") {
+            assert!(s.chars().count() <= 40);
+            assert!(
+                s.chars()
+                    .all(|c| c.is_ascii_alphanumeric() || " .,;-".contains(c)),
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn unicode_class_members() {
+        let all: String = gen100("[äöüß]{4}").concat();
+        assert!(all.chars().all(|c| "äöüß".contains(c)));
+    }
+
+    #[test]
+    fn group_with_quantifier() {
+        for s in gen100("[a-z]{1,8}( [a-z]{1,8}){0,2}") {
+            let words: Vec<&str> = s.split(' ').collect();
+            assert!((1..=3).contains(&words.len()), "{s:?}");
+            for w in words {
+                assert!((1..=8).contains(&w.len()), "{s:?}");
+                assert!(w.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn exact_count_and_star_plus_question() {
+        for s in gen100("[ab]{3}") {
+            assert_eq!(s.len(), 3);
+        }
+        for s in gen100("x[yz]*") {
+            assert!(s.starts_with('x') && s.len() <= 1 + UNBOUNDED_CAP as usize);
+        }
+        for s in gen100("a?b+") {
+            assert!(s.trim_start_matches('a').chars().all(|c| c == 'b'), "{s:?}");
+            assert!(s.contains('b'));
+        }
+    }
+
+    #[test]
+    fn escapes_are_literal() {
+        for s in gen100(r"[a\-b]{2}\[") {
+            assert!(s.ends_with('['), "{s:?}");
+            assert!(s[..s.len() - 1].chars().all(|c| "a-b".contains(c)), "{s:?}");
+        }
+    }
+}

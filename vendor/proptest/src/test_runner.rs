@@ -1,0 +1,71 @@
+//! Test-runner configuration and the failure-reporting guard used by the
+//! `proptest!` macro expansion.
+
+/// Runner configuration. Only `cases` is honoured by this shim.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// FNV-1a over a test name — the per-test RNG base seed.
+pub fn fnv1a(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Mix a case index into the base seed.
+pub fn mix(base: u64, case: u32) -> u64 {
+    base ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Prints the failing case number and seed when a property body panics, so
+/// the case can be replayed (this shim does not shrink).
+pub struct CaseGuard {
+    name: &'static str,
+    case: u32,
+    seed: u64,
+    armed: bool,
+}
+
+impl CaseGuard {
+    pub fn new(name: &'static str, case: u32, seed: u64) -> Self {
+        CaseGuard {
+            name,
+            case,
+            seed,
+            armed: true,
+        }
+    }
+
+    pub fn disarm(&mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for CaseGuard {
+    fn drop(&mut self) {
+        if self.armed && std::thread::panicking() {
+            eprintln!(
+                "proptest (vendored shim): property '{}' failed at case {} (rng seed {:#018x})",
+                self.name, self.case, self.seed
+            );
+        }
+    }
+}
