@@ -1,0 +1,350 @@
+//! bench_report — the performance-trajectory report behind the CI bench gate.
+//!
+//! Runs fixed micro-benchmarks over the hot paths metered by `qatk-obs`
+//! (classify_batch, the rank kernel, concept annotation, tokenization, WAL
+//! appends), writes a `BENCH_PR2.json` report, and — with `--check
+//! baseline.json` — fails if any benchmark's median regressed more than 25%
+//! against the checked-in baseline. It also measures the observability
+//! overhead on `classify_batch` by interleaving enabled/disabled samples of
+//! the same binary and asserts it stays under 3%.
+//!
+//! Report schema (`qatk-bench-report/v1`):
+//!
+//! ```json
+//! {
+//!   "schema": "qatk-bench-report/v1",
+//!   "benches": [
+//!     {"bench": "classify_batch", "median_ns": 1, "p95_ns": 2, "throughput": 3.0}
+//!   ],
+//!   "obs_overhead_pct": 0.4
+//! }
+//! ```
+//!
+//! `median_ns`/`p95_ns` are per processed item (query, doc, append);
+//! `throughput` is items per second at the median.
+//!
+//! Run: `cargo run --release -p qatk-bench --bin bench_report -- [--out F] [--check BASELINE]`
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use qatk_core::prelude::*;
+use qatk_corpus::bundle::SourceSelection;
+use qatk_corpus::generator::{Corpus, CorpusConfig};
+use qatk_obs::json::{self, Value as Json};
+use qatk_store::prelude::*;
+use qatk_text::engine::Pipeline;
+use qatk_text::tokenizer::WhitespaceTokenizer;
+
+/// Median regression tolerated by `--check` before the gate fails.
+const REGRESSION_TOLERANCE: f64 = 0.25;
+/// Maximum instrumentation overhead tolerated on classify_batch.
+const MAX_OBS_OVERHEAD_PCT: f64 = 3.0;
+
+struct BenchResult {
+    bench: &'static str,
+    median_ns: u64,
+    p95_ns: u64,
+    /// Items per second at the median.
+    throughput: f64,
+}
+
+/// Repetitions per benchmark; the reported statistics come from the fastest
+/// repetition. Scheduler preemption and frequency scaling only ever slow a
+/// run down, so min-of-medians converges to the true cost and keeps the CI
+/// gate stable where a single median flaps by 2x under host load.
+const BENCH_REPS: usize = 8;
+
+/// Time `samples` invocations of `iter` (after `warmup` unrecorded ones);
+/// each invocation processes `items` units. Statistics are per unit, from
+/// the fastest of [`BENCH_REPS`] repetitions.
+fn bench(
+    name: &'static str,
+    items: u64,
+    warmup: usize,
+    samples: usize,
+    mut iter: impl FnMut(),
+) -> BenchResult {
+    for _ in 0..warmup {
+        iter();
+    }
+    let mut best: Option<(u64, u64)> = None;
+    for _ in 0..BENCH_REPS {
+        let mut per_item: Vec<u64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let t = Instant::now();
+            iter();
+            let ns = t.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            per_item.push(ns / items.max(1));
+        }
+        per_item.sort_unstable();
+        let median_ns = per_item[per_item.len() / 2];
+        let p95_ns = per_item[(per_item.len() * 95 / 100).min(per_item.len() - 1)];
+        if best.is_none_or(|(m, _)| median_ns < m) {
+            best = Some((median_ns, p95_ns));
+        }
+    }
+    let (median_ns, p95_ns) = best.expect("at least one repetition ran");
+    BenchResult {
+        bench: name,
+        median_ns,
+        p95_ns,
+        throughput: if median_ns == 0 {
+            0.0
+        } else {
+            1e9 / median_ns as f64
+        },
+    }
+}
+
+fn median(mut v: Vec<u64>) -> u64 {
+    v.sort_unstable();
+    v[v.len() / 2]
+}
+
+/// Enabled-vs-disabled classify_batch medians, interleaved so drift hits
+/// both arms equally. Returns the overhead in percent (negative = noise).
+fn measure_obs_overhead(knn: &RankedKnn, kb: &KnowledgeBase, queries: &[BatchQuery<'_>]) -> f64 {
+    let rounds = 24;
+    let mut on = Vec::with_capacity(rounds);
+    let mut off = Vec::with_capacity(rounds);
+    for i in 0..rounds * 2 {
+        qatk_obs::set_enabled(i % 2 == 0);
+        let t = Instant::now();
+        let out = knn.classify_batch(kb, queries);
+        let ns = t.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        std::hint::black_box(out);
+        if i % 2 == 0 {
+            on.push(ns);
+        } else {
+            off.push(ns);
+        }
+    }
+    qatk_obs::set_enabled(true);
+    let (on, off) = (median(on) as f64, median(off) as f64);
+    (on - off) / off * 100.0
+}
+
+fn render_report(benches: &[BenchResult], obs_overhead_pct: f64) -> String {
+    let mut out = String::from("{\n  \"schema\": \"qatk-bench-report/v1\",\n  \"benches\": [\n");
+    for (i, b) in benches.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"bench\": \"{}\", \"median_ns\": {}, \"p95_ns\": {}, \"throughput\": {:.1}}}{}\n",
+            json::escape(b.bench),
+            b.median_ns,
+            b.p95_ns,
+            b.throughput,
+            if i + 1 < benches.len() { "," } else { "" }
+        ));
+    }
+    out.push_str(&format!(
+        "  ],\n  \"obs_overhead_pct\": {obs_overhead_pct:.2}\n}}\n"
+    ));
+    out
+}
+
+/// Compare against a baseline report; returns the list of regressions.
+fn check_against(baseline: &Json, benches: &[BenchResult]) -> Result<Vec<String>, String> {
+    let entries = baseline
+        .get("benches")
+        .and_then(Json::as_arr)
+        .ok_or("baseline has no `benches` array")?;
+    let mut base: std::collections::BTreeMap<&str, u64> = std::collections::BTreeMap::new();
+    for e in entries {
+        let name = e
+            .get("bench")
+            .and_then(Json::as_str)
+            .ok_or("baseline entry without `bench` name")?;
+        let med = e
+            .get("median_ns")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("baseline entry `{name}` without `median_ns`"))?;
+        base.insert(name, med);
+    }
+    let mut regressions = Vec::new();
+    println!(
+        "\n== bench gate (tolerance {:.0}%) ==",
+        REGRESSION_TOLERANCE * 100.0
+    );
+    for b in benches {
+        match base.get(b.bench) {
+            Some(&was) => {
+                let ratio = b.median_ns as f64 / was.max(1) as f64;
+                let verdict = if ratio > 1.0 + REGRESSION_TOLERANCE {
+                    regressions.push(format!(
+                        "{}: median {} ns vs baseline {} ns ({:+.1}%)",
+                        b.bench,
+                        b.median_ns,
+                        was,
+                        (ratio - 1.0) * 100.0
+                    ));
+                    "REGRESSED"
+                } else {
+                    "ok"
+                };
+                println!(
+                    "{:16} {:>12} ns  baseline {:>12} ns  {:+7.1}%  {verdict}",
+                    b.bench,
+                    b.median_ns,
+                    was,
+                    (ratio - 1.0) * 100.0
+                );
+            }
+            None => println!("{:16} {:>12} ns  (new, no baseline)", b.bench, b.median_ns),
+        }
+    }
+    Ok(regressions)
+}
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out_path = flag_value(&args, "--out").unwrap_or("BENCH_PR2.json");
+    let check_path = flag_value(&args, "--check");
+    let seed: u64 = flag_value(&args, "--seed")
+        .map(|s| s.parse().map_err(|_| format!("bad --seed `{s}`")))
+        .transpose()?
+        .unwrap_or(42);
+
+    eprintln!("preparing corpus and knowledge base (seed {seed}) ...");
+    let corpus = Corpus::generate(CorpusConfig::small(seed));
+    let pipeline = build_pipeline(&corpus, FeatureModel::BagOfConcepts);
+    let mut space = FeatureSpace::new();
+    let mut kb = KnowledgeBase::new();
+    for b in &corpus.bundles {
+        let Some(code) = b.error_code.as_deref() else {
+            continue;
+        };
+        let mut cas = b.to_cas(SourceSelection::Training);
+        pipeline.process(&mut cas).map_err(|e| e.to_string())?;
+        kb.insert(
+            b.part_id.clone(),
+            code,
+            space.extract(&cas, FeatureModel::BagOfConcepts),
+        );
+    }
+    let knn = RankedKnn::new(SimilarityMeasure::Jaccard);
+
+    let probe_bundles: Vec<_> = corpus.bundles.iter().take(120).collect();
+    let features: Vec<FeatureSet> = probe_bundles
+        .iter()
+        .map(|b| {
+            let mut cas = b.to_cas(SourceSelection::Test);
+            pipeline.process(&mut cas).expect("corpus text is clean");
+            space.extract(&cas, FeatureModel::BagOfConcepts)
+        })
+        .collect();
+    let queries: Vec<BatchQuery<'_>> = probe_bundles
+        .iter()
+        .zip(&features)
+        .map(|(b, f)| BatchQuery {
+            part_id: &b.part_id,
+            features: f,
+        })
+        .collect();
+
+    let mut benches = Vec::new();
+
+    eprintln!("benchmarking classify_batch ...");
+    benches.push(bench("classify_batch", queries.len() as u64, 3, 30, || {
+        std::hint::black_box(knn.classify_batch(&kb, &queries));
+    }));
+
+    eprintln!("benchmarking rank kernel ...");
+    let (q0, f0) = (&probe_bundles[0], &features[0]);
+    benches.push(bench("rank", 1, 50, 200, || {
+        std::hint::black_box(knn.rank(&kb, &q0.part_id, f0));
+    }));
+
+    eprintln!("benchmarking annotate (bag-of-concepts pipeline) ...");
+    let ann_bundles: Vec<_> = corpus.bundles.iter().take(32).collect();
+    benches.push(bench("annotate", ann_bundles.len() as u64, 3, 40, || {
+        for b in &ann_bundles {
+            let mut cas = b.to_cas(SourceSelection::Test);
+            pipeline.process(&mut cas).expect("corpus text is clean");
+            std::hint::black_box(&cas);
+        }
+    }));
+
+    eprintln!("benchmarking tokenize ...");
+    let tok_pipeline = Pipeline::builder().add(WhitespaceTokenizer::new()).build();
+    benches.push(bench("tokenize", ann_bundles.len() as u64, 3, 40, || {
+        for b in &ann_bundles {
+            let mut cas = b.to_cas(SourceSelection::Test);
+            tok_pipeline.process(&mut cas).expect("tokenizer is total");
+            std::hint::black_box(&cas);
+        }
+    }));
+
+    eprintln!("benchmarking wal_append ...");
+    let wal_path =
+        std::env::temp_dir().join(format!("qatk_bench_report_{}.wal", std::process::id()));
+    let _ = std::fs::remove_file(&wal_path);
+    let mut wal = WalWriter::open(&wal_path).map_err(|e| e.to_string())?;
+    let record = WalRecord::Insert {
+        table: "bench".into(),
+        row: row![1i64, "R-000001".to_owned(), "E-BENCH".to_owned()],
+    };
+    benches.push(bench("wal_append", 64, 3, 50, || {
+        for _ in 0..64 {
+            wal.append(&record).expect("temp wal append succeeds");
+        }
+    }));
+    drop(wal);
+    let _ = std::fs::remove_file(&wal_path);
+
+    eprintln!("measuring observability overhead on classify_batch ...");
+    let obs_overhead_pct = measure_obs_overhead(&knn, &kb, &queries);
+    eprintln!("observability overhead: {obs_overhead_pct:+.2}% (limit {MAX_OBS_OVERHEAD_PCT}%)");
+
+    println!("\n== bench_report ==");
+    for b in &benches {
+        println!(
+            "{:16} median {:>12} ns  p95 {:>12} ns  {:>14.1} items/s",
+            b.bench, b.median_ns, b.p95_ns, b.throughput
+        );
+    }
+
+    let report = render_report(&benches, obs_overhead_pct);
+    std::fs::write(out_path, &report).map_err(|e| format!("writing {out_path}: {e}"))?;
+    println!("wrote {out_path}");
+
+    if obs_overhead_pct > MAX_OBS_OVERHEAD_PCT {
+        return Err(format!(
+            "observability overhead {obs_overhead_pct:.2}% exceeds {MAX_OBS_OVERHEAD_PCT}% on classify_batch"
+        ));
+    }
+
+    if let Some(path) = check_path {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("reading baseline {path}: {e}"))?;
+        let baseline = json::parse(&text).map_err(|e| format!("parsing baseline {path}: {e}"))?;
+        let regressions = check_against(&baseline, &benches)?;
+        if !regressions.is_empty() {
+            return Err(format!(
+                "bench gate: {} regression(s) beyond {:.0}%:\n  {}",
+                regressions.len(),
+                REGRESSION_TOLERANCE * 100.0,
+                regressions.join("\n  ")
+            ));
+        }
+        println!("bench gate: all benches within tolerance");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -119,8 +119,18 @@ impl RankedKnn {
         features: &FeatureSet,
         scratch: &mut ScoreScratch,
     ) -> Vec<ScoredCode> {
+        let m = crate::metrics::metrics();
+        m.rank_queries_total.inc();
+        // per-query clock reads would dominate the ~µs kernel, so latency
+        // and candidate-count distributions are sampled (counters stay exact)
+        let sampled = m.rank_sample.hit();
+        let _span = sampled.then(|| qatk_obs::Timer::start(m.rank_latency_ns));
         kb.accumulate_counts(part_id, features, scratch);
+        if sampled {
+            m.rank_candidates.record(scratch.touched().len() as u64);
+        }
         let top = if scratch.touched().is_empty() {
+            m.classifier_skipped_total.inc();
             if kb.has_part(part_id) {
                 // known part, no shared feature → no candidates at all
                 Vec::new()
@@ -265,8 +275,14 @@ impl RankedKnn {
         queries: &[BatchQuery<'_>],
         threads: usize,
     ) -> Vec<Vec<ScoredCode>> {
+        let m = crate::metrics::metrics();
+        let _span = qatk_obs::Timer::start(m.batch_wall_ns);
+        m.batch_total.inc();
+        m.batch_size.record(queries.len() as u64);
         let threads = threads.clamp(1, queries.len().max(1));
         if threads == 1 {
+            m.batch_workers.set(1);
+            let _busy = qatk_obs::Timer::start(m.batch_worker_busy_ns);
             let mut scratch = ScoreScratch::new();
             return queries
                 .iter()
@@ -276,9 +292,11 @@ impl RankedKnn {
         let mut out: Vec<Vec<ScoredCode>> = Vec::new();
         out.resize_with(queries.len(), Vec::new);
         let chunk = queries.len().div_ceil(threads);
+        m.batch_workers.set(queries.len().div_ceil(chunk) as i64);
         std::thread::scope(|s| {
             for (qchunk, ochunk) in queries.chunks(chunk).zip(out.chunks_mut(chunk)) {
                 s.spawn(move || {
+                    let _busy = qatk_obs::Timer::start(m.batch_worker_busy_ns);
                     let mut scratch = ScoreScratch::new();
                     for (q, slot) in qchunk.iter().zip(ochunk.iter_mut()) {
                         *slot = self.rank_with(kb, q.part_id, q.features, &mut scratch);
@@ -330,8 +348,17 @@ impl MajorityVoteKnn {
         part_id: &str,
         features: &FeatureSet,
     ) -> Option<String> {
+        let m = crate::metrics::metrics();
+        m.rank_queries_total.inc();
+        let sampled = m.rank_sample.hit();
+        let _span = sampled.then(|| qatk_obs::Timer::start(m.rank_latency_ns));
         let candidates = kb.candidates(part_id, features);
+        if sampled {
+            m.rank_candidates.record(candidates.len() as u64);
+        }
         if candidates.is_empty() {
+            // empty feature set / no shared feature: the vote never happens
+            m.classifier_skipped_total.inc();
             return None;
         }
         let mut scored: Vec<(f64, usize)> = candidates
@@ -623,6 +650,45 @@ mod tests {
         assert_eq!(knn.classify(&KnowledgeBase::new(), "P", &fs(&[1])), None);
         let kb = kb();
         assert_eq!(knn.classify(&kb, "P-01", &FeatureSet::default()), None);
+    }
+
+    #[test]
+    fn early_returns_count_as_skipped() {
+        // The global counters are shared across parallel tests, so assert on
+        // deltas with ≥: concurrent tests can only add skips, never remove.
+        let m = crate::metrics::metrics();
+        let kb = kb();
+        let knn = RankedKnn::default();
+        let vote = MajorityVoteKnn::new(3, SimilarityMeasure::Jaccard);
+
+        let skipped_before = m.classifier_skipped_total.get();
+        let queries_before = m.rank_queries_total.get();
+        // 1: known part, empty features → early return, no candidates
+        assert!(knn.rank(&kb, "P-01", &FeatureSet::default()).is_empty());
+        // 2: known part, zero overlap → early return
+        assert!(knn.rank(&kb, "P-01", &fs(&[777])).is_empty());
+        // 3: unknown part, zero overlap anywhere → whole-KB fallback, no
+        //    kernel work — still an early return for the accumulator
+        assert!(!knn.rank(&kb, "P-??", &fs(&[777])).is_empty());
+        // 4: majority vote with empty features → None without voting
+        assert_eq!(vote.classify(&kb, "P-01", &FeatureSet::default()), None);
+        // 5: majority vote on an empty knowledge base
+        assert_eq!(vote.classify(&KnowledgeBase::new(), "P", &fs(&[1])), None);
+        assert!(
+            m.classifier_skipped_total.get() >= skipped_before + 5,
+            "skips not counted"
+        );
+        assert!(
+            m.rank_queries_total.get() >= queries_before + 5,
+            "skipped queries must still count as queries"
+        );
+
+        // normal queries still land in the query counter (and produce
+        // results, i.e. they did not take the early-return path)
+        let queries_mid = m.rank_queries_total.get();
+        assert!(!knn.rank(&kb, "P-01", &fs(&[1, 2, 3])).is_empty());
+        assert!(vote.classify(&kb, "P-01", &fs(&[1, 2, 3])).is_some());
+        assert!(m.rank_queries_total.get() >= queries_mid + 2);
     }
 
     #[test]

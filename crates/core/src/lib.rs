@@ -40,6 +40,7 @@ pub mod eval;
 pub mod features;
 pub mod interner;
 pub mod knowledge;
+pub mod metrics;
 pub mod pipeline;
 pub mod similarity;
 

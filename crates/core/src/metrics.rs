@@ -1,0 +1,85 @@
+//! Classifier-kernel metrics (DESIGN.md §7): per-query ranking latency and
+//! candidate volume, early-return skips, and batch worker utilization,
+//! registered under the `qatk_core_*` prefix.
+
+use std::sync::OnceLock;
+
+use qatk_obs::{Counter, Gauge, Histogram, Registry, Sampler};
+
+/// 1-in-N sampling period for per-query latency/candidate histograms. The
+/// rank kernel runs in about a microsecond; clocking every query costs more
+/// than the query. Counters are not sampled and stay exact.
+const RANK_SAMPLE_PERIOD: u64 = 16;
+
+/// Handles to every `qatk_core_*` metric.
+pub struct CoreMetrics {
+    /// Ranking queries served (kernel and majority-vote paths).
+    pub rank_queries_total: &'static Counter,
+    /// Sampling gate for `rank_latency_ns` / `rank_candidates`.
+    pub rank_sample: Sampler,
+    /// Queries that took an early return — unknown part with zero overlap,
+    /// empty feature set, or an empty candidate set (no kernel work done).
+    pub classifier_skipped_total: &'static Counter,
+    /// Candidate nodes touched by the score accumulator, per query.
+    pub rank_candidates: &'static Histogram,
+    /// Wall time of one ranked-kNN query (ns).
+    pub rank_latency_ns: &'static Histogram,
+    /// `classify_batch` invocations.
+    pub batch_total: &'static Counter,
+    /// Queries per `classify_batch` call.
+    pub batch_size: &'static Histogram,
+    /// Worker threads used by the most recent batch.
+    pub batch_workers: &'static Gauge,
+    /// Per-worker busy time inside a batch (ns) — compare against
+    /// `qatk_core_batch_wall_ns` for utilization.
+    pub batch_worker_busy_ns: &'static Histogram,
+    /// Wall time of one whole `classify_batch` call (ns).
+    pub batch_wall_ns: &'static Histogram,
+}
+
+/// The core-layer metric handles (registered on first use).
+pub fn metrics() -> &'static CoreMetrics {
+    static M: OnceLock<CoreMetrics> = OnceLock::new();
+    M.get_or_init(|| {
+        let r = Registry::global();
+        CoreMetrics {
+            rank_queries_total: r.counter(
+                "qatk_core_rank_queries_total",
+                "ranking queries served by the kNN kernel",
+            ),
+            rank_sample: Sampler::new(RANK_SAMPLE_PERIOD),
+            classifier_skipped_total: r.counter(
+                "qatk_core_classifier_skipped_total",
+                "queries resolved by an early return (unknown part / empty features / no candidates)",
+            ),
+            rank_candidates: r.histogram(
+                "qatk_core_rank_candidates",
+                "candidate nodes touched per ranking query (sampled 1-in-16)",
+            ),
+            rank_latency_ns: r.histogram(
+                "qatk_core_rank_latency_ns",
+                "ranked-kNN query latency (ns, sampled 1-in-16)",
+            ),
+            batch_total: r.counter(
+                "qatk_core_batch_total",
+                "classify_batch invocations",
+            ),
+            batch_size: r.histogram(
+                "qatk_core_batch_size",
+                "queries per classify_batch call",
+            ),
+            batch_workers: r.gauge(
+                "qatk_core_batch_workers",
+                "worker threads used by the most recent classify_batch",
+            ),
+            batch_worker_busy_ns: r.histogram(
+                "qatk_core_batch_worker_busy_ns",
+                "per-worker busy time inside classify_batch (ns)",
+            ),
+            batch_wall_ns: r.histogram(
+                "qatk_core_batch_wall_ns",
+                "classify_batch wall time (ns)",
+            ),
+        }
+    })
+}

@@ -1,0 +1,68 @@
+//! # qatk-obs — zero-dependency observability for the QATK workspace
+//!
+//! The build environment is offline, so this crate provides the small slice
+//! of `prometheus`/`tracing` the toolkit actually needs, on `std` alone:
+//!
+//! * [`Counter`] — monotonically increasing `AtomicU64`;
+//! * [`Gauge`] — settable signed value (`AtomicI64`);
+//! * [`Histogram`] — log2-bucketed value distribution with `p50`/`p95`/`p99`
+//!   estimation, safe to hammer from any number of threads;
+//! * [`Timer`] — RAII span timer recording elapsed nanoseconds into a
+//!   histogram on drop;
+//! * [`Sampler`] — a 1-in-N gate for latency spans on paths too hot to
+//!   clock every time (counters stay exact, histograms get sampled);
+//! * [`Registry`] — a global process-wide metric registry rendering both a
+//!   Prometheus-style text exposition ([`Registry::render_prometheus`]) and a
+//!   JSON snapshot ([`Registry::render_json`]);
+//! * [`json`] — a minimal JSON parser, used by the bench-trajectory gate to
+//!   read `BENCH_*.json` baselines and by tests to round-trip snapshots.
+//!
+//! Metric names follow the workspace convention
+//! `qatk_<crate>_<name>_<unit>` (see DESIGN.md §7).
+//!
+//! All recording paths are gated on a process-global enable flag
+//! ([`set_enabled`]): with observability disabled every record operation is a
+//! relaxed atomic load plus a predictable branch, which is what lets the
+//! bench harness measure instrumentation overhead as an enabled-vs-disabled
+//! comparison on the same binary.
+//!
+//! ## Example
+//!
+//! ```
+//! use qatk_obs::{Registry, Timer};
+//!
+//! let reg = Registry::global();
+//! let queries = reg.counter("qatk_doc_example_queries_total", "example counter");
+//! let latency = reg.histogram("qatk_doc_example_latency_ns", "example latency");
+//! {
+//!     let _span = Timer::start(latency);
+//!     queries.inc();
+//! }
+//! let text = reg.render_prometheus();
+//! assert!(text.contains("qatk_doc_example_queries_total 1"));
+//! ```
+
+pub mod json;
+mod metric;
+mod registry;
+mod text;
+
+pub use metric::{Counter, Gauge, Histogram, Sampler, Timer, HISTOGRAM_BUCKETS};
+pub use registry::{HistogramSnapshot, MetricKind, Registry, Sample, Snapshot, SnapshotValue};
+pub use text::parse_exposition;
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Globally enable or disable metric recording. Registration and rendering
+/// keep working while disabled; only the record operations become no-ops.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// True when metric recording is active (the default).
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}

@@ -1,0 +1,324 @@
+//! The metric primitives: counter, gauge, log2 histogram, RAII timer.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::time::Instant;
+
+use crate::enabled;
+
+/// Monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    pub const fn new() -> Self {
+        Counter {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increment by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if enabled() {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A settable signed value (e.g. worker count of the last batch).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    pub const fn new() -> Self {
+        Gauge {
+            value: AtomicI64::new(0),
+        }
+    }
+
+    #[inline]
+    pub fn set(&self, v: i64) {
+        if enabled() {
+            self.value.store(v, Ordering::Relaxed);
+        }
+    }
+
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        if enabled() {
+            self.value.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A 1-in-N sampling gate for instrumentation too hot to meter every time.
+///
+/// Clock reads dominate timer cost on sub-microsecond paths; sampling the
+/// latency histogram at 1-in-N keeps the distribution representative while
+/// the gate itself costs a single relaxed `fetch_add`. Counters stay exact —
+/// only histogram/timer recording should sit behind a sampler.
+#[derive(Debug)]
+pub struct Sampler {
+    ticks: AtomicU64,
+    period: u64,
+}
+
+impl Sampler {
+    /// Sample every `period`-th hit (`period = 1` samples everything).
+    pub const fn new(period: u64) -> Self {
+        Sampler {
+            ticks: AtomicU64::new(0),
+            period: if period == 0 { 1 } else { period },
+        }
+    }
+
+    /// True when this hit should be recorded. Always false while the
+    /// registry is disabled, so sampled spans cost nothing either.
+    #[inline]
+    pub fn hit(&self) -> bool {
+        enabled()
+            && self
+                .ticks
+                .fetch_add(1, Ordering::Relaxed)
+                .is_multiple_of(self.period)
+    }
+}
+
+/// Number of histogram buckets: bucket 0 holds the value 0, bucket `i`
+/// (1 ≤ i ≤ 63) holds values in `[2^(i-1), 2^i)`.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// Lock-free log2-bucketed histogram.
+///
+/// Values are `u64` (the workspace records nanoseconds, byte counts, batch
+/// sizes). Buckets grow as powers of two, so 64 buckets cover the full `u64`
+/// range with ≤ 2× relative quantile error — plenty for latency trends.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Bucket index of a value. The top bucket absorbs everything from
+/// `2^(HISTOGRAM_BUCKETS-2)` up to `u64::MAX`.
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        ((u64::BITS - v.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+}
+
+/// Inclusive upper bound of a bucket.
+pub(crate) fn bucket_upper(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= HISTOGRAM_BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if !enabled() {
+            return;
+        }
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Per-bucket counts (not cumulative).
+    pub fn bucket_counts(&self) -> [u64; HISTOGRAM_BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+
+    /// Estimated quantile (`q` in `[0, 1]`), linearly interpolated inside
+    /// the winning bucket. Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let counts = self.bucket_counts();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut cum = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if cum + c >= target {
+                let lower = if i == 0 { 0 } else { bucket_upper(i - 1) + 1 };
+                let upper = bucket_upper(i);
+                let into = (target - cum) as f64 / c as f64;
+                // f64 rounding on huge bucket spans can overshoot — saturate
+                return lower.saturating_add(((upper - lower) as f64 * into) as u64);
+            }
+            cum += c;
+        }
+        bucket_upper(HISTOGRAM_BUCKETS - 1)
+    }
+}
+
+/// RAII span timer: records elapsed nanoseconds into a histogram when
+/// dropped. When observability is disabled the constructor skips the clock
+/// read entirely.
+#[derive(Debug)]
+#[must_use = "a Timer records on drop; binding it to _ drops it immediately"]
+pub struct Timer {
+    span: Option<(Instant, &'static Histogram)>,
+}
+
+impl Timer {
+    /// Start timing into `hist`.
+    #[inline]
+    pub fn start(hist: &'static Histogram) -> Self {
+        Timer {
+            span: enabled().then(|| (Instant::now(), hist)),
+        }
+    }
+
+    /// Stop early (otherwise the drop records).
+    pub fn stop(self) {}
+}
+
+impl Drop for Timer {
+    fn drop(&mut self) {
+        if let Some((start, hist)) = self.span.take() {
+            hist.record(start.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+        let g = Gauge::new();
+        g.set(7);
+        g.add(-10);
+        assert_eq!(g.get(), -3);
+    }
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), HISTOGRAM_BUCKETS - 1); // top bucket
+        assert_eq!(bucket_upper(0), 0);
+        assert_eq!(bucket_upper(1), 1);
+        assert_eq!(bucket_upper(2), 3);
+        assert_eq!(bucket_upper(10), 1023);
+        assert_eq!(bucket_upper(HISTOGRAM_BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_count_sum_quantiles() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0);
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.sum(), 1000 * 1001 / 2);
+        // log2 buckets bound relative error by 2×
+        let p50 = h.quantile(0.50);
+        assert!((250..=1000).contains(&p50), "p50 = {p50}");
+        let p99 = h.quantile(0.99);
+        assert!((495..=1023).contains(&p99), "p99 = {p99}");
+        assert!(h.quantile(1.0) >= h.quantile(0.5));
+    }
+
+    #[test]
+    fn histogram_single_value() {
+        let h = Histogram::new();
+        h.record(100);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.sum(), 100);
+        let p50 = h.quantile(0.5);
+        assert!((64..=127).contains(&p50), "p50 = {p50}");
+    }
+
+    #[test]
+    fn extreme_values_do_not_panic() {
+        let h = Histogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert!(h.quantile(0.99) > 0);
+    }
+
+    #[test]
+    fn sampler_hits_one_in_n() {
+        let s = Sampler::new(16);
+        let hits = (0..160).filter(|_| s.hit()).count();
+        assert_eq!(hits, 10);
+        // the very first tick samples, so short runs still record something
+        let s = Sampler::new(16);
+        assert!(s.hit());
+    }
+
+    #[test]
+    fn sampler_period_zero_means_every_hit() {
+        let s = Sampler::new(0);
+        assert!((0..10).all(|_| s.hit()));
+    }
+}

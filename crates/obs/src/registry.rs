@@ -1,0 +1,390 @@
+//! The global metric registry and its snapshot/rendering surface.
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
+
+use crate::metric::{bucket_upper, Counter, Gauge, Histogram, HISTOGRAM_BUCKETS};
+
+/// Kind tag of a registered metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+enum Metric {
+    Counter(&'static Counter),
+    Gauge(&'static Gauge),
+    Histogram(&'static Histogram),
+}
+
+impl Metric {
+    fn kind(&self) -> MetricKind {
+        match self {
+            Metric::Counter(_) => MetricKind::Counter,
+            Metric::Gauge(_) => MetricKind::Gauge,
+            Metric::Histogram(_) => MetricKind::Histogram,
+        }
+    }
+}
+
+struct Entry {
+    name: &'static str,
+    help: &'static str,
+    metric: Metric,
+}
+
+/// A metric registry. Most code goes through [`Registry::global`]; separate
+/// instances exist so tests can render isolated expositions.
+#[derive(Default)]
+pub struct Registry {
+    entries: Mutex<Vec<Entry>>,
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// The process-wide registry every instrumented crate registers into.
+    pub fn global() -> &'static Registry {
+        static GLOBAL: OnceLock<Registry> = OnceLock::new();
+        GLOBAL.get_or_init(Registry::new)
+    }
+
+    /// Register (or fetch, if `name` is already registered) a counter.
+    ///
+    /// Panics if `name` is registered as a different metric kind — that is
+    /// always a programming error, caught at first use.
+    pub fn counter(&self, name: &'static str, help: &'static str) -> &'static Counter {
+        match self.register(name, help, MetricKind::Counter, || {
+            Metric::Counter(Box::leak(Box::new(Counter::new())))
+        }) {
+            Metric::Counter(c) => c,
+            _ => unreachable!("kind checked by register"),
+        }
+    }
+
+    /// Register (or fetch) a gauge.
+    pub fn gauge(&self, name: &'static str, help: &'static str) -> &'static Gauge {
+        match self.register(name, help, MetricKind::Gauge, || {
+            Metric::Gauge(Box::leak(Box::new(Gauge::new())))
+        }) {
+            Metric::Gauge(g) => g,
+            _ => unreachable!("kind checked by register"),
+        }
+    }
+
+    /// Register (or fetch) a histogram.
+    pub fn histogram(&self, name: &'static str, help: &'static str) -> &'static Histogram {
+        match self.register(name, help, MetricKind::Histogram, || {
+            Metric::Histogram(Box::leak(Box::new(Histogram::new())))
+        }) {
+            Metric::Histogram(h) => h,
+            _ => unreachable!("kind checked by register"),
+        }
+    }
+
+    fn register(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        kind: MetricKind,
+        create: impl FnOnce() -> Metric,
+    ) -> Metric {
+        let mut entries = self.entries.lock().expect("registry poisoned");
+        if let Some(e) = entries.iter().find(|e| e.name == name) {
+            assert!(
+                e.metric.kind() == kind,
+                "metric {name} already registered as {:?}, requested {kind:?}",
+                e.metric.kind()
+            );
+            return match &e.metric {
+                Metric::Counter(c) => Metric::Counter(c),
+                Metric::Gauge(g) => Metric::Gauge(g),
+                Metric::Histogram(h) => Metric::Histogram(h),
+            };
+        }
+        let metric = create();
+        let out = match &metric {
+            Metric::Counter(c) => Metric::Counter(c),
+            Metric::Gauge(g) => Metric::Gauge(g),
+            Metric::Histogram(h) => Metric::Histogram(h),
+        };
+        entries.push(Entry { name, help, metric });
+        out
+    }
+
+    /// A point-in-time copy of every registered metric, sorted by name.
+    pub fn snapshot(&self) -> Snapshot {
+        let entries = self.entries.lock().expect("registry poisoned");
+        let mut samples: Vec<Sample> = entries
+            .iter()
+            .map(|e| Sample {
+                name: e.name,
+                help: e.help,
+                value: match &e.metric {
+                    Metric::Counter(c) => SnapshotValue::Counter(c.get()),
+                    Metric::Gauge(g) => SnapshotValue::Gauge(g.get()),
+                    Metric::Histogram(h) => SnapshotValue::Histogram(HistogramSnapshot::of(h)),
+                },
+            })
+            .collect();
+        samples.sort_by_key(|s| s.name);
+        Snapshot { samples }
+    }
+
+    /// Render the Prometheus-style text exposition of the current state.
+    pub fn render_prometheus(&self) -> String {
+        self.snapshot().render_prometheus()
+    }
+
+    /// Render the JSON snapshot of the current state.
+    pub fn render_json(&self) -> String {
+        self.snapshot().render_json()
+    }
+}
+
+/// Frozen state of one histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum: u64,
+    /// Non-empty buckets as `(inclusive_upper_bound, count)`, ascending.
+    pub buckets: Vec<(u64, u64)>,
+    pub p50: u64,
+    pub p95: u64,
+    pub p99: u64,
+}
+
+impl HistogramSnapshot {
+    fn of(h: &Histogram) -> Self {
+        let counts = h.bucket_counts();
+        let buckets = (0..HISTOGRAM_BUCKETS)
+            .filter(|&i| counts[i] > 0)
+            .map(|i| (bucket_upper(i), counts[i]))
+            .collect();
+        HistogramSnapshot {
+            count: h.count(),
+            sum: h.sum(),
+            buckets,
+            p50: h.quantile(0.50),
+            p95: h.quantile(0.95),
+            p99: h.quantile(0.99),
+        }
+    }
+}
+
+/// Frozen value of one metric.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SnapshotValue {
+    Counter(u64),
+    Gauge(i64),
+    Histogram(HistogramSnapshot),
+}
+
+/// One metric in a [`Snapshot`].
+#[derive(Debug, Clone)]
+pub struct Sample {
+    pub name: &'static str,
+    pub help: &'static str,
+    pub value: SnapshotValue,
+}
+
+/// A point-in-time copy of a registry.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    pub samples: Vec<Sample>,
+}
+
+impl Snapshot {
+    /// Value of a counter, if registered.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.samples.iter().find(|s| s.name == name).and_then(|s| {
+            if let SnapshotValue::Counter(v) = s.value {
+                Some(v)
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Value of a gauge, if registered.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.samples.iter().find(|s| s.name == name).and_then(|s| {
+            if let SnapshotValue::Gauge(v) = s.value {
+                Some(v)
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Snapshot of a histogram, if registered.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.samples.iter().find(|s| s.name == name).and_then(|s| {
+            if let SnapshotValue::Histogram(ref h) = s.value {
+                Some(h)
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Prometheus text exposition: `# HELP` / `# TYPE` comment lines, plain
+    /// samples for counters and gauges, and the standard cumulative
+    /// `_bucket{le=...}` / `_sum` / `_count` triple for histograms.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        for s in &self.samples {
+            let name = s.name;
+            out.push_str(&format!("# HELP {name} {}\n", s.help));
+            match &s.value {
+                SnapshotValue::Counter(v) => {
+                    out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+                }
+                SnapshotValue::Gauge(v) => {
+                    out.push_str(&format!("# TYPE {name} gauge\n{name} {v}\n"));
+                }
+                SnapshotValue::Histogram(h) => {
+                    out.push_str(&format!("# TYPE {name} histogram\n"));
+                    let mut cum = 0u64;
+                    for &(upper, count) in &h.buckets {
+                        cum += count;
+                        out.push_str(&format!("{name}_bucket{{le=\"{upper}\"}} {cum}\n"));
+                    }
+                    out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+                    out.push_str(&format!("{name}_sum {}\n", h.sum));
+                    out.push_str(&format!("{name}_count {}\n", h.count));
+                }
+            }
+        }
+        out
+    }
+
+    /// JSON snapshot:
+    ///
+    /// ```json
+    /// {
+    ///   "counters":   {"name": 1},
+    ///   "gauges":     {"name": -2},
+    ///   "histograms": {"name": {"count": 3, "sum": 4,
+    ///                           "p50": 1, "p95": 2, "p99": 2,
+    ///                           "buckets": [[1, 2], [3, 1]]}}
+    /// }
+    /// ```
+    pub fn render_json(&self) -> String {
+        let mut counters: BTreeMap<&str, String> = BTreeMap::new();
+        let mut gauges: BTreeMap<&str, String> = BTreeMap::new();
+        let mut histograms: BTreeMap<&str, String> = BTreeMap::new();
+        for s in &self.samples {
+            match &s.value {
+                SnapshotValue::Counter(v) => {
+                    counters.insert(s.name, v.to_string());
+                }
+                SnapshotValue::Gauge(v) => {
+                    gauges.insert(s.name, v.to_string());
+                }
+                SnapshotValue::Histogram(h) => {
+                    let buckets: Vec<String> = h
+                        .buckets
+                        .iter()
+                        .map(|(u, c)| format!("[{u},{c}]"))
+                        .collect();
+                    histograms.insert(
+                        s.name,
+                        format!(
+                            "{{\"count\":{},\"sum\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"buckets\":[{}]}}",
+                            h.count,
+                            h.sum,
+                            h.p50,
+                            h.p95,
+                            h.p99,
+                            buckets.join(",")
+                        ),
+                    );
+                }
+            }
+        }
+        let obj = |m: &BTreeMap<&str, String>| {
+            let fields: Vec<String> = m
+                .iter()
+                .map(|(k, v)| format!("\"{}\":{v}", crate::json::escape(k)))
+                .collect();
+            format!("{{{}}}", fields.join(","))
+        };
+        format!(
+            "{{\"counters\":{},\"gauges\":{},\"histograms\":{}}}",
+            obj(&counters),
+            obj(&gauges),
+            obj(&histograms)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_is_idempotent_by_name() {
+        let reg = Registry::new();
+        let a = reg.counter("qatk_test_reg_total", "a counter");
+        let b = reg.counter("qatk_test_reg_total", "a counter");
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2);
+        assert!(std::ptr::eq(a, b));
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_conflict_panics() {
+        let reg = Registry::new();
+        reg.counter("qatk_test_conflict", "as counter");
+        reg.gauge("qatk_test_conflict", "as gauge");
+    }
+
+    #[test]
+    fn snapshot_accessors() {
+        let reg = Registry::new();
+        reg.counter("qatk_test_c_total", "c").add(3);
+        reg.gauge("qatk_test_g", "g").set(-4);
+        let h = reg.histogram("qatk_test_h_ns", "h");
+        h.record(10);
+        h.record(20);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("qatk_test_c_total"), Some(3));
+        assert_eq!(snap.gauge("qatk_test_g"), Some(-4));
+        let hs = snap.histogram("qatk_test_h_ns").unwrap();
+        assert_eq!(hs.count, 2);
+        assert_eq!(hs.sum, 30);
+        assert_eq!(snap.counter("qatk_test_missing"), None);
+        assert_eq!(snap.counter("qatk_test_g"), None); // kind mismatch
+    }
+
+    #[test]
+    fn prometheus_rendering_shape() {
+        let reg = Registry::new();
+        reg.counter("qatk_test_render_total", "counts things").inc();
+        let h = reg.histogram("qatk_test_render_ns", "times things");
+        h.record(5);
+        let text = reg.render_prometheus();
+        assert!(text.contains("# HELP qatk_test_render_total counts things"));
+        assert!(text.contains("# TYPE qatk_test_render_total counter"));
+        assert!(text.contains("qatk_test_render_total 1"));
+        assert!(text.contains("# TYPE qatk_test_render_ns histogram"));
+        assert!(text.contains("qatk_test_render_ns_bucket{le=\"7\"} 1"));
+        assert!(text.contains("qatk_test_render_ns_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("qatk_test_render_ns_sum 5"));
+        assert!(text.contains("qatk_test_render_ns_count 1"));
+    }
+
+    #[test]
+    fn global_registry_is_shared() {
+        let a = Registry::global().counter("qatk_test_global_total", "g");
+        let b = Registry::global().counter("qatk_test_global_total", "g");
+        assert!(std::ptr::eq(a, b));
+    }
+}

@@ -1,0 +1,68 @@
+//! Parsing of the Prometheus text exposition — used by the round-trip tests
+//! (render → parse → compare against the JSON snapshot) and available to any
+//! future scrape tooling.
+
+use std::collections::BTreeMap;
+
+/// Parse a Prometheus text exposition into `sample name → value`.
+///
+/// Comment lines (`# HELP`, `# TYPE`) are skipped. Labelled samples keep the
+/// label suffix in the key verbatim, e.g. `qatk_x_ns_bucket{le="+Inf"}`.
+/// Returns `None` on any malformed sample line.
+pub fn parse_exposition(text: &str) -> Option<BTreeMap<String, f64>> {
+    let mut out = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        // The value is everything after the last space *outside* braces; the
+        // registry never renders spaces inside label values, so rsplit works.
+        let (name, value) = line.rsplit_once(' ')?;
+        let value: f64 = value.parse().ok()?;
+        out.insert(name.trim().to_owned(), value);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_counters_gauges_and_histogram_samples() {
+        let text = "\
+# HELP qatk_a_total a counter
+# TYPE qatk_a_total counter
+qatk_a_total 12
+# TYPE qatk_g gauge
+qatk_g -3
+# TYPE qatk_h_ns histogram
+qatk_h_ns_bucket{le=\"127\"} 2
+qatk_h_ns_bucket{le=\"+Inf\"} 2
+qatk_h_ns_sum 150
+qatk_h_ns_count 2
+";
+        let m = parse_exposition(text).unwrap();
+        assert_eq!(m["qatk_a_total"], 12.0);
+        assert_eq!(m["qatk_g"], -3.0);
+        assert_eq!(m["qatk_h_ns_bucket{le=\"127\"}"], 2.0);
+        assert_eq!(m["qatk_h_ns_bucket{le=\"+Inf\"}"], 2.0);
+        assert_eq!(m["qatk_h_ns_sum"], 150.0);
+        assert_eq!(m["qatk_h_ns_count"], 2.0);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse_exposition("no_value_here").is_none());
+        assert!(parse_exposition("name not_a_number").is_none());
+    }
+
+    #[test]
+    fn empty_and_comment_only_inputs() {
+        assert!(parse_exposition("").unwrap().is_empty());
+        assert!(parse_exposition("# HELP x y\n# TYPE x counter\n")
+            .unwrap()
+            .is_empty());
+    }
+}

@@ -1,0 +1,56 @@
+//! Concurrency: hammer one histogram (and one counter) from 8 threads and
+//! assert nothing is lost — the recording paths are lock-free relaxed
+//! atomics, so every observation must land.
+
+use qatk_obs::Registry;
+
+#[test]
+fn histogram_survives_8_threads() {
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 50_000;
+
+    let reg = Registry::new();
+    let h = reg.histogram("qatk_conc_values", "hammered histogram");
+    let c = reg.counter("qatk_conc_ops_total", "hammered counter");
+
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            s.spawn(move || {
+                for i in 0..PER_THREAD {
+                    h.record(t as u64 * PER_THREAD + i);
+                    c.inc();
+                }
+            });
+        }
+    });
+
+    let total = THREADS as u64 * PER_THREAD;
+    assert_eq!(h.count(), total);
+    assert_eq!(c.get(), total);
+    // bucket counts are consistent with the total
+    let snap = reg.snapshot();
+    let hs = snap.histogram("qatk_conc_values").unwrap();
+    let bucket_total: u64 = hs.buckets.iter().map(|(_, n)| n).sum();
+    assert_eq!(bucket_total, total);
+    // sum of 0..total-1
+    assert_eq!(hs.sum, total * (total - 1) / 2);
+    assert!(hs.p50 > 0 && hs.p99 >= hs.p50);
+}
+
+#[test]
+fn concurrent_registration_yields_one_metric() {
+    let reg: &'static Registry = Box::leak(Box::new(Registry::new()));
+    std::thread::scope(|s| {
+        for _ in 0..8 {
+            s.spawn(move || {
+                for _ in 0..1000 {
+                    reg.counter("qatk_conc_shared_total", "registered by everyone")
+                        .inc();
+                }
+            });
+        }
+    });
+    let snap = reg.snapshot();
+    assert_eq!(snap.counter("qatk_conc_shared_total"), Some(8000));
+    assert_eq!(snap.samples.len(), 1);
+}

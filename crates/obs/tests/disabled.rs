@@ -1,0 +1,36 @@
+//! The global enable flag. Lives in its own integration-test binary because
+//! the flag is process-wide: toggling it next to other tests would race.
+
+use qatk_obs::{set_enabled, Registry, Timer};
+
+#[test]
+fn disabled_recording_is_a_no_op_and_reversible() {
+    let reg = Registry::new();
+    let c = reg.counter("qatk_dis_total", "counter");
+    let g = reg.gauge("qatk_dis_gauge", "gauge");
+    let h = reg.histogram("qatk_dis_ns", "histogram");
+
+    assert!(qatk_obs::enabled());
+    set_enabled(false);
+    c.inc();
+    g.set(5);
+    h.record(100);
+    {
+        let _t = Timer::start(h);
+    }
+    assert_eq!(c.get(), 0);
+    assert_eq!(g.get(), 0);
+    assert_eq!(h.count(), 0);
+
+    // rendering still works while disabled
+    assert!(reg.render_prometheus().contains("qatk_dis_total 0"));
+
+    set_enabled(true);
+    c.inc();
+    h.record(100);
+    {
+        let _t = Timer::start(h);
+    }
+    assert_eq!(c.get(), 1);
+    assert_eq!(h.count(), 2);
+}

@@ -1,0 +1,79 @@
+//! Snapshot round-trip: render the Prometheus text exposition, parse it back,
+//! and check every value against the JSON snapshot of the same registry.
+
+use qatk_obs::{json, parse_exposition, Registry};
+
+#[test]
+fn prometheus_text_and_json_snapshot_agree() {
+    let reg = Registry::new();
+    reg.counter("qatk_rt_queries_total", "queries").add(42);
+    reg.counter("qatk_rt_skips_total", "skips"); // registered, never hit
+    reg.gauge("qatk_rt_workers", "workers").set(8);
+    let h = reg.histogram("qatk_rt_latency_ns", "latency");
+    for v in [3u64, 3, 90, 1500, 70_000] {
+        h.record(v);
+    }
+
+    let text = reg.render_prometheus();
+    let parsed = parse_exposition(&text).expect("rendered exposition parses");
+    let snap = json::parse(&reg.render_json()).expect("rendered json parses");
+
+    // counters: every parsed sample equals the JSON snapshot value
+    let counters = snap.get("counters").unwrap().as_obj().unwrap();
+    assert_eq!(counters.len(), 2);
+    for (name, v) in counters {
+        assert_eq!(parsed[name], v.as_f64().unwrap(), "counter {name}");
+    }
+    assert_eq!(parsed["qatk_rt_queries_total"], 42.0);
+    assert_eq!(parsed["qatk_rt_skips_total"], 0.0);
+
+    // gauges
+    let gauges = snap.get("gauges").unwrap().as_obj().unwrap();
+    for (name, v) in gauges {
+        assert_eq!(parsed[name], v.as_f64().unwrap(), "gauge {name}");
+    }
+
+    // histograms: _count and _sum match, +Inf bucket equals the count, and
+    // the per-bucket counts re-accumulate to the rendered cumulative values
+    let hists = snap.get("histograms").unwrap().as_obj().unwrap();
+    assert_eq!(hists.len(), 1);
+    for (name, v) in hists {
+        let count = v.get("count").unwrap().as_f64().unwrap();
+        let sum = v.get("sum").unwrap().as_f64().unwrap();
+        assert_eq!(parsed[&format!("{name}_count")], count);
+        assert_eq!(parsed[&format!("{name}_sum")], sum);
+        assert_eq!(parsed[&format!("{name}_bucket{{le=\"+Inf\"}}")], count);
+        let mut cum = 0.0;
+        for pair in v.get("buckets").unwrap().as_arr().unwrap() {
+            let [upper, bucket_count] = pair.as_arr().unwrap() else {
+                panic!("bucket pair shape");
+            };
+            cum += bucket_count.as_f64().unwrap();
+            let key = format!("{name}_bucket{{le=\"{}\"}}", upper.as_u64().unwrap());
+            assert_eq!(parsed[&key], cum, "bucket {key}");
+        }
+        assert_eq!(cum, count, "buckets account for every observation");
+    }
+    assert_eq!(parsed["qatk_rt_latency_ns_count"], 5.0);
+    assert_eq!(
+        parsed["qatk_rt_latency_ns_sum"],
+        (3 + 3 + 90 + 1500 + 70_000) as f64
+    );
+
+    // quantiles are ordered and within the observed range
+    let hs = reg.snapshot();
+    let lat = hs.histogram("qatk_rt_latency_ns").unwrap();
+    assert!(lat.p50 <= lat.p95 && lat.p95 <= lat.p99);
+    assert!(lat.p99 >= 70_000 / 2 && lat.p99 <= 2 * 70_000);
+}
+
+#[test]
+fn empty_registry_renders_empty_documents() {
+    let reg = Registry::new();
+    assert!(parse_exposition(&reg.render_prometheus())
+        .unwrap()
+        .is_empty());
+    let snap = json::parse(&reg.render_json()).unwrap();
+    assert!(snap.get("counters").unwrap().as_obj().unwrap().is_empty());
+    assert!(snap.get("histograms").unwrap().as_obj().unwrap().is_empty());
+}

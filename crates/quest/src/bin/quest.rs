@@ -7,6 +7,7 @@
 //! quest suggest --db FILE --ref R-000042          top-10 error-code suggestions
 //! quest compare [--small] [--seed N]              Fig. 14 cross-source comparison
 //! quest demo                                      end-to-end workflow walkthrough
+//! quest metrics [--seed N] [--batch N] [--json]   run a probe workload, dump metrics
 //! ```
 
 use std::process::ExitCode;
@@ -29,6 +30,7 @@ fn main() -> ExitCode {
         "suggest" => cmd_suggest(rest),
         "compare" => cmd_compare(rest),
         "demo" => cmd_demo(),
+        "metrics" => cmd_metrics(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -44,12 +46,14 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: quest <generate|stats|suggest|compare|demo> [options]
+const USAGE: &str = "usage: quest <generate|stats|suggest|compare|demo|metrics> [options]
   generate [--small] [--seed N] --db FILE   generate a corpus, persist to FILE
   stats --db FILE                           data statistics (paper §3.2)
   suggest --db FILE --ref REFNO             top-10 suggestions for one bundle
   compare [--small] [--seed N]              error distribution vs NHTSA (§5.4)
-  demo                                      guided end-to-end walkthrough";
+  demo                                      guided end-to-end walkthrough
+  metrics [--seed N] [--batch N] [--json]   probe workload + metrics snapshot
+                                            (Prometheus text; --json for JSON)";
 
 fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
     args.iter()
@@ -205,5 +209,34 @@ fn cmd_demo() -> Result<(), String> {
         .map_err(|e| e.to_string())?;
     println!("anna finalized the case with {chosen}");
     println!("audit trail: {} entries", case.audit_trail().len());
+    Ok(())
+}
+
+fn cmd_metrics(args: &[String]) -> Result<(), String> {
+    let seed: u64 = flag_value(args, "--seed")
+        .map(|s| s.parse().map_err(|_| format!("bad --seed `{s}`")))
+        .transpose()?
+        .unwrap_or(42);
+    let batch: usize = flag_value(args, "--batch")
+        .map(|s| s.parse().map_err(|_| format!("bad --batch `{s}`")))
+        .transpose()?
+        .unwrap_or(120);
+    eprintln!("running metrics probe (seed {seed}, batch {batch}) ...");
+    let summary = quest::probe::run_metrics_probe(seed, batch);
+    eprintln!(
+        "probe: {} kb nodes, {} batched + {} single suggestions, \
+         {} rows persisted, {} wal records",
+        summary.kb_nodes,
+        summary.batch_bundles,
+        summary.single_bundles,
+        summary.rows_persisted,
+        summary.wal_records
+    );
+    let registry = qatk_obs::Registry::global();
+    if has_flag(args, "--json") {
+        println!("{}", registry.render_json());
+    } else {
+        print!("{}", registry.render_prometheus());
+    }
     Ok(())
 }

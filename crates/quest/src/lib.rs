@@ -15,6 +15,8 @@
 //! * [`screens`] — terminal renderings of the QUEST screens.
 
 pub mod compare;
+pub mod metrics;
+pub mod probe;
 pub mod screens;
 pub mod service;
 pub mod users;
@@ -26,6 +28,7 @@ pub mod prelude {
         compare_part_with_complaints, compare_with_complaints, ComparisonReport, Distribution,
         DistributionRow,
     };
+    pub use crate::probe::{run_metrics_probe, ProbeSummary};
     pub use crate::screens::{render_bundle, render_case, render_suggestions};
     pub use crate::service::{RecommendationService, ServiceError, Suggestions, TOP_SUGGESTIONS};
     pub use crate::users::{Role, User, UserError, UserRegistry};

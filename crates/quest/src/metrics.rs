@@ -1,0 +1,48 @@
+//! Service-layer metrics (DESIGN.md §7): QUEST suggestion latency and batch
+//! shape, registered under the `qatk_quest_*` prefix.
+
+use std::sync::OnceLock;
+
+use qatk_obs::{Counter, Histogram, Registry};
+
+/// Handles to every `qatk_quest_*` metric.
+pub struct QuestMetrics {
+    /// Single-bundle `suggest` calls.
+    pub suggest_total: &'static Counter,
+    /// Wall time of one `suggest` call, text processing included (ns).
+    pub suggest_latency_ns: &'static Histogram,
+    /// `suggest_batch` calls.
+    pub suggest_batch_total: &'static Counter,
+    /// Wall time of one whole `suggest_batch` call (ns).
+    pub suggest_batch_latency_ns: &'static Histogram,
+    /// Bundles per `suggest_batch` call.
+    pub suggest_batch_size: &'static Histogram,
+}
+
+/// The service-layer metric handles (registered on first use).
+pub fn metrics() -> &'static QuestMetrics {
+    static M: OnceLock<QuestMetrics> = OnceLock::new();
+    M.get_or_init(|| {
+        let r = Registry::global();
+        QuestMetrics {
+            suggest_total: r.counter(
+                "qatk_quest_suggest_total",
+                "single-bundle suggestion requests",
+            ),
+            suggest_latency_ns: r.histogram(
+                "qatk_quest_suggest_latency_ns",
+                "suggest latency per bundle, text processing included (ns)",
+            ),
+            suggest_batch_total: r
+                .counter("qatk_quest_suggest_batch_total", "suggest_batch requests"),
+            suggest_batch_latency_ns: r.histogram(
+                "qatk_quest_suggest_batch_latency_ns",
+                "suggest_batch wall time (ns)",
+            ),
+            suggest_batch_size: r.histogram(
+                "qatk_quest_suggest_batch_size",
+                "bundles per suggest_batch call",
+            ),
+        }
+    })
+}

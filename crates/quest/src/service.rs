@@ -123,6 +123,9 @@ impl RecommendationService {
 
     /// Suggestions for a (possibly not yet coded) bundle.
     pub fn suggest(&mut self, bundle: &DataBundle) -> Suggestions {
+        let m = crate::metrics::metrics();
+        let _span = qatk_obs::Timer::start(m.suggest_latency_ns);
+        m.suggest_total.inc();
         let features = self.extract(bundle);
         let ranked = self.knn.rank(&self.kb, &bundle.part_id, &features);
         self.assemble(bundle, ranked)
@@ -133,6 +136,10 @@ impl RecommendationService {
     /// worker threads with per-thread scratch state — per-bundle results are
     /// identical to calling [`RecommendationService::suggest`] in a loop.
     pub fn suggest_batch(&mut self, bundles: &[&DataBundle]) -> Vec<Suggestions> {
+        let m = crate::metrics::metrics();
+        let _span = qatk_obs::Timer::start(m.suggest_batch_latency_ns);
+        m.suggest_batch_total.inc();
+        m.suggest_batch_size.record(bundles.len() as u64);
         let features: Vec<FeatureSet> = bundles.iter().map(|b| self.extract(b)).collect();
         let queries: Vec<BatchQuery<'_>> = bundles
             .iter()

@@ -46,6 +46,7 @@ pub mod db;
 pub mod error;
 pub mod index;
 pub mod join;
+pub mod metrics;
 pub mod persist;
 pub mod predicate;
 pub mod query;

@@ -1,0 +1,45 @@
+//! Storage-layer metrics (DESIGN.md §7): WAL append/flush and transaction
+//! commit paths, registered under the `qatk_store_*` prefix.
+
+use std::sync::OnceLock;
+
+use qatk_obs::{Counter, Histogram, Registry};
+
+/// Handles to every `qatk_store_*` metric.
+pub struct StoreMetrics {
+    /// WAL records durably appended (one per committed DML operation).
+    pub wal_appends_total: &'static Counter,
+    /// Encoded WAL bytes written, framing and checksum included.
+    pub wal_bytes_total: &'static Counter,
+    /// Wall time of one WAL append, write + flush (ns).
+    pub wal_flush_latency_ns: &'static Histogram,
+    /// Transactions committed.
+    pub txn_commits_total: &'static Counter,
+    /// Transactions rolled back.
+    pub txn_rollbacks_total: &'static Counter,
+}
+
+/// The store-layer metric handles (registered on first use).
+pub fn metrics() -> &'static StoreMetrics {
+    static M: OnceLock<StoreMetrics> = OnceLock::new();
+    M.get_or_init(|| {
+        let r = Registry::global();
+        StoreMetrics {
+            wal_appends_total: r.counter(
+                "qatk_store_wal_appends_total",
+                "WAL records durably appended",
+            ),
+            wal_bytes_total: r.counter(
+                "qatk_store_wal_bytes_total",
+                "encoded WAL bytes written (framing + checksum included)",
+            ),
+            wal_flush_latency_ns: r.histogram(
+                "qatk_store_wal_flush_latency_ns",
+                "WAL append write+flush latency (ns)",
+            ),
+            txn_commits_total: r.counter("qatk_store_txn_commits_total", "transactions committed"),
+            txn_rollbacks_total: r
+                .counter("qatk_store_txn_rollbacks_total", "transactions rolled back"),
+        }
+    })
+}

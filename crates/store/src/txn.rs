@@ -41,13 +41,14 @@ impl Database {
     pub fn commit(&mut self) -> Result<()> {
         self.txn
             .take()
-            .map(|_| ())
+            .map(|_| crate::metrics::metrics().txn_commits_total.inc())
             .ok_or(StoreError::NoActiveTransaction)
     }
 
     /// Roll back: undo every change of the active transaction, newest first.
     pub fn rollback(&mut self) -> Result<()> {
         let log = self.txn.take().ok_or(StoreError::NoActiveTransaction)?;
+        crate::metrics::metrics().txn_rollbacks_total.inc();
         for op in log.into_iter().rev() {
             match op {
                 UndoOp::UnInsert { table, pk } => {

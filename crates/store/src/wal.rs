@@ -154,9 +154,14 @@ impl WalWriter {
 
     /// Append one record and flush it.
     pub fn append(&mut self, record: &WalRecord) -> Result<()> {
-        self.out.write_all(&record.encode())?;
+        let m = crate::metrics::metrics();
+        let _span = qatk_obs::Timer::start(m.wal_flush_latency_ns);
+        let encoded = record.encode();
+        self.out.write_all(&encoded)?;
         self.out.flush()?;
         self.records += 1;
+        m.wal_appends_total.inc();
+        m.wal_bytes_total.add(encoded.len() as u64);
         Ok(())
     }
 

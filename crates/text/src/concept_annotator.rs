@@ -61,6 +61,8 @@ impl AnalysisEngine for ConceptAnnotator {
     }
 
     fn process(&self, cas: &mut Cas) -> Result<()> {
+        let m = crate::metrics::metrics();
+        let _span = qatk_obs::Timer::start(m.annotate_latency_ns);
         // Collect token views: (begin, end, normalized).
         let tokens: Vec<(usize, usize, &str)> = cas
             .annotations()
@@ -111,6 +113,8 @@ impl AnalysisEngine for ConceptAnnotator {
                 None => i += 1,
             }
         }
+        m.docs_annotated_total.inc();
+        m.concept_hits_total.add(out.len() as u64);
         for ann in out {
             cas.add_annotation(ann);
         }

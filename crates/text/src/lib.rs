@@ -47,6 +47,7 @@ pub mod concept_annotator;
 pub mod engine;
 pub mod langdetect;
 pub mod legacy_annotator;
+pub mod metrics;
 pub mod sentences;
 pub mod stemmer;
 pub mod stopwords;

@@ -1,0 +1,57 @@
+//! Text-layer metrics (DESIGN.md §7): tokenizer and trie concept annotator
+//! throughput/latency, registered in the global [`qatk_obs::Registry`] under
+//! the `qatk_text_*` prefix.
+
+use std::sync::OnceLock;
+
+use qatk_obs::{Counter, Histogram, Registry};
+
+/// Handles to every `qatk_text_*` metric.
+pub struct TextMetrics {
+    /// CASes run through the whitespace tokenizer.
+    pub docs_tokenized_total: &'static Counter,
+    /// Token annotations emitted by the tokenizer.
+    pub tokens_total: &'static Counter,
+    /// Wall time of one tokenizer pass over a CAS.
+    pub tokenize_latency_ns: &'static Histogram,
+    /// CASes run through the trie concept annotator.
+    pub docs_annotated_total: &'static Counter,
+    /// Concept mentions emitted by the trie annotator.
+    pub concept_hits_total: &'static Counter,
+    /// Wall time of one concept-annotator pass over a CAS.
+    pub annotate_latency_ns: &'static Histogram,
+}
+
+/// The text-layer metric handles (registered on first use).
+pub fn metrics() -> &'static TextMetrics {
+    static M: OnceLock<TextMetrics> = OnceLock::new();
+    M.get_or_init(|| {
+        let r = Registry::global();
+        TextMetrics {
+            docs_tokenized_total: r.counter(
+                "qatk_text_docs_tokenized_total",
+                "CASes processed by the whitespace tokenizer",
+            ),
+            tokens_total: r.counter(
+                "qatk_text_tokens_total",
+                "token annotations emitted by the tokenizer",
+            ),
+            tokenize_latency_ns: r.histogram(
+                "qatk_text_tokenize_latency_ns",
+                "tokenizer pass latency per CAS (ns)",
+            ),
+            docs_annotated_total: r.counter(
+                "qatk_text_docs_annotated_total",
+                "CASes processed by the trie concept annotator",
+            ),
+            concept_hits_total: r.counter(
+                "qatk_text_concept_hits_total",
+                "concept mentions emitted by the trie annotator",
+            ),
+            annotate_latency_ns: r.histogram(
+                "qatk_text_annotate_latency_ns",
+                "concept-annotator pass latency per CAS (ns)",
+            ),
+        }
+    })
+}

@@ -26,6 +26,8 @@ impl AnalysisEngine for WhitespaceTokenizer {
     }
 
     fn process(&self, cas: &mut Cas) -> Result<()> {
+        let m = crate::metrics::metrics();
+        let _span = qatk_obs::Timer::start(m.tokenize_latency_ns);
         let text = cas.text().to_owned();
         let mut start: Option<usize> = None;
         let mut pending: Vec<Annotation> = Vec::new();
@@ -41,6 +43,8 @@ impl AnalysisEngine for WhitespaceTokenizer {
         if let Some(s) = start {
             pending.push(token(&text, s, text.len()));
         }
+        m.docs_tokenized_total.inc();
+        m.tokens_total.add(pending.len() as u64);
         for ann in pending {
             cas.add_annotation(ann);
         }
