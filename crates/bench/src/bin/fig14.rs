@@ -38,7 +38,7 @@ fn main() {
     // bag-of-concepts approach is in principle independent of the document
     // language or other text features" (§5.4).
     eprintln!("training bag-of-concepts service on the internal corpus ...");
-    let mut svc = RecommendationService::train(
+    let svc = RecommendationService::train(
         &corpus,
         FeatureModel::BagOfConcepts,
         SimilarityMeasure::Jaccard,
@@ -53,7 +53,7 @@ fn main() {
         .iter()
         .filter(|b| b.part_id == part.part_id)
         .filter_map(|b| b.error_code.clone());
-    let report = compare_part_with_complaints(&mut svc, &part.part_id, internal, &scoped, 3);
+    let report = compare_part_with_complaints(&svc, &part.part_id, internal, &scoped, 3);
 
     println!("\n== Figure 14 — error distribution comparison (top 3 + Other) ==\n");
     println!("{}", report.render());

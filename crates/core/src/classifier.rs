@@ -98,7 +98,10 @@ impl RankedKnn {
     /// a bounded binary heap selects the `top_nodes` best without sorting
     /// all candidates. Produces rankings identical to [`RankedKnn::rank_naive`]
     /// (asserted exhaustively by the `ranking_equivalence` differential
-    /// suite). Allocates fresh scratch; hot loops should reuse one via
+    /// suite). Scratch state lives in a thread-local, so `rank` is `&self`,
+    /// allocation-free after each thread's first query, and safe to call
+    /// from any number of threads sharing one knowledge base. Batch workers
+    /// that want explicit control pass their own scratch to
     /// [`RankedKnn::rank_with`] or go through [`RankedKnn::classify_batch`].
     pub fn rank(
         &self,
@@ -106,8 +109,11 @@ impl RankedKnn {
         part_id: &str,
         features: &FeatureSet,
     ) -> Vec<ScoredCode> {
-        let mut scratch = ScoreScratch::new();
-        self.rank_with(kb, part_id, features, &mut scratch)
+        thread_local! {
+            static RANK_SCRATCH: std::cell::RefCell<ScoreScratch> =
+                std::cell::RefCell::new(ScoreScratch::new());
+        }
+        RANK_SCRATCH.with(|s| self.rank_with(kb, part_id, features, &mut s.borrow_mut()))
     }
 
     /// [`RankedKnn::rank`] with caller-provided scratch state, for hot loops

@@ -116,24 +116,45 @@ impl FeatureModel {
             FeatureModel::BagOfStems => "bag-of-stems",
         }
     }
+
+    /// Inverse of [`FeatureModel::label`] — used when loading persisted
+    /// snapshots whose meta row records the model as its label.
+    pub fn from_label(label: &str) -> Option<Self> {
+        match label {
+            "bag-of-words" => Some(FeatureModel::BagOfWords),
+            "bag-of-words-nostop" => Some(FeatureModel::BagOfWordsNoStop),
+            "bag-of-concepts" => Some(FeatureModel::BagOfConcepts),
+            "bag-of-stems" => Some(FeatureModel::BagOfStems),
+            _ => None,
+        }
+    }
 }
 
 /// Word-feature space shared by all extractions of one experiment run.
 ///
 /// Concepts don't need interning (their taxonomy ids are already dense);
 /// words do. One `FeatureSpace` per fold keeps ids consistent between
-/// training and test extraction.
-#[derive(Debug, Default, Clone)]
+/// training and test extraction. This is the *writer-side* vocabulary: it
+/// grows on every extraction. Freezing it ([`FeatureSpace::freeze`]) yields
+/// the read-only [`FrozenFeatureSpace`] the serving path shares across
+/// threads.
+#[derive(Debug, Clone)]
 pub struct FeatureSpace {
     interner: Interner,
-    stopwords: Option<StopwordList>,
+    stopwords: StopwordList,
+}
+
+impl Default for FeatureSpace {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl FeatureSpace {
     pub fn new() -> Self {
         FeatureSpace {
             interner: Interner::new(),
-            stopwords: Some(StopwordList::german_and_english()),
+            stopwords: StopwordList::german_and_english(),
         }
     }
 
@@ -142,13 +163,8 @@ impl FeatureSpace {
         self.interner.len()
     }
 
-    fn stopword(&mut self, tok: &str) -> bool {
-        self.stopwords
-            .get_or_insert_with(StopwordList::german_and_english)
-            .contains(tok)
-    }
-
-    /// Extract the feature set of a processed CAS under a model.
+    /// Extract the feature set of a processed CAS under a model, interning
+    /// previously unseen tokens (training / builder path).
     ///
     /// * `BagOfWords*`: normalized tokens, interned.
     /// * `BagOfConcepts`: concept ids of the mentions the annotator found,
@@ -156,28 +172,107 @@ impl FeatureSpace {
     pub fn extract(&mut self, cas: &Cas, model: FeatureModel) -> FeatureSet {
         match model {
             FeatureModel::BagOfWords => cas
-                .token_norms()
-                .iter()
+                .token_norms_iter()
                 .map(|t| self.interner.intern(t))
                 .collect(),
             // stems arrive pre-stemmed in the token annotations (the
             // StemAnnotator rewrote them); extraction itself is identical to
             // the stopword-filtered word model
-            FeatureModel::BagOfStems | FeatureModel::BagOfWordsNoStop => {
-                let toks: Vec<String> = cas.token_norms().iter().map(|s| (*s).to_owned()).collect();
-                let mut ids = Vec::with_capacity(toks.len());
-                for t in &toks {
-                    if !self.stopword(t) {
-                        ids.push(self.interner.intern(t));
-                    }
-                }
-                FeatureSet::from_unsorted(ids)
-            }
+            FeatureModel::BagOfStems | FeatureModel::BagOfWordsNoStop => cas
+                .token_norms_iter()
+                .filter(|t| !self.stopwords.contains(t))
+                .map(|t| self.interner.intern(t))
+                .collect(),
             FeatureModel::BagOfConcepts => cas
                 .concept_mentions()
                 .map(|(_, concept, _)| concept.0)
                 .collect(),
         }
+    }
+
+    /// Seal the vocabulary for concurrent read-only serving.
+    pub fn freeze(self) -> FrozenFeatureSpace {
+        FrozenFeatureSpace {
+            interner: self.interner,
+            stopwords: self.stopwords,
+        }
+    }
+}
+
+/// A sealed word-feature vocabulary: extraction is `&self` and never grows
+/// the id space, so one instance can serve any number of threads at once.
+///
+/// **Unknown-token rule:** a query token absent from the frozen vocabulary is
+/// *dropped*. This matches kNN semantics exactly — a feature no training
+/// instance carries can never contribute to an intersection count, so its
+/// presence or absence in the query set never changes a single similarity
+/// score (Jaccard/Dice/cosine denominators use the *training* node sizes and
+/// `|A|` only through `score_from_counts`, which receives the query length
+/// *after* the drop — see the ranking-equivalence argument in DESIGN.md §8).
+#[derive(Debug, Clone)]
+pub struct FrozenFeatureSpace {
+    interner: Interner,
+    stopwords: StopwordList,
+}
+
+impl FrozenFeatureSpace {
+    /// Rebuild a sealed vocabulary from its tokens in id order — the inverse
+    /// of [`FrozenFeatureSpace::tokens`], used when loading a persisted
+    /// snapshot. Token `i` of the iterator receives id `i`, so feature sets
+    /// persisted alongside the vocabulary stay valid.
+    pub fn from_tokens<I, S>(tokens: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut interner = Interner::new();
+        for t in tokens {
+            interner.intern(t.as_ref());
+        }
+        FrozenFeatureSpace {
+            interner,
+            stopwords: StopwordList::german_and_english(),
+        }
+    }
+
+    /// Distinct word features in the sealed vocabulary.
+    pub fn vocabulary_size(&self) -> usize {
+        self.interner.len()
+    }
+
+    /// Re-open the vocabulary for the copy-on-write builder path. Ids of
+    /// already known tokens are preserved, so feature sets extracted under
+    /// the frozen space stay valid under the thawed one.
+    pub fn thaw(&self) -> FeatureSpace {
+        FeatureSpace {
+            interner: self.interner.clone(),
+            stopwords: self.stopwords.clone(),
+        }
+    }
+
+    /// Extract the feature set of a processed CAS under a model against the
+    /// sealed vocabulary (serving path; see the unknown-token rule above).
+    pub fn extract(&self, cas: &Cas, model: FeatureModel) -> FeatureSet {
+        match model {
+            FeatureModel::BagOfWords => cas
+                .token_norms_iter()
+                .filter_map(|t| self.interner.get(t))
+                .collect(),
+            FeatureModel::BagOfStems | FeatureModel::BagOfWordsNoStop => cas
+                .token_norms_iter()
+                .filter(|t| !self.stopwords.contains(t))
+                .filter_map(|t| self.interner.get(t))
+                .collect(),
+            FeatureModel::BagOfConcepts => cas
+                .concept_mentions()
+                .map(|(_, concept, _)| concept.0)
+                .collect(),
+        }
+    }
+
+    /// The interned tokens in id order (for snapshot persistence).
+    pub fn tokens(&self) -> impl Iterator<Item = &str> {
+        self.interner.names()
     }
 }
 
@@ -274,6 +369,74 @@ mod tests {
         let fa = space.extract(&cas_a, FeatureModel::BagOfWords);
         let fb = space.extract(&cas_b, FeatureModel::BagOfWords);
         assert_eq!(fa.intersection_size(&fb), 1); // "kontakt"
+    }
+
+    #[test]
+    fn frozen_extraction_drops_unknown_tokens() {
+        let train = processed_cas("Kontakt defekt");
+        let mut space = FeatureSpace::new();
+        let trained = space.extract(&train, FeatureModel::BagOfWords);
+        let frozen = space.freeze();
+        assert_eq!(frozen.vocabulary_size(), 2);
+
+        // same text: identical feature set under the frozen vocabulary
+        let same = frozen.extract(&processed_cas("Kontakt defekt"), FeatureModel::BagOfWords);
+        assert_eq!(same, trained);
+
+        // novel token "verschmort" is dropped, known ids survive, and the
+        // vocabulary did not grow
+        let mixed = frozen.extract(
+            &processed_cas("Kontakt verschmort"),
+            FeatureModel::BagOfWords,
+        );
+        assert_eq!(mixed.len(), 1);
+        assert_eq!(mixed.intersection_size(&trained), 1);
+        assert_eq!(frozen.vocabulary_size(), 2);
+
+        // fully novel text extracts to the empty set
+        let none = frozen.extract(&processed_cas("alles neu hier"), FeatureModel::BagOfWords);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn frozen_stopword_filtering_matches_mutable_path() {
+        let cas = processed_cas("Der Lüfter ist defekt");
+        let mut space = FeatureSpace::new();
+        let expected = space.extract(&cas, FeatureModel::BagOfWordsNoStop);
+        let frozen = space.freeze();
+        assert_eq!(
+            frozen.extract(&cas, FeatureModel::BagOfWordsNoStop),
+            expected
+        );
+    }
+
+    #[test]
+    fn thaw_preserves_ids_and_grows_again() {
+        let mut space = FeatureSpace::new();
+        let a = space.extract(&processed_cas("Kontakt defekt"), FeatureModel::BagOfWords);
+        let frozen = space.freeze();
+        let mut thawed = frozen.thaw();
+        // known tokens keep their ids …
+        let b = thawed.extract(&processed_cas("Kontakt defekt"), FeatureModel::BagOfWords);
+        assert_eq!(a, b);
+        // … and the thawed space accepts new vocabulary again
+        let c = thawed.extract(
+            &processed_cas("Kontakt verschmort"),
+            FeatureModel::BagOfWords,
+        );
+        assert_eq!(c.len(), 2);
+        assert_eq!(thawed.vocabulary_size(), 3);
+        // the frozen original is untouched
+        assert_eq!(frozen.vocabulary_size(), 2);
+        assert_eq!(frozen.tokens().count(), 2);
+    }
+
+    #[test]
+    fn frozen_concept_extraction_is_vocab_independent() {
+        let cas = processed_cas("Lüfter durchgeschmort, fan kaputt");
+        let frozen = FeatureSpace::new().freeze();
+        let f = frozen.extract(&cas, FeatureModel::BagOfConcepts);
+        assert_eq!(f.len(), 2);
     }
 
     #[test]

@@ -40,6 +40,11 @@ impl Interner {
         self.names.get(id as usize).map(String::as_str)
     }
 
+    /// All interned strings in id order (id `i` is the `i`-th name).
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.names.iter().map(String::as_str)
+    }
+
     /// Number of distinct interned strings.
     pub fn len(&self) -> usize {
         self.names.len()

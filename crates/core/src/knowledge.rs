@@ -144,7 +144,26 @@ impl KnowledgeBase {
         self.by_part.contains_key(part_id)
     }
 
+    /// Dense integer index of a part ID (assigned on first insert), if known.
+    pub fn part_index(&self, part_id: &str) -> Option<u32> {
+        self.part_ids.get(part_id).copied()
+    }
+
+    /// Number of distinct part IDs in the knowledge structure.
+    pub fn part_count(&self) -> usize {
+        self.part_ids.len()
+    }
+
+    /// All known part IDs (arbitrary order).
+    pub fn parts(&self) -> impl Iterator<Item = &str> {
+        self.by_part.keys().map(String::as_str)
+    }
+
     /// Distinct error codes known for a part ID.
+    ///
+    /// Allocates a fresh vector per call — fine for tests and cold paths; the
+    /// serving path uses the per-part lists
+    /// [`crate::snapshot::KnowledgeSnapshot`] precomputes once at seal time.
     pub fn codes_for_part(&self, part_id: &str) -> Vec<&str> {
         let mut codes: Vec<&str> = self
             .nodes_for_part(part_id)

@@ -43,6 +43,7 @@ pub mod knowledge;
 pub mod metrics;
 pub mod pipeline;
 pub mod similarity;
+pub mod snapshot;
 
 /// Convenient glob-import surface.
 pub mod prelude {
@@ -50,13 +51,14 @@ pub mod prelude {
     pub use crate::bootstrap::{hits_at_k, paired_bootstrap, BootstrapResult};
     pub use crate::classifier::{BatchQuery, MajorityVoteKnn, RankedKnn, ScoredCode};
     pub use crate::eval::{stratified_folds, AccuracyCounter, PAPER_KS};
-    pub use crate::features::{FeatureModel, FeatureSet, FeatureSpace};
+    pub use crate::features::{FeatureModel, FeatureSet, FeatureSpace, FrozenFeatureSpace};
     pub use crate::interner::Interner;
     pub use crate::knowledge::{KnowledgeBase, KnowledgeNode, ScoreScratch};
     pub use crate::pipeline::{
         build_pipeline, run_experiment, AccuracyCurve, ClassifierConfig, ExperimentResult,
     };
     pub use crate::similarity::SimilarityMeasure;
+    pub use crate::snapshot::{EpochCell, KnowledgeSnapshot, SnapshotBuilder};
 }
 
 pub use prelude::*;

@@ -22,6 +22,7 @@ use crate::baselines::{CandidateSetBaseline, CodeFrequencyBaseline};
 use crate::classifier::{BatchQuery, RankedKnn};
 use crate::eval::{stratified_folds, AccuracyCounter, PAPER_KS};
 use crate::features::{FeatureModel, FeatureSet, FeatureSpace};
+use crate::interner::Interner;
 use crate::knowledge::KnowledgeBase;
 use crate::similarity::SimilarityMeasure;
 
@@ -138,7 +139,9 @@ struct FoldOutcome {
     knn: AccuracyCounter,
     freq: AccuracyCounter,
     cand: AccuracyCounter,
-    per_part: std::collections::HashMap<String, AccuracyCounter>,
+    /// Per-part accuracy, indexed by the experiment-wide dense part id —
+    /// no per-bundle `String` clones or hash lookups on the accounting path.
+    per_part: Vec<AccuracyCounter>,
     ranks: Vec<(usize, Option<usize>)>,
     seconds: f64,
     tested: usize,
@@ -151,6 +154,7 @@ fn run_fold(
     fold_of: &[usize],
     fold: usize,
     pipeline: &Pipeline,
+    parts: &Interner,
     config: &ClassifierConfig,
 ) -> FoldOutcome {
     let mut space = FeatureSpace::new();
@@ -181,8 +185,7 @@ fn run_fold(
     let mut knn_acc = AccuracyCounter::new(&config.ks);
     let mut freq_acc = AccuracyCounter::new(&config.ks);
     let mut cand_acc = AccuracyCounter::new(&config.ks);
-    let mut per_part: std::collections::HashMap<String, AccuracyCounter> =
-        std::collections::HashMap::new();
+    let mut per_part = vec![AccuracyCounter::new(&config.ks); parts.len()];
     let mut ranks: Vec<(usize, Option<usize>)> = Vec::new();
     let mut feature_sum = 0usize;
     let start = Instant::now();
@@ -217,10 +220,10 @@ fn run_fold(
         let rank_of_truth = knn.rank_of(ranked, truth);
         knn_acc.record(rank_of_truth);
         ranks.push((*i, rank_of_truth));
-        per_part
-            .entry(b.part_id.clone())
-            .or_insert_with(|| AccuracyCounter::new(&config.ks))
-            .record(rank_of_truth);
+        let part = parts
+            .get(&b.part_id)
+            .expect("every bundle part is interned");
+        per_part[part as usize].record(rank_of_truth);
 
         let freq_rank = freq_baseline.rank(&b.part_id);
         freq_acc.record(freq_rank.iter().position(|c| c == truth));
@@ -257,6 +260,14 @@ pub fn run_experiment(corpus: &Corpus, config: &ClassifierConfig) -> ExperimentR
         .collect();
     let fold_of = stratified_folds(&codes, config.folds, config.seed);
     let pipeline = build_pipeline(corpus, config.model);
+    // experiment-wide dense part ids: interned once here, shared read-only by
+    // every fold, so per-part accounting indexes a Vec instead of cloning
+    // part-id strings into per-fold hash maps
+    let mut part_interner = Interner::new();
+    for b in &bundles {
+        part_interner.intern(&b.part_id);
+    }
+    let parts = &part_interner;
 
     let mut outcomes: Vec<Option<FoldOutcome>> = (0..config.folds).map(|_| None).collect();
     std::thread::scope(|s| {
@@ -267,7 +278,7 @@ pub fn run_experiment(corpus: &Corpus, config: &ClassifierConfig) -> ExperimentR
             let pipeline = &pipeline;
             handles.push((
                 fold,
-                s.spawn(move || run_fold(bundles, fold_of, fold, pipeline, config)),
+                s.spawn(move || run_fold(bundles, fold_of, fold, pipeline, parts, config)),
             ));
         }
         for (fold, h) in handles {
@@ -283,19 +294,15 @@ pub fn run_experiment(corpus: &Corpus, config: &ClassifierConfig) -> ExperimentR
     let mut tested = 0usize;
     let mut kb_nodes = 0usize;
     let mut feature_sum = 0usize;
-    let mut per_part_acc: std::collections::HashMap<String, AccuracyCounter> =
-        std::collections::HashMap::new();
+    let mut per_part_acc = vec![AccuracyCounter::new(&config.ks); parts.len()];
     let mut ranks: Vec<(usize, Option<usize>)> = Vec::new();
     for o in &outcomes {
         ranks.extend_from_slice(&o.ranks);
         knn.merge(&o.knn);
         freq.merge(&o.freq);
         cand.merge(&o.cand);
-        for (part, counter) in &o.per_part {
-            per_part_acc
-                .entry(part.clone())
-                .or_insert_with(|| AccuracyCounter::new(&config.ks))
-                .merge(counter);
+        for (acc, counter) in per_part_acc.iter_mut().zip(&o.per_part) {
+            acc.merge(counter);
         }
         fold_seconds.push(o.seconds);
         tested += o.tested;
@@ -304,7 +311,10 @@ pub fn run_experiment(corpus: &Corpus, config: &ClassifierConfig) -> ExperimentR
     }
     let mut per_part: Vec<(String, AccuracyCurve, usize)> = per_part_acc
         .into_iter()
-        .map(|(part, counter)| {
+        .enumerate()
+        .filter(|(_, counter)| counter.total() > 0)
+        .map(|(id, counter)| {
+            let part = parts.resolve(id as u32).expect("dense id").to_owned();
             let total = counter.total();
             (
                 part.clone(),

@@ -1,0 +1,808 @@
+//! Freeze-and-share serving snapshots with epoch-swapped publication.
+//!
+//! The serving stack splits into two halves:
+//!
+//! * [`KnowledgeSnapshot`] — an immutable, sealed bundle of everything the
+//!   query path needs: the annotator pipeline, the frozen vocabulary, the
+//!   knowledge base, and the per-part code lists precomputed at seal time.
+//!   Every accessor is `&self`, so one `Arc<KnowledgeSnapshot>` can serve any
+//!   number of threads with no locking on the hot path.
+//! * [`SnapshotBuilder`] — the mutable, single-writer half. It owns a growing
+//!   [`FeatureSpace`] and [`KnowledgeBase`]; [`SnapshotBuilder::seal`] turns
+//!   it into the next snapshot. [`SnapshotBuilder::from_snapshot`] re-opens a
+//!   snapshot copy-on-write (interned ids are preserved, readers of the old
+//!   snapshot are untouched).
+//!
+//! Publication is epoch-based: each snapshot carries a monotonically
+//! increasing epoch number, and [`EpochCell`] installs a new epoch with one
+//! short write-locked pointer swap. In-flight readers hold an `Arc` clone of
+//! the old snapshot and finish on it; new readers pick up the new epoch on
+//! their next [`EpochCell::load`]. This is the paper's §4.4 incremental
+//! learning loop ("the knowledge structure is updated with new configuration
+//! instances") made safe under concurrent serving.
+//!
+//! Snapshots persist relationally with the epoch as part of the key
+//! ([`KnowledgeSnapshot::save_to_db`] / [`KnowledgeSnapshot::load_latest`]),
+//! so a restarted service resumes from the newest published epoch.
+
+use std::collections::HashMap;
+use std::sync::{Arc, PoisonError, RwLock};
+
+use qatk_store::prelude::*;
+use qatk_text::cas::Cas;
+use qatk_text::engine::{Pipeline, Result as TextResult};
+
+use crate::features::{FeatureModel, FeatureSet, FeatureSpace, FrozenFeatureSpace};
+use crate::knowledge::KnowledgeBase;
+
+/// An immutable, shareable serving snapshot: sealed vocabulary + knowledge
+/// base + annotator pipeline + precomputed per-part code lists, all behind
+/// `&self`. Clone the `Arc`, not the snapshot.
+#[derive(Debug)]
+pub struct KnowledgeSnapshot {
+    pipeline: Arc<Pipeline>,
+    vocab: FrozenFeatureSpace,
+    kb: KnowledgeBase,
+    model: FeatureModel,
+    /// Per-part sorted unique code lists (knowledge-base codes merged with
+    /// declared extra codes), precomputed once at seal time so the suggest
+    /// hot path hands out an `Arc` clone instead of allocating per call.
+    codes_by_part: HashMap<String, Arc<[String]>>,
+    /// Codes declared without a training instance (paper §4.4: codes exist
+    /// in the master data before the first case is assigned to them).
+    declared: Vec<(String, String)>,
+    empty_codes: Arc<[String]>,
+    epoch: u64,
+}
+
+impl KnowledgeSnapshot {
+    /// The knowledge base (read-only).
+    pub fn kb(&self) -> &KnowledgeBase {
+        &self.kb
+    }
+
+    /// The sealed vocabulary.
+    pub fn vocab(&self) -> &FrozenFeatureSpace {
+        &self.vocab
+    }
+
+    /// The annotator pipeline this snapshot was trained under.
+    pub fn pipeline(&self) -> &Arc<Pipeline> {
+        &self.pipeline
+    }
+
+    /// The feature model this snapshot was trained under.
+    pub fn model(&self) -> FeatureModel {
+        self.model
+    }
+
+    /// The snapshot's epoch number (monotonically increasing across
+    /// publishes).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Codes declared without a training instance, in declaration order.
+    pub fn declared_codes(&self) -> &[(String, String)] {
+        &self.declared
+    }
+
+    /// Run the annotator pipeline over a raw CAS (`&self`: engines are
+    /// stateless, the CAS carries all mutation).
+    pub fn process(&self, cas: &mut Cas) -> TextResult<()> {
+        self.pipeline.process(cas)
+    }
+
+    /// Extract the feature set of a *processed* CAS against the frozen
+    /// vocabulary. Unknown tokens are dropped (see
+    /// [`FrozenFeatureSpace::extract`] for why this cannot change a ranking).
+    pub fn extract(&self, cas: &Cas) -> FeatureSet {
+        self.vocab.extract(cas, self.model)
+    }
+
+    /// Process then extract, in one call.
+    pub fn process_and_extract(&self, cas: &mut Cas) -> TextResult<FeatureSet> {
+        self.pipeline.process(cas)?;
+        Ok(self.extract(cas))
+    }
+
+    /// The sorted unique error codes a part can take (knowledge-base codes
+    /// merged with declared codes), as a cheap `Arc` clone of the list
+    /// precomputed at seal time. Unknown parts get the shared empty list.
+    pub fn codes_for_part(&self, part_id: &str) -> Arc<[String]> {
+        self.codes_by_part
+            .get(part_id)
+            .unwrap_or(&self.empty_codes)
+            .clone()
+    }
+
+    /// Number of parts with at least one known or declared code.
+    pub fn parts_with_codes(&self) -> usize {
+        self.codes_by_part.len()
+    }
+}
+
+/// Merge knowledge-base codes with declared extras into per-part sorted
+/// unique lists — the seal-time precompute behind
+/// [`KnowledgeSnapshot::codes_for_part`].
+fn compute_codes_by_part(
+    kb: &KnowledgeBase,
+    declared: &[(String, String)],
+) -> HashMap<String, Arc<[String]>> {
+    let mut merged: HashMap<String, Vec<String>> = HashMap::new();
+    for part in kb.parts() {
+        merged.insert(
+            part.to_owned(),
+            kb.codes_for_part(part)
+                .into_iter()
+                .map(str::to_owned)
+                .collect(),
+        );
+    }
+    for (part, code) in declared {
+        merged.entry(part.clone()).or_default().push(code.clone());
+    }
+    merged
+        .into_iter()
+        .map(|(part, mut codes)| {
+            codes.sort_unstable();
+            codes.dedup();
+            (part, Arc::from(codes))
+        })
+        .collect()
+}
+
+/// The mutable, single-writer half of the snapshot architecture. Builds the
+/// next epoch — from scratch ([`SnapshotBuilder::new`]) or copy-on-write from
+/// the currently published snapshot ([`SnapshotBuilder::from_snapshot`]) —
+/// then [`SnapshotBuilder::seal`]s it into an immutable
+/// [`KnowledgeSnapshot`].
+#[derive(Debug)]
+pub struct SnapshotBuilder {
+    pipeline: Arc<Pipeline>,
+    space: FeatureSpace,
+    kb: KnowledgeBase,
+    model: FeatureModel,
+    declared: Vec<(String, String)>,
+    epoch: u64,
+}
+
+impl SnapshotBuilder {
+    /// Start an empty epoch-0 builder.
+    pub fn new(pipeline: Arc<Pipeline>, model: FeatureModel) -> Self {
+        SnapshotBuilder {
+            pipeline,
+            space: FeatureSpace::new(),
+            kb: KnowledgeBase::new(),
+            model,
+            declared: Vec::new(),
+            epoch: 0,
+        }
+    }
+
+    /// Re-open a snapshot copy-on-write for the next epoch. The knowledge
+    /// base and declared codes are cloned, the vocabulary is thawed with all
+    /// ids preserved, and the pipeline `Arc` is shared. The source snapshot —
+    /// and every reader holding it — is untouched.
+    pub fn from_snapshot(snapshot: &KnowledgeSnapshot) -> Self {
+        SnapshotBuilder {
+            pipeline: Arc::clone(&snapshot.pipeline),
+            space: snapshot.vocab.thaw(),
+            kb: snapshot.kb.clone(),
+            model: snapshot.model,
+            declared: snapshot.declared.clone(),
+            epoch: snapshot.epoch + 1,
+        }
+    }
+
+    /// The epoch this builder will seal into.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The growing knowledge base.
+    pub fn kb(&self) -> &KnowledgeBase {
+        &self.kb
+    }
+
+    /// Extract a processed CAS's features, growing the vocabulary (training
+    /// path — novel tokens are interned, unlike the frozen serving path).
+    pub fn extract(&mut self, cas: &Cas) -> FeatureSet {
+        self.space.extract(cas, self.model)
+    }
+
+    /// Insert a pre-extracted configuration instance. Returns `false` when an
+    /// identical (part, code, features) node already exists.
+    pub fn insert(
+        &mut self,
+        part_id: impl Into<String>,
+        error_code: impl Into<String>,
+        features: FeatureSet,
+    ) -> bool {
+        self.kb.insert(part_id, error_code, features)
+    }
+
+    /// Process a raw CAS through the pipeline, extract its features (growing
+    /// the vocabulary), and insert the configuration instance.
+    pub fn train_instance(
+        &mut self,
+        cas: &mut Cas,
+        part_id: &str,
+        error_code: &str,
+    ) -> TextResult<bool> {
+        self.pipeline.process(cas)?;
+        let features = self.extract(cas);
+        Ok(self.insert(part_id, error_code, features))
+    }
+
+    /// Declare a code for a part without a training instance. Returns `false`
+    /// if that (part, code) pair was already declared.
+    pub fn declare_code(&mut self, part_id: &str, error_code: &str) -> bool {
+        let pair = (part_id.to_owned(), error_code.to_owned());
+        if self.declared.contains(&pair) {
+            return false;
+        }
+        self.declared.push(pair);
+        true
+    }
+
+    /// Seal into an immutable snapshot: the vocabulary freezes and the
+    /// per-part code lists are precomputed once, here, so the serving path
+    /// never sorts or allocates them again.
+    pub fn seal(self) -> KnowledgeSnapshot {
+        let codes_by_part = compute_codes_by_part(&self.kb, &self.declared);
+        KnowledgeSnapshot {
+            pipeline: self.pipeline,
+            vocab: self.space.freeze(),
+            kb: self.kb,
+            model: self.model,
+            codes_by_part,
+            declared: self.declared,
+            empty_codes: Arc::from(Vec::new()),
+            epoch: self.epoch,
+        }
+    }
+}
+
+/// A published-pointer cell: readers [`EpochCell::load`] an `Arc` clone of
+/// the current value; a writer [`EpochCell::swap`]s in the next epoch with
+/// one short write-locked pointer exchange. Readers never block each other,
+/// and an in-flight reader keeps its epoch alive through its `Arc` even
+/// after a swap.
+#[derive(Debug)]
+pub struct EpochCell<T> {
+    slot: RwLock<Arc<T>>,
+}
+
+impl<T> EpochCell<T> {
+    pub fn new(value: T) -> Self {
+        EpochCell {
+            slot: RwLock::new(Arc::new(value)),
+        }
+    }
+
+    /// The currently published value. Cheap: one read lock + one `Arc` clone.
+    pub fn load(&self) -> Arc<T> {
+        self.slot
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    /// Publish `next`, returning the previous value. In-flight readers that
+    /// loaded before the swap keep the old `Arc` and finish on it.
+    pub fn swap(&self, next: Arc<T>) -> Arc<T> {
+        let mut slot = self.slot.write().unwrap_or_else(PoisonError::into_inner);
+        std::mem::replace(&mut *slot, next)
+    }
+
+    /// Convenience: wrap `value` in an `Arc` and [`EpochCell::swap`] it in.
+    pub fn publish(&self, value: T) -> Arc<T> {
+        self.swap(Arc::new(value))
+    }
+}
+
+// --- versioned relational persistence ------------------------------------
+
+impl KnowledgeSnapshot {
+    /// Epoch registry: one row per persisted snapshot.
+    pub const TABLE_META: &'static str = "snapshot_meta";
+    /// Knowledge nodes, keyed by epoch + insertion order.
+    pub const TABLE_NODES: &'static str = "snapshot_nodes";
+    /// Vocabulary tokens, keyed by epoch + interner id.
+    pub const TABLE_VOCAB: &'static str = "snapshot_vocab";
+    /// Declared (part, code) pairs, keyed by epoch + declaration order.
+    pub const TABLE_CODES: &'static str = "snapshot_codes";
+
+    fn ensure_tables(db: &mut Database) -> StoreResult<()> {
+        if !db.has_table(Self::TABLE_META) {
+            let schema = SchemaBuilder::new()
+                .pk("epoch", DataType::Int)
+                .col("model", DataType::Text)
+                .col("nodes", DataType::Int)
+                .col("vocab", DataType::Int)
+                .build()?;
+            db.create_table(Self::TABLE_META, schema)?;
+        }
+        if !db.has_table(Self::TABLE_NODES) {
+            let schema = SchemaBuilder::new()
+                .pk("id", DataType::Text)
+                .col("epoch", DataType::Int)
+                .col("ord", DataType::Int)
+                .col("part_id", DataType::Text)
+                .col("error_code", DataType::Text)
+                .col("features", DataType::Blob)
+                .build()?;
+            db.create_table(Self::TABLE_NODES, schema)?;
+            db.table_mut(Self::TABLE_NODES)?.create_index(
+                "sn_by_epoch",
+                "epoch",
+                IndexKind::Hash,
+            )?;
+        }
+        if !db.has_table(Self::TABLE_VOCAB) {
+            let schema = SchemaBuilder::new()
+                .pk("id", DataType::Text)
+                .col("epoch", DataType::Int)
+                .col("ord", DataType::Int)
+                .col("token", DataType::Text)
+                .build()?;
+            db.create_table(Self::TABLE_VOCAB, schema)?;
+            db.table_mut(Self::TABLE_VOCAB)?.create_index(
+                "sv_by_epoch",
+                "epoch",
+                IndexKind::Hash,
+            )?;
+        }
+        if !db.has_table(Self::TABLE_CODES) {
+            let schema = SchemaBuilder::new()
+                .pk("id", DataType::Text)
+                .col("epoch", DataType::Int)
+                .col("ord", DataType::Int)
+                .col("part_id", DataType::Text)
+                .col("error_code", DataType::Text)
+                .build()?;
+            db.create_table(Self::TABLE_CODES, schema)?;
+        }
+        Ok(())
+    }
+
+    /// Delete every row of `table` whose `epoch` column matches `epoch`.
+    fn delete_epoch_rows(db: &mut Database, table: &str, epoch: u64) -> StoreResult<usize> {
+        let pks: Vec<Value> = {
+            let t = db.table(table)?;
+            Query::new()
+                .filter(Cond::eq(t, "epoch", epoch as i64)?)
+                .run(t)?
+                .into_iter()
+                .filter_map(|r| r.get(0).cloned())
+                .collect()
+        };
+        let n = pks.len();
+        for pk in &pks {
+            db.delete(table, pk)?;
+        }
+        Ok(n)
+    }
+
+    /// Persist this snapshot under its epoch. Earlier epochs are left in
+    /// place (versioned history); re-saving the same epoch overwrites it.
+    pub fn save_to_db(&self, db: &mut Database) -> StoreResult<()> {
+        Self::ensure_tables(db)?;
+        for table in [
+            Self::TABLE_META,
+            Self::TABLE_NODES,
+            Self::TABLE_VOCAB,
+            Self::TABLE_CODES,
+        ] {
+            Self::delete_epoch_rows(db, table, self.epoch)?;
+        }
+        let e = self.epoch as i64;
+        db.insert(
+            Self::TABLE_META,
+            row![
+                e,
+                self.model.label(),
+                self.kb.len() as i64,
+                self.vocab.vocabulary_size() as i64
+            ],
+        )?;
+        for (i, node) in self.kb.nodes().iter().enumerate() {
+            let mut blob = Vec::with_capacity(node.features.len() * 4);
+            for f in node.features.iter() {
+                blob.extend_from_slice(&f.to_le_bytes());
+            }
+            db.insert(
+                Self::TABLE_NODES,
+                row![
+                    format!("e{}#{}", self.epoch, i),
+                    e,
+                    i as i64,
+                    node.part_id.clone(),
+                    node.error_code.clone(),
+                    blob
+                ],
+            )?;
+        }
+        for (i, token) in self.vocab.tokens().enumerate() {
+            db.insert(
+                Self::TABLE_VOCAB,
+                row![format!("v{}#{}", self.epoch, i), e, i as i64, token],
+            )?;
+        }
+        for (i, (part, code)) in self.declared.iter().enumerate() {
+            db.insert(
+                Self::TABLE_CODES,
+                row![
+                    format!("c{}#{}", self.epoch, i),
+                    e,
+                    i as i64,
+                    part.clone(),
+                    code.clone()
+                ],
+            )?;
+        }
+        Ok(())
+    }
+
+    /// The newest persisted epoch, if any snapshot was ever saved.
+    pub fn latest_epoch(db: &Database) -> StoreResult<Option<u64>> {
+        if !db.has_table(Self::TABLE_META) {
+            return Ok(None);
+        }
+        let t = db.table(Self::TABLE_META)?;
+        let rows = Query::new()
+            .order_by("epoch", SortOrder::Desc)
+            .limit(1)
+            .run(t)?;
+        Ok(rows
+            .first()
+            .and_then(|r| r.get(0))
+            .and_then(Value::as_int)
+            .map(|e| e as u64))
+    }
+
+    /// Load the newest persisted epoch (load-latest semantics), or `None` if
+    /// nothing was ever saved. The pipeline is supplied by the caller — it is
+    /// code, not data.
+    pub fn load_latest(
+        db: &Database,
+        pipeline: Arc<Pipeline>,
+    ) -> StoreResult<Option<KnowledgeSnapshot>> {
+        match Self::latest_epoch(db)? {
+            Some(epoch) => Self::load_epoch(db, pipeline, epoch).map(Some),
+            None => Ok(None),
+        }
+    }
+
+    /// Load one specific persisted epoch.
+    pub fn load_epoch(
+        db: &Database,
+        pipeline: Arc<Pipeline>,
+        epoch: u64,
+    ) -> StoreResult<KnowledgeSnapshot> {
+        let e = epoch as i64;
+        let meta_table = db.table(Self::TABLE_META)?;
+        let meta = Query::new()
+            .filter(Cond::eq(meta_table, "epoch", e)?)
+            .run(meta_table)?;
+        let meta = meta.first().ok_or_else(|| {
+            StoreError::Corrupt(format!("snapshot epoch {epoch} not found in meta table"))
+        })?;
+        let label = meta.get(1).and_then(Value::as_text).unwrap_or_default();
+        let model = FeatureModel::from_label(label)
+            .ok_or_else(|| StoreError::Corrupt(format!("unknown feature model label `{label}`")))?;
+
+        let vocab_table = db.table(Self::TABLE_VOCAB)?;
+        let tokens: Vec<String> = Query::new()
+            .filter(Cond::eq(vocab_table, "epoch", e)?)
+            .order_by("ord", SortOrder::Asc)
+            .run(vocab_table)?
+            .into_iter()
+            .map(|r| {
+                r.get(3)
+                    .and_then(Value::as_text)
+                    .unwrap_or_default()
+                    .to_owned()
+            })
+            .collect();
+        let vocab = FrozenFeatureSpace::from_tokens(tokens);
+
+        let nodes_table = db.table(Self::TABLE_NODES)?;
+        let mut kb = KnowledgeBase::new();
+        for r in Query::new()
+            .filter(Cond::eq(nodes_table, "epoch", e)?)
+            .order_by("ord", SortOrder::Asc)
+            .run(nodes_table)?
+        {
+            let part = r.get(3).and_then(Value::as_text).unwrap_or_default();
+            let code = r.get(4).and_then(Value::as_text).unwrap_or_default();
+            let blob = r.get(5).and_then(Value::as_blob).unwrap_or_default();
+            let ids: Vec<u32> = blob
+                .chunks_exact(4)
+                .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+                .collect();
+            kb.insert(part, code, FeatureSet::from_unsorted(ids));
+        }
+
+        let codes_table = db.table(Self::TABLE_CODES)?;
+        let declared: Vec<(String, String)> = Query::new()
+            .filter(Cond::eq(codes_table, "epoch", e)?)
+            .order_by("ord", SortOrder::Asc)
+            .run(codes_table)?
+            .into_iter()
+            .map(|r| {
+                (
+                    r.get(3)
+                        .and_then(Value::as_text)
+                        .unwrap_or_default()
+                        .to_owned(),
+                    r.get(4)
+                        .and_then(Value::as_text)
+                        .unwrap_or_default()
+                        .to_owned(),
+                )
+            })
+            .collect();
+
+        let codes_by_part = compute_codes_by_part(&kb, &declared);
+        Ok(KnowledgeSnapshot {
+            pipeline,
+            vocab,
+            kb,
+            model,
+            codes_by_part,
+            declared,
+            empty_codes: Arc::from(Vec::new()),
+            epoch,
+        })
+    }
+
+    /// Drop every persisted epoch strictly below `keep_from` from all four
+    /// snapshot tables. Returns the number of rows removed.
+    pub fn prune_epochs_below(db: &mut Database, keep_from: u64) -> StoreResult<usize> {
+        let mut removed = 0;
+        for table in [
+            Self::TABLE_META,
+            Self::TABLE_NODES,
+            Self::TABLE_VOCAB,
+            Self::TABLE_CODES,
+        ] {
+            if !db.has_table(table) {
+                continue;
+            }
+            let pks: Vec<Value> = {
+                let t = db.table(table)?;
+                Query::new()
+                    .filter(Cond::lt(t, "epoch", keep_from as i64)?)
+                    .run(t)?
+                    .into_iter()
+                    .filter_map(|r| r.get(0).cloned())
+                    .collect()
+            };
+            for pk in &pks {
+                db.delete(table, pk)?;
+            }
+            removed += pks.len();
+        }
+        Ok(removed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qatk_text::tokenizer::WhitespaceTokenizer;
+
+    fn pipeline() -> Arc<Pipeline> {
+        Arc::new(Pipeline::builder().add(WhitespaceTokenizer::new()).build())
+    }
+
+    fn cas(text: &str) -> Cas {
+        let mut c = Cas::new();
+        c.add_segment("report", text);
+        c
+    }
+
+    fn trained_snapshot() -> KnowledgeSnapshot {
+        let mut b = SnapshotBuilder::new(pipeline(), FeatureModel::BagOfWords);
+        b.train_instance(&mut cas("Kontakt defekt"), "P-01", "E100")
+            .unwrap();
+        b.train_instance(&mut cas("Kabel durchgeschmort"), "P-01", "E200")
+            .unwrap();
+        b.train_instance(&mut cas("Radio stumm"), "P-02", "E300")
+            .unwrap();
+        b.declare_code("P-01", "E900");
+        b.declare_code("P-03", "E500");
+        b.seal()
+    }
+
+    #[test]
+    fn builder_seals_into_queryable_snapshot() {
+        let snap = trained_snapshot();
+        assert_eq!(snap.epoch(), 0);
+        assert_eq!(snap.kb().len(), 3);
+        assert_eq!(snap.vocab().vocabulary_size(), 6);
+
+        let mut q = cas("Kontakt defekt");
+        let f = snap.process_and_extract(&mut q).unwrap();
+        assert_eq!(f.len(), 2);
+        // unknown tokens are dropped by the frozen vocabulary
+        let mut q = cas("voellig neues Vokabular");
+        let f = snap.process_and_extract(&mut q).unwrap();
+        assert!(f.is_empty());
+        assert_eq!(snap.vocab().vocabulary_size(), 6);
+    }
+
+    #[test]
+    fn seal_precomputes_merged_code_lists() {
+        let snap = trained_snapshot();
+        // KB codes merged with the declared E900, sorted unique
+        assert_eq!(&*snap.codes_for_part("P-01"), &["E100", "E200", "E900"]);
+        assert_eq!(&*snap.codes_for_part("P-02"), &["E300"]);
+        // declared-only part exists even without a training instance
+        assert_eq!(&*snap.codes_for_part("P-03"), &["E500"]);
+        assert!(snap.codes_for_part("P-99").is_empty());
+        assert_eq!(snap.parts_with_codes(), 3);
+        // repeated lookups hand out the same allocation
+        assert!(Arc::ptr_eq(
+            &snap.codes_for_part("P-01"),
+            &snap.codes_for_part("P-01")
+        ));
+    }
+
+    #[test]
+    fn copy_on_write_builder_leaves_source_untouched() {
+        let snap = trained_snapshot();
+        let mut next = SnapshotBuilder::from_snapshot(&snap);
+        assert_eq!(next.epoch(), 1);
+        next.train_instance(&mut cas("Sicherung geschmolzen"), "P-04", "E400")
+            .unwrap();
+        let next = next.seal();
+
+        assert_eq!(next.kb().len(), 4);
+        assert_eq!(&*next.codes_for_part("P-04"), &["E400"]);
+        // the sealed source snapshot is unchanged
+        assert_eq!(snap.kb().len(), 3);
+        assert!(snap.codes_for_part("P-04").is_empty());
+        assert_eq!(snap.epoch(), 0);
+
+        // ids survive the thaw: the same query extracts the same set
+        let mut q = cas("Kontakt defekt");
+        let old = snap.process_and_extract(&mut q).unwrap();
+        let mut q = cas("Kontakt defekt");
+        let new = next.process_and_extract(&mut q).unwrap();
+        assert_eq!(old, new);
+    }
+
+    #[test]
+    fn builder_dedups_instances_and_declarations() {
+        let mut b = SnapshotBuilder::new(pipeline(), FeatureModel::BagOfWords);
+        assert!(b
+            .train_instance(&mut cas("Kontakt defekt"), "P-01", "E100")
+            .unwrap());
+        assert!(!b
+            .train_instance(&mut cas("Kontakt defekt"), "P-01", "E100")
+            .unwrap());
+        assert!(b.declare_code("P-01", "E900"));
+        assert!(!b.declare_code("P-01", "E900"));
+        assert_eq!(b.kb().len(), 1);
+    }
+
+    #[test]
+    fn epoch_cell_swap_keeps_old_readers_consistent() {
+        let cell = EpochCell::new(trained_snapshot());
+        let reader = cell.load();
+        assert_eq!(reader.epoch(), 0);
+
+        let mut b = SnapshotBuilder::from_snapshot(&reader);
+        b.train_instance(&mut cas("Sicherung geschmolzen"), "P-04", "E400")
+            .unwrap();
+        let old = cell.publish(b.seal());
+
+        // the in-flight reader still sees epoch 0 with 3 nodes …
+        assert_eq!(reader.epoch(), 0);
+        assert_eq!(reader.kb().len(), 3);
+        assert!(Arc::ptr_eq(&reader, &old));
+        // … while new loads observe the published epoch 1
+        let fresh = cell.load();
+        assert_eq!(fresh.epoch(), 1);
+        assert_eq!(fresh.kb().len(), 4);
+    }
+
+    #[test]
+    fn persistence_roundtrip_preserves_everything() {
+        let snap = trained_snapshot();
+        let mut db = Database::new();
+        snap.save_to_db(&mut db).unwrap();
+
+        let loaded = KnowledgeSnapshot::load_latest(&db, pipeline())
+            .unwrap()
+            .unwrap();
+        assert_eq!(loaded.epoch(), 0);
+        assert_eq!(loaded.model(), FeatureModel::BagOfWords);
+        assert_eq!(loaded.kb().nodes(), snap.kb().nodes());
+        assert_eq!(
+            loaded.vocab().vocabulary_size(),
+            snap.vocab().vocabulary_size()
+        );
+        assert_eq!(loaded.declared_codes(), snap.declared_codes());
+        assert_eq!(&*loaded.codes_for_part("P-01"), &["E100", "E200", "E900"]);
+
+        // vocabulary ids line up: same query text, same feature set
+        let mut q = cas("Kabel durchgeschmort");
+        let a = snap.process_and_extract(&mut q).unwrap();
+        let mut q = cas("Kabel durchgeschmort");
+        let b = loaded.process_and_extract(&mut q).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn load_latest_picks_newest_epoch() {
+        let snap0 = trained_snapshot();
+        let mut db = Database::new();
+        snap0.save_to_db(&mut db).unwrap();
+
+        let mut b = SnapshotBuilder::from_snapshot(&snap0);
+        b.train_instance(&mut cas("Sicherung geschmolzen"), "P-04", "E400")
+            .unwrap();
+        let snap1 = b.seal();
+        snap1.save_to_db(&mut db).unwrap();
+
+        assert_eq!(KnowledgeSnapshot::latest_epoch(&db).unwrap(), Some(1));
+        let loaded = KnowledgeSnapshot::load_latest(&db, pipeline())
+            .unwrap()
+            .unwrap();
+        assert_eq!(loaded.epoch(), 1);
+        assert_eq!(loaded.kb().len(), 4);
+
+        // epoch 0 is still loadable explicitly — versioned history
+        let old = KnowledgeSnapshot::load_epoch(&db, pipeline(), 0).unwrap();
+        assert_eq!(old.kb().len(), 3);
+    }
+
+    #[test]
+    fn resave_same_epoch_overwrites() {
+        let snap = trained_snapshot();
+        let mut db = Database::new();
+        snap.save_to_db(&mut db).unwrap();
+        snap.save_to_db(&mut db).unwrap();
+        assert_eq!(
+            db.table(KnowledgeSnapshot::TABLE_NODES).unwrap().len(),
+            snap.kb().len()
+        );
+        assert_eq!(db.table(KnowledgeSnapshot::TABLE_META).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn prune_drops_old_epochs_only() {
+        let snap0 = trained_snapshot();
+        let mut db = Database::new();
+        snap0.save_to_db(&mut db).unwrap();
+        let mut b = SnapshotBuilder::from_snapshot(&snap0);
+        b.train_instance(&mut cas("Sicherung geschmolzen"), "P-04", "E400")
+            .unwrap();
+        b.seal().save_to_db(&mut db).unwrap();
+
+        let removed = KnowledgeSnapshot::prune_epochs_below(&mut db, 1).unwrap();
+        assert!(removed > 0);
+        assert_eq!(KnowledgeSnapshot::latest_epoch(&db).unwrap(), Some(1));
+        assert!(KnowledgeSnapshot::load_epoch(&db, pipeline(), 0).is_err());
+        assert_eq!(
+            KnowledgeSnapshot::load_latest(&db, pipeline())
+                .unwrap()
+                .unwrap()
+                .kb()
+                .len(),
+            4
+        );
+    }
+
+    #[test]
+    fn load_latest_on_empty_db_is_none() {
+        let db = Database::new();
+        assert!(KnowledgeSnapshot::load_latest(&db, pipeline())
+            .unwrap()
+            .is_none());
+    }
+}

@@ -142,7 +142,7 @@ fn cmd_suggest(args: &[String]) -> Result<(), String> {
     eprintln!("training recommendation service (bag-of-concepts + jaccard) ...");
     let config = corpus_config(args);
     let corpus = Corpus::generate(config);
-    let mut svc = RecommendationService::train(
+    let svc = RecommendationService::train(
         &corpus,
         FeatureModel::BagOfConcepts,
         SimilarityMeasure::Jaccard,
@@ -168,13 +168,13 @@ fn cmd_compare(args: &[String]) -> Result<(), String> {
         },
     );
     eprintln!("training bag-of-concepts service ...");
-    let mut svc = RecommendationService::train(
+    let svc = RecommendationService::train(
         &corpus,
         FeatureModel::BagOfConcepts,
         SimilarityMeasure::Jaccard,
     );
     let internal = corpus.bundles.iter().filter_map(|b| b.error_code.clone());
-    let report = compare_with_complaints(&mut svc, internal, &complaints, 3);
+    let report = compare_with_complaints(&svc, internal, &complaints, 3);
     println!("{}", report.render());
     Ok(())
 }
@@ -194,7 +194,7 @@ fn cmd_demo() -> Result<(), String> {
         .map_err(|e| e.to_string())?;
     println!("case {} is now {}", case.reference_number, case.stage());
 
-    let mut svc = RecommendationService::train(
+    let svc = RecommendationService::train(
         &corpus,
         FeatureModel::BagOfConcepts,
         SimilarityMeasure::Jaccard,
@@ -225,12 +225,13 @@ fn cmd_metrics(args: &[String]) -> Result<(), String> {
     let summary = quest::probe::run_metrics_probe(seed, batch);
     eprintln!(
         "probe: {} kb nodes, {} batched + {} single suggestions, \
-         {} rows persisted, {} wal records",
+         {} rows persisted, {} wal records, snapshot epoch {}",
         summary.kb_nodes,
         summary.batch_bundles,
         summary.single_bundles,
         summary.rows_persisted,
-        summary.wal_records
+        summary.wal_records,
+        summary.epoch
     );
     let registry = qatk_obs::Registry::global();
     if has_flag(args, "--json") {

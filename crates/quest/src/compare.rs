@@ -136,7 +136,7 @@ impl ComparisonReport {
 /// approximate impression of the distribution of similar errors can still be
 /// gained", §5.4).
 pub fn compare_with_complaints(
-    service: &mut RecommendationService,
+    service: &RecommendationService,
     internal_codes: impl IntoIterator<Item = String>,
     complaints: &[Complaint],
     top_n: usize,
@@ -166,7 +166,7 @@ pub fn compare_with_complaints(
 /// matching NHTSA component category; they are classified against the part's
 /// code inventory.
 pub fn compare_part_with_complaints(
-    service: &mut RecommendationService,
+    service: &RecommendationService,
     part_id: &str,
     internal_codes: impl IntoIterator<Item = String>,
     complaints: &[Complaint],
@@ -241,7 +241,7 @@ mod tests {
     #[test]
     fn complaint_comparison_end_to_end() {
         let corpus = Corpus::generate(CorpusConfig::small(41));
-        let mut svc = RecommendationService::train(
+        let svc = RecommendationService::train(
             &corpus,
             FeatureModel::BagOfConcepts,
             SimilarityMeasure::Jaccard,
@@ -254,7 +254,7 @@ mod tests {
             },
         );
         let internal = corpus.bundles.iter().filter_map(|b| b.error_code.clone());
-        let report = compare_with_complaints(&mut svc, internal, &complaints, 3);
+        let report = compare_with_complaints(&svc, internal, &complaints, 3);
         assert_eq!(report.left.rows.len(), 3);
         assert!(report.right.total > 0, "no complaint classified");
         // the two markets should not have identical head codes every time;

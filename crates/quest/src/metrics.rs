@@ -3,7 +3,7 @@
 
 use std::sync::OnceLock;
 
-use qatk_obs::{Counter, Histogram, Registry};
+use qatk_obs::{Counter, Gauge, Histogram, Registry};
 
 /// Handles to every `qatk_quest_*` metric.
 pub struct QuestMetrics {
@@ -17,6 +17,15 @@ pub struct QuestMetrics {
     pub suggest_batch_latency_ns: &'static Histogram,
     /// Bundles per `suggest_batch` call.
     pub suggest_batch_size: &'static Histogram,
+    /// Epoch number of the currently published knowledge snapshot.
+    pub epoch: &'static Gauge,
+    /// Snapshot publishes (epoch swaps) since start.
+    pub epoch_swaps_total: &'static Counter,
+    /// Learn instances enqueued but not yet published into a snapshot.
+    pub pending_delta: &'static Gauge,
+    /// Configuration instances added to the knowledge base by online
+    /// learning (post-dedup).
+    pub learned_total: &'static Counter,
 }
 
 /// The service-layer metric handles (registered on first use).
@@ -42,6 +51,22 @@ pub fn metrics() -> &'static QuestMetrics {
             suggest_batch_size: r.histogram(
                 "qatk_quest_suggest_batch_size",
                 "bundles per suggest_batch call",
+            ),
+            epoch: r.gauge(
+                "qatk_quest_epoch",
+                "epoch of the currently published knowledge snapshot",
+            ),
+            epoch_swaps_total: r.counter(
+                "qatk_quest_epoch_swaps_total",
+                "knowledge snapshot publishes (epoch swaps)",
+            ),
+            pending_delta: r.gauge(
+                "qatk_quest_pending_delta",
+                "learn instances enqueued but not yet published",
+            ),
+            learned_total: r.counter(
+                "qatk_quest_learned_total",
+                "configuration instances added by online learning",
             ),
         }
     })

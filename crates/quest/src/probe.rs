@@ -29,13 +29,15 @@ pub struct ProbeSummary {
     pub rows_persisted: usize,
     /// Records mirrored into the write-ahead log.
     pub wal_records: usize,
+    /// Snapshot epoch published by the probe's online-learning step.
+    pub epoch: u64,
 }
 
 /// Run the probe workload: train, suggest a worklist of `batch_size`
 /// bundles, persist, and WAL-mirror. Deterministic for a given `seed`.
 pub fn run_metrics_probe(seed: u64, batch_size: usize) -> ProbeSummary {
     let corpus = Corpus::generate(CorpusConfig::small(seed));
-    let mut svc = RecommendationService::train(
+    let svc = RecommendationService::train(
         &corpus,
         FeatureModel::BagOfConcepts,
         SimilarityMeasure::Jaccard,
@@ -133,12 +135,37 @@ pub fn run_metrics_probe(seed: u64, batch_size: usize) -> ProbeSummary {
     }
     let _ = std::fs::remove_file(&wal_path);
 
+    // online learning: one direct learn plus a batched enqueue → publish, so
+    // the epoch gauge, swap counter and pending-delta gauge all move. The
+    // grafted reports come from *other* bundles so the concept sets differ
+    // from every stored instance and the inserts survive dedup.
+    let mut fresh = corpus.bundles[0].clone();
+    fresh.reference_number = "R-PROBE-LEARN".into();
+    fresh.supplier_report = format!(
+        "{} {}",
+        corpus.bundles[0].supplier_report, corpus.bundles[1].supplier_report
+    );
+    let code = corpus.bundles[0]
+        .error_code
+        .clone()
+        .expect("generated corpus bundles are coded");
+    let _ = svc.learn(&fresh, &code);
+    let mut fresh2 = fresh.clone();
+    fresh2.reference_number = "R-PROBE-PENDING".into();
+    fresh2.supplier_report = format!(
+        "{} {}",
+        corpus.bundles[0].supplier_report, corpus.bundles[2].supplier_report
+    );
+    svc.enqueue_learn(&fresh2, &code);
+    let _ = svc.publish_pending();
+
     ProbeSummary {
         kb_nodes: svc.kb_len(),
         batch_bundles: suggestions.len(),
         single_bundles,
         rows_persisted,
         wal_records,
+        epoch: svc.epoch(),
     }
 }
 
@@ -188,6 +215,13 @@ mod tests {
         assert!(hist_count("qatk_quest_suggest_batch_latency_ns") > 0);
         let batch_sizes = snap.histogram("qatk_quest_suggest_batch_size").unwrap();
         assert!(batch_sizes.count > 0);
+
+        // epoch-swapped learning layer: the probe learns once directly and
+        // once through the pending delta, each publishing an epoch
+        assert!(summary.epoch >= 2);
+        assert!(counter("qatk_quest_epoch_swaps_total") >= 2);
+        assert!(counter("qatk_quest_learned_total") > 0);
+        assert_eq!(snap.gauge("qatk_quest_pending_delta"), Some(0));
 
         // the exposition renders every layer's prefix
         let text = Registry::global().render_prometheus();

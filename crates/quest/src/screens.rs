@@ -191,7 +191,7 @@ mod tests {
                     score: 0.4,
                 },
             ],
-            all_codes_for_part: vec!["E0701".into(), "E0702".into(), "E0703".into()],
+            all_codes_for_part: vec!["E0701".into(), "E0702".into(), "E0703".into()].into(),
         };
         let text = render_suggestions(&s);
         assert!(text.contains("  1. E0701"));
@@ -218,7 +218,7 @@ mod tests {
         let s = Suggestions {
             reference_number: "R-1".into(),
             top: vec![],
-            all_codes_for_part: vec!["E1".into()],
+            all_codes_for_part: vec!["E1".into()].into(),
         };
         let text = render_suggestions(&s);
         assert!(text.contains("no text-based suggestions"));

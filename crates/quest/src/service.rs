@@ -7,11 +7,28 @@
 //! bundle". Scored suggestions and final assignments are persisted
 //! relationally (§4.3: "These scored error codes are stored in a relational
 //! database and presented to the quality worker via the web app interface").
+//!
+//! ## Concurrency model (DESIGN.md §8)
+//!
+//! The whole serving path is `&self`: every query loads the currently
+//! published [`KnowledgeSnapshot`] from an [`EpochCell`] (one read lock + one
+//! `Arc` clone) and runs entirely against that immutable snapshot — frozen
+//! vocabulary, sealed knowledge base, precomputed per-part code lists.
+//! Writers ([`RecommendationService::learn`],
+//! [`RecommendationService::create_code`], or the batched
+//! [`RecommendationService::enqueue_learn`] →
+//! [`RecommendationService::publish_pending`] path) serialize on a pending
+//! mutex, rebuild the next snapshot copy-on-write, and publish it with one
+//! atomic pointer swap. In-flight readers finish on the epoch they loaded;
+//! new queries observe the new epoch.
+
+use std::sync::{Arc, Mutex, PoisonError};
 
 use qatk_core::prelude::*;
 use qatk_corpus::bundle::{DataBundle, SourceSelection};
 use qatk_corpus::generator::Corpus;
 use qatk_store::prelude::*;
+use qatk_text::cas::Cas;
 use qatk_text::engine::Pipeline;
 
 use crate::users::{Role, UserError, UserRegistry};
@@ -25,8 +42,9 @@ pub struct Suggestions {
     pub reference_number: String,
     /// The ranked top-10 (at most).
     pub top: Vec<ScoredCode>,
-    /// Fallback: every code known for this part ID, sorted.
-    pub all_codes_for_part: Vec<String>,
+    /// Fallback: every code known for this part ID, sorted. A cheap clone of
+    /// the list the snapshot precomputed at seal time.
+    pub all_codes_for_part: Arc<[String]>,
 }
 
 /// Service errors.
@@ -75,72 +93,115 @@ pub mod tables {
     pub const ASSIGNMENTS: &str = "assignments";
 }
 
-/// The recommendation service: a trained knowledge base plus the analytics
-/// pipeline and the persistence of its outputs.
+/// A learn instance waiting for the next snapshot publish: the raw training
+/// CAS plus its (part, code) label. Processing and extraction happen at
+/// publish time against the builder's growing vocabulary.
+struct PendingInstance {
+    cas: Cas,
+    part_id: String,
+    code: String,
+}
+
+/// The recommendation service: an epoch-swapped knowledge snapshot serving
+/// `&self` queries, plus a pending delta for incremental learning and the
+/// persistence of its outputs.
 pub struct RecommendationService {
-    kb: KnowledgeBase,
     knn: RankedKnn,
-    pipeline: Pipeline,
-    space: FeatureSpace,
-    model: FeatureModel,
-    /// Codes created interactively via [`RecommendationService::create_code`]
-    /// (paper: admins "can define new error codes right in the QUEST
-    /// interface").
-    extra_codes: Vec<(String, String)>,
+    current: EpochCell<KnowledgeSnapshot>,
+    pending: Mutex<Vec<PendingInstance>>,
 }
 
 impl RecommendationService {
     /// Train from the coded bundles of a corpus.
     pub fn train(corpus: &Corpus, model: FeatureModel, measure: SimilarityMeasure) -> Self {
-        let pipeline = build_pipeline(corpus, model);
-        let mut space = FeatureSpace::new();
-        let mut kb = KnowledgeBase::new();
+        let pipeline = Arc::new(build_pipeline(corpus, model));
+        let mut builder = SnapshotBuilder::new(pipeline, model);
         for b in &corpus.bundles {
             let Some(code) = b.error_code.as_deref() else {
                 continue;
             };
             let mut cas = b.to_cas(SourceSelection::Training);
-            pipeline
-                .process(&mut cas)
+            builder
+                .train_instance(&mut cas, &b.part_id, code)
                 .expect("corpus text never fails the pipeline");
-            let features = space.extract(&cas, model);
-            kb.insert(b.part_id.clone(), code, features);
         }
+        Self::from_snapshot(builder.seal(), measure)
+    }
+
+    /// Wrap an already sealed snapshot (e.g. one loaded from a database).
+    pub fn from_snapshot(snapshot: KnowledgeSnapshot, measure: SimilarityMeasure) -> Self {
+        crate::metrics::metrics().epoch.set(snapshot.epoch() as i64);
         RecommendationService {
-            kb,
             knn: RankedKnn::new(measure),
-            pipeline,
-            space,
-            model,
-            extra_codes: Vec::new(),
+            current: EpochCell::new(snapshot),
+            pending: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Resume from the newest snapshot persisted in `db`, if any.
+    pub fn load_latest(
+        db: &Database,
+        pipeline: Arc<Pipeline>,
+        measure: SimilarityMeasure,
+    ) -> StoreResult<Option<Self>> {
+        Ok(KnowledgeSnapshot::load_latest(db, pipeline)?
+            .map(|snapshot| Self::from_snapshot(snapshot, measure)))
+    }
+
+    /// Persist the currently published snapshot under its epoch.
+    pub fn save_snapshot(&self, db: &mut Database) -> StoreResult<()> {
+        self.current.load().save_to_db(db)
+    }
+
+    /// The currently published snapshot. Hold the `Arc` to pin an epoch
+    /// across several calls (e.g. a consistent paginated worklist).
+    pub fn snapshot(&self) -> Arc<KnowledgeSnapshot> {
+        self.current.load()
+    }
+
+    /// Epoch of the currently published snapshot.
+    pub fn epoch(&self) -> u64 {
+        self.current.load().epoch()
     }
 
     /// Knowledge-base size (configuration instances).
     pub fn kb_len(&self) -> usize {
-        self.kb.len()
+        self.current.load().kb().len()
     }
 
     /// Suggestions for a (possibly not yet coded) bundle.
-    pub fn suggest(&mut self, bundle: &DataBundle) -> Suggestions {
+    pub fn suggest(&self, bundle: &DataBundle) -> Suggestions {
         let m = crate::metrics::metrics();
         let _span = qatk_obs::Timer::start(m.suggest_latency_ns);
         m.suggest_total.inc();
-        let features = self.extract(bundle);
-        let ranked = self.knn.rank(&self.kb, &bundle.part_id, &features);
-        self.assemble(bundle, ranked)
+        self.suggest_on(&self.current.load(), bundle)
+    }
+
+    /// [`RecommendationService::suggest`] against a caller-pinned snapshot —
+    /// every bundle of a worklist sees the same epoch even if a publish
+    /// lands mid-iteration.
+    pub fn suggest_on(&self, snapshot: &KnowledgeSnapshot, bundle: &DataBundle) -> Suggestions {
+        let features = Self::extract_with(snapshot, bundle);
+        let ranked = self.knn.rank(snapshot.kb(), &bundle.part_id, &features);
+        Self::assemble(snapshot, bundle, ranked)
     }
 
     /// Suggestions for a whole worklist at once. The rankings come out of
     /// [`RankedKnn::classify_batch`], which fans the bundles across scoped
     /// worker threads with per-thread scratch state — per-bundle results are
-    /// identical to calling [`RecommendationService::suggest`] in a loop.
-    pub fn suggest_batch(&mut self, bundles: &[&DataBundle]) -> Vec<Suggestions> {
+    /// identical to calling [`RecommendationService::suggest`] in a loop, and
+    /// the whole batch runs on one pinned snapshot regardless of concurrent
+    /// publishes.
+    pub fn suggest_batch(&self, bundles: &[&DataBundle]) -> Vec<Suggestions> {
         let m = crate::metrics::metrics();
         let _span = qatk_obs::Timer::start(m.suggest_batch_latency_ns);
         m.suggest_batch_total.inc();
         m.suggest_batch_size.record(bundles.len() as u64);
-        let features: Vec<FeatureSet> = bundles.iter().map(|b| self.extract(b)).collect();
+        let snapshot = self.current.load();
+        let features: Vec<FeatureSet> = bundles
+            .iter()
+            .map(|b| Self::extract_with(&snapshot, b))
+            .collect();
         let queries: Vec<BatchQuery<'_>> = bundles
             .iter()
             .zip(&features)
@@ -149,40 +210,31 @@ impl RecommendationService {
                 features: f,
             })
             .collect();
-        let rankings = self.knn.classify_batch(&self.kb, &queries);
+        let rankings = self.knn.classify_batch(snapshot.kb(), &queries);
         bundles
             .iter()
             .zip(rankings)
-            .map(|(b, ranked)| self.assemble(b, ranked))
+            .map(|(b, ranked)| Self::assemble(&snapshot, b, ranked))
             .collect()
     }
 
-    fn extract(&mut self, bundle: &DataBundle) -> FeatureSet {
+    fn extract_with(snapshot: &KnowledgeSnapshot, bundle: &DataBundle) -> FeatureSet {
         let mut cas = bundle.to_cas(SourceSelection::Test);
-        self.pipeline
-            .process(&mut cas)
-            .expect("corpus text never fails the pipeline");
-        self.space.extract(&cas, self.model)
+        snapshot
+            .process_and_extract(&mut cas)
+            .expect("corpus text never fails the pipeline")
     }
 
-    fn assemble(&self, bundle: &DataBundle, mut top: Vec<ScoredCode>) -> Suggestions {
+    fn assemble(
+        snapshot: &KnowledgeSnapshot,
+        bundle: &DataBundle,
+        mut top: Vec<ScoredCode>,
+    ) -> Suggestions {
         top.truncate(TOP_SUGGESTIONS);
-        let mut all: Vec<String> = self
-            .kb
-            .codes_for_part(&bundle.part_id)
-            .into_iter()
-            .map(str::to_owned)
-            .collect();
-        for (part, code) in &self.extra_codes {
-            if part == &bundle.part_id && !all.contains(code) {
-                all.push(code.clone());
-            }
-        }
-        all.sort();
         Suggestions {
             reference_number: bundle.reference_number.clone(),
             top,
-            all_codes_for_part: all,
+            all_codes_for_part: snapshot.codes_for_part(&bundle.part_id),
         }
     }
 
@@ -246,11 +298,12 @@ impl RecommendationService {
         code: &str,
     ) -> Result<(), ServiceError> {
         users.authorize(user, "assign error codes", Role::can_assign_codes)?;
-        let known = self.kb.codes_for_part(&bundle.part_id).contains(&code)
-            || self
-                .extra_codes
-                .iter()
-                .any(|(p, c)| p == &bundle.part_id && c == code);
+        let known = self
+            .current
+            .load()
+            .codes_for_part(&bundle.part_id)
+            .iter()
+            .any(|c| c == code);
         if !known {
             return Err(ServiceError::UnknownCode {
                 code: code.to_owned(),
@@ -286,49 +339,133 @@ impl RecommendationService {
         Ok(())
     }
 
-    /// Define a new error code (extended rights required).
+    /// Define a new error code (extended rights required). Publishes a new
+    /// epoch whose per-part code lists include it.
     pub fn create_code(
-        &mut self,
+        &self,
         users: &UserRegistry,
         user: &str,
         part_id: &str,
         code: &str,
     ) -> Result<(), ServiceError> {
         users.authorize(user, "create error codes", Role::can_create_codes)?;
-        if !self
-            .extra_codes
-            .iter()
-            .any(|(p, c)| p == part_id && c == code)
-        {
-            self.extra_codes.push((part_id.to_owned(), code.to_owned()));
-        }
+        self.mutate(|builder| {
+            builder.declare_code(part_id, code);
+        });
         Ok(())
     }
 
-    /// Borrow the trained knowledge base (e.g. for cross-source comparison).
-    pub fn knowledge_base(&self) -> &KnowledgeBase {
-        &self.kb
+    /// The currently published knowledge base. The returned guard is the
+    /// whole snapshot — hold it while reading the knowledge base.
+    pub fn knowledge_base(&self) -> Arc<KnowledgeSnapshot> {
+        self.current.load()
     }
 
     /// Online learning: once a quality expert has assigned a final code, the
     /// bundle becomes a training instance. kNN is a lazy learner (paper
-    /// §4.2), so "learning" is just inserting the new configuration into the
-    /// knowledge base — no retraining pass. Returns `true` if the instance
-    /// added a new configuration (dedup may absorb it).
-    pub fn learn(&mut self, bundle: &DataBundle, code: &str) -> bool {
-        let mut cas = bundle.to_cas(SourceSelection::Training);
+    /// §4.2), so "learning" inserts the new configuration into a
+    /// copy-on-write successor snapshot and publishes it as the next epoch —
+    /// no retraining pass, and concurrent readers are never blocked. Returns
+    /// `true` if the instance added a new configuration (dedup may absorb
+    /// it). Any instances enqueued via
+    /// [`RecommendationService::enqueue_learn`] ride along in the same
+    /// publish.
+    pub fn learn(&self, bundle: &DataBundle, code: &str) -> bool {
         // the freshly assigned code's description is not part of the bundle
         // yet; the reports and part description carry the signal
-        self.pipeline
-            .process(&mut cas)
-            .expect("corpus text never fails the pipeline");
-        let features = self.space.extract(&cas, self.model);
-        self.kb.insert(bundle.part_id.clone(), code, features)
+        let mut cas = bundle.to_cas(SourceSelection::Training);
+        let part_id = bundle.part_id.clone();
+        let added = self.mutate(|builder| {
+            builder
+                .train_instance(&mut cas, &part_id, code)
+                .expect("corpus text never fails the pipeline")
+        });
+        if added {
+            crate::metrics::metrics().learned_total.inc();
+        }
+        added
+    }
+
+    /// Enqueue a learn instance without publishing: the bundle's training CAS
+    /// joins the pending delta and becomes visible only at the next
+    /// [`RecommendationService::publish_pending`] (or any other publish).
+    /// Lets a burst of assignments amortize one epoch swap.
+    pub fn enqueue_learn(&self, bundle: &DataBundle, code: &str) {
+        let mut pending = self.pending.lock().unwrap_or_else(PoisonError::into_inner);
+        pending.push(PendingInstance {
+            cas: bundle.to_cas(SourceSelection::Training),
+            part_id: bundle.part_id.clone(),
+            code: code.to_owned(),
+        });
+        crate::metrics::metrics()
+            .pending_delta
+            .set(pending.len() as i64);
+    }
+
+    /// Learn instances enqueued but not yet published.
+    pub fn pending_len(&self) -> usize {
+        self.pending
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    /// Publish every enqueued learn instance as one new epoch. Returns how
+    /// many added a new configuration (dedup may absorb some). No-op — and no
+    /// epoch churn — when nothing is pending.
+    pub fn publish_pending(&self) -> usize {
+        let mut pending = self.pending.lock().unwrap_or_else(PoisonError::into_inner);
+        if pending.is_empty() {
+            return 0;
+        }
+        let snapshot = self.current.load();
+        let mut builder = SnapshotBuilder::from_snapshot(&snapshot);
+        let added = Self::drain_into(&mut pending, &mut builder);
+        self.install(builder.seal());
+        crate::metrics::metrics().learned_total.add(added as u64);
+        added
+    }
+
+    /// Single-writer mutation: serializes on the pending lock, folds any
+    /// enqueued instances into a copy-on-write builder, applies `f`, seals,
+    /// and publishes the next epoch.
+    fn mutate<R>(&self, f: impl FnOnce(&mut SnapshotBuilder) -> R) -> R {
+        let mut pending = self.pending.lock().unwrap_or_else(PoisonError::into_inner);
+        let snapshot = self.current.load();
+        let mut builder = SnapshotBuilder::from_snapshot(&snapshot);
+        Self::drain_into(&mut pending, &mut builder);
+        let out = f(&mut builder);
+        self.install(builder.seal());
+        out
+    }
+
+    /// Move every pending instance into the builder; returns how many added
+    /// a new configuration. Caller holds the pending lock.
+    fn drain_into(pending: &mut Vec<PendingInstance>, builder: &mut SnapshotBuilder) -> usize {
+        let mut added = 0;
+        for mut p in pending.drain(..) {
+            if builder
+                .train_instance(&mut p.cas, &p.part_id, &p.code)
+                .expect("corpus text never fails the pipeline")
+            {
+                added += 1;
+            }
+        }
+        crate::metrics::metrics().pending_delta.set(0);
+        added
+    }
+
+    /// Publish a sealed snapshot as the new epoch and update the gauges.
+    fn install(&self, next: KnowledgeSnapshot) {
+        let m = crate::metrics::metrics();
+        m.epoch.set(next.epoch() as i64);
+        m.epoch_swaps_total.inc();
+        self.current.publish(next);
     }
 
     /// Convenience: record the assignment *and* learn from it in one step.
     pub fn assign_and_learn(
-        &mut self,
+        &self,
         db: &mut Database,
         users: &UserRegistry,
         user: &str,
@@ -342,27 +479,28 @@ impl RecommendationService {
     /// Classify a free text with an unknown part ID (the §5.4 external-source
     /// path: the NHTSA complaint has no OEM part ID, so candidate selection
     /// falls back across the whole knowledge base).
-    pub fn classify_external(&mut self, text: &str) -> Vec<ScoredCode> {
+    pub fn classify_external(&self, text: &str) -> Vec<ScoredCode> {
         self.classify_external_for_part(text, "<external>")
     }
 
     /// Classify an external text against one part type's knowledge — the
     /// per-part comparison screen, where the external source was pre-filtered
     /// by component category.
-    pub fn classify_external_for_part(&mut self, text: &str, part_id: &str) -> Vec<ScoredCode> {
-        let features = self.extract_external(text);
-        self.knn.rank(&self.kb, part_id, &features)
+    pub fn classify_external_for_part(&self, text: &str, part_id: &str) -> Vec<ScoredCode> {
+        let snapshot = self.current.load();
+        let features = Self::extract_external(&snapshot, text);
+        self.knn.rank(snapshot.kb(), part_id, &features)
     }
 
     /// Batch variant of [`RecommendationService::classify_external_for_part`]:
     /// all texts share one part ID (or `"<external>"` for the unscoped path)
     /// and are ranked in parallel via [`RankedKnn::classify_batch`].
-    pub fn classify_external_batch(
-        &mut self,
-        texts: &[&str],
-        part_id: &str,
-    ) -> Vec<Vec<ScoredCode>> {
-        let features: Vec<FeatureSet> = texts.iter().map(|t| self.extract_external(t)).collect();
+    pub fn classify_external_batch(&self, texts: &[&str], part_id: &str) -> Vec<Vec<ScoredCode>> {
+        let snapshot = self.current.load();
+        let features: Vec<FeatureSet> = texts
+            .iter()
+            .map(|t| Self::extract_external(&snapshot, t))
+            .collect();
         let queries: Vec<BatchQuery<'_>> = features
             .iter()
             .map(|f| BatchQuery {
@@ -370,16 +508,15 @@ impl RecommendationService {
                 features: f,
             })
             .collect();
-        self.knn.classify_batch(&self.kb, &queries)
+        self.knn.classify_batch(snapshot.kb(), &queries)
     }
 
-    fn extract_external(&mut self, text: &str) -> FeatureSet {
-        let mut cas = qatk_text::cas::Cas::new();
+    fn extract_external(snapshot: &KnowledgeSnapshot, text: &str) -> FeatureSet {
+        let mut cas = Cas::new();
         cas.add_segment("external_text", text);
-        self.pipeline
-            .process(&mut cas)
-            .expect("plain text never fails the pipeline");
-        self.space.extract(&cas, self.model)
+        snapshot
+            .process_and_extract(&mut cas)
+            .expect("plain text never fails the pipeline")
     }
 }
 
@@ -403,7 +540,7 @@ mod tests {
     #[test]
     fn suggestions_capped_at_ten_with_fallback_list() {
         let c = corpus();
-        let mut svc = RecommendationService::train(
+        let svc = RecommendationService::train(
             &c,
             FeatureModel::BagOfConcepts,
             SimilarityMeasure::Jaccard,
@@ -426,7 +563,7 @@ mod tests {
     #[test]
     fn true_code_usually_in_top_ten() {
         let c = corpus();
-        let mut svc =
+        let svc =
             RecommendationService::train(&c, FeatureModel::BagOfWords, SimilarityMeasure::Jaccard);
         let mut hits = 0;
         let total = 100.min(c.bundles.len());
@@ -444,7 +581,7 @@ mod tests {
     #[test]
     fn suggest_batch_matches_sequential_suggest() {
         let c = corpus();
-        let mut svc = RecommendationService::train(
+        let svc = RecommendationService::train(
             &c,
             FeatureModel::BagOfConcepts,
             SimilarityMeasure::Jaccard,
@@ -461,7 +598,7 @@ mod tests {
     #[test]
     fn external_batch_matches_sequential_classification() {
         let c = corpus();
-        let mut svc =
+        let svc =
             RecommendationService::train(&c, FeatureModel::BagOfWords, SimilarityMeasure::Overlap);
         let texts = [
             "THE COOLING FAN EXHIBITED GRINDING NOISE",
@@ -480,7 +617,7 @@ mod tests {
     #[test]
     fn persist_suggestions_roundtrip_and_replace() {
         let c = corpus();
-        let mut svc = RecommendationService::train(
+        let svc = RecommendationService::train(
             &c,
             FeatureModel::BagOfConcepts,
             SimilarityMeasure::Jaccard,
@@ -534,13 +671,14 @@ mod tests {
     #[test]
     fn code_creation_gated_and_visible() {
         let c = corpus();
-        let mut svc = RecommendationService::train(
+        let svc = RecommendationService::train(
             &c,
             FeatureModel::BagOfConcepts,
             SimilarityMeasure::Jaccard,
         );
         let users = users();
         let b = c.bundles[0].clone();
+        let epoch_before = svc.epoch();
 
         assert!(matches!(
             svc.create_code(&users, "anna", &b.part_id, "E-NEW"),
@@ -548,11 +686,20 @@ mod tests {
         ));
         svc.create_code(&users, "root", &b.part_id, "E-NEW")
             .unwrap();
-        // idempotent
+        // idempotent (each call still publishes an epoch; the code list is
+        // unchanged the second time)
         svc.create_code(&users, "root", &b.part_id, "E-NEW")
             .unwrap();
+        assert!(svc.epoch() > epoch_before);
         let s = svc.suggest(&b);
         assert!(s.all_codes_for_part.contains(&"E-NEW".to_owned()));
+        assert_eq!(
+            s.all_codes_for_part
+                .iter()
+                .filter(|c| c.as_str() == "E-NEW")
+                .count(),
+            1
+        );
         // and assignable now
         let mut db = Database::new();
         svc.assign(&mut db, &users, "anna", &b, "E-NEW").unwrap();
@@ -576,7 +723,6 @@ mod tests {
         fresh.error_description = None;
 
         let users = users();
-        let mut svc2 = svc2;
         svc2.create_code(&users, "root", &fresh.part_id, "E-LEARN")
             .unwrap();
         let mut db = Database::new();
@@ -595,7 +741,7 @@ mod tests {
     #[test]
     fn learning_identical_configuration_is_deduped() {
         let c = corpus();
-        let mut svc = RecommendationService::train(
+        let svc = RecommendationService::train(
             &c,
             FeatureModel::BagOfConcepts,
             SimilarityMeasure::Jaccard,
@@ -610,9 +756,107 @@ mod tests {
     }
 
     #[test]
+    fn learn_publishes_a_new_epoch_old_readers_unaffected() {
+        let c = corpus();
+        let svc = RecommendationService::train(
+            &c,
+            FeatureModel::BagOfConcepts,
+            SimilarityMeasure::Jaccard,
+        );
+        let pinned = svc.snapshot();
+        let epoch0 = pinned.epoch();
+        let kb0 = pinned.kb().len();
+
+        let mut fresh = c.bundles[0].clone();
+        fresh.reference_number = "R-EPOCH".into();
+        fresh.supplier_report = "entirely fresh supplier narrative qq-17".into();
+        svc.learn(&fresh, c.bundles[0].error_code.as_deref().unwrap());
+
+        // the pinned snapshot still answers from the old epoch …
+        assert_eq!(pinned.epoch(), epoch0);
+        assert_eq!(pinned.kb().len(), kb0);
+        // … while the service has moved on
+        assert_eq!(svc.epoch(), epoch0 + 1);
+    }
+
+    #[test]
+    fn enqueue_then_publish_batches_one_epoch_swap() {
+        let c = corpus();
+        // bag-of-words: the fresh narrative tokens below become features, so
+        // neither instance dedups away
+        let svc =
+            RecommendationService::train(&c, FeatureModel::BagOfWords, SimilarityMeasure::Jaccard);
+        let epoch0 = svc.epoch();
+        let kb0 = svc.kb_len();
+
+        let code = c.bundles[0].error_code.clone().unwrap();
+        for (i, report) in ["fresh narrative aa-1", "fresh narrative bb-2"]
+            .iter()
+            .enumerate()
+        {
+            let mut fresh = c.bundles[0].clone();
+            fresh.reference_number = format!("R-PEND-{i}");
+            fresh.supplier_report = (*report).into();
+            svc.enqueue_learn(&fresh, &code);
+        }
+        assert_eq!(svc.pending_len(), 2);
+        // nothing visible yet — no publish happened
+        assert_eq!(svc.epoch(), epoch0);
+        assert_eq!(svc.kb_len(), kb0);
+
+        let added = svc.publish_pending();
+        assert_eq!(added, 2);
+        assert_eq!(svc.pending_len(), 0);
+        // exactly one epoch swap for the whole batch
+        assert_eq!(svc.epoch(), epoch0 + 1);
+        assert_eq!(svc.kb_len(), kb0 + 2);
+        // republishing with an empty delta is a no-op
+        assert_eq!(svc.publish_pending(), 0);
+        assert_eq!(svc.epoch(), epoch0 + 1);
+    }
+
+    #[test]
+    fn snapshot_persistence_roundtrip_through_service() {
+        let c = corpus();
+        let svc = RecommendationService::train(
+            &c,
+            FeatureModel::BagOfConcepts,
+            SimilarityMeasure::Jaccard,
+        );
+        // move past epoch 0 so load-latest has something to choose
+        let mut fresh = c.bundles[0].clone();
+        fresh.reference_number = "R-PERSIST".into();
+        fresh.supplier_report = "narrative for persistence cc-3".into();
+        svc.learn(&fresh, c.bundles[0].error_code.as_deref().unwrap());
+
+        let mut db = Database::new();
+        svc.save_snapshot(&mut db).unwrap();
+
+        let pipeline = Arc::clone(svc.snapshot().pipeline());
+        let restored =
+            RecommendationService::load_latest(&db, pipeline, SimilarityMeasure::Jaccard)
+                .unwrap()
+                .unwrap();
+        assert_eq!(restored.epoch(), svc.epoch());
+        assert_eq!(restored.kb_len(), svc.kb_len());
+        // restored service suggests identically
+        for b in c.bundles.iter().take(10) {
+            assert_eq!(restored.suggest(b), svc.suggest(b));
+        }
+        // an empty database yields no service
+        assert!(RecommendationService::load_latest(
+            &Database::new(),
+            Arc::clone(svc.snapshot().pipeline()),
+            SimilarityMeasure::Jaccard
+        )
+        .unwrap()
+        .is_none());
+    }
+
+    #[test]
     fn external_classification_works_without_part_id() {
         let c = corpus();
-        let mut svc = RecommendationService::train(
+        let svc = RecommendationService::train(
             &c,
             FeatureModel::BagOfConcepts,
             SimilarityMeasure::Jaccard,

@@ -183,6 +183,18 @@ impl Cond {
     pub fn ne(table: &Table, column: &str, v: impl Into<Value>) -> Result<Predicate> {
         Ok(Predicate::Ne(Self::col(table, column)?, v.into()))
     }
+    pub fn lt(table: &Table, column: &str, v: impl Into<Value>) -> Result<Predicate> {
+        Ok(Predicate::Lt(Self::col(table, column)?, v.into()))
+    }
+    pub fn le(table: &Table, column: &str, v: impl Into<Value>) -> Result<Predicate> {
+        Ok(Predicate::Le(Self::col(table, column)?, v.into()))
+    }
+    pub fn gt(table: &Table, column: &str, v: impl Into<Value>) -> Result<Predicate> {
+        Ok(Predicate::Gt(Self::col(table, column)?, v.into()))
+    }
+    pub fn ge(table: &Table, column: &str, v: impl Into<Value>) -> Result<Predicate> {
+        Ok(Predicate::Ge(Self::col(table, column)?, v.into()))
+    }
     pub fn between(
         table: &Table,
         column: &str,

@@ -175,13 +175,16 @@ impl Cas {
 
     /// Normalized forms of all tokens, in order.
     pub fn token_norms(&self) -> Vec<&str> {
-        self.annotations
-            .iter()
-            .filter_map(|a| match &a.kind {
-                AnnotationKind::Token { normalized } => Some(normalized.as_str()),
-                _ => None,
-            })
-            .collect()
+        self.token_norms_iter().collect()
+    }
+
+    /// Normalized token forms as a borrowing iterator — the allocation-free
+    /// variant of [`Cas::token_norms`] for the feature-extraction hot path.
+    pub fn token_norms_iter(&self) -> impl Iterator<Item = &str> {
+        self.annotations.iter().filter_map(|a| match &a.kind {
+            AnnotationKind::Token { normalized } => Some(normalized.as_str()),
+            _ => None,
+        })
     }
 
     /// Concept mentions, in order.
@@ -265,6 +268,7 @@ mod tests {
         assert_eq!(c.annotations().len(), 2);
         assert_eq!(c.tokens().count(), 1);
         assert_eq!(c.token_norms(), vec!["radio"]);
+        assert_eq!(c.token_norms_iter().count(), 1);
         assert_eq!(c.covered_text(&c.annotations()[0]), "radio");
         assert_eq!(c.stopword_spans(), vec![(6, 11)]);
         assert_eq!(c.annotations_of("Token").count(), 1);

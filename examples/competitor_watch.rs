@@ -30,14 +30,14 @@ fn main() {
     // Bag-of-concepts is the cross-source model: multilingual, text-type
     // independent (§5.4).
     println!("\ntraining bag-of-concepts service ...");
-    let mut service = RecommendationService::train(
+    let service = RecommendationService::train(
         &corpus,
         FeatureModel::BagOfConcepts,
         SimilarityMeasure::Jaccard,
     );
 
     let internal = corpus.bundles.iter().filter_map(|b| b.error_code.clone());
-    let report = compare_with_complaints(&mut service, internal, &complaints, 3);
+    let report = compare_with_complaints(&service, internal, &complaints, 3);
 
     println!("\nerror-code distribution, top 3 + Other (Fig. 14 screen):\n");
     print!("{}", report.render());

@@ -18,7 +18,7 @@ fn main() {
 
     // Train the domain-specific (bag-of-concepts) recommendation service.
     println!("training recommendation service ...");
-    let mut service = RecommendationService::train(
+    let service = RecommendationService::train(
         &corpus,
         FeatureModel::BagOfConcepts,
         SimilarityMeasure::Jaccard,

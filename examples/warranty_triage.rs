@@ -21,7 +21,7 @@ fn main() {
     users.add("intern", Role::Viewer).unwrap();
 
     // the recommender, trained on the historical corpus
-    let mut service = RecommendationService::train(
+    let service = RecommendationService::train(
         &corpus,
         FeatureModel::BagOfConcepts,
         SimilarityMeasure::Jaccard,

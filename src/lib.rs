@@ -24,13 +24,14 @@
 //! let corpus = Corpus::generate(CorpusConfig::small(42));
 //!
 //! // 2. train the recommendation service on it
-//! let mut service = RecommendationService::train(
+//! let service = RecommendationService::train(
 //!     &corpus,
 //!     FeatureModel::BagOfConcepts,
 //!     SimilarityMeasure::Jaccard,
 //! );
 //!
-//! // 3. ask for error-code suggestions for a data bundle
+//! // 3. ask for error-code suggestions for a data bundle — the serving path
+//! //    is `&self` and safe to share across threads (DESIGN.md §8)
 //! let suggestions = service.suggest(&corpus.bundles[0]);
 //! assert!(suggestions.top.len() <= TOP_SUGGESTIONS);
 //! ```

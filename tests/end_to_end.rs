@@ -53,7 +53,7 @@ fn service_workflow_assignment_roundtrip() {
     let mut users = UserRegistry::new();
     users.add("anna", Role::QualityExpert).unwrap();
 
-    let mut svc =
+    let svc =
         RecommendationService::train(&c, FeatureModel::BagOfConcepts, SimilarityMeasure::Jaccard);
     let mut db = Database::new();
 
@@ -121,10 +121,10 @@ fn nhtsa_comparison_produces_renderable_report() {
             ..NhtsaConfig::default()
         },
     );
-    let mut svc =
+    let svc =
         RecommendationService::train(&c, FeatureModel::BagOfConcepts, SimilarityMeasure::Jaccard);
     let internal = c.bundles.iter().filter_map(|b| b.error_code.clone());
-    let report = compare_with_complaints(&mut svc, internal, &complaints, 3);
+    let report = compare_with_complaints(&svc, internal, &complaints, 3);
     let text = report.render();
     assert!(text.contains("Other"));
     assert!(report.left.total > 0 && report.right.total > 0);

@@ -1,0 +1,194 @@
+//! Concurrency guarantees of the freeze-and-share snapshot architecture
+//! (DESIGN.md §8): many reader threads over one shared
+//! [`KnowledgeSnapshot`] see exactly the sequential results, and epoch swaps
+//! never tear in-flight readers.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+use qatk_core::prelude::*;
+use qatk_corpus::bundle::DataBundle;
+use qatk_corpus::generator::{Corpus, CorpusConfig};
+use quest::service::{RecommendationService, Suggestions};
+
+fn service(seed: u64) -> (Corpus, RecommendationService) {
+    let corpus = Corpus::generate(CorpusConfig::small(seed));
+    let svc = RecommendationService::train(
+        &corpus,
+        FeatureModel::BagOfWords,
+        SimilarityMeasure::Jaccard,
+    );
+    (corpus, svc)
+}
+
+/// Eight threads suggesting concurrently over one shared service (one shared
+/// `Arc<KnowledgeSnapshot>` underneath) produce exactly the sequential
+/// answers, bundle by bundle.
+#[test]
+fn concurrent_suggest_matches_sequential_exactly() {
+    const THREADS: usize = 8;
+    let (corpus, svc) = service(99);
+    let worklist: Vec<&DataBundle> = corpus.bundles.iter().take(64).collect();
+
+    let sequential: Vec<Suggestions> = worklist.iter().map(|b| svc.suggest(b)).collect();
+
+    // every thread walks the whole worklist with a stride offset, so each
+    // bundle is suggested by all eight threads at overlapping times
+    let concurrent: Vec<Vec<Suggestions>> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let svc = &svc;
+                let worklist = &worklist;
+                scope.spawn(move || {
+                    (0..worklist.len())
+                        .map(|i| svc.suggest(worklist[(i + t) % worklist.len()]))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    for (t, results) in concurrent.iter().enumerate() {
+        for (i, got) in results.iter().enumerate() {
+            let expected = &sequential[(i + t) % worklist.len()];
+            assert_eq!(got, expected, "thread {t} diverged at position {i}");
+        }
+    }
+}
+
+/// A reader that pinned a snapshot before a swap keeps getting the old
+/// epoch's answers — even while another thread publishes new epochs — and
+/// the fallback code lists it hands out stay internally consistent.
+#[test]
+fn pinned_readers_survive_concurrent_epoch_swaps() {
+    let (corpus, svc) = service(7);
+    let probe = corpus.bundles[0].clone();
+    let code = probe.error_code.clone().unwrap();
+    let pinned = svc.snapshot();
+    let baseline = svc.suggest_on(&pinned, &probe);
+    let stop = Arc::new(AtomicBool::new(false));
+
+    thread::scope(|scope| {
+        // writer: a stream of learn publishes, each a new epoch
+        let writer_stop = Arc::clone(&stop);
+        let writer_svc = &svc;
+        let writer_probe = probe.clone();
+        let writer = scope.spawn(move || {
+            let mut published = 0u64;
+            while !writer_stop.load(Ordering::Relaxed) {
+                let mut fresh = writer_probe.clone();
+                fresh.reference_number = format!("R-SWAP-{published}");
+                fresh.supplier_report =
+                    format!("previously unseen narrative token zz{published}qx");
+                writer_svc.learn(&fresh, &code);
+                published += 1;
+            }
+            published
+        });
+
+        // readers: half pinned to the pre-swap snapshot, half live
+        let readers: Vec<_> = (0..8)
+            .map(|t| {
+                let stop = Arc::clone(&stop);
+                let svc = &svc;
+                let pinned = Arc::clone(&pinned);
+                let baseline = &baseline;
+                let probe = &probe;
+                scope.spawn(move || {
+                    let mut reads = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        if t % 2 == 0 {
+                            // pinned reader: answers frozen at the old epoch
+                            let s = svc.suggest_on(&pinned, probe);
+                            assert_eq!(&s, baseline, "pinned reader saw a torn snapshot");
+                        } else {
+                            // live reader: whatever epoch is current, the
+                            // result must be self-consistent
+                            let s = svc.suggest(probe);
+                            for sc in &s.top {
+                                assert!(
+                                    s.all_codes_for_part.contains(&sc.code),
+                                    "suggested code missing from its own epoch's code list"
+                                );
+                            }
+                        }
+                        reads += 1;
+                    }
+                    reads
+                })
+            })
+            .collect();
+
+        // let the race run for a bounded number of publishes
+        while !stop.load(Ordering::Relaxed) {
+            if svc.epoch() >= 20 {
+                stop.store(true, Ordering::Relaxed);
+            }
+            thread::yield_now();
+        }
+
+        let published = writer.join().unwrap();
+        assert!(published >= 20, "writer only published {published} epochs");
+        for r in readers {
+            assert!(r.join().unwrap() > 0, "reader never completed a read");
+        }
+    });
+
+    // the pinned snapshot is still epoch 0 after all that churn
+    assert_eq!(pinned.epoch(), 0);
+    assert_eq!(svc.suggest_on(&pinned, &probe), baseline);
+}
+
+/// learn → swap → visibility: the instance a quality expert just taught is
+/// recommendable on the very next suggest, and the epoch advanced exactly
+/// once per publish.
+#[test]
+fn learned_instance_visible_immediately_after_swap() {
+    let (corpus, svc) = service(42);
+    assert_eq!(svc.epoch(), 0);
+    let kb0 = svc.kb_len();
+
+    let mut fresh = corpus.bundles[0].clone();
+    fresh.reference_number = "R-VIS".into();
+    fresh.supplier_report =
+        "completely novel failure narrative visibilityprobe qq41 detected".into();
+    let code = corpus.bundles[0].error_code.clone().unwrap();
+
+    assert!(svc.learn(&fresh, &code));
+    assert_eq!(svc.epoch(), 1);
+    assert_eq!(svc.kb_len(), kb0 + 1);
+
+    // a near-duplicate of the taught bundle now surfaces the taught code
+    let mut similar = fresh.clone();
+    similar.reference_number = "R-VIS-2".into();
+    let s = svc.suggest(&similar);
+    assert!(
+        s.top.iter().any(|sc| sc.code == code),
+        "taught code absent right after the swap"
+    );
+
+    // re-teaching the identical configuration publishes (epoch moves) but
+    // dedups the instance
+    assert!(!svc.learn(&fresh, &code));
+    assert_eq!(svc.kb_len(), kb0 + 1);
+}
+
+/// The frozen-vocabulary rule: tokens unseen at seal time are dropped from
+/// queries, so padding a bundle with out-of-vocabulary noise cannot change
+/// its ranking.
+#[test]
+fn out_of_vocabulary_noise_never_changes_rankings() {
+    let (corpus, svc) = service(5);
+    let clean = &corpus.bundles[1];
+    let baseline = svc.suggest(clean);
+
+    let mut noisy = clean.clone();
+    noisy.mechanic_report = format!(
+        "{} xqzzyv blorptang vexfluzz nonceword9981",
+        noisy.mechanic_report
+    );
+    let with_noise = svc.suggest(&noisy);
+    assert_eq!(with_noise.top, baseline.top);
+}

@@ -105,7 +105,7 @@ fn complaint_flat_files_roundtrip_through_store_csv() {
     let reloaded = complaints_from_csv(&std::fs::read_to_string(&path).unwrap()).unwrap();
     assert_eq!(reloaded, complaints);
 
-    let mut svc = RecommendationService::train(
+    let svc = RecommendationService::train(
         &corpus,
         FeatureModel::BagOfConcepts,
         SimilarityMeasure::Jaccard,
