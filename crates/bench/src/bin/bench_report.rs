@@ -2,8 +2,9 @@
 //!
 //! Runs fixed micro-benchmarks over the hot paths metered by `qatk-obs`
 //! (classify_batch, the rank kernel, concurrent `&self` suggest over one
-//! shared snapshot, concept annotation, tokenization, WAL appends), writes a
-//! `BENCH_PR3.json` report, and — with `--check baseline.json` — fails if
+//! shared snapshot, concept annotation, tokenization, WAL appends — both
+//! OS-buffered and fsync-per-batch), writes a
+//! `BENCH_PR4.json` report, and — with `--check baseline.json` — fails if
 //! any benchmark's median regressed more than 25% against the checked-in
 //! baseline. It also measures the observability
 //! overhead on `classify_batch` by interleaving enabled/disabled samples of
@@ -225,7 +226,7 @@ fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
 
 fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let out_path = flag_value(&args, "--out").unwrap_or("BENCH_PR3.json");
+    let out_path = flag_value(&args, "--out").unwrap_or("BENCH_PR4.json");
     let check_path = flag_value(&args, "--check");
     let seed: u64 = flag_value(&args, "--seed")
         .map(|s| s.parse().map_err(|_| format!("bad --seed `{s}`")))
@@ -345,6 +346,27 @@ fn run() -> Result<(), String> {
     }));
     drop(wal);
     let _ = std::fs::remove_file(&wal_path);
+
+    eprintln!("benchmarking wal_append_fsync (SyncPolicy::Always) ...");
+    let fsync_path = std::env::temp_dir().join(format!(
+        "qatk_bench_report_{}_fsync.wal",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&fsync_path);
+    let mut fsync_wal =
+        WalWriter::open_with(&fsync_path, SyncPolicy::Always).map_err(|e| e.to_string())?;
+    // few items and samples: every append pays a real sync_data, so one
+    // sample is already milliseconds on spinning metal and the gate only
+    // needs the order of magnitude
+    benches.push(bench("wal_append_fsync", 8, 1, 12, || {
+        for _ in 0..8 {
+            fsync_wal
+                .append(&record)
+                .expect("temp wal fsync append succeeds");
+        }
+    }));
+    drop(fsync_wal);
+    let _ = std::fs::remove_file(&fsync_path);
 
     eprintln!("measuring observability overhead on classify_batch ...");
     let obs_overhead_pct = measure_obs_overhead(&knn, &kb, &queries);

@@ -8,6 +8,7 @@
 //! quest compare [--small] [--seed N]              Fig. 14 cross-source comparison
 //! quest demo                                      end-to-end workflow walkthrough
 //! quest metrics [--seed N] [--batch N] [--json]   run a probe workload, dump metrics
+//! quest recover --db FILE --wal FILE              recover a store, report the outcome
 //! ```
 
 use std::process::ExitCode;
@@ -31,6 +32,7 @@ fn main() -> ExitCode {
         "compare" => cmd_compare(rest),
         "demo" => cmd_demo(),
         "metrics" => cmd_metrics(rest),
+        "recover" => cmd_recover(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -46,14 +48,16 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: quest <generate|stats|suggest|compare|demo|metrics> [options]
+const USAGE: &str = "usage: quest <generate|stats|suggest|compare|demo|metrics|recover> [options]
   generate [--small] [--seed N] --db FILE   generate a corpus, persist to FILE
   stats --db FILE                           data statistics (paper §3.2)
   suggest --db FILE --ref REFNO             top-10 suggestions for one bundle
   compare [--small] [--seed N]              error distribution vs NHTSA (§5.4)
   demo                                      guided end-to-end walkthrough
   metrics [--seed N] [--batch N] [--json]   probe workload + metrics snapshot
-                                            (Prometheus text; --json for JSON)";
+                                            (Prometheus text; --json for JSON)
+  recover --db FILE --wal FILE              recover snapshot + WAL segments,
+                                            report replay/torn-tail outcome";
 
 fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
     args.iter()
@@ -238,6 +242,41 @@ fn cmd_metrics(args: &[String]) -> Result<(), String> {
         println!("{}", registry.render_json());
     } else {
         print!("{}", registry.render_prometheus());
+    }
+    Ok(())
+}
+
+fn cmd_recover(args: &[String]) -> Result<(), String> {
+    let db_path = flag_value(args, "--db").ok_or("recover needs --db FILE")?;
+    let wal_path = flag_value(args, "--wal").ok_or("recover needs --wal FILE")?;
+    let (store, report) = LoggedDatabase::open(db_path, wal_path, SyncPolicy::Always)
+        .map_err(|e| format!("recovery failed: {e}"))?;
+    println!(
+        "snapshot loaded:    {}",
+        if report.snapshot_loaded {
+            "yes"
+        } else {
+            "no (fresh store)"
+        }
+    );
+    println!("replay from epoch:  {}", report.replay_from);
+    println!("segments replayed:  {}", report.segments_replayed);
+    println!("records replayed:   {}", report.records_replayed);
+    println!(
+        "torn tail:          {}",
+        if report.torn_tail {
+            "yes (truncated to last intact record)"
+        } else {
+            "no"
+        }
+    );
+    let db = store.db();
+    let mut tables: Vec<&str> = db.table_names();
+    tables.sort_unstable();
+    println!("tables:             {}", tables.len());
+    for name in tables {
+        let rows = db.table(name).map(|t| t.len()).unwrap_or(0);
+        println!("  {name}: {rows} rows");
     }
     Ok(())
 }

@@ -103,25 +103,34 @@ pub fn run_metrics_probe(seed: u64, batch_size: usize) -> ProbeSummary {
     });
     assert!(rolled_back.is_err(), "duplicate key must fail the txn");
 
-    // WAL mirroring (append + flush latency path)
-    let wal_path = std::env::temp_dir().join(format!(
-        "qatk_metrics_probe_{}_{}.wal",
+    // WAL mirroring through the crash-safe path: open with a snapshot,
+    // checkpoint the DDL, group-commit the inserts, then recover the store
+    // after a clean shutdown so the durability counters (syncs, checkpoints,
+    // replayed records) move alongside append/flush latency.
+    let probe_dir = std::env::temp_dir().join(format!(
+        "qatk_metrics_probe_{}_{}",
         std::process::id(),
         seed
     ));
-    let _ = std::fs::remove_file(&wal_path);
-    let mut wal_db = Database::new();
+    let _ = std::fs::remove_dir_all(&probe_dir);
+    std::fs::create_dir_all(&probe_dir).expect("temp dir is writable for the probe WAL");
+    let snap_path = probe_dir.join("probe.qdb");
+    let wal_path = probe_dir.join("probe.wal");
+    let (mut logged, _fresh) = LoggedDatabase::open(&snap_path, &wal_path, SyncPolicy::EveryN(8))
+        .expect("fresh probe store opens");
     let schema = SchemaBuilder::new()
         .pk("id", DataType::Int)
         .col("reference_number", DataType::Text)
         .col("top_code", DataType::Text)
         .build()
         .expect("probe schema is valid");
-    wal_db
+    logged
         .create_table("suggestion_log", schema)
         .expect("fresh database accepts the table");
-    let mut logged =
-        LoggedDatabase::new(wal_db, &wal_path).expect("temp dir is writable for the probe WAL");
+    // snapshot the DDL so replay starts from a store that has the table
+    logged
+        .checkpoint()
+        .expect("probe checkpoint writes to the temp dir");
     let mut wal_records = 0;
     for (i, s) in suggestions.iter().enumerate().take(64) {
         let top_code = s.top.first().map(|sc| sc.code.clone()).unwrap_or_default();
@@ -133,7 +142,25 @@ pub fn run_metrics_probe(seed: u64, batch_size: usize) -> ProbeSummary {
             .expect("probe WAL insert succeeds");
         wal_records += 1;
     }
-    let _ = std::fs::remove_file(&wal_path);
+    logged.sync().expect("probe WAL syncs");
+    drop(logged);
+    // recover the store (snapshot + log replay) so the recovery path is
+    // metered too; the replayed rows must match what was acked above
+    let (recovered, report) = LoggedDatabase::open(&snap_path, &wal_path, SyncPolicy::EveryN(8))
+        .expect("probe store recovers after clean shutdown");
+    assert!(report.snapshot_loaded, "probe checkpoint left a snapshot");
+    assert!(!report.torn_tail, "clean shutdown leaves no torn tail");
+    assert_eq!(
+        recovered
+            .db()
+            .table("suggestion_log")
+            .map(|t| t.len())
+            .unwrap_or(0),
+        wal_records,
+        "recovery replays every acked probe record"
+    );
+    drop(recovered);
+    let _ = std::fs::remove_dir_all(&probe_dir);
 
     // online learning: one direct learn plus a batched enqueue → publish, so
     // the epoch gauge, swap counter and pending-delta gauge all move. The
@@ -208,6 +235,12 @@ mod tests {
         assert!(hist_count("qatk_store_wal_flush_latency_ns") > 0);
         assert!(counter("qatk_store_txn_commits_total") > 0);
         assert!(counter("qatk_store_txn_rollbacks_total") > 0);
+
+        // store durability layer: the probe checkpoints, syncs under
+        // EveryN(8) group commit, and recovers the store before cleanup
+        assert!(counter("qatk_store_wal_syncs_total") > 0);
+        assert!(counter("qatk_store_checkpoints_total") > 0);
+        assert!(counter("qatk_store_recovery_replayed_total") as usize >= summary.wal_records);
 
         // quest service layer
         assert!(counter("qatk_quest_suggest_total") > 0);

@@ -3,7 +3,8 @@
 //! The format is deliberately simple and versioned:
 //!
 //! ```text
-//! snapshot  := magic("QATKSTOR") version:u32 table_count:u32 table* checksum:u64
+//! snapshot  := magic("QATKSTOR") version:u32 wal_replay_from:u64
+//!              table_count:u32 table* checksum:u64
 //! table     := name schema index_count:u32 index_spec* row_count:u64 row*
 //! schema    := arity:u16 pk:u16 column*
 //! column    := name ty:u8 flags:u8          (flags: bit0 nullable, bit1 unique)
@@ -25,7 +26,9 @@ use crate::table::Table;
 use crate::value::{DataType, Value};
 
 pub(crate) const MAGIC: &[u8; 8] = b"QATKSTOR";
-pub(crate) const VERSION: u32 = 1;
+/// Snapshot format version. V2 added the `wal_replay_from` watermark (the
+/// first WAL epoch a recovery must replay on top of this snapshot).
+pub(crate) const VERSION: u32 = 2;
 
 const TAG_NULL: u8 = 0;
 const TAG_BOOL: u8 = 1;
@@ -204,6 +207,42 @@ pub(crate) fn put_table(out: &mut Vec<u8>, table: &Table) {
     }
     out.put_u64_le(table.len() as u64);
     for row in table.scan() {
+        for v in row.values() {
+            put_value(out, v);
+        }
+    }
+}
+
+/// Like [`put_table`] but rows are emitted in primary-key order (by encoded
+/// key bytes) instead of physical slot order. The slotted heap reuses freed
+/// slots, so two logically identical tables that took different
+/// insert/delete paths encode differently under [`put_table`]; the canonical
+/// form is what durability tests compare byte-for-byte.
+pub(crate) fn put_table_canonical(out: &mut Vec<u8>, table: &Table) {
+    put_str(out, table.name());
+    put_schema(out, table.schema());
+    let mut specs = table.index_specs();
+    specs.sort();
+    out.put_u32_le(specs.len() as u32);
+    for (name, column, kind) in &specs {
+        put_str(out, name);
+        put_str(out, column);
+        out.put_u8(match kind {
+            IndexKind::Hash => 0,
+            IndexKind::Ordered => 1,
+        });
+    }
+    out.put_u64_le(table.len() as u64);
+    let pk = table.schema().pk_index();
+    let mut rows: Vec<_> = table.scan().collect();
+    rows.sort_by_cached_key(|row| {
+        let mut key = Vec::new();
+        if let Some(v) = row.get(pk) {
+            put_value(&mut key, v);
+        }
+        key
+    });
+    for row in rows {
         for v in row.values() {
             put_value(out, v);
         }

@@ -43,6 +43,9 @@ pub enum StoreError {
     Io(String),
     /// Schema-level misuse, e.g. empty schema or bad primary-key position.
     InvalidSchema(String),
+    /// A failpoint fired (only produced by tests with the `failpoints`
+    /// feature; carries the site name).
+    Injected(String),
 }
 
 impl fmt::Display for StoreError {
@@ -87,6 +90,7 @@ impl fmt::Display for StoreError {
             StoreError::Corrupt(msg) => write!(f, "corrupt snapshot: {msg}"),
             StoreError::Io(msg) => write!(f, "i/o error: {msg}"),
             StoreError::InvalidSchema(msg) => write!(f, "invalid schema: {msg}"),
+            StoreError::Injected(site) => write!(f, "injected failure at failpoint `{site}`"),
         }
     }
 }
@@ -150,6 +154,7 @@ mod tests {
             StoreError::Corrupt("bad magic".into()),
             StoreError::Io("disk".into()),
             StoreError::InvalidSchema("empty".into()),
+            StoreError::Injected("wal.append.before_sync".into()),
         ];
         for c in cases {
             assert!(!c.to_string().is_empty());

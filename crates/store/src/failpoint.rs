@@ -1,0 +1,156 @@
+//! Zero-dependency failpoints for crash-safety testing (fail-rs style).
+//!
+//! A *failpoint* is a named site inside the storage engine's durability
+//! paths where tests can inject a failure to simulate a crash at exactly
+//! that point: [`check`] returns [`StoreError::Injected`], the caller
+//! unwinds without executing the protected action, and the on-disk state is
+//! left exactly as a kill at that instant would leave it. The crash-point
+//! recovery harness (`tests/store_durability.rs` at the workspace root)
+//! arms every site in turn and asserts that recovery restores the
+//! acknowledged prefix.
+//!
+//! ## Sites
+//!
+//! | site | crash simulated |
+//! |------|-----------------|
+//! | `wal.append.before_write`    | before any log byte reaches the file |
+//! | `wal.append.before_sync`     | log bytes in the OS page cache, not fsynced |
+//! | `wal.append.after_sync`      | record durable, operation not yet acknowledged |
+//! | `persist.write_tmp`          | before the snapshot temp file is written |
+//! | `persist.sync_tmp`           | temp file written but not fsynced |
+//! | `persist.rename`             | temp file durable, rename not executed |
+//! | `checkpoint.begin`           | before anything happens |
+//! | `checkpoint.mid_rotate`      | log sealed + rotated, snapshot not yet written |
+//! | `checkpoint.before_truncate` | new snapshot durable, old segments not yet deleted |
+//!
+//! ## Overhead
+//!
+//! Without the `failpoints` cargo feature every [`check`] compiles to an
+//! inlined `Ok(())` — release builds carry zero overhead. With the feature
+//! enabled but no site armed, a check is one relaxed atomic load.
+//!
+//! ## One-shot semantics
+//!
+//! An armed site fires once — after an optional number of free passes — and
+//! disarms itself, so recovery code running in the same process does not
+//! re-trip the site that "crashed" the writer. Tests should still call
+//! [`disarm_all`] in their cleanup to drop sites that never fired.
+
+#[cfg(not(feature = "failpoints"))]
+use crate::error::Result;
+
+/// Pass through an armed failpoint. Compiled to `Ok(())` without the
+/// `failpoints` feature.
+#[cfg(not(feature = "failpoints"))]
+#[inline(always)]
+pub fn check(_site: &str) -> Result<()> {
+    Ok(())
+}
+
+#[cfg(feature = "failpoints")]
+pub use enabled::{arm, armed, check, disarm, disarm_all};
+
+#[cfg(feature = "failpoints")]
+mod enabled {
+    use std::collections::HashMap;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+
+    use crate::error::{Result, StoreError};
+
+    /// Number of currently armed sites — the fast path reads only this.
+    static ARMED: AtomicUsize = AtomicUsize::new(0);
+
+    /// site name → remaining free passes before it fires.
+    fn sites() -> MutexGuard<'static, HashMap<String, usize>> {
+        static SITES: OnceLock<Mutex<HashMap<String, usize>>> = OnceLock::new();
+        SITES
+            .get_or_init(Mutex::default)
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Arm `site` to fail its `(skip + 1)`-th [`check`] (so `skip = 0` fails
+    /// the next pass). One-shot: the site disarms itself when it fires.
+    pub fn arm(site: &str, skip: usize) {
+        let mut map = sites();
+        map.insert(site.to_owned(), skip);
+        ARMED.store(map.len(), Ordering::Relaxed);
+    }
+
+    /// Disarm one site (no-op if it is not armed).
+    pub fn disarm(site: &str) {
+        let mut map = sites();
+        map.remove(site);
+        ARMED.store(map.len(), Ordering::Relaxed);
+    }
+
+    /// Disarm every site.
+    pub fn disarm_all() {
+        let mut map = sites();
+        map.clear();
+        ARMED.store(0, Ordering::Relaxed);
+    }
+
+    /// Number of currently armed sites.
+    pub fn armed() -> usize {
+        ARMED.load(Ordering::Relaxed)
+    }
+
+    /// Pass through `site`: errors with [`StoreError::Injected`] if the site
+    /// is armed and out of free passes, disarming it in the same step.
+    pub fn check(site: &str) -> Result<()> {
+        if ARMED.load(Ordering::Relaxed) == 0 {
+            return Ok(());
+        }
+        let mut map = sites();
+        match map.get_mut(site) {
+            None => Ok(()),
+            Some(0) => {
+                map.remove(site);
+                ARMED.store(map.len(), Ordering::Relaxed);
+                Err(StoreError::Injected(site.to_owned()))
+            }
+            Some(n) => {
+                *n -= 1;
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(all(test, feature = "failpoints"))]
+mod tests {
+    use super::*;
+    use crate::error::StoreError;
+
+    #[test]
+    fn one_shot_with_free_passes() {
+        disarm_all();
+        arm("test.site", 2);
+        assert_eq!(armed(), 1);
+        assert!(check("test.site").is_ok());
+        assert!(check("other.site").is_ok());
+        assert!(check("test.site").is_ok());
+        assert!(matches!(
+            check("test.site"),
+            Err(StoreError::Injected(ref s)) if s == "test.site"
+        ));
+        // fired once, then disarmed
+        assert_eq!(armed(), 0);
+        assert!(check("test.site").is_ok());
+    }
+
+    #[test]
+    fn disarm_clears_without_firing() {
+        disarm_all();
+        arm("a", 0);
+        arm("b", 0);
+        assert_eq!(armed(), 2);
+        disarm("a");
+        assert!(check("a").is_ok());
+        assert!(check("b").is_err());
+        disarm_all();
+        assert_eq!(armed(), 0);
+    }
+}

@@ -44,6 +44,7 @@ pub mod codec;
 pub mod csv;
 pub mod db;
 pub mod error;
+pub mod failpoint;
 pub mod index;
 pub mod join;
 pub mod metrics;
@@ -65,6 +66,7 @@ pub mod prelude {
     pub use crate::error::{Result as StoreResult, StoreError};
     pub use crate::index::IndexKind;
     pub use crate::join::{Join, JoinKind};
+    pub use crate::persist::SnapshotMeta;
     pub use crate::predicate::Predicate;
     pub use crate::query::{AccessPath, Cond, Query, SortOrder};
     pub use crate::row;
@@ -72,7 +74,9 @@ pub mod prelude {
     pub use crate::schema::{ColumnDef, Schema, SchemaBuilder};
     pub use crate::table::Table;
     pub use crate::value::{DataType, Value};
-    pub use crate::wal::{read_log, replay, LoggedDatabase, WalRecord, WalWriter};
+    pub use crate::wal::{
+        read_log, replay, LoggedDatabase, RecoveryReport, SyncPolicy, WalRecord, WalWriter,
+    };
 }
 
 pub use prelude::*;

@@ -17,6 +17,14 @@ pub struct StoreMetrics {
     pub txn_commits_total: &'static Counter,
     /// Transactions rolled back.
     pub txn_rollbacks_total: &'static Counter,
+    /// `fdatasync` calls issued on the WAL file (see `SyncPolicy`).
+    pub wal_syncs_total: &'static Counter,
+    /// Completed checkpoints (snapshot + log rotation + truncation).
+    pub checkpoints_total: &'static Counter,
+    /// WAL records replayed during recovery.
+    pub recovery_replayed_total: &'static Counter,
+    /// Recoveries that truncated a torn tail off the active log.
+    pub recovery_torn_tail_total: &'static Counter,
 }
 
 /// The store-layer metric handles (registered on first use).
@@ -40,6 +48,22 @@ pub fn metrics() -> &'static StoreMetrics {
             txn_commits_total: r.counter("qatk_store_txn_commits_total", "transactions committed"),
             txn_rollbacks_total: r
                 .counter("qatk_store_txn_rollbacks_total", "transactions rolled back"),
+            wal_syncs_total: r.counter(
+                "qatk_store_wal_syncs_total",
+                "fdatasync calls issued on the WAL file",
+            ),
+            checkpoints_total: r.counter(
+                "qatk_store_checkpoints_total",
+                "completed checkpoints (snapshot + rotation + truncation)",
+            ),
+            recovery_replayed_total: r.counter(
+                "qatk_store_recovery_replayed_total",
+                "WAL records replayed during recovery",
+            ),
+            recovery_torn_tail_total: r.counter(
+                "qatk_store_recovery_torn_tail_total",
+                "recoveries that truncated a torn tail off the active log",
+            ),
         }
     })
 }

@@ -4,9 +4,16 @@
 //! The paper's prototype keeps raw report data, knowledge bases and
 //! classification results in a relational database; snapshots give our
 //! embedded engine the equivalent durability for batch analytics workloads.
+//!
+//! Snapshots are written *atomically*: the bytes go to a `<name>.tmp`
+//! sibling first, the temp file is fsynced, renamed over the target, and the
+//! parent directory is fsynced so the rename itself is durable. A crash at
+//! any point leaves either the old snapshot or the new one — never a torn
+//! file. Each snapshot also embeds a [`SnapshotMeta`] watermark telling
+//! recovery which WAL epoch to start replaying from (see `wal.rs`).
 
 use std::fs::File;
-use std::io::{BufReader, BufWriter, Read, Write};
+use std::io::{BufReader, Read, Write};
 use std::path::Path;
 
 use bytes::{Buf, BufMut};
@@ -14,13 +21,71 @@ use bytes::{Buf, BufMut};
 use crate::codec::{self, fnv1a, MAGIC, VERSION};
 use crate::db::Database;
 use crate::error::{Result, StoreError};
+use crate::failpoint;
+
+/// Recovery metadata embedded in every snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SnapshotMeta {
+    /// First WAL epoch that must be replayed on top of this snapshot.
+    /// Segments with a smaller epoch are already folded into the snapshot;
+    /// replaying them again would double-apply their operations.
+    pub wal_replay_from: u64,
+}
+
+/// Durably replace the file at `path` with `bytes`: write a `.tmp` sibling,
+/// fsync it, rename it over the target, fsync the parent directory.
+pub(crate) fn atomic_write(path: &Path, bytes: &[u8]) -> Result<()> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    let write = || -> Result<()> {
+        failpoint::check("persist.write_tmp")?;
+        let mut f = File::create(&tmp)?;
+        f.write_all(bytes)?;
+        failpoint::check("persist.sync_tmp")?;
+        f.sync_all()?;
+        drop(f);
+        failpoint::check("persist.rename")?;
+        std::fs::rename(&tmp, path)?;
+        sync_parent_dir(path)?;
+        Ok(())
+    };
+    let result = write();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// Fsync the directory containing `path` so a just-completed rename survives
+/// a crash. Directory fds are a Unix concept; elsewhere this is a no-op.
+pub(crate) fn sync_parent_dir(path: &Path) -> Result<()> {
+    #[cfg(unix)]
+    {
+        let parent = match path.parent() {
+            Some(p) if !p.as_os_str().is_empty() => p,
+            _ => Path::new("."),
+        };
+        File::open(parent)?.sync_all()?;
+    }
+    #[cfg(not(unix))]
+    let _ = path;
+    Ok(())
+}
 
 impl Database {
-    /// Serialize the database into a byte buffer.
+    /// Serialize the database into a byte buffer (with a default, zero
+    /// [`SnapshotMeta`] watermark).
     pub fn to_bytes(&self) -> Vec<u8> {
+        self.to_bytes_with(SnapshotMeta::default())
+    }
+
+    /// Serialize the database with an explicit recovery watermark.
+    pub fn to_bytes_with(&self, meta: SnapshotMeta) -> Vec<u8> {
         let mut out = Vec::with_capacity(4096);
         out.put_slice(MAGIC);
         out.put_u32_le(VERSION);
+        out.put_u64_le(meta.wal_replay_from);
         let tables = self.tables_sorted();
         out.put_u32_le(tables.len() as u32);
         for table in tables {
@@ -31,9 +96,33 @@ impl Database {
         out
     }
 
+    /// A physical-layout-independent encoding of the database: tables in
+    /// name order (as always) and rows in primary-key order rather than
+    /// heap-slot order. Two logically equal databases that took different
+    /// insert/delete paths produce identical canonical bytes, which is what
+    /// the crash-recovery harness compares.
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(4096);
+        out.put_slice(MAGIC);
+        out.put_u32_le(VERSION);
+        let tables = self.tables_sorted();
+        out.put_u32_le(tables.len() as u32);
+        for table in tables {
+            codec::put_table_canonical(&mut out, table);
+        }
+        let checksum = fnv1a(&out);
+        out.put_u64_le(checksum);
+        out
+    }
+
     /// Deserialize a database from bytes produced by [`Database::to_bytes`].
     pub fn from_bytes(data: &[u8]) -> Result<Self> {
-        if data.len() < MAGIC.len() + 4 + 4 + 8 {
+        Self::from_bytes_with(data).map(|(db, _)| db)
+    }
+
+    /// Deserialize a database plus its recovery watermark.
+    pub fn from_bytes_with(data: &[u8]) -> Result<(Self, SnapshotMeta)> {
+        if data.len() < MAGIC.len() + 4 + 8 + 4 + 8 {
             return Err(StoreError::Corrupt("snapshot too small".into()));
         }
         let (payload, checksum_bytes) = data.split_at(data.len() - 8);
@@ -57,6 +146,9 @@ impl Database {
                 "unsupported snapshot version {version} (expected {VERSION})"
             )));
         }
+        let meta = SnapshotMeta {
+            wal_replay_from: buf.get_u64_le(),
+        };
         let n_tables = buf.get_u32_le() as usize;
         let mut db = Database::new();
         for _ in 0..n_tables {
@@ -69,24 +161,32 @@ impl Database {
                 buf.remaining()
             )));
         }
-        Ok(db)
+        Ok((db, meta))
     }
 
-    /// Write a snapshot to a file (buffered, then flushed).
+    /// Write a snapshot to a file, atomically (temp file + fsync + rename +
+    /// directory fsync). A crash mid-save never destroys the previous
+    /// snapshot.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<()> {
-        let bytes = self.to_bytes();
-        let mut w = BufWriter::new(File::create(path)?);
-        w.write_all(&bytes)?;
-        w.flush()?;
-        Ok(())
+        self.save_with(path, SnapshotMeta::default())
+    }
+
+    /// Atomic save with an explicit recovery watermark.
+    pub fn save_with(&self, path: impl AsRef<Path>, meta: SnapshotMeta) -> Result<()> {
+        atomic_write(path.as_ref(), &self.to_bytes_with(meta))
     }
 
     /// Load a snapshot from a file.
     pub fn load(path: impl AsRef<Path>) -> Result<Self> {
+        Self::load_with(path).map(|(db, _)| db)
+    }
+
+    /// Load a snapshot plus its recovery watermark.
+    pub fn load_with(path: impl AsRef<Path>) -> Result<(Self, SnapshotMeta)> {
         let mut r = BufReader::new(File::open(path)?);
         let mut data = Vec::new();
         r.read_to_end(&mut data)?;
-        Database::from_bytes(&data)
+        Database::from_bytes_with(&data)
     }
 }
 
@@ -168,6 +268,71 @@ mod tests {
         let got = Database::load(&path).unwrap();
         assert_eq!(got.total_rows(), db.total_rows());
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn meta_watermark_roundtrips() {
+        let db = sample_db();
+        let meta = SnapshotMeta { wal_replay_from: 7 };
+        let bytes = db.to_bytes_with(meta);
+        let (got, got_meta) = Database::from_bytes_with(&bytes).unwrap();
+        assert_eq!(got_meta, meta);
+        assert_eq!(got.total_rows(), db.total_rows());
+        // default watermark is zero
+        let (_, m0) = Database::from_bytes_with(&db.to_bytes()).unwrap();
+        assert_eq!(m0.wal_replay_from, 0);
+    }
+
+    #[test]
+    fn atomic_save_leaves_no_tmp_and_replaces_in_one_step() {
+        let dir = std::env::temp_dir().join("qatk_store_persist_atomic");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.qdb");
+        let db = sample_db();
+        db.save(&path).unwrap();
+        // overwrite with a different database: old content fully replaced
+        let mut small = Database::new();
+        let schema = SchemaBuilder::new()
+            .pk("id", DataType::Int)
+            .build()
+            .unwrap();
+        small.create_table("only", schema).unwrap();
+        small.save(&path).unwrap();
+        let got = Database::load(&path).unwrap();
+        assert_eq!(got.table_names(), vec!["only"]);
+        assert!(!dir.join("snap.qdb.tmp").exists(), "tmp file left behind");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn canonical_bytes_ignore_heap_layout() {
+        let schema = || {
+            SchemaBuilder::new()
+                .pk("id", DataType::Int)
+                .col("v", DataType::Text)
+                .build()
+                .unwrap()
+        };
+        // db1: insert a,b,c, delete b, insert d → d reuses b's freed slot
+        let mut db1 = Database::new();
+        db1.create_table("t", schema()).unwrap();
+        for (i, v) in [(1i64, "a"), (2, "b"), (3, "c")] {
+            db1.insert("t", row![i, v.to_owned()]).unwrap();
+        }
+        db1.delete("t", &Value::Int(2)).unwrap();
+        db1.insert("t", row![4i64, "d".to_owned()]).unwrap();
+        // db2: same logical content inserted in pk order, no deletions
+        let mut db2 = Database::new();
+        db2.create_table("t", schema()).unwrap();
+        for (i, v) in [(1i64, "a"), (3, "c"), (4, "d")] {
+            db2.insert("t", row![i, v.to_owned()]).unwrap();
+        }
+        assert_ne!(
+            db1.to_bytes(),
+            db2.to_bytes(),
+            "physical encodings should differ (slot reuse)"
+        );
+        assert_eq!(db1.canonical_bytes(), db2.canonical_bytes());
     }
 
     #[test]

@@ -46,28 +46,29 @@ impl Database {
     }
 
     /// Roll back: undo every change of the active transaction, newest first.
+    /// A damaged undo log (e.g. a table dropped mid-transaction — DDL is
+    /// non-transactional) surfaces as an error instead of a panic, so a
+    /// recovery path that rolls back never aborts the process.
     pub fn rollback(&mut self) -> Result<()> {
         let log = self.txn.take().ok_or(StoreError::NoActiveTransaction)?;
         crate::metrics::metrics().txn_rollbacks_total.inc();
+        self.undo_all(log)
+    }
+
+    /// Apply a batch of undo operations, newest first, propagating failures.
+    /// Also used by `LoggedDatabase` to unstage a mutation whose WAL append
+    /// failed (write-ahead ordering: nothing stays applied unless logged).
+    pub(crate) fn undo_all(&mut self, log: Vec<UndoOp>) -> Result<()> {
         for op in log.into_iter().rev() {
             match op {
                 UndoOp::UnInsert { table, pk } => {
-                    self.table_mut(&table)
-                        .expect("logged table exists")
-                        .delete(&pk)
-                        .expect("logged insert is undoable");
+                    self.table_mut(&table)?.delete(&pk)?;
                 }
                 UndoOp::ReInsert { table, row } => {
-                    self.table_mut(&table)
-                        .expect("logged table exists")
-                        .insert(row)
-                        .expect("logged delete is undoable");
+                    self.table_mut(&table)?.insert(row)?;
                 }
                 UndoOp::Restore { table, pk, row } => {
-                    self.table_mut(&table)
-                        .expect("logged table exists")
-                        .update(&pk, row)
-                        .expect("logged update is undoable");
+                    self.table_mut(&table)?.update(&pk, row)?;
                 }
             }
         }
@@ -201,6 +202,18 @@ mod tests {
         });
         assert!(r.is_err());
         assert!(db.get("t", &Value::Int(9)).unwrap().is_none());
+        assert!(!db.in_transaction());
+    }
+
+    #[test]
+    fn rollback_with_damaged_undo_log_errors_instead_of_panicking() {
+        let mut db = db();
+        db.begin().unwrap();
+        db.insert("t", row![3i64, "three"]).unwrap();
+        // DDL is non-transactional: dropping the table invalidates the undo
+        // log. Rollback must report that, not panic mid-recovery.
+        db.drop_table("t").unwrap();
+        assert!(matches!(db.rollback(), Err(StoreError::NoSuchTable(_))));
         assert!(!db.in_transaction());
     }
 
