@@ -2,9 +2,10 @@
 //!
 //! Runs fixed micro-benchmarks over the hot paths metered by `qatk-obs`
 //! (classify_batch, the rank kernel, concurrent `&self` suggest over one
-//! shared snapshot, concept annotation, tokenization, WAL appends — both
+//! shared snapshot, the HTTP serving layer end-to-end over loopback,
+//! concept annotation, tokenization, WAL appends — both
 //! OS-buffered and fsync-per-batch), writes a
-//! `BENCH_PR4.json` report, and — with `--check baseline.json` — fails if
+//! `BENCH_PR6.json` report, and — with `--check baseline.json` — fails if
 //! any benchmark's median regressed more than 25% against the checked-in
 //! baseline. It also measures the observability
 //! overhead on `classify_batch` by interleaving enabled/disabled samples of
@@ -28,6 +29,12 @@
 //! `suggest_concurrent` measures eight threads sharing one published
 //! `KnowledgeSnapshot` through the `&self` serving path; its unit is one
 //! suggested bundle.
+//!
+//! `serve_rps` measures the whole wire path — loopback TCP, the qatk-serve
+//! parser and thread pool, QUEST JSON routing, and the snapshot query
+//! underneath — as a closed-loop `POST /suggest` load over four keep-alive
+//! connections; its unit is one served request, so `throughput` is requests
+//! per second.
 //!
 //! Run: `cargo run --release -p qatk-bench --bin bench_report -- [--out F] [--check BASELINE]`
 
@@ -226,7 +233,7 @@ fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
 
 fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let out_path = flag_value(&args, "--out").unwrap_or("BENCH_PR4.json");
+    let out_path = flag_value(&args, "--out").unwrap_or("BENCH_PR6.json");
     let check_path = flag_value(&args, "--check");
     let seed: u64 = flag_value(&args, "--seed")
         .map(|s| s.parse().map_err(|_| format!("bad --seed `{s}`")))
@@ -309,6 +316,56 @@ fn run() -> Result<(), String> {
             });
         },
     ));
+
+    eprintln!("benchmarking serve_rps (HTTP /suggest over loopback, 4 connections) ...");
+    let svc = std::sync::Arc::new(svc);
+    let app = std::sync::Arc::new(quest::serve_app::QuestApp::new(
+        std::sync::Arc::clone(&svc),
+        quest::serve_app::HealthInfo::default(),
+    ));
+    let server = qatk_serve::Server::bind(
+        "127.0.0.1:0",
+        qatk_serve::ServerConfig {
+            threads: 4,
+            ..qatk_serve::ServerConfig::default()
+        },
+        app,
+    )
+    .map_err(|e| format!("bind loopback for serve_rps: {e}"))?;
+    let serve_addr = server.local_addr().to_string();
+    let serve_templates: Vec<qatk_serve::RequestTemplate> = corpus
+        .bundles
+        .iter()
+        .take(64)
+        .map(|b| {
+            qatk_serve::RequestTemplate::post(
+                "/suggest",
+                format!(
+                    "{{\"part_id\":\"{}\",\"text\":\"{}\"}}",
+                    json::escape(&b.part_id),
+                    json::escape(&b.supplier_report)
+                ),
+            )
+        })
+        .collect();
+    const SERVE_REQUESTS: u64 = 256;
+    benches.push(bench("serve_rps", SERVE_REQUESTS, 1, 6, || {
+        let report = qatk_serve::loadgen::run(
+            &qatk_serve::LoadgenConfig {
+                addr: serve_addr.clone(),
+                connections: 4,
+                total_requests: SERVE_REQUESTS as usize,
+                mode: qatk_serve::Mode::Closed,
+                seed: 42,
+                timeout: std::time::Duration::from_secs(10),
+                collect_raw: false,
+            },
+            &serve_templates,
+        );
+        assert_eq!(report.failed, 0, "serve_rps bench dropped requests");
+        std::hint::black_box(report);
+    }));
+    server.shutdown();
 
     eprintln!("benchmarking annotate (bag-of-concepts pipeline) ...");
     let ann_bundles: Vec<_> = corpus.bundles.iter().take(32).collect();

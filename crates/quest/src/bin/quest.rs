@@ -9,6 +9,8 @@
 //! quest demo                                      end-to-end workflow walkthrough
 //! quest metrics [--seed N] [--batch N] [--json]   run a probe workload, dump metrics
 //! quest recover --db FILE --wal FILE              recover a store, report the outcome
+//! quest serve --addr HOST:PORT [--db F --wal F]   HTTP serving layer (DESIGN.md §10)
+//! quest loadgen --addr HOST:PORT [--qps N]        closed/open-loop load generator
 //! ```
 
 use std::process::ExitCode;
@@ -33,6 +35,8 @@ fn main() -> ExitCode {
         "demo" => cmd_demo(),
         "metrics" => cmd_metrics(rest),
         "recover" => cmd_recover(rest),
+        "serve" => cmd_serve(rest),
+        "loadgen" => cmd_loadgen(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -48,7 +52,8 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: quest <generate|stats|suggest|compare|demo|metrics|recover> [options]
+const USAGE: &str =
+    "usage: quest <generate|stats|suggest|compare|demo|metrics|recover|serve|loadgen> [options]
   generate [--small] [--seed N] --db FILE   generate a corpus, persist to FILE
   stats --db FILE                           data statistics (paper §3.2)
   suggest --db FILE --ref REFNO             top-10 suggestions for one bundle
@@ -57,7 +62,16 @@ const USAGE: &str = "usage: quest <generate|stats|suggest|compare|demo|metrics|r
   metrics [--seed N] [--batch N] [--json]   probe workload + metrics snapshot
                                             (Prometheus text; --json for JSON)
   recover --db FILE --wal FILE              recover snapshot + WAL segments,
-                                            report replay/torn-tail outcome";
+                                            report replay/torn-tail outcome
+  serve [--addr H:P] [--threads N] [--db FILE --wal FILE] [--seed N] [--small]
+                                            HTTP/1.1 serving layer: POST /suggest,
+                                            /classify_batch, /learn; GET /healthz,
+                                            /metrics. With --db/--wal, recovers the
+                                            store on boot; otherwise trains fresh
+  loadgen [--addr H:P] [--connections N] [--requests N] [--qps N] [--duration-secs S]
+          [--seed N] [--endpoint suggest|classify|mixed] [--small]
+                                            load generator: closed loop by default,
+                                            open loop at --qps; prints p50/p99/p999";
 
 fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
     args.iter()
@@ -244,6 +258,216 @@ fn cmd_metrics(args: &[String]) -> Result<(), String> {
         print!("{}", registry.render_prometheus());
     }
     Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let addr = flag_value(args, "--addr").unwrap_or("127.0.0.1:7419");
+    let threads: usize = flag_value(args, "--threads")
+        .map(|s| s.parse().map_err(|_| format!("bad --threads `{s}`")))
+        .transpose()?
+        .unwrap_or(4);
+    let config = corpus_config(args);
+    eprintln!("generating corpus ({} bundles) ...", config.n_bundles);
+    let corpus = Corpus::generate(config);
+    let pipeline = std::sync::Arc::new(build_pipeline(&corpus, FeatureModel::BagOfConcepts));
+
+    let mut health = HealthInfo::default();
+    let svc = match (flag_value(args, "--db"), flag_value(args, "--wal")) {
+        (Some(db_path), Some(wal_path)) => {
+            eprintln!("recovering store from {db_path} + {wal_path} ...");
+            let recovered = RecommendationService::recover(
+                db_path,
+                wal_path,
+                SyncPolicy::Always,
+                std::sync::Arc::clone(&pipeline),
+                SimilarityMeasure::Jaccard,
+            )
+            .map_err(|e| format!("recovery failed: {e}"))?;
+            health = HealthInfo {
+                recovered: recovered.report.snapshot_loaded,
+                torn_tail: recovered.report.torn_tail,
+                segments_replayed: recovered.report.segments_replayed,
+                records_replayed: recovered.report.records_replayed,
+            };
+            eprintln!(
+                "recovery: snapshot_loaded={} segments={} records={} torn_tail={}",
+                recovered.report.snapshot_loaded,
+                recovered.report.segments_replayed,
+                recovered.report.records_replayed,
+                recovered.report.torn_tail
+            );
+            match recovered.service {
+                Some(svc) => svc,
+                None => {
+                    eprintln!("store holds no knowledge snapshot; training from corpus ...");
+                    RecommendationService::train(
+                        &corpus,
+                        FeatureModel::BagOfConcepts,
+                        SimilarityMeasure::Jaccard,
+                    )
+                }
+            }
+        }
+        (None, None) => {
+            eprintln!("training recommendation service (bag-of-concepts + jaccard) ...");
+            RecommendationService::train(
+                &corpus,
+                FeatureModel::BagOfConcepts,
+                SimilarityMeasure::Jaccard,
+            )
+        }
+        _ => return Err("serve needs both --db and --wal (or neither)".to_owned()),
+    };
+    let svc = std::sync::Arc::new(svc);
+    eprintln!(
+        "knowledge base ready: {} instances, epoch {}",
+        svc.kb_len(),
+        svc.epoch()
+    );
+    let app = std::sync::Arc::new(QuestApp::new(svc, health));
+    let server_config = qatk_serve::ServerConfig {
+        threads,
+        ..qatk_serve::ServerConfig::default()
+    };
+    let server = qatk_serve::Server::bind(addr, server_config, app)
+        .map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    println!(
+        "listening on http://{} ({threads} threads)",
+        server.local_addr()
+    );
+    server.join();
+    Ok(())
+}
+
+fn cmd_loadgen(args: &[String]) -> Result<(), String> {
+    let addr = flag_value(args, "--addr").unwrap_or("127.0.0.1:7419");
+    let connections: usize = flag_value(args, "--connections")
+        .map(|s| s.parse().map_err(|_| format!("bad --connections `{s}`")))
+        .transpose()?
+        .unwrap_or(4);
+    let seed: u64 = flag_value(args, "--seed")
+        .map(|s| s.parse().map_err(|_| format!("bad --seed `{s}`")))
+        .transpose()?
+        .unwrap_or(42);
+    let qps: Option<f64> = flag_value(args, "--qps")
+        .map(|s| s.parse().map_err(|_| format!("bad --qps `{s}`")))
+        .transpose()?;
+    let total_requests: usize = match (flag_value(args, "--requests"), qps) {
+        (Some(s), _) => s.parse().map_err(|_| format!("bad --requests `{s}`"))?,
+        (None, Some(q)) => {
+            let secs: f64 = flag_value(args, "--duration-secs")
+                .map(|s| s.parse().map_err(|_| format!("bad --duration-secs `{s}`")))
+                .transpose()?
+                .unwrap_or(10.0);
+            (q * secs).ceil() as usize
+        }
+        (None, None) => 1000,
+    };
+    let endpoint = flag_value(args, "--endpoint").unwrap_or("mixed");
+
+    let config = corpus_config(args);
+    eprintln!(
+        "building workload from corpus ({} bundles) ...",
+        config.n_bundles
+    );
+    let corpus = Corpus::generate(config);
+    let templates = loadgen_templates(&corpus, endpoint)?;
+    let lg = qatk_serve::LoadgenConfig {
+        addr: addr.to_owned(),
+        connections,
+        total_requests,
+        mode: match qps {
+            Some(target_qps) => qatk_serve::Mode::Open { target_qps },
+            None => qatk_serve::Mode::Closed,
+        },
+        seed,
+        ..qatk_serve::LoadgenConfig::default()
+    };
+    eprintln!(
+        "running {} load: {} requests over {} connections against {addr} ...",
+        if qps.is_some() {
+            "open-loop"
+        } else {
+            "closed-loop"
+        },
+        total_requests,
+        connections
+    );
+    let report = qatk_serve::loadgen::run(&lg, &templates);
+    print!("{}", report.render());
+    if report.failed == report.requests {
+        return Err(format!(
+            "no request succeeded — is `quest serve` running on {addr}?"
+        ));
+    }
+    Ok(())
+}
+
+/// Build the loadgen request mix from corpus bundles: `suggest` bodies are
+/// real bundle-shaped documents, `classify` bodies small external-text
+/// batches, and `mixed` interleaves both plus health checks.
+fn loadgen_templates(
+    corpus: &Corpus,
+    endpoint: &str,
+) -> Result<Vec<qatk_serve::RequestTemplate>, String> {
+    use qatk_obs::json::escape;
+    use qatk_serve::RequestTemplate;
+    let suggest: Vec<RequestTemplate> = corpus
+        .bundles
+        .iter()
+        .take(256)
+        .map(|b| {
+            RequestTemplate::post(
+                "/suggest",
+                format!(
+                    "{{\"part_id\":\"{}\",\"reference_number\":\"{}\",\"mechanic_report\":\"{}\",\"supplier_report\":\"{}\",\"part_description\":\"{}\"}}",
+                    escape(&b.part_id),
+                    escape(&b.reference_number),
+                    escape(&b.mechanic_report),
+                    escape(&b.supplier_report),
+                    escape(&b.part_description),
+                ),
+            )
+        })
+        .collect();
+    let classify: Vec<RequestTemplate> = corpus
+        .bundles
+        .chunks(4)
+        .take(64)
+        .map(|chunk| {
+            let texts: Vec<String> = chunk
+                .iter()
+                .map(|b| format!("\"{}\"", escape(&b.supplier_report)))
+                .collect();
+            RequestTemplate::post(
+                "/classify_batch",
+                format!("{{\"texts\":[{}]}}", texts.join(",")),
+            )
+        })
+        .collect();
+    match endpoint {
+        "suggest" => Ok(suggest),
+        "classify" => Ok(classify),
+        "mixed" => {
+            // ~8 suggests : 2 classifies : 1 health probe
+            let mut mix = Vec::new();
+            for (i, s) in suggest.into_iter().enumerate() {
+                mix.push(s);
+                if i % 4 == 3 {
+                    if let Some(c) = classify.get(i / 4) {
+                        mix.push(c.clone());
+                    }
+                }
+                if i % 8 == 7 {
+                    mix.push(RequestTemplate::get("/healthz"));
+                }
+            }
+            Ok(mix)
+        }
+        other => Err(format!(
+            "unknown --endpoint `{other}` (expected suggest|classify|mixed)"
+        )),
+    }
 }
 
 fn cmd_recover(args: &[String]) -> Result<(), String> {

@@ -12,12 +12,15 @@
 //! * [`users`] — users and roles (extended rights gate code creation);
 //! * [`compare`] — the §5.4 cross-source error-distribution comparison
 //!   against (synthetic) NHTSA complaints;
-//! * [`screens`] — terminal renderings of the QUEST screens.
+//! * [`screens`] — terminal renderings of the QUEST screens;
+//! * [`serve_app`] — the HTTP application (routing + JSON endpoints) served
+//!   by the `qatk-serve` wire-protocol kernel (`quest serve`).
 
 pub mod compare;
 pub mod metrics;
 pub mod probe;
 pub mod screens;
+pub mod serve_app;
 pub mod service;
 pub mod users;
 pub mod workflow;
@@ -30,6 +33,7 @@ pub mod prelude {
     };
     pub use crate::probe::{run_metrics_probe, ProbeSummary};
     pub use crate::screens::{render_bundle, render_case, render_suggestions};
+    pub use crate::serve_app::{HealthInfo, QuestApp, MAX_BATCH_TEXTS, MAX_LEARN_INSTANCES};
     pub use crate::service::{RecommendationService, ServiceError, Suggestions, TOP_SUGGESTIONS};
     pub use crate::users::{Role, User, UserError, UserRegistry};
     pub use crate::workflow::{AuditEntry, EvaluationCase, Stage, WorkflowError};

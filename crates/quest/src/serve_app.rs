@@ -1,0 +1,417 @@
+//! The QUEST HTTP application: routing and JSON endpoint semantics over
+//! [`RecommendationService`], served by the generic `qatk-serve` kernel
+//! (which knows HTTP, not QUEST). Wire contract in DESIGN.md §10.
+//!
+//! Endpoints:
+//!
+//! * `POST /suggest` — top-10 suggestions for one bundle-shaped document;
+//! * `POST /classify_batch` — rank external texts, all pinned to one epoch;
+//! * `POST /learn` — enqueue learn instances and publish one new epoch;
+//!   a 200 response means the instances are *published* (the handler holds
+//!   the ack until [`RecommendationService::publish_pending`] returns);
+//! * `GET /healthz` — epoch, knowledge-base size, recovery status;
+//! * `GET /metrics` — the full `qatk_*` Prometheus exposition.
+
+use std::sync::Arc;
+
+use qatk_corpus::bundle::DataBundle;
+use qatk_obs::json::{self, Value};
+use qatk_obs::Registry;
+use qatk_serve::{Handler, Method, Request, Response};
+
+use crate::service::{RecommendationService, Suggestions};
+
+/// Max texts per `/classify_batch` request.
+pub const MAX_BATCH_TEXTS: usize = 1024;
+
+/// Max instances per `/learn` request.
+pub const MAX_LEARN_INSTANCES: usize = 1024;
+
+/// What `/healthz` reports about boot-time recovery.
+#[derive(Debug, Clone, Default)]
+pub struct HealthInfo {
+    /// The service was recovered from a snapshot + WAL (vs freshly trained).
+    pub recovered: bool,
+    /// Recovery truncated a torn WAL tail.
+    pub torn_tail: bool,
+    pub segments_replayed: usize,
+    pub records_replayed: usize,
+}
+
+/// The QUEST [`Handler`]: owns the service and the boot health report.
+pub struct QuestApp {
+    svc: Arc<RecommendationService>,
+    health: HealthInfo,
+}
+
+impl QuestApp {
+    pub fn new(svc: Arc<RecommendationService>, health: HealthInfo) -> Self {
+        QuestApp { svc, health }
+    }
+
+    pub fn service(&self) -> &Arc<RecommendationService> {
+        &self.svc
+    }
+
+    fn suggest(&self, req: &Request) -> Response {
+        let doc = match parse_body(req) {
+            Ok(v) => v,
+            Err(r) => return r,
+        };
+        let bundle = match bundle_from_json(&doc) {
+            Ok(b) => b,
+            Err(msg) => return bad_request(&msg),
+        };
+        // pin one snapshot so the reported epoch is the one that ranked
+        let snapshot = self.svc.snapshot();
+        let s = self.svc.suggest_on(&snapshot, &bundle);
+        Response::json(200, render_suggestions_json(snapshot.epoch(), &s)).with_endpoint("suggest")
+    }
+
+    fn classify_batch(&self, req: &Request) -> Response {
+        let doc = match parse_body(req) {
+            Ok(v) => v,
+            Err(r) => return r,
+        };
+        let Some(texts_json) = doc.get("texts").and_then(Value::as_arr) else {
+            return bad_request("field \"texts\" (array of strings) is required");
+        };
+        if texts_json.len() > MAX_BATCH_TEXTS {
+            return bad_request(&format!(
+                "at most {MAX_BATCH_TEXTS} texts per batch (got {})",
+                texts_json.len()
+            ));
+        }
+        let mut texts = Vec::with_capacity(texts_json.len());
+        for (i, t) in texts_json.iter().enumerate() {
+            match t.as_str() {
+                Some(s) => texts.push(s),
+                None => return bad_request(&format!("texts[{i}] is not a string")),
+            }
+        }
+        let part_id = doc
+            .get("part_id")
+            .and_then(Value::as_str)
+            .unwrap_or("<external>");
+        let snapshot = self.svc.snapshot();
+        let results = self
+            .svc
+            .classify_external_batch_on(&snapshot, &texts, part_id);
+        let mut out = format!("{{\"epoch\":{},\"results\":[", snapshot.epoch());
+        for (i, ranked) in results.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_scored_codes(&mut out, ranked);
+        }
+        out.push_str("]}");
+        Response::json(200, out).with_endpoint("classify_batch")
+    }
+
+    fn learn(&self, req: &Request) -> Response {
+        let doc = match parse_body(req) {
+            Ok(v) => v,
+            Err(r) => return r,
+        };
+        // either {"instances":[...]} or a single instance object
+        let instances: Vec<&Value> = match doc.get("instances") {
+            Some(v) => match v.as_arr() {
+                Some(a) => a.iter().collect(),
+                None => return bad_request("field \"instances\" must be an array"),
+            },
+            None => vec![&doc],
+        };
+        if instances.is_empty() {
+            return bad_request("no learn instances given");
+        }
+        if instances.len() > MAX_LEARN_INSTANCES {
+            return bad_request(&format!(
+                "at most {MAX_LEARN_INSTANCES} instances per request (got {})",
+                instances.len()
+            ));
+        }
+        let mut parsed = Vec::with_capacity(instances.len());
+        for (i, inst) in instances.iter().enumerate() {
+            let bundle = match bundle_from_json(inst) {
+                Ok(b) => b,
+                Err(msg) => return bad_request(&format!("instances[{i}]: {msg}")),
+            };
+            let Some(code) = inst.get("code").and_then(Value::as_str) else {
+                return bad_request(&format!("instances[{i}]: field \"code\" is required"));
+            };
+            parsed.push((bundle, code.to_owned()));
+        }
+        let enqueued = parsed.len();
+        for (bundle, code) in &parsed {
+            self.svc.enqueue_learn(bundle, code);
+        }
+        // the ack contract: publish_pending() has returned — and with it the
+        // epoch swap installed — before the 200 goes out. A response the
+        // client saw is never lost to a later shutdown.
+        let added = self.svc.publish_pending();
+        let body = format!(
+            "{{\"enqueued\":{enqueued},\"added\":{added},\"epoch\":{}}}",
+            self.svc.epoch()
+        );
+        Response::json(200, body).with_endpoint("learn")
+    }
+
+    fn healthz(&self) -> Response {
+        let snapshot = self.svc.snapshot();
+        let body = format!(
+            "{{\"status\":\"ok\",\"epoch\":{},\"kb_len\":{},\"pending\":{},\"recovered\":{},\"torn_tail\":{},\"segments_replayed\":{},\"records_replayed\":{}}}",
+            snapshot.epoch(),
+            snapshot.kb().len(),
+            self.svc.pending_len(),
+            self.health.recovered,
+            self.health.torn_tail,
+            self.health.segments_replayed,
+            self.health.records_replayed,
+        );
+        Response::json(200, body).with_endpoint("healthz")
+    }
+
+    fn metrics(&self) -> Response {
+        Response::text(200, Registry::global().render_prometheus()).with_endpoint("metrics")
+    }
+}
+
+impl Handler for QuestApp {
+    fn handle(&self, req: &Request) -> Response {
+        let get_like = matches!(req.method, Method::Get | Method::Head);
+        match req.path() {
+            "/suggest" if req.method == Method::Post => self.suggest(req),
+            "/classify_batch" if req.method == Method::Post => self.classify_batch(req),
+            "/learn" if req.method == Method::Post => self.learn(req),
+            "/healthz" if get_like => self.healthz(),
+            "/metrics" if get_like => self.metrics(),
+            "/suggest" | "/classify_batch" | "/learn" => {
+                Response::error_json(405, "use POST").with_allow("POST")
+            }
+            "/healthz" | "/metrics" => Response::error_json(405, "use GET").with_allow("GET, HEAD"),
+            _ => Response::error_json(404, "no such endpoint"),
+        }
+    }
+}
+
+fn bad_request(msg: &str) -> Response {
+    Response::error_json(400, msg)
+}
+
+/// Parse the request body as a JSON document.
+fn parse_body(req: &Request) -> Result<Value, Response> {
+    let text = std::str::from_utf8(&req.body)
+        .map_err(|_| bad_request("request body is not valid UTF-8"))?;
+    if text.trim().is_empty() {
+        return Err(bad_request(
+            "request body is empty; expected a JSON document",
+        ));
+    }
+    json::parse(text).map_err(|e| bad_request(&format!("invalid JSON: {e}")))
+}
+
+/// Build a [`DataBundle`] from a request document. Only `part_id` is
+/// required; text fields default to empty and `"text"` is an alias for the
+/// supplier report (the strongest single source, paper §5.2).
+fn bundle_from_json(doc: &Value) -> Result<DataBundle, String> {
+    if doc.as_obj().is_none() {
+        return Err("expected a JSON object".to_owned());
+    }
+    let field = |name: &str| -> Result<String, String> {
+        match doc.get(name) {
+            None | Some(Value::Null) => Ok(String::new()),
+            Some(v) => v
+                .as_str()
+                .map(str::to_owned)
+                .ok_or_else(|| format!("field \"{name}\" is not a string")),
+        }
+    };
+    let opt = |name: &str| -> Result<Option<String>, String> {
+        Ok(Some(field(name)?).filter(|s| !s.is_empty()))
+    };
+    let part_id = field("part_id")?;
+    if part_id.is_empty() {
+        return Err("field \"part_id\" is required".to_owned());
+    }
+    let mut supplier_report = field("supplier_report")?;
+    if supplier_report.is_empty() {
+        supplier_report = field("text")?;
+    }
+    Ok(DataBundle {
+        reference_number: field("reference_number")?,
+        article_code: field("article_code")?,
+        part_id,
+        error_code: None,
+        responsibility_code: opt("responsibility_code")?,
+        mechanic_report: field("mechanic_report")?,
+        initial_report: opt("initial_report")?,
+        supplier_report,
+        final_report: opt("final_report")?,
+        part_description: field("part_description")?,
+        error_description: None,
+    })
+}
+
+fn render_suggestions_json(epoch: u64, s: &Suggestions) -> String {
+    let mut out = format!(
+        "{{\"epoch\":{epoch},\"reference_number\":\"{}\",\"top\":",
+        json::escape(&s.reference_number)
+    );
+    push_scored_codes(&mut out, &s.top);
+    out.push_str(",\"all_codes_for_part\":[");
+    for (i, code) in s.all_codes_for_part.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        out.push_str(&json::escape(code));
+        out.push('"');
+    }
+    out.push_str("]}");
+    out
+}
+
+fn push_scored_codes(out: &mut String, ranked: &[qatk_core::prelude::ScoredCode]) {
+    out.push('[');
+    for (i, sc) in ranked.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"code\":\"{}\",\"score\":{:.6}}}",
+            json::escape(&sc.code),
+            sc.score
+        ));
+    }
+    out.push(']');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qatk_core::prelude::{FeatureModel, SimilarityMeasure};
+    use qatk_corpus::generator::{Corpus, CorpusConfig};
+    use qatk_serve::http::RequestParser;
+
+    fn app() -> QuestApp {
+        let corpus = Corpus::generate(CorpusConfig::small(31));
+        let svc = RecommendationService::train(
+            &corpus,
+            FeatureModel::BagOfWords,
+            SimilarityMeasure::Overlap,
+        );
+        QuestApp::new(Arc::new(svc), HealthInfo::default())
+    }
+
+    fn request(method: &str, path: &str, body: &str) -> Request {
+        let raw = format!(
+            "{method} {path} HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        let mut p = RequestParser::new(Default::default());
+        p.push(raw.as_bytes());
+        p.take_request().unwrap().unwrap()
+    }
+
+    #[test]
+    fn suggest_roundtrip_and_epoch() {
+        let app = app();
+        let resp = app.handle(&request(
+            "POST",
+            "/suggest",
+            "{\"part_id\":\"P003\",\"text\":\"oil leaking from the housing\"}",
+        ));
+        assert_eq!(resp.status, 200);
+        let doc = json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        assert_eq!(
+            doc.get("epoch").and_then(Value::as_u64),
+            Some(app.svc.epoch())
+        );
+        assert!(doc.get("top").and_then(Value::as_arr).is_some());
+        assert!(doc
+            .get("all_codes_for_part")
+            .and_then(Value::as_arr)
+            .is_some());
+    }
+
+    #[test]
+    fn suggest_requires_part_id_and_valid_json() {
+        let app = app();
+        let resp = app.handle(&request("POST", "/suggest", "{\"text\":\"x\"}"));
+        assert_eq!(resp.status, 400);
+        let resp = app.handle(&request("POST", "/suggest", "{not json"));
+        assert_eq!(resp.status, 400);
+        let resp = app.handle(&request("POST", "/suggest", ""));
+        assert_eq!(resp.status, 400);
+    }
+
+    #[test]
+    fn classify_batch_pins_epoch_and_validates() {
+        let app = app();
+        let resp = app.handle(&request(
+            "POST",
+            "/classify_batch",
+            "{\"texts\":[\"engine stalls\",\"window rattles\"]}",
+        ));
+        assert_eq!(resp.status, 200);
+        let doc = json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        assert_eq!(
+            doc.get("results")
+                .and_then(Value::as_arr)
+                .map(<[Value]>::len),
+            Some(2)
+        );
+        let resp = app.handle(&request("POST", "/classify_batch", "{\"texts\":\"x\"}"));
+        assert_eq!(resp.status, 400);
+        let resp = app.handle(&request("POST", "/classify_batch", "{\"texts\":[1]}"));
+        assert_eq!(resp.status, 400);
+    }
+
+    #[test]
+    fn learn_publishes_one_epoch_for_the_whole_batch() {
+        let app = app();
+        let before = app.svc.epoch();
+        let body = "{\"instances\":[\
+            {\"part_id\":\"P003\",\"text\":\"new failure mode alpha\",\"code\":\"E003-01\"},\
+            {\"part_id\":\"P003\",\"text\":\"new failure mode beta\",\"code\":\"E003-01\"}]}";
+        let resp = app.handle(&request("POST", "/learn", body));
+        assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+        let doc = json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        assert_eq!(doc.get("enqueued").and_then(Value::as_u64), Some(2));
+        assert_eq!(app.svc.epoch(), before + 1, "one epoch per learn batch");
+        assert_eq!(app.svc.pending_len(), 0, "ack implies published");
+        // single-instance shorthand
+        let resp = app.handle(&request(
+            "POST",
+            "/learn",
+            "{\"part_id\":\"P004\",\"text\":\"gamma\",\"code\":\"E004-01\"}",
+        ));
+        assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+        // unknown code for the part: still learnable (codes are created by
+        // training), but a missing code field is a 400
+        let resp = app.handle(&request("POST", "/learn", "{\"part_id\":\"P004\"}"));
+        assert_eq!(resp.status, 400);
+    }
+
+    #[test]
+    fn healthz_and_metrics_and_routing() {
+        let app = app();
+        let resp = app.handle(&request("GET", "/healthz", ""));
+        assert_eq!(resp.status, 200);
+        let doc = json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        assert_eq!(doc.get("status").and_then(Value::as_str), Some("ok"));
+        assert!(doc.get("kb_len").and_then(Value::as_u64).unwrap() > 0);
+
+        let resp = app.handle(&request("GET", "/metrics", ""));
+        assert_eq!(resp.status, 200);
+        assert!(String::from_utf8_lossy(&resp.body).contains("qatk_"));
+
+        let resp = app.handle(&request("GET", "/suggest", ""));
+        assert_eq!(resp.status, 405);
+        assert_eq!(resp.allow, Some("POST"));
+        let resp = app.handle(&request("POST", "/healthz", ""));
+        assert_eq!(resp.status, 405);
+        let resp = app.handle(&request("GET", "/nope", ""));
+        assert_eq!(resp.status, 404);
+    }
+}

@@ -541,10 +541,22 @@ impl RecommendationService {
     /// all texts share one part ID (or `"<external>"` for the unscoped path)
     /// and are ranked in parallel via [`RankedKnn::classify_batch`].
     pub fn classify_external_batch(&self, texts: &[&str], part_id: &str) -> Vec<Vec<ScoredCode>> {
-        let snapshot = self.current.load();
+        self.classify_external_batch_on(&self.current.load(), texts, part_id)
+    }
+
+    /// [`RecommendationService::classify_external_batch`] against a
+    /// caller-pinned snapshot — the serving layer reports the epoch a batch
+    /// actually ran on, so the whole batch must see exactly that epoch even
+    /// if a publish lands mid-request.
+    pub fn classify_external_batch_on(
+        &self,
+        snapshot: &KnowledgeSnapshot,
+        texts: &[&str],
+        part_id: &str,
+    ) -> Vec<Vec<ScoredCode>> {
         let features: Vec<FeatureSet> = texts
             .iter()
-            .map(|t| Self::extract_external(&snapshot, t))
+            .map(|t| Self::extract_external(snapshot, t))
             .collect();
         let queries: Vec<BatchQuery<'_>> = features
             .iter()

@@ -1,0 +1,172 @@
+//! A minimal blocking HTTP/1.1 client over `std::net`, sufficient for the
+//! load generator, the test battery, and the `quest loadgen` CLI. Supports
+//! keep-alive (response leftovers are retained between requests) and raw
+//! byte injection for protocol tests.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// One parsed HTTP response.
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    pub status: u16,
+    /// Header names lowercased.
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// First header value by case-insensitive name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// True when the server signalled `Connection: close`.
+    pub fn close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+
+    /// Body as UTF-8 (lossy).
+    pub fn body_str(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// A blocking keep-alive HTTP/1.1 client on one TCP connection.
+pub struct HttpClient {
+    stream: TcpStream,
+    /// Bytes read past the previous response (keep-alive leftovers).
+    buf: Vec<u8>,
+}
+
+impl HttpClient {
+    /// Connect with `timeout` as connect, read, and write timeout.
+    pub fn connect(addr: impl ToSocketAddrs, timeout: Duration) -> std::io::Result<HttpClient> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| std::io::Error::other("address resolved to nothing"))?;
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        let _ = stream.set_nodelay(true);
+        Ok(HttpClient {
+            stream,
+            buf: Vec::new(),
+        })
+    }
+
+    pub fn peer_addr(&self) -> std::io::Result<SocketAddr> {
+        self.stream.peer_addr()
+    }
+
+    /// Send one request (JSON body when present) and read its response.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> std::io::Result<ClientResponse> {
+        let body = body.unwrap_or("");
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: qatk\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        let mut bytes = head.into_bytes();
+        bytes.extend_from_slice(body.as_bytes());
+        self.send_raw(&bytes)?;
+        if method.eq_ignore_ascii_case("HEAD") {
+            self.read_response_head_only()
+        } else {
+            self.read_response()
+        }
+    }
+
+    /// Write raw bytes without framing — protocol tests build their own.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        self.stream.write_all(bytes)?;
+        self.stream.flush()
+    }
+
+    /// Read and parse one response, honouring `Content-Length` and keeping
+    /// any over-read bytes for the next call.
+    pub fn read_response(&mut self) -> std::io::Result<ClientResponse> {
+        self.read_response_framed(false)
+    }
+
+    /// Read one response to a `HEAD` request: `Content-Length` describes the
+    /// body the server *omitted*, so no body bytes are consumed.
+    pub fn read_response_head_only(&mut self) -> std::io::Result<ClientResponse> {
+        self.read_response_framed(true)
+    }
+
+    fn read_response_framed(&mut self, head_only: bool) -> std::io::Result<ClientResponse> {
+        // accumulate until the head terminator
+        let head_end = loop {
+            if let Some(pos) = find_crlf2(&self.buf) {
+                break pos;
+            }
+            self.fill()?;
+        };
+        let head = self.buf[..head_end].to_vec();
+        let body_start = head_end + 4;
+        let head_text = String::from_utf8_lossy(&head).into_owned();
+        let mut lines = head_text.split("\r\n");
+        let status_line = lines
+            .next()
+            .ok_or_else(|| std::io::Error::other("empty response head"))?;
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| std::io::Error::other(format!("bad status line: {status_line}")))?;
+        let headers: Vec<(String, String)> = lines
+            .filter_map(|l| {
+                let (n, v) = l.split_once(':')?;
+                Some((n.trim().to_ascii_lowercase(), v.trim().to_owned()))
+            })
+            .collect();
+        let content_length: usize = if head_only {
+            0
+        } else {
+            headers
+                .iter()
+                .find(|(n, _)| n == "content-length")
+                .and_then(|(_, v)| v.parse().ok())
+                .unwrap_or(0)
+        };
+        while self.buf.len() < body_start + content_length {
+            self.fill()?;
+        }
+        let body = self.buf[body_start..body_start + content_length].to_vec();
+        self.buf.drain(..body_start + content_length);
+        Ok(ClientResponse {
+            status,
+            headers,
+            body,
+        })
+    }
+
+    fn fill(&mut self) -> std::io::Result<()> {
+        let mut chunk = [0u8; 8 * 1024];
+        let n = self.stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed mid-response",
+            ));
+        }
+        self.buf.extend_from_slice(&chunk[..n]);
+        Ok(())
+    }
+}
+
+fn find_crlf2(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}

@@ -1,0 +1,577 @@
+//! Incremental HTTP/1.1 request parsing (DESIGN.md §10).
+//!
+//! The parser is a byte-stream accumulator: callers [`RequestParser::push`]
+//! whatever a socket read produced — one byte or a whole pipeline of
+//! requests — and [`RequestParser::take_request`] extracts at most one
+//! complete request from the front of the buffer. Parse results are
+//! byte-for-byte independent of how the input was split (the torn-input
+//! property suite feeds every corpus request at every split point), and the
+//! parser never consumes bytes beyond the request it returns, so pipelined
+//! requests survive in the buffer for the next call.
+//!
+//! Only the slice of HTTP/1.1 the toolkit needs is supported: one request
+//! line, CRLF-terminated headers, and an optional `Content-Length` body.
+//! `Transfer-Encoding` is rejected (400) rather than half-supported. Limits
+//! are enforced incrementally: a head that outgrows
+//! [`Limits::max_head_bytes`] fails with 431 before the terminator ever
+//! arrives, and a declared body beyond [`Limits::max_body_bytes`] fails with
+//! 413 before a single body byte is read.
+
+use std::fmt;
+
+/// Default cap on the request head (request line + headers + CRLFs).
+pub const DEFAULT_MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Default cap on a declared `Content-Length` body.
+pub const DEFAULT_MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// Parser limits, enforced incrementally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Limits {
+    pub max_head_bytes: usize,
+    pub max_body_bytes: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_head_bytes: DEFAULT_MAX_HEAD_BYTES,
+            max_body_bytes: DEFAULT_MAX_BODY_BYTES,
+        }
+    }
+}
+
+/// Request method. Unknown-but-well-formed tokens parse as
+/// [`Method::Other`] so routing can answer 405 instead of 400.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Method {
+    Get,
+    Post,
+    Head,
+    Other(String),
+}
+
+impl Method {
+    pub fn as_str(&self) -> &str {
+        match self {
+            Method::Get => "GET",
+            Method::Post => "POST",
+            Method::Head => "HEAD",
+            Method::Other(s) => s,
+        }
+    }
+
+    fn from_token(token: &str) -> Self {
+        match token {
+            "GET" => Method::Get,
+            "POST" => Method::Post,
+            "HEAD" => Method::Head,
+            other => Method::Other(other.to_owned()),
+        }
+    }
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One parsed request. Header names are lowercased at parse time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    pub method: Method,
+    /// The raw request target (path + optional query).
+    pub target: String,
+    /// True for `HTTP/1.1`, false for `HTTP/1.0`.
+    pub version_11: bool,
+    /// `(lowercased-name, value)` pairs in arrival order.
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header with this (lowercase) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The target without its query string.
+    pub fn path(&self) -> &str {
+        self.target.split('?').next().unwrap_or(&self.target)
+    }
+
+    /// Keep-alive per HTTP/1.1 defaults: `Connection: close` always closes,
+    /// `Connection: keep-alive` always keeps, otherwise the version decides.
+    pub fn keep_alive(&self) -> bool {
+        match self.header("connection") {
+            Some(v) => {
+                let mut keep = self.version_11;
+                for token in v.split(',') {
+                    let t = token.trim();
+                    if t.eq_ignore_ascii_case("close") {
+                        return false;
+                    }
+                    if t.eq_ignore_ascii_case("keep-alive") {
+                        keep = true;
+                    }
+                }
+                keep
+            }
+            None => self.version_11,
+        }
+    }
+}
+
+/// Protocol-level parse failures, each mapped to exactly one status code
+/// (the error-code contract of DESIGN.md §10). Every parse error closes the
+/// connection: the byte stream is unsynchronized after a malformed head.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// 400 — malformed request line, header, version, length, or an
+    /// unsupported `Transfer-Encoding`.
+    BadRequest(&'static str),
+    /// 411 — POST without a `Content-Length`.
+    LengthRequired,
+    /// 413 — declared body larger than [`Limits::max_body_bytes`].
+    BodyTooLarge,
+    /// 431 — head larger than [`Limits::max_head_bytes`].
+    HeadersTooLarge,
+}
+
+impl HttpError {
+    pub fn status(&self) -> u16 {
+        match self {
+            HttpError::BadRequest(_) => 400,
+            HttpError::LengthRequired => 411,
+            HttpError::BodyTooLarge => 413,
+            HttpError::HeadersTooLarge => 431,
+        }
+    }
+
+    pub fn message(&self) -> &'static str {
+        match self {
+            HttpError::BadRequest(m) => m,
+            HttpError::LengthRequired => "POST requires a Content-Length",
+            HttpError::BodyTooLarge => "request body exceeds the server limit",
+            HttpError::HeadersTooLarge => "request head exceeds the server limit",
+        }
+    }
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.status(), self.message())
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// The incremental request parser: an input buffer plus the resume point of
+/// the head-terminator scan, so feeding N bytes one at a time stays O(N).
+#[derive(Debug)]
+pub struct RequestParser {
+    limits: Limits,
+    buf: Vec<u8>,
+    /// Bytes already scanned for the `\r\n\r\n` terminator.
+    scanned: usize,
+}
+
+impl RequestParser {
+    pub fn new(limits: Limits) -> Self {
+        RequestParser {
+            limits,
+            buf: Vec::new(),
+            scanned: 0,
+        }
+    }
+
+    /// Append raw socket bytes.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed by a returned request.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when a request is in flight (bytes buffered but incomplete) —
+    /// the slowloris discriminator: a timeout mid-request earns a 408, a
+    /// timeout on an empty buffer is an idle keep-alive connection closing.
+    pub fn has_partial(&self) -> bool {
+        !self.buf.is_empty()
+    }
+
+    /// Extract one complete request from the front of the buffer, if the
+    /// bytes for it have all arrived. `Ok(None)` means "need more input".
+    /// Exactly the request's own bytes are consumed — pipelined successors
+    /// stay buffered.
+    pub fn take_request(&mut self) -> Result<Option<Request>, HttpError> {
+        // tolerate stray CRLFs between pipelined requests (RFC 9112 §2.2)
+        let mut lead = 0;
+        while self.buf[lead..].starts_with(b"\r\n") {
+            lead += 2;
+        }
+        if lead > 0 {
+            self.buf.drain(..lead);
+            self.scanned = 0;
+        }
+        let Some(head_end) = self.find_head_end()? else {
+            return Ok(None);
+        };
+        let head = Head::parse(&self.buf[..head_end - 4])?;
+        let content_length = head.content_length(&self.limits)?;
+        let total = head_end + content_length;
+        if self.buf.len() < total {
+            return Ok(None);
+        }
+        let body = self.buf[head_end..total].to_vec();
+        self.buf.drain(..total);
+        self.scanned = 0;
+        Ok(Some(Request {
+            method: head.method,
+            target: head.target,
+            version_11: head.version_11,
+            headers: head.headers,
+            body,
+        }))
+    }
+
+    /// Position just past `\r\n\r\n`, resuming the scan where the last call
+    /// stopped. Enforces the head limit even before the terminator shows up.
+    fn find_head_end(&mut self) -> Result<Option<usize>, HttpError> {
+        let start = self.scanned.saturating_sub(3);
+        if let Some(i) = find(&self.buf[start..], b"\r\n\r\n") {
+            let end = start + i + 4;
+            if end > self.limits.max_head_bytes {
+                return Err(HttpError::HeadersTooLarge);
+            }
+            return Ok(Some(end));
+        }
+        self.scanned = self.buf.len();
+        if self.buf.len() > self.limits.max_head_bytes {
+            return Err(HttpError::HeadersTooLarge);
+        }
+        Ok(None)
+    }
+}
+
+fn find(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack
+        .windows(needle.len())
+        .position(|w| w == needle)
+        .or(None)
+}
+
+fn is_token_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b"!#$%&'*+-.^_`|~".contains(&b)
+}
+
+/// The parsed head, pre-body.
+struct Head {
+    method: Method,
+    target: String,
+    version_11: bool,
+    headers: Vec<(String, String)>,
+}
+
+impl Head {
+    /// Parse request line + headers from the head bytes (terminator
+    /// excluded).
+    fn parse(head: &[u8]) -> Result<Head, HttpError> {
+        let mut lines = head.split_str_crlf();
+        let request_line = lines.next().unwrap_or(b"");
+        let (method, target, version_11) = Self::parse_request_line(request_line)?;
+        let mut headers = Vec::new();
+        for line in lines {
+            headers.push(Self::parse_header_line(line)?);
+        }
+        Ok(Head {
+            method,
+            target,
+            version_11,
+            headers,
+        })
+    }
+
+    fn parse_request_line(line: &[u8]) -> Result<(Method, String, bool), HttpError> {
+        let text = std::str::from_utf8(line)
+            .map_err(|_| HttpError::BadRequest("request line is not valid UTF-8"))?;
+        let mut parts = text.split(' ');
+        let (Some(method), Some(target), Some(version), None) =
+            (parts.next(), parts.next(), parts.next(), parts.next())
+        else {
+            return Err(HttpError::BadRequest(
+                "request line is not `METHOD TARGET VERSION`",
+            ));
+        };
+        if method.is_empty() || !method.bytes().all(is_token_byte) {
+            return Err(HttpError::BadRequest("malformed method token"));
+        }
+        if !target.starts_with('/') && target != "*" {
+            return Err(HttpError::BadRequest("request target must start with /"));
+        }
+        if !target.bytes().all(|b| (0x21..=0x7e).contains(&b)) {
+            return Err(HttpError::BadRequest(
+                "request target contains invalid bytes",
+            ));
+        }
+        let version_11 = match version {
+            "HTTP/1.1" => true,
+            "HTTP/1.0" => false,
+            _ => return Err(HttpError::BadRequest("unsupported HTTP version")),
+        };
+        Ok((Method::from_token(method), target.to_owned(), version_11))
+    }
+
+    fn parse_header_line(line: &[u8]) -> Result<(String, String), HttpError> {
+        // obs-fold (a continuation line starting with whitespace) is obsolete
+        // and rejected outright
+        if line.first().is_some_and(|b| *b == b' ' || *b == b'\t') {
+            return Err(HttpError::BadRequest("obsolete header line folding"));
+        }
+        let colon = find(line, b":").ok_or(HttpError::BadRequest("header line without colon"))?;
+        let (name, rest) = line.split_at(colon);
+        if name.is_empty() || !name.iter().all(|&b| is_token_byte(b)) {
+            return Err(HttpError::BadRequest("malformed header name"));
+        }
+        let value = &rest[1..];
+        if !value
+            .iter()
+            .all(|&b| b == b'\t' || (0x20..=0x7e).contains(&b) || b >= 0x80)
+        {
+            return Err(HttpError::BadRequest("header value contains control bytes"));
+        }
+        let value = std::str::from_utf8(value)
+            .map_err(|_| HttpError::BadRequest("header value is not valid UTF-8"))?
+            .trim_matches([' ', '\t'])
+            .to_owned();
+        let name = std::str::from_utf8(name)
+            .expect("token bytes are ASCII")
+            .to_ascii_lowercase();
+        Ok((name, value))
+    }
+
+    /// The body length this head declares, with the 400/411/413 contract
+    /// applied.
+    fn content_length(&self, limits: &Limits) -> Result<usize, HttpError> {
+        if self.headers.iter().any(|(n, _)| n == "transfer-encoding") {
+            return Err(HttpError::BadRequest("transfer-encoding is not supported"));
+        }
+        let mut declared: Option<u64> = None;
+        for (n, v) in &self.headers {
+            if n != "content-length" {
+                continue;
+            }
+            if v.is_empty() || !v.bytes().all(|b| b.is_ascii_digit()) {
+                return Err(HttpError::BadRequest("malformed Content-Length"));
+            }
+            let parsed: u64 = v
+                .parse()
+                .map_err(|_| HttpError::BadRequest("Content-Length out of range"))?;
+            match declared {
+                Some(prev) if prev != parsed => {
+                    return Err(HttpError::BadRequest("conflicting Content-Length headers"))
+                }
+                _ => declared = Some(parsed),
+            }
+        }
+        match declared {
+            Some(n) if n > limits.max_body_bytes as u64 => Err(HttpError::BodyTooLarge),
+            Some(n) => Ok(n as usize),
+            None if self.method == Method::Post => Err(HttpError::LengthRequired),
+            None => Ok(0),
+        }
+    }
+}
+
+/// `split` on `\r\n` for byte slices.
+trait SplitCrlf {
+    fn split_str_crlf(&self) -> SplitCrlfIter<'_>;
+}
+
+impl SplitCrlf for [u8] {
+    fn split_str_crlf(&self) -> SplitCrlfIter<'_> {
+        SplitCrlfIter { rest: Some(self) }
+    }
+}
+
+struct SplitCrlfIter<'a> {
+    rest: Option<&'a [u8]>,
+}
+
+impl<'a> Iterator for SplitCrlfIter<'a> {
+    type Item = &'a [u8];
+
+    fn next(&mut self) -> Option<&'a [u8]> {
+        let rest = self.rest?;
+        match find(rest, b"\r\n") {
+            Some(i) => {
+                self.rest = Some(&rest[i + 2..]);
+                Some(&rest[..i])
+            }
+            None => {
+                self.rest = None;
+                Some(rest)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_all(bytes: &[u8]) -> Result<Vec<Request>, HttpError> {
+        let mut p = RequestParser::new(Limits::default());
+        p.push(bytes);
+        let mut out = Vec::new();
+        while let Some(r) = p.take_request()? {
+            out.push(r);
+        }
+        Ok(out)
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let reqs = parse_all(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(reqs.len(), 1);
+        assert_eq!(reqs[0].method, Method::Get);
+        assert_eq!(reqs[0].path(), "/healthz");
+        assert!(reqs[0].version_11);
+        assert_eq!(reqs[0].header("host"), Some("x"));
+        assert!(reqs[0].body.is_empty());
+        assert!(reqs[0].keep_alive());
+    }
+
+    #[test]
+    fn parses_post_with_body_and_preserves_pipeline() {
+        let mut p = RequestParser::new(Limits::default());
+        p.push(
+            b"POST /suggest HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcdGET /metrics HTTP/1.1\r\n\r\n",
+        );
+        let first = p.take_request().unwrap().unwrap();
+        assert_eq!(first.body, b"abcd");
+        // the second request's bytes were not consumed by the first
+        let second = p.take_request().unwrap().unwrap();
+        assert_eq!(second.method, Method::Get);
+        assert_eq!(second.target, "/metrics");
+        assert_eq!(p.buffered(), 0);
+        assert_eq!(p.take_request().unwrap(), None);
+    }
+
+    #[test]
+    fn byte_at_a_time_equals_one_shot() {
+        let raw = b"POST /learn HTTP/1.1\r\nContent-Type: application/json\r\nContent-Length: 2\r\n\r\n{}";
+        let expected = parse_all(raw).unwrap();
+        let mut p = RequestParser::new(Limits::default());
+        let mut got = Vec::new();
+        for &b in raw.iter() {
+            p.push(&[b]);
+            while let Some(r) = p.take_request().unwrap() {
+                got.push(r);
+            }
+        }
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn connection_close_overrides_version() {
+        let reqs = parse_all(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert!(!reqs[0].keep_alive());
+        let reqs = parse_all(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").unwrap();
+        assert!(reqs[0].keep_alive());
+        let reqs = parse_all(b"GET / HTTP/1.0\r\n\r\n").unwrap();
+        assert!(!reqs[0].keep_alive());
+    }
+
+    #[test]
+    fn error_contract() {
+        assert_eq!(
+            parse_all(b"GE T / HTTP/1.1\r\n\r\n").unwrap_err().status(),
+            400
+        );
+        assert_eq!(
+            parse_all(b"GET nopath HTTP/1.1\r\n\r\n")
+                .unwrap_err()
+                .status(),
+            400
+        );
+        assert_eq!(
+            parse_all(b"GET / HTTP/2.0\r\n\r\n").unwrap_err().status(),
+            400
+        );
+        assert_eq!(
+            parse_all(b"POST / HTTP/1.1\r\n\r\n").unwrap_err(),
+            HttpError::LengthRequired
+        );
+        assert_eq!(
+            parse_all(b"POST / HTTP/1.1\r\nContent-Length: nine\r\n\r\n")
+                .unwrap_err()
+                .status(),
+            400
+        );
+        assert_eq!(
+            parse_all(b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n")
+                .unwrap_err()
+                .status(),
+            400
+        );
+        assert_eq!(
+            parse_all(b"GET / HTTP/1.1\r\nBad Header: x\r\n\r\n")
+                .unwrap_err()
+                .status(),
+            400
+        );
+    }
+
+    #[test]
+    fn oversized_body_fails_before_body_arrives() {
+        let limits = Limits {
+            max_head_bytes: 1024,
+            max_body_bytes: 8,
+        };
+        let mut p = RequestParser::new(limits);
+        p.push(b"POST / HTTP/1.1\r\nContent-Length: 9\r\n\r\n");
+        assert_eq!(p.take_request().unwrap_err(), HttpError::BodyTooLarge);
+    }
+
+    #[test]
+    fn oversized_head_fails_incrementally() {
+        let limits = Limits {
+            max_head_bytes: 64,
+            max_body_bytes: 1024,
+        };
+        let mut p = RequestParser::new(limits);
+        p.push(b"GET / HTTP/1.1\r\n");
+        // feed header bytes with no terminator; the parser must fail as soon
+        // as the head limit is crossed, long before any \r\n\r\n
+        let mut result = Ok(None);
+        for _ in 0..32 {
+            p.push(b"X-Pad: yyyy\r\n");
+            result = p.take_request();
+            if result.is_err() {
+                break;
+            }
+        }
+        assert_eq!(result.unwrap_err(), HttpError::HeadersTooLarge);
+    }
+
+    #[test]
+    fn conflicting_content_lengths_rejected() {
+        assert_eq!(
+            parse_all(b"POST / HTTP/1.1\r\nContent-Length: 1\r\nContent-Length: 2\r\n\r\n")
+                .unwrap_err()
+                .status(),
+            400
+        );
+        // duplicates that agree are fine
+        let reqs =
+            parse_all(b"POST / HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 2\r\n\r\nok")
+                .unwrap();
+        assert_eq!(reqs[0].body, b"ok");
+    }
+}

@@ -1,0 +1,45 @@
+//! # qatk-serve — zero-dependency HTTP/1.1 serving layer
+//!
+//! The wire-protocol front of the toolkit (DESIGN.md §10): a hand-rolled
+//! incremental HTTP/1.1 request parser, a fixed-thread-pool blocking server
+//! over `std::net`, a matching keep-alive client, and a closed/open-loop
+//! load generator. No async runtime, no external crates — the build
+//! environment is offline and the query path underneath is already a
+//! lock-free `&self` snapshot read, so a handful of blocking threads is the
+//! entire concurrency story.
+//!
+//! Layering: this crate knows HTTP, not QUEST. Routing and endpoint
+//! semantics live behind the [`Handler`] trait; the `quest` crate implements
+//! it over `RecommendationService` and owns the `quest serve` / `quest
+//! loadgen` CLI entry points.
+//!
+//! ## Protocol contract (tested by `tests/serve_protocol.rs`)
+//!
+//! | condition                              | status | connection |
+//! |----------------------------------------|--------|------------|
+//! | malformed request line / header        | 400    | close      |
+//! | `Transfer-Encoding` (unsupported)      | 400    | close      |
+//! | body without `Content-Length` (POST)   | 411    | close      |
+//! | body larger than [`Limits::max_body_bytes`] | 413 | close     |
+//! | head larger than [`Limits::max_head_bytes`] | 431 | close     |
+//! | stalled mid-request past the timeout   | 408    | close      |
+//! | over the accept gate                   | 503    | close      |
+//! | handler panic                          | 500    | close      |
+//! | unknown path (handler-side)            | 404    | keep-alive |
+//! | wrong method on a known path           | 405 + `Allow` | keep-alive |
+//!
+//! [`Limits::max_body_bytes`]: http::Limits::max_body_bytes
+//! [`Limits::max_head_bytes`]: http::Limits::max_head_bytes
+
+pub mod client;
+pub mod http;
+pub mod loadgen;
+pub mod metrics;
+pub mod response;
+pub mod server;
+
+pub use client::{ClientResponse, HttpClient};
+pub use http::{HttpError, Limits, Method, Request, RequestParser};
+pub use loadgen::{LoadReport, LoadgenConfig, Mode, RequestTemplate};
+pub use response::Response;
+pub use server::{Handler, Server, ServerConfig};

@@ -1,0 +1,343 @@
+//! The quest load generator: closed-loop (back-to-back per connection) and
+//! open-loop (target-QPS pacing) modes over the blocking [`HttpClient`],
+//! with p50/p99/p999 log2-histogram latency estimates.
+//!
+//! Workload selection is deterministic: connection `k` of a run with seed
+//! `s` walks the template list from a splitmix64-derived offset, so two runs
+//! with the same seed, template list, connection count, and request count
+//! issue byte-identical request sequences (the determinism contract tested
+//! by `tests/serve_loadgen.rs`). Latency *values* are wall-clock and thus
+//! not deterministic — but request counts, per-status tallies, and the
+//! request-byte histogram are.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use qatk_obs::Histogram;
+
+use crate::client::HttpClient;
+
+/// Load-generation mode.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Mode {
+    /// Each connection issues its next request as soon as the previous
+    /// response arrives. Measures capacity.
+    Closed,
+    /// Requests fire on a global schedule of `target_qps` per second,
+    /// spread round-robin over the connections. Measures latency at a
+    /// fixed offered load; `behind` counts requests that missed their
+    /// scheduled slot (coordinated omission indicator).
+    Open { target_qps: f64 },
+}
+
+/// One request shape the generator can issue.
+#[derive(Debug, Clone)]
+pub struct RequestTemplate {
+    pub method: &'static str,
+    pub path: String,
+    pub body: Option<String>,
+}
+
+impl RequestTemplate {
+    pub fn get(path: impl Into<String>) -> Self {
+        RequestTemplate {
+            method: "GET",
+            path: path.into(),
+            body: None,
+        }
+    }
+
+    pub fn post(path: impl Into<String>, body: impl Into<String>) -> Self {
+        RequestTemplate {
+            method: "POST",
+            path: path.into(),
+            body: Some(body.into()),
+        }
+    }
+
+    /// Bytes of request payload (body only; the head is near-constant).
+    fn body_len(&self) -> u64 {
+        self.body.as_deref().map_or(0, |b| b.len() as u64)
+    }
+}
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    pub addr: String,
+    pub connections: usize,
+    /// Total requests across all connections.
+    pub total_requests: usize,
+    pub mode: Mode,
+    pub seed: u64,
+    pub timeout: Duration,
+    /// Also keep every raw latency sample (exact medians for the bench
+    /// gate; the log2 histogram alone has ≤2× bucket error).
+    pub collect_raw: bool,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            addr: "127.0.0.1:7419".to_owned(),
+            connections: 4,
+            total_requests: 1000,
+            mode: Mode::Closed,
+            seed: 42,
+            timeout: Duration::from_secs(10),
+            collect_raw: false,
+        }
+    }
+}
+
+/// Aggregated results of one run.
+pub struct LoadReport {
+    /// Requests attempted.
+    pub requests: u64,
+    /// 2xx responses.
+    pub ok: u64,
+    /// Transport failures (connect/read/write errors).
+    pub failed: u64,
+    /// Responses per status code.
+    pub status_counts: BTreeMap<u16, u64>,
+    pub elapsed: Duration,
+    /// Completed responses per second of wall time.
+    pub rps: f64,
+    /// Response latency (ns), log2-bucketed.
+    pub latency: Histogram,
+    /// Request body bytes, log2-bucketed (deterministic across runs).
+    pub request_bytes: Histogram,
+    /// Raw latency samples (ns) when `collect_raw` was set, unordered.
+    pub raw_latencies_ns: Vec<u64>,
+    /// Open loop only: requests issued later than their scheduled slot by
+    /// more than one period.
+    pub behind: u64,
+}
+
+impl LoadReport {
+    pub fn p50_ns(&self) -> u64 {
+        self.latency.quantile(0.50)
+    }
+
+    pub fn p99_ns(&self) -> u64 {
+        self.latency.quantile(0.99)
+    }
+
+    pub fn p999_ns(&self) -> u64 {
+        self.latency.quantile(0.999)
+    }
+
+    /// Human-readable multi-line summary for the CLI.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "requests          {}\nok (2xx)          {}\ntransport errors  {}\n",
+            self.requests, self.ok, self.failed
+        ));
+        for (status, n) in &self.status_counts {
+            out.push_str(&format!("  status {status}      {n}\n"));
+        }
+        out.push_str(&format!(
+            "elapsed           {:.3} s\nthroughput        {:.1} req/s\n",
+            self.elapsed.as_secs_f64(),
+            self.rps
+        ));
+        out.push_str(&format!(
+            "latency p50       {}\nlatency p99       {}\nlatency p999      {}\n",
+            fmt_ns(self.p50_ns()),
+            fmt_ns(self.p99_ns()),
+            fmt_ns(self.p999_ns())
+        ));
+        if self.behind > 0 {
+            out.push_str(&format!(
+                "behind schedule   {} (open-loop pacing missed)\n",
+                self.behind
+            ));
+        }
+        out
+    }
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// splitmix64 — the workspace's standard tiny PRNG step.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+struct Tally {
+    ok: AtomicU64,
+    failed: AtomicU64,
+    behind: AtomicU64,
+    issued: AtomicUsize,
+    latency: Histogram,
+    request_bytes: Histogram,
+    status_counts: Mutex<BTreeMap<u16, u64>>,
+    raw: Mutex<Vec<u64>>,
+}
+
+/// Run the generator to completion and aggregate. Panics only on internal
+/// invariant violations; transport failures are counted, not fatal (a
+/// connection that dies is re-established).
+pub fn run(config: &LoadgenConfig, templates: &[RequestTemplate]) -> LoadReport {
+    assert!(!templates.is_empty(), "loadgen needs at least one template");
+    assert!(
+        config.connections > 0,
+        "loadgen needs at least one connection"
+    );
+    let tally = Tally {
+        ok: AtomicU64::new(0),
+        failed: AtomicU64::new(0),
+        behind: AtomicU64::new(0),
+        issued: AtomicUsize::new(0),
+        latency: Histogram::new(),
+        request_bytes: Histogram::new(),
+        status_counts: Mutex::new(BTreeMap::new()),
+        raw: Mutex::new(Vec::new()),
+    };
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        for k in 0..config.connections {
+            let tally = &tally;
+            scope.spawn(move || connection_loop(config, templates, k, started, tally));
+        }
+    });
+    let elapsed = started.elapsed();
+    let requests = tally.issued.load(Ordering::Relaxed) as u64;
+    let completed = requests - tally.failed.load(Ordering::Relaxed);
+    LoadReport {
+        requests,
+        ok: tally.ok.load(Ordering::Relaxed),
+        failed: tally.failed.load(Ordering::Relaxed),
+        status_counts: tally.status_counts.into_inner().unwrap(),
+        elapsed,
+        rps: completed as f64 / elapsed.as_secs_f64().max(1e-9),
+        latency: tally.latency,
+        request_bytes: tally.request_bytes,
+        raw_latencies_ns: tally.raw.into_inner().unwrap(),
+        behind: tally.behind.load(Ordering::Relaxed),
+    }
+}
+
+/// Requests assigned to connection `k`: indices `k, k+C, k+2C, …` of the
+/// global sequence, so the per-connection share is deterministic.
+fn connection_loop(
+    config: &LoadgenConfig,
+    templates: &[RequestTemplate],
+    k: usize,
+    run_start: Instant,
+    tally: &Tally,
+) {
+    let c = config.connections;
+    let offset = splitmix64(config.seed ^ (k as u64)) as usize;
+    let mut client: Option<HttpClient> = None;
+    let mut j = 0usize; // per-connection request counter
+    loop {
+        let g = k + j * c; // global request index
+        if g >= config.total_requests {
+            return;
+        }
+        if let Mode::Open { target_qps } = config.mode {
+            let due = Duration::from_secs_f64((g + 1) as f64 / target_qps);
+            let now = run_start.elapsed();
+            if now < due {
+                std::thread::sleep(due - now);
+            } else if now > due + Duration::from_secs_f64(1.0 / target_qps) {
+                tally.behind.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let template = &templates[(offset + j) % templates.len()];
+        tally.issued.fetch_add(1, Ordering::Relaxed);
+        tally.request_bytes.record(template.body_len());
+        let outcome = with_client(&mut client, config, |cl| {
+            let t0 = Instant::now();
+            let resp = cl.request(template.method, &template.path, template.body.as_deref())?;
+            Ok((resp, t0.elapsed()))
+        });
+        match outcome {
+            Ok((resp, rtt)) => {
+                let ns = rtt.as_nanos().min(u64::MAX as u128) as u64;
+                tally.latency.record(ns);
+                if config.collect_raw {
+                    tally.raw.lock().unwrap().push(ns);
+                }
+                if (200..300).contains(&resp.status) {
+                    tally.ok.fetch_add(1, Ordering::Relaxed);
+                }
+                *tally
+                    .status_counts
+                    .lock()
+                    .unwrap()
+                    .entry(resp.status)
+                    .or_insert(0) += 1;
+                // the server closes after parse errors / shutdown drain
+                if resp.close() {
+                    client = None;
+                }
+            }
+            Err(_) => {
+                tally.failed.fetch_add(1, Ordering::Relaxed);
+                client = None;
+            }
+        }
+        j += 1;
+    }
+}
+
+/// Run `f` on the live connection, establishing one first if needed.
+fn with_client<T>(
+    client: &mut Option<HttpClient>,
+    config: &LoadgenConfig,
+    f: impl FnOnce(&mut HttpClient) -> std::io::Result<T>,
+) -> std::io::Result<T> {
+    if client.is_none() {
+        *client = Some(HttpClient::connect(config.addr.as_str(), config.timeout)?);
+    }
+    let result = f(client.as_mut().expect("client was just established"));
+    if result.is_err() {
+        *client = None;
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_stable() {
+        // pinned values: the determinism contract depends on this function
+        assert_eq!(splitmix64(0), 0xe220a8397b1dcdaf);
+        assert_ne!(splitmix64(42), splitmix64(43));
+    }
+
+    #[test]
+    fn template_offsets_cover_all_connections_deterministically() {
+        let a: Vec<u64> = (0..4).map(|k| splitmix64(7 ^ k)).collect();
+        let b: Vec<u64> = (0..4).map(|k| splitmix64(7 ^ k)).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fmt_ns_scales() {
+        assert_eq!(fmt_ns(950), "950 ns");
+        assert_eq!(fmt_ns(1_500), "1.5 µs");
+        assert_eq!(fmt_ns(2_500_000), "2.50 ms");
+        assert_eq!(fmt_ns(3_000_000_000), "3.00 s");
+    }
+}

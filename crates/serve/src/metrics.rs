@@ -1,0 +1,135 @@
+//! Serving-layer metrics (DESIGN.md §7 naming): connection/accept-gate
+//! counters plus per-endpoint request/latency/error triples registered on
+//! demand under `qatk_serve_<endpoint>_*`.
+
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock, PoisonError};
+
+use qatk_obs::{Counter, Gauge, Histogram, Registry};
+
+/// Handles to the connection-level `qatk_serve_*` metrics.
+pub struct ServeMetrics {
+    /// Connections admitted past the accept gate.
+    pub connections_total: &'static Counter,
+    /// Connections admitted and not yet closed (queued or being served).
+    pub connections_active: &'static Gauge,
+    /// Connections refused with 503 at the accept gate.
+    pub rejected_busy_total: &'static Counter,
+    /// Stalled requests answered with 408 (read timeout or head deadline).
+    pub timeouts_total: &'static Counter,
+    /// Requests failing HTTP parsing (the 400/411/413/431 family).
+    pub parse_errors_total: &'static Counter,
+    /// Handler panics turned into 500s.
+    pub handler_panics_total: &'static Counter,
+    /// Requests fully parsed and dispatched.
+    pub requests_total: &'static Counter,
+    /// 2xx / 4xx / 5xx responses written.
+    pub responses_2xx_total: &'static Counter,
+    pub responses_4xx_total: &'static Counter,
+    pub responses_5xx_total: &'static Counter,
+    /// Wall time from complete request to response written (ns).
+    pub request_latency_ns: &'static Histogram,
+    /// Raw socket bytes in / out.
+    pub bytes_read_total: &'static Counter,
+    pub bytes_written_total: &'static Counter,
+}
+
+/// The connection-level metric handles (registered on first use).
+pub fn metrics() -> &'static ServeMetrics {
+    static M: OnceLock<ServeMetrics> = OnceLock::new();
+    M.get_or_init(|| {
+        let r = Registry::global();
+        ServeMetrics {
+            connections_total: r.counter(
+                "qatk_serve_connections_total",
+                "connections admitted past the accept gate",
+            ),
+            connections_active: r.gauge(
+                "qatk_serve_connections_active",
+                "admitted connections not yet closed",
+            ),
+            rejected_busy_total: r.counter(
+                "qatk_serve_rejected_busy_total",
+                "connections refused with 503 at the accept gate",
+            ),
+            timeouts_total: r.counter(
+                "qatk_serve_timeouts_total",
+                "stalled requests answered with 408",
+            ),
+            parse_errors_total: r.counter(
+                "qatk_serve_parse_errors_total",
+                "requests failing HTTP parsing",
+            ),
+            handler_panics_total: r.counter(
+                "qatk_serve_handler_panics_total",
+                "handler panics turned into 500s",
+            ),
+            requests_total: r.counter(
+                "qatk_serve_requests_total",
+                "requests fully parsed and dispatched",
+            ),
+            responses_2xx_total: r.counter("qatk_serve_responses_2xx_total", "2xx responses"),
+            responses_4xx_total: r.counter("qatk_serve_responses_4xx_total", "4xx responses"),
+            responses_5xx_total: r.counter("qatk_serve_responses_5xx_total", "5xx responses"),
+            request_latency_ns: r.histogram(
+                "qatk_serve_request_latency_ns",
+                "request parse-to-response-written wall time (ns)",
+            ),
+            bytes_read_total: r.counter("qatk_serve_bytes_read_total", "raw socket bytes read"),
+            bytes_written_total: r
+                .counter("qatk_serve_bytes_written_total", "raw socket bytes written"),
+        }
+    })
+}
+
+/// Per-endpoint request/error counters and latency histogram.
+pub struct EndpointMetrics {
+    pub requests_total: &'static Counter,
+    pub errors_total: &'static Counter,
+    pub latency_ns: &'static Histogram,
+}
+
+/// The metric triple for one endpoint label, created on first use. Labels
+/// come from [`crate::Response::endpoint`] — a closed, handler-chosen set —
+/// so the leaked registration names stay bounded.
+pub fn endpoint_metrics(label: &'static str) -> &'static EndpointMetrics {
+    static MAP: OnceLock<Mutex<HashMap<&'static str, &'static EndpointMetrics>>> = OnceLock::new();
+    let mut map = MAP
+        .get_or_init(|| Mutex::new(HashMap::new()))
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    map.entry(label).or_insert_with(|| {
+        let r = Registry::global();
+        let leak = |s: String| -> &'static str { Box::leak(s.into_boxed_str()) };
+        Box::leak(Box::new(EndpointMetrics {
+            requests_total: r.counter(
+                leak(format!("qatk_serve_{label}_requests_total")),
+                leak(format!("requests dispatched to {label}")),
+            ),
+            errors_total: r.counter(
+                leak(format!("qatk_serve_{label}_errors_total")),
+                leak(format!("non-2xx responses from {label}")),
+            ),
+            latency_ns: r.histogram(
+                leak(format!("qatk_serve_{label}_latency_ns")),
+                leak(format!("request latency of {label} (ns)")),
+            ),
+        }))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoint_metrics_are_interned_per_label() {
+        let a = endpoint_metrics("testep");
+        let b = endpoint_metrics("testep");
+        assert!(std::ptr::eq(a, b));
+        a.requests_total.inc();
+        assert_eq!(b.requests_total.get(), 1);
+        let text = Registry::global().render_prometheus();
+        assert!(text.contains("qatk_serve_testep_requests_total 1"));
+    }
+}

@@ -1,0 +1,161 @@
+//! HTTP response construction and serialization.
+
+use crate::http::HttpError;
+
+/// One HTTP response. Handlers construct these; the server serializes them
+/// (adding `Content-Length` and `Connection`) and uses `endpoint` as the
+/// per-endpoint metrics label.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    pub status: u16,
+    pub content_type: &'static str,
+    pub body: Vec<u8>,
+    /// Force-close the connection after this response (parse errors, over
+    /// capacity, shutdown drain). Keep-alive otherwise follows the request.
+    pub close: bool,
+    /// Metrics label (`qatk_serve_<endpoint>_*`); `"other"` when unrouted.
+    pub endpoint: &'static str,
+    /// `Allow` header for 405 responses.
+    pub allow: Option<&'static str>,
+}
+
+impl Response {
+    pub fn new(status: u16, content_type: &'static str, body: impl Into<Vec<u8>>) -> Self {
+        Response {
+            status,
+            content_type,
+            body: body.into(),
+            close: false,
+            endpoint: "other",
+            allow: None,
+        }
+    }
+
+    /// A JSON response from an already serialized document.
+    pub fn json(status: u16, body: String) -> Self {
+        Response::new(status, "application/json", body.into_bytes())
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: impl Into<Vec<u8>>) -> Self {
+        Response::new(status, "text/plain; charset=utf-8", body)
+    }
+
+    /// The uniform error shape: `{"error": "..."}`.
+    pub fn error_json(status: u16, message: &str) -> Self {
+        Response::json(
+            status,
+            format!("{{\"error\":\"{}\"}}", qatk_obs::json::escape(message)),
+        )
+    }
+
+    /// Map a parse failure to its documented status; parse errors always
+    /// close (the byte stream is unsynchronized afterwards).
+    pub fn from_http_error(e: &HttpError) -> Self {
+        let mut r = Response::error_json(e.status(), e.message());
+        r.close = true;
+        r.endpoint = "protocol_error";
+        r
+    }
+
+    pub fn with_endpoint(mut self, endpoint: &'static str) -> Self {
+        self.endpoint = endpoint;
+        self
+    }
+
+    pub fn with_close(mut self) -> Self {
+        self.close = true;
+        self
+    }
+
+    pub fn with_allow(mut self, allow: &'static str) -> Self {
+        self.allow = Some(allow);
+        self
+    }
+
+    /// Canonical reason phrase.
+    pub fn reason(status: u16) -> &'static str {
+        match status {
+            200 => "OK",
+            204 => "No Content",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            408 => "Request Timeout",
+            411 => "Length Required",
+            413 => "Payload Too Large",
+            431 => "Request Header Fields Too Large",
+            500 => "Internal Server Error",
+            503 => "Service Unavailable",
+            _ => "Unknown",
+        }
+    }
+
+    /// Serialize head + body. `head_only` (HEAD requests) keeps the real
+    /// `Content-Length` but omits the body bytes.
+    pub fn to_bytes(&self, head_only: bool) -> Vec<u8> {
+        let mut out = Vec::with_capacity(128 + if head_only { 0 } else { self.body.len() });
+        out.extend_from_slice(
+            format!(
+                "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
+                self.status,
+                Self::reason(self.status),
+                self.content_type,
+                self.body.len(),
+                if self.close { "close" } else { "keep-alive" }
+            )
+            .as_bytes(),
+        );
+        if let Some(allow) = self.allow {
+            out.extend_from_slice(format!("Allow: {allow}\r\n").as_bytes());
+        }
+        out.extend_from_slice(b"\r\n");
+        if !head_only {
+            out.extend_from_slice(&self.body);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serializes_with_length_and_connection() {
+        let r = Response::json(200, "{\"ok\":true}".to_owned());
+        let bytes = r.to_bytes(false);
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
+    }
+
+    #[test]
+    fn head_only_keeps_length_drops_body() {
+        let r = Response::text(200, "hello");
+        let text = String::from_utf8(r.to_bytes(true)).unwrap();
+        assert!(text.contains("Content-Length: 5\r\n"));
+        assert!(text.ends_with("\r\n\r\n"));
+    }
+
+    #[test]
+    fn error_mapping_closes_and_escapes() {
+        let r = Response::from_http_error(&HttpError::HeadersTooLarge);
+        assert_eq!(r.status, 431);
+        assert!(r.close);
+        let r = Response::error_json(400, "bad \"x\"");
+        assert_eq!(
+            String::from_utf8(r.body).unwrap(),
+            "{\"error\":\"bad \\\"x\\\"\"}"
+        );
+    }
+
+    #[test]
+    fn allow_header_rendered() {
+        let r = Response::error_json(405, "use POST").with_allow("POST");
+        let text = String::from_utf8(r.to_bytes(false)).unwrap();
+        assert!(text.contains("Allow: POST\r\n"));
+    }
+}

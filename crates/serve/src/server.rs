@@ -1,0 +1,474 @@
+//! The fixed-thread-pool HTTP/1.1 server over `std::net` (DESIGN.md §10).
+//!
+//! One acceptor thread admits connections behind a max-in-flight gate
+//! (graceful degradation: over capacity, the connection gets an immediate
+//! `503` and is closed instead of queueing unboundedly) and hands them to a
+//! small fixed pool of worker threads over a `Mutex<VecDeque>` + `Condvar`.
+//! Each worker drives one connection at a time through a keep-alive loop:
+//! incremental parse → dispatch → serialized response, with per-read
+//! timeouts (stalled mid-request ⇒ `408`, idle keep-alive ⇒ silent close)
+//! and a total head deadline so a trickling client cannot hold a worker
+//! forever. There is no async runtime: the query path underneath is the
+//! `&self` [`KnowledgeSnapshot`] serving stack, so a handful of blocking
+//! threads saturate the hardware.
+//!
+//! [`KnowledgeSnapshot`]: ../../qatk_core/snapshot/struct.KnowledgeSnapshot.html
+
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::http::{HttpError, Limits, Method, RequestParser};
+use crate::metrics::{endpoint_metrics, metrics};
+use crate::response::Response;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads (each serves one connection at a time).
+    pub threads: usize,
+    /// Max connections admitted and not yet closed (active + queued);
+    /// beyond it the accept gate answers 503 immediately.
+    pub max_in_flight: usize,
+    /// Per-read socket timeout.
+    pub read_timeout: Duration,
+    /// Per-write socket timeout.
+    pub write_timeout: Duration,
+    /// Total time a request head may take to arrive before the connection
+    /// is answered 408 — the slowloris bound (per-read timeouts alone never
+    /// fire against a client trickling one byte per interval).
+    pub header_deadline: Duration,
+    /// Parser limits (431 head cap, 413 body cap).
+    pub limits: Limits,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            threads: 4,
+            max_in_flight: 64,
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            header_deadline: Duration::from_secs(10),
+            limits: Limits::default(),
+        }
+    }
+}
+
+/// A request handler: routing and endpoint semantics live behind this, the
+/// server owns only the protocol.
+pub trait Handler: Send + Sync + 'static {
+    fn handle(&self, req: &crate::http::Request) -> Response;
+}
+
+impl<F> Handler for F
+where
+    F: Fn(&crate::http::Request) -> Response + Send + Sync + 'static,
+{
+    fn handle(&self, req: &crate::http::Request) -> Response {
+        self(req)
+    }
+}
+
+struct Shared {
+    config: ServerConfig,
+    handler: Arc<dyn Handler>,
+    queue: Mutex<VecDeque<TcpStream>>,
+    available: Condvar,
+    shutdown: AtomicBool,
+    in_flight: AtomicUsize,
+}
+
+/// A running server: an acceptor, `threads` workers, and a bound address.
+/// Dropping the server shuts it down gracefully (drain, then join).
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind `addr` and start accepting. Port 0 picks an ephemeral port;
+    /// read it back with [`Server::local_addr`].
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+        handler: Arc<dyn Handler>,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            config,
+            handler,
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            in_flight: AtomicUsize::new(0),
+        });
+        let workers = (0..shared.config.threads.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("qatk-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawning a worker thread succeeds")
+            })
+            .collect();
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("qatk-serve-acceptor".to_owned())
+                .spawn(move || accept_loop(&listener, &shared))
+                .expect("spawning the acceptor thread succeeds")
+        };
+        Ok(Server {
+            shared,
+            addr: local,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Connections admitted and not yet closed.
+    pub fn in_flight(&self) -> usize {
+        self.shared.in_flight.load(Ordering::Acquire)
+    }
+
+    /// Block until the server is shut down from another thread (the CLI
+    /// foreground mode). Never returns under normal operation.
+    pub fn join(mut self) {
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        self.finish();
+    }
+
+    /// Graceful shutdown: stop accepting, let workers finish the requests
+    /// (and queued connections) already admitted, then join every thread.
+    /// In-flight requests complete and their responses are written — an
+    /// acked write is never dropped — but their connections close instead
+    /// of staying keep-alive.
+    pub fn shutdown(mut self) {
+        self.begin_shutdown();
+        self.finish();
+    }
+
+    fn begin_shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        // unblock the acceptor's blocking accept with a dummy connection
+        let _ = TcpStream::connect(self.addr);
+        self.shared.available.notify_all();
+    }
+
+    fn finish(&mut self) {
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        self.shared.available.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if !self.shared.shutdown.load(Ordering::Acquire) {
+            self.begin_shutdown();
+        }
+        self.finish();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Shared) {
+    let m = metrics();
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        // the max-in-flight gate: admit or degrade gracefully with 503
+        let admitted = shared
+            .in_flight
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
+                (n < shared.config.max_in_flight).then_some(n + 1)
+            })
+            .is_ok();
+        if !admitted {
+            m.rejected_busy_total.inc();
+            reject_busy(stream, &shared.config);
+            continue;
+        }
+        m.connections_total.inc();
+        m.connections_active
+            .set(shared.in_flight.load(Ordering::Acquire) as i64);
+        let mut queue = shared.queue.lock().unwrap_or_else(PoisonError::into_inner);
+        queue.push_back(stream);
+        drop(queue);
+        shared.available.notify_one();
+    }
+}
+
+/// Best-effort 503 to a connection the gate refused.
+fn reject_busy(mut stream: TcpStream, config: &ServerConfig) {
+    let _ = stream.set_write_timeout(Some(config.write_timeout));
+    let resp = Response::error_json(503, "server at capacity")
+        .with_close()
+        .with_endpoint("rejected");
+    let _ = stream.write_all(&resp.to_bytes(false));
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let stream = {
+            let mut queue = shared.queue.lock().unwrap_or_else(PoisonError::into_inner);
+            loop {
+                if let Some(s) = queue.pop_front() {
+                    break s;
+                }
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                queue = shared
+                    .available
+                    .wait(queue)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        // a connection panic must not kill the worker: the pool would
+        // silently shrink request by request
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            serve_connection(shared, stream);
+        }));
+        if result.is_err() {
+            metrics().handler_panics_total.inc();
+        }
+        shared.in_flight.fetch_sub(1, Ordering::AcqRel);
+        metrics()
+            .connections_active
+            .set(shared.in_flight.load(Ordering::Acquire) as i64);
+    }
+}
+
+/// The per-connection keep-alive loop.
+fn serve_connection(shared: &Shared, mut stream: TcpStream) {
+    let m = metrics();
+    let config = &shared.config;
+    if stream.set_read_timeout(Some(config.read_timeout)).is_err()
+        || stream
+            .set_write_timeout(Some(config.write_timeout))
+            .is_err()
+    {
+        return;
+    }
+    let _ = stream.set_nodelay(true);
+    let mut parser = RequestParser::new(config.limits);
+    let mut buf = [0u8; 8 * 1024];
+    // set when the first byte of a request arrives; cleared per request
+    let mut head_started: Option<Instant> = None;
+    loop {
+        // drain complete (possibly pipelined) requests before reading more
+        loop {
+            match parser.take_request() {
+                Ok(Some(req)) => {
+                    head_started = None;
+                    let started = Instant::now();
+                    let mut resp = match std::panic::catch_unwind(AssertUnwindSafe(|| {
+                        shared.handler.handle(&req)
+                    })) {
+                        Ok(r) => r,
+                        Err(_) => {
+                            m.handler_panics_total.inc();
+                            Response::error_json(500, "internal server error")
+                                .with_close()
+                                .with_endpoint("panic")
+                        }
+                    };
+                    if shared.shutdown.load(Ordering::Acquire) || !req.keep_alive() {
+                        resp.close = true;
+                    }
+                    let head_only = req.method == Method::Head;
+                    let ok = write_response(&mut stream, &resp, head_only);
+                    record_request(started, &resp);
+                    if !ok || resp.close {
+                        return;
+                    }
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    m.parse_errors_total.inc();
+                    respond_error(&mut stream, &e);
+                    return;
+                }
+            }
+        }
+        // the slowloris bound: a head trickling in past the deadline is cut
+        if let Some(t0) = head_started {
+            if t0.elapsed() > config.header_deadline {
+                m.timeouts_total.inc();
+                respond_timeout(&mut stream);
+                return;
+            }
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => return, // peer closed
+            Ok(n) => {
+                m.bytes_read_total.add(n as u64);
+                if parser.has_partial() || head_started.is_none() {
+                    head_started.get_or_insert_with(Instant::now);
+                }
+                parser.push(&buf[..n]);
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if parser.has_partial() {
+                    // stalled mid-request
+                    m.timeouts_total.inc();
+                    respond_timeout(&mut stream);
+                } // else: idle keep-alive connection; close silently
+                return;
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+fn respond_error(stream: &mut TcpStream, e: &HttpError) {
+    let resp = Response::from_http_error(e);
+    let started = Instant::now();
+    let _ = write_response(stream, &resp, false);
+    record_request(started, &resp);
+}
+
+fn respond_timeout(stream: &mut TcpStream) {
+    let resp = Response::error_json(408, "request timed out")
+        .with_close()
+        .with_endpoint("timeout");
+    let _ = write_response(stream, &resp, false);
+}
+
+fn write_response(stream: &mut TcpStream, resp: &Response, head_only: bool) -> bool {
+    let bytes = resp.to_bytes(head_only);
+    let ok = stream.write_all(&bytes).is_ok() && stream.flush().is_ok();
+    if ok {
+        metrics().bytes_written_total.add(bytes.len() as u64);
+    }
+    ok
+}
+
+fn record_request(started: Instant, resp: &Response) {
+    let m = metrics();
+    let ns = started.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+    m.requests_total.inc();
+    m.request_latency_ns.record(ns);
+    match resp.status {
+        200..=299 => m.responses_2xx_total.inc(),
+        400..=499 => m.responses_4xx_total.inc(),
+        _ => m.responses_5xx_total.inc(),
+    }
+    let ep = endpoint_metrics(resp.endpoint);
+    ep.requests_total.inc();
+    ep.latency_ns.record(ns);
+    if resp.status >= 400 {
+        ep.errors_total.inc();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::HttpClient;
+    use crate::http::Request;
+
+    fn echo_handler(req: &Request) -> Response {
+        match (req.method.clone(), req.path()) {
+            (Method::Get, "/ping") => Response::text(200, "pong").with_endpoint("ping"),
+            (Method::Post, "/echo") => {
+                Response::new(200, "application/octet-stream", req.body.clone())
+                    .with_endpoint("echo")
+            }
+            (_, "/ping" | "/echo") => {
+                Response::error_json(405, "method not allowed").with_allow("GET, POST")
+            }
+            _ => Response::error_json(404, "no such endpoint"),
+        }
+    }
+
+    fn spawn(config: ServerConfig) -> Server {
+        Server::bind("127.0.0.1:0", config, Arc::new(echo_handler)).expect("bind loopback")
+    }
+
+    #[test]
+    fn serves_keep_alive_requests_on_one_connection() {
+        let server = spawn(ServerConfig::default());
+        let mut c = HttpClient::connect(server.local_addr(), Duration::from_secs(5)).unwrap();
+        for i in 0..5 {
+            let r = c.request("GET", "/ping", None).unwrap();
+            assert_eq!(r.status, 200, "request {i}");
+            assert_eq!(r.body, b"pong");
+            assert!(!r.close());
+        }
+        let r = c.request("POST", "/echo", Some("{\"n\":1}")).unwrap();
+        assert_eq!(r.body, b"{\"n\":1}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn concurrent_connections_all_served() {
+        let server = spawn(ServerConfig {
+            threads: 4,
+            ..ServerConfig::default()
+        });
+        let addr = server.local_addr();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(move || {
+                    let mut c = HttpClient::connect(addr, Duration::from_secs(5)).unwrap();
+                    for _ in 0..20 {
+                        let r = c.request("POST", "/echo", Some("x")).unwrap();
+                        assert_eq!(r.status, 200);
+                    }
+                });
+            }
+        });
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_completes_in_flight_request() {
+        let server = spawn(ServerConfig::default());
+        let mut c = HttpClient::connect(server.local_addr(), Duration::from_secs(5)).unwrap();
+        let r = c.request("GET", "/ping", None).unwrap();
+        assert_eq!(r.status, 200);
+        server.shutdown();
+        // after shutdown the port stops accepting
+        assert!(
+            TcpStream::connect_timeout(&c.peer_addr().unwrap(), Duration::from_millis(200))
+                .is_err()
+                || HttpClient::connect(c.peer_addr().unwrap(), Duration::from_millis(200))
+                    .and_then(|mut c2| c2.request("GET", "/ping", None))
+                    .is_err()
+        );
+    }
+}

@@ -1,0 +1,204 @@
+//! Torn-input property suite for the incremental HTTP parser (ISSUE 6
+//! satellite 1): parsing a byte stream must be byte-for-byte independent of
+//! how the stream was split across socket reads. Every corpus document is
+//! fed one byte at a time and at random split points, and the outcome —
+//! requests extracted, terminal error, bytes left buffered — must equal the
+//! one-shot parse. The parser must also never consume bytes beyond the
+//! requests it returns (pipelined successors survive).
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use qatk_serve::{HttpError, Limits, Request, RequestParser};
+
+/// Valid and invalid wire documents, exercising every branch of the
+/// error-code contract plus pipelining and odd-but-legal shapes.
+const CORPUS: &[&[u8]] = &[
+    // --- valid ---
+    b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n",
+    b"GET /metrics?format=text HTTP/1.0\r\n\r\n",
+    b"HEAD /healthz HTTP/1.1\r\n\r\n",
+    b"POST /suggest HTTP/1.1\r\nContent-Type: application/json\r\nContent-Length: 17\r\n\r\n{\"part_id\":\"P01\"}",
+    b"POST /learn HTTP/1.1\r\nContent-Length: 0\r\n\r\n",
+    b"OPTIONS * HTTP/1.1\r\n\r\n",
+    b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n",
+    b"GET / HTTP/1.1\r\nX-Empty:\r\nX-Pad:   spaced   \r\n\r\n",
+    // stray CRLFs between pipelined requests are legal
+    b"\r\n\r\nGET /healthz HTTP/1.1\r\n\r\n",
+    // pipelined pair in one document
+    b"POST /suggest HTTP/1.1\r\nContent-Length: 2\r\n\r\nhiGET /metrics HTTP/1.1\r\n\r\n",
+    // binary body bytes (Content-Length framing, no interpretation)
+    b"POST /x HTTP/1.1\r\nContent-Length: 4\r\n\r\n\x00\xff\r\n",
+    // --- invalid: the 400 family ---
+    b"GE T / HTTP/1.1\r\n\r\n",
+    b"GET nopath HTTP/1.1\r\n\r\n",
+    b"GET / HTTP/2.0\r\n\r\n",
+    b"GET / HTTP/1.1\r\nBad Header: x\r\n\r\n",
+    b"GET / HTTP/1.1\r\nNoColonHere\r\n\r\n",
+    b"GET / HTTP/1.1\r\nA: b\r\n folded\r\n\r\n",
+    b"POST / HTTP/1.1\r\nContent-Length: nine\r\n\r\n",
+    b"POST / HTTP/1.1\r\nContent-Length: 1\r\nContent-Length: 2\r\n\r\n",
+    b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+    // --- invalid: 411 / 413 ---
+    b"POST / HTTP/1.1\r\n\r\n",
+    b"POST / HTTP/1.1\r\nContent-Length: 9999999\r\n\r\n",
+];
+
+/// Outcome of draining one parser over one fully-pushed document.
+#[derive(Debug, PartialEq)]
+struct Outcome {
+    requests: Vec<Request>,
+    error: Option<HttpError>,
+    leftover: usize,
+}
+
+fn one_shot(doc: &[u8]) -> Outcome {
+    let mut p = RequestParser::new(Limits::default());
+    p.push(doc);
+    let mut requests = Vec::new();
+    let error = loop {
+        match p.take_request() {
+            Ok(Some(r)) => requests.push(r),
+            Ok(None) => break None,
+            Err(e) => break Some(e),
+        }
+    };
+    Outcome {
+        requests,
+        error,
+        leftover: p.buffered(),
+    }
+}
+
+/// Parse `doc` split into the chunks delimited by `cuts` (sorted, deduped),
+/// draining the parser after every chunk — exactly how the server's
+/// connection loop interleaves reads and parses.
+fn torn(doc: &[u8], cuts: &[usize]) -> Outcome {
+    let mut p = RequestParser::new(Limits::default());
+    let mut requests = Vec::new();
+    let mut prev = 0;
+    let bounds: Vec<usize> = cuts.iter().copied().chain([doc.len()]).collect();
+    for cut in bounds {
+        p.push(&doc[prev..cut]);
+        prev = cut;
+        loop {
+            match p.take_request() {
+                Ok(Some(r)) => requests.push(r),
+                Ok(None) => break,
+                Err(e) => {
+                    return Outcome {
+                        requests,
+                        error: Some(e),
+                        leftover: p.buffered(),
+                    }
+                }
+            }
+        }
+    }
+    Outcome {
+        requests,
+        error: None,
+        leftover: p.buffered(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Random split points over a random corpus document: identical
+    /// requests, identical terminal error, identical leftover bytes. (When
+    /// the error fires early in torn mode, unpushed bytes can't be
+    /// buffered — leftovers are only compared on success.)
+    #[test]
+    fn random_splits_equal_one_shot(
+        idx in 0usize..CORPUS.len(),
+        raw_cuts in vec(0usize..512, 0..8),
+    ) {
+        let doc = CORPUS[idx];
+        let expected = one_shot(doc);
+        let mut cuts: Vec<usize> = raw_cuts.iter().map(|c| c % (doc.len() + 1)).collect();
+        cuts.sort_unstable();
+        cuts.dedup();
+        let got = torn(doc, &cuts);
+        prop_assert_eq!(&got.requests, &expected.requests);
+        prop_assert_eq!(&got.error, &expected.error);
+        if expected.error.is_none() {
+            prop_assert_eq!(got.leftover, expected.leftover);
+        }
+    }
+
+    /// The degenerate worst case: one byte per read.
+    #[test]
+    fn byte_by_byte_equals_one_shot(idx in 0usize..CORPUS.len()) {
+        let doc = CORPUS[idx];
+        let expected = one_shot(doc);
+        let cuts: Vec<usize> = (1..doc.len()).collect();
+        let got = torn(doc, &cuts);
+        prop_assert_eq!(&got.requests, &expected.requests);
+        prop_assert_eq!(&got.error, &expected.error);
+        if expected.error.is_none() {
+            prop_assert_eq!(got.leftover, expected.leftover);
+        }
+    }
+
+    /// No over-read: two valid documents concatenated and split anywhere
+    /// parse to the concatenation of their requests, with nothing left.
+    #[test]
+    fn pipelined_concatenation_consumes_exactly(
+        a in 0usize..11, // the valid prefix of CORPUS
+        b in 0usize..11,
+        raw_cuts in vec(0usize..512, 0..6),
+    ) {
+        let mut doc = CORPUS[a].to_vec();
+        doc.extend_from_slice(CORPUS[b]);
+        let mut expected = one_shot(CORPUS[a]).requests;
+        expected.extend(one_shot(CORPUS[b]).requests);
+        let mut cuts: Vec<usize> = raw_cuts.iter().map(|c| c % (doc.len() + 1)).collect();
+        cuts.sort_unstable();
+        cuts.dedup();
+        let got = torn(&doc, &cuts);
+        prop_assert_eq!(got.error, None);
+        prop_assert_eq!(got.requests, expected);
+        prop_assert_eq!(got.leftover, 0);
+    }
+
+    /// Arbitrary garbage must never panic or hang — worst case it errors or
+    /// waits for more input.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in vec(any::<u8>(), 0..256)) {
+        let mut p = RequestParser::new(Limits {
+            max_head_bytes: 128,
+            max_body_bytes: 64,
+        });
+        for chunk in bytes.chunks(7) {
+            p.push(chunk);
+            loop {
+                match p.take_request() {
+                    Ok(Some(_)) => continue,
+                    Ok(None) => break,
+                    Err(_) => return Ok(()),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn corpus_sanity() {
+    // the first 11 entries are the valid prefix the pipelining property
+    // relies on; every one of them must parse clean
+    for (i, doc) in CORPUS[..11].iter().enumerate() {
+        let out = one_shot(doc);
+        assert!(
+            out.error.is_none(),
+            "corpus[{i}] should be valid: {:?}",
+            out.error
+        );
+        assert!(!out.requests.is_empty(), "corpus[{i}] yielded no request");
+        assert_eq!(out.leftover, 0, "corpus[{i}] left bytes buffered");
+    }
+    // and every remaining entry must fail
+    for (i, doc) in CORPUS[11..].iter().enumerate() {
+        let out = one_shot(doc);
+        assert!(out.error.is_some(), "corpus[{}] should be invalid", 11 + i);
+    }
+}

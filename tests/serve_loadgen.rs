@@ -1,0 +1,181 @@
+//! Load-generator determinism and sanity (ISSUE 6 satellite 4): the same
+//! seed must drive byte-identical workloads — equal request counts, equal
+//! per-status tallies, equal request-byte histogram buckets — across two
+//! closed-loop runs. Latency *values* are wall-clock and excluded from the
+//! determinism contract; their counts are not.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use qatk_serve::http::Request;
+use qatk_serve::loadgen;
+use qatk_serve::{
+    Handler, LoadgenConfig, Method, Mode, RequestTemplate, Response, Server, ServerConfig,
+};
+
+struct EchoRouter;
+
+impl Handler for EchoRouter {
+    fn handle(&self, req: &Request) -> Response {
+        match (req.method.clone(), req.path()) {
+            (Method::Get, "/ping") => Response::text(200, "pong"),
+            (Method::Post, "/echo") => {
+                Response::new(200, "application/octet-stream", req.body.clone())
+            }
+            (Method::Post, "/missing") => Response::error_json(404, "gone"),
+            _ => Response::error_json(404, "no such endpoint"),
+        }
+    }
+}
+
+fn server() -> Server {
+    Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            threads: 4,
+            ..ServerConfig::default()
+        },
+        Arc::new(EchoRouter),
+    )
+    .expect("bind loopback")
+}
+
+/// Bodies sized into distinct log2 buckets, so a changed workload shows up
+/// in the request-byte histogram, plus a deliberate 404 template so status
+/// tallies carry signal too.
+fn templates() -> Vec<RequestTemplate> {
+    vec![
+        RequestTemplate::get("/ping"),
+        RequestTemplate::post("/echo", "x".repeat(24)),
+        RequestTemplate::post("/echo", "y".repeat(100)),
+        RequestTemplate::post("/echo", "z".repeat(700)),
+        RequestTemplate::post("/missing", "{}"),
+    ]
+}
+
+fn config(addr: String, seed: u64) -> LoadgenConfig {
+    LoadgenConfig {
+        addr,
+        connections: 3,
+        total_requests: 200,
+        mode: Mode::Closed,
+        seed,
+        timeout: Duration::from_secs(10),
+        collect_raw: false,
+    }
+}
+
+#[test]
+fn same_seed_same_workload_across_runs() {
+    let server = server();
+    let addr = server.local_addr().to_string();
+    let t = templates();
+    let a = loadgen::run(&config(addr.clone(), 7), &t);
+    let b = loadgen::run(&config(addr.clone(), 7), &t);
+
+    assert_eq!(a.requests, 200);
+    assert_eq!(
+        a.failed, 0,
+        "loopback closed-loop run must not drop requests"
+    );
+    assert_eq!(a.requests, b.requests);
+    assert_eq!(
+        a.status_counts, b.status_counts,
+        "per-status tallies differ"
+    );
+    assert_eq!(
+        a.request_bytes.bucket_counts(),
+        b.request_bytes.bucket_counts(),
+        "request-byte histograms differ: the workload was not deterministic"
+    );
+    assert_eq!(a.latency.count(), b.latency.count());
+    // the 404 template is part of the mix, so both tallies must show it
+    assert!(a.status_counts.get(&404).copied().unwrap_or(0) > 0);
+    assert!(a.status_counts.get(&200).copied().unwrap_or(0) > 0);
+    server.shutdown();
+}
+
+#[test]
+fn latency_histogram_has_nonzero_tail_quantiles() {
+    let server = server();
+    let addr = server.local_addr().to_string();
+    let t = templates();
+    let mut cfg = config(addr, 42);
+    cfg.collect_raw = true;
+    let report = loadgen::run(&cfg, &t);
+
+    assert_eq!(report.failed, 0);
+    assert!(report.p50_ns() > 0, "p50 must be a real latency");
+    assert!(report.p999_ns() > 0, "p999 must be a real latency");
+    assert!(report.p999_ns() >= report.p99_ns());
+    assert!(report.p99_ns() >= report.p50_ns());
+    assert!(report.rps > 0.0);
+    // raw collection keeps one sample per completed request
+    assert_eq!(report.raw_latencies_ns.len() as u64, report.latency.count());
+    // the human rendering mentions the quantiles it promises
+    let text = report.render();
+    assert!(text.contains("latency p999"));
+    assert!(text.contains("throughput"));
+    server.shutdown();
+}
+
+#[test]
+fn open_loop_paces_to_the_target_qps() {
+    let server = server();
+    let addr = server.local_addr().to_string();
+    let t = vec![RequestTemplate::get("/ping")];
+    let report = loadgen::run(
+        &LoadgenConfig {
+            addr,
+            connections: 2,
+            total_requests: 120,
+            mode: Mode::Open { target_qps: 400.0 },
+            seed: 1,
+            timeout: Duration::from_secs(10),
+            collect_raw: false,
+        },
+        &t,
+    );
+    assert_eq!(report.requests, 120);
+    assert_eq!(report.failed, 0);
+    // 120 requests at 400 QPS is 300 ms of schedule: the run must take at
+    // least that long (pacing) and nowhere near closed-loop speed
+    assert!(
+        report.elapsed >= Duration::from_millis(250),
+        "open loop finished too fast: {:?} — pacing is not happening",
+        report.elapsed
+    );
+    // and the achieved rate must be at or below the offered rate (plus
+    // scheduling slack) — an open loop never exceeds its target
+    assert!(
+        report.rps <= 500.0,
+        "open loop overshot the target: {} req/s",
+        report.rps
+    );
+    server.shutdown();
+}
+
+#[test]
+fn transport_failures_are_counted_not_fatal() {
+    // point the generator at a dead port: every request fails, none panic
+    let dead = {
+        // bind-then-drop to find a port that is very likely unused
+        let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        l.local_addr().unwrap().to_string()
+    };
+    let report = loadgen::run(
+        &LoadgenConfig {
+            addr: dead,
+            connections: 2,
+            total_requests: 10,
+            mode: Mode::Closed,
+            seed: 3,
+            timeout: Duration::from_millis(300),
+            collect_raw: false,
+        },
+        &[RequestTemplate::get("/ping")],
+    );
+    assert_eq!(report.requests, 10);
+    assert_eq!(report.failed, 10);
+    assert_eq!(report.ok, 0);
+}

@@ -1,0 +1,358 @@
+//! Malformed-request matrix for the serving layer (ISSUE 6 satellite 2):
+//! every row of the DESIGN.md §10 error-code contract, exercised over real
+//! sockets against a running [`qatk_serve::Server`] — oversized heads and
+//! bodies, missing/malformed/conflicting `Content-Length`, bad
+//! method/target/version tokens, pipelined requests, a slowloris stall, the
+//! accept-gate 503, and a handler panic. Each case asserts both the status
+//! code and whether the connection was closed or kept, per spec.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use qatk_serve::http::Limits;
+use qatk_serve::{Handler, HttpClient, Method, Request, Response, Server, ServerConfig};
+
+/// Minimal router with the same routing conventions as the QUEST app: one
+/// GET endpoint, one POST endpoint, a panic trigger, 404/405 for the rest.
+struct TestRouter;
+
+impl Handler for TestRouter {
+    fn handle(&self, req: &Request) -> Response {
+        match (req.method.clone(), req.path()) {
+            (Method::Get | Method::Head, "/ping") => Response::text(200, "pong"),
+            (Method::Post, "/echo") => {
+                Response::new(200, "application/octet-stream", req.body.clone())
+            }
+            (_, "/ping") => Response::error_json(405, "use GET").with_allow("GET, HEAD"),
+            (_, "/echo") => Response::error_json(405, "use POST").with_allow("POST"),
+            (_, "/panic") => panic!("deliberate handler panic"),
+            _ => Response::error_json(404, "no such endpoint"),
+        }
+    }
+}
+
+fn server(config: ServerConfig) -> Server {
+    Server::bind("127.0.0.1:0", config, Arc::new(TestRouter)).expect("bind loopback")
+}
+
+fn default_server() -> Server {
+    server(ServerConfig::default())
+}
+
+/// Write raw bytes, then read until the peer closes. Returns everything the
+/// server sent — for cases where the connection must end in a close.
+fn raw_until_close(server: &Server, bytes: &[u8]) -> String {
+    let mut s = TcpStream::connect(server.local_addr()).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    s.write_all(bytes).unwrap();
+    let mut out = Vec::new();
+    s.read_to_end(&mut out)
+        .expect("server should close the connection");
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn status_of(response: &str) -> u16 {
+    response
+        .strip_prefix("HTTP/1.1 ")
+        .and_then(|r| r[..3].parse().ok())
+        .unwrap_or_else(|| panic!("unparsable response: {response:?}"))
+}
+
+#[test]
+fn malformed_request_line_matrix() {
+    let server = default_server();
+    // (wire bytes, expected status): every request-line defect is a 400
+    let cases: &[(&[u8], u16)] = &[
+        (b"GE T / HTTP/1.1\r\n\r\n", 400),       // space in method
+        (b"GET nopath HTTP/1.1\r\n\r\n", 400),   // target missing /
+        (b"GET /x HTTP/2.0\r\n\r\n", 400),       // unsupported version
+        (b"GET /x HTTP/1.1 extra\r\n\r\n", 400), // four fields
+        (b"GET /\x01 HTTP/1.1\r\n\r\n", 400),    // control byte in target
+        (b"\x16\x03\x01\x02\x00\x01\x00\x01\xfc\r\n\r\n", 400), // a TLS ClientHello
+    ];
+    for (bytes, want) in cases {
+        let resp = raw_until_close(&server, bytes);
+        assert_eq!(status_of(&resp), *want, "for {bytes:?}");
+        assert!(resp.contains("Connection: close"), "for {bytes:?}");
+    }
+}
+
+#[test]
+fn malformed_header_matrix() {
+    let server = default_server();
+    let cases: &[(&[u8], u16)] = &[
+        (b"GET /ping HTTP/1.1\r\nBad Header: x\r\n\r\n", 400), // space in name
+        (b"GET /ping HTTP/1.1\r\nNoColon\r\n\r\n", 400),       // no colon
+        (b"GET /ping HTTP/1.1\r\nA: b\r\n folded\r\n\r\n", 400), // obs-fold
+        (b"POST /echo HTTP/1.1\r\nContent-Length: nine\r\n\r\n", 400),
+        (
+            b"POST /echo HTTP/1.1\r\nContent-Length: 1\r\nContent-Length: 2\r\n\r\nx",
+            400,
+        ),
+        (
+            b"POST /echo HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+            400,
+        ),
+        (b"POST /echo HTTP/1.1\r\n\r\n", 411), // POST without Content-Length
+    ];
+    for (bytes, want) in cases {
+        let resp = raw_until_close(&server, bytes);
+        assert_eq!(status_of(&resp), *want, "for {bytes:?}");
+        assert!(resp.contains("Connection: close"), "for {bytes:?}");
+    }
+}
+
+#[test]
+fn oversized_body_rejected_before_it_arrives() {
+    let server = server(ServerConfig {
+        limits: Limits {
+            max_head_bytes: 1024,
+            max_body_bytes: 64,
+        },
+        ..ServerConfig::default()
+    });
+    // declare an over-limit body but send none of it: the 413 must come from
+    // the declaration alone
+    let resp = raw_until_close(
+        &server,
+        b"POST /echo HTTP/1.1\r\nContent-Length: 65\r\n\r\n",
+    );
+    assert_eq!(status_of(&resp), 413);
+    assert!(resp.contains("Connection: close"));
+    // at the limit is fine
+    let body = vec![b'a'; 64];
+    let mut req =
+        b"POST /echo HTTP/1.1\r\nContent-Length: 64\r\nConnection: close\r\n\r\n".to_vec();
+    req.extend_from_slice(&body);
+    let resp = raw_until_close(&server, &req);
+    assert_eq!(status_of(&resp), 200);
+}
+
+#[test]
+fn oversized_head_rejected_incrementally() {
+    let server = server(ServerConfig {
+        limits: Limits {
+            max_head_bytes: 256,
+            max_body_bytes: 1024,
+        },
+        ..ServerConfig::default()
+    });
+    // no terminator ever sent: the 431 must fire from sheer head size.
+    // Read between writes — writing past the server's close draws an RST
+    // that would discard the buffered 431.
+    let mut s = TcpStream::connect(server.local_addr()).unwrap();
+    s.set_read_timeout(Some(Duration::from_millis(100)))
+        .unwrap();
+    s.write_all(b"GET /ping HTTP/1.1\r\n").unwrap();
+    let mut probe = [0u8; 1024];
+    for i in 0..60 {
+        if s.write_all(b"X-Padding: aaaaaaaaaaaaaaaa\r\n").is_err() {
+            panic!("server closed without sending the 431 (after {i} chunks)");
+        }
+        match s.read(&mut probe) {
+            Ok(n) if n > 0 => {
+                let resp = String::from_utf8_lossy(&probe[..n]);
+                assert_eq!(status_of(&resp), 431);
+                assert!(resp.contains("Connection: close"));
+                return;
+            }
+            Ok(_) => panic!("server closed without sending the 431"),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut => {}
+            Err(e) => panic!("unexpected read error before the 431: {e}"),
+        }
+    }
+    panic!("server never rejected the oversized head");
+}
+
+#[test]
+fn unknown_path_and_wrong_method_keep_the_connection() {
+    let server = default_server();
+    let mut c = HttpClient::connect(server.local_addr(), Duration::from_secs(10)).unwrap();
+    let r = c.request("GET", "/nope", None).unwrap();
+    assert_eq!(r.status, 404);
+    assert!(!r.close(), "404 is a routed response; keep-alive holds");
+    let r = c.request("POST", "/ping", Some("{}")).unwrap();
+    assert_eq!(r.status, 405);
+    assert_eq!(r.header("allow"), Some("GET, HEAD"));
+    assert!(!r.close());
+    // same connection still serves real requests
+    let r = c.request("GET", "/ping", None).unwrap();
+    assert_eq!(r.status, 200);
+    assert_eq!(r.body, b"pong");
+}
+
+#[test]
+fn pipelined_requests_answered_in_order() {
+    let server = default_server();
+    let mut c = HttpClient::connect(server.local_addr(), Duration::from_secs(10)).unwrap();
+    // two requests in one write; responses must come back in order
+    c.send_raw(b"POST /echo HTTP/1.1\r\nContent-Length: 5\r\n\r\nfirstGET /ping HTTP/1.1\r\n\r\n")
+        .unwrap();
+    let r1 = c.read_response().unwrap();
+    assert_eq!(r1.status, 200);
+    assert_eq!(r1.body, b"first");
+    let r2 = c.read_response().unwrap();
+    assert_eq!(r2.status, 200);
+    assert_eq!(r2.body, b"pong");
+}
+
+#[test]
+fn head_request_gets_length_but_no_body() {
+    let server = default_server();
+    let mut c = HttpClient::connect(server.local_addr(), Duration::from_secs(10)).unwrap();
+    c.send_raw(b"HEAD /ping HTTP/1.1\r\n\r\nGET /ping HTTP/1.1\r\n\r\n")
+        .unwrap();
+    // if the HEAD response had carried a body, this read would swallow the
+    // next response's status line and fail
+    let head = c.read_response_head_only().unwrap();
+    assert_eq!(head.status, 200);
+    assert_eq!(head.header("content-length"), Some("4"));
+    assert!(
+        head.body.is_empty(),
+        "client honours HEAD framing: no body read"
+    );
+    let follow = c.read_response().unwrap();
+    assert_eq!(follow.status, 200);
+    assert_eq!(follow.body, b"pong");
+}
+
+#[test]
+fn slowloris_stall_gets_408_and_close() {
+    let server = server(ServerConfig {
+        read_timeout: Duration::from_millis(200),
+        header_deadline: Duration::from_millis(400),
+        ..ServerConfig::default()
+    });
+    let mut s = TcpStream::connect(server.local_addr()).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    // half a request line, then silence
+    s.write_all(b"GET /pi").unwrap();
+    let mut out = Vec::new();
+    s.read_to_end(&mut out).unwrap();
+    let resp = String::from_utf8_lossy(&out);
+    assert_eq!(status_of(&resp), 408);
+    assert!(resp.contains("Connection: close"));
+}
+
+#[test]
+fn trickling_head_is_cut_by_the_header_deadline() {
+    let server = server(ServerConfig {
+        read_timeout: Duration::from_millis(300),
+        header_deadline: Duration::from_millis(500),
+        ..ServerConfig::default()
+    });
+    let mut s = TcpStream::connect(server.local_addr()).unwrap();
+    s.set_read_timeout(Some(Duration::from_millis(100)))
+        .unwrap();
+    s.write_all(b"GET /ping HTTP/1.1\r\n").unwrap();
+    // keep the per-read timeout from firing by trickling a byte at a time;
+    // only the total head deadline can stop this
+    let start = std::time::Instant::now();
+    loop {
+        assert!(
+            start.elapsed() < Duration::from_secs(8),
+            "server never cut the trickling head"
+        );
+        if s.write_all(b"X").is_err() {
+            return; // server cut the connection — the deadline worked
+        }
+        std::thread::sleep(Duration::from_millis(50));
+        let mut probe = [0u8; 1024];
+        match s.read(&mut probe) {
+            Ok(0) => return, // closed without a readable 408 (RST raced it)
+            Ok(n) => {
+                let resp = String::from_utf8_lossy(&probe[..n]);
+                assert_eq!(status_of(&resp), 408);
+                return;
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue; // no verdict yet — keep trickling
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+#[test]
+fn idle_keep_alive_closes_silently() {
+    let server = server(ServerConfig {
+        read_timeout: Duration::from_millis(200),
+        ..ServerConfig::default()
+    });
+    let mut c = HttpClient::connect(server.local_addr(), Duration::from_secs(10)).unwrap();
+    let r = c.request("GET", "/ping", None).unwrap();
+    assert_eq!(r.status, 200);
+    // no request in flight: the idle timeout must close without a 408 —
+    // there is no request to answer
+    let mut s = TcpStream::connect(server.local_addr()).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let mut out = Vec::new();
+    s.read_to_end(&mut out).unwrap();
+    assert!(
+        out.is_empty(),
+        "idle close must not write a response: {out:?}"
+    );
+}
+
+#[test]
+fn accept_gate_answers_503_over_capacity() {
+    let server = server(ServerConfig {
+        threads: 1,
+        max_in_flight: 1,
+        ..ServerConfig::default()
+    });
+    // the first connection occupies the single admission slot
+    let mut c1 = HttpClient::connect(server.local_addr(), Duration::from_secs(10)).unwrap();
+    let r = c1.request("GET", "/ping", None).unwrap();
+    assert_eq!(r.status, 200);
+    // the second must be bounced at the gate, not queued forever
+    let mut s = TcpStream::connect(server.local_addr()).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let mut out = Vec::new();
+    s.read_to_end(&mut out).unwrap();
+    let resp = String::from_utf8_lossy(&out);
+    assert_eq!(status_of(&resp), 503);
+    assert!(resp.contains("Connection: close"));
+    // once the first connection is gone, the slot frees up
+    drop(c1);
+    let deadline = std::time::Instant::now() + Duration::from_secs(8);
+    loop {
+        let mut c = HttpClient::connect(server.local_addr(), Duration::from_secs(2)).unwrap();
+        match c.request("GET", "/ping", None) {
+            Ok(r) if r.status == 200 => break,
+            _ if std::time::Instant::now() > deadline => panic!("slot never freed"),
+            _ => std::thread::sleep(Duration::from_millis(50)),
+        }
+    }
+}
+
+#[test]
+fn handler_panic_maps_to_500_and_close() {
+    let server = default_server();
+    let resp = raw_until_close(&server, b"GET /panic HTTP/1.1\r\n\r\n");
+    assert_eq!(status_of(&resp), 500);
+    assert!(resp.contains("Connection: close"));
+    // the worker survived the panic: the server still serves
+    let mut c = HttpClient::connect(server.local_addr(), Duration::from_secs(10)).unwrap();
+    let r = c.request("GET", "/ping", None).unwrap();
+    assert_eq!(r.status, 200);
+}
+
+#[test]
+fn connection_close_header_is_honoured() {
+    let server = default_server();
+    let resp = raw_until_close(&server, b"GET /ping HTTP/1.1\r\nConnection: close\r\n\r\n");
+    assert_eq!(status_of(&resp), 200);
+    assert!(resp.contains("Connection: close"));
+    // HTTP/1.0 defaults to close as well
+    let resp = raw_until_close(&server, b"GET /ping HTTP/1.0\r\n\r\n");
+    assert_eq!(status_of(&resp), 200);
+    assert!(resp.contains("Connection: close"));
+}
