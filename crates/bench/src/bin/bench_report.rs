@@ -1,56 +1,48 @@
 //! bench_report — the performance-trajectory report behind the CI bench gate.
 //!
-//! Runs fixed micro-benchmarks over the hot paths metered by `qatk-obs`
-//! (classify_batch, the rank kernel, concurrent `&self` suggest over one
-//! shared snapshot, the HTTP serving layer end-to-end over loopback,
-//! concept annotation, tokenization, WAL appends — both
-//! OS-buffered and fsync-per-batch), writes a
-//! `BENCH_PR6.json` report, and — with `--check baseline.json` — fails if
-//! any benchmark's median regressed more than 25% against the checked-in
-//! baseline. It also measures the observability
-//! overhead on `classify_batch` by interleaving enabled/disabled samples of
-//! the same binary and asserts it stays under 5%.
+//! Two modes share one report file and one gate:
 //!
-//! Report schema (`qatk-bench-report/v1`):
+//! * **classic** (default): fixed micro-benchmarks over the hot paths
+//!   metered by `qatk-obs` (classify_batch, the rank kernel, concurrent
+//!   `&self` suggest over one shared snapshot, the HTTP serving layer
+//!   end-to-end over loopback, concept annotation, tokenization, WAL
+//!   appends — both OS-buffered and fsync-per-batch), plus the
+//!   observability-overhead estimate on classify_batch (must stay < 5%);
+//! * **scale** (`--scale 100k|1m`): the synthetic scale tiers of DESIGN.md
+//!   §11 — build the tier's knowledge base, seal it into the compressed
+//!   segment + LSH index, and measure `rank_<tier>` (LSH-pruned),
+//!   `rank_<tier>_exact` (full posting-list kernel over the sealed arena)
+//!   and `suggest_<tier>` (eight threads sharing the sealed snapshot,
+//!   pruned path). The 1m tier *asserts* the headline numbers: pruned
+//!   median ≥ 5x faster than exact, and ≥ 95% differential top-25 recall
+//!   against the exact oracle over 256 seeded queries.
 //!
-//! ```json
-//! {
-//!   "schema": "qatk-bench-report/v1",
-//!   "benches": [
-//!     {"bench": "classify_batch", "median_ns": 1, "p95_ns": 2, "throughput": 3.0}
-//!   ],
-//!   "obs_overhead_pct": 0.4
-//! }
-//! ```
+//! Writing `--out FILE` (default `BENCH_PR7.json`) **merges** into an
+//! existing report: fresh entries replace same-named ones in place, new
+//! names append — so the committed baseline accumulates the classic, 100k
+//! and 1m tiers from separate runs. `--check BASELINE` fails on any median
+//! *or p95* regression beyond 25% (see `qatk_bench::report`); baseline
+//! entries the current mode didn't run are ignored.
 //!
-//! `median_ns`/`p95_ns` are per processed item (query, doc, append);
-//! `throughput` is items per second at the median.
-//!
-//! `suggest_concurrent` measures eight threads sharing one published
-//! `KnowledgeSnapshot` through the `&self` serving path; its unit is one
-//! suggested bundle.
-//!
-//! `serve_rps` measures the whole wire path — loopback TCP, the qatk-serve
-//! parser and thread pool, QUEST JSON routing, and the snapshot query
-//! underneath — as a closed-loop `POST /suggest` load over four keep-alive
-//! connections; its unit is one served request, so `throughput` is requests
-//! per second.
-//!
-//! Run: `cargo run --release -p qatk-bench --bin bench_report -- [--out F] [--check BASELINE]`
+//! Run: `cargo run --release -p qatk-bench --bin bench_report -- \
+//!       [--scale 100k|1m] [--out F] [--check BASELINE] [--seed N]`
 
 use std::process::ExitCode;
 use std::time::Instant;
 
+use qatk_bench::report::{
+    bench, check_against, merge_entries, parse_entries, render_report, BenchResult,
+    REGRESSION_TOLERANCE,
+};
 use qatk_core::prelude::*;
 use qatk_corpus::bundle::SourceSelection;
 use qatk_corpus::generator::{Corpus, CorpusConfig};
+use qatk_corpus::scale::{ScaleConfig, ScaleCorpus, ScaleTier};
 use qatk_obs::json::{self, Value as Json};
 use qatk_store::prelude::*;
 use qatk_text::engine::Pipeline;
 use qatk_text::tokenizer::WhitespaceTokenizer;
 
-/// Median regression tolerated by `--check` before the gate fails.
-const REGRESSION_TOLERANCE: f64 = 0.25;
 /// Maximum instrumentation overhead tolerated on classify_batch. The
 /// enabled-vs-disabled estimate carries a noise floor of a few percent on a
 /// shared host even after min-of-pass/median-of-passes smoothing (single
@@ -59,65 +51,16 @@ const REGRESSION_TOLERANCE: f64 = 0.25;
 /// catching any gross instrumentation regression.
 const MAX_OBS_OVERHEAD_PCT: f64 = 5.0;
 
-struct BenchResult {
-    bench: &'static str,
-    median_ns: u64,
-    p95_ns: u64,
-    /// Items per second at the median.
-    throughput: f64,
-}
-
-/// Repetitions per benchmark; the reported statistics come from the fastest
-/// repetition. Scheduler preemption and frequency scaling only ever slow a
-/// run down, so min-of-medians converges to the true cost and keeps the CI
-/// gate stable where a single median flaps by 2x under host load.
-const BENCH_REPS: usize = 8;
-
-/// Time `samples` invocations of `iter` (after `warmup` unrecorded ones);
-/// each invocation processes `items` units. Statistics are per unit, from
-/// the fastest of [`BENCH_REPS`] repetitions.
-fn bench(
-    name: &'static str,
-    items: u64,
-    warmup: usize,
-    samples: usize,
-    mut iter: impl FnMut(),
-) -> BenchResult {
-    for _ in 0..warmup {
-        iter();
-    }
-    let mut best: Option<(u64, u64)> = None;
-    for _ in 0..BENCH_REPS {
-        let mut per_item: Vec<u64> = Vec::with_capacity(samples);
-        for _ in 0..samples {
-            let t = Instant::now();
-            iter();
-            let ns = t.elapsed().as_nanos().min(u64::MAX as u128) as u64;
-            per_item.push(ns / items.max(1));
-        }
-        per_item.sort_unstable();
-        let median_ns = per_item[per_item.len() / 2];
-        let p95_ns = per_item[(per_item.len() * 95 / 100).min(per_item.len() - 1)];
-        if best.is_none_or(|(m, _)| median_ns < m) {
-            best = Some((median_ns, p95_ns));
-        }
-    }
-    let (median_ns, p95_ns) = best.expect("at least one repetition ran");
-    BenchResult {
-        bench: name,
-        median_ns,
-        p95_ns,
-        throughput: if median_ns == 0 {
-            0.0
-        } else {
-            1e9 / median_ns as f64
-        },
-    }
-}
+/// Pruned-vs-exact speedup the 1m tier must clear.
+const MIN_1M_SPEEDUP: f64 = 5.0;
+/// Differential top-25 recall the pruned path must keep at the 1m tier.
+const MIN_1M_RECALL: f64 = 0.95;
+/// Seeded queries behind the recall measurement.
+const RECALL_QUERIES: usize = 256;
 
 /// Enabled-vs-disabled classify_batch timings, interleaved so drift hits
 /// both arms equally. One interleave pass compares the *fastest* sample of
-/// each arm — like [`BENCH_REPS`] min-of-medians, preemption and frequency
+/// each arm — like `BENCH_REPS` min-of-medians, preemption and frequency
 /// scaling only ever slow a sample down — and the reported overhead is the
 /// median of several independent passes, since a single pass still swings a
 /// few percent either way on a busy host. Returns the overhead in percent
@@ -153,77 +96,6 @@ fn measure_obs_overhead(knn: &RankedKnn, kb: &KnowledgeBase, queries: &[BatchQue
     estimates[estimates.len() / 2]
 }
 
-fn render_report(benches: &[BenchResult], obs_overhead_pct: f64) -> String {
-    let mut out = String::from("{\n  \"schema\": \"qatk-bench-report/v1\",\n  \"benches\": [\n");
-    for (i, b) in benches.iter().enumerate() {
-        out.push_str(&format!(
-            "    {{\"bench\": \"{}\", \"median_ns\": {}, \"p95_ns\": {}, \"throughput\": {:.1}}}{}\n",
-            json::escape(b.bench),
-            b.median_ns,
-            b.p95_ns,
-            b.throughput,
-            if i + 1 < benches.len() { "," } else { "" }
-        ));
-    }
-    out.push_str(&format!(
-        "  ],\n  \"obs_overhead_pct\": {obs_overhead_pct:.2}\n}}\n"
-    ));
-    out
-}
-
-/// Compare against a baseline report; returns the list of regressions.
-fn check_against(baseline: &Json, benches: &[BenchResult]) -> Result<Vec<String>, String> {
-    let entries = baseline
-        .get("benches")
-        .and_then(Json::as_arr)
-        .ok_or("baseline has no `benches` array")?;
-    let mut base: std::collections::BTreeMap<&str, u64> = std::collections::BTreeMap::new();
-    for e in entries {
-        let name = e
-            .get("bench")
-            .and_then(Json::as_str)
-            .ok_or("baseline entry without `bench` name")?;
-        let med = e
-            .get("median_ns")
-            .and_then(Json::as_u64)
-            .ok_or_else(|| format!("baseline entry `{name}` without `median_ns`"))?;
-        base.insert(name, med);
-    }
-    let mut regressions = Vec::new();
-    println!(
-        "\n== bench gate (tolerance {:.0}%) ==",
-        REGRESSION_TOLERANCE * 100.0
-    );
-    for b in benches {
-        match base.get(b.bench) {
-            Some(&was) => {
-                let ratio = b.median_ns as f64 / was.max(1) as f64;
-                let verdict = if ratio > 1.0 + REGRESSION_TOLERANCE {
-                    regressions.push(format!(
-                        "{}: median {} ns vs baseline {} ns ({:+.1}%)",
-                        b.bench,
-                        b.median_ns,
-                        was,
-                        (ratio - 1.0) * 100.0
-                    ));
-                    "REGRESSED"
-                } else {
-                    "ok"
-                };
-                println!(
-                    "{:16} {:>12} ns  baseline {:>12} ns  {:+7.1}%  {verdict}",
-                    b.bench,
-                    b.median_ns,
-                    was,
-                    (ratio - 1.0) * 100.0
-                );
-            }
-            None => println!("{:16} {:>12} ns  (new, no baseline)", b.bench, b.median_ns),
-        }
-    }
-    Ok(regressions)
-}
-
 fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
     args.iter()
         .position(|a| a == name)
@@ -231,15 +103,9 @@ fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
         .map(String::as_str)
 }
 
-fn run() -> Result<(), String> {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let out_path = flag_value(&args, "--out").unwrap_or("BENCH_PR6.json");
-    let check_path = flag_value(&args, "--check");
-    let seed: u64 = flag_value(&args, "--seed")
-        .map(|s| s.parse().map_err(|_| format!("bad --seed `{s}`")))
-        .transpose()?
-        .unwrap_or(42);
-
+/// The classic micro-benchmarks; returns the results plus the measured
+/// observability overhead.
+fn run_classic(seed: u64) -> Result<(Vec<BenchResult>, f64), String> {
     eprintln!("preparing corpus and knowledge base (seed {seed}) ...");
     let corpus = Corpus::generate(CorpusConfig::small(seed));
     let pipeline = build_pipeline(&corpus, FeatureModel::BagOfConcepts);
@@ -428,24 +294,198 @@ fn run() -> Result<(), String> {
     eprintln!("measuring observability overhead on classify_batch ...");
     let obs_overhead_pct = measure_obs_overhead(&knn, &kb, &queries);
     eprintln!("observability overhead: {obs_overhead_pct:+.2}% (limit {MAX_OBS_OVERHEAD_PCT}%)");
-
-    println!("\n== bench_report ==");
-    for b in &benches {
-        println!(
-            "{:16} median {:>12} ns  p95 {:>12} ns  {:>14.1} items/s",
-            b.bench, b.median_ns, b.p95_ns, b.throughput
-        );
-    }
-
-    let report = render_report(&benches, obs_overhead_pct);
-    std::fs::write(out_path, &report).map_err(|e| format!("writing {out_path}: {e}"))?;
-    println!("wrote {out_path}");
-
     if obs_overhead_pct > MAX_OBS_OVERHEAD_PCT {
         return Err(format!(
             "observability overhead {obs_overhead_pct:.2}% exceeds {MAX_OBS_OVERHEAD_PCT}% on classify_batch"
         ));
     }
+    Ok((benches, obs_overhead_pct))
+}
+
+/// The scale-tier benchmarks (DESIGN.md §11): exact vs LSH-pruned sealed
+/// ranking plus an 8-thread shared-snapshot pass, with the differential
+/// recall measured against the exact oracle.
+fn run_scale(tier: ScaleTier, seed: u64) -> Result<Vec<BenchResult>, String> {
+    let label = tier.label();
+    let config = ScaleConfig::tier(tier, seed);
+    eprintln!(
+        "generating {label} scale corpus ({} bundles, seed {seed}) ...",
+        config.n_bundles
+    );
+    let t = Instant::now();
+    let corpus = ScaleCorpus::generate(config);
+    eprintln!(
+        "  {:.1}s, {:.1} features/bundle, {} distinct codes",
+        t.elapsed().as_secs_f64(),
+        corpus.avg_features(),
+        corpus.distinct_codes()
+    );
+
+    eprintln!("building knowledge base ...");
+    let t = Instant::now();
+    let mut kb = KnowledgeBase::new();
+    for b in corpus.bundles() {
+        kb.insert(
+            ScaleCorpus::part_name(b.part),
+            ScaleCorpus::code_name(b.code),
+            FeatureSet::from_unsorted(b.features.to_vec()),
+        );
+    }
+    eprintln!("  {:.1}s, {} nodes", t.elapsed().as_secs_f64(), kb.len());
+
+    eprintln!("sealing segment (posting arena + LSH) ...");
+    let t = Instant::now();
+    let idx = SealedIndex::build(&kb);
+    eprintln!(
+        "  {:.1}s, {:.1} MB arena, {:.1}M lsh entries",
+        t.elapsed().as_secs_f64(),
+        idx.postings().arena_bytes() as f64 / 1e6,
+        idx.lsh().n_entries() as f64 / 1e6
+    );
+
+    let knn = RankedKnn::new(SimilarityMeasure::Jaccard);
+    let raw_queries = corpus.queries(RECALL_QUERIES, seed);
+    let queries: Vec<(String, FeatureSet)> = raw_queries
+        .into_iter()
+        .map(|(part, feats)| {
+            (
+                ScaleCorpus::part_name(part),
+                FeatureSet::from_unsorted(feats),
+            )
+        })
+        .collect();
+
+    // differential recall first — it also warms every cache line the
+    // benches below touch
+    eprintln!("measuring top-25 differential recall over {RECALL_QUERIES} queries ...");
+    let top_codes = |ranked: &[ScoredCode]| -> Vec<String> {
+        ranked.iter().take(25).map(|s| s.code.clone()).collect()
+    };
+    let (mut overlap, mut total) = (0usize, 0usize);
+    for (part, f) in &queries {
+        let exact = top_codes(&knn.rank_sealed(&idx, &kb, part, f));
+        let pruned = top_codes(&knn.rank_sealed_pruned(&idx, &kb, part, f));
+        overlap += exact.iter().filter(|c| pruned.contains(c)).count();
+        total += exact.len();
+    }
+    let recall = if total == 0 {
+        1.0
+    } else {
+        overlap as f64 / total as f64
+    };
+    eprintln!("  recall {:.2}% ({overlap}/{total})", recall * 100.0);
+
+    let mut benches = Vec::new();
+    // medians are per query; a few samples of the whole 256-query sweep
+    // keep the exact arm's wall time bounded at the 1m tier
+    let n = queries.len() as u64;
+    eprintln!("benchmarking rank_{label} (LSH-pruned) ...");
+    benches.push(bench(&format!("rank_{label}"), n, 1, 5, || {
+        for (part, f) in &queries {
+            std::hint::black_box(knn.rank_sealed_pruned(&idx, &kb, part, f));
+        }
+    }));
+    eprintln!("benchmarking rank_{label}_exact ...");
+    benches.push(bench(&format!("rank_{label}_exact"), n, 1, 3, || {
+        for (part, f) in &queries {
+            std::hint::black_box(knn.rank_sealed(&idx, &kb, part, f));
+        }
+    }));
+
+    eprintln!("benchmarking suggest_{label} (8 threads, shared sealed snapshot) ...");
+    const THREADS: usize = 8;
+    benches.push(bench(&format!("suggest_{label}"), n, 1, 5, || {
+        std::thread::scope(|scope| {
+            for chunk in queries.chunks(queries.len().div_ceil(THREADS)) {
+                let (knn, idx, kb) = (&knn, &idx, &kb);
+                scope.spawn(move || {
+                    for (part, f) in chunk {
+                        std::hint::black_box(knn.rank_sealed_pruned(idx, kb, part, f));
+                    }
+                });
+            }
+        });
+    }));
+
+    let pruned = benches[0].median_ns;
+    let exact = benches[1].median_ns;
+    let speedup = exact as f64 / pruned.max(1) as f64;
+    println!(
+        "\n== scale tier {label} ==\n\
+         pruned   {pruned:>12} ns/query\n\
+         exact    {exact:>12} ns/query\n\
+         speedup  {speedup:>11.1}x\n\
+         recall   {:>11.1}%",
+        recall * 100.0
+    );
+    if tier == ScaleTier::T1m {
+        if speedup < MIN_1M_SPEEDUP {
+            return Err(format!(
+                "1m tier: pruned/exact speedup {speedup:.1}x below required {MIN_1M_SPEEDUP}x"
+            ));
+        }
+        if recall < MIN_1M_RECALL {
+            return Err(format!(
+                "1m tier: differential recall {:.2}% below required {:.0}%",
+                recall * 100.0,
+                MIN_1M_RECALL * 100.0
+            ));
+        }
+    }
+    Ok(benches)
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out_path = flag_value(&args, "--out").unwrap_or("BENCH_PR7.json");
+    let check_path = flag_value(&args, "--check");
+    let seed: u64 = flag_value(&args, "--seed")
+        .map(|s| s.parse().map_err(|_| format!("bad --seed `{s}`")))
+        .transpose()?
+        .unwrap_or(42);
+    let scale = flag_value(&args, "--scale")
+        .map(|s| {
+            ScaleTier::parse(s).ok_or_else(|| format!("bad --scale `{s}` (expected 100k|1m|10m)"))
+        })
+        .transpose()?;
+
+    let (benches, obs_overhead_pct) = match scale {
+        None => {
+            let (b, o) = run_classic(seed)?;
+            (b, Some(o))
+        }
+        Some(tier) => (run_scale(tier, seed)?, None),
+    };
+
+    println!("\n== bench_report ==");
+    for b in &benches {
+        println!(
+            "{:18} median {:>12} ns  p95 {:>12} ns  {:>14.1} items/s",
+            b.bench, b.median_ns, b.p95_ns, b.throughput
+        );
+    }
+
+    // merge over an existing report so the classic and scale tiers
+    // accumulate into one baseline file
+    let (previous, previous_overhead) = match std::fs::read_to_string(out_path) {
+        Ok(text) => {
+            let prev =
+                json::parse(&text).map_err(|e| format!("parsing existing {out_path}: {e}"))?;
+            let overhead = prev.get("obs_overhead_pct").and_then(Json::as_f64);
+            (parse_entries(&prev)?, overhead)
+        }
+        Err(_) => (Vec::new(), None),
+    };
+    let merged = merge_entries(&previous, &benches);
+    // a scale run leaves the classic run's overhead estimate in place
+    let overhead = obs_overhead_pct.or(previous_overhead).unwrap_or(0.0);
+    let report = render_report(&merged, overhead);
+    std::fs::write(out_path, &report).map_err(|e| format!("writing {out_path}: {e}"))?;
+    println!(
+        "wrote {out_path} ({} entries, {} fresh)",
+        merged.len(),
+        benches.len()
+    );
 
     if let Some(path) = check_path {
         let text =

@@ -4,6 +4,8 @@
 use qatk_core::pipeline::AccuracyCurve;
 use qatk_corpus::generator::{Corpus, CorpusConfig};
 
+pub mod report;
+
 /// Parse harness CLI flags shared by all figure binaries.
 ///
 /// * `--small` — run on a fast reduced corpus (shape only, for smoke runs);

@@ -1,0 +1,328 @@
+//! The bench-report machinery behind the CI bench gate: timing harness,
+//! JSON rendering, baseline merging, and the regression check.
+//!
+//! Report schema (`qatk-bench-report/v1`):
+//!
+//! ```json
+//! {
+//!   "schema": "qatk-bench-report/v1",
+//!   "benches": [
+//!     {"bench": "classify_batch", "median_ns": 1, "p95_ns": 2, "throughput": 3.0}
+//!   ],
+//!   "obs_overhead_pct": 0.4
+//! }
+//! ```
+//!
+//! `median_ns`/`p95_ns` are per processed item (query, doc, append);
+//! `throughput` is items per second at the median.
+//!
+//! The gate ([`check_against`]) fails on a median regression beyond
+//! [`REGRESSION_TOLERANCE`], and *also* on a p95 regression beyond the same
+//! tolerance — a change that leaves the median alone but grows the tail
+//! (lock contention, allocator spikes, a slow path taken 1-in-20) used to
+//! slip through. Baseline entries without a `p95_ns` field only gate the
+//! median, so older reports stay usable. Baseline entries with no
+//! counterpart in the current run are ignored — the tiered bench policy
+//! runs different subsets (classic / 100k / 1m) against one shared
+//! baseline file.
+
+use std::time::Instant;
+
+use qatk_obs::json::{self, Value as Json};
+
+/// Median / p95 regression tolerated by [`check_against`] before the gate
+/// fails.
+pub const REGRESSION_TOLERANCE: f64 = 0.25;
+
+/// Repetitions per benchmark; the reported statistics come from the fastest
+/// repetition. Scheduler preemption and frequency scaling only ever slow a
+/// run down, so min-of-medians converges to the true cost and keeps the CI
+/// gate stable where a single median flaps by 2x under host load.
+pub const BENCH_REPS: usize = 8;
+
+/// One benchmark's reported statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    pub bench: String,
+    pub median_ns: u64,
+    pub p95_ns: u64,
+    /// Items per second at the median.
+    pub throughput: f64,
+}
+
+/// Time `samples` invocations of `iter` (after `warmup` unrecorded ones);
+/// each invocation processes `items` units. Statistics are per unit, from
+/// the fastest of [`BENCH_REPS`] repetitions.
+pub fn bench(
+    name: &str,
+    items: u64,
+    warmup: usize,
+    samples: usize,
+    mut iter: impl FnMut(),
+) -> BenchResult {
+    for _ in 0..warmup {
+        iter();
+    }
+    let mut best: Option<(u64, u64)> = None;
+    for _ in 0..BENCH_REPS {
+        let mut per_item: Vec<u64> = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let t = Instant::now();
+            iter();
+            let ns = t.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            per_item.push(ns / items.max(1));
+        }
+        per_item.sort_unstable();
+        let median_ns = per_item[per_item.len() / 2];
+        let p95_ns = per_item[(per_item.len() * 95 / 100).min(per_item.len() - 1)];
+        if best.is_none_or(|(m, _)| median_ns < m) {
+            best = Some((median_ns, p95_ns));
+        }
+    }
+    let (median_ns, p95_ns) = best.expect("at least one repetition ran");
+    BenchResult {
+        bench: name.to_owned(),
+        median_ns,
+        p95_ns,
+        throughput: if median_ns == 0 {
+            0.0
+        } else {
+            1e9 / median_ns as f64
+        },
+    }
+}
+
+/// Render the `qatk-bench-report/v1` JSON document.
+pub fn render_report(benches: &[BenchResult], obs_overhead_pct: f64) -> String {
+    let mut out = String::from("{\n  \"schema\": \"qatk-bench-report/v1\",\n  \"benches\": [\n");
+    for (i, b) in benches.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"bench\": \"{}\", \"median_ns\": {}, \"p95_ns\": {}, \"throughput\": {:.1}}}{}\n",
+            json::escape(&b.bench),
+            b.median_ns,
+            b.p95_ns,
+            b.throughput,
+            if i + 1 < benches.len() { "," } else { "" }
+        ));
+    }
+    out.push_str(&format!(
+        "  ],\n  \"obs_overhead_pct\": {obs_overhead_pct:.2}\n}}\n"
+    ));
+    out
+}
+
+/// Parse a report's `benches` array back into [`BenchResult`]s. Entries
+/// without `p95_ns` get `p95_ns = 0` (old-format reports).
+pub fn parse_entries(report: &Json) -> Result<Vec<BenchResult>, String> {
+    let entries = report
+        .get("benches")
+        .and_then(Json::as_arr)
+        .ok_or("report has no `benches` array")?;
+    entries
+        .iter()
+        .map(|e| {
+            let bench = e
+                .get("bench")
+                .and_then(Json::as_str)
+                .ok_or("report entry without `bench` name")?
+                .to_owned();
+            let median_ns = e
+                .get("median_ns")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("report entry `{bench}` without `median_ns`"))?;
+            let p95_ns = e.get("p95_ns").and_then(Json::as_u64).unwrap_or(0);
+            let throughput = e
+                .get("throughput")
+                .and_then(Json::as_f64)
+                .unwrap_or_else(|| {
+                    if median_ns == 0 {
+                        0.0
+                    } else {
+                        1e9 / median_ns as f64
+                    }
+                });
+            Ok(BenchResult {
+                bench,
+                median_ns,
+                p95_ns,
+                throughput,
+            })
+        })
+        .collect()
+}
+
+/// Merge freshly-run benches over a previous report's entries: a fresh
+/// result replaces the previous entry of the same name (in place, keeping
+/// the file's order stable), new names append. This is how one committed
+/// baseline accumulates the classic, 100k and 1m tiers from separate runs.
+pub fn merge_entries(previous: &[BenchResult], fresh: &[BenchResult]) -> Vec<BenchResult> {
+    let mut merged: Vec<BenchResult> = previous.to_vec();
+    for f in fresh {
+        match merged.iter_mut().find(|m| m.bench == f.bench) {
+            Some(slot) => *slot = f.clone(),
+            None => merged.push(f.clone()),
+        }
+    }
+    merged
+}
+
+/// Compare a run against a baseline report; returns the list of regression
+/// descriptions (empty = gate passes) and prints one verdict line per
+/// bench. Medians and p95s both gate at [`REGRESSION_TOLERANCE`]; baselines
+/// without a recorded p95 (`p95_ns == 0`) gate only the median.
+pub fn check_against(baseline: &Json, benches: &[BenchResult]) -> Result<Vec<String>, String> {
+    let base = parse_entries(baseline)?;
+    let mut regressions = Vec::new();
+    println!(
+        "\n== bench gate (tolerance {:.0}%, median + p95) ==",
+        REGRESSION_TOLERANCE * 100.0
+    );
+    for b in benches {
+        let Some(was) = base.iter().find(|e| e.bench == b.bench) else {
+            println!("{:18} {:>12} ns  (new, no baseline)", b.bench, b.median_ns);
+            continue;
+        };
+        let med_ratio = b.median_ns as f64 / was.median_ns.max(1) as f64;
+        let mut verdict = "ok";
+        if med_ratio > 1.0 + REGRESSION_TOLERANCE {
+            regressions.push(format!(
+                "{}: median {} ns vs baseline {} ns ({:+.1}%)",
+                b.bench,
+                b.median_ns,
+                was.median_ns,
+                (med_ratio - 1.0) * 100.0
+            ));
+            verdict = "REGRESSED (median)";
+        }
+        let p95_ratio = if was.p95_ns > 0 {
+            let r = b.p95_ns as f64 / was.p95_ns as f64;
+            if r > 1.0 + REGRESSION_TOLERANCE {
+                regressions.push(format!(
+                    "{}: p95 {} ns vs baseline {} ns ({:+.1}%)",
+                    b.bench,
+                    b.p95_ns,
+                    was.p95_ns,
+                    (r - 1.0) * 100.0
+                ));
+                verdict = "REGRESSED (p95)";
+            }
+            r
+        } else {
+            1.0
+        };
+        println!(
+            "{:18} {:>12} ns  baseline {:>12} ns  median {:+7.1}%  p95 {:+7.1}%  {verdict}",
+            b.bench,
+            b.median_ns,
+            was.median_ns,
+            (med_ratio - 1.0) * 100.0,
+            (p95_ratio - 1.0) * 100.0
+        );
+    }
+    Ok(regressions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(name: &str, median: u64, p95: u64) -> BenchResult {
+        BenchResult {
+            bench: name.to_owned(),
+            median_ns: median,
+            p95_ns: p95,
+            throughput: 1e9 / median as f64,
+        }
+    }
+
+    fn baseline_json(entries: &[BenchResult]) -> Json {
+        json::parse(&render_report(entries, 0.0)).expect("render emits valid json")
+    }
+
+    #[test]
+    fn report_roundtrips_through_parse() {
+        let benches = vec![result("rank", 1_000, 1_500), result("tokenize", 50, 80)];
+        let parsed = parse_entries(&baseline_json(&benches)).unwrap();
+        assert_eq!(parsed, benches);
+    }
+
+    #[test]
+    fn gate_passes_within_tolerance() {
+        let base = baseline_json(&[result("rank", 1_000, 2_000)]);
+        // +20% median, +24% p95: both inside the 25% tolerance
+        let run = vec![result("rank", 1_200, 2_480)];
+        assert!(check_against(&base, &run).unwrap().is_empty());
+    }
+
+    #[test]
+    fn gate_fails_on_median_regression() {
+        let base = baseline_json(&[result("rank", 1_000, 2_000)]);
+        let run = vec![result("rank", 1_300, 2_000)];
+        let regs = check_against(&base, &run).unwrap();
+        assert_eq!(regs.len(), 1);
+        assert!(regs[0].contains("median"), "{regs:?}");
+    }
+
+    #[test]
+    fn gate_fails_on_p95_regression_with_healthy_median() {
+        // the tail-only regression the old median-only gate waved through
+        let base = baseline_json(&[result("rank", 1_000, 2_000)]);
+        let run = vec![result("rank", 1_000, 2_600)];
+        let regs = check_against(&base, &run).unwrap();
+        assert_eq!(regs.len(), 1, "{regs:?}");
+        assert!(regs[0].contains("p95"), "{regs:?}");
+    }
+
+    #[test]
+    fn gate_skips_p95_when_baseline_has_none() {
+        // old-format baseline entry (p95_ns = 0 after parse): only the
+        // median gates, however wild the current tail is
+        let base = json::parse(
+            "{\"schema\": \"qatk-bench-report/v1\", \"benches\": [\
+             {\"bench\": \"rank\", \"median_ns\": 1000, \"throughput\": 1.0}]}",
+        )
+        .unwrap();
+        let run = vec![result("rank", 1_000, 9_999)];
+        assert!(check_against(&base, &run).unwrap().is_empty());
+    }
+
+    #[test]
+    fn gate_ignores_baseline_entries_not_in_run_and_vice_versa() {
+        let base = baseline_json(&[
+            result("rank", 1_000, 2_000),
+            result("rank_1m", 500_000, 900_000),
+        ]);
+        // the PR tier runs only `rank` and a brand-new bench: the absent
+        // `rank_1m` baseline and the baseline-less newcomer both pass
+        let run = vec![result("rank", 1_000, 2_000), result("fresh", 1, 1)];
+        assert!(check_against(&base, &run).unwrap().is_empty());
+    }
+
+    #[test]
+    fn merge_replaces_in_place_and_appends() {
+        let previous = vec![
+            result("classify_batch", 100, 200),
+            result("rank", 1_000, 2_000),
+        ];
+        let fresh = vec![
+            result("rank", 900, 1_800),
+            result("rank_100k", 5_000, 8_000),
+        ];
+        let merged = merge_entries(&previous, &fresh);
+        assert_eq!(
+            merged.iter().map(|b| b.bench.as_str()).collect::<Vec<_>>(),
+            vec!["classify_batch", "rank", "rank_100k"]
+        );
+        assert_eq!(merged[1].median_ns, 900);
+    }
+
+    #[test]
+    fn bench_harness_produces_sane_stats() {
+        let r = bench("spin", 10, 0, 5, || {
+            std::hint::black_box((0..100u64).sum::<u64>());
+        });
+        assert_eq!(r.bench, "spin");
+        assert!(r.p95_ns >= r.median_ns);
+        assert!(r.throughput > 0.0);
+    }
+}

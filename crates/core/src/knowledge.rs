@@ -76,6 +76,22 @@ impl ScoreScratch {
         }
         self.touched.clear();
     }
+
+    /// Clear for a new query over `n_nodes` nodes — the entry point for
+    /// external accumulators ([`crate::segment::SealedIndex`]).
+    pub(crate) fn begin(&mut self, n_nodes: usize) {
+        self.reset(n_nodes);
+    }
+
+    /// Register one posting hit for `node` (first hit records it as touched).
+    #[inline]
+    pub(crate) fn bump(&mut self, node: u32) {
+        let c = &mut self.counts[node as usize];
+        if *c == 0 {
+            self.touched.push(node);
+        }
+        *c += 1;
+    }
 }
 
 impl KnowledgeBase {
@@ -152,6 +168,26 @@ impl KnowledgeBase {
     /// Number of distinct part IDs in the knowledge structure.
     pub fn part_count(&self) -> usize {
         self.part_ids.len()
+    }
+
+    /// Per-node dense part indexes, aligned with [`KnowledgeBase::nodes`].
+    pub fn node_parts(&self) -> &[u32] {
+        &self.node_parts
+    }
+
+    /// The largest feature id appearing in any node, if the inverted index
+    /// is non-empty.
+    pub fn max_feature_id(&self) -> Option<u32> {
+        self.inverted.keys().copied().max()
+    }
+
+    /// The inverted-index posting list of a feature: node indexes in
+    /// ascending order (inserts only ever append growing indexes).
+    pub fn postings_for(&self, feature: u32) -> &[usize] {
+        self.inverted
+            .get(&feature)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// All known part IDs (arbitrary order).

@@ -12,6 +12,9 @@
 //! * [`similarity`] — Jaccard and overlap (paper) plus Dice/cosine
 //!   (extensions);
 //! * [`classifier`] — the ranked-list kNN of §4.3;
+//! * [`segment`] / [`lsh`] — the sealed-snapshot index segment:
+//!   delta+varint-compressed posting arena and the minhash/LSH candidate
+//!   prefilter for million-node corpora;
 //! * [`baselines`] — the code-frequency and candidate-set baselines of §5.1;
 //! * [`eval`] — Accuracy@k and stratified k-fold CV;
 //! * [`pipeline`] — end-to-end experiment orchestration with parallel folds
@@ -40,8 +43,10 @@ pub mod eval;
 pub mod features;
 pub mod interner;
 pub mod knowledge;
+pub mod lsh;
 pub mod metrics;
 pub mod pipeline;
+pub mod segment;
 pub mod similarity;
 pub mod snapshot;
 
@@ -54,8 +59,13 @@ pub mod prelude {
     pub use crate::features::{FeatureModel, FeatureSet, FeatureSpace, FrozenFeatureSpace};
     pub use crate::interner::Interner;
     pub use crate::knowledge::{KnowledgeBase, KnowledgeNode, ScoreScratch};
+    pub use crate::lsh::{LshIndex, LshParams};
     pub use crate::pipeline::{
         build_pipeline, run_experiment, AccuracyCurve, ClassifierConfig, ExperimentResult,
+    };
+    pub use crate::segment::{
+        decode_sorted, encode_sorted, read_varint, write_varint, CodecError, PostingArena,
+        SealedIndex,
     };
     pub use crate::similarity::SimilarityMeasure;
     pub use crate::snapshot::{EpochCell, KnowledgeSnapshot, SnapshotBuilder};

@@ -22,6 +22,10 @@ pub struct CoreMetrics {
     pub classifier_skipped_total: &'static Counter,
     /// Candidate nodes touched by the score accumulator, per query.
     pub rank_candidates: &'static Histogram,
+    /// Ranking queries served by the LSH-pruned sealed path.
+    pub rank_pruned_total: &'static Counter,
+    /// Candidate nodes surviving the LSH prefilter, per pruned query.
+    pub lsh_candidates: &'static Histogram,
     /// Wall time of one ranked-kNN query (ns).
     pub rank_latency_ns: &'static Histogram,
     /// `classify_batch` invocations.
@@ -55,6 +59,14 @@ pub fn metrics() -> &'static CoreMetrics {
             rank_candidates: r.histogram(
                 "qatk_core_rank_candidates",
                 "candidate nodes touched per ranking query (sampled 1-in-16)",
+            ),
+            rank_pruned_total: r.counter(
+                "qatk_core_rank_pruned_total",
+                "ranking queries served by the LSH-pruned sealed path",
+            ),
+            lsh_candidates: r.histogram(
+                "qatk_core_lsh_candidates",
+                "candidate nodes surviving the LSH prefilter (sampled 1-in-16)",
             ),
             rank_latency_ns: r.histogram(
                 "qatk_core_rank_latency_ns",

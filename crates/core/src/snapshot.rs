@@ -34,6 +34,7 @@ use qatk_text::engine::{Pipeline, Result as TextResult};
 
 use crate::features::{FeatureModel, FeatureSet, FeatureSpace, FrozenFeatureSpace};
 use crate::knowledge::KnowledgeBase;
+use crate::segment::SealedIndex;
 
 /// An immutable, shareable serving snapshot: sealed vocabulary + knowledge
 /// base + annotator pipeline + precomputed per-part code lists, all behind
@@ -52,6 +53,9 @@ pub struct KnowledgeSnapshot {
     /// in the master data before the first case is assigned to them).
     declared: Vec<(String, String)>,
     empty_codes: Arc<[String]>,
+    /// The compressed immutable index segment (posting arena + LSH
+    /// prefilter), rebuilt from the knowledge base on every seal.
+    index: SealedIndex,
     epoch: u64,
 }
 
@@ -59,6 +63,12 @@ impl KnowledgeSnapshot {
     /// The knowledge base (read-only).
     pub fn kb(&self) -> &KnowledgeBase {
         &self.kb
+    }
+
+    /// The sealed index segment: delta+varint-compressed posting lists and
+    /// the minhash/LSH candidate prefilter over this snapshot's nodes.
+    pub fn index(&self) -> &SealedIndex {
+        &self.index
     }
 
     /// The sealed vocabulary.
@@ -251,6 +261,7 @@ impl SnapshotBuilder {
     /// never sorts or allocates them again.
     pub fn seal(self) -> KnowledgeSnapshot {
         let codes_by_part = compute_codes_by_part(&self.kb, &self.declared);
+        let index = SealedIndex::build(&self.kb);
         KnowledgeSnapshot {
             pipeline: self.pipeline,
             vocab: self.space.freeze(),
@@ -259,6 +270,7 @@ impl SnapshotBuilder {
             codes_by_part,
             declared: self.declared,
             empty_codes: Arc::from(Vec::new()),
+            index,
             epoch: self.epoch,
         }
     }
@@ -546,6 +558,7 @@ impl KnowledgeSnapshot {
             .collect();
 
         let codes_by_part = compute_codes_by_part(&kb, &declared);
+        let index = SealedIndex::build(&kb);
         Ok(KnowledgeSnapshot {
             pipeline,
             vocab,
@@ -554,6 +567,7 @@ impl KnowledgeSnapshot {
             codes_by_part,
             declared,
             empty_codes: Arc::from(Vec::new()),
+            index,
             epoch,
         })
     }

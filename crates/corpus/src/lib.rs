@@ -17,6 +17,8 @@
 //! * [`zipf`] — from-scratch Zipf sampling for the code skew;
 //! * [`generator`] — the [`generator::Corpus`] generator;
 //! * [`stats`] — recomputation of the §3.2 statistics;
+//! * [`scale`] — million-bundle synthetic tiers (100k/1M/10M) generated
+//!   straight at the feature level for scale benchmarking;
 //! * [`loader`] — persistence into the relational store;
 //! * [`nhtsa`] — synthetic ODI consumer complaints for the §5.4 comparison.
 
@@ -26,6 +28,7 @@ pub mod generator;
 pub mod loader;
 pub mod messy;
 pub mod nhtsa;
+pub mod scale;
 pub mod stats;
 pub mod templates;
 pub mod zipf;
@@ -43,6 +46,7 @@ pub mod prelude {
         category_for, complaint_schema, complaints_from_csv, complaints_to_csv,
         generate_complaints, Complaint, NhtsaConfig,
     };
+    pub use crate::scale::{ScaleBundle, ScaleConfig, ScaleCorpus, ScaleTier};
     pub use crate::stats::CorpusStats;
     pub use crate::zipf::Zipf;
 }

@@ -1,0 +1,505 @@
+//! Million-bundle synthetic corpus tiers for scale benchmarking.
+//!
+//! The paper's corpus is 7 500 bundles; the ROADMAP north star is serving
+//! millions. Generating millions of *textual* bundles through the template +
+//! messify path would dominate every benchmark with string work that the
+//! index never sees, so the scale tiers generate straight at the feature
+//! level: each bundle is a `(part, error code, feature-id set)` triple with
+//! the statistical shape the index cares about —
+//!
+//! * **per-code signatures**: every error code owns a 16-feature signature
+//!   drawn uniformly from its part's vocabulary window, and each bundle of
+//!   that code realizes a random 12–14-feature subset of it — so bundles of
+//!   the same code cluster at Jaccard ≈ 0.4–0.65 while bundles of different
+//!   codes share almost nothing through their signatures;
+//! * **Zipf-hot boilerplate noise**: every bundle additionally carries a few
+//!   features from a small shared boilerplate pool with Zipf-skewed hotness
+//!   (real reports share formulaic phrases; word frequencies are Zipfian).
+//!   The hot boilerplate features produce the posting lists hundreds of
+//!   thousands of entries long that make *exact* posting-list scoring
+//!   expensive at the 1M tier — while contributing almost nothing to any
+//!   pairwise similarity (background Jaccard stays ≲ 0.05). This is exactly
+//!   the regime where an LSH prefilter pays: candidates are separated by
+//!   signature overlap, not by who shares the word "defekt";
+//! * **Zipf-skewed code popularity** within each part, mirroring the paper's
+//!   §3.2 frequency skew.
+//!
+//! Everything is derived from one `StdRng` seeded by [`ScaleConfig::seed`],
+//! so a tier is reproducible across runs and machines, and bundles are
+//! stored in one flat arena (`starts`/`features`) rather than per-bundle
+//! `Vec`s — at the 10M tier, per-bundle allocations alone would cost more
+//! memory than the data.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::zipf::Zipf;
+
+/// The three named corpus scale tiers (plus [`ScaleConfig::custom`] for
+/// arbitrary sizes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScaleTier {
+    /// 100 000 bundles — runs on every PR in the `scale-bench` CI job.
+    T100k,
+    /// 1 000 000 bundles — the nightly tier.
+    T1m,
+    /// 10 000 000 bundles — the headroom knob (multi-GB; not in CI).
+    T10m,
+}
+
+impl ScaleTier {
+    /// Parse a tier label as accepted by `quest gen-corpus --scale` and
+    /// `bench_report --scale`.
+    pub fn parse(s: &str) -> Option<ScaleTier> {
+        match s {
+            "100k" => Some(ScaleTier::T100k),
+            "1m" => Some(ScaleTier::T1m),
+            "10m" => Some(ScaleTier::T10m),
+            _ => None,
+        }
+    }
+
+    pub fn label(self) -> &'static str {
+        match self {
+            ScaleTier::T100k => "100k",
+            ScaleTier::T1m => "1m",
+            ScaleTier::T10m => "10m",
+        }
+    }
+
+    pub fn n_bundles(self) -> usize {
+        match self {
+            ScaleTier::T100k => 100_000,
+            ScaleTier::T1m => 1_000_000,
+            ScaleTier::T10m => 10_000_000,
+        }
+    }
+}
+
+/// Generator configuration for one scale tier.
+#[derive(Debug, Clone, Copy)]
+pub struct ScaleConfig {
+    pub seed: u64,
+    pub n_bundles: usize,
+    /// Distinct part IDs. Kept small so per-part knowledge grows with the
+    /// tier — the point of the exercise is *dense* parts, not more of them.
+    pub n_parts: usize,
+    /// Error codes per part; `n_parts * codes_per_part` distinct codes.
+    pub codes_per_part: usize,
+    /// Global feature-id space (the sealed vocabulary size). The first
+    /// [`ScaleConfig::boilerplate`] ids are the shared boilerplate pool; the
+    /// rest is signature space.
+    pub vocab: u32,
+    /// Per-part signature window: each part draws code signatures from a
+    /// `pool`-wide window of the signature space, so parts have dialects
+    /// that partially overlap.
+    pub pool: u32,
+    /// Size of the shared boilerplate pool (feature ids `0..boilerplate`).
+    pub boilerplate: u32,
+    /// Boilerplate noise features drawn per bundle (before dedup).
+    pub noise_features: usize,
+    /// Zipf exponent of boilerplate hotness.
+    pub noise_zipf_s: f64,
+    /// Zipf exponent of code popularity within a part.
+    pub code_zipf_s: f64,
+    /// Features per code signature.
+    pub signature_len: usize,
+}
+
+impl ScaleConfig {
+    /// The calibrated configuration of a named tier. Cluster size (bundles
+    /// per code) stays ≈ 60 across tiers — comfortably above the paper's
+    /// top-25 ranking cut even at the Zipf popularity tail, so a query's
+    /// exact top-25 nodes are saturated by its own code's cluster (which is
+    /// what lets the LSH-pruned path reproduce the exact code list; a
+    /// cluster that dips below 25 lets arbitrary weak-tie nodes into the
+    /// exact top-25, and no similarity-based prefilter can find those).
+    /// Per-part density grows ~10× per tier, which is what stretches the
+    /// posting lists.
+    pub fn tier(tier: ScaleTier, seed: u64) -> ScaleConfig {
+        let (n_bundles, n_parts, codes_per_part, vocab, pool) = match tier {
+            ScaleTier::T100k => (100_000, 24, 70, 30_000, 6_000),
+            ScaleTier::T1m => (1_000_000, 30, 555, 60_000, 7_500),
+            ScaleTier::T10m => (10_000_000, 60, 2_750, 120_000, 12_000),
+        };
+        ScaleConfig {
+            seed,
+            n_bundles,
+            n_parts,
+            codes_per_part,
+            vocab,
+            pool,
+            boilerplate: 1_024,
+            noise_features: 4,
+            noise_zipf_s: 1.1,
+            code_zipf_s: 0.4,
+            signature_len: 16,
+        }
+    }
+
+    /// A custom bundle count with tier-shaped parameters — used by tests
+    /// that want the same statistics at a few thousand bundles.
+    pub fn custom(n_bundles: usize, seed: u64) -> ScaleConfig {
+        let n_parts = 8;
+        // keep the ≈60-bundle code clusters of the named tiers
+        let codes_per_part = (n_bundles / (n_parts * 60)).max(4);
+        ScaleConfig {
+            seed,
+            n_bundles,
+            n_parts,
+            codes_per_part,
+            vocab: 8_000,
+            pool: 1_500,
+            boilerplate: 256,
+            noise_features: 4,
+            noise_zipf_s: 1.1,
+            code_zipf_s: 0.4,
+            signature_len: 16,
+        }
+    }
+}
+
+/// One bundle of a scale corpus, viewed in place.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScaleBundle<'a> {
+    /// Dense part index, `0..n_parts`.
+    pub part: u32,
+    /// Global code index, `0..n_parts * codes_per_part`.
+    pub code: u32,
+    /// Sorted, deduplicated feature ids.
+    pub features: &'a [u32],
+}
+
+/// A generated scale corpus: flat bundle arena plus the latent per-code
+/// signatures (kept so query streams can be drawn from the same
+/// distribution as the training data).
+#[derive(Debug, Clone)]
+pub struct ScaleCorpus {
+    pub config: ScaleConfig,
+    /// Per-part signature-window base offsets, `n_parts` long.
+    pub part_salts: Vec<u32>,
+    /// Flat code signatures, `n_codes * signature_len` long.
+    pub signatures: Vec<u32>,
+    /// Per-bundle dense part index.
+    pub parts: Vec<u32>,
+    /// Per-bundle global code index.
+    pub codes: Vec<u32>,
+    /// Feature-arena offsets, `n_bundles + 1` long.
+    pub starts: Vec<u32>,
+    /// Flat feature arena: bundle `i` owns `features[starts[i]..starts[i+1]]`,
+    /// sorted and deduplicated.
+    pub features: Vec<u32>,
+}
+
+impl ScaleCorpus {
+    /// Generate a corpus; deterministic for a given config.
+    pub fn generate(config: ScaleConfig) -> ScaleCorpus {
+        assert!(config.n_parts > 0 && config.codes_per_part > 0);
+        assert!(config.boilerplate < config.vocab);
+        let sig_space = config.vocab - config.boilerplate;
+        assert!(config.pool <= sig_space);
+        assert!(config.pool as usize >= config.signature_len * 2);
+        assert!(config.signature_len >= 4, "signature too short to subset");
+        let mut rng = StdRng::seed_from_u64(config.seed ^ 0x5CA1_EB0B);
+        let n_codes = config.n_parts * config.codes_per_part;
+        let noise_zipf = Zipf::new(config.boilerplate as usize, config.noise_zipf_s);
+        let code_zipf = Zipf::new(config.codes_per_part, config.code_zipf_s);
+
+        // per-part signature windows and per-code signatures (uniform draws
+        // within the window — signatures carry the discriminative signal, so
+        // they must NOT be hot-skewed; hotness lives in the boilerplate pool)
+        let mut part_salts = Vec::with_capacity(config.n_parts);
+        let mut signatures = vec![0u32; n_codes * config.signature_len];
+        for part in 0..config.n_parts {
+            let salt = rng.random_range(0..sig_space);
+            part_salts.push(salt);
+            for c in 0..config.codes_per_part {
+                let code = part * config.codes_per_part + c;
+                let sig = &mut signatures[code * config.signature_len..][..config.signature_len];
+                let mut k = 0;
+                while k < config.signature_len {
+                    let r = rng.random_range(0..config.pool);
+                    let f = config.boilerplate + (salt + r) % sig_space;
+                    if !sig[..k].contains(&f) {
+                        sig[k] = f;
+                        k += 1;
+                    }
+                }
+            }
+        }
+
+        // bundles
+        let mut parts = Vec::with_capacity(config.n_bundles);
+        let mut codes = Vec::with_capacity(config.n_bundles);
+        let mut starts = Vec::with_capacity(config.n_bundles + 1);
+        let mut features: Vec<u32> = Vec::with_capacity(
+            config.n_bundles * (config.signature_len * 7 / 8 + config.noise_features),
+        );
+        starts.push(0u32);
+        let mut scratch: Vec<u32> =
+            Vec::with_capacity(config.signature_len + config.noise_features);
+        for _ in 0..config.n_bundles {
+            let part = rng.random_range(0..config.n_parts) as u32;
+            let code = part * config.codes_per_part as u32 + code_zipf.sample(&mut rng) as u32;
+            realize(
+                &config,
+                &signatures,
+                &noise_zipf,
+                code,
+                &mut rng,
+                &mut scratch,
+            );
+            features.extend_from_slice(&scratch);
+            parts.push(part);
+            codes.push(code);
+            let end = u32::try_from(features.len()).expect("feature arena under 4G ids");
+            starts.push(end);
+        }
+        ScaleCorpus {
+            config,
+            part_salts,
+            signatures,
+            parts,
+            codes,
+            starts,
+            features,
+        }
+    }
+
+    /// Number of bundles.
+    pub fn len(&self) -> usize {
+        self.parts.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.parts.is_empty()
+    }
+
+    /// Bundle `i`, viewed in place.
+    pub fn bundle(&self, i: usize) -> ScaleBundle<'_> {
+        ScaleBundle {
+            part: self.parts[i],
+            code: self.codes[i],
+            features: &self.features[self.starts[i] as usize..self.starts[i + 1] as usize],
+        }
+    }
+
+    /// Iterate all bundles in generation order.
+    pub fn bundles(&self) -> impl Iterator<Item = ScaleBundle<'_>> {
+        (0..self.len()).map(|i| self.bundle(i))
+    }
+
+    /// Distinct codes actually used by at least one bundle.
+    pub fn distinct_codes(&self) -> usize {
+        let n_codes = self.config.n_parts * self.config.codes_per_part;
+        let mut seen = vec![false; n_codes];
+        for &c in &self.codes {
+            seen[c as usize] = true;
+        }
+        seen.iter().filter(|&&s| s).count()
+    }
+
+    /// Mean features per bundle.
+    pub fn avg_features(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        self.features.len() as f64 / self.len() as f64
+    }
+
+    /// Display name of a dense part index (stable across tiers).
+    pub fn part_name(part: u32) -> String {
+        format!("SP-{part:04}")
+    }
+
+    /// Display name of a global code index.
+    pub fn code_name(code: u32) -> String {
+        format!("SE-{code:06}")
+    }
+
+    /// A deterministic query stream drawn from the same distribution as the
+    /// training bundles: each query picks a uniform code and realizes a
+    /// fresh feature subset of its signature — so every query has true
+    /// near-neighbours in the corpus without being a verbatim copy of any.
+    /// Returns `(part, sorted feature ids)` pairs.
+    pub fn queries(&self, n: usize, seed: u64) -> Vec<(u32, Vec<u32>)> {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x0FF5_E7ED);
+        let noise_zipf = Zipf::new(self.config.boilerplate as usize, self.config.noise_zipf_s);
+        let n_codes = (self.config.n_parts * self.config.codes_per_part) as u32;
+        let mut scratch: Vec<u32> = Vec::new();
+        (0..n)
+            .map(|_| {
+                let code = rng.random_range(0..n_codes);
+                let part = code / self.config.codes_per_part as u32;
+                realize(
+                    &self.config,
+                    &self.signatures,
+                    &noise_zipf,
+                    code,
+                    &mut rng,
+                    &mut scratch,
+                );
+                (part, scratch.clone())
+            })
+            .collect()
+    }
+}
+
+/// Realize one bundle / query of `code` into `out`: a random 3/4–7/8 subset
+/// of the code signature plus `noise_features` Zipf-hot boilerplate
+/// features, sorted and deduplicated.
+fn realize(
+    config: &ScaleConfig,
+    signatures: &[u32],
+    noise_zipf: &Zipf,
+    code: u32,
+    rng: &mut StdRng,
+    out: &mut Vec<u32>,
+) {
+    let sig = &signatures[code as usize * config.signature_len..][..config.signature_len];
+    let lo = config.signature_len * 3 / 4;
+    let hi = config.signature_len * 7 / 8;
+    let take = rng.random_range(lo..=hi);
+    out.clear();
+    out.extend_from_slice(sig);
+    // partial Fisher–Yates: the first `take` slots become a uniform subset
+    for i in 0..take {
+        let j = rng.random_range(i..config.signature_len);
+        out.swap(i, j);
+    }
+    out.truncate(take);
+    for _ in 0..config.noise_features {
+        out.push(noise_zipf.sample(rng) as u32);
+    }
+    out.sort_unstable();
+    out.dedup();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ScaleCorpus {
+        ScaleCorpus::generate(ScaleConfig::custom(3_000, 7))
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = tiny();
+        let b = ScaleCorpus::generate(ScaleConfig::custom(3_000, 7));
+        assert_eq!(a.features, b.features);
+        assert_eq!(a.codes, b.codes);
+        assert_eq!(a.signatures, b.signatures);
+        let c = ScaleCorpus::generate(ScaleConfig::custom(3_000, 8));
+        assert_ne!(a.features, c.features);
+    }
+
+    #[test]
+    fn bundles_are_sorted_dedup_and_consistent() {
+        let c = tiny();
+        assert_eq!(c.len(), 3_000);
+        for b in c.bundles() {
+            assert!(b.features.windows(2).all(|w| w[0] < w[1]), "unsorted");
+            assert!(!b.features.is_empty());
+            assert!(b.features.iter().all(|&f| f < c.config.vocab));
+            assert_eq!(b.part, b.code / c.config.codes_per_part as u32);
+            assert!((b.part as usize) < c.config.n_parts);
+        }
+        // boilerplate noise actually present in most bundles
+        let noisy = c
+            .bundles()
+            .filter(|b| b.features.iter().any(|&f| f < c.config.boilerplate))
+            .count();
+        assert!(noisy > c.len() / 2, "boilerplate missing: {noisy}");
+    }
+
+    #[test]
+    fn boilerplate_is_hot_and_signatures_are_not() {
+        // the hottest feature must be a boilerplate id with a posting list
+        // far longer than any signature feature's — that skew is what makes
+        // exact scoring expensive at scale
+        let c = tiny();
+        let mut freq = vec![0u32; c.config.vocab as usize];
+        for &f in &c.features {
+            freq[f as usize] += 1;
+        }
+        let hot_bp = (0..c.config.boilerplate as usize)
+            .map(|f| freq[f])
+            .max()
+            .unwrap();
+        let hot_sig = (c.config.boilerplate as usize..c.config.vocab as usize)
+            .map(|f| freq[f])
+            .max()
+            .unwrap();
+        assert!(
+            hot_bp > hot_sig * 5,
+            "boilerplate not hot: {hot_bp} vs {hot_sig}"
+        );
+        // the hottest boilerplate feature appears in a large share of bundles
+        assert!(
+            hot_bp as usize > c.len() / 5,
+            "hot posting too short: {hot_bp}"
+        );
+    }
+
+    #[test]
+    fn same_code_bundles_cluster_in_jaccard() {
+        let c = tiny();
+        let mut by_code: std::collections::HashMap<u32, Vec<usize>> = Default::default();
+        for (i, &code) in c.codes.iter().enumerate() {
+            by_code.entry(code).or_default().push(i);
+        }
+        let jaccard = |a: &[u32], b: &[u32]| {
+            let inter = a.iter().filter(|x| b.binary_search(x).is_ok()).count();
+            inter as f64 / (a.len() + b.len() - inter) as f64
+        };
+        let (mut same_sum, mut same_n) = (0.0, 0usize);
+        for ids in by_code.values().filter(|v| v.len() >= 2).take(50) {
+            same_sum += jaccard(c.bundle(ids[0]).features, c.bundle(ids[1]).features);
+            same_n += 1;
+        }
+        let same = same_sum / same_n as f64;
+        // cross-code pairs (arbitrary neighbours in generation order)
+        let (mut cross_sum, mut cross_n) = (0.0, 0usize);
+        for i in (0..c.len() - 1).step_by(37).take(50) {
+            if c.codes[i] != c.codes[i + 1] {
+                cross_sum += jaccard(c.bundle(i).features, c.bundle(i + 1).features);
+                cross_n += 1;
+            }
+        }
+        let cross = cross_sum / cross_n as f64;
+        assert!(same > 0.35, "same-code Jaccard too low: {same:.2}");
+        assert!(cross < 0.15, "cross-code Jaccard too high: {cross:.2}");
+        assert!(
+            same > cross + 0.25,
+            "no cluster structure: {same:.2} vs {cross:.2}"
+        );
+    }
+
+    #[test]
+    fn queries_are_deterministic_and_well_formed() {
+        let c = tiny();
+        let q1 = c.queries(64, 11);
+        let q2 = c.queries(64, 11);
+        assert_eq!(q1, q2);
+        assert_ne!(q1, c.queries(64, 12));
+        for (part, feats) in &q1 {
+            assert!((*part as usize) < c.config.n_parts);
+            assert!(feats.windows(2).all(|w| w[0] < w[1]));
+            assert!(!feats.is_empty());
+        }
+    }
+
+    #[test]
+    fn tier_labels_roundtrip() {
+        for t in [ScaleTier::T100k, ScaleTier::T1m, ScaleTier::T10m] {
+            assert_eq!(ScaleTier::parse(t.label()), Some(t));
+            let cfg = ScaleConfig::tier(t, 1);
+            assert_eq!(cfg.n_bundles, t.n_bundles());
+            // cluster size stays ≈ 60 across tiers (see `tier` docs)
+            let cluster = cfg.n_bundles as f64 / (cfg.n_parts * cfg.codes_per_part) as f64;
+            assert!((50.0..=70.0).contains(&cluster), "cluster = {cluster}");
+        }
+        assert_eq!(ScaleTier::parse("2m"), None);
+    }
+}

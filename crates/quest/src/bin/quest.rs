@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! quest generate [--small] [--seed N] --db FILE   generate a corpus and persist it
+//! quest gen-corpus --scale 100k|1m|10m --out FILE  scale-tier feature corpus
 //! quest stats --db FILE                           print the §3.2 data statistics
 //! quest suggest --db FILE --ref R-000042          top-10 error-code suggestions
 //! quest compare [--small] [--seed N]              Fig. 14 cross-source comparison
@@ -29,6 +30,7 @@ fn main() -> ExitCode {
     let rest = &args[1..];
     let result = match cmd.as_str() {
         "generate" => cmd_generate(rest),
+        "gen-corpus" => cmd_gen_corpus(rest),
         "stats" => cmd_stats(rest),
         "suggest" => cmd_suggest(rest),
         "compare" => cmd_compare(rest),
@@ -53,8 +55,11 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str =
-    "usage: quest <generate|stats|suggest|compare|demo|metrics|recover|serve|loadgen> [options]
+    "usage: quest <generate|gen-corpus|stats|suggest|compare|demo|metrics|recover|serve|loadgen> [options]
   generate [--small] [--seed N] --db FILE   generate a corpus, persist to FILE
+  gen-corpus --scale 100k|1m|10m [--seed N] [--bundles N] --out FILE
+                                            seed-deterministic feature-level scale
+                                            corpus (delta+varint compressed)
   stats --db FILE                           data statistics (paper §3.2)
   suggest --db FILE --ref REFNO             top-10 suggestions for one bundle
   compare [--small] [--seed N]              error distribution vs NHTSA (§5.4)
@@ -116,6 +121,46 @@ fn cmd_generate(args: &[String]) -> Result<(), String> {
         corpus.bundles.len(),
         corpus.world.parts.len(),
         corpus.world.codes.len()
+    );
+    Ok(())
+}
+
+fn cmd_gen_corpus(args: &[String]) -> Result<(), String> {
+    let out = flag_value(args, "--out").ok_or("gen-corpus needs --out FILE")?;
+    let seed: u64 = flag_value(args, "--seed")
+        .map(|s| s.parse().map_err(|_| format!("bad --seed `{s}`")))
+        .transpose()?
+        .unwrap_or(42);
+    let config = match (flag_value(args, "--scale"), flag_value(args, "--bundles")) {
+        (Some(label), None) => {
+            let tier = ScaleTier::parse(label)
+                .ok_or_else(|| format!("bad --scale `{label}` (expected 100k|1m|10m)"))?;
+            ScaleConfig::tier(tier, seed)
+        }
+        (None, Some(n)) => {
+            let n: usize = n.parse().map_err(|_| format!("bad --bundles `{n}`"))?;
+            ScaleConfig::custom(n, seed)
+        }
+        (Some(_), Some(_)) => return Err("--scale and --bundles are exclusive".into()),
+        (None, None) => return Err("gen-corpus needs --scale 100k|1m|10m or --bundles N".into()),
+    };
+    eprintln!(
+        "generating scale corpus ({} bundles, seed {seed}) ...",
+        config.n_bundles
+    );
+    let corpus = ScaleCorpus::generate(config);
+    let stats = save_scale_corpus(&corpus, out).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} bundles ({} parts, {} codes in use, {:.1} features/bundle) to {out}",
+        stats.n_bundles,
+        config.n_parts,
+        corpus.distinct_codes(),
+        corpus.avg_features()
+    );
+    println!(
+        "{} bytes ({:.2} bytes/feature vs 4.00 fixed-width)",
+        stats.bytes,
+        stats.bytes_per_feature()
     );
     Ok(())
 }

@@ -19,6 +19,7 @@
 pub mod compare;
 pub mod metrics;
 pub mod probe;
+pub mod scalefile;
 pub mod screens;
 pub mod serve_app;
 pub mod service;
@@ -32,6 +33,9 @@ pub mod prelude {
         DistributionRow,
     };
     pub use crate::probe::{run_metrics_probe, ProbeSummary};
+    pub use crate::scalefile::{
+        load_scale_corpus, save_scale_corpus, ScaleFileError, ScaleFileStats,
+    };
     pub use crate::screens::{render_bundle, render_case, render_suggestions};
     pub use crate::serve_app::{HealthInfo, QuestApp, MAX_BATCH_TEXTS, MAX_LEARN_INSTANCES};
     pub use crate::service::{RecommendationService, ServiceError, Suggestions, TOP_SUGGESTIONS};

@@ -1,0 +1,361 @@
+//! On-disk persistence for [`ScaleCorpus`] — the `quest gen-corpus` file
+//! format.
+//!
+//! A 1M-tier corpus holds ~16M feature ids; serializing them as fixed-width
+//! integers would write ~70 MB where the data's real entropy is far lower
+//! (per-bundle feature lists are sorted, so deltas are small; parts, codes
+//! and arena offsets are likewise delta-friendly). The format therefore
+//! reuses the sealed-segment codec from `qatk_core::segment`: every sorted
+//! list goes through [`encode_sorted`] (delta + LEB128 varint) and scalar
+//! fields through a u64 varint. Typical output is ~2 bytes per feature id.
+//!
+//! Layout (all integers varint unless noted):
+//!
+//! ```text
+//! magic "QSC1" (4 raw bytes)
+//! config: seed, n_bundles, n_parts, codes_per_part, vocab, pool,
+//!         boilerplate, noise_features, signature_len,
+//!         noise_zipf_s (f64 bits, 8 raw bytes), code_zipf_s (same)
+//! part_salts:  n_parts raw varints
+//! signatures:  n_codes * signature_len raw varints
+//! parts:       n_bundles raw varints
+//! codes:       n_bundles raw varints
+//! lens:        n_bundles varints (per-bundle feature count)
+//! features:    n_bundles delta+varint lists, concatenated
+//! ```
+//!
+//! Everything needed to regenerate query streams ([`ScaleCorpus::queries`])
+//! rides along — `part_salts` and `signatures` are part of the corpus, not
+//! just its provenance.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use qatk_core::segment::{encode_sorted, read_varint, write_varint, CodecError};
+use qatk_corpus::scale::{ScaleConfig, ScaleCorpus};
+
+/// File magic: "QSC" + format version digit.
+const MAGIC: [u8; 4] = *b"QSC1";
+
+/// What [`save_scale_corpus`] wrote, for the CLI's stats line.
+#[derive(Debug, Clone, Copy)]
+pub struct ScaleFileStats {
+    /// Total bytes written, including the header.
+    pub bytes: u64,
+    /// Bundles persisted.
+    pub n_bundles: usize,
+    /// Feature ids persisted (across all bundles).
+    pub n_features: usize,
+}
+
+impl ScaleFileStats {
+    /// Mean compressed bytes per feature id (header amortized in).
+    pub fn bytes_per_feature(&self) -> f64 {
+        if self.n_features == 0 {
+            return 0.0;
+        }
+        self.bytes as f64 / self.n_features as f64
+    }
+}
+
+/// Errors from [`load_scale_corpus`]: I/O or a malformed file.
+#[derive(Debug)]
+pub enum ScaleFileError {
+    Io(io::Error),
+    /// Bad magic, truncated stream, or a varint that violates the format.
+    Format(String),
+}
+
+impl fmt::Display for ScaleFileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScaleFileError::Io(e) => write!(f, "scale corpus file i/o: {e}"),
+            ScaleFileError::Format(m) => write!(f, "malformed scale corpus file: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ScaleFileError {}
+
+impl From<io::Error> for ScaleFileError {
+    fn from(e: io::Error) -> Self {
+        ScaleFileError::Io(e)
+    }
+}
+
+impl From<CodecError> for ScaleFileError {
+    fn from(e: CodecError) -> Self {
+        ScaleFileError::Format(e.to_string())
+    }
+}
+
+/// LEB128 a u64 (the segment codec is u32-wide; seeds need the full width).
+fn write_varint64(out: &mut Vec<u8>, mut v: u64) {
+    while v >= 0x80 {
+        out.push((v as u8 & 0x7f) | 0x80);
+        v >>= 7;
+    }
+    out.push(v as u8);
+}
+
+fn read_varint64(buf: &[u8], pos: &mut usize) -> Result<u64, ScaleFileError> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let &byte = buf
+            .get(*pos)
+            .ok_or_else(|| ScaleFileError::Format("truncated varint".into()))?;
+        *pos += 1;
+        if shift >= 64 {
+            return Err(ScaleFileError::Format("varint overflows u64".into()));
+        }
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+fn read_usize(buf: &[u8], pos: &mut usize) -> Result<usize, ScaleFileError> {
+    let v = read_varint64(buf, pos)?;
+    usize::try_from(v).map_err(|_| ScaleFileError::Format("count exceeds usize".into()))
+}
+
+fn read_u32(buf: &[u8], pos: &mut usize) -> Result<u32, ScaleFileError> {
+    read_varint(buf, pos).map_err(ScaleFileError::from)
+}
+
+fn read_f64(buf: &[u8], pos: &mut usize) -> Result<f64, ScaleFileError> {
+    let end = pos
+        .checked_add(8)
+        .filter(|&e| e <= buf.len())
+        .ok_or_else(|| ScaleFileError::Format("truncated f64".into()))?;
+    let mut raw = [0u8; 8];
+    raw.copy_from_slice(&buf[*pos..end]);
+    *pos = end;
+    Ok(f64::from_bits(u64::from_le_bytes(raw)))
+}
+
+/// Serialize a corpus into the `QSC1` byte stream.
+pub fn encode_scale_corpus(corpus: &ScaleCorpus) -> Vec<u8> {
+    let c = &corpus.config;
+    // header + a conservative 2 bytes/feature estimate avoids regrowth
+    let mut out = Vec::with_capacity(64 + corpus.features.len() * 2);
+    out.extend_from_slice(&MAGIC);
+    write_varint64(&mut out, c.seed);
+    write_varint64(&mut out, c.n_bundles as u64);
+    write_varint64(&mut out, c.n_parts as u64);
+    write_varint64(&mut out, c.codes_per_part as u64);
+    write_varint(&mut out, c.vocab);
+    write_varint(&mut out, c.pool);
+    write_varint(&mut out, c.boilerplate);
+    write_varint64(&mut out, c.noise_features as u64);
+    write_varint64(&mut out, c.signature_len as u64);
+    out.extend_from_slice(&c.noise_zipf_s.to_bits().to_le_bytes());
+    out.extend_from_slice(&c.code_zipf_s.to_bits().to_le_bytes());
+    for &s in &corpus.part_salts {
+        write_varint(&mut out, s);
+    }
+    for &f in &corpus.signatures {
+        write_varint(&mut out, f);
+    }
+    for &p in &corpus.parts {
+        write_varint(&mut out, p);
+    }
+    for &code in &corpus.codes {
+        write_varint(&mut out, code);
+    }
+    for i in 0..corpus.parts.len() {
+        let len = corpus.starts[i + 1] - corpus.starts[i];
+        write_varint(&mut out, len);
+    }
+    for i in 0..corpus.parts.len() {
+        let list = &corpus.features[corpus.starts[i] as usize..corpus.starts[i + 1] as usize];
+        encode_sorted(list, &mut out);
+    }
+    out
+}
+
+/// Parse a `QSC1` byte stream back into a corpus.
+pub fn decode_scale_corpus(buf: &[u8]) -> Result<ScaleCorpus, ScaleFileError> {
+    if buf.len() < MAGIC.len() || buf[..MAGIC.len()] != MAGIC {
+        return Err(ScaleFileError::Format(
+            "missing QSC1 magic (not a scale corpus file?)".into(),
+        ));
+    }
+    let mut pos = MAGIC.len();
+    let seed = read_varint64(buf, &mut pos)?;
+    let n_bundles = read_usize(buf, &mut pos)?;
+    let n_parts = read_usize(buf, &mut pos)?;
+    let codes_per_part = read_usize(buf, &mut pos)?;
+    let vocab = read_u32(buf, &mut pos)?;
+    let pool = read_u32(buf, &mut pos)?;
+    let boilerplate = read_u32(buf, &mut pos)?;
+    let noise_features = read_usize(buf, &mut pos)?;
+    let signature_len = read_usize(buf, &mut pos)?;
+    let noise_zipf_s = read_f64(buf, &mut pos)?;
+    let code_zipf_s = read_f64(buf, &mut pos)?;
+    let config = ScaleConfig {
+        seed,
+        n_bundles,
+        n_parts,
+        codes_per_part,
+        vocab,
+        pool,
+        boilerplate,
+        noise_features,
+        noise_zipf_s,
+        code_zipf_s,
+        signature_len,
+    };
+    // counts drive allocations below; sanity-bound them against the buffer
+    // so a corrupt header cannot request terabytes
+    let n_codes = n_parts
+        .checked_mul(codes_per_part)
+        .filter(|&n| n.saturating_mul(signature_len) <= buf.len() * 8)
+        .ok_or_else(|| ScaleFileError::Format("implausible code count".into()))?;
+    if n_bundles > buf.len() {
+        return Err(ScaleFileError::Format("implausible bundle count".into()));
+    }
+    let read_vec = |buf: &[u8], pos: &mut usize, n: usize| -> Result<Vec<u32>, ScaleFileError> {
+        let mut v = Vec::with_capacity(n);
+        for _ in 0..n {
+            v.push(read_u32(buf, pos)?);
+        }
+        Ok(v)
+    };
+    let part_salts = read_vec(buf, &mut pos, n_parts)?;
+    let signatures = read_vec(buf, &mut pos, n_codes * signature_len)?;
+    let parts = read_vec(buf, &mut pos, n_bundles)?;
+    let codes = read_vec(buf, &mut pos, n_bundles)?;
+    let lens = read_vec(buf, &mut pos, n_bundles)?;
+    let mut starts = Vec::with_capacity(n_bundles + 1);
+    starts.push(0u32);
+    let mut total = 0u64;
+    for &len in &lens {
+        total += u64::from(len);
+        let end = u32::try_from(total)
+            .map_err(|_| ScaleFileError::Format("feature arena exceeds u32 offsets".into()))?;
+        starts.push(end);
+    }
+    let mut features = Vec::with_capacity(total as usize);
+    for &len in &lens {
+        // delta-decode one bundle's sorted list straight into the arena
+        let mut prev = 0u32;
+        for _ in 0..len {
+            let delta = read_u32(buf, &mut pos)?;
+            prev = prev
+                .checked_add(delta)
+                .ok_or_else(|| ScaleFileError::Format("feature id overflows u32".into()))?;
+            features.push(prev);
+        }
+    }
+    if pos != buf.len() {
+        return Err(ScaleFileError::Format(format!(
+            "{} trailing bytes after corpus",
+            buf.len() - pos
+        )));
+    }
+    Ok(ScaleCorpus {
+        config,
+        part_salts,
+        signatures,
+        parts,
+        codes,
+        starts,
+        features,
+    })
+}
+
+/// Write a corpus to `path`; returns size stats for the CLI.
+pub fn save_scale_corpus(
+    corpus: &ScaleCorpus,
+    path: &str,
+) -> Result<ScaleFileStats, ScaleFileError> {
+    let bytes = encode_scale_corpus(corpus);
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(&bytes)?;
+    f.sync_all()?;
+    Ok(ScaleFileStats {
+        bytes: bytes.len() as u64,
+        n_bundles: corpus.len(),
+        n_features: corpus.features.len(),
+    })
+}
+
+/// Read a corpus back from `path`.
+pub fn load_scale_corpus(path: &str) -> Result<ScaleCorpus, ScaleFileError> {
+    let mut buf = Vec::new();
+    std::fs::File::open(path)?.read_to_end(&mut buf)?;
+    decode_scale_corpus(&buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> ScaleCorpus {
+        ScaleCorpus::generate(ScaleConfig::custom(2_000, 13))
+    }
+
+    #[test]
+    fn roundtrip_is_identity() {
+        let c = corpus();
+        let bytes = encode_scale_corpus(&c);
+        let d = decode_scale_corpus(&bytes).expect("well-formed");
+        assert_eq!(c.part_salts, d.part_salts);
+        assert_eq!(c.signatures, d.signatures);
+        assert_eq!(c.parts, d.parts);
+        assert_eq!(c.codes, d.codes);
+        assert_eq!(c.starts, d.starts);
+        assert_eq!(c.features, d.features);
+        assert_eq!(c.config.seed, d.config.seed);
+        assert_eq!(c.config.vocab, d.config.vocab);
+        // the reloaded corpus draws the same query stream
+        assert_eq!(c.queries(16, 3), d.queries(16, 3));
+    }
+
+    #[test]
+    fn compression_beats_fixed_width() {
+        let c = corpus();
+        let bytes = encode_scale_corpus(&c);
+        let fixed = c.features.len() * 4;
+        assert!(
+            bytes.len() < fixed,
+            "compressed {} >= fixed-width features alone {}",
+            bytes.len(),
+            fixed
+        );
+    }
+
+    #[test]
+    fn rejects_garbage_and_truncation() {
+        assert!(decode_scale_corpus(b"nope").is_err());
+        assert!(decode_scale_corpus(b"").is_err());
+        let bytes = encode_scale_corpus(&corpus());
+        // any truncation must error out, never panic
+        for cut in [4, 16, bytes.len() / 2, bytes.len() - 1] {
+            assert!(decode_scale_corpus(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+        // trailing junk is rejected too
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(decode_scale_corpus(&long).is_err());
+    }
+
+    #[test]
+    fn save_load_via_file() {
+        let c = corpus();
+        let dir = std::env::temp_dir().join("qatk-scalefile-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.qsc");
+        let path = path.to_str().unwrap();
+        let stats = save_scale_corpus(&c, path).expect("save");
+        assert_eq!(stats.n_bundles, c.len());
+        assert!(stats.bytes > 0 && stats.bytes_per_feature() > 0.0);
+        let d = load_scale_corpus(path).expect("load");
+        assert_eq!(c.features, d.features);
+        std::fs::remove_file(path).ok();
+    }
+}

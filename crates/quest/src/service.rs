@@ -227,7 +227,11 @@ impl RecommendationService {
     /// lands mid-iteration.
     pub fn suggest_on(&self, snapshot: &KnowledgeSnapshot, bundle: &DataBundle) -> Suggestions {
         let features = Self::extract_with(snapshot, bundle);
-        let ranked = self.knn.rank(snapshot.kb(), &bundle.part_id, &features);
+        // serve off the sealed segment: same results as the live index
+        // (asserted by `ranking_equivalence`), compressed posting arena
+        let ranked =
+            self.knn
+                .rank_sealed(snapshot.index(), snapshot.kb(), &bundle.part_id, &features);
         Self::assemble(snapshot, bundle, ranked)
     }
 
@@ -534,7 +538,8 @@ impl RecommendationService {
     pub fn classify_external_for_part(&self, text: &str, part_id: &str) -> Vec<ScoredCode> {
         let snapshot = self.current.load();
         let features = Self::extract_external(&snapshot, text);
-        self.knn.rank(snapshot.kb(), part_id, &features)
+        self.knn
+            .rank_sealed(snapshot.index(), snapshot.kb(), part_id, &features)
     }
 
     /// Batch variant of [`RecommendationService::classify_external_for_part`]:
