@@ -17,10 +17,11 @@
 //!   median ≥ 5x faster than exact, and ≥ 95% differential top-25 recall
 //!   against the exact oracle over 256 seeded queries.
 //!
-//! Writing `--out FILE` (default `BENCH_PR7.json`) **merges** into an
+//! Writing `--out FILE` (default `BENCH_PR8.json`) **merges** into an
 //! existing report: fresh entries replace same-named ones in place, new
 //! names append — so the committed baseline accumulates the classic, 100k
-//! and 1m tiers from separate runs. `--check BASELINE` fails on any median
+//! and 1m tiers from separate runs (plus the `model_zoo` binary's
+//! per-family entries). `--check BASELINE` fails on any median
 //! *or p95* regression beyond 25% (see `qatk_bench::report`); baseline
 //! entries the current mode didn't run are ignored.
 //!
@@ -437,7 +438,7 @@ fn run_scale(tier: ScaleTier, seed: u64) -> Result<Vec<BenchResult>, String> {
 
 fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let out_path = flag_value(&args, "--out").unwrap_or("BENCH_PR7.json");
+    let out_path = flag_value(&args, "--out").unwrap_or("BENCH_PR8.json");
     let check_path = flag_value(&args, "--check");
     let seed: u64 = flag_value(&args, "--seed")
         .map(|s| s.parse().map_err(|_| format!("bad --seed `{s}`")))

@@ -1,10 +1,17 @@
-//! Evaluation machinery: Accuracy@k and stratified k-fold cross-validation.
+//! Evaluation machinery: Accuracy@k, micro/macro-F1, and stratified k-fold
+//! cross-validation.
 //!
 //! Paper §5.1: "we report accuracy defined as the percentage of test data
 //! which include the correct error code in the error code list at
 //! k <= 1, 5, 10, 15, 20 and 25" with "stratified 5-fold cross-validation on
 //! the 6782 data bundles whose error code appears more than once" — per
 //! class, 4/5 of the bundles train the knowledge base and 1/5 are tested.
+//!
+//! The [`F1Counter`] extends the harness beyond accuracy@k for the model
+//! zoo: micro-F1 (instance-weighted, equals top-1 accuracy in this
+//! single-label setting whenever every instance gets a prediction) and
+//! macro-F1 (class-weighted, exposing performance on rare codes) from the
+//! top-1 predictions, the way JaTeCS-style baseline comparisons report.
 
 use std::collections::HashMap;
 
@@ -82,6 +89,97 @@ impl AccuracyCounter {
             .iter()
             .position(|&x| x == k)
             .map(|i| self.accuracies()[i])
+    }
+}
+
+/// Accumulates per-class true/false positives and false negatives from
+/// top-1 predictions, yielding micro- and macro-averaged F1.
+///
+/// Single-label semantics: each recorded instance has one true class and at
+/// most one predicted class. A `None` prediction (empty ranking) counts a
+/// false negative for the truth and no false positive anywhere.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct F1Counter {
+    /// class → (true positives, false positives, false negatives)
+    per_class: HashMap<String, (usize, usize, usize)>,
+}
+
+impl F1Counter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one test instance: the true class and the classifier's top-1
+    /// prediction (if any).
+    pub fn record(&mut self, truth: &str, predicted: Option<&str>) {
+        match predicted {
+            Some(p) if p == truth => {
+                self.per_class.entry(truth.to_owned()).or_default().0 += 1;
+            }
+            Some(p) => {
+                self.per_class.entry(p.to_owned()).or_default().1 += 1;
+                self.per_class.entry(truth.to_owned()).or_default().2 += 1;
+            }
+            None => {
+                self.per_class.entry(truth.to_owned()).or_default().2 += 1;
+            }
+        }
+    }
+
+    /// Merge another counter (e.g. across folds).
+    pub fn merge(&mut self, other: &F1Counter) {
+        for (class, &(tp, fp, fne)) in &other.per_class {
+            let slot = self.per_class.entry(class.clone()).or_default();
+            slot.0 += tp;
+            slot.1 += fp;
+            slot.2 += fne;
+        }
+    }
+
+    /// Instances recorded (every record is exactly one TP or one FN).
+    pub fn total(&self) -> usize {
+        self.per_class.values().map(|&(tp, _, fne)| tp + fne).sum()
+    }
+
+    /// Micro-averaged F1: pool TP/FP/FN over all classes, then F1.
+    pub fn micro_f1(&self) -> f64 {
+        let (tp, fp, fne) = self
+            .per_class
+            .values()
+            .fold((0, 0, 0), |(a, b, c), &(tp, fp, fne)| {
+                (a + tp, b + fp, c + fne)
+            });
+        f1(tp, fp, fne)
+    }
+
+    /// Macro-averaged F1: per-class F1, averaged with equal class weight.
+    /// Classes that never appear as truth or prediction don't exist here;
+    /// classes with zero TP score 0.
+    pub fn macro_f1(&self) -> f64 {
+        if self.per_class.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = self
+            .per_class
+            .values()
+            .map(|&(tp, fp, fne)| f1(tp, fp, fne))
+            .sum();
+        sum / self.per_class.len() as f64
+    }
+
+    /// Number of distinct classes seen (as truth or prediction).
+    pub fn classes(&self) -> usize {
+        self.per_class.len()
+    }
+}
+
+/// F1 from raw counts; 0 when the denominator vanishes.
+fn f1(tp: usize, fp: usize, fne: usize) -> f64 {
+    let denom = 2 * tp + fp + fne;
+    if denom == 0 {
+        0.0
+    } else {
+        2.0 * tp as f64 / denom as f64
     }
 }
 
@@ -166,6 +264,84 @@ mod tests {
     fn merge_requires_same_ks() {
         let mut a = AccuracyCounter::new(&[1]);
         a.merge(&AccuracyCounter::new(&[2]));
+    }
+
+    #[test]
+    fn f1_reference_values() {
+        let mut c = F1Counter::new();
+        // class A: 2 TP; class B: 1 TP, 1 FN (predicted A → A gets the FP)
+        c.record("A", Some("A"));
+        c.record("A", Some("A"));
+        c.record("B", Some("B"));
+        c.record("B", Some("A"));
+        assert_eq!(c.total(), 4);
+        // pooled: TP=3 FP=1 FN=1 → micro-F1 = 6/8
+        assert!((c.micro_f1() - 0.75).abs() < 1e-12);
+        // A: tp=2 fp=1 fn=0 → 4/5; B: tp=1 fp=0 fn=1 → 2/3
+        assert!((c.macro_f1() - (0.8 + 2.0 / 3.0) / 2.0).abs() < 1e-12);
+        assert_eq!(c.classes(), 2);
+    }
+
+    #[test]
+    fn micro_f1_equals_top1_accuracy_when_always_predicting() {
+        // single-label + a prediction for every instance: pooled FP == FN,
+        // so micro-F1 collapses to accuracy
+        let mut c = F1Counter::new();
+        let mut acc = AccuracyCounter::new(&[1]);
+        for (truth, pred, rank) in [
+            ("A", "A", Some(0)),
+            ("B", "A", None),
+            ("C", "C", Some(0)),
+            ("A", "C", None),
+        ] {
+            c.record(truth, Some(pred));
+            acc.record(rank);
+        }
+        assert!((c.micro_f1() - acc.at(1).unwrap()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn none_prediction_is_a_false_negative_only() {
+        let mut c = F1Counter::new();
+        c.record("A", None);
+        assert_eq!(c.total(), 1);
+        assert_eq!(c.micro_f1(), 0.0);
+        assert_eq!(c.macro_f1(), 0.0);
+        // micro-F1 < accuracy-style 1.0 even though no wrong class was named
+        c.record("A", Some("A"));
+        assert!((c.micro_f1() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn f1_merge_matches_single_counter() {
+        let mut all = F1Counter::new();
+        let mut a = F1Counter::new();
+        let mut b = F1Counter::new();
+        let events = [
+            ("X", Some("X")),
+            ("Y", Some("X")),
+            ("Y", None),
+            ("Z", Some("Z")),
+        ];
+        for (i, (t, p)) in events.iter().enumerate() {
+            all.record(t, *p);
+            if i % 2 == 0 {
+                a.record(t, *p);
+            } else {
+                b.record(t, *p);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+        assert_eq!(a.micro_f1(), all.micro_f1());
+    }
+
+    #[test]
+    fn empty_f1_counter_is_zero() {
+        let c = F1Counter::new();
+        assert_eq!(c.total(), 0);
+        assert_eq!(c.micro_f1(), 0.0);
+        assert_eq!(c.macro_f1(), 0.0);
     }
 
     #[test]

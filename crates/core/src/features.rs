@@ -104,28 +104,244 @@ pub enum FeatureModel {
     /// extension the paper's §6 future work calls for. Requires the
     /// [`qatk_text::stemmer::StemAnnotator`] in the pipeline.
     BagOfStems,
+    /// Character `lo..=hi`-grams over normalized tokens (Bayer et al.,
+    /// cmp-lg/9607003): domain- and language-independent, typo-robust, and
+    /// needs no stemmer, stopword list, or taxonomy.
+    CharNgrams { lo: u8, hi: u8 },
 }
 
+/// A persisted or user-supplied feature-model label that names no known
+/// model. Carried up as a structured load/CLI error instead of a silent
+/// `None` fallthrough.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseModelError {
+    pub label: String,
+}
+
+impl std::fmt::Display for ParseModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown feature model label `{}` (expected one of: bag-of-words, \
+             bag-of-words-nostop, bag-of-concepts, bag-of-stems, char-ngrams-<lo>-<hi>)",
+            self.label
+        )
+    }
+}
+
+impl std::error::Error for ParseModelError {}
+
 impl FeatureModel {
-    /// Display label matching the paper's figure legends.
-    pub fn label(self) -> &'static str {
+    /// The default character n-gram model: 3–5-grams.
+    pub const CHAR_NGRAMS: FeatureModel = FeatureModel::CharNgrams { lo: 3, hi: 5 };
+
+    /// Every model family, with the default n-gram range standing in for
+    /// the parametric variant.
+    pub const ALL: [FeatureModel; 5] = [
+        FeatureModel::BagOfWords,
+        FeatureModel::BagOfWordsNoStop,
+        FeatureModel::BagOfConcepts,
+        FeatureModel::BagOfStems,
+        FeatureModel::CHAR_NGRAMS,
+    ];
+
+    /// Display label matching the paper's figure legends. Round-trips
+    /// through [`FeatureModel::parse`] for every variant.
+    pub fn label(self) -> String {
         match self {
-            FeatureModel::BagOfWords => "bag-of-words",
-            FeatureModel::BagOfWordsNoStop => "bag-of-words-nostop",
-            FeatureModel::BagOfConcepts => "bag-of-concepts",
-            FeatureModel::BagOfStems => "bag-of-stems",
+            FeatureModel::BagOfWords => "bag-of-words".to_owned(),
+            FeatureModel::BagOfWordsNoStop => "bag-of-words-nostop".to_owned(),
+            FeatureModel::BagOfConcepts => "bag-of-concepts".to_owned(),
+            FeatureModel::BagOfStems => "bag-of-stems".to_owned(),
+            FeatureModel::CharNgrams { lo, hi } => format!("char-ngrams-{lo}-{hi}"),
         }
     }
 
     /// Inverse of [`FeatureModel::label`] — used when loading persisted
-    /// snapshots whose meta row records the model as its label.
-    pub fn from_label(label: &str) -> Option<Self> {
+    /// snapshots whose meta row records the model as its label, and by the
+    /// CLI's `--model` flag. Unknown labels are a structured error.
+    pub fn parse(label: &str) -> Result<Self, ParseModelError> {
+        let err = || ParseModelError {
+            label: label.to_owned(),
+        };
         match label {
-            "bag-of-words" => Some(FeatureModel::BagOfWords),
-            "bag-of-words-nostop" => Some(FeatureModel::BagOfWordsNoStop),
-            "bag-of-concepts" => Some(FeatureModel::BagOfConcepts),
-            "bag-of-stems" => Some(FeatureModel::BagOfStems),
-            _ => None,
+            "bag-of-words" => Ok(FeatureModel::BagOfWords),
+            "bag-of-words-nostop" => Ok(FeatureModel::BagOfWordsNoStop),
+            "bag-of-concepts" => Ok(FeatureModel::BagOfConcepts),
+            "bag-of-stems" => Ok(FeatureModel::BagOfStems),
+            // bare "char-ngrams" selects the default 3–5 range
+            "char-ngrams" => Ok(FeatureModel::CHAR_NGRAMS),
+            _ => {
+                let rest = label.strip_prefix("char-ngrams-").ok_or_else(err)?;
+                let (lo, hi) = rest.split_once('-').ok_or_else(err)?;
+                let lo: u8 = lo.parse().map_err(|_| err())?;
+                let hi: u8 = hi.parse().map_err(|_| err())?;
+                if lo == 0 || hi < lo {
+                    return Err(err());
+                }
+                Ok(FeatureModel::CharNgrams { lo, hi })
+            }
+        }
+    }
+
+    /// The extraction strategy implementing this model (enum dispatch over
+    /// the [`FeatureExtractor`] implementations).
+    pub fn extractor(self) -> ModelExtractor {
+        match self {
+            FeatureModel::BagOfWords => ModelExtractor::Words(WordExtractor {
+                filter_stopwords: false,
+            }),
+            // stems arrive pre-stemmed in the token annotations (the
+            // StemAnnotator rewrote them); extraction itself is identical to
+            // the stopword-filtered word model
+            FeatureModel::BagOfStems | FeatureModel::BagOfWordsNoStop => {
+                ModelExtractor::Words(WordExtractor {
+                    filter_stopwords: true,
+                })
+            }
+            FeatureModel::BagOfConcepts => ModelExtractor::Concepts(ConceptExtractor),
+            FeatureModel::CharNgrams { lo, hi } => {
+                ModelExtractor::CharNgrams(CharNgramExtractor { lo, hi })
+            }
+        }
+    }
+}
+
+/// Resolves a surface string (token, stem, n-gram) to its numeric feature
+/// id. The live vocabulary interns — every string resolves; the frozen
+/// vocabulary looks up — unknown strings return `None` and are dropped
+/// (see the unknown-token rule on [`FrozenFeatureSpace`]). This is the one
+/// point where the live and frozen extraction paths differ; everything
+/// else is shared through [`FeatureExtractor`].
+pub trait TokenResolver {
+    fn resolve(&mut self, token: &str) -> Option<u32>;
+}
+
+/// [`TokenResolver`] over a growable vocabulary (training / builder path).
+struct InterningResolver<'a>(&'a mut Interner);
+
+impl TokenResolver for InterningResolver<'_> {
+    fn resolve(&mut self, token: &str) -> Option<u32> {
+        Some(self.0.intern(token))
+    }
+}
+
+/// [`TokenResolver`] over a sealed vocabulary (serving path).
+struct LookupResolver<'a>(&'a Interner);
+
+impl TokenResolver for LookupResolver<'_> {
+    fn resolve(&mut self, token: &str) -> Option<u32> {
+        self.0.get(token)
+    }
+}
+
+/// One pluggable feature-extraction strategy: a processed CAS in, a sorted
+/// feature set out, with surface strings resolved through a
+/// [`TokenResolver`]. Implementations must be pure functions of the CAS
+/// and resolver so live and frozen extraction can never drift.
+pub trait FeatureExtractor {
+    fn extract(
+        &self,
+        cas: &Cas,
+        stopwords: &StopwordList,
+        vocab: &mut dyn TokenResolver,
+    ) -> FeatureSet;
+}
+
+/// Word-token extraction, optionally stopword-filtered.
+#[derive(Debug, Clone, Copy)]
+pub struct WordExtractor {
+    pub filter_stopwords: bool,
+}
+
+impl FeatureExtractor for WordExtractor {
+    fn extract(
+        &self,
+        cas: &Cas,
+        stopwords: &StopwordList,
+        vocab: &mut dyn TokenResolver,
+    ) -> FeatureSet {
+        cas.token_norms_iter()
+            .filter(|t| !self.filter_stopwords || !stopwords.contains(t))
+            .filter_map(|t| vocab.resolve(t))
+            .collect()
+    }
+}
+
+/// Taxonomy concept-mention extraction, "without distinguishing between
+/// types of concepts". Concept ids are already dense taxonomy ids, so the
+/// vocabulary resolver is bypassed entirely — concept extraction is
+/// vocabulary-independent.
+#[derive(Debug, Clone, Copy)]
+pub struct ConceptExtractor;
+
+impl FeatureExtractor for ConceptExtractor {
+    fn extract(
+        &self,
+        cas: &Cas,
+        _stopwords: &StopwordList,
+        _vocab: &mut dyn TokenResolver,
+    ) -> FeatureSet {
+        cas.concept_mentions()
+            .map(|(_, concept, _)| concept.0)
+            .collect()
+    }
+}
+
+/// Character n-gram extraction over normalized tokens: each token yields
+/// its `lo..=hi`-grams (whole token if shorter than `lo`), resolved like
+/// word features. No stemmer, stopword list, or taxonomy involved.
+#[derive(Debug, Clone, Copy)]
+pub struct CharNgramExtractor {
+    pub lo: u8,
+    pub hi: u8,
+}
+
+impl FeatureExtractor for CharNgramExtractor {
+    fn extract(
+        &self,
+        cas: &Cas,
+        _stopwords: &StopwordList,
+        vocab: &mut dyn TokenResolver,
+    ) -> FeatureSet {
+        let mut ids = Vec::new();
+        for token in cas.token_norms_iter() {
+            qatk_text::ngrams::for_each_char_ngram(
+                token,
+                self.lo as usize,
+                self.hi as usize,
+                |gram| {
+                    if let Some(id) = vocab.resolve(gram) {
+                        ids.push(id);
+                    }
+                },
+            );
+        }
+        FeatureSet::from_unsorted(ids)
+    }
+}
+
+/// Enum dispatch over the extractor implementations — the concrete type
+/// behind [`FeatureModel::extractor`], usable directly or through
+/// `&dyn FeatureExtractor`.
+#[derive(Debug, Clone, Copy)]
+pub enum ModelExtractor {
+    Words(WordExtractor),
+    Concepts(ConceptExtractor),
+    CharNgrams(CharNgramExtractor),
+}
+
+impl FeatureExtractor for ModelExtractor {
+    fn extract(
+        &self,
+        cas: &Cas,
+        stopwords: &StopwordList,
+        vocab: &mut dyn TokenResolver,
+    ) -> FeatureSet {
+        match self {
+            ModelExtractor::Words(e) => e.extract(cas, stopwords, vocab),
+            ModelExtractor::Concepts(e) => e.extract(cas, stopwords, vocab),
+            ModelExtractor::CharNgrams(e) => e.extract(cas, stopwords, vocab),
         }
     }
 }
@@ -164,30 +380,18 @@ impl FeatureSpace {
     }
 
     /// Extract the feature set of a processed CAS under a model, interning
-    /// previously unseen tokens (training / builder path).
+    /// previously unseen surface strings (training / builder path).
     ///
-    /// * `BagOfWords*`: normalized tokens, interned.
-    /// * `BagOfConcepts`: concept ids of the mentions the annotator found,
-    ///   "without distinguishing between types of concepts".
+    /// The per-model logic lives in the [`FeatureExtractor`]
+    /// implementations, shared verbatim with
+    /// [`FrozenFeatureSpace::extract`] — only the [`TokenResolver`]
+    /// differs, so the two paths cannot drift.
     pub fn extract(&mut self, cas: &Cas, model: FeatureModel) -> FeatureSet {
-        match model {
-            FeatureModel::BagOfWords => cas
-                .token_norms_iter()
-                .map(|t| self.interner.intern(t))
-                .collect(),
-            // stems arrive pre-stemmed in the token annotations (the
-            // StemAnnotator rewrote them); extraction itself is identical to
-            // the stopword-filtered word model
-            FeatureModel::BagOfStems | FeatureModel::BagOfWordsNoStop => cas
-                .token_norms_iter()
-                .filter(|t| !self.stopwords.contains(t))
-                .map(|t| self.interner.intern(t))
-                .collect(),
-            FeatureModel::BagOfConcepts => cas
-                .concept_mentions()
-                .map(|(_, concept, _)| concept.0)
-                .collect(),
-        }
+        model.extractor().extract(
+            cas,
+            &self.stopwords,
+            &mut InterningResolver(&mut self.interner),
+        )
     }
 
     /// Seal the vocabulary for concurrent read-only serving.
@@ -252,22 +456,12 @@ impl FrozenFeatureSpace {
 
     /// Extract the feature set of a processed CAS under a model against the
     /// sealed vocabulary (serving path; see the unknown-token rule above).
+    /// Same [`FeatureExtractor`] implementations as the live path — only
+    /// the resolver differs (lookup instead of intern).
     pub fn extract(&self, cas: &Cas, model: FeatureModel) -> FeatureSet {
-        match model {
-            FeatureModel::BagOfWords => cas
-                .token_norms_iter()
-                .filter_map(|t| self.interner.get(t))
-                .collect(),
-            FeatureModel::BagOfStems | FeatureModel::BagOfWordsNoStop => cas
-                .token_norms_iter()
-                .filter(|t| !self.stopwords.contains(t))
-                .filter_map(|t| self.interner.get(t))
-                .collect(),
-            FeatureModel::BagOfConcepts => cas
-                .concept_mentions()
-                .map(|(_, concept, _)| concept.0)
-                .collect(),
-        }
+        model
+            .extractor()
+            .extract(cas, &self.stopwords, &mut LookupResolver(&self.interner))
     }
 
     /// The interned tokens in id order (for snapshot persistence).
@@ -447,5 +641,65 @@ mod tests {
             FeatureModel::BagOfWordsNoStop.label(),
             "bag-of-words-nostop"
         );
+        assert_eq!(FeatureModel::CHAR_NGRAMS.label(), "char-ngrams-3-5");
+        assert_eq!(
+            FeatureModel::CharNgrams { lo: 2, hi: 4 }.label(),
+            "char-ngrams-2-4"
+        );
+    }
+
+    #[test]
+    fn parse_round_trips_and_rejects_unknown() {
+        for model in FeatureModel::ALL {
+            assert_eq!(FeatureModel::parse(&model.label()), Ok(model));
+        }
+        assert_eq!(
+            FeatureModel::parse("char-ngrams"),
+            Ok(FeatureModel::CHAR_NGRAMS)
+        );
+        for bad in [
+            "bag-of-wards",
+            "char-ngrams-5-3",
+            "char-ngrams-0-4",
+            "char-ngrams-x-y",
+            "char-ngrams-3",
+            "",
+        ] {
+            let err = FeatureModel::parse(bad).unwrap_err();
+            assert_eq!(err.label, bad, "error must carry the offending label");
+            assert!(err.to_string().contains(bad) || bad.is_empty());
+        }
+    }
+
+    #[test]
+    fn char_ngram_extraction_live_and_frozen_agree() {
+        let cas = processed_cas("Lüfter defekt");
+        let mut space = FeatureSpace::new();
+        let trained = space.extract(&cas, FeatureModel::CHAR_NGRAMS);
+        assert!(!trained.is_empty());
+        // grams of both tokens landed in the vocabulary
+        assert_eq!(space.vocabulary_size(), trained.len());
+        let frozen = space.freeze();
+        assert_eq!(frozen.extract(&cas, FeatureModel::CHAR_NGRAMS), trained);
+        // a token sharing a substring still hits known grams, the rest drop
+        let noisy = frozen.extract(&processed_cas("Lüfterx kaputt"), FeatureModel::CHAR_NGRAMS);
+        assert!(!noisy.is_empty());
+        assert!(noisy.intersection_size(&trained) > 0);
+        assert_eq!(
+            frozen.vocabulary_size(),
+            trained.len(),
+            "frozen never grows"
+        );
+    }
+
+    #[test]
+    fn char_ngrams_need_no_taxonomy_or_stopword_filtering() {
+        // stopwords are kept: the model is deliberately knowledge-free
+        let cas = processed_cas("der defekt");
+        let mut space = FeatureSpace::new();
+        let f = space.extract(&cas, FeatureModel::CharNgrams { lo: 3, hi: 3 });
+        // "der" (short-token whole + it's exactly 3 chars) contributes a gram
+        let with_stop = f.len();
+        assert!(with_stop > 4, "both tokens contribute grams: {with_stop}");
     }
 }

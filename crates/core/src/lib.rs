@@ -12,6 +12,9 @@
 //! * [`similarity`] — Jaccard and overlap (paper) plus Dice/cosine
 //!   (extensions);
 //! * [`classifier`] — the ranked-list kNN of §4.3;
+//! * [`zoo`] — the pluggable classifier zoo ([`zoo::Classifier`] trait:
+//!   kNN, centroid/Rocchio, multinomial naive Bayes, one-vs-rest logistic
+//!   regression) trained at snapshot seal time;
 //! * [`segment`] / [`lsh`] — the sealed-snapshot index segment:
 //!   delta+varint-compressed posting arena and the minhash/LSH candidate
 //!   prefilter for million-node corpora;
@@ -49,14 +52,19 @@ pub mod pipeline;
 pub mod segment;
 pub mod similarity;
 pub mod snapshot;
+pub mod zoo;
 
 /// Convenient glob-import surface.
 pub mod prelude {
     pub use crate::baselines::{CandidateSetBaseline, CodeFrequencyBaseline};
     pub use crate::bootstrap::{hits_at_k, paired_bootstrap, BootstrapResult};
     pub use crate::classifier::{BatchQuery, MajorityVoteKnn, RankedKnn, ScoredCode};
-    pub use crate::eval::{stratified_folds, AccuracyCounter, PAPER_KS};
-    pub use crate::features::{FeatureModel, FeatureSet, FeatureSpace, FrozenFeatureSpace};
+    pub use crate::eval::{stratified_folds, AccuracyCounter, F1Counter, PAPER_KS};
+    pub use crate::features::{
+        CharNgramExtractor, ConceptExtractor, FeatureExtractor, FeatureModel, FeatureSet,
+        FeatureSpace, FrozenFeatureSpace, ModelExtractor, ParseModelError, TokenResolver,
+        WordExtractor,
+    };
     pub use crate::interner::Interner;
     pub use crate::knowledge::{KnowledgeBase, KnowledgeNode, ScoreScratch};
     pub use crate::lsh::{LshIndex, LshParams};
@@ -69,6 +77,9 @@ pub mod prelude {
     };
     pub use crate::similarity::SimilarityMeasure;
     pub use crate::snapshot::{EpochCell, KnowledgeSnapshot, SnapshotBuilder};
+    pub use crate::zoo::{
+        Classifier, ClassifierFamily, ParseFamilyError, RankerConfig, RankerModel,
+    };
 }
 
 pub use prelude::*;

@@ -39,6 +39,28 @@ pub struct CoreMetrics {
     pub batch_worker_busy_ns: &'static Histogram,
     /// Wall time of one whole `classify_batch` call (ns).
     pub batch_wall_ns: &'static Histogram,
+    /// Ranking queries attributed to each classifier family — incremented
+    /// by the [`crate::zoo::RankerModel`] dispatch layer (one bump per
+    /// ranked query, batches count every query), so serving traffic is
+    /// attributable to a model while the kernel counters above stay exact
+    /// and family-agnostic.
+    pub rank_family_knn_total: &'static Counter,
+    pub rank_family_centroid_total: &'static Counter,
+    pub rank_family_naive_bayes_total: &'static Counter,
+    pub rank_family_logistic_total: &'static Counter,
+}
+
+impl CoreMetrics {
+    /// The per-family attribution counter for one classifier family.
+    pub fn rank_family_total(&self, family: crate::zoo::ClassifierFamily) -> &'static Counter {
+        use crate::zoo::ClassifierFamily::*;
+        match family {
+            Knn => self.rank_family_knn_total,
+            Centroid => self.rank_family_centroid_total,
+            NaiveBayes => self.rank_family_naive_bayes_total,
+            Logistic => self.rank_family_logistic_total,
+        }
+    }
 }
 
 /// The core-layer metric handles (registered on first use).
@@ -91,6 +113,22 @@ pub fn metrics() -> &'static CoreMetrics {
             batch_wall_ns: r.histogram(
                 "qatk_core_batch_wall_ns",
                 "classify_batch wall time (ns)",
+            ),
+            rank_family_knn_total: r.counter(
+                "qatk_core_rank_family_knn_total",
+                "ranking queries served by the knn classifier family",
+            ),
+            rank_family_centroid_total: r.counter(
+                "qatk_core_rank_family_centroid_total",
+                "ranking queries served by the centroid classifier family",
+            ),
+            rank_family_naive_bayes_total: r.counter(
+                "qatk_core_rank_family_naive_bayes_total",
+                "ranking queries served by the naive-bayes classifier family",
+            ),
+            rank_family_logistic_total: r.counter(
+                "qatk_core_rank_family_logistic_total",
+                "ranking queries served by the logistic classifier family",
             ),
         }
     })

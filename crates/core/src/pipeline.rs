@@ -19,17 +19,20 @@ use qatk_text::stemmer::StemAnnotator;
 use qatk_text::tokenizer::WhitespaceTokenizer;
 
 use crate::baselines::{CandidateSetBaseline, CodeFrequencyBaseline};
-use crate::classifier::{BatchQuery, RankedKnn};
-use crate::eval::{stratified_folds, AccuracyCounter, PAPER_KS};
+use crate::classifier::BatchQuery;
+use crate::eval::{stratified_folds, AccuracyCounter, F1Counter, PAPER_KS};
 use crate::features::{FeatureModel, FeatureSet, FeatureSpace};
 use crate::interner::Interner;
 use crate::knowledge::KnowledgeBase;
 use crate::similarity::SimilarityMeasure;
+use crate::zoo::{Classifier, ClassifierFamily, RankerConfig};
 
 /// Configuration of one experiment variant.
 #[derive(Debug, Clone)]
 pub struct ClassifierConfig {
     pub model: FeatureModel,
+    /// Classifier family under evaluation (paper: ranked kNN).
+    pub classifier: ClassifierFamily,
     pub measure: SimilarityMeasure,
     /// Text sources used at *test* time (training always uses everything).
     pub test_selection: SourceSelection,
@@ -46,6 +49,7 @@ impl Default for ClassifierConfig {
     fn default() -> Self {
         ClassifierConfig {
             model: FeatureModel::BagOfConcepts,
+            classifier: ClassifierFamily::Knn,
             measure: SimilarityMeasure::Jaccard,
             test_selection: SourceSelection::Test,
             top_nodes: 25,
@@ -58,8 +62,24 @@ impl Default for ClassifierConfig {
 
 impl ClassifierConfig {
     /// Short label like `bag-of-concepts+jaccard`, matching figure legends.
+    /// Non-kNN families (whose scoring rules don't involve the similarity
+    /// measure) are labeled by family, e.g. `bag-of-words+naive-bayes`.
     pub fn label(&self) -> String {
-        format!("{}+{}", self.model.label(), self.measure.label())
+        match self.classifier {
+            ClassifierFamily::Knn => {
+                format!("{}+{}", self.model.label(), self.measure.label())
+            }
+            family => format!("{}+{}", self.model.label(), family.label()),
+        }
+    }
+
+    /// The ranker configuration this experiment trains per fold.
+    pub fn ranker(&self) -> RankerConfig {
+        RankerConfig {
+            family: self.classifier,
+            measure: self.measure,
+            top_nodes: self.top_nodes,
+        }
     }
 }
 
@@ -117,6 +137,10 @@ pub struct ExperimentResult {
     /// aligns across variants run on the same corpus+seed, enabling paired
     /// significance tests ([`crate::bootstrap`]).
     pub ranks: Vec<(usize, Option<usize>)>,
+    /// Micro-averaged F1 of the classifier's top-1 predictions across folds.
+    pub micro_f1: f64,
+    /// Macro-averaged F1 of the classifier's top-1 predictions across folds.
+    pub macro_f1: f64,
 }
 
 /// Build the text-analysis pipeline for a feature model (paper Fig. 8; the
@@ -130,13 +154,17 @@ pub fn build_pipeline(corpus: &Corpus, model: FeatureModel) -> Pipeline {
             .add(ConceptAnnotator::new(&corpus.taxonomy.taxonomy))
             .build(),
         FeatureModel::BagOfStems => builder.add(StemAnnotator::new()).build(),
-        FeatureModel::BagOfWords | FeatureModel::BagOfWordsNoStop => builder.build(),
+        // char n-grams need neither stemming nor the taxonomy — tokens alone
+        FeatureModel::BagOfWords
+        | FeatureModel::BagOfWordsNoStop
+        | FeatureModel::CharNgrams { .. } => builder.build(),
     }
 }
 
 /// Outcome of one fold.
 struct FoldOutcome {
     knn: AccuracyCounter,
+    f1: F1Counter,
     freq: AccuracyCounter,
     cand: AccuracyCounter,
     /// Per-part accuracy, indexed by the experiment-wide dense part id —
@@ -176,13 +204,13 @@ fn run_fold(
         train_pairs.push((b.part_id.as_str(), code));
     }
     let freq_baseline = CodeFrequencyBaseline::train(train_pairs);
-    let knn = RankedKnn {
-        top_nodes: config.top_nodes,
-        measure: config.measure,
-    };
+    // the fold's ranker: kNN reproduces the paper kernel bit-for-bit, the
+    // other zoo families train an eager model over the fold's knowledge base
+    let ranker = config.ranker().train(&kb);
 
     // --- test phase ---------------------------------------------------------
     let mut knn_acc = AccuracyCounter::new(&config.ks);
+    let mut f1 = F1Counter::default();
     let mut freq_acc = AccuracyCounter::new(&config.ks);
     let mut cand_acc = AccuracyCounter::new(&config.ks);
     let mut per_part = vec![AccuracyCounter::new(&config.ks); parts.len()];
@@ -212,13 +240,14 @@ fn run_fold(
             features,
         })
         .collect();
-    let rankings = knn.classify_batch(&kb, &queries);
+    let rankings = ranker.rank_batch(&kb, None, &queries);
 
     let tested = test_set.len();
     for ((i, b, features), ranked) in test_set.iter().zip(&rankings) {
         let truth = b.error_code.as_deref().expect("test bundles are coded");
-        let rank_of_truth = knn.rank_of(ranked, truth);
+        let rank_of_truth = ranked.iter().position(|s| s.code == truth);
         knn_acc.record(rank_of_truth);
+        f1.record(truth, ranked.first().map(|s| s.code.as_str()));
         ranks.push((*i, rank_of_truth));
         let part = parts
             .get(&b.part_id)
@@ -233,6 +262,7 @@ fn run_fold(
     }
     FoldOutcome {
         knn: knn_acc,
+        f1,
         freq: freq_acc,
         cand: cand_acc,
         per_part,
@@ -288,6 +318,7 @@ pub fn run_experiment(corpus: &Corpus, config: &ClassifierConfig) -> ExperimentR
 
     let outcomes: Vec<FoldOutcome> = outcomes.into_iter().map(Option::unwrap).collect();
     let mut knn = AccuracyCounter::new(&config.ks);
+    let mut f1 = F1Counter::default();
     let mut freq = AccuracyCounter::new(&config.ks);
     let mut cand = AccuracyCounter::new(&config.ks);
     let mut fold_seconds = Vec::with_capacity(outcomes.len());
@@ -299,6 +330,7 @@ pub fn run_experiment(corpus: &Corpus, config: &ClassifierConfig) -> ExperimentR
     for o in &outcomes {
         ranks.extend_from_slice(&o.ranks);
         knn.merge(&o.knn);
+        f1.merge(&o.f1);
         freq.merge(&o.freq);
         cand.merge(&o.cand);
         for (acc, counter) in per_part_acc.iter_mut().zip(&o.per_part) {
@@ -349,6 +381,8 @@ pub fn run_experiment(corpus: &Corpus, config: &ClassifierConfig) -> ExperimentR
         },
         per_part,
         ranks,
+        micro_f1: f1.micro_f1(),
+        macro_f1: f1.macro_f1(),
     }
 }
 

@@ -43,6 +43,14 @@ impl SimilarityMeasure {
         }
     }
 
+    /// Inverse of [`SimilarityMeasure::label`]: resolve a persisted or
+    /// CLI-supplied label back to the measure.
+    pub fn parse(label: &str) -> Option<Self> {
+        SimilarityMeasure::ALL
+            .into_iter()
+            .find(|m| m.label() == label)
+    }
+
     /// Score two sets in [0, 1]. Empty sets score 0 against everything
     /// (a report without features supports no recommendation).
     pub fn score(self, a: &FeatureSet, b: &FeatureSet) -> f64 {

@@ -35,6 +35,8 @@ use qatk_text::engine::{Pipeline, Result as TextResult};
 use crate::features::{FeatureModel, FeatureSet, FeatureSpace, FrozenFeatureSpace};
 use crate::knowledge::KnowledgeBase;
 use crate::segment::SealedIndex;
+use crate::similarity::SimilarityMeasure;
+use crate::zoo::{ClassifierFamily, RankerConfig, RankerModel};
 
 /// An immutable, shareable serving snapshot: sealed vocabulary + knowledge
 /// base + annotator pipeline + precomputed per-part code lists, all behind
@@ -56,6 +58,11 @@ pub struct KnowledgeSnapshot {
     /// The compressed immutable index segment (posting arena + LSH
     /// prefilter), rebuilt from the knowledge base on every seal.
     index: SealedIndex,
+    /// The classifier family + measure this snapshot was sealed under.
+    ranker_config: RankerConfig,
+    /// The trained ranker — built once at seal time from the sealed knowledge
+    /// base, so a snapshot swap atomically swaps the model with the data.
+    ranker: RankerModel,
     epoch: u64,
 }
 
@@ -84,6 +91,18 @@ impl KnowledgeSnapshot {
     /// The feature model this snapshot was trained under.
     pub fn model(&self) -> FeatureModel {
         self.model
+    }
+
+    /// The classifier family + similarity measure this snapshot was sealed
+    /// under.
+    pub fn ranker_config(&self) -> RankerConfig {
+        self.ranker_config
+    }
+
+    /// The ranker trained at seal time — the single entry point for every
+    /// classifier family ([`crate::zoo::Classifier`]).
+    pub fn ranker(&self) -> &RankerModel {
+        &self.ranker
     }
 
     /// The snapshot's epoch number (monotonically increasing across
@@ -173,21 +192,29 @@ pub struct SnapshotBuilder {
     space: FeatureSpace,
     kb: KnowledgeBase,
     model: FeatureModel,
+    ranker: RankerConfig,
     declared: Vec<(String, String)>,
     epoch: u64,
 }
 
 impl SnapshotBuilder {
-    /// Start an empty epoch-0 builder.
+    /// Start an empty epoch-0 builder with the default ranker (kNN/Jaccard).
     pub fn new(pipeline: Arc<Pipeline>, model: FeatureModel) -> Self {
         SnapshotBuilder {
             pipeline,
             space: FeatureSpace::new(),
             kb: KnowledgeBase::new(),
             model,
+            ranker: RankerConfig::default(),
             declared: Vec::new(),
             epoch: 0,
         }
+    }
+
+    /// Select the classifier family + measure the sealed snapshot will train.
+    pub fn with_ranker(mut self, config: RankerConfig) -> Self {
+        self.ranker = config;
+        self
     }
 
     /// Re-open a snapshot copy-on-write for the next epoch. The knowledge
@@ -200,6 +227,7 @@ impl SnapshotBuilder {
             space: snapshot.vocab.thaw(),
             kb: snapshot.kb.clone(),
             model: snapshot.model,
+            ranker: snapshot.ranker_config,
             declared: snapshot.declared.clone(),
             epoch: snapshot.epoch + 1,
         }
@@ -256,12 +284,14 @@ impl SnapshotBuilder {
         true
     }
 
-    /// Seal into an immutable snapshot: the vocabulary freezes and the
-    /// per-part code lists are precomputed once, here, so the serving path
-    /// never sorts or allocates them again.
+    /// Seal into an immutable snapshot: the vocabulary freezes, the per-part
+    /// code lists are precomputed once, and the configured ranker trains over
+    /// the final knowledge base — so the serving path never sorts, allocates,
+    /// or trains again.
     pub fn seal(self) -> KnowledgeSnapshot {
         let codes_by_part = compute_codes_by_part(&self.kb, &self.declared);
         let index = SealedIndex::build(&self.kb);
+        let ranker = self.ranker.train(&self.kb);
         KnowledgeSnapshot {
             pipeline: self.pipeline,
             vocab: self.space.freeze(),
@@ -271,6 +301,8 @@ impl SnapshotBuilder {
             declared: self.declared,
             empty_codes: Arc::from(Vec::new()),
             index,
+            ranker_config: self.ranker,
+            ranker,
             epoch: self.epoch,
         }
     }
@@ -326,15 +358,59 @@ impl KnowledgeSnapshot {
     /// Declared (part, code) pairs, keyed by epoch + declaration order.
     pub const TABLE_CODES: &'static str = "snapshot_codes";
 
+    fn meta_schema() -> StoreResult<Schema> {
+        SchemaBuilder::new()
+            .pk("epoch", DataType::Int)
+            .col("model", DataType::Text)
+            .col("classifier", DataType::Text)
+            .col("measure", DataType::Text)
+            .col("nodes", DataType::Int)
+            .col("vocab", DataType::Int)
+            .build()
+    }
+
     fn ensure_tables(db: &mut Database) -> StoreResult<()> {
+        // Databases written before the classifier zoo carry a four-column
+        // meta schema without the classifier/measure labels. Migrate in
+        // place: recreate the table with the wider schema and rewrite the
+        // rows with the defaults every pre-zoo snapshot implicitly used
+        // (knn + jaccard).
+        if db.has_table(Self::TABLE_META)
+            && db.table(Self::TABLE_META)?.schema().columns().len() < 6
+        {
+            let legacy: Vec<(i64, String, i64, i64)> = db
+                .table(Self::TABLE_META)?
+                .scan()
+                .map(|r| {
+                    (
+                        r.get(0).and_then(Value::as_int).unwrap_or_default(),
+                        r.get(1)
+                            .and_then(Value::as_text)
+                            .unwrap_or_default()
+                            .to_owned(),
+                        r.get(2).and_then(Value::as_int).unwrap_or_default(),
+                        r.get(3).and_then(Value::as_int).unwrap_or_default(),
+                    )
+                })
+                .collect();
+            db.drop_table(Self::TABLE_META)?;
+            db.create_table(Self::TABLE_META, Self::meta_schema()?)?;
+            for (epoch, model, nodes, vocab) in legacy {
+                db.insert(
+                    Self::TABLE_META,
+                    row![
+                        epoch,
+                        model,
+                        ClassifierFamily::Knn.label(),
+                        SimilarityMeasure::Jaccard.label(),
+                        nodes,
+                        vocab
+                    ],
+                )?;
+            }
+        }
         if !db.has_table(Self::TABLE_META) {
-            let schema = SchemaBuilder::new()
-                .pk("epoch", DataType::Int)
-                .col("model", DataType::Text)
-                .col("nodes", DataType::Int)
-                .col("vocab", DataType::Int)
-                .build()?;
-            db.create_table(Self::TABLE_META, schema)?;
+            db.create_table(Self::TABLE_META, Self::meta_schema()?)?;
         }
         if !db.has_table(Self::TABLE_NODES) {
             let schema = SchemaBuilder::new()
@@ -415,6 +491,8 @@ impl KnowledgeSnapshot {
             row![
                 e,
                 self.model.label(),
+                self.ranker_config.family.label(),
+                self.ranker_config.measure.label(),
                 self.kb.len() as i64,
                 self.vocab.vocabulary_size() as i64
             ],
@@ -502,8 +580,20 @@ impl KnowledgeSnapshot {
             StoreError::Corrupt(format!("snapshot epoch {epoch} not found in meta table"))
         })?;
         let label = meta.get(1).and_then(Value::as_text).unwrap_or_default();
-        let model = FeatureModel::from_label(label)
-            .ok_or_else(|| StoreError::Corrupt(format!("unknown feature model label `{label}`")))?;
+        let model = FeatureModel::parse(label).map_err(|e| StoreError::Corrupt(e.to_string()))?;
+        // Legacy four-column databases have Int values (node/vocab counts) at
+        // indexes 2/3, so `as_text` yields None and the pre-zoo defaults
+        // apply. Post-migration databases carry the labels explicitly.
+        let family_label = meta.get(2).and_then(Value::as_text).unwrap_or("knn");
+        let family = ClassifierFamily::parse(family_label)
+            .map_err(|e| StoreError::Corrupt(e.to_string()))?;
+        let measure_label = meta.get(3).and_then(Value::as_text).unwrap_or("jaccard");
+        let measure = SimilarityMeasure::parse(measure_label).ok_or_else(|| {
+            StoreError::Corrupt(format!(
+                "unknown similarity measure label `{measure_label}`"
+            ))
+        })?;
+        let ranker_config = RankerConfig::new(family, measure);
 
         let vocab_table = db.table(Self::TABLE_VOCAB)?;
         let tokens: Vec<String> = Query::new()
@@ -559,6 +649,7 @@ impl KnowledgeSnapshot {
 
         let codes_by_part = compute_codes_by_part(&kb, &declared);
         let index = SealedIndex::build(&kb);
+        let ranker = ranker_config.train(&kb);
         Ok(KnowledgeSnapshot {
             pipeline,
             vocab,
@@ -568,6 +659,8 @@ impl KnowledgeSnapshot {
             declared,
             empty_codes: Arc::from(Vec::new()),
             index,
+            ranker_config,
+            ranker,
             epoch,
         })
     }
@@ -818,5 +911,130 @@ mod tests {
         assert!(KnowledgeSnapshot::load_latest(&db, pipeline())
             .unwrap()
             .is_none());
+    }
+
+    #[test]
+    fn ranker_config_round_trips_through_persistence() {
+        use crate::zoo::Classifier;
+
+        let mut b = SnapshotBuilder::new(pipeline(), FeatureModel::BagOfWords).with_ranker(
+            RankerConfig::new(ClassifierFamily::Centroid, SimilarityMeasure::Overlap),
+        );
+        b.train_instance(&mut cas("Kontakt defekt"), "P-01", "E100")
+            .unwrap();
+        let snap = b.seal();
+        assert_eq!(snap.ranker().family(), ClassifierFamily::Centroid);
+        assert_eq!(snap.ranker_config().measure, SimilarityMeasure::Overlap);
+
+        let mut db = Database::new();
+        snap.save_to_db(&mut db).unwrap();
+        let loaded = KnowledgeSnapshot::load_latest(&db, pipeline())
+            .unwrap()
+            .unwrap();
+        assert_eq!(loaded.ranker_config(), snap.ranker_config());
+        assert_eq!(loaded.ranker().family(), ClassifierFamily::Centroid);
+        // copy-on-write carries the ranker choice into the next epoch
+        let next = SnapshotBuilder::from_snapshot(&loaded).seal();
+        assert_eq!(next.ranker_config(), snap.ranker_config());
+    }
+
+    /// Rewrite the meta table in the pre-zoo four-column layout so tests can
+    /// simulate a database written before classifier/measure persistence.
+    fn downgrade_meta_table(db: &mut Database, epoch: i64, model: &str) {
+        db.drop_table(KnowledgeSnapshot::TABLE_META).unwrap();
+        let schema = SchemaBuilder::new()
+            .pk("epoch", DataType::Int)
+            .col("model", DataType::Text)
+            .col("nodes", DataType::Int)
+            .col("vocab", DataType::Int)
+            .build()
+            .unwrap();
+        db.create_table(KnowledgeSnapshot::TABLE_META, schema)
+            .unwrap();
+        db.insert(
+            KnowledgeSnapshot::TABLE_META,
+            row![epoch, model, 3i64, 6i64],
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn legacy_four_column_meta_loads_defaults_and_migrates_on_save() {
+        let snap = trained_snapshot();
+        let mut db = Database::new();
+        snap.save_to_db(&mut db).unwrap();
+        downgrade_meta_table(&mut db, 0, "bag-of-words");
+
+        // a legacy database loads with the implicit pre-zoo knn+jaccard ranker
+        let loaded = KnowledgeSnapshot::load_latest(&db, pipeline())
+            .unwrap()
+            .unwrap();
+        assert_eq!(loaded.ranker_config(), RankerConfig::default());
+        assert_eq!(loaded.model(), FeatureModel::BagOfWords);
+
+        // the next save migrates the meta table to the six-column schema,
+        // preserving the legacy row under the default labels
+        loaded.save_to_db(&mut db).unwrap();
+        let cols = db
+            .table(KnowledgeSnapshot::TABLE_META)
+            .unwrap()
+            .schema()
+            .columns()
+            .len();
+        assert_eq!(cols, 6);
+        let again = KnowledgeSnapshot::load_latest(&db, pipeline())
+            .unwrap()
+            .unwrap();
+        assert_eq!(again.ranker_config(), RankerConfig::default());
+    }
+
+    #[test]
+    fn unknown_persisted_model_label_is_structured_load_error() {
+        let snap = trained_snapshot();
+        let mut db = Database::new();
+        snap.save_to_db(&mut db).unwrap();
+        downgrade_meta_table(&mut db, 0, "bag-of-wards");
+
+        let err = KnowledgeSnapshot::load_latest(&db, pipeline()).unwrap_err();
+        match err {
+            StoreError::Corrupt(msg) => {
+                assert!(
+                    msg.contains("unknown feature model label `bag-of-wards`"),
+                    "{msg}"
+                );
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_persisted_classifier_label_is_structured_load_error() {
+        let snap = trained_snapshot();
+        let mut db = Database::new();
+        snap.save_to_db(&mut db).unwrap();
+        // corrupt the classifier column of the persisted meta row
+        let pk = db
+            .table(KnowledgeSnapshot::TABLE_META)
+            .unwrap()
+            .scan()
+            .next()
+            .unwrap()
+            .get(0)
+            .cloned()
+            .unwrap();
+        db.delete(KnowledgeSnapshot::TABLE_META, &pk).unwrap();
+        db.insert(
+            KnowledgeSnapshot::TABLE_META,
+            row![0i64, "bag-of-words", "perceptron", "jaccard", 3i64, 6i64],
+        )
+        .unwrap();
+
+        let err = KnowledgeSnapshot::load_latest(&db, pipeline()).unwrap_err();
+        match err {
+            StoreError::Corrupt(msg) => {
+                assert!(msg.contains("perceptron"), "{msg}");
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
     }
 }

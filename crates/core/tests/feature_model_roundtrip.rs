@@ -1,0 +1,88 @@
+//! Property tests for the [`FeatureModel`] label round-trip — the labels
+//! are the persistence format (snapshot meta rows) and the CLI surface
+//! (`quest --model`), so `parse(label()) == model` must hold for *every*
+//! variant including the parametric char n-gram family, and every label
+//! that names no model must come back as the structured
+//! [`ParseModelError`] (a persisted snapshot with an unknown model label
+//! is a corrupt-store error, never a silent default).
+
+use proptest::prelude::*;
+use qatk_core::prelude::*;
+
+/// Any feature model, including arbitrary valid `lo <= hi` n-gram ranges.
+fn any_model() -> impl Strategy<Value = FeatureModel> {
+    prop_oneof![
+        Just(FeatureModel::BagOfWords),
+        Just(FeatureModel::BagOfWordsNoStop),
+        Just(FeatureModel::BagOfConcepts),
+        Just(FeatureModel::BagOfStems),
+        (1u8..=12, 0u8..=6).prop_map(|(lo, extra)| FeatureModel::CharNgrams {
+            lo,
+            hi: lo.saturating_add(extra),
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// label → parse is the identity over the whole model space.
+    #[test]
+    fn label_parse_round_trips(model in any_model()) {
+        let label = model.label();
+        prop_assert_eq!(FeatureModel::parse(&label), Ok(model));
+        // and the label is stable under a second round-trip
+        prop_assert_eq!(FeatureModel::parse(&label).unwrap().label(), label);
+    }
+
+    /// Arbitrary strings either parse to a model whose label is canonical,
+    /// or fail with a structured error that echoes the offending label.
+    #[test]
+    fn arbitrary_strings_never_panic(s in "\\PC{0,24}") {
+        match FeatureModel::parse(&s) {
+            Ok(model) => {
+                // anything accepted must re-parse from its canonical label
+                prop_assert_eq!(FeatureModel::parse(&model.label()), Ok(model));
+            }
+            Err(e) => {
+                prop_assert_eq!(&e.label, &s);
+                prop_assert!(e.to_string().contains(&s));
+            }
+        }
+    }
+
+    /// Degenerate n-gram ranges (zero-length grams, inverted bounds) are
+    /// rejected, not clamped.
+    #[test]
+    fn bad_ngram_ranges_are_errors(lo in 0u8..=12, hi in 0u8..=12) {
+        let label = format!("char-ngrams-{lo}-{hi}");
+        let parsed = FeatureModel::parse(&label);
+        if lo == 0 || hi < lo {
+            prop_assert!(parsed.is_err(), "accepted degenerate range {label}");
+        } else {
+            prop_assert_eq!(parsed, Ok(FeatureModel::CharNgrams { lo, hi }));
+        }
+    }
+}
+
+#[test]
+fn every_listed_variant_round_trips() {
+    for model in FeatureModel::ALL {
+        assert_eq!(FeatureModel::parse(&model.label()), Ok(model));
+    }
+    // the bare family name selects the default range
+    assert_eq!(
+        FeatureModel::parse("char-ngrams"),
+        Ok(FeatureModel::CHAR_NGRAMS)
+    );
+}
+
+#[test]
+fn unknown_label_error_is_structured_and_descriptive() {
+    let err = FeatureModel::parse("bag-of-wards").unwrap_err();
+    assert_eq!(err.label, "bag-of-wards");
+    let msg = err.to_string();
+    assert!(msg.contains("unknown feature model label `bag-of-wards`"));
+    // the error teaches the valid labels
+    assert!(msg.contains("bag-of-words") && msg.contains("char-ngrams"));
+}

@@ -61,7 +61,8 @@ const USAGE: &str =
                                             seed-deterministic feature-level scale
                                             corpus (delta+varint compressed)
   stats --db FILE                           data statistics (paper §3.2)
-  suggest --db FILE --ref REFNO             top-10 suggestions for one bundle
+  suggest --db FILE --ref REFNO [--model M] [--classifier C] [--measure S]
+                                            top-10 suggestions for one bundle
   compare [--small] [--seed N]              error distribution vs NHTSA (§5.4)
   demo                                      guided end-to-end walkthrough
   metrics [--seed N] [--batch N] [--json]   probe workload + metrics snapshot
@@ -69,10 +70,18 @@ const USAGE: &str =
   recover --db FILE --wal FILE              recover snapshot + WAL segments,
                                             report replay/torn-tail outcome
   serve [--addr H:P] [--threads N] [--db FILE --wal FILE] [--seed N] [--small]
+        [--model M] [--classifier C] [--measure S]
                                             HTTP/1.1 serving layer: POST /suggest,
                                             /classify_batch, /learn; GET /healthz,
                                             /metrics. With --db/--wal, recovers the
                                             store on boot; otherwise trains fresh
+
+  --model M       feature model: bag-of-concepts (default), bag-of-words,
+                  bag-of-words-nostop, bag-of-stems, char-ngrams[-LO-HI]
+  --classifier C  classifier family: knn (default), centroid, naive-bayes,
+                  logistic
+  --measure S     similarity measure (kNN only): jaccard (default), overlap,
+                  dice, cosine
   loadgen [--addr H:P] [--connections N] [--requests N] [--qps N] [--duration-secs S]
           [--seed N] [--endpoint suggest|classify|mixed] [--small]
                                             load generator: closed loop by default,
@@ -87,6 +96,25 @@ fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
 
 fn has_flag(args: &[String], name: &str) -> bool {
     args.iter().any(|a| a == name)
+}
+
+/// Parse the shared `--model` / `--classifier` / `--measure` selection.
+/// Defaults reproduce the paper setup: bag-of-concepts + kNN + Jaccard.
+fn ranker_options(args: &[String]) -> Result<(FeatureModel, RankerConfig), String> {
+    let model = match flag_value(args, "--model") {
+        Some(label) => FeatureModel::parse(label).map_err(|e| e.to_string())?,
+        None => FeatureModel::BagOfConcepts,
+    };
+    let family = match flag_value(args, "--classifier") {
+        Some(label) => ClassifierFamily::parse(label).map_err(|e| e.to_string())?,
+        None => ClassifierFamily::Knn,
+    };
+    let measure = match flag_value(args, "--measure") {
+        Some(label) => SimilarityMeasure::parse(label)
+            .ok_or_else(|| format!("unknown similarity measure label `{label}`"))?,
+        None => SimilarityMeasure::Jaccard,
+    };
+    Ok((model, RankerConfig::new(family, measure)))
 }
 
 fn corpus_config(args: &[String]) -> CorpusConfig {
@@ -202,14 +230,16 @@ fn cmd_suggest(args: &[String]) -> Result<(), String> {
     // Rebuild the corpus world from the same seed to obtain the taxonomy.
     // (The snapshot stores raw data; the taxonomy is a deterministic
     // resource, like the XML file in the paper's setup.)
-    eprintln!("training recommendation service (bag-of-concepts + jaccard) ...");
+    let (model, ranker) = ranker_options(args)?;
+    eprintln!(
+        "training recommendation service ({} + {} / {}) ...",
+        model.label(),
+        ranker.family.label(),
+        ranker.measure.label()
+    );
     let config = corpus_config(args);
     let corpus = Corpus::generate(config);
-    let svc = RecommendationService::train(
-        &corpus,
-        FeatureModel::BagOfConcepts,
-        SimilarityMeasure::Jaccard,
-    );
+    let svc = RecommendationService::train_with(&corpus, model, ranker);
     let s = svc.suggest(bundle);
     print!("{}", render_bundle(bundle));
     print!("{}", render_suggestions(&s));
@@ -311,10 +341,11 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         .map(|s| s.parse().map_err(|_| format!("bad --threads `{s}`")))
         .transpose()?
         .unwrap_or(4);
+    let (model, ranker) = ranker_options(args)?;
     let config = corpus_config(args);
     eprintln!("generating corpus ({} bundles) ...", config.n_bundles);
     let corpus = Corpus::generate(config);
-    let pipeline = std::sync::Arc::new(build_pipeline(&corpus, FeatureModel::BagOfConcepts));
+    let pipeline = std::sync::Arc::new(build_pipeline(&corpus, model));
 
     let mut health = HealthInfo::default();
     let svc = match (flag_value(args, "--db"), flag_value(args, "--wal")) {
@@ -325,7 +356,6 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                 wal_path,
                 SyncPolicy::Always,
                 std::sync::Arc::clone(&pipeline),
-                SimilarityMeasure::Jaccard,
             )
             .map_err(|e| format!("recovery failed: {e}"))?;
             health = HealthInfo {
@@ -345,29 +375,28 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                 Some(svc) => svc,
                 None => {
                     eprintln!("store holds no knowledge snapshot; training from corpus ...");
-                    RecommendationService::train(
-                        &corpus,
-                        FeatureModel::BagOfConcepts,
-                        SimilarityMeasure::Jaccard,
-                    )
+                    RecommendationService::train_with(&corpus, model, ranker)
                 }
             }
         }
         (None, None) => {
-            eprintln!("training recommendation service (bag-of-concepts + jaccard) ...");
-            RecommendationService::train(
-                &corpus,
-                FeatureModel::BagOfConcepts,
-                SimilarityMeasure::Jaccard,
-            )
+            eprintln!(
+                "training recommendation service ({} + {} / {}) ...",
+                model.label(),
+                ranker.family.label(),
+                ranker.measure.label()
+            );
+            RecommendationService::train_with(&corpus, model, ranker)
         }
         _ => return Err("serve needs both --db and --wal (or neither)".to_owned()),
     };
     let svc = std::sync::Arc::new(svc);
     eprintln!(
-        "knowledge base ready: {} instances, epoch {}",
+        "knowledge base ready: {} instances, epoch {}, model {}, classifier {}",
         svc.kb_len(),
-        svc.epoch()
+        svc.epoch(),
+        svc.model_label(),
+        svc.classifier_label()
     );
     let app = std::sync::Arc::new(QuestApp::new(svc, health));
     let server_config = qatk_serve::ServerConfig {

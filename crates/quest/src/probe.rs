@@ -228,6 +228,9 @@ mod tests {
         assert!(hist_count("qatk_core_rank_latency_ns") > 0);
         assert!(hist_count("qatk_core_rank_candidates") > 0);
         assert!(hist_count("qatk_core_batch_worker_busy_ns") > 0);
+        // per-classifier-family attribution: the probe trains the paper's
+        // kNN, so every ranked query lands on the knn family counter
+        assert!(counter("qatk_core_rank_family_knn_total") >= 120);
 
         // store layer
         assert!(counter("qatk_store_wal_appends_total") as usize >= summary.wal_records);

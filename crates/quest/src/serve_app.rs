@@ -159,10 +159,13 @@ impl QuestApp {
     fn healthz(&self) -> Response {
         let snapshot = self.svc.snapshot();
         let body = format!(
-            "{{\"status\":\"ok\",\"epoch\":{},\"kb_len\":{},\"pending\":{},\"recovered\":{},\"torn_tail\":{},\"segments_replayed\":{},\"records_replayed\":{}}}",
+            "{{\"status\":\"ok\",\"epoch\":{},\"kb_len\":{},\"pending\":{},\"model\":\"{}\",\"classifier\":\"{}\",\"measure\":\"{}\",\"recovered\":{},\"torn_tail\":{},\"segments_replayed\":{},\"records_replayed\":{}}}",
             snapshot.epoch(),
             snapshot.kb().len(),
             self.svc.pending_len(),
+            json::escape(&snapshot.model().label()),
+            snapshot.ranker_config().family.label(),
+            snapshot.ranker_config().measure.label(),
             self.health.recovered,
             self.health.torn_tail,
             self.health.segments_replayed,
@@ -289,7 +292,7 @@ fn push_scored_codes(out: &mut String, ranked: &[qatk_core::prelude::ScoredCode]
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qatk_core::prelude::{FeatureModel, SimilarityMeasure};
+    use qatk_core::prelude::{ClassifierFamily, FeatureModel, RankerConfig, SimilarityMeasure};
     use qatk_corpus::generator::{Corpus, CorpusConfig};
     use qatk_serve::http::RequestParser;
 
@@ -299,6 +302,18 @@ mod tests {
             &corpus,
             FeatureModel::BagOfWords,
             SimilarityMeasure::Overlap,
+        );
+        QuestApp::new(Arc::new(svc), HealthInfo::default())
+    }
+
+    /// Same corpus, same handler construction — only the classifier family
+    /// behind the snapshot differs.
+    fn app_with_family(family: ClassifierFamily) -> QuestApp {
+        let corpus = Corpus::generate(CorpusConfig::small(31));
+        let svc = RecommendationService::train_with(
+            &corpus,
+            FeatureModel::BagOfWords,
+            RankerConfig::new(family, SimilarityMeasure::Overlap),
         );
         QuestApp::new(Arc::new(svc), HealthInfo::default())
     }
@@ -393,6 +408,43 @@ mod tests {
         assert_eq!(resp.status, 400);
     }
 
+    /// Key invariant of the classifier zoo: serving a different family takes
+    /// ZERO changes in the HTTP layer. The exact same `Handler` code path —
+    /// routing, parsing, rendering — serves `/suggest` for every family; the
+    /// dispatch happens inside the snapshot's trained ranker.
+    #[test]
+    fn suggest_serves_multiple_classifier_families_through_one_handler() {
+        let body = "{\"part_id\":\"P003\",\"text\":\"oil leaking from the housing\"}";
+        let mut per_family = Vec::new();
+        for family in [
+            ClassifierFamily::Knn,
+            ClassifierFamily::Centroid,
+            ClassifierFamily::NaiveBayes,
+        ] {
+            let app = app_with_family(family);
+            let resp = app.handle(&request("POST", "/suggest", body));
+            assert_eq!(resp.status, 200, "family {}", family.label());
+            let doc = json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+            let top_len = doc
+                .get("top")
+                .and_then(Value::as_arr)
+                .map(<[Value]>::len)
+                .unwrap();
+            assert!(top_len > 0, "family {} returned no codes", family.label());
+
+            // /healthz attributes the traffic to the active family
+            let resp = app.handle(&request("GET", "/healthz", ""));
+            let health = json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+            assert_eq!(
+                health.get("classifier").and_then(Value::as_str),
+                Some(family.label())
+            );
+            per_family.push(top_len);
+        }
+        // every family produced a ranked list through the identical handler
+        assert_eq!(per_family.len(), 3);
+    }
+
     #[test]
     fn healthz_and_metrics_and_routing() {
         let app = app();
@@ -401,6 +453,13 @@ mod tests {
         let doc = json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
         assert_eq!(doc.get("status").and_then(Value::as_str), Some("ok"));
         assert!(doc.get("kb_len").and_then(Value::as_u64).unwrap() > 0);
+        // the active feature model + classifier are reported
+        assert_eq!(
+            doc.get("model").and_then(Value::as_str),
+            Some("bag-of-words")
+        );
+        assert_eq!(doc.get("classifier").and_then(Value::as_str), Some("knn"));
+        assert_eq!(doc.get("measure").and_then(Value::as_str), Some("overlap"));
 
         let resp = app.handle(&request("GET", "/metrics", ""));
         assert_eq!(resp.status, 200);

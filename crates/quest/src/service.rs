@@ -116,17 +116,31 @@ struct PendingInstance {
 /// The recommendation service: an epoch-swapped knowledge snapshot serving
 /// `&self` queries, plus a pending delta for incremental learning and the
 /// persistence of its outputs.
+///
+/// Ranking is fully snapshot-driven: the snapshot carries the ranker trained
+/// at seal time ([`KnowledgeSnapshot::ranker`]), so the service — and the
+/// HTTP layer above it — never names a classifier family. Adding a family to
+/// the zoo requires zero changes here.
 pub struct RecommendationService {
-    knn: RankedKnn,
     current: EpochCell<KnowledgeSnapshot>,
     pending: Mutex<Vec<PendingInstance>>,
 }
 
 impl RecommendationService {
-    /// Train from the coded bundles of a corpus.
+    /// Train from the coded bundles of a corpus with the paper's ranked kNN.
     pub fn train(corpus: &Corpus, model: FeatureModel, measure: SimilarityMeasure) -> Self {
+        Self::train_with(
+            corpus,
+            model,
+            RankerConfig::new(ClassifierFamily::Knn, measure),
+        )
+    }
+
+    /// Train from the coded bundles of a corpus with an explicit classifier
+    /// family + measure (the `--classifier` path of the CLI).
+    pub fn train_with(corpus: &Corpus, model: FeatureModel, ranker: RankerConfig) -> Self {
         let pipeline = Arc::new(build_pipeline(corpus, model));
-        let mut builder = SnapshotBuilder::new(pipeline, model);
+        let mut builder = SnapshotBuilder::new(pipeline, model).with_ranker(ranker);
         for b in &corpus.bundles {
             let Some(code) = b.error_code.as_deref() else {
                 continue;
@@ -136,27 +150,23 @@ impl RecommendationService {
                 .train_instance(&mut cas, &b.part_id, code)
                 .expect("corpus text never fails the pipeline");
         }
-        Self::from_snapshot(builder.seal(), measure)
+        Self::from_snapshot(builder.seal())
     }
 
     /// Wrap an already sealed snapshot (e.g. one loaded from a database).
-    pub fn from_snapshot(snapshot: KnowledgeSnapshot, measure: SimilarityMeasure) -> Self {
+    /// The snapshot brings its own trained ranker.
+    pub fn from_snapshot(snapshot: KnowledgeSnapshot) -> Self {
         crate::metrics::metrics().epoch.set(snapshot.epoch() as i64);
         RecommendationService {
-            knn: RankedKnn::new(measure),
             current: EpochCell::new(snapshot),
             pending: Mutex::new(Vec::new()),
         }
     }
 
-    /// Resume from the newest snapshot persisted in `db`, if any.
-    pub fn load_latest(
-        db: &Database,
-        pipeline: Arc<Pipeline>,
-        measure: SimilarityMeasure,
-    ) -> StoreResult<Option<Self>> {
-        Ok(KnowledgeSnapshot::load_latest(db, pipeline)?
-            .map(|snapshot| Self::from_snapshot(snapshot, measure)))
+    /// Resume from the newest snapshot persisted in `db`, if any. The
+    /// classifier family and measure come from the persisted snapshot meta.
+    pub fn load_latest(db: &Database, pipeline: Arc<Pipeline>) -> StoreResult<Option<Self>> {
+        Ok(KnowledgeSnapshot::load_latest(db, pipeline)?.map(Self::from_snapshot))
     }
 
     /// Persist the currently published snapshot under its epoch.
@@ -187,10 +197,9 @@ impl RecommendationService {
         wal_path: impl AsRef<std::path::Path>,
         policy: SyncPolicy,
         pipeline: Arc<Pipeline>,
-        measure: SimilarityMeasure,
     ) -> StoreResult<RecoveredService> {
         let (store, report) = LoggedDatabase::open(snapshot_path, wal_path, policy)?;
-        let service = Self::load_latest(store.db(), pipeline, measure)?;
+        let service = Self::load_latest(store.db(), pipeline)?;
         Ok(RecoveredService {
             service,
             store,
@@ -214,6 +223,23 @@ impl RecommendationService {
         self.current.load().kb().len()
     }
 
+    /// Label of the feature model the published snapshot was trained under
+    /// (e.g. `bag-of-concepts`, `char-ngrams-3-5`).
+    pub fn model_label(&self) -> String {
+        self.current.load().model().label()
+    }
+
+    /// Label of the classifier family serving queries (e.g. `knn`,
+    /// `centroid`).
+    pub fn classifier_label(&self) -> &'static str {
+        self.current.load().ranker_config().family.label()
+    }
+
+    /// Label of the similarity measure configured for the ranker.
+    pub fn measure_label(&self) -> &'static str {
+        self.current.load().ranker_config().measure.label()
+    }
+
     /// Suggestions for a (possibly not yet coded) bundle.
     pub fn suggest(&self, bundle: &DataBundle) -> Suggestions {
         let m = crate::metrics::metrics();
@@ -227,20 +253,23 @@ impl RecommendationService {
     /// lands mid-iteration.
     pub fn suggest_on(&self, snapshot: &KnowledgeSnapshot, bundle: &DataBundle) -> Suggestions {
         let features = Self::extract_with(snapshot, bundle);
-        // serve off the sealed segment: same results as the live index
-        // (asserted by `ranking_equivalence`), compressed posting arena
-        let ranked =
-            self.knn
-                .rank_sealed(snapshot.index(), snapshot.kb(), &bundle.part_id, &features);
+        // dispatch through the snapshot's seal-time-trained ranker; the kNN
+        // family serves off the sealed segment (same results as the live
+        // index, asserted by `ranking_equivalence`)
+        let ranked = snapshot.ranker().rank(
+            snapshot.kb(),
+            Some(snapshot.index()),
+            &bundle.part_id,
+            &features,
+        );
         Self::assemble(snapshot, bundle, ranked)
     }
 
     /// Suggestions for a whole worklist at once. The rankings come out of
-    /// [`RankedKnn::classify_batch`], which fans the bundles across scoped
-    /// worker threads with per-thread scratch state — per-bundle results are
-    /// identical to calling [`RecommendationService::suggest`] in a loop, and
-    /// the whole batch runs on one pinned snapshot regardless of concurrent
-    /// publishes.
+    /// [`qatk_core::zoo::Classifier::rank_batch`], which fans the bundles
+    /// across scoped worker threads — per-bundle results are identical to
+    /// calling [`RecommendationService::suggest`] in a loop, and the whole
+    /// batch runs on one pinned snapshot regardless of concurrent publishes.
     pub fn suggest_batch(&self, bundles: &[&DataBundle]) -> Vec<Suggestions> {
         let m = crate::metrics::metrics();
         let _span = qatk_obs::Timer::start(m.suggest_batch_latency_ns);
@@ -259,7 +288,10 @@ impl RecommendationService {
                 features: f,
             })
             .collect();
-        let rankings = self.knn.classify_batch(snapshot.kb(), &queries);
+        let rankings =
+            snapshot
+                .ranker()
+                .rank_batch(snapshot.kb(), Some(snapshot.index()), &queries);
         bundles
             .iter()
             .zip(rankings)
@@ -538,13 +570,15 @@ impl RecommendationService {
     pub fn classify_external_for_part(&self, text: &str, part_id: &str) -> Vec<ScoredCode> {
         let snapshot = self.current.load();
         let features = Self::extract_external(&snapshot, text);
-        self.knn
-            .rank_sealed(snapshot.index(), snapshot.kb(), part_id, &features)
+        snapshot
+            .ranker()
+            .rank(snapshot.kb(), Some(snapshot.index()), part_id, &features)
     }
 
     /// Batch variant of [`RecommendationService::classify_external_for_part`]:
     /// all texts share one part ID (or `"<external>"` for the unscoped path)
-    /// and are ranked in parallel via [`RankedKnn::classify_batch`].
+    /// and are ranked in parallel via
+    /// [`qatk_core::zoo::Classifier::rank_batch`].
     pub fn classify_external_batch(&self, texts: &[&str], part_id: &str) -> Vec<Vec<ScoredCode>> {
         self.classify_external_batch_on(&self.current.load(), texts, part_id)
     }
@@ -570,7 +604,9 @@ impl RecommendationService {
                 features: f,
             })
             .collect();
-        self.knn.classify_batch(snapshot.kb(), &queries)
+        snapshot
+            .ranker()
+            .rank_batch(snapshot.kb(), Some(snapshot.index()), &queries)
     }
 
     fn extract_external(snapshot: &KnowledgeSnapshot, text: &str) -> FeatureSet {
@@ -895,10 +931,9 @@ mod tests {
         svc.save_snapshot(&mut db).unwrap();
 
         let pipeline = Arc::clone(svc.snapshot().pipeline());
-        let restored =
-            RecommendationService::load_latest(&db, pipeline, SimilarityMeasure::Jaccard)
-                .unwrap()
-                .unwrap();
+        let restored = RecommendationService::load_latest(&db, pipeline)
+            .unwrap()
+            .unwrap();
         assert_eq!(restored.epoch(), svc.epoch());
         assert_eq!(restored.kb_len(), svc.kb_len());
         // restored service suggests identically
@@ -909,7 +944,6 @@ mod tests {
         assert!(RecommendationService::load_latest(
             &Database::new(),
             Arc::clone(svc.snapshot().pipeline()),
-            SimilarityMeasure::Jaccard
         )
         .unwrap()
         .is_none());
@@ -937,14 +971,9 @@ mod tests {
         );
 
         let pipeline = Arc::clone(svc.snapshot().pipeline());
-        let recovered = RecommendationService::recover(
-            &snap,
-            &wal,
-            SyncPolicy::OsOnly,
-            Arc::clone(&pipeline),
-            SimilarityMeasure::Jaccard,
-        )
-        .unwrap();
+        let recovered =
+            RecommendationService::recover(&snap, &wal, SyncPolicy::OsOnly, Arc::clone(&pipeline))
+                .unwrap();
         assert!(recovered.report.snapshot_loaded);
         assert!(!recovered.report.torn_tail);
         let restored = recovered
@@ -959,18 +988,48 @@ mod tests {
         // a fresh pair of paths recovers to an empty store with no service
         let snap2 = dir.join("fresh.qdb");
         let wal2 = dir.join("fresh.wal");
-        let empty = RecommendationService::recover(
-            &snap2,
-            &wal2,
-            SyncPolicy::OsOnly,
-            pipeline,
-            SimilarityMeasure::Jaccard,
-        )
-        .unwrap();
+        let empty =
+            RecommendationService::recover(&snap2, &wal2, SyncPolicy::OsOnly, pipeline).unwrap();
         assert!(empty.service.is_none());
         assert!(!empty.report.snapshot_loaded);
 
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn non_knn_family_serves_learns_and_persists_through_same_service() {
+        let c = corpus();
+        let svc = RecommendationService::train_with(
+            &c,
+            FeatureModel::BagOfWords,
+            RankerConfig::new(ClassifierFamily::NaiveBayes, SimilarityMeasure::Jaccard),
+        );
+        assert_eq!(svc.classifier_label(), "naive-bayes");
+        let b = &c.bundles[0];
+        let s = svc.suggest(b);
+        assert!(s.top.len() <= TOP_SUGGESTIONS);
+        for w in s.top.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+
+        // online learning retrains the family's model at the epoch swap
+        let mut fresh = b.clone();
+        fresh.reference_number = "R-NB".into();
+        fresh.supplier_report = "fresh naive bayes narrative zz-42".into();
+        svc.learn(&fresh, b.error_code.as_deref().unwrap());
+        assert_eq!(svc.classifier_label(), "naive-bayes");
+
+        // persistence keeps the family without the caller restating it
+        let mut db = Database::new();
+        svc.save_snapshot(&mut db).unwrap();
+        let restored =
+            RecommendationService::load_latest(&db, Arc::clone(svc.snapshot().pipeline()))
+                .unwrap()
+                .unwrap();
+        assert_eq!(restored.classifier_label(), "naive-bayes");
+        for b in c.bundles.iter().take(5) {
+            assert_eq!(restored.suggest(b), svc.suggest(b));
+        }
     }
 
     #[test]

@@ -48,6 +48,7 @@ pub mod engine;
 pub mod langdetect;
 pub mod legacy_annotator;
 pub mod metrics;
+pub mod ngrams;
 pub mod sentences;
 pub mod stemmer;
 pub mod stopwords;
@@ -60,6 +61,7 @@ pub mod prelude {
     pub use crate::engine::{AnalysisEngine, Pipeline, PipelineBuilder, TextError};
     pub use crate::langdetect::{score_tokens, LangScores, LanguageDetector};
     pub use crate::legacy_annotator::LegacyAnnotator;
+    pub use crate::ngrams::{char_ngrams, for_each_char_ngram};
     pub use crate::sentences::SentenceSplitter;
     pub use crate::stemmer::{stem, StemAnnotator};
     pub use crate::stopwords::{StopwordAnnotator, StopwordList};

@@ -1,0 +1,120 @@
+//! Character n-gram generation over normalized tokens.
+//!
+//! Bayer et al. (cmp-lg/9607003) argue character-n-gram features are domain-
+//! and language-independent: no stemmer, stopword list, or taxonomy is
+//! needed, and a single-character typo perturbs only the few grams that
+//! overlap it instead of deleting the whole word feature. That makes them a
+//! natural third feature model for the messy DE/EN corpus — the grams are
+//! produced here, interned and set-collapsed by `qatk-core`'s feature layer.
+
+/// Call `f` with every character `n`-gram of `token` for every `n` in
+/// `lo..=hi`, in (n, position) order.
+///
+/// Grams are generated per token (never across token boundaries) on char
+/// boundaries, so multi-byte text (umlauts, ß) slices correctly. A token
+/// shorter than `lo` characters yields the whole token once — short words
+/// like "öl" must not vanish from the feature space entirely. Degenerate
+/// ranges (`lo == 0` or `hi < lo`) yield nothing.
+pub fn for_each_char_ngram(token: &str, lo: usize, hi: usize, mut f: impl FnMut(&str)) {
+    if token.is_empty() || lo == 0 || hi < lo {
+        return;
+    }
+    // char-boundary byte offsets, including the end sentinel
+    let bounds: Vec<usize> = token
+        .char_indices()
+        .map(|(i, _)| i)
+        .chain(std::iter::once(token.len()))
+        .collect();
+    let n_chars = bounds.len() - 1;
+    if n_chars < lo {
+        f(token);
+        return;
+    }
+    for n in lo..=hi.min(n_chars) {
+        for start in 0..=(n_chars - n) {
+            f(&token[bounds[start]..bounds[start + n]]);
+        }
+    }
+}
+
+/// All character n-grams of `token` for `n` in `lo..=hi`, collected.
+pub fn char_ngrams(token: &str, lo: usize, hi: usize) -> Vec<String> {
+    let mut out = Vec::new();
+    for_each_char_ngram(token, lo, hi, |g| out.push(g.to_owned()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trigram_positions() {
+        assert_eq!(
+            char_ngrams("motor", 3, 3),
+            vec!["mot", "oto", "tor"],
+            "sliding window of width 3"
+        );
+    }
+
+    #[test]
+    fn range_emits_all_widths_in_order() {
+        assert_eq!(
+            char_ngrams("fan", 2, 3),
+            vec!["fa", "an", "fan"],
+            "all 2-grams then all 3-grams"
+        );
+    }
+
+    #[test]
+    fn short_token_survives_whole() {
+        assert_eq!(char_ngrams("öl", 3, 5), vec!["öl"]);
+        assert_eq!(char_ngrams("a", 3, 5), vec!["a"]);
+    }
+
+    #[test]
+    fn multibyte_chars_slice_on_boundaries() {
+        // "lüfter" is 6 chars / 7 bytes; grams must count chars, not bytes
+        let grams = char_ngrams("lüfter", 3, 3);
+        assert_eq!(grams, vec!["lüf", "üft", "fte", "ter"]);
+        let wide = char_ngrams("geräusch", 5, 5);
+        assert_eq!(wide.len(), 8 - 5 + 1);
+        assert!(wide.contains(&"geräu".to_owned()));
+    }
+
+    #[test]
+    fn hi_clamps_to_token_length() {
+        // 4-char token with hi = 5: the 5-gram width is simply skipped
+        assert_eq!(char_ngrams("buzz", 3, 5), vec!["buz", "uzz", "buzz"]);
+    }
+
+    #[test]
+    fn degenerate_ranges_yield_nothing() {
+        assert!(char_ngrams("motor", 0, 3).is_empty());
+        assert!(char_ngrams("motor", 4, 3).is_empty());
+        assert!(char_ngrams("", 3, 5).is_empty());
+    }
+
+    #[test]
+    fn typo_preserves_most_grams() {
+        // the motivating property: one substituted char kills at most
+        // `width` grams per width — 3 + 4 + 5 = 12 here — and every other
+        // gram still intersects; on compound-length tokens (the German
+        // workshop vocabulary this model targets) that leaves a majority
+        let clean: std::collections::HashSet<_> =
+            char_ngrams("kompressorschaden", 3, 5).into_iter().collect();
+        let noisy: std::collections::HashSet<_> =
+            char_ngrams("kompreszorschaden", 3, 5).into_iter().collect();
+        let shared = clean.intersection(&noisy).count();
+        assert!(
+            clean.len() - shared <= 12,
+            "one typo killed more than 3+4+5 grams: {shared}/{}",
+            clean.len()
+        );
+        assert!(
+            shared * 2 > clean.len(),
+            "typo kept under half the grams: {shared}/{}",
+            clean.len()
+        );
+    }
+}
