@@ -17,7 +17,12 @@
 //!   median ≥ 5x faster than exact, and ≥ 95% differential top-25 recall
 //!   against the exact oracle over 256 seeded queries.
 //!
-//! Writing `--out FILE` (default `BENCH_PR8.json`) **merges** into an
+//! A third mode, `--repl`, runs the `replica_catchup` benchmark of
+//! DESIGN.md §13: a fresh follower syncing a leader's sealed WAL segments
+//! over loopback until its applied cursor reaches the leader's tip
+//! (median = lag-to-converge, throughput = segments/sec).
+//!
+//! Writing `--out FILE` (default `BENCH_PR9.json`) **merges** into an
 //! existing report: fresh entries replace same-named ones in place, new
 //! names append — so the committed baseline accumulates the classic, 100k
 //! and 1m tiers from separate runs (plus the `model_zoo` binary's
@@ -26,7 +31,7 @@
 //! entries the current mode didn't run are ignored.
 //!
 //! Run: `cargo run --release -p qatk-bench --bin bench_report -- \
-//!       [--scale 100k|1m] [--out F] [--check BASELINE] [--seed N]`
+//!       [--scale 100k|1m] [--repl] [--out F] [--check BASELINE] [--seed N]`
 
 use std::process::ExitCode;
 use std::time::Instant;
@@ -303,6 +308,96 @@ fn run_classic(seed: u64) -> Result<(Vec<BenchResult>, f64), String> {
     Ok((benches, obs_overhead_pct))
 }
 
+/// The replication catch-up benchmark (DESIGN.md §13): a leader holds
+/// `REPL_SEGMENTS` sealed WAL segments; each sample boots a *fresh*
+/// follower from nothing and measures wall time until its applied cursor
+/// reaches the leader's tip. The entry's median is the lag-to-converge,
+/// its throughput is sealed segments per second.
+fn run_repl() -> Result<Vec<BenchResult>, String> {
+    use qatk_repl::prelude::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    const REPL_SEGMENTS: usize = 8;
+    const ROWS_PER_SEGMENT: usize = 200;
+
+    let dir = std::env::temp_dir().join(format!("qatk_bench_repl_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
+    let leader_dir = dir.join("leader");
+    std::fs::create_dir_all(&leader_dir).map_err(|e| e.to_string())?;
+    let leader_paths = ReplPaths::new(leader_dir.join("snap.qdb"), leader_dir.join("wal.log"));
+
+    eprintln!(
+        "preparing leader log ({REPL_SEGMENTS} sealed segments x {ROWS_PER_SEGMENT} rows) ..."
+    );
+    let (mut store, _) = LoggedDatabase::open_with_retention(
+        &leader_paths.snapshot,
+        &leader_paths.wal,
+        SyncPolicy::OsOnly,
+        SegmentRetention::Keep(REPL_SEGMENTS as u64 + 2),
+    )
+    .map_err(|e| e.to_string())?;
+    let schema = SchemaBuilder::new()
+        .pk("id", DataType::Int)
+        .col("body", DataType::Text)
+        .build()
+        .map_err(|e| e.to_string())?;
+    store
+        .create_table("bench", schema)
+        .map_err(|e| e.to_string())?;
+    store.checkpoint().map_err(|e| e.to_string())?; // DDL rides the snapshot
+    let body = "defect report payload ".repeat(5);
+    for s in 0..REPL_SEGMENTS {
+        let rows: Vec<Row> = (0..ROWS_PER_SEGMENT)
+            .map(|i| row![(s * ROWS_PER_SEGMENT + i) as i64, body.clone()])
+            .collect();
+        store
+            .insert_many("bench", rows)
+            .map_err(|e| e.to_string())?;
+        store.checkpoint().map_err(|e| e.to_string())?; // seal the segment
+    }
+
+    let leader = Leader::bind("127.0.0.1:0", leader_paths, LeaderConfig::default())
+        .map_err(|e| e.to_string())?;
+    let addr = leader.local_addr().to_string();
+
+    eprintln!("benchmarking replica_catchup (fresh follower to converged) ...");
+    let mut sample = 0usize;
+    let result = bench("replica_catchup", REPL_SEGMENTS as u64, 1, 5, || {
+        sample += 1;
+        let fdir = dir.join(format!("follower_{sample}"));
+        std::fs::create_dir_all(&fdir).expect("follower dir");
+        let paths = ReplPaths::new(fdir.join("snap.qdb"), fdir.join("wal.log"));
+        let (mut follower, _) =
+            Follower::open(paths, FollowerConfig::default()).expect("open fresh follower");
+        let status = follower.status();
+        let stop = Arc::new(AtomicBool::new(false));
+        let runner = std::thread::spawn({
+            let stop = Arc::clone(&stop);
+            let addr = addr.clone();
+            move || follower.run(&addr, &stop, &mut |_, _| {})
+        });
+        let deadline = Instant::now() + std::time::Duration::from_secs(30);
+        while !(status.connected()
+            && status.applied().segment >= REPL_SEGMENTS as u64
+            && status.lag_bytes() <= 0)
+        {
+            assert!(Instant::now() < deadline, "catch-up stalled past 30s");
+            std::thread::sleep(std::time::Duration::from_micros(200));
+        }
+        stop.store(true, Ordering::SeqCst);
+        runner
+            .join()
+            .expect("follower thread")
+            .expect("clean follower stop");
+        let _ = std::fs::remove_dir_all(&fdir);
+    });
+    leader.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(vec![result])
+}
+
 /// The scale-tier benchmarks (DESIGN.md §11): exact vs LSH-pruned sealed
 /// ranking plus an 8-thread shared-snapshot pass, with the differential
 /// recall measured against the exact oracle.
@@ -438,7 +533,8 @@ fn run_scale(tier: ScaleTier, seed: u64) -> Result<Vec<BenchResult>, String> {
 
 fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let out_path = flag_value(&args, "--out").unwrap_or("BENCH_PR8.json");
+    let out_path = flag_value(&args, "--out").unwrap_or("BENCH_PR9.json");
+    let repl = args.iter().any(|a| a == "--repl");
     let check_path = flag_value(&args, "--check");
     let seed: u64 = flag_value(&args, "--seed")
         .map(|s| s.parse().map_err(|_| format!("bad --seed `{s}`")))
@@ -450,12 +546,13 @@ fn run() -> Result<(), String> {
         })
         .transpose()?;
 
-    let (benches, obs_overhead_pct) = match scale {
-        None => {
+    let (benches, obs_overhead_pct) = match (repl, scale) {
+        (true, _) => (run_repl()?, None),
+        (false, None) => {
             let (b, o) = run_classic(seed)?;
             (b, Some(o))
         }
-        Some(tier) => (run_scale(tier, seed)?, None),
+        (false, Some(tier)) => (run_scale(tier, seed)?, None),
     };
 
     println!("\n== bench_report ==");

@@ -13,7 +13,7 @@
 //!   the paper kernel's behaviour.
 //! * **timing**: per-family `rank_batch` medians over one shared
 //!   knowledge base (`zoo_rank_<family>`), merged into the bench-gate
-//!   baseline (default `BENCH_PR8.json`) and gated by `--check` with the
+//!   baseline (default `BENCH_PR9.json`) and gated by `--check` with the
 //!   same 25% median + p95 tolerance as every other bench.
 //!
 //! `--scale 100k|1m` skips the CV grid (scale corpora carry pre-extracted
@@ -308,7 +308,7 @@ fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
 
 fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let out_path = flag_value(&args, "--out").unwrap_or("BENCH_PR8.json");
+    let out_path = flag_value(&args, "--out").unwrap_or("BENCH_PR9.json");
     let zoo_out = flag_value(&args, "--zoo-out").unwrap_or("MODEL_ZOO.json");
     let check_path = flag_value(&args, "--check");
     let seed: u64 = flag_value(&args, "--seed")

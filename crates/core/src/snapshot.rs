@@ -694,6 +694,210 @@ impl KnowledgeSnapshot {
         }
         Ok(removed)
     }
+
+    /// Create the snapshot tables through a [`LoggedDatabase`]. DDL is not
+    /// WAL-logged, so a replicating leader must call this *before* its boot
+    /// checkpoint: the checkpoint bakes the schemas into the snapshot file,
+    /// and every follower (and crash recovery) replays logged row DML against
+    /// tables the snapshot already holds. Secondary epoch indexes are skipped
+    /// on this path — they are an in-memory query accelerator, not state, and
+    /// the logged handle deliberately exposes no index DDL.
+    ///
+    /// Returns `true` if any table was created (the caller should
+    /// checkpoint). Pre-zoo four-column meta tables cannot be migrated
+    /// through the logged handle; open such a store once with
+    /// [`Self::save_to_db`] semantics before replicating it.
+    pub fn ensure_replicated_tables(store: &mut LoggedDatabase) -> StoreResult<bool> {
+        if store.has_table(Self::TABLE_META)
+            && store.db().table(Self::TABLE_META)?.schema().columns().len() < 6
+        {
+            return Err(StoreError::Corrupt(format!(
+                "table `{}` has a pre-zoo four-column schema; migrate it with \
+                 a non-replicated open before serving it as a leader",
+                Self::TABLE_META
+            )));
+        }
+        let mut created = false;
+        if !store.has_table(Self::TABLE_META) {
+            store.create_table(Self::TABLE_META, Self::meta_schema()?)?;
+            created = true;
+        }
+        if !store.has_table(Self::TABLE_NODES) {
+            let schema = SchemaBuilder::new()
+                .pk("id", DataType::Text)
+                .col("epoch", DataType::Int)
+                .col("ord", DataType::Int)
+                .col("part_id", DataType::Text)
+                .col("error_code", DataType::Text)
+                .col("features", DataType::Blob)
+                .build()?;
+            store.create_table(Self::TABLE_NODES, schema)?;
+            created = true;
+        }
+        if !store.has_table(Self::TABLE_VOCAB) {
+            let schema = SchemaBuilder::new()
+                .pk("id", DataType::Text)
+                .col("epoch", DataType::Int)
+                .col("ord", DataType::Int)
+                .col("token", DataType::Text)
+                .build()?;
+            store.create_table(Self::TABLE_VOCAB, schema)?;
+            created = true;
+        }
+        if !store.has_table(Self::TABLE_CODES) {
+            let schema = SchemaBuilder::new()
+                .pk("id", DataType::Text)
+                .col("epoch", DataType::Int)
+                .col("ord", DataType::Int)
+                .col("part_id", DataType::Text)
+                .col("error_code", DataType::Text)
+                .build()?;
+            store.create_table(Self::TABLE_CODES, schema)?;
+            created = true;
+        }
+        Ok(created)
+    }
+
+    /// Like [`Self::delete_epoch_rows`], but routed through the WAL so the
+    /// deletes ship to followers.
+    fn delete_epoch_rows_logged(
+        store: &mut LoggedDatabase,
+        table: &str,
+        epoch: u64,
+    ) -> StoreResult<usize> {
+        let pks: Vec<Value> = {
+            let t = store.db().table(table)?;
+            Query::new()
+                .filter(Cond::eq(t, "epoch", epoch as i64)?)
+                .run(t)?
+                .into_iter()
+                .filter_map(|r| r.get(0).cloned())
+                .collect()
+        };
+        let n = pks.len();
+        for pk in &pks {
+            store.delete(table, pk)?;
+        }
+        Ok(n)
+    }
+
+    /// Persist this snapshot through a [`LoggedDatabase`]: every row insert
+    /// and delete goes through the WAL, so a replicating leader's followers
+    /// receive the published epoch as ordinary log records and crash
+    /// recovery replays it. Same overwrite semantics as
+    /// [`Self::save_to_db`]; tables must already exist (call
+    /// [`Self::ensure_replicated_tables`] + checkpoint at boot first).
+    pub fn save_to_logged(&self, store: &mut LoggedDatabase) -> StoreResult<()> {
+        for table in [
+            Self::TABLE_META,
+            Self::TABLE_NODES,
+            Self::TABLE_VOCAB,
+            Self::TABLE_CODES,
+        ] {
+            if !store.has_table(table) {
+                return Err(StoreError::Corrupt(format!(
+                    "snapshot table `{table}` missing; call \
+                     ensure_replicated_tables and checkpoint before saving"
+                )));
+            }
+            Self::delete_epoch_rows_logged(store, table, self.epoch)?;
+        }
+        let e = self.epoch as i64;
+        let mut node_rows = Vec::with_capacity(self.kb.len());
+        for (i, node) in self.kb.nodes().iter().enumerate() {
+            let mut blob = Vec::with_capacity(node.features.len() * 4);
+            for f in node.features.iter() {
+                blob.extend_from_slice(&f.to_le_bytes());
+            }
+            node_rows.push(row![
+                format!("e{}#{}", self.epoch, i),
+                e,
+                i as i64,
+                node.part_id.clone(),
+                node.error_code.clone(),
+                blob
+            ]);
+        }
+        if !node_rows.is_empty() {
+            store.insert_many(Self::TABLE_NODES, node_rows)?;
+        }
+        let vocab_rows: Vec<Row> = self
+            .vocab
+            .tokens()
+            .enumerate()
+            .map(|(i, token)| row![format!("v{}#{}", self.epoch, i), e, i as i64, token])
+            .collect();
+        if !vocab_rows.is_empty() {
+            store.insert_many(Self::TABLE_VOCAB, vocab_rows)?;
+        }
+        let code_rows: Vec<Row> = self
+            .declared
+            .iter()
+            .enumerate()
+            .map(|(i, (part, code))| {
+                row![
+                    format!("c{}#{}", self.epoch, i),
+                    e,
+                    i as i64,
+                    part.clone(),
+                    code.clone()
+                ]
+            })
+            .collect();
+        if !code_rows.is_empty() {
+            store.insert_many(Self::TABLE_CODES, code_rows)?;
+        }
+        // The meta row goes LAST: it is the epoch's commit record. A replica
+        // replaying this log mid-stream sees `latest_epoch` flip to this
+        // epoch only once every node/vocab/code row is already applied
+        // (deletes above un-commit a re-save first), so it can never load a
+        // partially shipped epoch.
+        store.insert(
+            Self::TABLE_META,
+            row![
+                e,
+                self.model.label(),
+                self.ranker_config.family.label(),
+                self.ranker_config.measure.label(),
+                self.kb.len() as i64,
+                self.vocab.vocabulary_size() as i64
+            ],
+        )?;
+        Ok(())
+    }
+
+    /// [`Self::prune_epochs_below`] routed through the WAL: the leader's
+    /// retention decision replicates to followers as ordinary deletes.
+    pub fn prune_epochs_below_logged(
+        store: &mut LoggedDatabase,
+        keep_from: u64,
+    ) -> StoreResult<usize> {
+        let mut removed = 0;
+        for table in [
+            Self::TABLE_META,
+            Self::TABLE_NODES,
+            Self::TABLE_VOCAB,
+            Self::TABLE_CODES,
+        ] {
+            if !store.has_table(table) {
+                continue;
+            }
+            let pks: Vec<Value> = {
+                let t = store.db().table(table)?;
+                Query::new()
+                    .filter(Cond::lt(t, "epoch", keep_from as i64)?)
+                    .run(t)?
+                    .into_iter()
+                    .filter_map(|r| r.get(0).cloned())
+                    .collect()
+            };
+            for pk in &pks {
+                store.delete(table, pk)?;
+            }
+            removed += pks.len();
+        }
+        Ok(removed)
+    }
 }
 
 #[cfg(test)]
@@ -842,6 +1046,87 @@ mod tests {
         let mut q = cas("Kabel durchgeschmort");
         let b = loaded.process_and_extract(&mut q).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn logged_persistence_ships_rows_through_the_wal() {
+        let dir = std::env::temp_dir().join(format!("qatk_snap_logged_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let snap_path = dir.join("snap.qdb");
+        let wal_path = dir.join("wal.log");
+
+        let snap = trained_snapshot();
+        {
+            let (mut store, _) =
+                LoggedDatabase::open(&snap_path, &wal_path, SyncPolicy::OsOnly).unwrap();
+            // Saving before the tables exist is a typed error, not a panic.
+            assert!(snap.save_to_logged(&mut store).is_err());
+            assert!(KnowledgeSnapshot::ensure_replicated_tables(&mut store).unwrap());
+            // Second call is a no-op …
+            assert!(!KnowledgeSnapshot::ensure_replicated_tables(&mut store).unwrap());
+            // … and the boot checkpoint bakes the (un-logged) DDL into the
+            // snapshot file so WAL replay lands on existing tables.
+            store.checkpoint().unwrap();
+            snap.save_to_logged(&mut store).unwrap();
+            // Re-saving the same epoch overwrites instead of duplicating.
+            snap.save_to_logged(&mut store).unwrap();
+            // Drop without checkpointing: every row must survive via the WAL.
+        }
+
+        let (store, report) =
+            LoggedDatabase::open(&snap_path, &wal_path, SyncPolicy::OsOnly).unwrap();
+        assert!(report.snapshot_loaded);
+        assert!(report.records_replayed > 0, "rows must ride the WAL");
+        let loaded = KnowledgeSnapshot::load_latest(store.db(), pipeline())
+            .unwrap()
+            .unwrap();
+        assert_eq!(loaded.epoch(), snap.epoch());
+        assert_eq!(loaded.kb().nodes(), snap.kb().nodes());
+        assert_eq!(loaded.declared_codes(), snap.declared_codes());
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn logged_prune_removes_old_epochs_via_the_wal() {
+        let dir = std::env::temp_dir().join(format!("qatk_snap_lprune_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let snap_path = dir.join("snap.qdb");
+        let wal_path = dir.join("wal.log");
+
+        let e0 = trained_snapshot();
+        let mut b = SnapshotBuilder::from_snapshot(&e0);
+        b.train_instance(&mut cas("Sicherung geschmolzen"), "P-04", "E400")
+            .unwrap();
+        let e1 = b.seal();
+
+        {
+            let (mut store, _) =
+                LoggedDatabase::open(&snap_path, &wal_path, SyncPolicy::OsOnly).unwrap();
+            KnowledgeSnapshot::ensure_replicated_tables(&mut store).unwrap();
+            store.checkpoint().unwrap();
+            e0.save_to_logged(&mut store).unwrap();
+            e1.save_to_logged(&mut store).unwrap();
+            let removed =
+                KnowledgeSnapshot::prune_epochs_below_logged(&mut store, e1.epoch()).unwrap();
+            assert!(removed > 0);
+        }
+
+        let (store, _) = LoggedDatabase::open(&snap_path, &wal_path, SyncPolicy::OsOnly).unwrap();
+        assert_eq!(
+            KnowledgeSnapshot::latest_epoch(store.db()).unwrap(),
+            Some(e1.epoch())
+        );
+        // epoch 0 is gone after replaying the logged deletes
+        assert!(KnowledgeSnapshot::load_epoch(store.db(), pipeline(), 0).is_err());
+        let loaded = KnowledgeSnapshot::load_latest(store.db(), pipeline())
+            .unwrap()
+            .unwrap();
+        assert_eq!(loaded.kb().len(), 4);
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

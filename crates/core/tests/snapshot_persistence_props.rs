@@ -1,0 +1,208 @@
+//! Property tests for snapshot persistence: epoch pruning must never take
+//! an epoch a reader is pinned to (or anything newer), and `load_latest`
+//! must round-trip byte-identically through the *logged* path — a
+//! save → prune → crash (drop without checkpoint) → WAL-replay cycle, the
+//! exact sequence a replicated leader performs on every publish.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use qatk_core::prelude::*;
+use qatk_store::prelude::*;
+use qatk_text::cas::Cas;
+use qatk_text::engine::Pipeline;
+use qatk_text::tokenizer::WhitespaceTokenizer;
+
+fn pipeline() -> Arc<Pipeline> {
+    Arc::new(Pipeline::builder().add(WhitespaceTokenizer::new()).build())
+}
+
+fn cas(text: &str) -> Cas {
+    let mut c = Cas::new();
+    c.add_segment("report", text);
+    c
+}
+
+/// One training instance: a part, a code, and a short defect text drawn
+/// from a small token pool (overlap between instances is the interesting
+/// case — shared vocabulary ids must survive every round-trip).
+fn any_instance() -> impl Strategy<Value = (String, String, String)> {
+    const WORDS: [&str; 10] = [
+        "kontakt",
+        "defekt",
+        "kabel",
+        "durchgeschmort",
+        "radio",
+        "stumm",
+        "sicherung",
+        "geschmolzen",
+        "stecker",
+        "korrodiert",
+    ];
+    (
+        0..5u8,
+        0..8u8,
+        proptest::collection::vec(0..WORDS.len(), 1..6),
+    )
+        .prop_map(|(part, code, words)| {
+            (
+                format!("P-{part:02}"),
+                format!("E{}", 100 + code as u32),
+                words
+                    .into_iter()
+                    .map(|w| WORDS[w])
+                    .collect::<Vec<_>>()
+                    .join(" "),
+            )
+        })
+}
+
+/// A chain of epochs, each a copy-on-write builder over the previous one
+/// with its own batch of instances. Epoch `i` has number `i`.
+fn build_chain(batches: &[Vec<(String, String, String)>]) -> Vec<KnowledgeSnapshot> {
+    let mut chain: Vec<KnowledgeSnapshot> = Vec::new();
+    for batch in batches {
+        let mut b = match chain.last() {
+            Some(prev) => SnapshotBuilder::from_snapshot(prev),
+            None => SnapshotBuilder::new(pipeline(), FeatureModel::BagOfWords),
+        };
+        for (part, code, text) in batch {
+            b.train_instance(&mut cas(text), part, code).unwrap();
+        }
+        chain.push(b.seal());
+    }
+    chain
+}
+
+/// The observable surface a reader cares about: loadable and answering the
+/// same codes for every part as the sealed original.
+fn assert_same_view(loaded: &KnowledgeSnapshot, sealed: &KnowledgeSnapshot) {
+    assert_eq!(loaded.epoch(), sealed.epoch());
+    assert_eq!(loaded.kb().nodes(), sealed.kb().nodes());
+    assert_eq!(loaded.declared_codes(), sealed.declared_codes());
+    for part in (0..5).map(|p| format!("P-{p:02}")) {
+        assert_eq!(
+            &*loaded.codes_for_part(&part),
+            &*sealed.codes_for_part(&part),
+            "codes diverged for {part}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Pruning below `keep_from` removes exactly the epochs `< keep_from`:
+    /// a reader pinned at any epoch `>= keep_from` keeps its epoch loadable
+    /// and its in-memory view untouched, while every lower epoch is gone.
+    #[test]
+    fn prune_never_removes_a_pinned_readers_epoch(
+        batches in proptest::collection::vec(proptest::collection::vec(any_instance(), 1..5), 1..4),
+        keep_sel in 0..16u8,
+        pin_sel in 0..16u8,
+    ) {
+        let chain = build_chain(&batches);
+        let latest = chain.len() as u64 - 1;
+        let keep_from = keep_sel as u64 % (latest + 1);
+        // the pinned reader sits at or above the retention floor
+        let pinned_epoch = keep_from + (pin_sel as u64 % (latest - keep_from + 1));
+
+        let mut db = Database::new();
+        for snap in &chain {
+            snap.save_to_db(&mut db).unwrap();
+        }
+        // pin a reader the way the serving layer does: an `Arc` loaded
+        // from the store before any pruning ran
+        let pinned: Arc<KnowledgeSnapshot> =
+            Arc::new(KnowledgeSnapshot::load_epoch(&db, pipeline(), pinned_epoch).unwrap());
+        let codes_before: Vec<_> =
+            (0..5).map(|p| pinned.codes_for_part(&format!("P-{p:02}"))).collect();
+
+        let removed = KnowledgeSnapshot::prune_epochs_below(&mut db, keep_from).unwrap();
+        prop_assert_eq!(removed > 0, keep_from > 0, "removed {} rows", removed);
+
+        // every epoch >= keep_from survives and still round-trips …
+        prop_assert_eq!(KnowledgeSnapshot::latest_epoch(&db).unwrap(), Some(latest));
+        for epoch in keep_from..=latest {
+            let loaded = KnowledgeSnapshot::load_epoch(&db, pipeline(), epoch).unwrap();
+            assert_same_view(&loaded, &chain[epoch as usize]);
+        }
+        // … every epoch below is a typed miss, not a partial load
+        for epoch in 0..keep_from {
+            prop_assert!(KnowledgeSnapshot::load_epoch(&db, pipeline(), epoch).is_err());
+        }
+        // the pinned reader's store copy survived, and its in-memory view
+        // never flinched
+        let reloaded = KnowledgeSnapshot::load_epoch(&db, pipeline(), pinned_epoch).unwrap();
+        assert_same_view(&reloaded, &pinned);
+        for (p, before) in codes_before.iter().enumerate() {
+            prop_assert_eq!(&*pinned.codes_for_part(&format!("P-{p:02}")), &**before);
+        }
+    }
+}
+
+static CASE: AtomicUsize = AtomicUsize::new(0);
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// `load_latest` round-trips through the logged path across a full
+    /// leader publish cycle: save every epoch, prune below the newest,
+    /// crash without checkpointing, reopen (snapshot + WAL replay). The
+    /// replayed store must answer exactly like the sealed original.
+    #[test]
+    fn load_latest_round_trips_across_a_logged_prune_and_replay(
+        batches in proptest::collection::vec(proptest::collection::vec(any_instance(), 1..5), 2..4),
+    ) {
+        let case = CASE.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "qatk_snap_props_{}_{case}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let snap_path = dir.join("snap.qdb");
+        let wal_path = dir.join("wal.log");
+
+        let chain = build_chain(&batches);
+        let latest = chain.last().unwrap();
+
+        {
+            let (mut store, _) =
+                LoggedDatabase::open(&snap_path, &wal_path, SyncPolicy::OsOnly).unwrap();
+            KnowledgeSnapshot::ensure_replicated_tables(&mut store).unwrap();
+            store.checkpoint().unwrap();
+            for snap in &chain {
+                snap.save_to_logged(&mut store).unwrap();
+            }
+            let removed =
+                KnowledgeSnapshot::prune_epochs_below_logged(&mut store, latest.epoch()).unwrap();
+            prop_assert!(removed > 0, "chains of length >= 2 always prune something");
+            // crash: drop without checkpoint — everything must replay
+        }
+
+        let (store, report) =
+            LoggedDatabase::open(&snap_path, &wal_path, SyncPolicy::OsOnly).unwrap();
+        prop_assert!(report.records_replayed > 0, "the cycle must ride the WAL");
+        let loaded = KnowledgeSnapshot::load_latest(store.db(), pipeline())
+            .unwrap()
+            .expect("latest epoch survives prune + replay");
+        assert_same_view(&loaded, latest);
+        // pruned epochs stayed pruned through the replay
+        for epoch in 0..latest.epoch() {
+            prop_assert!(
+                KnowledgeSnapshot::load_epoch(store.db(), pipeline(), epoch).is_err()
+            );
+        }
+        // the shared vocabulary replays with identical ids: same query,
+        // same extracted feature set
+        let mut q = cas("kontakt defekt kabel");
+        let a = latest.process_and_extract(&mut q).unwrap();
+        let mut q = cas("kontakt defekt kabel");
+        let b = loaded.process_and_extract(&mut q).unwrap();
+        prop_assert_eq!(a, b);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -11,13 +11,20 @@
 //! quest metrics [--seed N] [--batch N] [--json]   run a probe workload, dump metrics
 //! quest recover --db FILE --wal FILE              recover a store, report the outcome
 //! quest serve --addr HOST:PORT [--db F --wal F]   HTTP serving layer (DESIGN.md §10)
+//!             [--replicate-to HOST:PORT]          … and ship the WAL to followers
+//! quest replica --follow HOST:PORT --db F --wal F read-only replica (DESIGN.md §13)
+//! quest promote --db FILE --wal FILE              promote a replica mirror to writable
 //! quest loadgen --addr HOST:PORT [--qps N]        closed/open-loop load generator
 //! ```
 
+use std::path::Path;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
 
 use qatk_core::prelude::*;
 use qatk_corpus::prelude::*;
+use qatk_repl::prelude::*;
 use qatk_store::prelude::*;
 use quest::prelude::*;
 
@@ -38,6 +45,8 @@ fn main() -> ExitCode {
         "metrics" => cmd_metrics(rest),
         "recover" => cmd_recover(rest),
         "serve" => cmd_serve(rest),
+        "replica" => cmd_replica(rest),
+        "promote" => cmd_promote(rest),
         "loadgen" => cmd_loadgen(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
@@ -55,7 +64,7 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str =
-    "usage: quest <generate|gen-corpus|stats|suggest|compare|demo|metrics|recover|serve|loadgen> [options]
+    "usage: quest <generate|gen-corpus|stats|suggest|compare|demo|metrics|recover|serve|replica|promote|loadgen> [options]
   generate [--small] [--seed N] --db FILE   generate a corpus, persist to FILE
   gen-corpus --scale 100k|1m|10m [--seed N] [--bundles N] --out FILE
                                             seed-deterministic feature-level scale
@@ -71,10 +80,25 @@ const USAGE: &str =
                                             report replay/torn-tail outcome
   serve [--addr H:P] [--threads N] [--db FILE --wal FILE] [--seed N] [--small]
         [--model M] [--classifier C] [--measure S]
+        [--replicate-to H:P] [--checkpoint-every N]
                                             HTTP/1.1 serving layer: POST /suggest,
                                             /classify_batch, /learn; GET /healthz,
                                             /metrics. With --db/--wal, recovers the
-                                            store on boot; otherwise trains fresh
+                                            store on boot; otherwise trains fresh.
+                                            --replicate-to (needs --db/--wal) also
+                                            ships the WAL to followers on that
+                                            address, checkpointing every N learn
+                                            publishes (default 8)
+  replica --follow H:P --db FILE --wal FILE [--addr H:P] [--threads N] [--seed N]
+          [--small] [--model M]
+                                            read-only replica: mirrors the leader's
+                                            WAL into --db/--wal, republishes every
+                                            shipped epoch, serves /suggest,
+                                            /classify_batch, /healthz, /metrics
+                                            (POST /learn answers 403)
+  promote --db FILE --wal FILE              promote a replica mirror into a
+                                            writable store (continues the same
+                                            log); then run `quest serve` on it
 
   --model M       feature model: bag-of-concepts (default), bag-of-words,
                   bag-of-words-nostop, bag-of-stems, char-ngrams[-LO-HI]
@@ -341,6 +365,14 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         .map(|s| s.parse().map_err(|_| format!("bad --threads `{s}`")))
         .transpose()?
         .unwrap_or(4);
+    let replicate_to = flag_value(args, "--replicate-to");
+    let checkpoint_every: u64 = flag_value(args, "--checkpoint-every")
+        .map(|s| {
+            s.parse()
+                .map_err(|_| format!("bad --checkpoint-every `{s}`"))
+        })
+        .transpose()?
+        .unwrap_or(8);
     let (model, ranker) = ranker_options(args)?;
     let config = corpus_config(args);
     eprintln!("generating corpus ({} bundles) ...", config.n_bundles);
@@ -348,13 +380,27 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let pipeline = std::sync::Arc::new(build_pipeline(&corpus, model));
 
     let mut health = HealthInfo::default();
+    let mut leader_store = None;
     let svc = match (flag_value(args, "--db"), flag_value(args, "--wal")) {
         (Some(db_path), Some(wal_path)) => {
+            if let Some(diag) =
+                wal_layout_diagnostic(Path::new(db_path), Path::new(wal_path), false)
+            {
+                return Err(diag);
+            }
             eprintln!("recovering store from {db_path} + {wal_path} ...");
-            let recovered = RecommendationService::recover(
+            // A replicating leader keeps recent sealed segments around so
+            // followers can resume from their cursor instead of reseeding.
+            let retention = if replicate_to.is_some() {
+                SegmentRetention::Keep(8)
+            } else {
+                SegmentRetention::default()
+            };
+            let recovered = RecommendationService::recover_with_retention(
                 db_path,
                 wal_path,
                 SyncPolicy::Always,
+                retention,
                 std::sync::Arc::clone(&pipeline),
             )
             .map_err(|e| format!("recovery failed: {e}"))?;
@@ -363,6 +409,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                 torn_tail: recovered.report.torn_tail,
                 segments_replayed: recovered.report.segments_replayed,
                 records_replayed: recovered.report.records_replayed,
+                replication: None,
             };
             eprintln!(
                 "recovery: snapshot_loaded={} segments={} records={} torn_tail={}",
@@ -371,6 +418,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                 recovered.report.records_replayed,
                 recovered.report.torn_tail
             );
+            leader_store = Some(recovered.store);
             match recovered.service {
                 Some(svc) => svc,
                 None => {
@@ -378,6 +426,9 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                     RecommendationService::train_with(&corpus, model, ranker)
                 }
             }
+        }
+        (None, None) if replicate_to.is_some() => {
+            return Err("--replicate-to needs --db and --wal (the log to ship)".to_owned())
         }
         (None, None) => {
             eprintln!(
@@ -398,7 +449,65 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         svc.model_label(),
         svc.classifier_label()
     );
-    let app = std::sync::Arc::new(QuestApp::new(svc, health));
+
+    // Leader mode: persist the published snapshot through the WAL, bake the
+    // (un-logged) DDL into the snapshot with a boot checkpoint, then start
+    // shipping the log. Ordering matters — tables must be in the snapshot
+    // *before* row records land in the WAL, or crash recovery (and every
+    // fresh follower) would replay rows against missing tables.
+    let mut publish_hook = None;
+    let mut _leader = None;
+    if let Some(repl_addr) = replicate_to {
+        let mut store = leader_store.expect("--replicate-to requires --db/--wal");
+        let created = KnowledgeSnapshot::ensure_replicated_tables(&mut store)
+            .map_err(|e| format!("cannot prepare snapshot tables: {e}"))?;
+        if created {
+            store
+                .checkpoint()
+                .map_err(|e| format!("boot checkpoint failed: {e}"))?;
+        }
+        svc.snapshot()
+            .save_to_logged(&mut store)
+            .map_err(|e| format!("cannot persist boot snapshot: {e}"))?;
+        let db_path = flag_value(args, "--db").unwrap();
+        let wal_path = flag_value(args, "--wal").unwrap();
+        let leader = Leader::bind(
+            repl_addr,
+            ReplPaths::new(db_path, wal_path),
+            LeaderConfig::default(),
+        )
+        .map_err(|e| format!("cannot bind replication listener {repl_addr}: {e}"))?;
+        println!("shipping WAL to followers on {}", leader.local_addr());
+        health.replication = Some(ReplicationHealth::Leader(leader.status()));
+        let store = Arc::new(Mutex::new(store));
+        let publishes = AtomicU64::new(0);
+        let hook: PublishHook = Arc::new(move |svc: &RecommendationService| {
+            let snapshot = svc.snapshot();
+            let mut store = store.lock().unwrap_or_else(PoisonError::into_inner);
+            snapshot
+                .save_to_logged(&mut store)
+                .map_err(|e| e.to_string())?;
+            // retention: current + previous epoch stay queryable; the
+            // deletes replicate to followers like any other DML
+            if snapshot.epoch() >= 2 {
+                KnowledgeSnapshot::prune_epochs_below_logged(&mut store, snapshot.epoch() - 1)
+                    .map_err(|e| e.to_string())?;
+            }
+            let n = publishes.fetch_add(1, Ordering::SeqCst) + 1;
+            if checkpoint_every > 0 && n.is_multiple_of(checkpoint_every) {
+                store.checkpoint().map_err(|e| e.to_string())?;
+            }
+            Ok(())
+        });
+        publish_hook = Some(hook);
+        _leader = Some(leader);
+    }
+
+    let mut app = QuestApp::new(std::sync::Arc::clone(&svc), health);
+    if let Some(hook) = publish_hook {
+        app = app.with_publish_hook(hook);
+    }
+    let app = std::sync::Arc::new(app);
     let server_config = qatk_serve::ServerConfig {
         threads,
         ..qatk_serve::ServerConfig::default()
@@ -410,6 +519,102 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         server.local_addr()
     );
     server.join();
+    Ok(())
+}
+
+fn cmd_replica(args: &[String]) -> Result<(), String> {
+    let follow = flag_value(args, "--follow")
+        .ok_or("replica needs --follow HOST:PORT (the leader's --replicate-to address)")?;
+    let db_path = flag_value(args, "--db").ok_or("replica needs --db FILE (local mirror)")?;
+    let wal_path = flag_value(args, "--wal").ok_or("replica needs --wal FILE (local mirror)")?;
+    if let Some(diag) = wal_layout_diagnostic(Path::new(db_path), Path::new(wal_path), false) {
+        return Err(diag);
+    }
+    let addr = flag_value(args, "--addr").unwrap_or("127.0.0.1:7420");
+    let threads: usize = flag_value(args, "--threads")
+        .map(|s| s.parse().map_err(|_| format!("bad --threads `{s}`")))
+        .transpose()?
+        .unwrap_or(4);
+    let (model, _ranker) = ranker_options(args)?;
+    let config = corpus_config(args);
+    eprintln!(
+        "building pipeline from corpus ({} bundles) ...",
+        config.n_bundles
+    );
+    let corpus = Corpus::generate(config);
+    let pipeline = std::sync::Arc::new(build_pipeline(&corpus, model));
+
+    let replica = ReplicaServer::open(
+        ReplPaths::new(db_path, wal_path),
+        FollowerConfig::default(),
+        pipeline,
+        model,
+    )
+    .map_err(|e| format!("cannot open replica mirror at {db_path} + {wal_path}: {e}"))?;
+    let r = replica.recovery();
+    eprintln!(
+        "local mirror: snapshot_loaded={} segments={} records={} torn_tail={} cursor={}",
+        r.snapshot_loaded, r.segments_replayed, r.records_replayed, r.torn_tail, r.cursor
+    );
+    let svc = replica.service();
+    eprintln!(
+        "serving epoch {} ({} instances){}",
+        svc.epoch(),
+        svc.kb_len(),
+        if svc.kb_len() == 0 {
+            " — empty until the leader ships its first epoch"
+        } else {
+            ""
+        }
+    );
+
+    let app = std::sync::Arc::new(QuestApp::new(svc, replica.health()).read_only());
+    let server_config = qatk_serve::ServerConfig {
+        threads,
+        ..qatk_serve::ServerConfig::default()
+    };
+    let server = qatk_serve::Server::bind(addr, server_config, app)
+        .map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    println!(
+        "read-only replica on http://{} ({threads} threads), following {follow}",
+        server.local_addr()
+    );
+
+    let stop = AtomicBool::new(false);
+    let (_follower, result) = replica.run(follow, &stop);
+    result.map_err(|e| {
+        format!("replication stopped: {e}\nthe local mirror is intact; restart `quest replica` to resume, or `quest promote --db {db_path} --wal {wal_path}` to take over")
+    })
+}
+
+fn cmd_promote(args: &[String]) -> Result<(), String> {
+    let db_path = flag_value(args, "--db").ok_or("promote needs --db FILE")?;
+    let wal_path = flag_value(args, "--wal").ok_or("promote needs --wal FILE")?;
+    if let Some(diag) = wal_layout_diagnostic(Path::new(db_path), Path::new(wal_path), true) {
+        return Err(diag);
+    }
+    let (follower, recovery) =
+        Follower::open(ReplPaths::new(db_path, wal_path), FollowerConfig::default())
+            .map_err(|e| format!("cannot open replica mirror: {e}"))?;
+    println!(
+        "mirror state: snapshot_loaded={} segments={} records={} torn_tail={} cursor={}",
+        recovery.snapshot_loaded,
+        recovery.segments_replayed,
+        recovery.records_replayed,
+        recovery.torn_tail,
+        recovery.cursor
+    );
+    let (store, report) = follower
+        .promote(SyncPolicy::Always, SegmentRetention::default())
+        .map_err(|e| format!("promotion failed: {e}"))?;
+    println!(
+        "promoted: epoch {} (replayed {} segments, {} records)",
+        store.epoch(),
+        report.segments_replayed,
+        report.records_replayed
+    );
+    println!("the mirror is now a writable store; start it with:");
+    println!("  quest serve --db {db_path} --wal {wal_path} [--replicate-to H:P]");
     Ok(())
 }
 
@@ -547,6 +752,11 @@ fn loadgen_templates(
 fn cmd_recover(args: &[String]) -> Result<(), String> {
     let db_path = flag_value(args, "--db").ok_or("recover needs --db FILE")?;
     let wal_path = flag_value(args, "--wal").ok_or("recover needs --wal FILE")?;
+    // A missing or empty layout gets a structured diagnostic (what was
+    // expected where) instead of a raw io::Error from the store layer.
+    if let Some(diag) = wal_layout_diagnostic(Path::new(db_path), Path::new(wal_path), true) {
+        return Err(diag);
+    }
     let (store, report) = LoggedDatabase::open(db_path, wal_path, SyncPolicy::Always)
         .map_err(|e| format!("recovery failed: {e}"))?;
     println!(

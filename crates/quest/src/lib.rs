@@ -19,6 +19,7 @@
 pub mod compare;
 pub mod metrics;
 pub mod probe;
+pub mod replica;
 pub mod scalefile;
 pub mod screens;
 pub mod serve_app;
@@ -33,11 +34,14 @@ pub mod prelude {
         DistributionRow,
     };
     pub use crate::probe::{run_metrics_probe, ProbeSummary};
+    pub use crate::replica::{wal_layout_diagnostic, ReplicaServer};
     pub use crate::scalefile::{
         load_scale_corpus, save_scale_corpus, ScaleFileError, ScaleFileStats,
     };
     pub use crate::screens::{render_bundle, render_case, render_suggestions};
-    pub use crate::serve_app::{HealthInfo, QuestApp, MAX_BATCH_TEXTS, MAX_LEARN_INSTANCES};
+    pub use crate::serve_app::{
+        HealthInfo, PublishHook, QuestApp, ReplicationHealth, MAX_BATCH_TEXTS, MAX_LEARN_INSTANCES,
+    };
     pub use crate::service::{RecommendationService, ServiceError, Suggestions, TOP_SUGGESTIONS};
     pub use crate::users::{Role, User, UserError, UserRegistry};
     pub use crate::workflow::{AuditEntry, EvaluationCase, Stage, WorkflowError};

@@ -1,0 +1,235 @@
+//! Read-replica runtime: glue between a [`qatk_repl::Follower`] and the
+//! serving stack (DESIGN.md §13).
+//!
+//! The follower replays the leader's WAL into its own in-memory database;
+//! this module watches each apply for a newly *committed* knowledge-snapshot
+//! epoch (the meta row is written last, so `latest_epoch` only advances once
+//! the whole epoch shipped) and republishes it through
+//! [`RecommendationService::publish_snapshot`]. `/suggest` on a replica is
+//! then the exact same code path as on the leader — zero changes in
+//! `qatk-serve` or the HTTP app.
+//!
+//! Also home to [`wal_layout_diagnostic`]: the structured what-went-where
+//! report `quest recover` / `quest replica` print instead of a raw
+//! `io::Error` when pointed at a missing or malformed WAL layout.
+
+use std::path::Path;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+
+use qatk_core::prelude::*;
+use qatk_repl::prelude::*;
+use qatk_store::prelude::Database;
+use qatk_text::engine::Pipeline;
+
+use crate::serve_app::{HealthInfo, ReplicationHealth};
+use crate::service::RecommendationService;
+
+/// Validate the on-disk WAL layout before handing the paths to recovery or
+/// replication. Returns `Some(diagnostic)` — a multi-line, human-readable
+/// report naming the offending path and the expected layout — when the
+/// paths cannot possibly work, `None` when they look plausible.
+///
+/// With `require_data` set (the `quest recover` path), an existing but
+/// empty layout is also diagnosed: recovering nothing is almost always a
+/// mistyped path, and a raw "0 records replayed" hides it. A replica leaves
+/// it unset — starting empty and syncing from the leader is its normal
+/// first boot.
+pub fn wal_layout_diagnostic(snapshot: &Path, wal: &Path, require_data: bool) -> Option<String> {
+    let expected = |dir: &Path| {
+        format!(
+            "expected layout:\n  {}  active write-ahead log\n  {}  sealed segments (epoch-numbered)\n  {}  checkpoint snapshot (absent before the first checkpoint)",
+            dir.join("wal.log").display(),
+            dir.join("wal.log.000042").display(),
+            snapshot.display(),
+        )
+    };
+    if wal.is_dir() {
+        return Some(format!(
+            "--wal names a directory: {}\npass the active log FILE inside it instead\n{}",
+            wal.display(),
+            expected(wal)
+        ));
+    }
+    if snapshot.is_dir() {
+        return Some(format!(
+            "--db names a directory: {}\npass the snapshot FILE the store checkpoints into",
+            snapshot.display()
+        ));
+    }
+    let dir = wal.parent().filter(|p| !p.as_os_str().is_empty());
+    if let Some(dir) = dir {
+        if !dir.exists() {
+            return Some(format!(
+                "WAL directory does not exist: {}\n{}\nhint: `quest serve --db … --wal …` creates the layout on first boot",
+                dir.display(),
+                expected(dir)
+            ));
+        }
+    }
+    if require_data {
+        let dir = dir.unwrap_or_else(|| Path::new("."));
+        let has_segments = std::fs::read_dir(dir)
+            .map(|entries| {
+                entries.flatten().any(|e| {
+                    e.file_name()
+                        .to_string_lossy()
+                        .starts_with(&format!("{}.", wal_file_name(wal)))
+                })
+            })
+            .unwrap_or(false);
+        if !wal.exists() && !snapshot.exists() && !has_segments {
+            return Some(format!(
+                "nothing to recover under {}: no snapshot, no active log, no sealed segments\n{}\nhint: check the --db/--wal paths against the serving process's flags",
+                dir.display(),
+                expected(dir)
+            ));
+        }
+    }
+    None
+}
+
+fn wal_file_name(wal: &Path) -> String {
+    wal.file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "wal.log".to_owned())
+}
+
+/// A read replica assembled from a [`Follower`] plus the serving pieces:
+/// the recommendation service it republishes into and the health report the
+/// HTTP app exposes. Built once by `quest replica`, then [`Self::run`]
+/// follows the leader until asked to stop.
+pub struct ReplicaServer {
+    follower: Follower,
+    recovery: ReplicaRecovery,
+    status: Arc<ReplicaStatus>,
+    svc: Arc<RecommendationService>,
+    pipeline: Arc<Pipeline>,
+    last_published: Option<u64>,
+}
+
+impl ReplicaServer {
+    /// Open (or resume) the local mirror and build the service from the
+    /// newest knowledge epoch it already holds. A fresh replica with no
+    /// local state starts on an empty epoch-0 snapshot under
+    /// `fallback_model` and serves real knowledge as soon as the leader's
+    /// first epoch replays.
+    pub fn open(
+        paths: ReplPaths,
+        config: FollowerConfig,
+        pipeline: Arc<Pipeline>,
+        fallback_model: FeatureModel,
+    ) -> ReplResult<ReplicaServer> {
+        let (follower, recovery) = Follower::open(paths, config)?;
+        let last_published = KnowledgeSnapshot::latest_epoch(follower.db())?;
+        let svc = match RecommendationService::load_latest(follower.db(), Arc::clone(&pipeline))? {
+            Some(svc) => svc,
+            None => RecommendationService::from_snapshot(
+                SnapshotBuilder::new(Arc::clone(&pipeline), fallback_model).seal(),
+            ),
+        };
+        let status = follower.status();
+        Ok(ReplicaServer {
+            follower,
+            recovery,
+            status,
+            svc: Arc::new(svc),
+            pipeline,
+            last_published,
+        })
+    }
+
+    /// The service `/suggest` runs against (shared with the HTTP app).
+    pub fn service(&self) -> Arc<RecommendationService> {
+        Arc::clone(&self.svc)
+    }
+
+    /// Live replication counters (shared with `/healthz`).
+    pub fn status(&self) -> Arc<ReplicaStatus> {
+        Arc::clone(&self.status)
+    }
+
+    /// What local recovery found at boot.
+    pub fn recovery(&self) -> &ReplicaRecovery {
+        &self.recovery
+    }
+
+    /// The health report the HTTP app serves, replication role included.
+    pub fn health(&self) -> HealthInfo {
+        HealthInfo {
+            recovered: self.recovery.snapshot_loaded || self.recovery.segments_replayed > 0,
+            torn_tail: self.recovery.torn_tail,
+            segments_replayed: self.recovery.segments_replayed,
+            records_replayed: self.recovery.records_replayed,
+            replication: Some(ReplicationHealth::Replica(Arc::clone(&self.status))),
+        }
+    }
+
+    /// Follow the leader at `addr` until `stop` is set, republishing every
+    /// newly committed knowledge epoch into the service as it replays.
+    /// Returns the follower (for [`Follower::promote`]) and the terminal
+    /// result — `Ok` on a requested stop, the first non-retryable error
+    /// otherwise.
+    pub fn run(mut self, addr: &str, stop: &AtomicBool) -> (Follower, ReplResult<()>) {
+        let svc = Arc::clone(&self.svc);
+        let pipeline = Arc::clone(&self.pipeline);
+        let mut last = self.last_published;
+        let mut on_apply = move |db: &Database, _cursor: ReplCursor| {
+            let Ok(Some(epoch)) = KnowledgeSnapshot::latest_epoch(db) else {
+                return;
+            };
+            if last.is_some_and(|p| epoch <= p) {
+                return;
+            }
+            // The meta row commits an epoch last, so a visible latest_epoch
+            // is always fully loadable; an error here would mean corruption,
+            // which the next apply (or the store layer) surfaces anyway.
+            if let Ok(snap) = KnowledgeSnapshot::load_epoch(db, Arc::clone(&pipeline), epoch) {
+                svc.publish_snapshot(snap);
+                last = Some(epoch);
+            }
+        };
+        let result = self.follower.run(addr, stop, &mut on_apply);
+        (self.follower, result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_diagnostic_names_paths_and_expected_shape() {
+        let dir = std::env::temp_dir().join(format!("qatk_layout_diag_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // missing parent directory
+        let missing = dir.join("nope").join("wal.log");
+        let snap = dir.join("nope").join("snap.qdb");
+        let msg = wal_layout_diagnostic(&snap, &missing, false).expect("diagnostic");
+        assert!(msg.contains("does not exist"), "{msg}");
+        assert!(
+            msg.contains(&dir.join("nope").display().to_string()),
+            "{msg}"
+        );
+        assert!(msg.contains("expected layout"), "{msg}");
+
+        // --wal pointed at a directory
+        let msg = wal_layout_diagnostic(&snap, &dir, false).expect("diagnostic");
+        assert!(msg.contains("names a directory"), "{msg}");
+
+        // empty-but-existing layout only trips the recovery path
+        let wal = dir.join("wal.log");
+        let snap = dir.join("snap.qdb");
+        assert!(wal_layout_diagnostic(&snap, &wal, false).is_none());
+        let msg = wal_layout_diagnostic(&snap, &wal, true).expect("diagnostic");
+        assert!(msg.contains("nothing to recover"), "{msg}");
+
+        // a real layout passes both
+        std::fs::write(&wal, b"").unwrap();
+        assert!(wal_layout_diagnostic(&snap, &wal, true).is_none());
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -17,6 +17,7 @@ use std::sync::Arc;
 use qatk_corpus::bundle::DataBundle;
 use qatk_obs::json::{self, Value};
 use qatk_obs::Registry;
+use qatk_repl::{LeaderStatus, ReplicaStatus};
 use qatk_serve::{Handler, Method, Request, Response};
 
 use crate::service::{RecommendationService, Suggestions};
@@ -27,7 +28,18 @@ pub const MAX_BATCH_TEXTS: usize = 1024;
 /// Max instances per `/learn` request.
 pub const MAX_LEARN_INSTANCES: usize = 1024;
 
-/// What `/healthz` reports about boot-time recovery.
+/// Live replication status surfaced through `/healthz`: which role this
+/// process plays and the counters the role's runtime publishes.
+#[derive(Debug, Clone)]
+pub enum ReplicationHealth {
+    /// This process ships its WAL to followers.
+    Leader(Arc<LeaderStatus>),
+    /// This process replays a leader's WAL and serves read-only.
+    Replica(Arc<ReplicaStatus>),
+}
+
+/// What `/healthz` reports about boot-time recovery (and, when replication
+/// is on, the live replication role + lag).
 #[derive(Debug, Clone, Default)]
 pub struct HealthInfo {
     /// The service was recovered from a snapshot + WAL (vs freshly trained).
@@ -36,17 +48,44 @@ pub struct HealthInfo {
     pub torn_tail: bool,
     pub segments_replayed: usize,
     pub records_replayed: usize,
+    /// Present when this process replicates (leader or replica).
+    pub replication: Option<ReplicationHealth>,
 }
+
+/// Called after `/learn` publishes a new epoch, before the 200 goes out —
+/// the leader persists the published snapshot through its WAL here, so the
+/// ack also means "shipped to the log". An `Err` turns the ack into a 500.
+pub type PublishHook = Arc<dyn Fn(&RecommendationService) -> Result<(), String> + Send + Sync>;
 
 /// The QUEST [`Handler`]: owns the service and the boot health report.
 pub struct QuestApp {
     svc: Arc<RecommendationService>,
     health: HealthInfo,
+    /// Read replicas reject `/learn`: writes belong to the leader.
+    read_only: bool,
+    on_publish: Option<PublishHook>,
 }
 
 impl QuestApp {
     pub fn new(svc: Arc<RecommendationService>, health: HealthInfo) -> Self {
-        QuestApp { svc, health }
+        QuestApp {
+            svc,
+            health,
+            read_only: false,
+            on_publish: None,
+        }
+    }
+
+    /// Serve read-only: `/learn` answers 403 pointing writers at the leader.
+    pub fn read_only(mut self) -> Self {
+        self.read_only = true;
+        self
+    }
+
+    /// Install a hook that runs after every `/learn` publish, before the ack.
+    pub fn with_publish_hook(mut self, hook: PublishHook) -> Self {
+        self.on_publish = Some(hook);
+        self
     }
 
     pub fn service(&self) -> &Arc<RecommendationService> {
@@ -109,6 +148,13 @@ impl QuestApp {
     }
 
     fn learn(&self, req: &Request) -> Response {
+        if self.read_only {
+            return Response::error_json(
+                403,
+                "this node is a read-only replica; POST /learn to the leader",
+            )
+            .with_endpoint("learn");
+        }
         let doc = match parse_body(req) {
             Ok(v) => v,
             Err(r) => return r,
@@ -149,6 +195,15 @@ impl QuestApp {
         // epoch swap installed — before the 200 goes out. A response the
         // client saw is never lost to a later shutdown.
         let added = self.svc.publish_pending();
+        if let Some(hook) = &self.on_publish {
+            if let Err(e) = hook(&self.svc) {
+                return Response::error_json(
+                    500,
+                    &format!("persisting published epoch failed: {e}"),
+                )
+                .with_endpoint("learn");
+            }
+        }
         let body = format!(
             "{{\"enqueued\":{enqueued},\"added\":{added},\"epoch\":{}}}",
             self.svc.epoch()
@@ -158,8 +213,8 @@ impl QuestApp {
 
     fn healthz(&self) -> Response {
         let snapshot = self.svc.snapshot();
-        let body = format!(
-            "{{\"status\":\"ok\",\"epoch\":{},\"kb_len\":{},\"pending\":{},\"model\":\"{}\",\"classifier\":\"{}\",\"measure\":\"{}\",\"recovered\":{},\"torn_tail\":{},\"segments_replayed\":{},\"records_replayed\":{}}}",
+        let mut body = format!(
+            "{{\"status\":\"ok\",\"epoch\":{},\"kb_len\":{},\"pending\":{},\"model\":\"{}\",\"classifier\":\"{}\",\"measure\":\"{}\",\"recovered\":{},\"torn_tail\":{},\"segments_replayed\":{},\"records_replayed\":{}",
             snapshot.epoch(),
             snapshot.kb().len(),
             self.svc.pending_len(),
@@ -171,6 +226,35 @@ impl QuestApp {
             self.health.segments_replayed,
             self.health.records_replayed,
         );
+        match &self.health.replication {
+            None => {}
+            Some(ReplicationHealth::Leader(status)) => {
+                let (tip_segment, tip_offset) = status.tip();
+                let (acked_segment, acked_offset) = match status.min_acked() {
+                    Some(c) => (c.segment as i64, c.offset as i64),
+                    None => (-1, -1),
+                };
+                body.push_str(&format!(
+                    ",\"replication\":{{\"role\":\"leader\",\"followers\":{},\"sessions_started\":{},\"tip_segment\":{tip_segment},\"tip_offset\":{tip_offset},\"min_acked_segment\":{acked_segment},\"min_acked_offset\":{acked_offset}}}",
+                    status.followers(),
+                    status.sessions_started(),
+                ));
+            }
+            Some(ReplicationHealth::Replica(status)) => {
+                let applied = status.applied();
+                let (leader_segment, leader_offset) = status.leader_tip();
+                body.push_str(&format!(
+                    ",\"replication\":{{\"role\":\"replica\",\"connected\":{},\"applied_watermark\":{},\"applied_segment\":{},\"applied_offset\":{},\"leader_tip_segment\":{leader_segment},\"leader_tip_offset\":{leader_offset},\"lag_bytes\":{},\"records_applied\":{}}}",
+                    status.connected(),
+                    applied.watermark,
+                    applied.segment,
+                    applied.offset,
+                    status.lag_bytes(),
+                    status.records_applied(),
+                ));
+            }
+        }
+        body.push('}');
         Response::json(200, body).with_endpoint("healthz")
     }
 

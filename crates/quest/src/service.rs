@@ -198,7 +198,28 @@ impl RecommendationService {
         policy: SyncPolicy,
         pipeline: Arc<Pipeline>,
     ) -> StoreResult<RecoveredService> {
-        let (store, report) = LoggedDatabase::open(snapshot_path, wal_path, policy)?;
+        Self::recover_with_retention(
+            snapshot_path,
+            wal_path,
+            policy,
+            SegmentRetention::default(),
+            pipeline,
+        )
+    }
+
+    /// [`RecommendationService::recover`] with an explicit sealed-segment
+    /// retention policy. A replicating leader opens with
+    /// [`SegmentRetention::Keep`] so followers can resume from recent
+    /// sealed segments instead of forcing a full snapshot reseed.
+    pub fn recover_with_retention(
+        snapshot_path: impl AsRef<std::path::Path>,
+        wal_path: impl AsRef<std::path::Path>,
+        policy: SyncPolicy,
+        retention: SegmentRetention,
+        pipeline: Arc<Pipeline>,
+    ) -> StoreResult<RecoveredService> {
+        let (store, report) =
+            LoggedDatabase::open_with_retention(snapshot_path, wal_path, policy, retention)?;
         let service = Self::load_latest(store.db(), pipeline)?;
         Ok(RecoveredService {
             service,
@@ -536,6 +557,15 @@ impl RecommendationService {
         added
     }
 
+    /// Publish an externally produced snapshot as the new epoch — the read
+    /// replica path: a follower replays the leader's WAL, loads the newest
+    /// persisted epoch, and republishes it here so `/suggest` serves it with
+    /// zero serve-layer changes. The caller is responsible for monotonicity
+    /// (the replica loop tracks the last persisted epoch it republished).
+    pub fn publish_snapshot(&self, next: KnowledgeSnapshot) {
+        self.install(next);
+    }
+
     /// Publish a sealed snapshot as the new epoch and update the gauges.
     fn install(&self, next: KnowledgeSnapshot) {
         let m = crate::metrics::metrics();
@@ -633,6 +663,39 @@ mod tests {
         u.add("root", Role::Admin).unwrap();
         u.add("guest", Role::Viewer).unwrap();
         u
+    }
+
+    /// Regression for the poisoned-mutex policy: a request thread that
+    /// panics while holding the pending-delta lock must not wedge the
+    /// service — the lock guards plain data that stays consistent across a
+    /// panic, so later learns and publishes recover it via
+    /// `PoisonError::into_inner` and keep publishing epochs.
+    #[test]
+    fn learns_still_publish_after_a_panicked_thread_poisons_the_lock() {
+        let c = corpus();
+        let svc =
+            RecommendationService::train(&c, FeatureModel::BagOfWords, SimilarityMeasure::Jaccard);
+        let before = svc.epoch();
+
+        // poison the pending lock: panic while holding the guard
+        std::thread::scope(|scope| {
+            let poisoner = scope.spawn(|| {
+                let _guard = svc.pending.lock().unwrap();
+                panic!("poison the pending lock");
+            });
+            assert!(poisoner.join().is_err(), "the poisoner must panic");
+        });
+        assert!(svc.pending.is_poisoned(), "lock is poisoned");
+
+        // every pending-lock path still works
+        let bundle = &c.bundles[0];
+        svc.enqueue_learn(bundle, "E999-01");
+        assert_eq!(svc.pending_len(), 1);
+        let added = svc.publish_pending();
+        assert_eq!(added, 1);
+        assert_eq!(svc.epoch(), before + 1, "the learn published a new epoch");
+        assert!(svc.learn(bundle, "E999-02"));
+        assert_eq!(svc.epoch(), before + 2);
     }
 
     #[test]

@@ -1,0 +1,96 @@
+//! Replication errors, with stalled-peer timeouts as a first-class variant.
+//!
+//! Sockets in the replication path always run under read timeouts, and the
+//! platform reports an expired timeout as either `WouldBlock` (Unix) or
+//! `TimedOut` (Windows). Both kinds normalize to [`ReplError::Timeout`] at
+//! conversion time — the same mapping `qatk-serve` applies on its server
+//! and client paths — so callers retry stalled peers instead of treating
+//! them as hard I/O failures.
+
+use qatk_store::error::StoreError;
+
+/// Result alias for the replication layer.
+pub type Result<T> = std::result::Result<T, ReplError>;
+
+/// Everything that can go wrong while shipping or replaying WAL frames.
+#[derive(Debug)]
+pub enum ReplError {
+    /// The peer stalled: a socket read or write ran past its deadline.
+    /// Retryable — the follower reconnects and resumes from its cursor.
+    Timeout,
+    /// The peer closed the connection (cleanly or mid-frame).
+    Disconnected,
+    /// Any other socket or file I/O failure.
+    Io(String),
+    /// The peer sent something the protocol does not allow at this point:
+    /// bad magic, an unknown frame type, a chunk at the wrong offset.
+    Protocol(String),
+    /// A store-layer failure while scanning, replaying or persisting.
+    Store(StoreError),
+}
+
+impl std::fmt::Display for ReplError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplError::Timeout => write!(f, "replication peer timed out"),
+            ReplError::Disconnected => write!(f, "replication peer disconnected"),
+            ReplError::Io(m) => write!(f, "replication i/o error: {m}"),
+            ReplError::Protocol(m) => write!(f, "replication protocol error: {m}"),
+            ReplError::Store(e) => write!(f, "replication store error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReplError {}
+
+impl From<std::io::Error> for ReplError {
+    fn from(e: std::io::Error) -> Self {
+        match e.kind() {
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => ReplError::Timeout,
+            std::io::ErrorKind::UnexpectedEof
+            | std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::ConnectionAborted
+            | std::io::ErrorKind::ConnectionRefused
+            | std::io::ErrorKind::BrokenPipe => ReplError::Disconnected,
+            _ => ReplError::Io(e.to_string()),
+        }
+    }
+}
+
+impl From<StoreError> for ReplError {
+    fn from(e: StoreError) -> Self {
+        ReplError::Store(e)
+    }
+}
+
+impl ReplError {
+    /// True for conditions a follower should retry by reconnecting (the
+    /// cursor makes every retry safe): timeouts and disconnects.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, ReplError::Timeout | ReplError::Disconnected)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timeout_kinds_normalize_to_the_typed_timeout() {
+        for kind in [std::io::ErrorKind::WouldBlock, std::io::ErrorKind::TimedOut] {
+            let e: ReplError = std::io::Error::new(kind, "stalled").into();
+            assert!(matches!(e, ReplError::Timeout), "{kind:?}");
+            assert!(e.is_retryable());
+        }
+    }
+
+    #[test]
+    fn eof_and_resets_are_disconnects_other_io_is_not() {
+        let e: ReplError = std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "eof").into();
+        assert!(matches!(e, ReplError::Disconnected));
+        assert!(e.is_retryable());
+        let e: ReplError = std::io::Error::other("disk on fire").into();
+        assert!(matches!(e, ReplError::Io(_)));
+        assert!(!e.is_retryable());
+    }
+}

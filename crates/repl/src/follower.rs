@@ -1,0 +1,553 @@
+//! Follower side: mirror the leader's WAL on local disk, replay it into an
+//! in-memory database, and publish progress.
+//!
+//! The follower's invariant is simple and is what the crash-convergence
+//! harness leans on: **only whole, checksum-verified records are ever
+//! appended to a local segment file, in stream order**. Its disk is
+//! therefore always a prefix of the leader's history plus at most one torn
+//! record (a crash mid-append), which [`Follower::open`] truncates away
+//! exactly like `LoggedDatabase::open` does for the active log. Every frame
+//! is applied to disk *before* it is acknowledged, so the leader never
+//! trims history (via watermark advance + retention) that a follower would
+//! still need — and a follower that crashes after applying but before
+//! acking merely re-reports a further-ahead cursor on reconnect.
+//!
+//! The follower stores every segment under its sealed name
+//! (`wal.log.<epoch:06>`), including the one the leader is still writing;
+//! there is no local active log until [`Follower::promote`] renames the
+//! newest segment into place and re-opens the pair as a writable
+//! [`LoggedDatabase`] — the promotion path for failover.
+
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use qatk_store::db::Database;
+use qatk_store::error::StoreError;
+use qatk_store::failpoint;
+use qatk_store::persist::SnapshotMeta;
+use qatk_store::wal::{
+    list_segments, replay, scan_bytes, scan_log, segment_path, LoggedDatabase, RecoveryReport,
+    ReplCursor, SegmentRetention, SyncPolicy,
+};
+
+use crate::error::{ReplError, Result};
+use crate::frame::{read_frame, write_frame, Frame};
+use crate::metrics::metrics;
+use crate::ReplPaths;
+
+/// Tunables for a follower.
+#[derive(Debug, Clone)]
+pub struct FollowerConfig {
+    /// Socket read timeout. The leader heartbeats every poll interval, so a
+    /// full timeout with nothing received means a stalled leader and
+    /// triggers a reconnect.
+    pub read_timeout: Duration,
+    /// Socket write timeout (acks).
+    pub write_timeout: Duration,
+    /// Pause between reconnect attempts in [`Follower::run`].
+    pub reconnect_backoff: Duration,
+    /// `fdatasync` each chunk after appending it (durability at the cost of
+    /// throughput; off by default, segments are synced at seal time like
+    /// the leader's own rotation).
+    pub sync_each_chunk: bool,
+}
+
+impl Default for FollowerConfig {
+    fn default() -> Self {
+        FollowerConfig {
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            reconnect_backoff: Duration::from_millis(200),
+            sync_each_chunk: false,
+        }
+    }
+}
+
+/// Live replica state, shared with whoever renders `/healthz`.
+#[derive(Debug, Default)]
+pub struct ReplicaStatus {
+    connected: AtomicBool,
+    applied_watermark: AtomicU64,
+    applied_segment: AtomicU64,
+    applied_offset: AtomicU64,
+    leader_segment: AtomicU64,
+    leader_offset: AtomicU64,
+    lag_bytes: AtomicI64,
+    records_applied: AtomicU64,
+}
+
+impl ReplicaStatus {
+    /// True while a leader connection is up.
+    pub fn connected(&self) -> bool {
+        self.connected.load(Ordering::Relaxed)
+    }
+
+    /// The cursor the follower has applied and persisted.
+    pub fn applied(&self) -> ReplCursor {
+        ReplCursor {
+            watermark: self.applied_watermark.load(Ordering::Relaxed),
+            segment: self.applied_segment.load(Ordering::Relaxed),
+            offset: self.applied_offset.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The leader's tip as of the last tip/hello frame.
+    pub fn leader_tip(&self) -> (u64, u64) {
+        (
+            self.leader_segment.load(Ordering::Relaxed),
+            self.leader_offset.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Bytes behind the leader tip (same segment), or -1 while unknown or
+    /// whole segments behind.
+    pub fn lag_bytes(&self) -> i64 {
+        self.lag_bytes.load(Ordering::Relaxed)
+    }
+
+    /// WAL records replayed since this process started following.
+    pub fn records_applied(&self) -> u64 {
+        self.records_applied.load(Ordering::Relaxed)
+    }
+
+    fn set_applied(&self, c: ReplCursor) {
+        self.applied_watermark.store(c.watermark, Ordering::Relaxed);
+        self.applied_segment.store(c.segment, Ordering::Relaxed);
+        self.applied_offset.store(c.offset, Ordering::Relaxed);
+        self.refresh_lag();
+    }
+
+    fn set_leader_tip(&self, segment: u64, offset: u64) {
+        self.leader_segment.store(segment, Ordering::Relaxed);
+        self.leader_offset.store(offset, Ordering::Relaxed);
+        self.refresh_lag();
+    }
+
+    fn refresh_lag(&self) {
+        let (ls, lo) = self.leader_tip();
+        let a = self.applied();
+        let m = metrics();
+        let seg_lag = ls.saturating_sub(a.segment) as i64;
+        m.lag_segments.set(seg_lag);
+        let byte_lag = if ls == a.segment {
+            lo.saturating_sub(a.offset) as i64
+        } else {
+            -1
+        };
+        self.lag_bytes.store(byte_lag, Ordering::Relaxed);
+        m.lag_bytes.set(byte_lag);
+    }
+}
+
+/// What [`Follower::open`] found on local disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReplicaRecovery {
+    /// A local snapshot existed and was loaded.
+    pub snapshot_loaded: bool,
+    /// Local segments replayed on top of it.
+    pub segments_replayed: usize,
+    /// WAL records replayed.
+    pub records_replayed: usize,
+    /// The newest local segment ended in a torn record (crash mid-append),
+    /// which was truncated away.
+    pub torn_tail: bool,
+    /// The cursor the replica resumes from.
+    pub cursor: ReplCursor,
+}
+
+/// A read replica: local mirror of a leader's snapshot + WAL pair.
+pub struct Follower {
+    paths: ReplPaths,
+    config: FollowerConfig,
+    db: Database,
+    cursor: ReplCursor,
+    status: Arc<ReplicaStatus>,
+}
+
+impl Follower {
+    /// Recover a follower from its local files (both may be absent on first
+    /// boot: the leader will seed a fresh follower with a snapshot frame).
+    pub fn open(paths: ReplPaths, config: FollowerConfig) -> Result<(Follower, ReplicaRecovery)> {
+        let mut report = ReplicaRecovery::default();
+        let (mut db, meta) = if paths.snapshot.exists() {
+            let loaded = Database::load_with(&paths.snapshot)?;
+            report.snapshot_loaded = true;
+            loaded
+        } else {
+            (Database::new(), SnapshotMeta::default())
+        };
+        let mut cursor = ReplCursor {
+            watermark: meta.wal_replay_from,
+            segment: meta.wal_replay_from,
+            offset: 0,
+        };
+        let segments = list_segments(&paths.wal)?;
+        let newest = segments.last().map(|s| s.0);
+        for (epoch, path) in &segments {
+            if *epoch < meta.wal_replay_from {
+                // Covered by our own snapshot: an interrupted prune. Finish.
+                std::fs::remove_file(path)?;
+                continue;
+            }
+            if *epoch != cursor.segment {
+                return Err(ReplError::Store(StoreError::Corrupt(format!(
+                    "replica log gap: expected segment {:06}, found {}",
+                    cursor.segment,
+                    path.display()
+                ))));
+            }
+            let scan = scan_log(path)?;
+            if scan.torn {
+                if Some(*epoch) != newest {
+                    return Err(ReplError::Store(StoreError::Corrupt(format!(
+                        "replica segment {} has a torn tail but is not the newest",
+                        path.display()
+                    ))));
+                }
+                // Crash mid-append of the newest segment: truncate, exactly
+                // like LoggedDatabase::open does for a torn active log.
+                std::fs::OpenOptions::new()
+                    .write(true)
+                    .open(path)?
+                    .set_len(scan.valid_len)?;
+                report.torn_tail = true;
+            }
+            replay(&mut db, &scan.records)?;
+            report.segments_replayed += 1;
+            report.records_replayed += scan.records.len();
+            cursor.segment = *epoch;
+            cursor.offset = scan.valid_len;
+            if Some(*epoch) != newest {
+                // A newer segment exists, so this one was sealed: the next
+                // replay target starts at its first byte.
+                cursor.segment = *epoch + 1;
+                cursor.offset = 0;
+            }
+        }
+        report.cursor = cursor;
+        let status = Arc::new(ReplicaStatus::default());
+        status.set_applied(cursor);
+        Ok((
+            Follower {
+                paths,
+                config,
+                db,
+                cursor,
+                status,
+            },
+            report,
+        ))
+    }
+
+    /// Read access to the replayed database.
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    /// The cursor everything up to which is applied and on local disk.
+    pub fn cursor(&self) -> ReplCursor {
+        self.cursor
+    }
+
+    /// Shared status for `/healthz` and tests.
+    pub fn status(&self) -> Arc<ReplicaStatus> {
+        Arc::clone(&self.status)
+    }
+
+    /// Follow `addr` until `stop` is set, reconnecting (with backoff) after
+    /// retryable failures. `on_apply` runs after every applied frame that
+    /// changed the database, with the replayed database and the new cursor —
+    /// the serving layer republishes knowledge snapshots from it. Returns
+    /// the first non-retryable error, or `Ok` on a requested stop.
+    pub fn run(
+        &mut self,
+        addr: &str,
+        stop: &AtomicBool,
+        on_apply: &mut dyn FnMut(&Database, ReplCursor),
+    ) -> Result<()> {
+        let mut first = true;
+        while !stop.load(Ordering::SeqCst) {
+            if !first {
+                metrics().reconnects_total.inc();
+                std::thread::sleep(self.config.reconnect_backoff);
+            }
+            first = false;
+            match self.sync_once(addr, stop, on_apply) {
+                Ok(()) => return Ok(()), // clean stop
+                Err(e) if e.is_retryable() => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    /// One connection lifetime: hello with our cursor, then apply frames
+    /// until the peer stalls, disconnects, errors, or `stop` is set.
+    pub fn sync_once(
+        &mut self,
+        addr: &str,
+        stop: &AtomicBool,
+        on_apply: &mut dyn FnMut(&Database, ReplCursor),
+    ) -> Result<()> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(self.config.read_timeout))?;
+        stream.set_write_timeout(Some(self.config.write_timeout))?;
+        stream.set_nodelay(true).ok();
+        let mut stream = stream;
+
+        failpoint::check("repl.follower.before_hello")?;
+        write_frame(
+            &mut stream,
+            &Frame::Hello {
+                cursor: self.cursor,
+            },
+        )?;
+        self.status.connected.store(true, Ordering::Relaxed);
+        let result = self.apply_loop(&mut stream, stop, on_apply);
+        self.status.connected.store(false, Ordering::Relaxed);
+        let _ = stream.shutdown(std::net::Shutdown::Both);
+        result
+    }
+
+    fn apply_loop(
+        &mut self,
+        stream: &mut TcpStream,
+        stop: &AtomicBool,
+        on_apply: &mut dyn FnMut(&Database, ReplCursor),
+    ) -> Result<()> {
+        loop {
+            if stop.load(Ordering::SeqCst) {
+                return Ok(());
+            }
+            let frame = read_frame(stream)?;
+            let changed = self.apply(&frame)?;
+            if frame_needs_ack(&frame) {
+                failpoint::check("repl.follower.before_ack")?;
+                write_frame(
+                    stream,
+                    &Frame::Ack {
+                        cursor: self.cursor,
+                    },
+                )?;
+            }
+            if changed {
+                on_apply(&self.db, self.cursor);
+            }
+        }
+    }
+
+    /// Apply one leader frame. Returns true if the database changed.
+    fn apply(&mut self, frame: &Frame) -> Result<bool> {
+        let m = metrics();
+        match frame {
+            Frame::HelloOk { epoch, watermark } => {
+                let _ = watermark;
+                self.status.set_leader_tip(*epoch, 0);
+                Ok(false)
+            }
+            Frame::Tip { segment, offset } => {
+                self.status.set_leader_tip(*segment, *offset);
+                Ok(false)
+            }
+            Frame::Snapshot { watermark, bytes } => {
+                failpoint::check("repl.follower.install_snapshot")?;
+                let (db, meta) = Database::from_bytes_with(bytes)?;
+                if meta.wal_replay_from != *watermark {
+                    return Err(ReplError::Protocol(format!(
+                        "snapshot watermark mismatch: frame says {}, file says {}",
+                        watermark, meta.wal_replay_from
+                    )));
+                }
+                // Install on disk first (atomically), then drop every local
+                // segment: the stream restarts at (watermark, 0) and stale
+                // files would otherwise be a gap or a divergence later.
+                db.save_with(&self.paths.snapshot, meta)?;
+                for (_, path) in list_segments(&self.paths.wal)? {
+                    std::fs::remove_file(path)?;
+                }
+                self.db = db;
+                self.cursor = ReplCursor {
+                    watermark: *watermark,
+                    segment: *watermark,
+                    offset: 0,
+                };
+                self.status.set_applied(self.cursor);
+                m.snapshots_installed_total.inc();
+                m.frames_applied_total.inc();
+                Ok(true)
+            }
+            Frame::Chunk {
+                segment,
+                offset,
+                bytes,
+            } => {
+                if *segment != self.cursor.segment || *offset != self.cursor.offset {
+                    return Err(ReplError::Protocol(format!(
+                        "chunk for segment {segment} at {offset}, expected {}",
+                        self.cursor
+                    )));
+                }
+                let scan = scan_bytes(bytes)?;
+                if scan.torn || scan.valid_len != bytes.len() as u64 {
+                    return Err(ReplError::Protocol(
+                        "chunk does not end on a record boundary".into(),
+                    ));
+                }
+                failpoint::check("repl.follower.append_chunk")?;
+                let path = segment_path(&self.paths.wal, *segment);
+                let mut file = std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(&path)?;
+                let on_disk = file.metadata()?.len();
+                if on_disk != *offset {
+                    return Err(ReplError::Protocol(format!(
+                        "local segment {} holds {on_disk} bytes, leader resumed at {offset}",
+                        path.display()
+                    )));
+                }
+                std::io::Write::write_all(&mut file, bytes)?;
+                if self.config.sync_each_chunk {
+                    file.sync_data()?;
+                }
+                drop(file);
+                failpoint::check("repl.follower.before_replay")?;
+                replay(&mut self.db, &scan.records)?;
+                self.cursor.offset += bytes.len() as u64;
+                self.status.set_applied(self.cursor);
+                m.records_replayed_total.add(scan.records.len() as u64);
+                self.status
+                    .records_applied
+                    .fetch_add(scan.records.len() as u64, Ordering::Relaxed);
+                m.frames_applied_total.inc();
+                Ok(true)
+            }
+            Frame::Seal { segment } => {
+                if *segment != self.cursor.segment {
+                    return Err(ReplError::Protocol(format!(
+                        "seal for segment {segment}, expected {}",
+                        self.cursor.segment
+                    )));
+                }
+                failpoint::check("repl.follower.before_seal_sync")?;
+                // The segment is final: make our copy durable before
+                // acknowledging (the leader fsynced its own at rotation).
+                // An empty sealed segment may not have a file yet.
+                let path = segment_path(&self.paths.wal, *segment);
+                let file = std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(&path)?;
+                file.sync_all()?;
+                drop(file);
+                // Also create the (empty) next segment, mirroring the fresh
+                // active log the leader's checkpoint leaves behind. It doubles
+                // as a durable seal marker: recovery sees a newer segment and
+                // re-derives exactly this post-seal cursor instead of
+                // re-ending inside the sealed file.
+                let next = segment_path(&self.paths.wal, *segment + 1);
+                std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(&next)?
+                    .sync_all()?;
+                sync_parent_dir(&path)?;
+                self.cursor.segment += 1;
+                self.cursor.offset = 0;
+                self.status.set_applied(self.cursor);
+                m.frames_applied_total.inc();
+                Ok(false)
+            }
+            Frame::Watermark { replay_from } => {
+                if *replay_from > self.cursor.segment {
+                    return Err(ReplError::Protocol(format!(
+                        "watermark {replay_from} ahead of our segment {}",
+                        self.cursor.segment
+                    )));
+                }
+                if *replay_from <= self.cursor.watermark {
+                    return Ok(false); // stale repeat after a reconnect
+                }
+                failpoint::check("repl.follower.before_watermark_save")?;
+                // Our database state at this point folds in everything
+                // below the new watermark, so this is a self-checkpoint:
+                // atomic snapshot, then prune the covered segments.
+                self.db.save_with(
+                    &self.paths.snapshot,
+                    SnapshotMeta {
+                        wal_replay_from: *replay_from,
+                    },
+                )?;
+                failpoint::check("repl.follower.before_watermark_prune")?;
+                for (epoch, path) in list_segments(&self.paths.wal)? {
+                    if epoch < *replay_from {
+                        std::fs::remove_file(path)?;
+                    }
+                }
+                self.cursor.watermark = *replay_from;
+                self.status.set_applied(self.cursor);
+                m.follower_checkpoints_total.inc();
+                m.frames_applied_total.inc();
+                Ok(true)
+            }
+            Frame::Hello { .. } | Frame::Ack { .. } => Err(ReplError::Protocol(format!(
+                "unexpected {} frame from leader",
+                frame.name()
+            ))),
+        }
+    }
+
+    /// Promote this follower into a writable [`LoggedDatabase`] — the
+    /// failover path. The newest local segment (the leader's former active
+    /// epoch) is renamed into place as the active log, then the pair is
+    /// re-opened from disk so the returned handle's state is exactly what a
+    /// post-crash recovery would see; it continues the same epoch sequence
+    /// and starts accepting writes.
+    pub fn promote(
+        self,
+        policy: SyncPolicy,
+        retention: SegmentRetention,
+    ) -> Result<(LoggedDatabase, RecoveryReport)> {
+        let Follower { paths, .. } = self;
+        if paths.wal.exists() {
+            return Err(ReplError::Protocol(format!(
+                "cannot promote: {} already exists (already promoted?)",
+                paths.wal.display()
+            )));
+        }
+        if let Some((_, newest)) = list_segments(&paths.wal)?.into_iter().next_back() {
+            std::fs::rename(&newest, &paths.wal)?;
+            sync_parent_dir(&paths.wal)?;
+        }
+        let (db, report) =
+            LoggedDatabase::open_with_retention(&paths.snapshot, &paths.wal, policy, retention)?;
+        Ok((db, report))
+    }
+}
+
+/// True for leader frames the follower must acknowledge (everything that
+/// advances or persists state; heartbeats and hellos are not acked).
+fn frame_needs_ack(frame: &Frame) -> bool {
+    matches!(
+        frame,
+        Frame::Snapshot { .. } | Frame::Chunk { .. } | Frame::Seal { .. } | Frame::Watermark { .. }
+    )
+}
+
+/// Fsync the directory containing `path` (Unix; no-op elsewhere), so
+/// renames and newly created segment files survive power loss.
+fn sync_parent_dir(path: &std::path::Path) -> Result<()> {
+    #[cfg(unix)]
+    {
+        let parent = match path.parent() {
+            Some(p) if !p.as_os_str().is_empty() => p,
+            _ => std::path::Path::new("."),
+        };
+        std::fs::File::open(parent)?.sync_all()?;
+    }
+    #[cfg(not(unix))]
+    let _ = path;
+    Ok(())
+}

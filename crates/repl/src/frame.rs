@@ -1,0 +1,419 @@
+//! The replication wire protocol: length-prefixed, checksummed frames over
+//! a plain TCP stream (DESIGN.md §13).
+//!
+//! ```text
+//! frame   := len:u32 type:u8 body checksum:u64
+//! len     =  1 + body.len() + 8          (everything after the prefix)
+//! checksum = fnv1a(type ++ body)
+//! ```
+//!
+//! All integers are little-endian, matching the WAL record format. The
+//! checksum makes a damaged frame a [`ReplError::Protocol`] instead of a
+//! silent misreplay; the length prefix is bounded per frame type, so a
+//! corrupted prefix cannot make a reader allocate unbounded memory.
+//!
+//! The conversation is deliberately small:
+//!
+//! * follower → leader: [`Frame::Hello`] once, then [`Frame::Ack`] after
+//!   every applied frame;
+//! * leader → follower: [`Frame::HelloOk`], then any sequence of
+//!   [`Frame::Snapshot`], [`Frame::Chunk`], [`Frame::Seal`],
+//!   [`Frame::Watermark`] and idle [`Frame::Tip`] frames, ordered so that a
+//!   follower that applies them in arrival order is always a prefix of the
+//!   leader's history.
+
+use std::io::{Read, Write};
+
+use bytes::{Buf, BufMut};
+
+use qatk_store::codec::fnv1a;
+use qatk_store::wal::ReplCursor;
+
+use crate::error::{ReplError, Result};
+
+/// Protocol magic carried in every [`Frame::Hello`].
+pub const HELLO_MAGIC: &[u8; 4] = b"QRPL";
+/// Protocol version; a mismatch is a [`ReplError::Protocol`].
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Largest frame body a reader will accept: a snapshot frame carries a whole
+/// database snapshot, everything else is far smaller.
+pub const MAX_FRAME_BODY: usize = 1 << 28; // 256 MiB
+
+const T_HELLO: u8 = 1;
+const T_HELLO_OK: u8 = 2;
+const T_SNAPSHOT: u8 = 3;
+const T_CHUNK: u8 = 4;
+const T_SEAL: u8 = 5;
+const T_WATERMARK: u8 = 6;
+const T_ACK: u8 = 7;
+const T_TIP: u8 = 8;
+
+/// One protocol message. See the module docs for who sends what when.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// Follower introduces itself with the cursor it wants to resume from.
+    Hello { cursor: ReplCursor },
+    /// Leader accepts: its active WAL epoch and snapshot watermark, so the
+    /// follower knows its starting lag.
+    HelloOk { epoch: u64, watermark: u64 },
+    /// A whole database snapshot (the serialized snapshot file) with its
+    /// watermark. Sent when the follower's cursor precedes what the leader
+    /// still has on disk; the follower replaces its state and resumes at
+    /// `(watermark, watermark, 0)`.
+    Snapshot { watermark: u64, bytes: Vec<u8> },
+    /// A run of whole WAL records from `segment` starting at byte `offset`.
+    Chunk {
+        segment: u64,
+        offset: u64,
+        bytes: Vec<u8>,
+    },
+    /// `segment` is sealed on the leader: no more chunks for it will ever
+    /// be sent; the follower syncs its copy and advances to `segment + 1`.
+    Seal { segment: u64 },
+    /// The leader's snapshot now covers every epoch below `replay_from`;
+    /// the follower may checkpoint itself and prune older segments.
+    Watermark { replay_from: u64 },
+    /// Follower acknowledgement: everything up to `cursor` is applied and
+    /// on local disk.
+    Ack { cursor: ReplCursor },
+    /// Leader heartbeat while idle: its current end-of-log position, for
+    /// follower-side lag accounting.
+    Tip { segment: u64, offset: u64 },
+}
+
+impl Frame {
+    /// Short name for logs and metrics.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Frame::Hello { .. } => "hello",
+            Frame::HelloOk { .. } => "hello_ok",
+            Frame::Snapshot { .. } => "snapshot",
+            Frame::Chunk { .. } => "chunk",
+            Frame::Seal { .. } => "seal",
+            Frame::Watermark { .. } => "watermark",
+            Frame::Ack { .. } => "ack",
+            Frame::Tip { .. } => "tip",
+        }
+    }
+
+    fn type_byte(&self) -> u8 {
+        match self {
+            Frame::Hello { .. } => T_HELLO,
+            Frame::HelloOk { .. } => T_HELLO_OK,
+            Frame::Snapshot { .. } => T_SNAPSHOT,
+            Frame::Chunk { .. } => T_CHUNK,
+            Frame::Seal { .. } => T_SEAL,
+            Frame::Watermark { .. } => T_WATERMARK,
+            Frame::Ack { .. } => T_ACK,
+            Frame::Tip { .. } => T_TIP,
+        }
+    }
+
+    fn encode_body(&self, out: &mut Vec<u8>) {
+        match self {
+            Frame::Hello { cursor } => {
+                out.put_slice(HELLO_MAGIC);
+                out.put_u32_le(PROTOCOL_VERSION);
+                put_cursor(out, cursor);
+            }
+            Frame::HelloOk { epoch, watermark } => {
+                out.put_u64_le(*epoch);
+                out.put_u64_le(*watermark);
+            }
+            Frame::Snapshot { watermark, bytes } => {
+                out.put_u64_le(*watermark);
+                out.put_slice(bytes);
+            }
+            Frame::Chunk {
+                segment,
+                offset,
+                bytes,
+            } => {
+                out.put_u64_le(*segment);
+                out.put_u64_le(*offset);
+                out.put_slice(bytes);
+            }
+            Frame::Seal { segment } => out.put_u64_le(*segment),
+            Frame::Watermark { replay_from } => out.put_u64_le(*replay_from),
+            Frame::Ack { cursor } => put_cursor(out, cursor),
+            Frame::Tip { segment, offset } => {
+                out.put_u64_le(*segment);
+                out.put_u64_le(*offset);
+            }
+        }
+    }
+
+    fn decode(type_byte: u8, mut body: &[u8]) -> Result<Frame> {
+        let buf = &mut body;
+        let frame = match type_byte {
+            T_HELLO => {
+                let mut magic = [0u8; 4];
+                take(buf, &mut magic)?;
+                if &magic != HELLO_MAGIC {
+                    return Err(ReplError::Protocol(format!(
+                        "bad hello magic {magic:02x?} (not a replication peer?)"
+                    )));
+                }
+                let version = get_u32(buf)?;
+                if version != PROTOCOL_VERSION {
+                    return Err(ReplError::Protocol(format!(
+                        "protocol version {version} (expected {PROTOCOL_VERSION})"
+                    )));
+                }
+                Frame::Hello {
+                    cursor: get_cursor(buf)?,
+                }
+            }
+            T_HELLO_OK => Frame::HelloOk {
+                epoch: get_u64(buf)?,
+                watermark: get_u64(buf)?,
+            },
+            T_SNAPSHOT => Frame::Snapshot {
+                watermark: get_u64(buf)?,
+                bytes: buf.to_vec(),
+            },
+            T_CHUNK => Frame::Chunk {
+                segment: get_u64(buf)?,
+                offset: get_u64(buf)?,
+                bytes: buf.to_vec(),
+            },
+            T_SEAL => Frame::Seal {
+                segment: get_u64(buf)?,
+            },
+            T_WATERMARK => Frame::Watermark {
+                replay_from: get_u64(buf)?,
+            },
+            T_ACK => Frame::Ack {
+                cursor: get_cursor(buf)?,
+            },
+            T_TIP => Frame::Tip {
+                segment: get_u64(buf)?,
+                offset: get_u64(buf)?,
+            },
+            other => {
+                return Err(ReplError::Protocol(format!("unknown frame type {other}")));
+            }
+        };
+        // Variable-length frames consumed the remainder above.
+        if matches!(
+            type_byte,
+            T_HELLO | T_HELLO_OK | T_SEAL | T_WATERMARK | T_ACK | T_TIP
+        ) && buf.has_remaining()
+        {
+            return Err(ReplError::Protocol(format!(
+                "{} trailing bytes after frame body",
+                buf.remaining()
+            )));
+        }
+        Ok(frame)
+    }
+}
+
+fn put_cursor(out: &mut Vec<u8>, c: &ReplCursor) {
+    out.put_u64_le(c.watermark);
+    out.put_u64_le(c.segment);
+    out.put_u64_le(c.offset);
+}
+
+fn get_cursor(buf: &mut &[u8]) -> Result<ReplCursor> {
+    Ok(ReplCursor {
+        watermark: get_u64(buf)?,
+        segment: get_u64(buf)?,
+        offset: get_u64(buf)?,
+    })
+}
+
+fn get_u32(buf: &mut &[u8]) -> Result<u32> {
+    if buf.remaining() < 4 {
+        return Err(ReplError::Protocol("truncated frame body".into()));
+    }
+    Ok(buf.get_u32_le())
+}
+
+fn get_u64(buf: &mut &[u8]) -> Result<u64> {
+    if buf.remaining() < 8 {
+        return Err(ReplError::Protocol("truncated frame body".into()));
+    }
+    Ok(buf.get_u64_le())
+}
+
+fn take(buf: &mut &[u8], out: &mut [u8]) -> Result<()> {
+    if buf.remaining() < out.len() {
+        return Err(ReplError::Protocol("truncated frame body".into()));
+    }
+    out.copy_from_slice(&buf[..out.len()]);
+    buf.advance(out.len());
+    Ok(())
+}
+
+/// Serialize one frame into wire bytes.
+pub fn encode_frame(frame: &Frame) -> Vec<u8> {
+    let mut body = Vec::with_capacity(64);
+    body.push(frame.type_byte());
+    frame.encode_body(&mut body);
+    let mut out = Vec::with_capacity(body.len() + 12);
+    out.put_u32_le((body.len() + 8) as u32);
+    out.put_slice(&body);
+    out.put_u64_le(fnv1a(&body));
+    out
+}
+
+/// Write one frame and flush it to the peer.
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> Result<()> {
+    w.write_all(&encode_frame(frame))?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read one frame, blocking up to the stream's read timeout. A stalled peer
+/// surfaces as [`ReplError::Timeout`], a closed one as
+/// [`ReplError::Disconnected`].
+pub fn read_frame(r: &mut impl Read) -> Result<Frame> {
+    let mut prefix = [0u8; 4];
+    read_exact(r, &mut prefix)?;
+    let len = u32::from_le_bytes(prefix) as usize;
+    if len < 1 + 8 {
+        return Err(ReplError::Protocol(format!("frame length {len} too small")));
+    }
+    if len > MAX_FRAME_BODY + 1 + 8 {
+        return Err(ReplError::Protocol(format!(
+            "frame length {len} exceeds the {MAX_FRAME_BODY}-byte body limit"
+        )));
+    }
+    let mut payload = vec![0u8; len];
+    read_exact(r, &mut payload)?;
+    let (body, checksum_bytes) = payload.split_at(len - 8);
+    let stored = u64::from_le_bytes(checksum_bytes.try_into().expect("8 checksum bytes"));
+    if stored != fnv1a(body) {
+        return Err(ReplError::Protocol("frame checksum mismatch".into()));
+    }
+    Frame::decode(body[0], &body[1..])
+}
+
+/// `read_exact` with the replication error mapping. A clean EOF on the very
+/// first byte and a mid-frame EOF both mean the peer went away.
+fn read_exact(r: &mut impl Read, buf: &mut [u8]) -> Result<()> {
+    r.read_exact(buf).map_err(|e| match e.kind() {
+        std::io::ErrorKind::UnexpectedEof => ReplError::Disconnected,
+        _ => ReplError::from(e),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(frame: Frame) {
+        let bytes = encode_frame(&frame);
+        let got = read_frame(&mut bytes.as_slice()).unwrap();
+        assert_eq!(got, frame);
+    }
+
+    #[test]
+    fn all_frames_roundtrip() {
+        let cursor = ReplCursor {
+            watermark: 3,
+            segment: 5,
+            offset: 4096,
+        };
+        roundtrip(Frame::Hello { cursor });
+        roundtrip(Frame::HelloOk {
+            epoch: 9,
+            watermark: 7,
+        });
+        roundtrip(Frame::Snapshot {
+            watermark: 2,
+            bytes: vec![1, 2, 3, 4, 5],
+        });
+        roundtrip(Frame::Chunk {
+            segment: 4,
+            offset: 128,
+            bytes: vec![0; 1000],
+        });
+        roundtrip(Frame::Seal { segment: 4 });
+        roundtrip(Frame::Watermark { replay_from: 5 });
+        roundtrip(Frame::Ack { cursor });
+        roundtrip(Frame::Tip {
+            segment: 6,
+            offset: 0,
+        });
+    }
+
+    #[test]
+    fn empty_payloads_roundtrip() {
+        roundtrip(Frame::Snapshot {
+            watermark: 0,
+            bytes: vec![],
+        });
+        roundtrip(Frame::Chunk {
+            segment: 0,
+            offset: 0,
+            bytes: vec![],
+        });
+    }
+
+    #[test]
+    fn corrupted_checksum_is_a_protocol_error() {
+        let mut bytes = encode_frame(&Frame::Seal { segment: 1 });
+        let n = bytes.len();
+        bytes[n - 1] ^= 0xff;
+        assert!(matches!(
+            read_frame(&mut bytes.as_slice()),
+            Err(ReplError::Protocol(_))
+        ));
+    }
+
+    #[test]
+    fn flipped_type_byte_fails_checksum_not_decode() {
+        let mut bytes = encode_frame(&Frame::Seal { segment: 1 });
+        bytes[4] = 99; // type byte is covered by the checksum
+        assert!(matches!(
+            read_frame(&mut bytes.as_slice()),
+            Err(ReplError::Protocol(ref m)) if m.contains("checksum")
+        ));
+    }
+
+    #[test]
+    fn wrong_magic_and_version_rejected() {
+        let cursor = ReplCursor::default();
+        let mut ok = Vec::new();
+        Frame::Hello { cursor }.encode_body(&mut ok);
+        // wrong magic
+        let mut body = ok.clone();
+        body[0] = b'X';
+        assert!(matches!(
+            Frame::decode(T_HELLO, &body),
+            Err(ReplError::Protocol(ref m)) if m.contains("magic")
+        ));
+        // wrong version
+        let mut body = ok.clone();
+        body[4] = 0xEE;
+        assert!(matches!(
+            Frame::decode(T_HELLO, &body),
+            Err(ReplError::Protocol(ref m)) if m.contains("version")
+        ));
+    }
+
+    #[test]
+    fn truncated_stream_is_a_disconnect() {
+        let bytes = encode_frame(&Frame::Tip {
+            segment: 1,
+            offset: 2,
+        });
+        for cut in [0, 2, 6, bytes.len() - 1] {
+            let err = read_frame(&mut &bytes[..cut]).unwrap_err();
+            assert!(matches!(err, ReplError::Disconnected), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_rejected_without_allocating() {
+        let mut bytes = vec![0u8; 12];
+        bytes[..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut bytes.as_slice()),
+            Err(ReplError::Protocol(ref m)) if m.contains("exceeds")
+        ));
+    }
+}

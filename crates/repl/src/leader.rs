@@ -1,0 +1,520 @@
+//! Leader side: accept follower connections and stream WAL history.
+//!
+//! The leader is a pure *file watcher*: it derives the replication layout —
+//! snapshot watermark, sealed segments, active epoch — from the same on-disk
+//! state `LoggedDatabase::open` recovers from, using the same epoch formula.
+//! It therefore needs no channel to the writing process beyond sharing a
+//! filesystem, and keeps working across the writer's checkpoints (an active
+//! log sealed mid-read is simply picked up under its sealed name on the next
+//! poll).
+//!
+//! Each accepted connection gets two threads: a session thread that streams
+//! frames ordered so the follower is always a prefix of the leader's
+//! history, and an ack-reader thread that records the follower's applied
+//! cursor for lag accounting. The session resumes exactly where the
+//! follower's `Hello` cursor says; a follower that has fallen behind segment
+//! retention is re-seeded with a full snapshot frame.
+
+use std::collections::{BTreeMap, HashMap};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Duration;
+
+use qatk_store::failpoint;
+use qatk_store::persist::SnapshotMeta;
+use qatk_store::wal::{list_segments, read_segment_chunk, segment_path, ReplCursor};
+
+use crate::error::{ReplError, Result};
+use crate::frame::{read_frame, write_frame, Frame};
+use crate::metrics::metrics;
+use crate::ReplPaths;
+
+/// Tunables for the leader. The defaults suit tests and small deployments;
+/// production raises `chunk_bytes` and `poll_interval` together.
+#[derive(Debug, Clone)]
+pub struct LeaderConfig {
+    /// How long a session sleeps when the follower is fully caught up.
+    pub poll_interval: Duration,
+    /// Upper bound on the WAL bytes carried by one chunk frame.
+    pub chunk_bytes: usize,
+    /// Socket read timeout for the hello frame and the ack reader.
+    pub read_timeout: Duration,
+    /// Socket write timeout for outbound frames.
+    pub write_timeout: Duration,
+}
+
+impl Default for LeaderConfig {
+    fn default() -> Self {
+        LeaderConfig {
+            poll_interval: Duration::from_millis(20),
+            chunk_bytes: 256 * 1024,
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Live replication state, shared with whoever renders `/healthz`.
+#[derive(Debug, Default)]
+pub struct LeaderStatus {
+    followers: AtomicUsize,
+    sessions_started: AtomicU64,
+    tip_segment: AtomicU64,
+    tip_offset: AtomicU64,
+    acked: Mutex<HashMap<u64, ReplCursor>>,
+}
+
+impl LeaderStatus {
+    /// Followers currently connected.
+    pub fn followers(&self) -> usize {
+        self.followers.load(Ordering::Relaxed)
+    }
+
+    /// Sessions accepted since start.
+    pub fn sessions_started(&self) -> u64 {
+        self.sessions_started.load(Ordering::Relaxed)
+    }
+
+    /// The leader's end-of-log position `(segment, offset)` as of the last
+    /// session poll.
+    pub fn tip(&self) -> (u64, u64) {
+        (
+            self.tip_segment.load(Ordering::Relaxed),
+            self.tip_offset.load(Ordering::Relaxed),
+        )
+    }
+
+    /// The least-advanced cursor any connected follower has acknowledged
+    /// (`None` with no followers connected).
+    pub fn min_acked(&self) -> Option<ReplCursor> {
+        let acked = self.acked.lock().unwrap_or_else(PoisonError::into_inner);
+        acked
+            .values()
+            .copied()
+            .min_by_key(|c| (c.segment, c.offset))
+    }
+
+    fn record_ack(&self, session: u64, cursor: ReplCursor) {
+        self.acked
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(session, cursor);
+    }
+
+    fn drop_session(&self, session: u64) {
+        self.acked
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .remove(&session);
+    }
+}
+
+/// What the leader sees on disk: the watermark, every sealed segment, and
+/// the epoch the active log is running under (`LoggedDatabase::open`'s
+/// formula, so the two always agree).
+struct Layout {
+    watermark: u64,
+    segments: BTreeMap<u64, PathBuf>,
+    active_epoch: u64,
+}
+
+fn read_layout(paths: &ReplPaths) -> Result<Layout> {
+    let watermark = if paths.snapshot.exists() {
+        SnapshotMeta::peek(&paths.snapshot)?.wal_replay_from
+    } else {
+        0
+    };
+    let segments: BTreeMap<u64, PathBuf> = list_segments(&paths.wal)?.into_iter().collect();
+    let active_epoch = match segments.keys().next_back() {
+        Some(&max) => (max + 1).max(watermark),
+        None => watermark,
+    };
+    Ok(Layout {
+        watermark,
+        segments,
+        active_epoch,
+    })
+}
+
+fn file_len(path: &std::path::Path) -> u64 {
+    std::fs::metadata(path).map(|m| m.len()).unwrap_or(0)
+}
+
+/// A running replication leader: an accept loop plus one session per
+/// follower. Dropping the handle does *not* stop the threads; call
+/// [`Leader::shutdown`].
+pub struct Leader {
+    local_addr: SocketAddr,
+    status: Arc<LeaderStatus>,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+    sessions: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+}
+
+impl Leader {
+    /// Bind a replication listener over the store files at `paths` and
+    /// start accepting followers.
+    pub fn bind(addr: &str, paths: ReplPaths, config: LeaderConfig) -> Result<Leader> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let status = Arc::new(LeaderStatus::default());
+        let stop = Arc::new(AtomicBool::new(false));
+        let sessions: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> =
+            Arc::new(Mutex::new(Vec::new()));
+
+        let accept_thread = {
+            let status = Arc::clone(&status);
+            let stop = Arc::clone(&stop);
+            let sessions = Arc::clone(&sessions);
+            std::thread::Builder::new()
+                .name("repl-accept".into())
+                .spawn(move || {
+                    accept_loop(listener, paths, config, status, stop, sessions);
+                })
+                .map_err(|e| ReplError::Io(e.to_string()))?
+        };
+
+        Ok(Leader {
+            local_addr,
+            status,
+            stop,
+            accept_thread: Some(accept_thread),
+            sessions,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Shared status for `/healthz` and tests.
+    pub fn status(&self) -> Arc<LeaderStatus> {
+        Arc::clone(&self.status)
+    }
+
+    /// Stop accepting, close every session, join all threads.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        let handles: Vec<_> = self
+            .sessions
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .drain(..)
+            .collect();
+        for t in handles {
+            let _ = t.join();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    paths: ReplPaths,
+    config: LeaderConfig,
+    status: Arc<LeaderStatus>,
+    stop: Arc<AtomicBool>,
+    sessions: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let session = status.sessions_started.fetch_add(1, Ordering::Relaxed);
+                metrics().sessions_total.inc();
+                let paths = paths.clone();
+                let config = config.clone();
+                let status2 = Arc::clone(&status);
+                let stop2 = Arc::clone(&stop);
+                let handle = std::thread::Builder::new()
+                    .name(format!("repl-session-{session}"))
+                    .spawn(move || {
+                        status2.followers.fetch_add(1, Ordering::Relaxed);
+                        metrics().followers.add(1);
+                        let _ = run_session(stream, &paths, &config, &status2, &stop2, session);
+                        status2.followers.fetch_sub(1, Ordering::Relaxed);
+                        metrics().followers.add(-1);
+                        status2.drop_session(session);
+                    });
+                if let Ok(handle) = handle {
+                    sessions
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .push(handle);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+/// Stream history to one follower until it disconnects, an error occurs, or
+/// the leader shuts down.
+fn run_session(
+    mut stream: TcpStream,
+    paths: &ReplPaths,
+    config: &LeaderConfig,
+    status: &LeaderStatus,
+    stop: &AtomicBool,
+    session: u64,
+) -> Result<()> {
+    let m = metrics();
+    stream.set_read_timeout(Some(config.read_timeout))?;
+    stream.set_write_timeout(Some(config.write_timeout))?;
+    stream.set_nodelay(true).ok();
+
+    let Frame::Hello { mut cursor } = read_frame(&mut stream)? else {
+        return Err(ReplError::Protocol("expected hello frame".into()));
+    };
+    let _ = m;
+
+    // The ack reader owns the read half and parks the newest acked cursor
+    // in a shared slot the session polls; shutting the socket down on exit
+    // unblocks its read.
+    let acks_done = Arc::new(AtomicBool::new(false));
+    let acked_slot = Arc::new(Mutex::new(None::<ReplCursor>));
+    let reader_handle = {
+        let acks_done = Arc::clone(&acks_done);
+        let slot = Arc::clone(&acked_slot);
+        let mut reader = stream.try_clone()?;
+        std::thread::Builder::new()
+            .name(format!("repl-acks-{session}"))
+            .spawn(move || loop {
+                match read_frame(&mut reader) {
+                    Ok(Frame::Ack { cursor }) => {
+                        metrics().acks_total.inc();
+                        *slot.lock().unwrap_or_else(PoisonError::into_inner) = Some(cursor);
+                    }
+                    Ok(_) => {} // ignore anything else a follower might send
+                    Err(ReplError::Timeout) => {
+                        if acks_done.load(Ordering::SeqCst) {
+                            break;
+                        }
+                    }
+                    Err(_) => break,
+                }
+            })
+            .map_err(|e| ReplError::Io(e.to_string()))?
+    };
+
+    let result = stream_to_follower(
+        &mut stream,
+        paths,
+        config,
+        status,
+        stop,
+        session,
+        &mut cursor,
+        &acked_slot,
+    );
+
+    acks_done.store(true, Ordering::SeqCst);
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+    let _ = reader_handle.join();
+    result
+}
+
+#[allow(clippy::too_many_arguments)]
+fn stream_to_follower(
+    stream: &mut TcpStream,
+    paths: &ReplPaths,
+    config: &LeaderConfig,
+    status: &LeaderStatus,
+    stop: &AtomicBool,
+    session: u64,
+    cursor: &mut ReplCursor,
+    acked_slot: &Mutex<Option<ReplCursor>>,
+) -> Result<()> {
+    let m = metrics();
+    let mut sent_watermark: Option<u64> = None;
+    let mut said_hello = false;
+    let mut seeded = false;
+
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        if let Some(acked) = acked_slot
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take()
+        {
+            status.record_ack(session, acked);
+        }
+
+        let layout = read_layout(paths)?;
+        let tip_offset = file_len(&paths.wal);
+        status
+            .tip_segment
+            .store(layout.active_epoch, Ordering::Relaxed);
+        status.tip_offset.store(tip_offset, Ordering::Relaxed);
+
+        if !said_hello {
+            failpoint::check("repl.leader.before_hello_ok")?;
+            write_frame(
+                stream,
+                &Frame::HelloOk {
+                    epoch: layout.active_epoch,
+                    watermark: layout.watermark,
+                },
+            )?;
+            m.frames_sent_total.inc();
+            said_hello = true;
+            sent_watermark = Some(cursor.watermark);
+        }
+
+        // Can the follower's next segment still be served from the log? It
+        // must exist on disk (or be the active epoch), and so must every
+        // segment between it and the tip. Otherwise: re-seed with a full
+        // snapshot. A fresh follower (zero cursor) is also seeded from the
+        // snapshot whenever one exists, because DDL is not WAL-logged.
+        let fresh = *cursor == ReplCursor::default() && !seeded;
+        let resumable = (cursor.segment..layout.active_epoch)
+            .all(|e| layout.segments.contains_key(&e))
+            && cursor.segment <= layout.active_epoch
+            && !(fresh && paths.snapshot.exists());
+        let target_len = if cursor.segment == layout.active_epoch {
+            tip_offset
+        } else {
+            layout
+                .segments
+                .get(&cursor.segment)
+                .map(|p| file_len(p))
+                .unwrap_or(0)
+        };
+        if !resumable || cursor.offset > target_len {
+            if !paths.snapshot.exists() {
+                return Err(ReplError::Protocol(format!(
+                    "cannot serve cursor {cursor}: segments are gone and no snapshot exists"
+                )));
+            }
+            failpoint::check("repl.leader.before_snapshot")?;
+            let bytes = std::fs::read(&paths.snapshot)?;
+            let watermark = layout.watermark;
+            write_frame(stream, &Frame::Snapshot { watermark, bytes })?;
+            m.frames_sent_total.inc();
+            m.snapshots_shipped_total.inc();
+            *cursor = ReplCursor {
+                watermark,
+                segment: watermark,
+                offset: 0,
+            };
+            sent_watermark = Some(watermark);
+            seeded = true;
+            continue;
+        }
+
+        // Watermark advance: only after every covered segment has been
+        // fully streamed (cursor at or past the watermark), so the follower
+        // can fold them into its own snapshot the moment it hears this.
+        if layout.watermark > sent_watermark.unwrap_or(0) && cursor.segment >= layout.watermark {
+            failpoint::check("repl.leader.before_watermark")?;
+            write_frame(
+                stream,
+                &Frame::Watermark {
+                    replay_from: layout.watermark,
+                },
+            )?;
+            m.frames_sent_total.inc();
+            sent_watermark = Some(layout.watermark);
+            cursor.watermark = layout.watermark;
+            continue;
+        }
+
+        if cursor.segment < layout.active_epoch {
+            // A sealed segment: its content is final. Stream the rest, then
+            // announce the seal.
+            let path = &layout.segments[&cursor.segment];
+            let chunk = read_segment_chunk(path, cursor.offset, config.chunk_bytes)?;
+            if chunk.bytes.is_empty() {
+                failpoint::check("repl.leader.before_seal")?;
+                write_frame(
+                    stream,
+                    &Frame::Seal {
+                        segment: cursor.segment,
+                    },
+                )?;
+                m.frames_sent_total.inc();
+                m.seals_sent_total.inc();
+                cursor.segment += 1;
+                cursor.offset = 0;
+            } else {
+                failpoint::check("repl.leader.before_chunk")?;
+                let n = chunk.bytes.len() as u64;
+                write_frame(
+                    stream,
+                    &Frame::Chunk {
+                        segment: cursor.segment,
+                        offset: cursor.offset,
+                        bytes: chunk.bytes,
+                    },
+                )?;
+                m.frames_sent_total.inc();
+                m.bytes_shipped_total.add(n);
+                cursor.offset = chunk.end_offset;
+            }
+            continue;
+        }
+
+        // The active log. Read first, then re-list: if our epoch got sealed
+        // while we read, the bytes may belong to a newer epoch — discard
+        // and let the next iteration stream from the sealed file.
+        let chunk = if paths.wal.exists() {
+            match read_segment_chunk(&paths.wal, cursor.offset, config.chunk_bytes) {
+                Ok(c) => c,
+                Err(qatk_store::error::StoreError::Io(_)) => {
+                    // Most likely renamed under us by a checkpoint; the next
+                    // iteration re-derives the layout. The sleep keeps a
+                    // persistent I/O failure from spinning hot.
+                    std::thread::sleep(config.poll_interval);
+                    continue;
+                }
+                Err(e) => return Err(e.into()),
+            }
+        } else {
+            qatk_store::wal::SegmentChunk {
+                bytes: Vec::new(),
+                end_offset: cursor.offset,
+            }
+        };
+        if segment_path(&paths.wal, cursor.segment).exists() {
+            continue; // sealed mid-read; re-derive the layout
+        }
+        if !chunk.bytes.is_empty() {
+            failpoint::check("repl.leader.before_chunk")?;
+            let n = chunk.bytes.len() as u64;
+            write_frame(
+                stream,
+                &Frame::Chunk {
+                    segment: cursor.segment,
+                    offset: cursor.offset,
+                    bytes: chunk.bytes,
+                },
+            )?;
+            m.frames_sent_total.inc();
+            m.bytes_shipped_total.add(n);
+            cursor.offset = chunk.end_offset;
+            continue;
+        }
+
+        // Fully caught up: heartbeat and doze.
+        failpoint::check("repl.leader.before_tip")?;
+        write_frame(
+            stream,
+            &Frame::Tip {
+                segment: layout.active_epoch,
+                offset: tip_offset,
+            },
+        )?;
+        m.frames_sent_total.inc();
+        std::thread::sleep(config.poll_interval);
+    }
+}

@@ -1,0 +1,63 @@
+//! # qatk-repl — WAL-shipping replication for the QATK store
+//!
+//! The ROADMAP's north star is heavy read traffic against one knowledge
+//! base. A single process cannot serve it, but PR 4's durability artifacts —
+//! epoch-numbered sealed WAL segments and snapshot watermarks — are exactly
+//! what a read replica needs. This crate turns them into horizontal
+//! scale-out and failover (DESIGN.md §13):
+//!
+//! * a [`leader::Leader`] accepts follower connections on a plain
+//!   `std::net` listener and streams snapshot bytes, WAL chunks, segment
+//!   seals and watermark advances as length-prefixed [`frame::Frame`]s,
+//!   resuming each follower from the `(watermark, segment, offset)`
+//!   [`qatk_store::wal::ReplCursor`] it reports;
+//! * a [`follower::Follower`] mirrors the leader's segment files
+//!   byte-for-byte on its own disk, replays every record into its own
+//!   in-memory [`qatk_store::db::Database`], checkpoints itself when the
+//!   leader's watermark advances, and can be
+//!   [promoted](follower::Follower::promote) into a writable
+//!   [`qatk_store::wal::LoggedDatabase`] that continues the same log.
+//!
+//! Because the follower stores *the leader's bytes* (only whole,
+//! checksum-verified records are ever appended), its recovered state after
+//! any crash is a prefix of the leader's history — the crash-convergence
+//! harness in the workspace tests asserts this byte-for-byte through
+//! `Database::canonical_bytes` at every protocol step.
+
+pub mod error;
+pub mod follower;
+pub mod frame;
+pub mod leader;
+pub mod metrics;
+
+use std::path::PathBuf;
+
+/// The on-disk pair replication operates on: a snapshot file and the active
+/// WAL path (sealed segments sit next to the latter, suffixed `.<epoch:06>`).
+/// The leader reads this layout; a follower writes its own mirror of it.
+#[derive(Debug, Clone)]
+pub struct ReplPaths {
+    pub snapshot: PathBuf,
+    pub wal: PathBuf,
+}
+
+impl ReplPaths {
+    pub fn new(snapshot: impl Into<PathBuf>, wal: impl Into<PathBuf>) -> Self {
+        ReplPaths {
+            snapshot: snapshot.into(),
+            wal: wal.into(),
+        }
+    }
+}
+
+/// Convenient glob-import surface.
+pub mod prelude {
+    pub use crate::error::{ReplError, Result as ReplResult};
+    pub use crate::follower::{Follower, FollowerConfig, ReplicaRecovery, ReplicaStatus};
+    pub use crate::frame::{read_frame, write_frame, Frame};
+    pub use crate::leader::{Leader, LeaderConfig, LeaderStatus};
+    pub use crate::ReplPaths;
+    pub use qatk_store::wal::ReplCursor;
+}
+
+pub use prelude::*;

@@ -1,0 +1,90 @@
+//! Replication metrics, registered under the `qatk_repl_*` prefix.
+
+use std::sync::OnceLock;
+
+use qatk_obs::{Counter, Gauge, Registry};
+
+/// Handles to every `qatk_repl_*` metric. Leader- and follower-side metrics
+/// share the registry; a process that is only one of the two simply leaves
+/// the other family at zero.
+pub struct ReplMetrics {
+    /// Follower connections accepted by the leader.
+    pub sessions_total: &'static Counter,
+    /// Followers currently connected to the leader.
+    pub followers: &'static Gauge,
+    /// Frames the leader sent (all types).
+    pub frames_sent_total: &'static Counter,
+    /// WAL bytes the leader shipped inside chunk frames.
+    pub bytes_shipped_total: &'static Counter,
+    /// Full snapshots the leader shipped to catch followers up.
+    pub snapshots_shipped_total: &'static Counter,
+    /// Segment seals the leader announced.
+    pub seals_sent_total: &'static Counter,
+    /// Acks the leader received from followers.
+    pub acks_total: &'static Counter,
+
+    /// Frames the follower applied (chunks, seals, watermarks, snapshots).
+    pub frames_applied_total: &'static Counter,
+    /// WAL records the follower replayed into its database.
+    pub records_replayed_total: &'static Counter,
+    /// Snapshots the follower installed.
+    pub snapshots_installed_total: &'static Counter,
+    /// Follower checkpoints taken on watermark advance.
+    pub follower_checkpoints_total: &'static Counter,
+    /// Reconnect attempts by the follower.
+    pub reconnects_total: &'static Counter,
+    /// Bytes between the leader tip and the follower's applied cursor, from
+    /// the latest tip frame (same segment only; -1 while unknown).
+    pub lag_bytes: &'static Gauge,
+    /// Segments between the leader tip and the follower's applied cursor.
+    pub lag_segments: &'static Gauge,
+}
+
+/// The replication metric handles (registered on first use).
+pub fn metrics() -> &'static ReplMetrics {
+    static M: OnceLock<ReplMetrics> = OnceLock::new();
+    M.get_or_init(|| {
+        let r = Registry::global();
+        ReplMetrics {
+            sessions_total: r.counter(
+                "qatk_repl_sessions_total",
+                "follower connections accepted by the leader",
+            ),
+            followers: r.gauge("qatk_repl_followers", "followers currently connected"),
+            frames_sent_total: r.counter("qatk_repl_frames_sent_total", "frames sent by leader"),
+            bytes_shipped_total: r.counter(
+                "qatk_repl_bytes_shipped_total",
+                "WAL bytes shipped in chunk frames",
+            ),
+            snapshots_shipped_total: r.counter(
+                "qatk_repl_snapshots_shipped_total",
+                "full snapshots shipped to followers",
+            ),
+            seals_sent_total: r.counter("qatk_repl_seals_sent_total", "segment seals announced"),
+            acks_total: r.counter("qatk_repl_acks_total", "acks received from followers"),
+            frames_applied_total: r.counter(
+                "qatk_repl_frames_applied_total",
+                "frames applied by the follower",
+            ),
+            records_replayed_total: r.counter(
+                "qatk_repl_records_replayed_total",
+                "WAL records replayed by the follower",
+            ),
+            snapshots_installed_total: r.counter(
+                "qatk_repl_snapshots_installed_total",
+                "snapshots installed by the follower",
+            ),
+            follower_checkpoints_total: r.counter(
+                "qatk_repl_follower_checkpoints_total",
+                "follower checkpoints on watermark advance",
+            ),
+            reconnects_total: r
+                .counter("qatk_repl_reconnects_total", "follower reconnect attempts"),
+            lag_bytes: r.gauge(
+                "qatk_repl_lag_bytes",
+                "bytes behind the leader tip (same segment; -1 unknown)",
+            ),
+            lag_segments: r.gauge("qatk_repl_lag_segments", "segments behind the leader tip"),
+        }
+    })
+}

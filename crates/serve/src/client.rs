@@ -43,6 +43,23 @@ pub struct HttpClient {
     stream: TcpStream,
     /// Bytes read past the previous response (keep-alive leftovers).
     buf: Vec<u8>,
+    /// The configured socket timeout, echoed in stall diagnostics.
+    timeout: Duration,
+}
+
+/// An expired socket timeout surfaces as `WouldBlock` on Unix and `TimedOut`
+/// on Windows. Normalize both to one typed `TimedOut` error — the same
+/// mapping the server's read loop applies — so callers can match a stalled
+/// peer on `ErrorKind::TimedOut` portably instead of treating it as a
+/// generic I/O failure.
+fn normalize_timeout(e: std::io::Error, timeout: Duration) -> std::io::Error {
+    match e.kind() {
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => std::io::Error::new(
+            std::io::ErrorKind::TimedOut,
+            format!("socket stalled: no bytes within the {timeout:?} timeout"),
+        ),
+        _ => e,
+    }
 }
 
 impl HttpClient {
@@ -59,6 +76,7 @@ impl HttpClient {
         Ok(HttpClient {
             stream,
             buf: Vec::new(),
+            timeout,
         })
     }
 
@@ -90,8 +108,10 @@ impl HttpClient {
 
     /// Write raw bytes without framing — protocol tests build their own.
     pub fn send_raw(&mut self, bytes: &[u8]) -> std::io::Result<()> {
-        self.stream.write_all(bytes)?;
-        self.stream.flush()
+        self.stream
+            .write_all(bytes)
+            .and_then(|()| self.stream.flush())
+            .map_err(|e| normalize_timeout(e, self.timeout))
     }
 
     /// Read and parse one response, honouring `Content-Length` and keeping
@@ -155,7 +175,10 @@ impl HttpClient {
 
     fn fill(&mut self) -> std::io::Result<()> {
         let mut chunk = [0u8; 8 * 1024];
-        let n = self.stream.read(&mut chunk)?;
+        let n = self
+            .stream
+            .read(&mut chunk)
+            .map_err(|e| normalize_timeout(e, self.timeout))?;
         if n == 0 {
             return Err(std::io::Error::new(
                 std::io::ErrorKind::UnexpectedEof,
@@ -169,4 +192,55 @@ impl HttpClient {
 
 fn find_crlf2(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// A server that accepts and then never sends a byte must surface as the
+    /// typed `TimedOut` error — not the platform's raw `WouldBlock` — so
+    /// callers can portably distinguish a stalled peer from hard I/O
+    /// failures (the mapping `server.rs` applies on its read loop).
+    #[test]
+    fn stalled_socket_maps_to_typed_timeout() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let hold = std::thread::spawn(move || {
+            // accept, hold the socket open, respond with nothing
+            let (stream, _) = listener.accept().unwrap();
+            std::thread::sleep(Duration::from_millis(500));
+            drop(stream);
+        });
+
+        let mut client = HttpClient::connect(addr, Duration::from_millis(50)).unwrap();
+        let err = client.request("GET", "/healthz", None).unwrap_err();
+        assert_eq!(
+            err.kind(),
+            std::io::ErrorKind::TimedOut,
+            "got {err:?} instead of the normalized timeout"
+        );
+        assert!(
+            err.to_string().contains("stalled"),
+            "diagnostic names the stall: {err}"
+        );
+        hold.join().unwrap();
+    }
+
+    /// Non-timeout failures pass through untouched (the normalization must
+    /// not swallow real errors).
+    #[test]
+    fn closed_connection_is_not_a_timeout() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let close = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            drop(stream); // immediate close, no response
+        });
+        let mut client = HttpClient::connect(addr, Duration::from_secs(1)).unwrap();
+        close.join().unwrap();
+        let err = client.request("GET", "/healthz", None).unwrap_err();
+        assert_ne!(err.kind(), std::io::ErrorKind::TimedOut, "{err:?}");
+    }
 }

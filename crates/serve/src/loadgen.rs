@@ -12,7 +12,7 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use qatk_obs::Histogram;
@@ -274,7 +274,14 @@ fn connection_loop(
                 let ns = rtt.as_nanos().min(u64::MAX as u128) as u64;
                 tally.latency.record(ns);
                 if config.collect_raw {
-                    tally.raw.lock().unwrap().push(ns);
+                    // one workload policy for poisoned locks (same as the
+                    // quest service): a panicked sibling never aborts the
+                    // whole run — plain data survives poisoning intact
+                    tally
+                        .raw
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .push(ns);
                 }
                 if (200..300).contains(&resp.status) {
                     tally.ok.fetch_add(1, Ordering::Relaxed);
@@ -282,7 +289,7 @@ fn connection_loop(
                 *tally
                     .status_counts
                     .lock()
-                    .unwrap()
+                    .unwrap_or_else(PoisonError::into_inner)
                     .entry(resp.status)
                     .or_insert(0) += 1;
                 // the server closes after parse errors / shutdown drain

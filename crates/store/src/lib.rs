@@ -75,7 +75,8 @@ pub mod prelude {
     pub use crate::table::Table;
     pub use crate::value::{DataType, Value};
     pub use crate::wal::{
-        read_log, replay, LoggedDatabase, RecoveryReport, SyncPolicy, WalRecord, WalWriter,
+        read_log, replay, LoggedDatabase, RecoveryReport, ReplCursor, SegmentRetention, SyncPolicy,
+        WalRecord, WalWriter,
     };
 }
 

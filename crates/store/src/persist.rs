@@ -32,6 +32,32 @@ pub struct SnapshotMeta {
     pub wal_replay_from: u64,
 }
 
+impl SnapshotMeta {
+    /// Read just the watermark header of a snapshot file, without loading
+    /// (or checksumming) the table payload. The replication leader uses this
+    /// to learn the on-disk watermark cheaply; full verification happens
+    /// wherever the snapshot is actually loaded.
+    pub fn peek(path: impl AsRef<Path>) -> Result<SnapshotMeta> {
+        let mut header = [0u8; 20]; // magic(8) + version(4) + watermark(8)
+        let mut f = File::open(path.as_ref())?;
+        std::io::Read::read_exact(&mut f, &mut header)?;
+        let mut buf = &header[..];
+        if &buf[..MAGIC.len()] != MAGIC {
+            return Err(StoreError::Corrupt("bad magic".into()));
+        }
+        buf.advance(MAGIC.len());
+        let version = buf.get_u32_le();
+        if version != VERSION {
+            return Err(StoreError::Corrupt(format!(
+                "unsupported snapshot version {version} (expected {VERSION})"
+            )));
+        }
+        Ok(SnapshotMeta {
+            wal_replay_from: buf.get_u64_le(),
+        })
+    }
+}
+
 /// Durably replace the file at `path` with `bytes`: write a `.tmp` sibling,
 /// fsync it, rename it over the target, fsync the parent directory.
 pub(crate) fn atomic_write(path: &Path, bytes: &[u8]) -> Result<()> {

@@ -337,7 +337,7 @@ impl Drop for WalWriter {
 }
 
 /// What a raw scan of one log file found.
-pub(crate) struct LogScan {
+pub struct LogScan {
     pub records: Vec<WalRecord>,
     /// Byte length of the intact prefix (what recovery truncates to).
     pub valid_len: u64,
@@ -345,13 +345,19 @@ pub(crate) struct LogScan {
     pub torn: bool,
 }
 
-pub(crate) fn scan_log(path: &Path) -> Result<LogScan> {
+/// Scan a log file: every intact record, the byte length of the intact
+/// prefix, and whether the file ends in a torn record. Mid-log corruption is
+/// an error, as in [`read_log`].
+pub fn scan_log(path: &Path) -> Result<LogScan> {
     let mut data = Vec::new();
     File::open(path)?.read_to_end(&mut data)?;
     scan_bytes(&data)
 }
 
-fn scan_bytes(data: &[u8]) -> Result<LogScan> {
+/// Scan an in-memory byte run with the same rules as [`scan_log`]. The
+/// replication follower uses this to verify a received chunk parses as whole,
+/// checksummed records before appending it to its local segment copy.
+pub fn scan_bytes(data: &[u8]) -> Result<LogScan> {
     let mut buf = data;
     let mut records = Vec::new();
     let mut valid_len = 0u64;
@@ -442,14 +448,14 @@ pub struct RecoveryReport {
 }
 
 /// Sealed-segment path: the active log's path with `.<epoch:06>` appended.
-fn segment_path(wal_path: &Path, epoch: u64) -> PathBuf {
+pub fn segment_path(wal_path: &Path, epoch: u64) -> PathBuf {
     let mut os = wal_path.as_os_str().to_owned();
     os.push(format!(".{epoch:06}"));
     PathBuf::from(os)
 }
 
 /// Sealed segments next to `wal_path`, sorted by epoch.
-fn list_segments(wal_path: &Path) -> Result<Vec<(u64, PathBuf)>> {
+pub fn list_segments(wal_path: &Path) -> Result<Vec<(u64, PathBuf)>> {
     let parent = match wal_path.parent() {
         Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
         _ => PathBuf::from("."),
@@ -480,6 +486,109 @@ fn list_segments(wal_path: &Path) -> Result<Vec<(u64, PathBuf)>> {
     Ok(out)
 }
 
+/// Position in a replicated WAL stream, as reported by a follower and
+/// resumed by a leader.
+///
+/// The three fields mirror the on-disk layout: `watermark` is the snapshot
+/// watermark the follower's database is based on (the first WAL epoch *not*
+/// folded into its snapshot), `segment` is the epoch-numbered segment the
+/// follower reads next, and `offset` is the byte offset of the next record
+/// within that segment. Offsets always sit on record boundaries: followers
+/// only ever append whole, checksum-verified records.
+///
+/// Cursors order by `(segment, offset)`; the watermark is bookkeeping for
+/// snapshot installs, not part of the stream position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReplCursor {
+    /// First WAL epoch that is *not* folded into the reader's snapshot.
+    pub watermark: u64,
+    /// Epoch of the segment the reader consumes next.
+    pub segment: u64,
+    /// Byte offset of the next record within that segment.
+    pub offset: u64,
+}
+
+impl ReplCursor {
+    /// Stream position (ignores the watermark): has this cursor consumed at
+    /// least as much of the log as `other`?
+    pub fn at_or_past(&self, other: &ReplCursor) -> bool {
+        (self.segment, self.offset) >= (other.segment, other.offset)
+    }
+}
+
+impl std::fmt::Display for ReplCursor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "w{}/s{:06}+{}",
+            self.watermark, self.segment, self.offset
+        )
+    }
+}
+
+/// A run of whole records read from one log file, as shipped to a follower.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentChunk {
+    /// Raw record bytes (length prefixes and checksums included), starting
+    /// at the requested offset.
+    pub bytes: Vec<u8>,
+    /// Offset just past the last whole record returned — the next read (and
+    /// the follower's acknowledgement) resumes here.
+    pub end_offset: u64,
+}
+
+/// Read up to `max_len` bytes of *whole* records from a log file, starting
+/// at byte `offset` (which must sit on a record boundary). A torn record at
+/// the end of the readable window is simply not returned — the next call
+/// picks it up once the writer completes it. Mid-log corruption is an error
+/// unless it is the final record in the window (indistinguishable, at this
+/// layer, from a record still being written).
+pub fn read_segment_chunk(path: &Path, offset: u64, max_len: usize) -> Result<SegmentChunk> {
+    use std::io::{Seek, SeekFrom};
+    let mut f = File::open(path)?;
+    f.seek(SeekFrom::Start(offset))?;
+    let mut data = Vec::with_capacity(max_len.min(1 << 20));
+    f.take(max_len as u64).read_to_end(&mut data)?;
+    let scan = scan_bytes(&data)?;
+    data.truncate(scan.valid_len as usize);
+    Ok(SegmentChunk {
+        end_offset: offset + scan.valid_len,
+        bytes: data,
+    })
+}
+
+/// What [`LoggedDatabase::checkpoint`] does with sealed segments the
+/// snapshot already covers.
+///
+/// Recovery never replays covered segments either way (the snapshot's
+/// watermark excludes them); retention only decides whether the files stay
+/// on disk for a replication leader to stream to followers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SegmentRetention {
+    /// Delete every covered segment immediately (the historical behaviour;
+    /// minimal disk footprint, but a follower can only bootstrap from a
+    /// full snapshot).
+    #[default]
+    DeleteCovered,
+    /// Keep the newest `n` sealed segments even though the snapshot covers
+    /// them, so a follower that is at most `n` checkpoints behind can
+    /// resume from the log instead of re-shipping the whole snapshot.
+    /// Older segments are still deleted.
+    Keep(u64),
+}
+
+impl SegmentRetention {
+    /// True if a segment sealed under `epoch` may be deleted once the
+    /// snapshot watermark has advanced to `watermark` (first epoch NOT
+    /// covered).
+    fn expendable(&self, epoch: u64, watermark: u64) -> bool {
+        match *self {
+            SegmentRetention::DeleteCovered => epoch < watermark,
+            SegmentRetention::Keep(n) => epoch < watermark.saturating_sub(n),
+        }
+    }
+}
+
 /// A database handle that mirrors every DML operation into a WAL, with
 /// write-ahead ordering: *nothing is acknowledged before it is logged*.
 #[derive(Debug)]
@@ -492,6 +601,7 @@ pub struct LoggedDatabase {
     /// Epoch the active log will be sealed under at the next checkpoint.
     epoch: u64,
     policy: SyncPolicy,
+    retention: SegmentRetention,
 }
 
 impl LoggedDatabase {
@@ -508,6 +618,7 @@ impl LoggedDatabase {
             snapshot_path: None,
             epoch: 0,
             policy,
+            retention: SegmentRetention::default(),
         })
     }
 
@@ -519,6 +630,18 @@ impl LoggedDatabase {
         snapshot_path: impl AsRef<Path>,
         wal_path: impl AsRef<Path>,
         policy: SyncPolicy,
+    ) -> Result<(Self, RecoveryReport)> {
+        Self::open_with_retention(snapshot_path, wal_path, policy, SegmentRetention::default())
+    }
+
+    /// [`Self::open`] with an explicit [`SegmentRetention`] policy. A
+    /// replication leader opens with [`SegmentRetention::Keep`] so followers
+    /// can resume from recent sealed segments.
+    pub fn open_with_retention(
+        snapshot_path: impl AsRef<Path>,
+        wal_path: impl AsRef<Path>,
+        policy: SyncPolicy,
+        retention: SegmentRetention,
     ) -> Result<(Self, RecoveryReport)> {
         let snapshot_path = snapshot_path.as_ref().to_path_buf();
         let wal_path = wal_path.as_ref().to_path_buf();
@@ -536,9 +659,13 @@ impl LoggedDatabase {
         let mut max_epoch = None;
         for (epoch, path) in list_segments(&wal_path)? {
             if epoch < meta.wal_replay_from {
-                // Covered by the snapshot: a crash interrupted the previous
-                // checkpoint's truncation step. Finish it.
-                std::fs::remove_file(&path)?;
+                // Covered by the snapshot: never replayed. Whether the file
+                // itself survives is the retention policy's call — a crash
+                // may have interrupted the previous checkpoint's truncation
+                // step, which is finished here.
+                if retention.expendable(epoch, meta.wal_replay_from) {
+                    std::fs::remove_file(&path)?;
+                }
                 continue;
             }
             let scan = scan_log(&path)?;
@@ -586,6 +713,7 @@ impl LoggedDatabase {
                 snapshot_path: Some(snapshot_path),
                 epoch,
                 policy,
+                retention,
             },
             report,
         ))
@@ -609,6 +737,24 @@ impl LoggedDatabase {
     /// Read access to the wrapped database.
     pub fn db(&self) -> &Database {
         &self.db
+    }
+
+    /// Epoch the active log will be sealed under at the next checkpoint.
+    /// Sealed segments on disk always carry strictly smaller epochs.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Path of the active log (sealed segments sit next to it, suffixed
+    /// `.<epoch:06>`).
+    pub fn wal_path(&self) -> &Path {
+        &self.wal_path
+    }
+
+    /// Where checkpoints save snapshots (`None` for handles made with
+    /// [`Self::new`], which cannot checkpoint).
+    pub fn snapshot_path(&self) -> Option<&Path> {
+        self.snapshot_path.as_deref()
     }
 
     /// The sync policy the log is running under.
@@ -770,7 +916,7 @@ impl LoggedDatabase {
         )?;
         failpoint::check("checkpoint.before_truncate")?;
         for (epoch, path) in list_segments(&self.wal_path)? {
-            if epoch <= seal {
+            if self.retention.expendable(epoch, seal + 1) {
                 std::fs::remove_file(&path)?;
             }
         }
@@ -1145,6 +1291,100 @@ mod tests {
         assert!(!report.torn_tail);
         assert_eq!(report.records_replayed, 3);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn keep_retention_preserves_segments_and_recovery_skips_them() {
+        let dir = std::env::temp_dir().join(format!("qatk_wal_retain_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let snap = dir.join("snap.qdb");
+        let wal = dir.join("wal.log");
+        let schema = SchemaBuilder::new()
+            .pk("id", DataType::Int)
+            .col("name", DataType::Text)
+            .build()
+            .unwrap();
+        let (mut logged, _) = LoggedDatabase::open_with_retention(
+            &snap,
+            &wal,
+            SyncPolicy::Always,
+            SegmentRetention::Keep(2),
+        )
+        .unwrap();
+        logged.create_table("t", schema).unwrap();
+        for ckpt in 0..4i64 {
+            logged.insert("t", row![ckpt, format!("c{ckpt}")]).unwrap();
+            logged.checkpoint().unwrap();
+        }
+        // four checkpoints sealed epochs 0..=3; Keep(2) retains 2 and 3
+        let epochs: Vec<u64> = list_segments(&wal).unwrap().iter().map(|s| s.0).collect();
+        assert_eq!(epochs, vec![2, 3]);
+        logged.insert("t", row![99i64, "tail"]).unwrap();
+        let expected = logged.db().canonical_bytes();
+        drop(logged);
+
+        // recovery must not double-replay the retained (covered) segments,
+        // and must keep them on disk under the same retention policy
+        let (recovered, report) = LoggedDatabase::open_with_retention(
+            &snap,
+            &wal,
+            SyncPolicy::Always,
+            SegmentRetention::Keep(2),
+        )
+        .unwrap();
+        assert_eq!(report.segments_replayed, 0);
+        assert_eq!(report.records_replayed, 1);
+        assert_eq!(recovered.db().canonical_bytes(), expected);
+        let epochs: Vec<u64> = list_segments(&wal).unwrap().iter().map(|s| s.0).collect();
+        assert_eq!(epochs, vec![2, 3]);
+        drop(recovered);
+
+        // re-opening under DeleteCovered finishes the deferred truncation
+        let (_, _) = LoggedDatabase::open(&snap, &wal, SyncPolicy::Always).unwrap();
+        assert!(list_segments(&wal).unwrap().is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn segment_chunks_stream_whole_records_from_an_offset() {
+        let path = tmp("chunks");
+        let mut w = WalWriter::open(&path).unwrap();
+        let mut lens = Vec::new();
+        for i in 0..6i64 {
+            let record = WalRecord::Insert {
+                table: "t".into(),
+                row: row![i, format!("value-{i}")],
+            };
+            lens.push(record.encode().unwrap().len() as u64);
+            w.append(&record).unwrap();
+        }
+        drop(w);
+        let total: u64 = lens.iter().sum();
+
+        // from zero with a generous cap: everything in one chunk
+        let chunk = read_segment_chunk(&path, 0, 1 << 20).unwrap();
+        assert_eq!(chunk.end_offset, total);
+        let scan = scan_bytes(&chunk.bytes).unwrap();
+        assert_eq!(scan.records.len(), 6);
+        assert!(!scan.torn);
+
+        // a cap that lands mid-record returns only whole records
+        let cap = (lens[0] + lens[1] + lens[2] / 2) as usize;
+        let chunk = read_segment_chunk(&path, 0, cap).unwrap();
+        assert_eq!(chunk.end_offset, lens[0] + lens[1]);
+        assert_eq!(scan_bytes(&chunk.bytes).unwrap().records.len(), 2);
+
+        // resuming from a record boundary picks up the rest
+        let chunk = read_segment_chunk(&path, lens[0] + lens[1], 1 << 20).unwrap();
+        assert_eq!(chunk.end_offset, total);
+        assert_eq!(scan_bytes(&chunk.bytes).unwrap().records.len(), 4);
+
+        // at the tail: empty chunk, offset unchanged
+        let chunk = read_segment_chunk(&path, total, 1 << 20).unwrap();
+        assert!(chunk.bytes.is_empty());
+        assert_eq!(chunk.end_offset, total);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

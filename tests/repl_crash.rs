@@ -1,0 +1,374 @@
+//! Crash-convergence matrix for WAL-shipping replication.
+//!
+//! For every failpoint site in the replication protocol — leader and
+//! follower — this harness injects a crash at exactly that step, lets the
+//! pair recover (leader sessions die and the follower reconnects; follower
+//! crashes are recovered by re-opening from local disk, exactly like a
+//! process restart), and asserts:
+//!
+//! 1. recovery never loses acknowledged progress: the re-opened follower's
+//!    cursor is at or past the cursor it had applied when it "crashed";
+//! 2. after resuming, the follower converges to the leader byte-for-byte
+//!    (`Database::canonical_bytes`).
+//!
+//! Requires the `failpoints` feature, which the workspace root enables for
+//! its dev-dependencies (see `Cargo.toml`).
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+use qatk_repl::prelude::*;
+use qatk_store::failpoint;
+use qatk_store::prelude::*;
+
+/// Failpoints are process-global; every test that arms them serializes
+/// through this lock.
+static FAILPOINTS: Mutex<()> = Mutex::new(());
+
+fn failpoint_guard() -> MutexGuard<'static, ()> {
+    FAILPOINTS.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Every crash site on the leader's streaming path.
+const LEADER_SITES: &[&str] = &[
+    "repl.leader.before_hello_ok",
+    "repl.leader.before_snapshot",
+    "repl.leader.before_watermark",
+    "repl.leader.before_seal",
+    "repl.leader.before_chunk",
+    "repl.leader.before_tip",
+];
+
+/// Every crash site on the follower's apply path.
+const FOLLOWER_SITES: &[&str] = &[
+    "repl.follower.before_hello",
+    "repl.follower.install_snapshot",
+    "repl.follower.append_chunk",
+    "repl.follower.before_replay",
+    "repl.follower.before_seal_sync",
+    "repl.follower.before_watermark_save",
+    "repl.follower.before_watermark_prune",
+    "repl.follower.before_ack",
+];
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("qatk_replcrash_{name}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn paths_in(dir: &std::path::Path, role: &str) -> ReplPaths {
+    let sub = dir.join(role);
+    std::fs::create_dir_all(&sub).unwrap();
+    ReplPaths::new(sub.join("snap.qdb"), sub.join("wal.log"))
+}
+
+/// A leader store with a schema already folded into its snapshot (DDL is
+/// not WAL-logged) and segment retention deep enough for resumption.
+fn leader_store(paths: &ReplPaths) -> LoggedDatabase {
+    let (mut store, _) = LoggedDatabase::open_with_retention(
+        &paths.snapshot,
+        &paths.wal,
+        SyncPolicy::OsOnly,
+        SegmentRetention::Keep(8),
+    )
+    .unwrap();
+    let schema = SchemaBuilder::new()
+        .pk("id", DataType::Int)
+        .col("body", DataType::Text)
+        .build()
+        .unwrap();
+    store.create_table("t", schema).unwrap();
+    store.checkpoint().unwrap();
+    store
+}
+
+fn test_config() -> (LeaderConfig, FollowerConfig) {
+    let leader = LeaderConfig {
+        poll_interval: Duration::from_millis(5),
+        chunk_bytes: 512,
+        read_timeout: Duration::from_millis(500),
+        write_timeout: Duration::from_secs(2),
+    };
+    let follower = FollowerConfig {
+        read_timeout: Duration::from_millis(300),
+        write_timeout: Duration::from_secs(2),
+        reconnect_backoff: Duration::from_millis(10),
+        sync_each_chunk: false,
+    };
+    (leader, follower)
+}
+
+#[allow(clippy::type_complexity)]
+fn spawn_follower(
+    follower: Follower,
+    addr: String,
+) -> (
+    Arc<ReplicaStatus>,
+    Arc<AtomicBool>,
+    std::thread::JoinHandle<(Follower, ReplResult<()>)>,
+) {
+    let status = follower.status();
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = Arc::clone(&stop);
+    let handle = std::thread::spawn(move || {
+        let mut f = follower;
+        let r = f.run(&addr, &stop2, &mut |_db, _cursor| {});
+        (f, r)
+    });
+    (status, stop, handle)
+}
+
+fn wait_until(what: &str, timeout: Duration, mut done: impl FnMut() -> bool) {
+    let start = Instant::now();
+    while !done() {
+        assert!(
+            start.elapsed() < timeout,
+            "timed out after {timeout:?} waiting for {what}"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+fn wal_len(paths: &ReplPaths) -> u64 {
+    std::fs::metadata(&paths.wal).map(|m| m.len()).unwrap_or(0)
+}
+
+fn wait_for_catchup(site: &str, status: &ReplicaStatus, store: &LoggedDatabase, lp: &ReplPaths) {
+    let target = ReplCursor {
+        watermark: 0,
+        segment: store.epoch(),
+        offset: wal_len(lp),
+    };
+    wait_until(
+        &format!("catch-up after crash at {site}"),
+        Duration::from_secs(20),
+        || status.applied().at_or_past(&target),
+    );
+    wait_until(
+        &format!("watermark after crash at {site}"),
+        Duration::from_secs(20),
+        || status.applied().watermark == store.epoch(),
+    );
+}
+
+/// The workload every scenario drives while (or after) the crash fires: it
+/// reaches every frame type — chunks (DML), a seal + watermark advance
+/// (live checkpoint), and tips (idle heartbeats between phases).
+fn drive_leader_workload(store: &mut LoggedDatabase) {
+    for i in 30..60i64 {
+        store.insert("t", row![i, format!("live-{i}")]).unwrap();
+    }
+    store.checkpoint().unwrap();
+    for i in 0..15i64 {
+        store
+            .update("t", &Value::Int(i), row![i, format!("upd-{i}")])
+            .unwrap();
+    }
+    store.delete("t", &Value::Int(29)).unwrap();
+}
+
+/// Crash the LEADER session at `site`. The session thread dies mid-protocol;
+/// the follower sees a disconnect, reconnects with its cursor, and must
+/// still converge byte-for-byte.
+fn leader_crash_scenario(site: &str) {
+    let dir = tmp_dir(&site.replace('.', "_"));
+    let lp = paths_in(&dir, "leader");
+    let fp = paths_in(&dir, "follower");
+    let (lc, fc) = test_config();
+    let mut store = leader_store(&lp);
+    for i in 0..30i64 {
+        store.insert("t", row![i, format!("pre-{i}")]).unwrap();
+    }
+
+    let leader = Leader::bind("127.0.0.1:0", lp.clone(), lc).unwrap();
+    let addr = leader.local_addr().to_string();
+    failpoint::arm(site, 0);
+    let (follower, _) = Follower::open(fp.clone(), fc).unwrap();
+    let (status, stop, handle) = spawn_follower(follower, addr);
+
+    // Let the follower reach the pre-workload tip (unless the armed site
+    // already crashed the exchange) so the checkpoint below is guaranteed
+    // to seal a segment the follower is mid-stream in — otherwise a fresh
+    // follower would be seeded past it and the seal/watermark steps would
+    // never run.
+    let pre_tip = ReplCursor {
+        watermark: 0,
+        segment: store.epoch(),
+        offset: wal_len(&lp),
+    };
+    wait_until(
+        &format!("pre-workload catch-up or crash at {site}"),
+        Duration::from_secs(20),
+        || failpoint::armed() == 0 || status.applied().at_or_past(&pre_tip),
+    );
+    drive_leader_workload(&mut store);
+    wait_until(
+        &format!("failpoint {site} to fire"),
+        Duration::from_secs(20),
+        || failpoint::armed() == 0,
+    );
+    wait_for_catchup(site, &status, &store, &lp);
+
+    stop.store(true, Ordering::SeqCst);
+    let (follower, result) = handle.join().unwrap();
+    result.unwrap_or_else(|e| panic!("follower failed after leader crash at {site}: {e}"));
+    assert_eq!(
+        follower.db().canonical_bytes(),
+        store.db().canonical_bytes(),
+        "divergence after leader crash at {site}"
+    );
+    assert!(
+        leader.status().sessions_started() >= 2,
+        "leader session did not die and restart at {site}"
+    );
+    leader.shutdown();
+    failpoint::disarm_all();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Crash the FOLLOWER at `site`, then recover it from local disk exactly
+/// like a process restart and let it resume. Recovery must preserve applied
+/// progress and the resumed replica must converge byte-for-byte.
+fn follower_crash_scenario(site: &str) {
+    let dir = tmp_dir(&site.replace('.', "_"));
+    let lp = paths_in(&dir, "leader");
+    let fp = paths_in(&dir, "follower");
+    let (lc, fc) = test_config();
+    let mut store = leader_store(&lp);
+    for i in 0..30i64 {
+        store.insert("t", row![i, format!("pre-{i}")]).unwrap();
+    }
+
+    let leader = Leader::bind("127.0.0.1:0", lp.clone(), lc).unwrap();
+    let addr = leader.local_addr().to_string();
+    failpoint::arm(site, 0);
+    let (follower, _) = Follower::open(fp.clone(), fc.clone()).unwrap();
+    let (status, _stop, handle) = spawn_follower(follower, addr.clone());
+
+    // As in the leader scenarios: reach the pre-workload tip first (unless
+    // the site already fired), so the seal and watermark frames from the
+    // live checkpoint actually traverse the attached follower.
+    let pre_tip = ReplCursor {
+        watermark: 0,
+        segment: store.epoch(),
+        offset: wal_len(&lp),
+    };
+    wait_until(
+        &format!("pre-workload catch-up or crash at {site}"),
+        Duration::from_secs(20),
+        || failpoint::armed() == 0 || status.applied().at_or_past(&pre_tip),
+    );
+    drive_leader_workload(&mut store);
+
+    // The injected failure is non-retryable, so run() surfaces it — the
+    // "crash". Everything applied before it is on the follower's disk.
+    let (crashed, result) = handle.join().unwrap();
+    match result {
+        Err(ReplError::Store(StoreError::Injected(s))) => assert_eq!(&s, site),
+        other => panic!("expected injected crash at {site}, got {other:?}"),
+    }
+    let crash_cursor = crashed.cursor();
+    drop(crashed);
+
+    // Process restart: recover from local files alone.
+    let (follower, report) = Follower::open(fp.clone(), fc).unwrap();
+    assert!(
+        report.cursor.at_or_past(&crash_cursor),
+        "recovery at {site} lost applied progress: recovered {} < crashed {}",
+        report.cursor,
+        crash_cursor
+    );
+
+    let (status, stop, handle) = spawn_follower(follower, addr);
+    wait_for_catchup(site, &status, &store, &lp);
+    stop.store(true, Ordering::SeqCst);
+    let (follower, result) = handle.join().unwrap();
+    result.unwrap_or_else(|e| panic!("follower failed to resume after crash at {site}: {e}"));
+    assert_eq!(
+        follower.db().canonical_bytes(),
+        store.db().canonical_bytes(),
+        "divergence after follower crash at {site}"
+    );
+    leader.shutdown();
+    failpoint::disarm_all();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn leader_crash_at_every_protocol_step_converges() {
+    let _guard = failpoint_guard();
+    failpoint::disarm_all();
+    for site in LEADER_SITES {
+        leader_crash_scenario(site);
+    }
+}
+
+#[test]
+fn follower_crash_at_every_protocol_step_recovers_and_converges() {
+    let _guard = failpoint_guard();
+    failpoint::disarm_all();
+    for site in FOLLOWER_SITES {
+        follower_crash_scenario(site);
+    }
+}
+
+/// A compound disaster: the follower crashes mid-apply, and while it is
+/// down the leader checkpoints twice more so the exact segment the follower
+/// stopped in is still retained — resumption must splice seamlessly. Then
+/// the leader "dies" and the follower is promoted; the promoted store must
+/// hold every acknowledged write.
+#[test]
+fn crash_then_leader_loss_then_promotion_preserves_acked_writes() {
+    let _guard = failpoint_guard();
+    failpoint::disarm_all();
+    let dir = tmp_dir("promote_after_crash");
+    let lp = paths_in(&dir, "leader");
+    let fp = paths_in(&dir, "follower");
+    let (lc, fc) = test_config();
+    let mut store = leader_store(&lp);
+    for i in 0..30i64 {
+        store.insert("t", row![i, format!("pre-{i}")]).unwrap();
+    }
+
+    let leader = Leader::bind("127.0.0.1:0", lp.clone(), lc).unwrap();
+    let addr = leader.local_addr().to_string();
+    failpoint::arm("repl.follower.before_replay", 0);
+    let (follower, _) = Follower::open(fp.clone(), fc.clone()).unwrap();
+    let (_status, _stop, handle) = spawn_follower(follower, addr.clone());
+    let (crashed, result) = handle.join().unwrap();
+    assert!(result.is_err());
+    drop(crashed);
+
+    // Leader life goes on while the replica is down.
+    drive_leader_workload(&mut store);
+    store.checkpoint().unwrap();
+    for i in 100..120i64 {
+        store.insert("t", row![i, format!("late-{i}")]).unwrap();
+    }
+
+    // Replica restarts, resumes, catches all the way up.
+    let (follower, _) = Follower::open(fp.clone(), fc).unwrap();
+    let (status, stop, handle) = spawn_follower(follower, addr);
+    wait_for_catchup("promotion scenario", &status, &store, &lp);
+    stop.store(true, Ordering::SeqCst);
+    let (follower, result) = handle.join().unwrap();
+    result.unwrap();
+    let expected = store.db().canonical_bytes();
+    leader.shutdown();
+
+    let epoch = follower.cursor().segment;
+    let (mut promoted, _) = follower
+        .promote(SyncPolicy::OsOnly, SegmentRetention::Keep(8))
+        .unwrap();
+    assert_eq!(promoted.db().canonical_bytes(), expected);
+    assert_eq!(promoted.epoch(), epoch);
+    promoted
+        .insert("t", row![999i64, "after-failover"])
+        .unwrap();
+    promoted.checkpoint().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}

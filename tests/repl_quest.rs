@@ -1,0 +1,222 @@
+//! End-to-end replication at the application layer: a leader QUEST app
+//! ships learns through its WAL, a read-only replica republishes them and
+//! serves `/suggest` through the *unchanged* HTTP handler, and after the
+//! leader dies the promoted replica still serves every pre-crash acked
+//! learn — the PR's acceptance scenario.
+//!
+//! Protocol-level happy paths live in `tests/repl_replication.rs`, the
+//! crash matrix in `tests/repl_crash.rs`; this file proves the quest glue:
+//! `save_to_logged` as the publish hook, `ReplicaServer` republication,
+//! read-only routing, and the `/healthz` replication fields.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+use qatk_core::prelude::*;
+use qatk_corpus::prelude::*;
+use qatk_repl::prelude::*;
+use qatk_serve::http::RequestParser;
+use qatk_serve::{Handler, Request};
+use qatk_store::prelude::*;
+use quest::prelude::*;
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("qatk_replquest_{name}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn paths_in(dir: &std::path::Path, role: &str) -> ReplPaths {
+    let sub = dir.join(role);
+    std::fs::create_dir_all(&sub).unwrap();
+    ReplPaths::new(sub.join("snap.qdb"), sub.join("wal.log"))
+}
+
+fn request(method: &str, path: &str, body: &str) -> Request {
+    let raw = format!(
+        "{method} {path} HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    let mut p = RequestParser::new(Default::default());
+    p.push(raw.as_bytes());
+    p.take_request().unwrap().unwrap()
+}
+
+fn body_str(resp: &qatk_serve::Response) -> String {
+    String::from_utf8_lossy(&resp.body).into_owned()
+}
+
+fn wait_until(what: &str, mut pred: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !pred() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+#[test]
+fn promoted_replica_serves_pre_crash_acked_learns_on_suggest() {
+    let dir = tmp_dir("promote");
+    let leader_paths = paths_in(&dir, "leader");
+    let replica_paths = paths_in(&dir, "replica");
+
+    let corpus = Corpus::generate(CorpusConfig::small(31));
+    let model = FeatureModel::BagOfWords;
+    let pipeline = Arc::new(build_pipeline(&corpus, model));
+
+    // --- leader boot: the `quest serve --db … --wal … --replicate-to` path
+    let (mut store, _) = LoggedDatabase::open_with_retention(
+        &leader_paths.snapshot,
+        &leader_paths.wal,
+        SyncPolicy::OsOnly,
+        SegmentRetention::Keep(8),
+    )
+    .unwrap();
+    let svc = Arc::new(RecommendationService::train(
+        &corpus,
+        model,
+        SimilarityMeasure::Jaccard,
+    ));
+    assert!(KnowledgeSnapshot::ensure_replicated_tables(&mut store).unwrap());
+    store.checkpoint().unwrap(); // DDL is not logged: bake it into the snapshot
+    svc.snapshot().save_to_logged(&mut store).unwrap();
+
+    let leader = Leader::bind(
+        "127.0.0.1:0",
+        leader_paths.clone(),
+        LeaderConfig {
+            poll_interval: Duration::from_millis(5),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let leader_addr = leader.local_addr().to_string();
+
+    let shared_store = Arc::new(Mutex::new(store));
+    let hook: PublishHook = Arc::new({
+        let store = Arc::clone(&shared_store);
+        move |svc: &RecommendationService| {
+            let mut store = store.lock().unwrap_or_else(PoisonError::into_inner);
+            svc.snapshot()
+                .save_to_logged(&mut store)
+                .map_err(|e| e.to_string())
+        }
+    });
+    let leader_app = QuestApp::new(
+        Arc::clone(&svc),
+        HealthInfo {
+            replication: Some(ReplicationHealth::Leader(leader.status())),
+            ..Default::default()
+        },
+    )
+    .with_publish_hook(hook);
+
+    // --- replica boot: the `quest replica --follow` path
+    let replica = ReplicaServer::open(
+        replica_paths.clone(),
+        FollowerConfig {
+            read_timeout: Duration::from_millis(500),
+            reconnect_backoff: Duration::from_millis(20),
+            ..Default::default()
+        },
+        Arc::clone(&pipeline),
+        model,
+    )
+    .unwrap();
+    let replica_svc = replica.service();
+    let replica_app = QuestApp::new(replica.service(), replica.health()).read_only();
+    assert_eq!(replica_svc.kb_len(), 0, "fresh replica starts empty");
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let runner = std::thread::spawn({
+        let stop = Arc::clone(&stop);
+        let addr = leader_addr.clone();
+        move || replica.run(&addr, &stop)
+    });
+
+    // the boot epoch ships through the WAL and gets republished
+    wait_until("replica republishes the boot epoch", || {
+        replica_svc.kb_len() == svc.kb_len()
+    });
+
+    // --- a learn through the leader's real HTTP handler
+    let part = corpus.bundles[0].part_id.clone();
+    let learn_body = format!(
+        "{{\"part_id\":\"{part}\",\"text\":\"replicated failure mode omega\",\"code\":\"E-REPL-9\"}}"
+    );
+    let resp = leader_app.handle(&request("POST", "/learn", &learn_body));
+    assert_eq!(resp.status, 200, "{}", body_str(&resp));
+
+    // the replica catches up and serves the learned epoch — /suggest goes
+    // through the identical handler code with zero serve-layer changes
+    wait_until("replica serves the learned epoch", || {
+        replica_svc.epoch() == svc.epoch()
+    });
+    let suggest_body =
+        format!("{{\"part_id\":\"{part}\",\"text\":\"replicated failure mode omega\"}}");
+    let resp = replica_app.handle(&request("POST", "/suggest", &suggest_body));
+    assert_eq!(resp.status, 200);
+    assert!(
+        body_str(&resp).contains("E-REPL-9"),
+        "replica suggests the learned code: {}",
+        body_str(&resp)
+    );
+
+    // writes are refused on the replica, and /healthz names both roles
+    let resp = replica_app.handle(&request("POST", "/learn", &learn_body));
+    assert_eq!(resp.status, 403, "{}", body_str(&resp));
+    let resp = replica_app.handle(&request("GET", "/healthz", ""));
+    let health = body_str(&resp);
+    assert!(health.contains("\"role\":\"replica\""), "{health}");
+    assert!(health.contains("\"connected\":true"), "{health}");
+    let resp = leader_app.handle(&request("GET", "/healthz", ""));
+    let health = body_str(&resp);
+    assert!(health.contains("\"role\":\"leader\""), "{health}");
+    assert!(health.contains("\"followers\":1"), "{health}");
+
+    // wait until the follower acked everything the leader has on disk, so
+    // the learn is an *acked* write when the leader dies
+    let wal_len = std::fs::metadata(&leader_paths.wal).unwrap().len();
+    wait_until("follower acks the full log", || {
+        leader
+            .status()
+            .min_acked()
+            .is_some_and(|c| c.offset >= wal_len)
+    });
+
+    // --- leader loss, replica promotion
+    stop.store(true, Ordering::SeqCst);
+    leader.shutdown();
+    let (follower, result) = runner.join().unwrap();
+    result.unwrap();
+
+    let (mut promoted_store, _) = follower
+        .promote(SyncPolicy::OsOnly, SegmentRetention::default())
+        .unwrap();
+    let promoted_svc = RecommendationService::load_latest(promoted_store.db(), pipeline)
+        .unwrap()
+        .expect("the promoted store holds the shipped epochs");
+    assert_eq!(promoted_svc.epoch(), svc.epoch());
+    let promoted_svc = Arc::new(promoted_svc);
+    let promoted_app = QuestApp::new(Arc::clone(&promoted_svc), HealthInfo::default());
+    let resp = promoted_app.handle(&request("POST", "/suggest", &suggest_body));
+    assert_eq!(resp.status, 200);
+    assert!(
+        body_str(&resp).contains("E-REPL-9"),
+        "pre-crash acked learn visible after promotion: {}",
+        body_str(&resp)
+    );
+
+    // the promoted store is writable: new learns persist and checkpoint
+    assert!(promoted_svc.learn(&corpus.bundles[1], "E-REPL-10"));
+    promoted_svc
+        .snapshot()
+        .save_to_logged(&mut promoted_store)
+        .unwrap();
+    promoted_store.checkpoint().unwrap();
+
+    std::fs::remove_dir_all(&dir).ok();
+}

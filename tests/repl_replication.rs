@@ -1,0 +1,374 @@
+//! Integration: WAL-shipping replication happy paths — a follower mirrors a
+//! leader byte-for-byte through live writes, checkpoints, watermark
+//! advances, restarts, snapshot re-seeds, and promotion.
+//!
+//! The crash-point matrix (failpoints at every protocol step) lives in
+//! `tests/repl_crash.rs`; this file proves the steady-state machinery.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use qatk_repl::prelude::*;
+use qatk_store::prelude::*;
+use qatk_store::wal::list_segments;
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("qatk_repl_{name}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn paths_in(dir: &std::path::Path, role: &str) -> ReplPaths {
+    let sub = dir.join(role);
+    std::fs::create_dir_all(&sub).unwrap();
+    ReplPaths::new(sub.join("snap.qdb"), sub.join("wal.log"))
+}
+
+fn leader_store(paths: &ReplPaths) -> LoggedDatabase {
+    let (mut store, _) = LoggedDatabase::open_with_retention(
+        &paths.snapshot,
+        &paths.wal,
+        SyncPolicy::OsOnly,
+        SegmentRetention::Keep(4),
+    )
+    .unwrap();
+    if !store.has_table("t") {
+        let schema = SchemaBuilder::new()
+            .pk("id", DataType::Int)
+            .col("body", DataType::Text)
+            .build()
+            .unwrap();
+        store.create_table("t", schema).unwrap();
+        // DDL is not WAL-logged: checkpoint so followers get the schema
+        // through the snapshot.
+        store.checkpoint().unwrap();
+    }
+    store
+}
+
+fn test_config() -> (LeaderConfig, FollowerConfig) {
+    let leader = LeaderConfig {
+        poll_interval: Duration::from_millis(5),
+        chunk_bytes: 512, // small, so multi-chunk paths are exercised
+        read_timeout: Duration::from_millis(500),
+        write_timeout: Duration::from_secs(2),
+    };
+    let follower = FollowerConfig {
+        read_timeout: Duration::from_millis(300),
+        write_timeout: Duration::from_secs(2),
+        reconnect_backoff: Duration::from_millis(20),
+        sync_each_chunk: false,
+    };
+    (leader, follower)
+}
+
+/// Spawn a follower thread; returns (status, stop flag, join handle
+/// yielding the follower back together with its run result).
+#[allow(clippy::type_complexity)]
+fn spawn_follower(
+    follower: Follower,
+    addr: String,
+) -> (
+    Arc<ReplicaStatus>,
+    Arc<AtomicBool>,
+    std::thread::JoinHandle<(Follower, ReplResult<()>)>,
+) {
+    let status = follower.status();
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = Arc::clone(&stop);
+    let handle = std::thread::spawn(move || {
+        let mut f = follower;
+        let r = f.run(&addr, &stop2, &mut |_db, _cursor| {});
+        (f, r)
+    });
+    (status, stop, handle)
+}
+
+fn wait_until(what: &str, timeout: Duration, mut done: impl FnMut() -> bool) {
+    let start = Instant::now();
+    while !done() {
+        assert!(
+            start.elapsed() < timeout,
+            "timed out after {timeout:?} waiting for {what}"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+fn wal_len(paths: &ReplPaths) -> u64 {
+    std::fs::metadata(&paths.wal).map(|m| m.len()).unwrap_or(0)
+}
+
+fn wait_for_catchup(status: &ReplicaStatus, store: &LoggedDatabase, paths: &ReplPaths) {
+    let target = ReplCursor {
+        watermark: 0,
+        segment: store.epoch(),
+        offset: wal_len(paths),
+    };
+    wait_until("follower catch-up", Duration::from_secs(10), || {
+        status.applied().at_or_past(&target)
+    });
+}
+
+#[test]
+fn follower_mirrors_live_writes_checkpoints_and_watermarks() {
+    let dir = tmp_dir("mirror");
+    let lp = paths_in(&dir, "leader");
+    let fp = paths_in(&dir, "follower");
+    let (lc, fc) = test_config();
+    let mut store = leader_store(&lp);
+    for i in 0..40i64 {
+        store.insert("t", row![i, format!("pre-{i}")]).unwrap();
+    }
+
+    let leader = Leader::bind("127.0.0.1:0", lp.clone(), lc).unwrap();
+    let addr = leader.local_addr().to_string();
+    let (follower, report) = Follower::open(fp.clone(), fc).unwrap();
+    assert!(!report.snapshot_loaded);
+    let (status, stop, handle) = spawn_follower(follower, addr);
+
+    wait_for_catchup(&status, &store, &lp);
+
+    // keep writing while the follower is attached, across a checkpoint
+    for i in 40..80i64 {
+        store.insert("t", row![i, format!("live-{i}")]).unwrap();
+    }
+    store.checkpoint().unwrap();
+    for i in 80..100i64 {
+        store
+            .update("t", &Value::Int(i - 50), row![i - 50, format!("upd-{i}")])
+            .unwrap();
+    }
+    store.delete("t", &Value::Int(0)).unwrap();
+    wait_for_catchup(&status, &store, &lp);
+
+    // the follower heard the watermark advance and checkpointed itself
+    wait_until("follower watermark", Duration::from_secs(10), || {
+        status.applied().watermark == store.epoch()
+    });
+    assert!(fp.snapshot.exists(), "follower snapshot not written");
+
+    stop.store(true, Ordering::SeqCst);
+    let (follower, result) = handle.join().unwrap();
+    result.unwrap();
+    assert_eq!(
+        follower.db().canonical_bytes(),
+        store.db().canonical_bytes(),
+        "follower diverged from leader"
+    );
+
+    // leader-side accounting saw the follower and its acks
+    let ls = leader.status();
+    assert!(ls.sessions_started() >= 1);
+    leader.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn fresh_follower_is_seeded_with_a_snapshot_when_segments_are_gone() {
+    let dir = tmp_dir("seed");
+    let lp = paths_in(&dir, "leader");
+    let fp = paths_in(&dir, "follower");
+    let (lc, fc) = test_config();
+
+    // DeleteCovered: checkpoints leave no sealed segments behind, so a
+    // fresh follower cannot replay history and must be re-seeded.
+    let (mut store, _) = LoggedDatabase::open(&lp.snapshot, &lp.wal, SyncPolicy::OsOnly).unwrap();
+    let schema = SchemaBuilder::new()
+        .pk("id", DataType::Int)
+        .col("body", DataType::Text)
+        .build()
+        .unwrap();
+    store.create_table("t", schema).unwrap();
+    for round in 0..3i64 {
+        for i in 0..20i64 {
+            let id = round * 100 + i;
+            store.insert("t", row![id, format!("r{id}")]).unwrap();
+        }
+        store.checkpoint().unwrap();
+    }
+    assert!(list_segments(&lp.wal).unwrap().is_empty());
+    store.insert("t", row![999i64, "tail"]).unwrap();
+
+    let leader = Leader::bind("127.0.0.1:0", lp.clone(), lc).unwrap();
+    let addr = leader.local_addr().to_string();
+    let (follower, _) = Follower::open(fp.clone(), fc).unwrap();
+    let (status, stop, handle) = spawn_follower(follower, addr);
+    wait_for_catchup(&status, &store, &lp);
+
+    stop.store(true, Ordering::SeqCst);
+    let (follower, result) = handle.join().unwrap();
+    result.unwrap();
+    assert_eq!(
+        follower.db().canonical_bytes(),
+        store.db().canonical_bytes()
+    );
+    // it really was a snapshot install, not a replay from epoch zero
+    assert!(fp.snapshot.exists());
+    assert_eq!(follower.cursor().watermark, 3);
+    leader.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn restarted_follower_resumes_from_its_cursor() {
+    let dir = tmp_dir("resume");
+    let lp = paths_in(&dir, "leader");
+    let fp = paths_in(&dir, "follower");
+    let (lc, fc) = test_config();
+    let mut store = leader_store(&lp);
+    for i in 0..30i64 {
+        store.insert("t", row![i, format!("a{i}")]).unwrap();
+    }
+
+    let leader = Leader::bind("127.0.0.1:0", lp.clone(), lc).unwrap();
+    let addr = leader.local_addr().to_string();
+
+    // first attachment
+    let (follower, _) = Follower::open(fp.clone(), fc.clone()).unwrap();
+    let (status, stop, handle) = spawn_follower(follower, addr.clone());
+    wait_for_catchup(&status, &store, &lp);
+    stop.store(true, Ordering::SeqCst);
+    let (follower, result) = handle.join().unwrap();
+    result.unwrap();
+    let parked_cursor = follower.cursor();
+    drop(follower);
+
+    // leader moves on while the follower is down, across a checkpoint
+    for i in 30..60i64 {
+        store.insert("t", row![i, format!("b{i}")]).unwrap();
+    }
+    store.checkpoint().unwrap();
+    for i in 60..70i64 {
+        store.insert("t", row![i, format!("c{i}")]).unwrap();
+    }
+
+    // second attachment recovers locally, reports its cursor, and resumes
+    let (follower, report) = Follower::open(fp.clone(), fc).unwrap();
+    assert!(report.cursor.at_or_past(&parked_cursor));
+    let replayed_locally = report.records_replayed;
+    let (status, stop, handle) = spawn_follower(follower, addr);
+    wait_for_catchup(&status, &store, &lp);
+    stop.store(true, Ordering::SeqCst);
+    let (follower, result) = handle.join().unwrap();
+    result.unwrap();
+    assert_eq!(
+        follower.db().canonical_bytes(),
+        store.db().canonical_bytes()
+    );
+    // resumption replayed only the delta over the wire, not all of history
+    assert!(
+        follower.status().records_applied() <= 40 + replayed_locally as u64,
+        "follower re-shipped history instead of resuming"
+    );
+    leader.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn two_followers_converge_independently() {
+    let dir = tmp_dir("fanout");
+    let lp = paths_in(&dir, "leader");
+    let (lc, fc) = test_config();
+    let mut store = leader_store(&lp);
+    for i in 0..50i64 {
+        store.insert("t", row![i, format!("x{i}")]).unwrap();
+    }
+    let leader = Leader::bind("127.0.0.1:0", lp.clone(), lc).unwrap();
+    let addr = leader.local_addr().to_string();
+
+    let mut running = Vec::new();
+    for role in ["f1", "f2"] {
+        let fp = paths_in(&dir, role);
+        let (follower, _) = Follower::open(fp, fc.clone()).unwrap();
+        running.push(spawn_follower(follower, addr.clone()));
+    }
+    for (status, _, _) in &running {
+        wait_for_catchup(status, &store, &lp);
+    }
+    // catch-up is observed follower-side; the leader records an ack only
+    // once its session thread has *read* the frame, so wait for that too
+    wait_until(
+        "both followers seen and acked",
+        Duration::from_secs(5),
+        || {
+            let status = leader.status();
+            status.followers() == 2 && status.min_acked().is_some()
+        },
+    );
+    let min = leader.status().min_acked().expect("followers acked");
+    let (tip_seg, _) = leader.status().tip();
+    assert!(min.segment <= tip_seg);
+
+    for (_, stop, _) in &running {
+        stop.store(true, Ordering::SeqCst);
+    }
+    for (_, _, handle) in running {
+        let (follower, result) = handle.join().unwrap();
+        result.unwrap();
+        assert_eq!(
+            follower.db().canonical_bytes(),
+            store.db().canonical_bytes()
+        );
+    }
+    leader.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn promoted_follower_continues_the_log_and_accepts_writes() {
+    let dir = tmp_dir("promote");
+    let lp = paths_in(&dir, "leader");
+    let fp = paths_in(&dir, "follower");
+    let (lc, fc) = test_config();
+    let mut store = leader_store(&lp);
+    for i in 0..25i64 {
+        store.insert("t", row![i, format!("v{i}")]).unwrap();
+    }
+    store.checkpoint().unwrap();
+    for i in 25..35i64 {
+        store.insert("t", row![i, format!("w{i}")]).unwrap();
+    }
+
+    let leader = Leader::bind("127.0.0.1:0", lp.clone(), lc).unwrap();
+    let addr = leader.local_addr().to_string();
+    let (follower, _) = Follower::open(fp.clone(), fc).unwrap();
+    let (status, stop, handle) = spawn_follower(follower, addr);
+    wait_for_catchup(&status, &store, &lp);
+    stop.store(true, Ordering::SeqCst);
+    let (follower, result) = handle.join().unwrap();
+    result.unwrap();
+    let expected = store.db().canonical_bytes();
+    leader.shutdown();
+
+    // failover: the old leader is gone; promote the replica
+    let epoch_before = follower.cursor().segment;
+    let (mut promoted, report) = follower
+        .promote(SyncPolicy::OsOnly, SegmentRetention::Keep(4))
+        .unwrap();
+    assert!(report.snapshot_loaded);
+    assert!(!report.torn_tail);
+    assert_eq!(promoted.db().canonical_bytes(), expected);
+    assert_eq!(promoted.epoch(), epoch_before);
+
+    // the promoted store accepts writes and checkpoints under the same
+    // epoch sequence
+    promoted
+        .insert("t", row![1000i64, "post-failover"])
+        .unwrap();
+    promoted.checkpoint().unwrap();
+    let after = promoted.db().canonical_bytes();
+    drop(promoted);
+    let (reopened, _) = LoggedDatabase::open_with_retention(
+        &fp.snapshot,
+        &fp.wal,
+        SyncPolicy::OsOnly,
+        SegmentRetention::Keep(4),
+    )
+    .unwrap();
+    assert_eq!(reopened.db().canonical_bytes(), after);
+    std::fs::remove_dir_all(&dir).ok();
+}
