@@ -22,7 +22,13 @@
 //! over loopback until its applied cursor reaches the leader's tip
 //! (median = lag-to-converge, throughput = segments/sec).
 //!
-//! Writing `--out FILE` (default `BENCH_PR9.json`) **merges** into an
+//! The classic run also measures the qatk-trace overhead twice — on the
+//! bare rank kernel (no root span live: child-span probes must be free)
+//! and on the serve request path, end to end over loopback HTTP (root
+//! span + children + ring publication, as a client experiences it) —
+//! and fails if either enabled-vs-disabled delta exceeds 3%.
+//!
+//! Writing `--out FILE` (default `BENCH_PR10.json`) **merges** into an
 //! existing report: fresh entries replace same-named ones in place, new
 //! names append — so the committed baseline accumulates the classic, 100k
 //! and 1m tiers from separate runs (plus the `model_zoo` binary's
@@ -56,6 +62,13 @@ use qatk_text::tokenizer::WhitespaceTokenizer;
 /// binary), so the limit leaves headroom above that floor while still
 /// catching any gross instrumentation regression.
 const MAX_OBS_OVERHEAD_PCT: f64 = 5.0;
+
+/// Maximum tracing overhead tolerated, enabled vs disabled, on the rank
+/// kernel and on the serve request path. Tighter than the obs limit
+/// because the tentpole claim is that tracing is cheap enough to leave on:
+/// the kernel pays one atomic load + one TLS probe per child span, the
+/// request path adds one allocation per span plus one ring publication.
+const MAX_TRACE_OVERHEAD_PCT: f64 = 3.0;
 
 /// Pruned-vs-exact speedup the 1m tier must clear.
 const MIN_1M_SPEEDUP: f64 = 5.0;
@@ -102,6 +115,39 @@ fn measure_obs_overhead(knn: &RankedKnn, kb: &KnowledgeBase, queries: &[BatchQue
     estimates[estimates.len() / 2]
 }
 
+/// Enabled-vs-disabled timing of `work` under the qatk-trace flag, with
+/// the same smoothing as [`measure_obs_overhead`]: interleaved arms,
+/// min-of-arm per pass, median of 7 passes. Returns percent (negative =
+/// noise).
+fn measure_trace_overhead(mut work: impl FnMut()) -> f64 {
+    let one_pass = |work: &mut dyn FnMut()| -> f64 {
+        let rounds = 32;
+        let calls_per_sample = 8;
+        let mut on = Vec::with_capacity(rounds);
+        let mut off = Vec::with_capacity(rounds);
+        for i in 0..rounds * 2 {
+            qatk_trace::set_enabled(i % 2 == 0);
+            let t = Instant::now();
+            for _ in 0..calls_per_sample {
+                work();
+            }
+            let ns = t.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            if i % 2 == 0 {
+                on.push(ns);
+            } else {
+                off.push(ns);
+            }
+        }
+        let on = *on.iter().min().expect("rounds > 0") as f64;
+        let off = *off.iter().min().expect("rounds > 0") as f64;
+        (on - off) / off * 100.0
+    };
+    let mut estimates: Vec<f64> = (0..7).map(|_| one_pass(&mut work)).collect();
+    qatk_trace::set_enabled(true);
+    estimates.sort_by(|a, b| a.total_cmp(b));
+    estimates[estimates.len() / 2]
+}
+
 fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
     args.iter()
         .position(|a| a == name)
@@ -110,8 +156,9 @@ fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
 }
 
 /// The classic micro-benchmarks; returns the results plus the measured
-/// observability overhead.
-fn run_classic(seed: u64) -> Result<(Vec<BenchResult>, f64), String> {
+/// observability overhead and the two tracing-overhead estimates
+/// (rank kernel, serve request path).
+fn run_classic(seed: u64) -> Result<(Vec<BenchResult>, f64, f64, f64), String> {
     eprintln!("preparing corpus and knowledge base (seed {seed}) ...");
     let corpus = Corpus::generate(CorpusConfig::small(seed));
     let pipeline = build_pipeline(&corpus, FeatureModel::BagOfConcepts);
@@ -305,7 +352,53 @@ fn run_classic(seed: u64) -> Result<(Vec<BenchResult>, f64), String> {
             "observability overhead {obs_overhead_pct:.2}% exceeds {MAX_OBS_OVERHEAD_PCT}% on classify_batch"
         ));
     }
-    Ok((benches, obs_overhead_pct))
+
+    eprintln!("measuring tracing overhead on the rank kernel (no root span) ...");
+    let trace_rank_pct = measure_trace_overhead(|| {
+        std::hint::black_box(knn.rank(&kb, &q0.part_id, f0));
+    });
+    eprintln!("tracing overhead (rank): {trace_rank_pct:+.2}% (limit {MAX_TRACE_OVERHEAD_PCT}%)");
+
+    eprintln!("measuring tracing overhead on the serve request path (loopback HTTP) ...");
+    let trace_app = std::sync::Arc::new(quest::serve_app::QuestApp::new(
+        std::sync::Arc::clone(&svc),
+        quest::serve_app::HealthInfo::default(),
+    ));
+    let trace_server = qatk_serve::Server::bind(
+        "127.0.0.1:0",
+        qatk_serve::ServerConfig {
+            threads: 2,
+            ..qatk_serve::ServerConfig::default()
+        },
+        trace_app,
+    )
+    .map_err(|e| format!("bind loopback for trace overhead: {e}"))?;
+    let suggest_body = format!(
+        "{{\"part_id\":\"{}\",\"text\":\"{}\"}}",
+        json::escape(&corpus.bundles[0].part_id),
+        json::escape(&corpus.bundles[0].supplier_report)
+    );
+    let mut trace_client = qatk_serve::HttpClient::connect(
+        trace_server.local_addr(),
+        std::time::Duration::from_secs(5),
+    )
+    .map_err(|e| format!("connect loopback for trace overhead: {e}"))?;
+    let trace_serve_pct = measure_trace_overhead(|| {
+        let resp = trace_client
+            .request("POST", "/suggest", Some(&suggest_body))
+            .expect("loopback /suggest for trace overhead");
+        assert_eq!(resp.status, 200, "trace-overhead probe request failed");
+    });
+    trace_server.shutdown();
+    eprintln!("tracing overhead (serve): {trace_serve_pct:+.2}% (limit {MAX_TRACE_OVERHEAD_PCT}%)");
+    for (what, pct) in [("rank", trace_rank_pct), ("serve", trace_serve_pct)] {
+        if pct > MAX_TRACE_OVERHEAD_PCT {
+            return Err(format!(
+                "tracing overhead {pct:.2}% exceeds {MAX_TRACE_OVERHEAD_PCT}% on the {what} path"
+            ));
+        }
+    }
+    Ok((benches, obs_overhead_pct, trace_rank_pct, trace_serve_pct))
 }
 
 /// The replication catch-up benchmark (DESIGN.md §13): a leader holds
@@ -533,7 +626,7 @@ fn run_scale(tier: ScaleTier, seed: u64) -> Result<Vec<BenchResult>, String> {
 
 fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let out_path = flag_value(&args, "--out").unwrap_or("BENCH_PR9.json");
+    let out_path = flag_value(&args, "--out").unwrap_or("BENCH_PR10.json");
     let repl = args.iter().any(|a| a == "--repl");
     let check_path = flag_value(&args, "--check");
     let seed: u64 = flag_value(&args, "--seed")
@@ -546,11 +639,11 @@ fn run() -> Result<(), String> {
         })
         .transpose()?;
 
-    let (benches, obs_overhead_pct) = match (repl, scale) {
+    let (benches, fresh_overheads) = match (repl, scale) {
         (true, _) => (run_repl()?, None),
         (false, None) => {
-            let (b, o) = run_classic(seed)?;
-            (b, Some(o))
+            let (b, o, tr, ts) = run_classic(seed)?;
+            (b, Some((o, tr, ts)))
         }
         (false, Some(tier)) => (run_scale(tier, seed)?, None),
     };
@@ -565,19 +658,30 @@ fn run() -> Result<(), String> {
 
     // merge over an existing report so the classic and scale tiers
     // accumulate into one baseline file
-    let (previous, previous_overhead) = match std::fs::read_to_string(out_path) {
+    let (previous, prev_overheads) = match std::fs::read_to_string(out_path) {
         Ok(text) => {
             let prev =
                 json::parse(&text).map_err(|e| format!("parsing existing {out_path}: {e}"))?;
-            let overhead = prev.get("obs_overhead_pct").and_then(Json::as_f64);
-            (parse_entries(&prev)?, overhead)
+            let overheads = (
+                prev.get("obs_overhead_pct").and_then(Json::as_f64),
+                prev.get("trace_overhead_rank_pct").and_then(Json::as_f64),
+                prev.get("trace_overhead_serve_pct").and_then(Json::as_f64),
+            );
+            (parse_entries(&prev)?, overheads)
         }
-        Err(_) => (Vec::new(), None),
+        Err(_) => (Vec::new(), (None, None, None)),
     };
     let merged = merge_entries(&previous, &benches);
-    // a scale run leaves the classic run's overhead estimate in place
-    let overhead = obs_overhead_pct.or(previous_overhead).unwrap_or(0.0);
-    let report = render_report(&merged, overhead);
+    // a scale/repl run leaves the classic run's overhead estimates in place
+    let (obs, trace_rank, trace_serve) = match fresh_overheads {
+        Some((o, tr, ts)) => (o, tr, ts),
+        None => (
+            prev_overheads.0.unwrap_or(0.0),
+            prev_overheads.1.unwrap_or(0.0),
+            prev_overheads.2.unwrap_or(0.0),
+        ),
+    };
+    let report = render_report(&merged, obs, trace_rank, trace_serve);
     std::fs::write(out_path, &report).map_err(|e| format!("writing {out_path}: {e}"))?;
     println!(
         "wrote {out_path} ({} entries, {} fresh)",

@@ -13,7 +13,7 @@
 //!   the paper kernel's behaviour.
 //! * **timing**: per-family `rank_batch` medians over one shared
 //!   knowledge base (`zoo_rank_<family>`), merged into the bench-gate
-//!   baseline (default `BENCH_PR9.json`) and gated by `--check` with the
+//!   baseline (default `BENCH_PR10.json`) and gated by `--check` with the
 //!   same 25% median + p95 tolerance as every other bench.
 //!
 //! `--scale 100k|1m` skips the CV grid (scale corpora carry pre-extracted
@@ -308,7 +308,7 @@ fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
 
 fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let out_path = flag_value(&args, "--out").unwrap_or("BENCH_PR9.json");
+    let out_path = flag_value(&args, "--out").unwrap_or("BENCH_PR10.json");
     let zoo_out = flag_value(&args, "--zoo-out").unwrap_or("MODEL_ZOO.json");
     let check_path = flag_value(&args, "--check");
     let seed: u64 = flag_value(&args, "--seed")
@@ -351,17 +351,27 @@ fn run() -> Result<(), String> {
     }
 
     // merge into the shared bench baseline, exactly like bench_report
-    let (previous, previous_overhead) = match std::fs::read_to_string(out_path) {
-        Ok(text) => {
-            let prev =
-                json::parse(&text).map_err(|e| format!("parsing existing {out_path}: {e}"))?;
-            let overhead = prev.get("obs_overhead_pct").and_then(Json::as_f64);
-            (parse_entries(&prev)?, overhead)
-        }
-        Err(_) => (Vec::new(), None),
-    };
+    let (previous, prev_obs, prev_trace_rank, prev_trace_serve) =
+        match std::fs::read_to_string(out_path) {
+            Ok(text) => {
+                let prev =
+                    json::parse(&text).map_err(|e| format!("parsing existing {out_path}: {e}"))?;
+                (
+                    parse_entries(&prev)?,
+                    prev.get("obs_overhead_pct").and_then(Json::as_f64),
+                    prev.get("trace_overhead_rank_pct").and_then(Json::as_f64),
+                    prev.get("trace_overhead_serve_pct").and_then(Json::as_f64),
+                )
+            }
+            Err(_) => (Vec::new(), None, None, None),
+        };
     let merged = merge_entries(&previous, &benches);
-    let report = render_report(&merged, previous_overhead.unwrap_or(0.0));
+    let report = render_report(
+        &merged,
+        prev_obs.unwrap_or(0.0),
+        prev_trace_rank.unwrap_or(0.0),
+        prev_trace_serve.unwrap_or(0.0),
+    );
     std::fs::write(out_path, &report).map_err(|e| format!("writing {out_path}: {e}"))?;
     println!(
         "wrote {out_path} ({} entries, {} fresh)",

@@ -9,7 +9,9 @@
 //!   "benches": [
 //!     {"bench": "classify_batch", "median_ns": 1, "p95_ns": 2, "throughput": 3.0}
 //!   ],
-//!   "obs_overhead_pct": 0.4
+//!   "obs_overhead_pct": 0.4,
+//!   "trace_overhead_rank_pct": 0.1,
+//!   "trace_overhead_serve_pct": 1.2
 //! }
 //! ```
 //!
@@ -101,8 +103,17 @@ pub fn bench(
     }
 }
 
-/// Render the `qatk-bench-report/v1` JSON document.
-pub fn render_report(benches: &[BenchResult], obs_overhead_pct: f64) -> String {
+/// Render the `qatk-bench-report/v1` JSON document. The trailing overhead
+/// fields are the enabled-vs-disabled estimates the classic run measures:
+/// qatk-obs on classify_batch, qatk-trace on the bare rank kernel (no root
+/// span live, so the child-span probes must be free) and on the serve
+/// request path (root span + children + publication).
+pub fn render_report(
+    benches: &[BenchResult],
+    obs_overhead_pct: f64,
+    trace_overhead_rank_pct: f64,
+    trace_overhead_serve_pct: f64,
+) -> String {
     let mut out = String::from("{\n  \"schema\": \"qatk-bench-report/v1\",\n  \"benches\": [\n");
     for (i, b) in benches.iter().enumerate() {
         out.push_str(&format!(
@@ -115,7 +126,9 @@ pub fn render_report(benches: &[BenchResult], obs_overhead_pct: f64) -> String {
         ));
     }
     out.push_str(&format!(
-        "  ],\n  \"obs_overhead_pct\": {obs_overhead_pct:.2}\n}}\n"
+        "  ],\n  \"obs_overhead_pct\": {obs_overhead_pct:.2},\n  \
+         \"trace_overhead_rank_pct\": {trace_overhead_rank_pct:.2},\n  \
+         \"trace_overhead_serve_pct\": {trace_overhead_serve_pct:.2}\n}}\n"
     ));
     out
 }
@@ -245,7 +258,7 @@ mod tests {
     }
 
     fn baseline_json(entries: &[BenchResult]) -> Json {
-        json::parse(&render_report(entries, 0.0)).expect("render emits valid json")
+        json::parse(&render_report(entries, 0.0, 0.0, 0.0)).expect("render emits valid json")
     }
 
     #[test]
@@ -253,6 +266,23 @@ mod tests {
         let benches = vec![result("rank", 1_000, 1_500), result("tokenize", 50, 80)];
         let parsed = parse_entries(&baseline_json(&benches)).unwrap();
         assert_eq!(parsed, benches);
+    }
+
+    #[test]
+    fn overhead_fields_render_and_parse() {
+        let doc = json::parse(&render_report(&[result("rank", 10, 20)], 1.25, -0.4, 2.75)).unwrap();
+        assert_eq!(
+            doc.get("obs_overhead_pct").and_then(Json::as_f64),
+            Some(1.25)
+        );
+        assert_eq!(
+            doc.get("trace_overhead_rank_pct").and_then(Json::as_f64),
+            Some(-0.4)
+        );
+        assert_eq!(
+            doc.get("trace_overhead_serve_pct").and_then(Json::as_f64),
+            Some(2.75)
+        );
     }
 
     #[test]

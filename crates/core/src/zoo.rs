@@ -213,6 +213,11 @@ impl Classifier for RankerModel {
     ) -> Vec<ScoredCode> {
         let m = crate::metrics::metrics();
         m.rank_family_total(self.family()).inc();
+        // No-op outside a traced request, so the bare kernel benches pay
+        // one flag check + one thread-local probe.
+        let _span = qatk_trace::child_span("core.rank");
+        qatk_trace::annotate("family", self.family().label());
+        qatk_trace::annotate("features", features.len() as u64);
         match self {
             RankerModel::Knn(knn) => match index {
                 // bit-identical paths (asserted by rank_sealed_matches_rank_everywhere)
@@ -233,6 +238,8 @@ impl Classifier for RankerModel {
     ) -> Vec<Vec<ScoredCode>> {
         let m = crate::metrics::metrics();
         m.rank_family_total(self.family()).add(queries.len() as u64);
+        let _span = qatk_trace::child_span("core.rank_batch");
+        qatk_trace::annotate("queries", queries.len() as u64);
         match self {
             // the kNN batch path keeps its scoped-worker kernel fan-out
             RankerModel::Knn(knn) => knn.classify_batch(kb, queries),

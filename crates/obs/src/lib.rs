@@ -52,8 +52,31 @@ pub use registry::{HistogramSnapshot, MetricKind, Registry, Sample, Snapshot, Sn
 pub use text::parse_exposition;
 
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
 
 static ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// The installed exemplar source (see [`set_exemplar_source`]).
+static EXEMPLAR_SOURCE: OnceLock<fn() -> u64> = OnceLock::new();
+
+/// Install the process-wide exemplar source: a function returning the
+/// trace id active on the calling thread (`0` = none). `qatk-trace`
+/// installs itself here on first use, which is how histogram buckets
+/// learn which request last landed in them without this crate depending
+/// on the tracing crate. First installation wins; later calls are no-ops.
+pub fn set_exemplar_source(source: fn() -> u64) {
+    let _ = EXEMPLAR_SOURCE.set(source);
+}
+
+/// The trace id active on this thread according to the installed exemplar
+/// source, or `0` when none is installed or no trace is live.
+#[inline]
+pub fn exemplar_trace_id() -> u64 {
+    match EXEMPLAR_SOURCE.get() {
+        Some(source) => source(),
+        None => 0,
+    }
+}
 
 /// Globally enable or disable metric recording. Registration and rendering
 /// keep working while disabled; only the record operations become no-ops.

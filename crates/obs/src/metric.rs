@@ -117,6 +117,14 @@ pub struct Histogram {
     buckets: [AtomicU64; HISTOGRAM_BUCKETS],
     count: AtomicU64,
     sum: AtomicU64,
+    /// Most recent traced observation per bucket: the trace id (0 = none
+    /// yet) and the observed value — Prometheus exemplars, fed by the
+    /// process-wide source installed via [`crate::set_exemplar_source`].
+    /// Two relaxed stores; the pair may momentarily mix two traced
+    /// observations under contention, which exemplars tolerate by design
+    /// (they are a sampled hint, not an account).
+    exemplar_trace: [AtomicU64; HISTOGRAM_BUCKETS],
+    exemplar_value: [AtomicU64; HISTOGRAM_BUCKETS],
 }
 
 impl Default for Histogram {
@@ -153,6 +161,8 @@ impl Histogram {
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
             count: AtomicU64::new(0),
             sum: AtomicU64::new(0),
+            exemplar_trace: std::array::from_fn(|_| AtomicU64::new(0)),
+            exemplar_value: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
 
@@ -162,9 +172,26 @@ impl Histogram {
         if !enabled() {
             return;
         }
-        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        let bucket = bucket_of(v);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(v, Ordering::Relaxed);
+        let trace = crate::exemplar_trace_id();
+        if trace != 0 {
+            self.exemplar_trace[bucket].store(trace, Ordering::Relaxed);
+            self.exemplar_value[bucket].store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// The exemplar of each bucket that has one: `(bucket index, trace id,
+    /// observed value)` for every bucket a traced request has landed in.
+    pub fn exemplars(&self) -> Vec<(usize, u64, u64)> {
+        (0..HISTOGRAM_BUCKETS)
+            .filter_map(|i| {
+                let trace = self.exemplar_trace[i].load(Ordering::Relaxed);
+                (trace != 0).then(|| (i, trace, self.exemplar_value[i].load(Ordering::Relaxed)))
+            })
+            .collect()
     }
 
     /// Total number of observations.

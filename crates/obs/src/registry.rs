@@ -147,12 +147,16 @@ impl Registry {
 }
 
 /// Frozen state of one histogram.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct HistogramSnapshot {
     pub count: u64,
     pub sum: u64,
     /// Non-empty buckets as `(inclusive_upper_bound, count)`, ascending.
     pub buckets: Vec<(u64, u64)>,
+    /// Per-bucket exemplars as `(inclusive_upper_bound, trace_id, value)`,
+    /// ascending — the most recent traced observation that landed in each
+    /// bucket (see [`crate::set_exemplar_source`]).
+    pub exemplars: Vec<(u64, u64, u64)>,
     pub p50: u64,
     pub p95: u64,
     pub p99: u64,
@@ -165,10 +169,16 @@ impl HistogramSnapshot {
             .filter(|&i| counts[i] > 0)
             .map(|i| (bucket_upper(i), counts[i]))
             .collect();
+        let exemplars = h
+            .exemplars()
+            .into_iter()
+            .map(|(i, trace, value)| (bucket_upper(i), trace, value))
+            .collect();
         HistogramSnapshot {
             count: h.count(),
             sum: h.sum(),
             buckets,
+            exemplars,
             p50: h.quantile(0.50),
             p95: h.quantile(0.95),
             p99: h.quantile(0.99),
@@ -234,7 +244,10 @@ impl Snapshot {
 
     /// Prometheus text exposition: `# HELP` / `# TYPE` comment lines, plain
     /// samples for counters and gauges, and the standard cumulative
-    /// `_bucket{le=...}` / `_sum` / `_count` triple for histograms.
+    /// `_bucket{le=...}` / `_sum` / `_count` triple for histograms. A
+    /// bucket that holds an exemplar carries it OpenMetrics-style:
+    /// `name_bucket{le="7"} 3 # {trace_id="00..ef"} 5` — the most recent
+    /// traced observation that landed in that (non-cumulative) bucket.
     pub fn render_prometheus(&self) -> String {
         let mut out = String::new();
         for s in &self.samples {
@@ -252,7 +265,13 @@ impl Snapshot {
                     let mut cum = 0u64;
                     for &(upper, count) in &h.buckets {
                         cum += count;
-                        out.push_str(&format!("{name}_bucket{{le=\"{upper}\"}} {cum}\n"));
+                        out.push_str(&format!("{name}_bucket{{le=\"{upper}\"}} {cum}"));
+                        if let Some(&(_, trace, value)) =
+                            h.exemplars.iter().find(|(u, _, _)| *u == upper)
+                        {
+                            out.push_str(&format!(" # {{trace_id=\"{trace:016x}\"}} {value}"));
+                        }
+                        out.push('\n');
                     }
                     out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count));
                     out.push_str(&format!("{name}_sum {}\n", h.sum));
@@ -379,6 +398,36 @@ mod tests {
         assert!(text.contains("qatk_test_render_ns_bucket{le=\"+Inf\"} 1"));
         assert!(text.contains("qatk_test_render_ns_sum 5"));
         assert!(text.contains("qatk_test_render_ns_count 1"));
+    }
+
+    #[test]
+    fn histogram_exemplars_render_openmetrics_style() {
+        thread_local! {
+            static TEST_TRACE: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+        }
+        fn source() -> u64 {
+            TEST_TRACE.with(|c| c.get())
+        }
+        crate::set_exemplar_source(source);
+        let reg = Registry::new();
+        let h = reg.histogram("qatk_test_exemplar_ns", "traced latencies");
+        h.record(5); // untraced: no exemplar for this bucket yet
+        TEST_TRACE.with(|c| c.set(0xBEEF));
+        h.record(100); // traced: bucket le="127" gets the exemplar
+        TEST_TRACE.with(|c| c.set(0));
+        let text = reg.render_prometheus();
+        assert!(text.contains(
+            "qatk_test_exemplar_ns_bucket{le=\"127\"} 2 # {trace_id=\"000000000000beef\"} 100"
+        ));
+        // the untraced bucket keeps its plain line
+        assert!(text.contains("qatk_test_exemplar_ns_bucket{le=\"7\"} 1\n"));
+        // the exposition still parses, exemplars stripped
+        let parsed = crate::parse_exposition(&text).expect("exposition parses");
+        assert_eq!(parsed["qatk_test_exemplar_ns_bucket{le=\"127\"}"], 2.0);
+        // and the snapshot carries the structured exemplar
+        let snap = reg.snapshot();
+        let hs = snap.histogram("qatk_test_exemplar_ns").unwrap();
+        assert_eq!(hs.exemplars, vec![(127, 0xBEEF, 100)]);
     }
 
     #[test]

@@ -6,9 +6,11 @@ use std::collections::BTreeMap;
 
 /// Parse a Prometheus text exposition into `sample name → value`.
 ///
-/// Comment lines (`# HELP`, `# TYPE`) are skipped. Labelled samples keep the
-/// label suffix in the key verbatim, e.g. `qatk_x_ns_bucket{le="+Inf"}`.
-/// Returns `None` on any malformed sample line.
+/// Comment lines (`# HELP`, `# TYPE`) are skipped, and an OpenMetrics-style
+/// exemplar suffix (` # {trace_id="..."} 5`) on a bucket line is stripped —
+/// the sample value is what precedes it. Labelled samples keep the label
+/// suffix in the key verbatim, e.g. `qatk_x_ns_bucket{le="+Inf"}`. Returns
+/// `None` on any malformed sample line.
 pub fn parse_exposition(text: &str) -> Option<BTreeMap<String, f64>> {
     let mut out = BTreeMap::new();
     for line in text.lines() {
@@ -16,6 +18,11 @@ pub fn parse_exposition(text: &str) -> Option<BTreeMap<String, f64>> {
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
+        // Everything from an exemplar marker on is metadata, not the sample.
+        let line = match line.split_once(" # ") {
+            Some((sample, _exemplar)) => sample.trim_end(),
+            None => line,
+        };
         // The value is everything after the last space *outside* braces; the
         // registry never renders spaces inside label values, so rsplit works.
         let (name, value) = line.rsplit_once(' ')?;
@@ -50,6 +57,18 @@ qatk_h_ns_count 2
         assert_eq!(m["qatk_h_ns_bucket{le=\"+Inf\"}"], 2.0);
         assert_eq!(m["qatk_h_ns_sum"], 150.0);
         assert_eq!(m["qatk_h_ns_count"], 2.0);
+    }
+
+    #[test]
+    fn exemplar_suffixes_are_stripped() {
+        let text = "\
+qatk_h_ns_bucket{le=\"7\"} 3 # {trace_id=\"000000000000beef\"} 5
+qatk_h_ns_bucket{le=\"+Inf\"} 3
+";
+        let m = parse_exposition(text).unwrap();
+        assert_eq!(m["qatk_h_ns_bucket{le=\"7\"}"], 3.0);
+        assert_eq!(m["qatk_h_ns_bucket{le=\"+Inf\"}"], 3.0);
+        assert_eq!(m.len(), 2);
     }
 
     #[test]

@@ -1,0 +1,52 @@
+//! Property tests for the JSON writer/reader pair: arbitrary strings —
+//! including quotes, backslashes, control characters, and non-ASCII —
+//! survive `escape` → `parse`, and metric names containing such
+//! characters still render a valid, value-preserving JSON snapshot.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use qatk_obs::json::{escape, parse, Value};
+use qatk_obs::{Sample, Snapshot, SnapshotValue};
+
+/// Characters chosen to stress every escaping branch: the two JSON
+/// specials, the named control escapes, raw control bytes, structural
+/// characters, and multi-byte UTF-8.
+const PALETTE: &[char] = &[
+    '"', '\\', '\n', '\r', '\t', '\u{1}', '\u{8}', '\u{c}', '\u{1f}', 'a', 'Z', '0', ' ', '/', '{',
+    '}', '[', ']', ':', ',', 'é', 'ß', '中', '🦀',
+];
+
+fn arb_nasty() -> impl Strategy<Value = String> {
+    vec(0usize..PALETTE.len(), 0..32).prop_map(|ix| ix.into_iter().map(|i| PALETTE[i]).collect())
+}
+
+proptest! {
+    #[test]
+    fn escape_round_trips_through_parse(s in arb_nasty()) {
+        let doc = format!("\"{}\"", escape(&s));
+        prop_assert_eq!(parse(&doc), Ok(Value::Str(s)));
+    }
+
+    #[test]
+    fn snapshot_json_stays_valid_for_arbitrary_metric_names(
+        name in arb_nasty(),
+        value in any::<u64>(),
+    ) {
+        // Registered names are `&'static str` in real code; the render path
+        // must stay correct even for hostile names, so leak per case.
+        let name: &'static str = Box::leak(name.into_boxed_str());
+        let snapshot = Snapshot {
+            samples: vec![Sample {
+                name,
+                help: "prop",
+                value: SnapshotValue::Counter(value),
+            }],
+        };
+        let doc = snapshot.render_json();
+        let parsed = parse(&doc).expect("rendered snapshot must be valid JSON");
+        let counters = parsed.get("counters").expect("counters object");
+        let got = counters.get(name).expect("escaped key round-trips");
+        prop_assert_eq!(got.as_f64(), Some(value as f64));
+    }
+}

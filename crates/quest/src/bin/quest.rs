@@ -15,6 +15,7 @@
 //! quest replica --follow HOST:PORT --db F --wal F read-only replica (DESIGN.md §13)
 //! quest promote --db FILE --wal FILE              promote a replica mirror to writable
 //! quest loadgen --addr HOST:PORT [--qps N]        closed/open-loop load generator
+//! quest trace --addr HOST:PORT [--slow]           pretty-print captured trace trees
 //! ```
 
 use std::path::Path;
@@ -48,6 +49,7 @@ fn main() -> ExitCode {
         "replica" => cmd_replica(rest),
         "promote" => cmd_promote(rest),
         "loadgen" => cmd_loadgen(rest),
+        "trace" => cmd_trace(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -64,7 +66,7 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str =
-    "usage: quest <generate|gen-corpus|stats|suggest|compare|demo|metrics|recover|serve|replica|promote|loadgen> [options]
+    "usage: quest <generate|gen-corpus|stats|suggest|compare|demo|metrics|recover|serve|replica|promote|loadgen|trace> [options]
   generate [--small] [--seed N] --db FILE   generate a corpus, persist to FILE
   gen-corpus --scale 100k|1m|10m [--seed N] [--bundles N] --out FILE
                                             seed-deterministic feature-level scale
@@ -109,7 +111,11 @@ const USAGE: &str =
   loadgen [--addr H:P] [--connections N] [--requests N] [--qps N] [--duration-secs S]
           [--seed N] [--endpoint suggest|classify|mixed] [--small]
                                             load generator: closed loop by default,
-                                            open loop at --qps; prints p50/p99/p999";
+                                            open loop at --qps; prints p50/p99/p999
+  trace [--addr H:P] [--slow]               fetch /debug/traces from a running
+                                            server and pretty-print each span
+                                            tree with per-span duration bars
+                                            (--slow: the slow-request log)";
 
 fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
     args.iter()
@@ -481,7 +487,12 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         health.replication = Some(ReplicationHealth::Leader(leader.status()));
         let store = Arc::new(Mutex::new(store));
         let publishes = AtomicU64::new(0);
+        let repl_status = leader.status();
         let hook: PublishHook = Arc::new(move |svc: &RecommendationService| {
+            // Hand the /learn request's trace id to the replication
+            // sessions: they stamp it onto Seal/Tip frames and record
+            // follower ack lag against it.
+            repl_status.set_learn_trace(qatk_trace::current_trace_id_u64());
             let snapshot = svc.snapshot();
             let mut store = store.lock().unwrap_or_else(PoisonError::into_inner);
             snapshot
@@ -787,4 +798,114 @@ fn cmd_recover(args: &[String]) -> Result<(), String> {
         println!("  {name}: {rows} rows");
     }
     Ok(())
+}
+
+/// Fetch `/debug/traces` (or `/debug/traces/slow`) from a running server
+/// and pretty-print each captured tree: one header line per trace, then
+/// the spans indented by depth with a duration bar scaled to the root.
+fn cmd_trace(args: &[String]) -> Result<(), String> {
+    let addr = flag_value(args, "--addr").unwrap_or("127.0.0.1:7420");
+    let path = if has_flag(args, "--slow") {
+        "/debug/traces/slow"
+    } else {
+        "/debug/traces"
+    };
+    let mut client = qatk_serve::HttpClient::connect(addr, std::time::Duration::from_secs(5))
+        .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let resp = client
+        .request("GET", path, None)
+        .map_err(|e| format!("GET {path} failed: {e}"))?;
+    if resp.status != 200 {
+        return Err(format!("GET {path} answered {}", resp.status));
+    }
+    let doc = qatk_obs::json::parse(&resp.body_str())
+        .map_err(|e| format!("unparseable trace document: {e}"))?;
+    let trees = doc.as_arr().ok_or("trace document is not an array")?;
+    if trees.is_empty() {
+        println!("no traces captured ({path})");
+        return Ok(());
+    }
+    for tree in trees {
+        print_trace_tree(tree)?;
+    }
+    println!("{} trace(s)", trees.len());
+    Ok(())
+}
+
+fn print_trace_tree(tree: &qatk_obs::json::Value) -> Result<(), String> {
+    use qatk_obs::json::Value;
+    let trace_id = tree
+        .get("trace_id")
+        .and_then(Value::as_str)
+        .unwrap_or("????????????????");
+    let total_ns = tree.get("duration_ns").and_then(Value::as_u64).unwrap_or(0);
+    let spans = tree
+        .get("spans")
+        .and_then(Value::as_arr)
+        .ok_or("tree has no spans array")?;
+    println!(
+        "trace {trace_id}  {}  {} span(s)",
+        fmt_ns(total_ns),
+        spans.len()
+    );
+    // depth by walking parent links; spans arrive in creation order, so a
+    // parent always precedes its children
+    let mut depth_of: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+    for span in spans {
+        let id = span.get("id").and_then(Value::as_u64).unwrap_or(0);
+        let depth = match span.get("parent").and_then(Value::as_u64) {
+            Some(parent) => depth_of.get(&parent).copied().unwrap_or(0) + 1,
+            None => 0,
+        };
+        depth_of.insert(id, depth);
+        let name = span.get("name").and_then(Value::as_str).unwrap_or("?");
+        let start = span.get("start_ns").and_then(Value::as_u64).unwrap_or(0);
+        let end = span.get("end_ns").and_then(Value::as_u64).unwrap_or(start);
+        let dur = end.saturating_sub(start);
+        // bar scaled to the root duration, 24 columns wide
+        let width = 24u64;
+        let filled = dur
+            .saturating_mul(width)
+            .checked_div(total_ns)
+            .unwrap_or(0)
+            .min(width) as usize;
+        let mut notes = String::new();
+        if let Some(obj) = span.get("notes").and_then(Value::as_obj) {
+            for (k, v) in obj {
+                let rendered = match v {
+                    Value::Str(s) => s.clone(),
+                    Value::Bool(b) => b.to_string(),
+                    Value::Num(n) => {
+                        if n.fract() == 0.0 && n.abs() < 1e15 {
+                            format!("{}", *n as i64)
+                        } else {
+                            format!("{n}")
+                        }
+                    }
+                    _ => "...".to_owned(),
+                };
+                notes.push_str(&format!("  {k}={rendered}"));
+            }
+        }
+        println!(
+            "  {:indent$}{name:<24} {:>10}  [{:<width$}]{notes}",
+            "",
+            fmt_ns(dur),
+            "#".repeat(filled),
+            indent = depth * 2,
+            width = width as usize,
+        );
+    }
+    Ok(())
+}
+
+/// Human-scale duration: ns under 1µs, µs under 1ms, else ms.
+fn fmt_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}us", ns as f64 / 1_000.0)
+    } else {
+        format!("{:.2}ms", ns as f64 / 1_000_000.0)
+    }
 }

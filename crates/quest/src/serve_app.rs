@@ -9,10 +9,19 @@
 //! * `POST /learn` — enqueue learn instances and publish one new epoch;
 //!   a 200 response means the instances are *published* (the handler holds
 //!   the ack until [`RecommendationService::publish_pending`] returns);
-//! * `GET /healthz` — epoch, knowledge-base size, recovery status;
-//! * `GET /metrics` — the full `qatk_*` Prometheus exposition.
+//! * `GET /healthz` — epoch, knowledge-base size, recovery status, uptime;
+//! * `GET /metrics` — the full `qatk_*` Prometheus exposition;
+//! * `GET /debug/traces` — recently captured trace trees (JSON array);
+//! * `GET /debug/traces/slow` — the always-retained slow-request log.
+//!
+//! Every `/suggest`, `/classify_batch` and `/learn` request runs under a
+//! root span. The client may pin the trace id with an `x-qatk-trace`
+//! header (hex); otherwise one is minted. Either way the id is echoed back
+//! in the response's `x-qatk-trace` header.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use qatk_corpus::bundle::DataBundle;
 use qatk_obs::json::{self, Value};
@@ -64,6 +73,11 @@ pub struct QuestApp {
     /// Read replicas reject `/learn`: writes belong to the leader.
     read_only: bool,
     on_publish: Option<PublishHook>,
+    /// When this handler was constructed; `/healthz` reports the elapsed
+    /// time as `uptime_secs`.
+    boot: Instant,
+    /// Monotonic count of requests routed through [`Handler::handle`].
+    requests: AtomicU64,
 }
 
 impl QuestApp {
@@ -73,6 +87,8 @@ impl QuestApp {
             health,
             read_only: false,
             on_publish: None,
+            boot: Instant::now(),
+            requests: AtomicU64::new(0),
         }
     }
 
@@ -226,6 +242,11 @@ impl QuestApp {
             self.health.segments_replayed,
             self.health.records_replayed,
         );
+        body.push_str(&format!(
+            ",\"uptime_secs\":{},\"requests_total\":{}",
+            self.boot.elapsed().as_secs(),
+            self.requests.load(Ordering::Relaxed),
+        ));
         match &self.health.replication {
             None => {}
             Some(ReplicationHealth::Leader(status)) => {
@@ -259,23 +280,67 @@ impl QuestApp {
     }
 
     fn metrics(&self) -> Response {
-        Response::text(200, Registry::global().render_prometheus()).with_endpoint("metrics")
+        // The Prometheus text exposition format carries its version in the
+        // content type; scrapers key on it.
+        Response::new(
+            200,
+            "text/plain; version=0.0.4",
+            Registry::global().render_prometheus(),
+        )
+        .with_endpoint("metrics")
+    }
+
+    fn debug_traces(&self, slow: bool) -> Response {
+        let store = qatk_trace::store();
+        let trees = if slow { store.slow() } else { store.recent() };
+        Response::json(200, qatk_trace::render::render_trees_json(&trees)).with_endpoint(if slow {
+            "debug_traces_slow"
+        } else {
+            "debug_traces"
+        })
+    }
+
+    /// Run one endpoint handler under a root span, honouring an incoming
+    /// `x-qatk-trace` header and echoing the trace id on the response. With
+    /// tracing disabled no span is captured, but a client-pinned id still
+    /// round-trips.
+    fn traced(&self, name: &'static str, req: &Request, f: impl FnOnce() -> Response) -> Response {
+        let incoming = req
+            .header("x-qatk-trace")
+            .and_then(qatk_trace::TraceId::parse_hex);
+        let span = qatk_trace::root_span(name, incoming);
+        let trace = span
+            .trace_id()
+            .or(incoming)
+            .map_or(0, qatk_trace::TraceId::as_u64);
+        f().with_trace(trace)
     }
 }
 
 impl Handler for QuestApp {
     fn handle(&self, req: &Request) -> Response {
+        self.requests.fetch_add(1, Ordering::Relaxed);
         let get_like = matches!(req.method, Method::Get | Method::Head);
         match req.path() {
-            "/suggest" if req.method == Method::Post => self.suggest(req),
-            "/classify_batch" if req.method == Method::Post => self.classify_batch(req),
-            "/learn" if req.method == Method::Post => self.learn(req),
+            "/suggest" if req.method == Method::Post => {
+                self.traced("serve.suggest", req, || self.suggest(req))
+            }
+            "/classify_batch" if req.method == Method::Post => {
+                self.traced("serve.classify_batch", req, || self.classify_batch(req))
+            }
+            "/learn" if req.method == Method::Post => {
+                self.traced("serve.learn", req, || self.learn(req))
+            }
             "/healthz" if get_like => self.healthz(),
             "/metrics" if get_like => self.metrics(),
+            "/debug/traces" if get_like => self.debug_traces(false),
+            "/debug/traces/slow" if get_like => self.debug_traces(true),
             "/suggest" | "/classify_batch" | "/learn" => {
                 Response::error_json(405, "use POST").with_allow("POST")
             }
-            "/healthz" | "/metrics" => Response::error_json(405, "use GET").with_allow("GET, HEAD"),
+            "/healthz" | "/metrics" | "/debug/traces" | "/debug/traces/slow" => {
+                Response::error_json(405, "use GET").with_allow("GET, HEAD")
+            }
             _ => Response::error_json(404, "no such endpoint"),
         }
     }
@@ -545,16 +610,141 @@ mod tests {
         assert_eq!(doc.get("classifier").and_then(Value::as_str), Some("knn"));
         assert_eq!(doc.get("measure").and_then(Value::as_str), Some("overlap"));
 
+        // the uptime/request counters land in the same document
+        assert!(doc.get("uptime_secs").and_then(Value::as_u64).is_some());
+        let first = doc.get("requests_total").and_then(Value::as_u64).unwrap();
+        assert!(first >= 1);
+        let resp = app.handle(&request("GET", "/healthz", ""));
+        let doc = json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        assert_eq!(
+            doc.get("requests_total").and_then(Value::as_u64),
+            Some(first + 1),
+            "requests_total is monotonic"
+        );
+
         let resp = app.handle(&request("GET", "/metrics", ""));
         assert_eq!(resp.status, 200);
+        assert_eq!(resp.content_type, "text/plain; version=0.0.4");
         assert!(String::from_utf8_lossy(&resp.body).contains("qatk_"));
+
+        let resp = app.handle(&request("GET", "/debug/traces", ""));
+        assert_eq!(resp.status, 200);
+        assert!(json::parse(std::str::from_utf8(&resp.body).unwrap())
+            .unwrap()
+            .as_arr()
+            .is_some());
+        let resp = app.handle(&request("GET", "/debug/traces/slow", ""));
+        assert_eq!(resp.status, 200);
 
         let resp = app.handle(&request("GET", "/suggest", ""));
         assert_eq!(resp.status, 405);
         assert_eq!(resp.allow, Some("POST"));
         let resp = app.handle(&request("POST", "/healthz", ""));
         assert_eq!(resp.status, 405);
+        let resp = app.handle(&request("POST", "/debug/traces", ""));
+        assert_eq!(resp.status, 405);
+        assert_eq!(resp.allow, Some("GET, HEAD"));
         let resp = app.handle(&request("GET", "/nope", ""));
         assert_eq!(resp.status, 404);
+    }
+
+    /// Satellite: `/metrics` conforms to the Prometheus text exposition
+    /// format — every non-empty line is either a `# HELP`/`# TYPE` comment
+    /// or a `name{labels} value` sample (an OpenMetrics-style exemplar
+    /// suffix is allowed), and no metric gets two TYPE lines.
+    #[test]
+    fn metrics_exposition_conforms_to_text_format() {
+        let app = app();
+        // drive some traffic so histograms and counters are populated
+        app.handle(&request(
+            "POST",
+            "/suggest",
+            "{\"part_id\":\"P003\",\"text\":\"oil leak\"}",
+        ));
+        let resp = app.handle(&request("GET", "/metrics", ""));
+        let text = String::from_utf8(resp.body).unwrap();
+        let mut typed = std::collections::HashSet::new();
+        for line in text.lines() {
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("# ") {
+                let (kind, rest) = rest.split_once(' ').expect("comment has a metric name");
+                assert!(
+                    kind == "HELP" || kind == "TYPE",
+                    "unknown comment kind in {line:?}"
+                );
+                if kind == "TYPE" {
+                    let name = rest.split_whitespace().next().unwrap();
+                    assert!(typed.insert(name.to_owned()), "duplicate TYPE for {name}");
+                }
+                continue;
+            }
+            // sample line: strip an exemplar suffix, then `name{...} value`
+            let sample = match line.split_once(" # ") {
+                Some((s, _)) => s.trim_end(),
+                None => line,
+            };
+            let (name_part, value) = sample.rsplit_once(' ').expect("sample has a value");
+            assert!(
+                value.parse::<f64>().is_ok(),
+                "unparseable value in {line:?}"
+            );
+            let name = name_part.split('{').next().unwrap();
+            assert!(
+                !name.is_empty()
+                    && name
+                        .chars()
+                        .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+                "bad metric name in {line:?}"
+            );
+            if let Some(rest) = name_part.split_once('{').map(|(_, r)| r) {
+                assert!(rest.ends_with('}'), "unterminated label set in {line:?}");
+            }
+        }
+        assert!(!typed.is_empty());
+    }
+
+    /// Tentpole acceptance: the trace id round-trips through the
+    /// `x-qatk-trace` header, and a `/suggest` request leaves a retrievable
+    /// tree whose root is `serve.suggest` with rank + text children.
+    #[test]
+    fn suggest_trace_round_trips_and_captures_a_tree() {
+        let _guard = qatk_trace::test_lock();
+        qatk_trace::set_enabled(true);
+        qatk_trace::store().clear();
+        let app = app();
+        let mut req = request(
+            "POST",
+            "/suggest",
+            "{\"part_id\":\"P003\",\"text\":\"oil leaking from the housing\"}",
+        );
+        req.headers
+            .push(("x-qatk-trace".to_owned(), "00000000c0ffee00".to_owned()));
+        let resp = app.handle(&req);
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.trace, 0xC0FF_EE00, "header id echoed back");
+        let id = qatk_trace::TraceId::from_u64(0xC0FF_EE00).unwrap();
+        let trees = qatk_trace::store().lookup(id);
+        assert_eq!(trees.len(), 1, "one tree captured for the pinned id");
+        let names: Vec<&str> = trees[0].spans.iter().map(|s| s.name).collect();
+        assert_eq!(names[0], "serve.suggest");
+        assert!(names.contains(&"core.rank"), "names: {names:?}");
+        assert!(
+            names.contains(&"text.tokenize") || names.contains(&"text.annotate"),
+            "names: {names:?}"
+        );
+
+        // with tracing disabled the header still round-trips, silently
+        qatk_trace::set_enabled(false);
+        let mut req = request("POST", "/suggest", "{\"part_id\":\"P003\",\"text\":\"x\"}");
+        req.headers
+            .push(("x-qatk-trace".to_owned(), "beef".to_owned()));
+        let resp = app.handle(&req);
+        qatk_trace::set_enabled(true);
+        assert_eq!(resp.trace, 0xBEEF);
+        assert!(qatk_trace::store()
+            .lookup(qatk_trace::TraceId::from_u64(0xBEEF).unwrap())
+            .is_empty());
     }
 }

@@ -302,6 +302,7 @@ impl Follower {
             &mut stream,
             &Frame::Hello {
                 cursor: self.cursor,
+                trace: 0,
             },
         )?;
         self.status.connected.store(true, Ordering::Relaxed);
@@ -347,7 +348,9 @@ impl Follower {
                 self.status.set_leader_tip(*epoch, 0);
                 Ok(false)
             }
-            Frame::Tip { segment, offset } => {
+            Frame::Tip {
+                segment, offset, ..
+            } => {
                 self.status.set_leader_tip(*segment, *offset);
                 Ok(false)
             }
@@ -424,7 +427,7 @@ impl Follower {
                 m.frames_applied_total.inc();
                 Ok(true)
             }
-            Frame::Seal { segment } => {
+            Frame::Seal { segment, .. } => {
                 if *segment != self.cursor.segment {
                     return Err(ReplError::Protocol(format!(
                         "seal for segment {segment}, expected {}",

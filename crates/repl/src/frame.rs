@@ -33,8 +33,10 @@ use crate::error::{ReplError, Result};
 
 /// Protocol magic carried in every [`Frame::Hello`].
 pub const HELLO_MAGIC: &[u8; 4] = b"QRPL";
-/// Protocol version; a mismatch is a [`ReplError::Protocol`].
-pub const PROTOCOL_VERSION: u32 = 1;
+/// Protocol version; a mismatch is a [`ReplError::Protocol`]. Version 2
+/// added the `trace` field on Hello/Seal/Tip frames (request-scoped trace
+/// propagation; `0` = no trace).
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Largest frame body a reader will accept: a snapshot frame carries a whole
 /// database snapshot, everything else is far smaller.
@@ -53,7 +55,9 @@ const T_TIP: u8 = 8;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Frame {
     /// Follower introduces itself with the cursor it wants to resume from.
-    Hello { cursor: ReplCursor },
+    /// `trace` propagates a request-scoped trace id when the connection is
+    /// opened on behalf of a traced operation (`0` = none).
+    Hello { cursor: ReplCursor, trace: u64 },
     /// Leader accepts: its active WAL epoch and snapshot watermark, so the
     /// follower knows its starting lag.
     HelloOk { epoch: u64, watermark: u64 },
@@ -70,7 +74,10 @@ pub enum Frame {
     },
     /// `segment` is sealed on the leader: no more chunks for it will ever
     /// be sent; the follower syncs its copy and advances to `segment + 1`.
-    Seal { segment: u64 },
+    /// `trace` carries the id of the originating `/learn` request whose
+    /// writes this seal covers (`0` = none), so a leader-side trace can
+    /// record follower ack lag.
+    Seal { segment: u64, trace: u64 },
     /// The leader's snapshot now covers every epoch below `replay_from`;
     /// the follower may checkpoint itself and prune older segments.
     Watermark { replay_from: u64 },
@@ -78,8 +85,13 @@ pub enum Frame {
     /// on local disk.
     Ack { cursor: ReplCursor },
     /// Leader heartbeat while idle: its current end-of-log position, for
-    /// follower-side lag accounting.
-    Tip { segment: u64, offset: u64 },
+    /// follower-side lag accounting. `trace` carries the originating trace
+    /// id of the most recent traced write at or below this tip (`0` = none).
+    Tip {
+        segment: u64,
+        offset: u64,
+        trace: u64,
+    },
 }
 
 impl Frame {
@@ -112,10 +124,11 @@ impl Frame {
 
     fn encode_body(&self, out: &mut Vec<u8>) {
         match self {
-            Frame::Hello { cursor } => {
+            Frame::Hello { cursor, trace } => {
                 out.put_slice(HELLO_MAGIC);
                 out.put_u32_le(PROTOCOL_VERSION);
                 put_cursor(out, cursor);
+                out.put_u64_le(*trace);
             }
             Frame::HelloOk { epoch, watermark } => {
                 out.put_u64_le(*epoch);
@@ -134,12 +147,20 @@ impl Frame {
                 out.put_u64_le(*offset);
                 out.put_slice(bytes);
             }
-            Frame::Seal { segment } => out.put_u64_le(*segment),
+            Frame::Seal { segment, trace } => {
+                out.put_u64_le(*segment);
+                out.put_u64_le(*trace);
+            }
             Frame::Watermark { replay_from } => out.put_u64_le(*replay_from),
             Frame::Ack { cursor } => put_cursor(out, cursor),
-            Frame::Tip { segment, offset } => {
+            Frame::Tip {
+                segment,
+                offset,
+                trace,
+            } => {
                 out.put_u64_le(*segment);
                 out.put_u64_le(*offset);
+                out.put_u64_le(*trace);
             }
         }
     }
@@ -163,6 +184,7 @@ impl Frame {
                 }
                 Frame::Hello {
                     cursor: get_cursor(buf)?,
+                    trace: get_u64(buf)?,
                 }
             }
             T_HELLO_OK => Frame::HelloOk {
@@ -180,6 +202,7 @@ impl Frame {
             },
             T_SEAL => Frame::Seal {
                 segment: get_u64(buf)?,
+                trace: get_u64(buf)?,
             },
             T_WATERMARK => Frame::Watermark {
                 replay_from: get_u64(buf)?,
@@ -190,6 +213,7 @@ impl Frame {
             T_TIP => Frame::Tip {
                 segment: get_u64(buf)?,
                 offset: get_u64(buf)?,
+                trace: get_u64(buf)?,
             },
             other => {
                 return Err(ReplError::Protocol(format!("unknown frame type {other}")));
@@ -317,7 +341,11 @@ mod tests {
             segment: 5,
             offset: 4096,
         };
-        roundtrip(Frame::Hello { cursor });
+        roundtrip(Frame::Hello { cursor, trace: 0 });
+        roundtrip(Frame::Hello {
+            cursor,
+            trace: 0xDEAD_BEEF,
+        });
         roundtrip(Frame::HelloOk {
             epoch: 9,
             watermark: 7,
@@ -331,12 +359,20 @@ mod tests {
             offset: 128,
             bytes: vec![0; 1000],
         });
-        roundtrip(Frame::Seal { segment: 4 });
+        roundtrip(Frame::Seal {
+            segment: 4,
+            trace: 0,
+        });
+        roundtrip(Frame::Seal {
+            segment: 4,
+            trace: u64::MAX,
+        });
         roundtrip(Frame::Watermark { replay_from: 5 });
         roundtrip(Frame::Ack { cursor });
         roundtrip(Frame::Tip {
             segment: 6,
             offset: 0,
+            trace: 0x0123_4567_89AB_CDEF,
         });
     }
 
@@ -355,7 +391,10 @@ mod tests {
 
     #[test]
     fn corrupted_checksum_is_a_protocol_error() {
-        let mut bytes = encode_frame(&Frame::Seal { segment: 1 });
+        let mut bytes = encode_frame(&Frame::Seal {
+            segment: 1,
+            trace: 0,
+        });
         let n = bytes.len();
         bytes[n - 1] ^= 0xff;
         assert!(matches!(
@@ -366,7 +405,10 @@ mod tests {
 
     #[test]
     fn flipped_type_byte_fails_checksum_not_decode() {
-        let mut bytes = encode_frame(&Frame::Seal { segment: 1 });
+        let mut bytes = encode_frame(&Frame::Seal {
+            segment: 1,
+            trace: 0,
+        });
         bytes[4] = 99; // type byte is covered by the checksum
         assert!(matches!(
             read_frame(&mut bytes.as_slice()),
@@ -378,7 +420,7 @@ mod tests {
     fn wrong_magic_and_version_rejected() {
         let cursor = ReplCursor::default();
         let mut ok = Vec::new();
-        Frame::Hello { cursor }.encode_body(&mut ok);
+        Frame::Hello { cursor, trace: 0 }.encode_body(&mut ok);
         // wrong magic
         let mut body = ok.clone();
         body[0] = b'X';
@@ -400,6 +442,7 @@ mod tests {
         let bytes = encode_frame(&Frame::Tip {
             segment: 1,
             offset: 2,
+            trace: 0,
         });
         for cut in [0, 2, 6, bytes.len() - 1] {
             let err = read_frame(&mut &bytes[..cut]).unwrap_err();

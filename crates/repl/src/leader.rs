@@ -64,6 +64,11 @@ pub struct LeaderStatus {
     tip_segment: AtomicU64,
     tip_offset: AtomicU64,
     acked: Mutex<HashMap<u64, ReplCursor>>,
+    /// Most recent traced write: `(trace_id, publish instant)`. Sessions
+    /// stamp the id onto subsequent Seal/Tip frames and emit a
+    /// `repl.follower_ack` trace event once a follower acks past the tip
+    /// observed at stamping time.
+    learn_trace: Mutex<Option<(u64, std::time::Instant)>>,
 }
 
 impl LeaderStatus {
@@ -101,6 +106,23 @@ impl LeaderStatus {
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
             .insert(session, cursor);
+    }
+
+    /// Record the trace id of a write just published to the log (`0`
+    /// clears). Called by the serving layer's publish hook.
+    pub fn set_learn_trace(&self, trace: u64) {
+        let mut slot = self
+            .learn_trace
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        *slot = (trace != 0).then(|| (trace, std::time::Instant::now()));
+    }
+
+    fn learn_trace(&self) -> Option<(u64, std::time::Instant)> {
+        *self
+            .learn_trace
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
     }
 
     fn drop_session(&self, session: u64) {
@@ -271,7 +293,11 @@ fn run_session(
     stream.set_write_timeout(Some(config.write_timeout))?;
     stream.set_nodelay(true).ok();
 
-    let Frame::Hello { mut cursor } = read_frame(&mut stream)? else {
+    let Frame::Hello {
+        mut cursor,
+        trace: _,
+    } = read_frame(&mut stream)?
+    else {
         return Err(ReplError::Protocol("expected hello frame".into()));
     };
     let _ = m;
@@ -337,6 +363,11 @@ fn stream_to_follower(
     let mut sent_watermark: Option<u64> = None;
     let mut said_hello = false;
     let mut seeded = false;
+    // Follower ack-lag accounting: `(trace, target segment, target offset,
+    // publish instant)` armed when a traced write is first stamped onto an
+    // outbound frame; the event fires once an ack covers the target.
+    let mut pending_trace: Option<(u64, u64, u64, std::time::Instant)> = None;
+    let mut armed_trace: u64 = 0;
 
     loop {
         if stop.load(Ordering::SeqCst) {
@@ -348,6 +379,23 @@ fn stream_to_follower(
             .take()
         {
             status.record_ack(session, acked);
+            if let Some((trace, seg, off, at)) = pending_trace {
+                if (acked.segment, acked.offset) >= (seg, off) {
+                    if let Some(id) = qatk_trace::TraceId::from_u64(trace) {
+                        qatk_trace::record_event(
+                            id,
+                            "repl.follower_ack",
+                            at.elapsed().as_nanos() as u64,
+                            vec![
+                                ("session", qatk_trace::Value::U64(session)),
+                                ("segment", qatk_trace::Value::U64(acked.segment)),
+                                ("offset", qatk_trace::Value::U64(acked.offset)),
+                            ],
+                        );
+                    }
+                    pending_trace = None;
+                }
+            }
         }
 
         let layout = read_layout(paths)?;
@@ -356,6 +404,20 @@ fn stream_to_follower(
             .tip_segment
             .store(layout.active_epoch, Ordering::Relaxed);
         status.tip_offset.store(tip_offset, Ordering::Relaxed);
+
+        // Stamp the most recent traced write onto outbound Seal/Tip frames,
+        // arming the ack-lag target at the tip observed right now (every
+        // byte of the traced write is at or below it).
+        let frame_trace = match status.learn_trace() {
+            Some((trace, at)) => {
+                if trace != armed_trace {
+                    armed_trace = trace;
+                    pending_trace = Some((trace, layout.active_epoch, tip_offset, at));
+                }
+                trace
+            }
+            None => 0,
+        };
 
         if !said_hello {
             failpoint::check("repl.leader.before_hello_ok")?;
@@ -440,6 +502,7 @@ fn stream_to_follower(
                     stream,
                     &Frame::Seal {
                         segment: cursor.segment,
+                        trace: frame_trace,
                     },
                 )?;
                 m.frames_sent_total.inc();
@@ -512,6 +575,7 @@ fn stream_to_follower(
             &Frame::Tip {
                 segment: layout.active_epoch,
                 offset: tip_offset,
+                trace: frame_trace,
             },
         )?;
         m.frames_sent_total.inc();

@@ -17,6 +17,10 @@ pub struct Response {
     pub endpoint: &'static str,
     /// `Allow` header for 405 responses.
     pub allow: Option<&'static str>,
+    /// Trace id echoed back as an `x-qatk-trace` header (16-digit lowercase
+    /// hex); `0` means untraced and renders no header. The serving layer is
+    /// deliberately tracing-agnostic — the application sets this raw value.
+    pub trace: u64,
 }
 
 impl Response {
@@ -28,6 +32,7 @@ impl Response {
             close: false,
             endpoint: "other",
             allow: None,
+            trace: 0,
         }
     }
 
@@ -73,6 +78,12 @@ impl Response {
         self
     }
 
+    /// Carry a trace id back to the client (`0` = none).
+    pub fn with_trace(mut self, trace: u64) -> Self {
+        self.trace = trace;
+        self
+    }
+
     /// Canonical reason phrase.
     pub fn reason(status: u16) -> &'static str {
         match status {
@@ -108,6 +119,9 @@ impl Response {
         );
         if let Some(allow) = self.allow {
             out.extend_from_slice(format!("Allow: {allow}\r\n").as_bytes());
+        }
+        if self.trace != 0 {
+            out.extend_from_slice(format!("x-qatk-trace: {:016x}\r\n", self.trace).as_bytes());
         }
         out.extend_from_slice(b"\r\n");
         if !head_only {
@@ -157,5 +171,19 @@ mod tests {
         let r = Response::error_json(405, "use POST").with_allow("POST");
         let text = String::from_utf8(r.to_bytes(false)).unwrap();
         assert!(text.contains("Allow: POST\r\n"));
+    }
+
+    #[test]
+    fn trace_header_rendered_only_when_set() {
+        let plain = Response::json(200, "{}".to_owned());
+        assert!(!String::from_utf8(plain.to_bytes(false))
+            .unwrap()
+            .contains("x-qatk-trace"));
+        let traced = Response::json(200, "{}".to_owned()).with_trace(0xBEEF);
+        let text = String::from_utf8(traced.to_bytes(false)).unwrap();
+        assert!(text.contains("x-qatk-trace: 000000000000beef\r\n"));
+        // the header lands before the blank line, with the other headers
+        let head = text.split("\r\n\r\n").next().unwrap();
+        assert!(head.contains("x-qatk-trace"));
     }
 }

@@ -253,6 +253,8 @@ impl WalWriter {
         }
         let m = crate::metrics::metrics();
         let _span = qatk_obs::Timer::start(m.wal_flush_latency_ns);
+        let _trace = qatk_trace::child_span("store.wal_append");
+        qatk_trace::annotate("records", records.len() as u64);
         let result = self.write_batch(records);
         if result.is_err() {
             self.poisoned = true;
@@ -895,6 +897,7 @@ impl LoggedDatabase {
                     .into(),
             )
         })?;
+        let _trace = qatk_trace::child_span("store.checkpoint");
         failpoint::check("checkpoint.begin")?;
         // Everything in the active log must be durable before it is sealed:
         // recovery treats a torn tail in a sealed segment as corruption.

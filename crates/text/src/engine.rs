@@ -63,8 +63,27 @@ impl Pipeline {
 
     /// Run every engine over one CAS, in order.
     pub fn process(&self, cas: &mut Cas) -> Result<()> {
-        for engine in &self.engines {
-            engine.process(cas)?;
+        // Span names must be static; the tokenizer stage files under
+        // `text.tokenize`, everything else under `text.annotate`.
+        // Consecutive engines of the same stage share one span, so a
+        // traced request pays two text spans regardless of pipeline
+        // depth — that bound is what holds the bench tracing-overhead
+        // gate on `/suggest` at real pipeline sizes.
+        fn stage(engine: &dyn AnalysisEngine) -> &'static str {
+            if engine.name().contains("token") {
+                "text.tokenize"
+            } else {
+                "text.annotate"
+            }
+        }
+        let mut i = 0;
+        while i < self.engines.len() {
+            let name = stage(self.engines[i].as_ref());
+            let _span = qatk_trace::child_span(name);
+            while i < self.engines.len() && stage(self.engines[i].as_ref()) == name {
+                self.engines[i].process(cas)?;
+                i += 1;
+            }
         }
         Ok(())
     }

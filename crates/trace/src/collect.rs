@@ -1,0 +1,277 @@
+//! Global capture of completed traces: a fixed-capacity ring plus an
+//! always-retained slow-request log.
+//!
+//! Publication is designed for the serving hot path: slot assignment is a
+//! single `fetch_add` (lock-free, never blocks another publisher), and the
+//! only synchronization left is the per-slot pointer swap — a disjoint,
+//! bounded critical section two publishers touch together only when the
+//! ring has wrapped all the way around between them. Readers clone `Arc`s
+//! out of the slots, so a tree handed out by [`TraceStore::recent`] is
+//! immutable and can never tear, no matter how fast the ring is
+//! overwritten behind it.
+//!
+//! The slow log is separate and never overwritten by fast traffic: any
+//! trace whose root duration crosses the threshold (default 5 ms) is
+//! retained in a bounded FIFO of its own, so a burst of healthy requests
+//! cannot flush the evidence of the slow one an operator is hunting.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::id::TraceId;
+use crate::span::{TraceTree, Value};
+
+/// Completed traces retained in the ring.
+pub const RING_CAPACITY: usize = 256;
+/// Slow traces retained in the slow log.
+pub const SLOW_CAPACITY: usize = 64;
+/// Default slow-request threshold: 5 ms, a p99-ish bound for a service
+/// whose healthy requests sit in the tens of microseconds.
+pub const DEFAULT_SLOW_THRESHOLD_NS: u64 = 5_000_000;
+
+/// The process-global trace sink.
+pub struct TraceStore {
+    /// Monotonic publication counter; `head % RING_CAPACITY` is the slot
+    /// the next tree lands in.
+    head: AtomicUsize,
+    slots: Vec<Mutex<Option<Arc<TraceTree>>>>,
+    slow: Mutex<VecDeque<Arc<TraceTree>>>,
+    slow_threshold_ns: AtomicU64,
+}
+
+/// The global store (created on first use).
+pub fn store() -> &'static TraceStore {
+    static STORE: OnceLock<TraceStore> = OnceLock::new();
+    STORE.get_or_init(|| TraceStore {
+        head: AtomicUsize::new(0),
+        slots: (0..RING_CAPACITY).map(|_| Mutex::new(None)).collect(),
+        slow: Mutex::new(VecDeque::new()),
+        slow_threshold_ns: AtomicU64::new(DEFAULT_SLOW_THRESHOLD_NS),
+    })
+}
+
+impl TraceStore {
+    /// Publish a completed tree into the ring (and the slow log when its
+    /// root crosses the threshold). Returns the tree the new one evicted,
+    /// if any — the span stack recycles its buffers to keep the hot path
+    /// off the allocator.
+    pub fn publish(&self, tree: Arc<TraceTree>) -> Option<Arc<TraceTree>> {
+        if tree.duration_ns() >= self.slow_threshold_ns.load(Ordering::Relaxed) {
+            let mut slow = self.slow.lock().unwrap_or_else(|e| e.into_inner());
+            if slow.len() == SLOW_CAPACITY {
+                slow.pop_front();
+            }
+            slow.push_back(Arc::clone(&tree));
+        }
+        let slot = self.head.fetch_add(1, Ordering::Relaxed) % RING_CAPACITY;
+        self.slots[slot]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .replace(tree)
+    }
+
+    /// The retained ring, newest first.
+    pub fn recent(&self) -> Vec<Arc<TraceTree>> {
+        let head = self.head.load(Ordering::Relaxed);
+        let mut out = Vec::new();
+        // Walk backwards from the most recently assigned slot; empty slots
+        // (ring not yet full, or cleared) are skipped.
+        for back in 1..=RING_CAPACITY {
+            let slot = (head.wrapping_sub(back)) % RING_CAPACITY;
+            if let Some(tree) = self.slots[slot]
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .as_ref()
+            {
+                out.push(Arc::clone(tree));
+            }
+        }
+        out
+    }
+
+    /// The slow log, newest first.
+    pub fn slow(&self) -> Vec<Arc<TraceTree>> {
+        let slow = self.slow.lock().unwrap_or_else(|e| e.into_inner());
+        slow.iter().rev().map(Arc::clone).collect()
+    }
+
+    /// Every retained tree carrying `id` (ring and slow log, deduplicated),
+    /// oldest first. A request can legitimately yield more than one tree
+    /// per id — e.g. a `/learn` root on the leader plus the
+    /// `repl.follower_ack` event for the same id.
+    pub fn lookup(&self, id: TraceId) -> Vec<Arc<TraceTree>> {
+        let mut out: Vec<Arc<TraceTree>> = Vec::new();
+        let mut push = |tree: &Arc<TraceTree>| {
+            if tree.trace_id == id && !out.iter().any(|t| Arc::ptr_eq(t, tree)) {
+                out.push(Arc::clone(tree));
+            }
+        };
+        for tree in self.recent().iter().rev() {
+            push(tree);
+        }
+        for tree in self.slow().iter().rev() {
+            push(tree);
+        }
+        out
+    }
+
+    /// Change the slow-request threshold.
+    pub fn set_slow_threshold_ns(&self, ns: u64) {
+        self.slow_threshold_ns.store(ns, Ordering::Relaxed);
+    }
+
+    /// The current slow-request threshold.
+    pub fn slow_threshold_ns(&self) -> u64 {
+        self.slow_threshold_ns.load(Ordering::Relaxed)
+    }
+
+    /// Drop every retained tree (test isolation).
+    pub fn clear(&self) {
+        for slot in &self.slots {
+            *slot.lock().unwrap_or_else(|e| e.into_inner()) = None;
+        }
+        self.slow.lock().unwrap_or_else(|e| e.into_inner()).clear();
+    }
+}
+
+/// Wall-clock milliseconds since the Unix epoch (capture timestamps).
+pub(crate) fn unix_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+/// Publish a single-span tree for an event observed *outside* the request
+/// thread — e.g. the repl leader recording a follower's ack lag against
+/// the originating `/learn` trace id. The event becomes its own tree
+/// carrying the same id; [`TraceStore::lookup`] stitches them together.
+pub fn record_event(
+    trace_id: TraceId,
+    name: &'static str,
+    duration_ns: u64,
+    notes: Vec<(&'static str, Value)>,
+) {
+    if !crate::enabled() {
+        return;
+    }
+    crate::install_exemplar_hook();
+    store().publish(Arc::new(TraceTree {
+        trace_id,
+        spans: vec![crate::span::SpanRecord {
+            id: 0,
+            parent: crate::span::NO_PARENT,
+            name,
+            start_ns: 0,
+            end_ns: duration_ns,
+            notes,
+        }],
+        captured_unix_ms: unix_ms(),
+    }));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tree(id: u64, dur: u64) -> Arc<TraceTree> {
+        Arc::new(TraceTree {
+            trace_id: TraceId::from_u64(id).unwrap(),
+            spans: vec![crate::span::SpanRecord {
+                id: 0,
+                parent: crate::span::NO_PARENT,
+                name: "t",
+                start_ns: 0,
+                end_ns: dur,
+                notes: Vec::new(),
+            }],
+            captured_unix_ms: 0,
+        })
+    }
+
+    #[test]
+    fn ring_retains_newest_first_and_wraps() {
+        let _guard = crate::test_lock();
+        let store = store();
+        store.clear();
+        for i in 1..=(RING_CAPACITY as u64 + 10) {
+            store.publish(tree(i, 10));
+        }
+        let recent = store.recent();
+        assert_eq!(recent.len(), RING_CAPACITY);
+        assert_eq!(
+            recent[0].trace_id.as_u64(),
+            RING_CAPACITY as u64 + 10,
+            "newest first"
+        );
+        // the 10 oldest fell off the ring
+        assert!(store.lookup(TraceId::from_u64(5).unwrap()).is_empty());
+        store.clear();
+    }
+
+    #[test]
+    fn slow_log_survives_fast_traffic() {
+        let _guard = crate::test_lock();
+        let store = store();
+        store.clear();
+        store.publish(tree(0x510, store.slow_threshold_ns() + 1));
+        for i in 1..=(RING_CAPACITY as u64) {
+            store.publish(tree(0x1000 + i, 10));
+        }
+        // flushed from the ring, retained in the slow log
+        let slow_id = TraceId::from_u64(0x510).unwrap();
+        assert!(store.recent().iter().all(|t| t.trace_id != slow_id));
+        assert_eq!(store.slow().len(), 1);
+        assert_eq!(store.lookup(slow_id).len(), 1);
+        store.clear();
+    }
+
+    #[test]
+    fn slow_log_is_bounded() {
+        let _guard = crate::test_lock();
+        let store = store();
+        store.clear();
+        let thr = store.slow_threshold_ns();
+        for i in 1..=(SLOW_CAPACITY as u64 + 5) {
+            store.publish(tree(0x2000 + i, thr + i));
+        }
+        let slow = store.slow();
+        assert_eq!(slow.len(), SLOW_CAPACITY);
+        assert_eq!(slow[0].trace_id.as_u64(), 0x2000 + SLOW_CAPACITY as u64 + 5);
+        store.clear();
+    }
+
+    #[test]
+    fn threshold_is_configurable() {
+        let _guard = crate::test_lock();
+        let store = store();
+        store.clear();
+        store.set_slow_threshold_ns(100);
+        store.publish(tree(0x3001, 99));
+        store.publish(tree(0x3002, 100));
+        assert_eq!(store.slow().len(), 1);
+        assert_eq!(store.slow()[0].trace_id.as_u64(), 0x3002);
+        store.set_slow_threshold_ns(DEFAULT_SLOW_THRESHOLD_NS);
+        store.clear();
+    }
+
+    #[test]
+    fn record_event_lands_under_its_trace_id() {
+        let _guard = crate::test_lock();
+        let store = store();
+        store.clear();
+        let id = TraceId::from_u64(0x4001).unwrap();
+        record_event(
+            id,
+            "repl.follower_ack",
+            1234,
+            vec![("session", Value::U64(1))],
+        );
+        let got = store.lookup(id);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].root().name, "repl.follower_ack");
+        assert_eq!(got[0].duration_ns(), 1234);
+        store.clear();
+    }
+}

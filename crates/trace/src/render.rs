@@ -1,0 +1,191 @@
+//! Structured rendering of completed traces.
+//!
+//! Two shapes, both built on the same per-tree JSON object:
+//!
+//! * [`render_tree_json`] — one tree as a single-line JSON object, the
+//!   unit of the JSONL slow-request log;
+//! * [`render_trees_json`] — a JSON array of trees, what
+//!   `GET /debug/traces` returns (parseable by `qatk_obs::json::parse`);
+//! * [`render_jsonl`] — newline-delimited tree objects, one per line.
+//!
+//! The object shape is stable: `trace_id` (16-digit lowercase hex),
+//! `captured_unix_ms`, `duration_ns`, and `spans` — each span carrying
+//! `id`, `parent` (`null` on the root), `name`, `start_ns`, `end_ns`, and
+//! a `notes` object of its typed annotations.
+
+use std::sync::Arc;
+
+use qatk_obs::json::escape;
+
+use crate::span::{SpanRecord, TraceTree, Value, NO_PARENT};
+
+fn push_value(out: &mut String, v: &Value) {
+    match v {
+        Value::Static(s) => {
+            out.push('"');
+            out.push_str(&escape(s));
+            out.push('"');
+        }
+        Value::Str(s) => {
+            out.push('"');
+            out.push_str(&escape(s));
+            out.push('"');
+        }
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::F64(n) if n.is_finite() => out.push_str(&format!("{n}")),
+        Value::F64(_) => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+    }
+}
+
+fn push_span(out: &mut String, span: &SpanRecord) {
+    out.push_str(&format!(
+        "{{\"id\":{},\"parent\":{},\"name\":\"{}\",\"start_ns\":{},\"end_ns\":{},\"notes\":{{",
+        span.id,
+        if span.parent == NO_PARENT {
+            "null".to_owned()
+        } else {
+            span.parent.to_string()
+        },
+        escape(span.name),
+        span.start_ns,
+        span.end_ns,
+    ));
+    for (i, (key, value)) in span.notes.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        out.push_str(&escape(key));
+        out.push_str("\":");
+        push_value(out, value);
+    }
+    out.push_str("}}");
+}
+
+/// One tree as a single-line JSON object.
+pub fn render_tree_json(tree: &TraceTree) -> String {
+    let mut out = String::with_capacity(128 + tree.spans.len() * 96);
+    out.push_str(&format!(
+        "{{\"trace_id\":\"{}\",\"captured_unix_ms\":{},\"duration_ns\":{},\"spans\":[",
+        tree.trace_id,
+        tree.captured_unix_ms,
+        tree.duration_ns()
+    ));
+    for (i, span) in tree.spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_span(&mut out, span);
+    }
+    out.push_str("]}");
+    out
+}
+
+/// A JSON array of trees (the `/debug/traces` body).
+pub fn render_trees_json(trees: &[Arc<TraceTree>]) -> String {
+    let mut out = String::from("[");
+    for (i, tree) in trees.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&render_tree_json(tree));
+    }
+    out.push(']');
+    out
+}
+
+/// Newline-delimited tree objects (the slow-log file shape).
+pub fn render_jsonl(trees: &[Arc<TraceTree>]) -> String {
+    trees
+        .iter()
+        .map(|t| render_tree_json(t))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::TraceId;
+    use qatk_obs::json::{parse, Value as Json};
+
+    fn sample() -> TraceTree {
+        TraceTree {
+            trace_id: TraceId::from_u64(0xBEEF).unwrap(),
+            captured_unix_ms: 1_700_000_000_000,
+            spans: vec![
+                SpanRecord {
+                    id: 0,
+                    parent: NO_PARENT,
+                    name: "serve.suggest",
+                    start_ns: 0,
+                    end_ns: 4200,
+                    notes: vec![
+                        ("endpoint", Value::from("/suggest")),
+                        ("queued", Value::Bool(false)),
+                    ],
+                },
+                SpanRecord {
+                    id: 1,
+                    parent: 0,
+                    name: "core.rank",
+                    start_ns: 100,
+                    end_ns: 900,
+                    notes: vec![("candidates", Value::U64(25)), ("score", Value::F64(0.5))],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn tree_json_parses_and_carries_the_shape() {
+        let rendered = render_tree_json(&sample());
+        assert!(!rendered.contains('\n'), "JSONL unit must be one line");
+        let parsed = parse(&rendered).expect("valid JSON");
+        assert_eq!(
+            parsed.get("trace_id").and_then(Json::as_str),
+            Some("000000000000beef")
+        );
+        assert_eq!(parsed.get("duration_ns").and_then(Json::as_u64), Some(4200));
+        let spans = parsed.get("spans").and_then(Json::as_arr).expect("spans");
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].get("parent"), Some(&Json::Null));
+        assert_eq!(spans[1].get("parent").and_then(Json::as_u64), Some(0));
+        assert_eq!(
+            spans[1].get("name").and_then(Json::as_str),
+            Some("core.rank")
+        );
+        let notes = spans[1].get("notes").expect("notes");
+        assert_eq!(notes.get("candidates").and_then(Json::as_u64), Some(25));
+        assert_eq!(notes.get("score").and_then(Json::as_f64), Some(0.5));
+    }
+
+    #[test]
+    fn arrays_and_jsonl_agree_on_the_unit() {
+        let tree = Arc::new(sample());
+        let unit = render_tree_json(&tree);
+        let arr = render_trees_json(&[Arc::clone(&tree), Arc::clone(&tree)]);
+        assert_eq!(arr, format!("[{unit},{unit}]"));
+        assert!(parse(&arr).is_ok());
+        let jsonl = render_jsonl(&[Arc::clone(&tree), tree]);
+        assert_eq!(jsonl.lines().count(), 2);
+        for line in jsonl.lines() {
+            assert!(parse(line).is_ok());
+        }
+    }
+
+    #[test]
+    fn empty_array_renders() {
+        assert_eq!(render_trees_json(&[]), "[]");
+        assert!(parse("[]").is_ok());
+    }
+
+    #[test]
+    fn non_finite_floats_render_as_null_not_invalid_json() {
+        let mut tree = sample();
+        tree.spans[0].notes.push(("nan", Value::F64(f64::NAN)));
+        assert!(parse(&render_tree_json(&tree)).is_ok());
+    }
+}

@@ -1,0 +1,471 @@
+//! The span model and the thread-local span stack.
+//!
+//! A *span* is one timed step of a request: a name, start/stop offsets on
+//! a monotonic clock, a parent link, and typed key/value annotations. A
+//! completed request yields a [`TraceTree`] — the root span plus every
+//! child opened on the same thread while it was live.
+//!
+//! The stack is thread-local so library crates (`qatk-core`, `qatk-text`,
+//! `qatk-store`) can contribute child spans without threading a context
+//! handle through every signature: [`child_span`] is a **no-op unless a
+//! trace is active on the current thread**, which is also the overhead
+//! story — the bare ranking kernel (no HTTP request, no root span) pays
+//! one enabled-check plus one thread-local probe, nothing else.
+//!
+//! Timestamps are offsets in nanoseconds from the root span's `Instant`,
+//! so every span in a tree shares one clock and children provably nest
+//! within their parent's interval.
+
+use std::cell::RefCell;
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::collect;
+use crate::id::TraceId;
+
+/// `parent` value of a root span.
+pub const NO_PARENT: u32 = u32::MAX;
+
+/// A typed annotation value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Borrowed static string — the common hot-path case (span-adjacent
+    /// labels are `&'static str`), kept allocation-free.
+    Static(&'static str),
+    Str(String),
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Bool(bool),
+}
+
+impl From<&'static str> for Value {
+    fn from(v: &'static str) -> Value {
+        Value::Static(v)
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::Str(v)
+    }
+}
+impl From<u64> for Value {
+    fn from(v: u64) -> Value {
+        Value::U64(v)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        Value::I64(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::F64(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+/// One completed (or, while the request is live, still-open) span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Index of this span within its tree; the root is always 0.
+    pub id: u32,
+    /// Index of the parent span, or [`NO_PARENT`] for the root.
+    pub parent: u32,
+    /// Static span name (`serve.suggest`, `core.rank`, ...).
+    pub name: &'static str,
+    /// Start offset in nanoseconds from the root span's start.
+    pub start_ns: u64,
+    /// End offset; open spans hold 0 until closed.
+    pub end_ns: u64,
+    /// Typed annotations, in attach order.
+    pub notes: Vec<(&'static str, Value)>,
+}
+
+impl SpanRecord {
+    /// Wall time the span covered.
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+}
+
+/// An immutable, completed trace: the spans of one request, root first.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceTree {
+    pub trace_id: TraceId,
+    /// Spans in open order; `spans[0]` is the root.
+    pub spans: Vec<SpanRecord>,
+    /// Wall-clock capture time (ms since the Unix epoch), for operators
+    /// correlating `/debug/traces` output with logs.
+    pub captured_unix_ms: u64,
+}
+
+impl TraceTree {
+    /// The root span.
+    pub fn root(&self) -> &SpanRecord {
+        &self.spans[0]
+    }
+
+    /// Total request duration (the root span's extent).
+    pub fn duration_ns(&self) -> u64 {
+        self.root().duration_ns()
+    }
+}
+
+/// The per-thread live trace: id, clock epoch, accumulated spans, and the
+/// stack of currently-open span indexes.
+struct Active {
+    trace_id: TraceId,
+    epoch: Instant,
+    spans: Vec<SpanRecord>,
+    stack: Vec<u32>,
+}
+
+thread_local! {
+    static ACTIVE: RefCell<Option<Active>> = const { RefCell::new(None) };
+    /// Recycled span/stack buffers. A serving thread opens and publishes
+    /// one tree per request; reusing the buffers of the tree the ring just
+    /// evicted (and the finished trace's own stack) keeps the steady-state
+    /// hot path completely off the allocator.
+    static SPARE: RefCell<(Vec<SpanRecord>, Vec<u32>)> =
+        const { RefCell::new((Vec::new(), Vec::new())) };
+}
+
+/// RAII guard for a request's root span. Dropping it closes the root and
+/// publishes the completed [`TraceTree`] to the global
+/// [`collect::TraceStore`]. Disarmed (no-op) when tracing is disabled or
+/// another root is already live on this thread (the inner one downgrades
+/// to a child span).
+pub struct RootSpan {
+    mode: RootMode,
+}
+
+enum RootMode {
+    /// Tracing disabled: nothing recorded, but the id the request carries
+    /// is kept so the response-header contract holds.
+    Inert { trace_id: TraceId },
+    /// This guard owns the thread's active trace.
+    Owner { trace_id: TraceId },
+    /// A root was already live; the held guard behaves like a child span
+    /// and closes on drop.
+    Nested(#[allow(dead_code)] Span),
+}
+
+/// RAII guard for a child span; disarmed when no trace is live on the
+/// thread.
+pub struct Span {
+    armed: bool,
+}
+
+/// Open the root span of a request. `id` is the caller-supplied trace id
+/// (from an `x-qatk-trace` header); `None` mints a fresh one. The
+/// effective id is readable via [`RootSpan::trace_id`] /
+/// [`current_trace_id`] whether or not the guard is armed — disarmed
+/// roots still report the id they were asked to carry, minting one if
+/// needed, so the header contract holds with tracing disabled.
+pub fn root_span(name: &'static str, id: Option<TraceId>) -> RootSpan {
+    let trace_id = id.unwrap_or_else(TraceId::generate);
+    if !crate::enabled() {
+        return RootSpan {
+            mode: RootMode::Inert { trace_id },
+        };
+    }
+    crate::install_exemplar_hook();
+    ACTIVE.with(|cell| {
+        let mut slot = cell.borrow_mut();
+        if slot.is_some() {
+            drop(slot);
+            return RootSpan {
+                mode: RootMode::Nested(child_span(name)),
+            };
+        }
+        // Pull recycled buffers when a previous request left some behind;
+        // otherwise pre-size for a typical tree (root + a handful of
+        // children) so the hot path never regrows mid-request.
+        let (mut spans, mut stack) = SPARE.with(|spare| std::mem::take(&mut *spare.borrow_mut()));
+        spans.reserve(8);
+        stack.reserve(4);
+        spans.push(SpanRecord {
+            id: 0,
+            parent: NO_PARENT,
+            name,
+            start_ns: 0,
+            end_ns: 0,
+            notes: Vec::new(),
+        });
+        stack.push(0);
+        *slot = Some(Active {
+            trace_id,
+            epoch: Instant::now(),
+            spans,
+            stack,
+        });
+        RootSpan {
+            mode: RootMode::Owner { trace_id },
+        }
+    })
+}
+
+impl RootSpan {
+    /// The id this request carries (what goes back in the response
+    /// header); `None` only for a nested root on a thread whose trace has
+    /// somehow already ended.
+    pub fn trace_id(&self) -> Option<TraceId> {
+        match &self.mode {
+            RootMode::Owner { trace_id } | RootMode::Inert { trace_id } => Some(*trace_id),
+            RootMode::Nested(_) => current_trace_id(),
+        }
+    }
+}
+
+impl Drop for RootSpan {
+    fn drop(&mut self) {
+        let RootMode::Owner { .. } = self.mode else {
+            return; // Inert is a no-op; Nested closes via its own Drop
+        };
+        let done = ACTIVE.with(|cell| {
+            let mut slot = cell.borrow_mut();
+            let active = slot.as_mut()?;
+            let now = active.epoch.elapsed().as_nanos() as u64;
+            // Close everything still open — normally just the root, but a
+            // leaked child guard must not leave an open interval behind.
+            while let Some(idx) = active.stack.pop() {
+                let span = &mut active.spans[idx as usize];
+                if span.end_ns == 0 {
+                    span.end_ns = now;
+                }
+            }
+            slot.take()
+        });
+        if let Some(Active {
+            trace_id,
+            spans,
+            mut stack,
+            ..
+        }) = done
+        {
+            let evicted = collect::store().publish(Arc::new(TraceTree {
+                trace_id,
+                spans,
+                captured_unix_ms: collect::unix_ms(),
+            }));
+            // Recycle: this trace's stack, and the span buffer of the tree
+            // the ring just dropped (when nobody else still holds it).
+            stack.clear();
+            let spans = evicted
+                .and_then(|old| Arc::try_unwrap(old).ok())
+                .map(|mut old| {
+                    old.spans.clear();
+                    old.spans
+                })
+                .unwrap_or_default();
+            SPARE.with(|spare| *spare.borrow_mut() = (spans, stack));
+        }
+    }
+}
+
+/// Open a child span under the innermost open span of this thread's live
+/// trace. No live trace (the common library-crate case outside a traced
+/// request) returns a disarmed guard: the cost is one atomic load and one
+/// thread-local probe.
+pub fn child_span(name: &'static str) -> Span {
+    if !crate::enabled() {
+        return Span { armed: false };
+    }
+    ACTIVE.with(|cell| {
+        let mut slot = cell.borrow_mut();
+        let Some(active) = slot.as_mut() else {
+            return Span { armed: false };
+        };
+        let id = active.spans.len() as u32;
+        let parent = *active.stack.last().expect("live trace has an open root");
+        let start_ns = active.epoch.elapsed().as_nanos() as u64;
+        active.spans.push(SpanRecord {
+            id,
+            parent,
+            name,
+            start_ns,
+            end_ns: 0,
+            notes: Vec::new(),
+        });
+        active.stack.push(id);
+        Span { armed: true }
+    })
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        ACTIVE.with(|cell| {
+            let mut slot = cell.borrow_mut();
+            let Some(active) = slot.as_mut() else {
+                return; // root already published (leaked guard ordering)
+            };
+            // Guards drop innermost-first under RAII; popping the top of
+            // the stack is exactly this span.
+            if active.stack.len() > 1 {
+                let idx = active.stack.pop().expect("non-empty stack");
+                let span = &mut active.spans[idx as usize];
+                if span.end_ns == 0 {
+                    span.end_ns = active.epoch.elapsed().as_nanos() as u64;
+                }
+            }
+        });
+    }
+}
+
+/// Attach a typed annotation to the innermost open span of this thread's
+/// live trace; silently dropped when none is live.
+pub fn annotate(key: &'static str, value: impl Into<Value>) {
+    if !crate::enabled() {
+        return;
+    }
+    ACTIVE.with(|cell| {
+        let mut slot = cell.borrow_mut();
+        if let Some(active) = slot.as_mut() {
+            let idx = *active.stack.last().expect("live trace has an open root");
+            active.spans[idx as usize].notes.push((key, value.into()));
+        }
+    });
+}
+
+/// The id of the trace live on this thread, if any.
+pub fn current_trace_id() -> Option<TraceId> {
+    ACTIVE.with(|cell| cell.borrow().as_ref().map(|a| a.trace_id))
+}
+
+/// [`current_trace_id`] as a raw wire value (`0` = no live trace) — the
+/// shape the qatk-obs exemplar hook and the repl frames want.
+pub fn current_trace_id_u64() -> u64 {
+    current_trace_id().map(TraceId::as_u64).unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_and_children_build_a_well_formed_tree() {
+        let _guard = crate::test_lock();
+        collect::store().clear();
+        let id = TraceId::from_u64(0xABCD).unwrap();
+        {
+            let root = root_span("serve.test", Some(id));
+            assert_eq!(root.trace_id(), Some(id));
+            assert_eq!(current_trace_id(), Some(id));
+            annotate("endpoint", "/test");
+            {
+                let _a = child_span("stage.a");
+                annotate("items", 3u64);
+                let _aa = child_span("stage.a.inner");
+            }
+            let _b = child_span("stage.b");
+        }
+        assert_eq!(current_trace_id(), None);
+        let trees = collect::store().lookup(id);
+        assert_eq!(trees.len(), 1);
+        let tree = &trees[0];
+        assert_eq!(tree.trace_id, id);
+        assert_eq!(tree.spans.len(), 4);
+        let root = tree.root();
+        assert_eq!(root.name, "serve.test");
+        assert_eq!(root.parent, NO_PARENT);
+        assert_eq!(root.notes, vec![("endpoint", Value::from("/test"))]);
+        let a = &tree.spans[1];
+        let aa = &tree.spans[2];
+        let b = &tree.spans[3];
+        assert_eq!((a.name, a.parent), ("stage.a", 0));
+        assert_eq!((aa.name, aa.parent), ("stage.a.inner", 1));
+        assert_eq!((b.name, b.parent), ("stage.b", 0));
+        assert_eq!(a.notes, vec![("items", Value::U64(3))]);
+        for span in &tree.spans {
+            assert!(
+                span.end_ns >= span.start_ns,
+                "span {} runs backwards",
+                span.id
+            );
+            if span.parent != NO_PARENT {
+                let parent = &tree.spans[span.parent as usize];
+                assert!(span.start_ns >= parent.start_ns);
+                assert!(span.end_ns <= parent.end_ns);
+            }
+        }
+    }
+
+    #[test]
+    fn child_span_without_a_live_trace_is_a_no_op() {
+        let _guard = crate::test_lock();
+        assert_eq!(current_trace_id(), None);
+        {
+            let _s = child_span("orphan");
+            annotate("ignored", true);
+        }
+        assert_eq!(current_trace_id(), None);
+    }
+
+    #[test]
+    fn disabled_tracing_disarms_roots_but_keeps_the_store_quiet() {
+        let _guard = crate::test_lock();
+        collect::store().clear();
+        crate::set_enabled(false);
+        let id = TraceId::from_u64(77).unwrap();
+        {
+            let root = root_span("serve.dark", Some(id));
+            // nothing recorded, but the header contract still holds
+            assert_eq!(root.trace_id(), Some(id));
+            let _c = child_span("stage");
+        }
+        crate::set_enabled(true);
+        assert!(collect::store().lookup(id).is_empty());
+        assert!(collect::store().recent().is_empty());
+    }
+
+    #[test]
+    fn nested_root_downgrades_to_a_child_span() {
+        let _guard = crate::test_lock();
+        collect::store().clear();
+        let outer_id = TraceId::from_u64(0x0111).unwrap();
+        let inner_id = TraceId::from_u64(0x0222).unwrap();
+        {
+            let _outer = root_span("serve.outer", Some(outer_id));
+            let inner = root_span("serve.inner", Some(inner_id));
+            // the inner root rides the outer trace, not a new one
+            assert_eq!(inner.trace_id(), Some(outer_id));
+        }
+        assert_eq!(collect::store().lookup(inner_id).len(), 0);
+        let trees = collect::store().lookup(outer_id);
+        assert_eq!(trees.len(), 1);
+        assert_eq!(trees[0].spans.len(), 2);
+        assert_eq!(trees[0].spans[1].name, "serve.inner");
+    }
+
+    #[test]
+    fn leaked_child_guard_still_publishes_a_closed_tree() {
+        let _guard = crate::test_lock();
+        collect::store().clear();
+        let id = TraceId::from_u64(0x0333).unwrap();
+        let leaked = {
+            let _root = root_span("serve.leak", Some(id));
+            child_span("stage.leaky") // outlives the root on purpose
+        };
+        let trees = collect::store().lookup(id);
+        assert_eq!(trees.len(), 1);
+        assert!(trees[0].spans.iter().all(|s| s.end_ns >= s.start_ns));
+        assert!(trees[0]
+            .spans
+            .iter()
+            .all(|s| s.end_ns > 0 || s.start_ns == 0));
+        drop(leaked); // must not panic or corrupt the next trace
+        {
+            let _root = root_span("serve.after", Some(id));
+        }
+        assert_eq!(collect::store().lookup(id).len(), 2);
+    }
+}

@@ -1,0 +1,125 @@
+//! Concurrency battery for qatk-trace: many threads drive real requests
+//! through one shared `QuestApp` while every request pins its own trace id,
+//! and every captured tree must come out well-formed — a single root,
+//! children nested inside their parent's interval, no orphan spans — with
+//! the ring never tearing (a tree is published whole or not at all).
+
+use std::sync::Arc;
+
+use qatk_core::prelude::{FeatureModel, SimilarityMeasure};
+use qatk_corpus::prelude::{Corpus, CorpusConfig};
+use qatk_serve::http::RequestParser;
+use qatk_serve::{Handler, Request};
+use qatk_trace::{SpanRecord, TraceId, NO_PARENT};
+use quest::prelude::*;
+
+fn request(method: &str, path: &str, body: &str, trace: u64) -> Request {
+    let raw = format!(
+        "{method} {path} HTTP/1.1\r\nx-qatk-trace: {trace:016x}\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    let mut p = RequestParser::new(Default::default());
+    p.push(raw.as_bytes());
+    p.take_request().unwrap().unwrap()
+}
+
+/// Structural invariants every captured tree must satisfy.
+fn assert_well_formed(spans: &[SpanRecord], ctx: &str) {
+    assert!(!spans.is_empty(), "{ctx}: empty tree");
+    let root = &spans[0];
+    assert_eq!(root.parent, NO_PARENT, "{ctx}: spans[0] is not the root");
+    assert_eq!(
+        spans.iter().filter(|s| s.parent == NO_PARENT).count(),
+        1,
+        "{ctx}: more than one root"
+    );
+    for (i, span) in spans.iter().enumerate() {
+        assert_eq!(span.id as usize, i, "{ctx}: id/index mismatch");
+        assert!(
+            span.end_ns >= span.start_ns,
+            "{ctx}: span {} ends before it starts",
+            span.name
+        );
+        if span.parent == NO_PARENT {
+            continue;
+        }
+        // no orphans: the parent exists and was opened earlier
+        assert!(
+            (span.parent as usize) < i,
+            "{ctx}: span {} has a forward/dangling parent link",
+            span.name
+        );
+        let parent = &spans[span.parent as usize];
+        // nesting: the child's interval lies within the parent's
+        assert!(
+            span.start_ns >= parent.start_ns && span.end_ns <= parent.end_ns,
+            "{ctx}: child {} [{}, {}] escapes parent {} [{}, {}]",
+            span.name,
+            span.start_ns,
+            span.end_ns,
+            parent.name,
+            parent.start_ns,
+            parent.end_ns,
+        );
+    }
+}
+
+#[test]
+fn concurrent_requests_capture_only_well_formed_trees() {
+    let _guard = qatk_trace::test_lock();
+    qatk_trace::set_enabled(true);
+    qatk_trace::store().clear();
+
+    let corpus = Corpus::generate(CorpusConfig::small(31));
+    let part = corpus.bundles[0].part_id.clone();
+    let svc = RecommendationService::train(
+        &corpus,
+        FeatureModel::BagOfWords,
+        SimilarityMeasure::Overlap,
+    );
+    let app = Arc::new(QuestApp::new(Arc::new(svc), HealthInfo::default()));
+
+    let threads: u64 = 8;
+    let per_thread: u64 = 25; // 200 traces total, under the 256-slot ring
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let app = Arc::clone(&app);
+            let part = part.clone();
+            s.spawn(move || {
+                for i in 0..per_thread {
+                    let id = (t << 32) | (i + 1);
+                    let body = format!(
+                        "{{\"part_id\":\"{part}\",\"text\":\"thread {t} request {i} oil leak\"}}"
+                    );
+                    let resp = app.handle(&request("POST", "/suggest", &body, id));
+                    assert_eq!(resp.status, 200);
+                    assert_eq!(resp.trace, id, "trace id echoed under concurrency");
+                }
+            });
+        }
+    });
+
+    // every pinned id is retrievable and its tree is structurally sound
+    let mut found = 0;
+    for t in 0..threads {
+        for i in 0..per_thread {
+            let id = (t << 32) | (i + 1);
+            let trees = qatk_trace::store().lookup(TraceId::from_u64(id).unwrap());
+            assert_eq!(trees.len(), 1, "trace {id:#x} captured exactly once");
+            let ctx = format!("trace {id:#x}");
+            assert_well_formed(&trees[0].spans, &ctx);
+            assert_eq!(trees[0].spans[0].name, "serve.suggest", "{ctx}");
+            assert!(
+                trees[0].spans.iter().any(|s| s.name == "core.rank"),
+                "{ctx}: rank child missing"
+            );
+            found += 1;
+        }
+    }
+    assert_eq!(found, threads * per_thread);
+
+    // the ring itself never tears: every retained tree is whole
+    for tree in qatk_trace::store().recent() {
+        assert_well_formed(&tree.spans, &format!("ring entry {}", tree.trace_id));
+    }
+}

@@ -1,0 +1,257 @@
+//! End-to-end tracing acceptance: a `/suggest` served over real HTTP
+//! leaves a retrievable tree at `/debug/traces` with the id round-tripping
+//! through the `x-qatk-trace` header, and a replicated `/learn` on a
+//! leader records both the WAL-append child span and a follower-ack-lag
+//! event under the *same* trace id.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+use qatk_core::prelude::*;
+use qatk_corpus::prelude::*;
+use qatk_repl::prelude::*;
+use qatk_serve::http::RequestParser;
+use qatk_serve::{Handler, HttpClient, Request};
+use qatk_store::prelude::*;
+use qatk_trace::TraceId;
+use quest::prelude::*;
+
+fn tmp_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("qatk_trace_e2e_{name}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn request(method: &str, path: &str, body: &str, trace: Option<u64>) -> Request {
+    let trace_header = match trace {
+        Some(t) => format!("x-qatk-trace: {t:016x}\r\n"),
+        None => String::new(),
+    };
+    let raw = format!(
+        "{method} {path} HTTP/1.1\r\n{trace_header}Content-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    let mut p = RequestParser::new(Default::default());
+    p.push(raw.as_bytes());
+    p.take_request().unwrap().unwrap()
+}
+
+fn wait_until(what: &str, mut pred: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !pred() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// The served path: a real HTTP server, a client-pinned trace id, and the
+/// tree retrievable over `GET /debug/traces` afterwards.
+#[test]
+fn served_suggest_trace_round_trips_and_shows_in_debug_traces() {
+    let _guard = qatk_trace::test_lock();
+    qatk_trace::set_enabled(true);
+    qatk_trace::store().clear();
+
+    let corpus = Corpus::generate(CorpusConfig::small(31));
+    let part = corpus.bundles[0].part_id.clone();
+    let svc = RecommendationService::train(
+        &corpus,
+        FeatureModel::BagOfWords,
+        SimilarityMeasure::Overlap,
+    );
+    let app = Arc::new(QuestApp::new(Arc::new(svc), HealthInfo::default()));
+    let server = qatk_serve::Server::bind(
+        "127.0.0.1:0",
+        qatk_serve::ServerConfig {
+            threads: 2,
+            ..Default::default()
+        },
+        app,
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    let mut client = HttpClient::connect(addr, Duration::from_secs(5)).unwrap();
+    let body = format!("{{\"part_id\":\"{part}\",\"text\":\"oil leaking from the housing\"}}");
+    let head = format!(
+        "POST /suggest HTTP/1.1\r\nHost: qatk\r\nx-qatk-trace: 00000000feedbead\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    client.send_raw(head.as_bytes()).unwrap();
+    let resp = client.read_response().unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body_str());
+    assert_eq!(
+        resp.header("x-qatk-trace"),
+        Some("00000000feedbead"),
+        "pinned id echoed over the wire"
+    );
+
+    // the tree is retrievable through the debug endpoint, as JSON
+    let resp = client.request("GET", "/debug/traces", None).unwrap();
+    assert_eq!(resp.status, 200);
+    let doc = qatk_obs::json::parse(&resp.body_str()).unwrap();
+    let trees = doc.as_arr().unwrap();
+    let tree = trees
+        .iter()
+        .find(|t| {
+            t.get("trace_id").and_then(qatk_obs::json::Value::as_str) == Some("00000000feedbead")
+        })
+        .expect("pinned trace visible at /debug/traces");
+    let spans = tree
+        .get("spans")
+        .and_then(qatk_obs::json::Value::as_arr)
+        .unwrap();
+    let names: Vec<&str> = spans
+        .iter()
+        .filter_map(|s| s.get("name").and_then(qatk_obs::json::Value::as_str))
+        .collect();
+    assert_eq!(names[0], "serve.suggest", "names: {names:?}");
+    assert!(names.contains(&"core.rank"), "names: {names:?}");
+    assert!(
+        names.contains(&"text.tokenize") || names.contains(&"text.annotate"),
+        "names: {names:?}"
+    );
+
+    server.shutdown();
+}
+
+/// The replicated-learn path: the WAL append contributes a child span, the
+/// trace id rides Seal/Tip frames to the follower, and the leader records
+/// a `repl.follower_ack` event under the originating id once the follower
+/// acks past the learn.
+#[test]
+fn replicated_learn_records_wal_span_and_follower_ack_lag() {
+    let _guard = qatk_trace::test_lock();
+    qatk_trace::set_enabled(true);
+    qatk_trace::store().clear();
+
+    let dir = tmp_dir("learn");
+    let leader_paths = ReplPaths::new(dir.join("snap.qdb"), dir.join("wal.log"));
+    let replica_dir = dir.join("replica");
+    std::fs::create_dir_all(&replica_dir).unwrap();
+    let replica_paths = ReplPaths::new(replica_dir.join("snap.qdb"), replica_dir.join("wal.log"));
+
+    let corpus = Corpus::generate(CorpusConfig::small(31));
+    let part = corpus.bundles[0].part_id.clone();
+    let model = FeatureModel::BagOfWords;
+    let pipeline = Arc::new(build_pipeline(&corpus, model));
+
+    let (mut store, _) = LoggedDatabase::open(
+        &leader_paths.snapshot,
+        &leader_paths.wal,
+        SyncPolicy::OsOnly,
+    )
+    .unwrap();
+    let svc = Arc::new(RecommendationService::train(
+        &corpus,
+        model,
+        SimilarityMeasure::Jaccard,
+    ));
+    assert!(KnowledgeSnapshot::ensure_replicated_tables(&mut store).unwrap());
+    store.checkpoint().unwrap();
+    svc.snapshot().save_to_logged(&mut store).unwrap();
+
+    let leader = Leader::bind(
+        "127.0.0.1:0",
+        leader_paths.clone(),
+        LeaderConfig {
+            poll_interval: Duration::from_millis(5),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let leader_addr = leader.local_addr().to_string();
+
+    // the cmd_serve publish hook shape: persist, and hand the request's
+    // trace id to the replication sessions for ack-lag accounting
+    let shared_store = Arc::new(Mutex::new(store));
+    let hook: PublishHook = Arc::new({
+        let store = Arc::clone(&shared_store);
+        let status = leader.status();
+        move |svc: &RecommendationService| {
+            status.set_learn_trace(qatk_trace::current_trace_id_u64());
+            let mut store = store.lock().unwrap_or_else(PoisonError::into_inner);
+            svc.snapshot()
+                .save_to_logged(&mut store)
+                .map_err(|e| e.to_string())
+        }
+    });
+    let app = QuestApp::new(
+        Arc::clone(&svc),
+        HealthInfo {
+            replication: Some(ReplicationHealth::Leader(leader.status())),
+            ..Default::default()
+        },
+    )
+    .with_publish_hook(hook);
+
+    let replica = ReplicaServer::open(
+        replica_paths,
+        FollowerConfig {
+            read_timeout: Duration::from_millis(500),
+            reconnect_backoff: Duration::from_millis(20),
+            ..Default::default()
+        },
+        pipeline,
+        model,
+    )
+    .unwrap();
+    let replica_svc = replica.service();
+    let stop = Arc::new(AtomicBool::new(false));
+    let runner = std::thread::spawn({
+        let stop = Arc::clone(&stop);
+        move || replica.run(&leader_addr, &stop)
+    });
+    wait_until("replica republishes the boot epoch", || {
+        replica_svc.kb_len() == svc.kb_len()
+    });
+
+    // one traced /learn through the real handler
+    let trace: u64 = 0x1EA4_0001;
+    let id = TraceId::from_u64(trace).unwrap();
+    let body = format!(
+        "{{\"part_id\":\"{part}\",\"text\":\"traced failure mode\",\"code\":\"E-TRACE-1\"}}"
+    );
+    let resp = app.handle(&request("POST", "/learn", &body, Some(trace)));
+    assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+    assert_eq!(resp.trace, trace);
+
+    // the request tree carries the WAL append as a child of serve.learn
+    let trees = qatk_trace::store().lookup(id);
+    let request_tree = trees
+        .iter()
+        .find(|t| t.spans[0].name == "serve.learn")
+        .expect("learn request tree captured");
+    assert!(
+        request_tree
+            .spans
+            .iter()
+            .any(|s| s.name == "store.wal_append"),
+        "wal append span missing: {:?}",
+        request_tree
+            .spans
+            .iter()
+            .map(|s| s.name)
+            .collect::<Vec<_>>()
+    );
+
+    // the follower acks past the learn; the leader files the ack lag as a
+    // second tree under the *same* trace id
+    wait_until(
+        "leader records follower ack lag for the traced learn",
+        || {
+            qatk_trace::store()
+                .lookup(id)
+                .iter()
+                .any(|t| t.spans[0].name == "repl.follower_ack")
+        },
+    );
+
+    stop.store(true, Ordering::SeqCst);
+    leader.shutdown();
+    let (_follower, result) = runner.join().unwrap();
+    result.unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
